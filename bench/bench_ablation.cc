@@ -1,0 +1,180 @@
+// Experiment E10 (ablations): the design choices DESIGN.md calls out,
+// each varied in isolation.
+//
+//   A. ATLAS's vacant-frame discipline — "the replacement strategy ... is
+//      used to ensure that one page frame is kept vacant, ready for the next
+//      page demand": on vs off, same machine, same workload.
+//   B. Advice budget — how many advised pages ride along per fault.
+//   C. Working-set window tau — residency vs refault trade.
+//   D. The 360/67 ninth (instruction-counter) register — on vs off.
+
+#include <cstdio>
+#include <string>
+
+#include "src/core/rng.h"
+#include "src/stats/table.h"
+#include "src/trace/synthetic.h"
+#include "src/vm/paged_segmented_vm.h"
+#include "src/vm/paged_vm.h"
+
+namespace {
+
+dsa::ReferenceTrace Workload() {
+  dsa::WorkingSetTraceParams params;
+  params.extent = 32768;
+  params.region_words = 256;
+  params.regions_per_phase = 16;
+  params.phases = 6;
+  params.phase_length = 10000;
+  return dsa::MakeWorkingSetTrace(params);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== E10: ablations of surveyed design choices ==\n\n");
+  const dsa::ReferenceTrace trace = Workload();
+
+  // --- A: the vacant frame ---------------------------------------------------
+  {
+    dsa::Table table({"vacant frame kept", "faults", "mean wait per fault (cyc)",
+                      "total wait (cyc)", "peak resident (words)"});
+    for (const bool keep_vacant : {false, true}) {
+      dsa::PagedVmConfig config;
+      config.label = "atlas-ablation";
+      config.address_bits = 16;
+      config.core_words = 8192;
+      config.page_words = 512;
+      config.mapper = dsa::PagedMapperKind::kAtlasRegisters;
+      config.replacement = dsa::ReplacementStrategyKind::kAtlasLearning;
+      config.keep_one_frame_vacant = keep_vacant;
+      config.backing_level = dsa::MakeDrumLevel("drum", 1u << 18, 4, 6000);
+      const dsa::VmReport report = dsa::PagedLinearVm(config).Run(trace);
+      table.AddRow()
+          .AddCell(keep_vacant ? "yes (ATLAS)" : "no")
+          .AddCell(report.faults)
+          .AddCell(report.faults == 0 ? 0.0
+                                      : static_cast<double>(report.wait_cycles) /
+                                            static_cast<double>(report.faults),
+                   0)
+          .AddCell(report.wait_cycles)
+          .AddCell(report.peak_resident_words);
+    }
+    std::printf("A. ATLAS vacant-frame discipline:\n%s\n", table.Render().c_str());
+  }
+
+  // --- B: advice budget --------------------------------------------------------
+  {
+    dsa::Table table({"advice budget/fault", "faults", "extra fetches", "total wait (cyc)"});
+    for (const std::size_t budget : {1u, 2u, 4u, 8u, 16u}) {
+      dsa::PagedVmConfig config;
+      config.label = "advice-ablation";
+      config.address_bits = 16;
+      config.core_words = 8192;
+      config.page_words = 512;
+      config.accept_advice = true;
+      config.fetch = dsa::FetchStrategyKind::kAdvised;
+      config.advice_fetch_budget = budget;
+      config.backing_level = dsa::MakeDrumLevel("drum", 1u << 18, 4, 6000);
+      dsa::PagedLinearVm vm(config);
+      // Advise the next phase's hot pages at each phase boundary.
+      dsa::VmReport reset = vm.Run(dsa::ReferenceTrace{"reset", {}});
+      (void)reset;
+      std::size_t i = 0;
+      for (const dsa::Reference& ref : trace.refs) {
+        if (i % 10000 == 9900 && i + 200 < trace.refs.size() && i > 300) {
+          // The program description knows the phase change: release the
+          // pages of the dying phase and pre-declare the coming one.
+          for (std::size_t back = i - 300; back < i; ++back) {
+            vm.AdviseWontNeed(trace.refs[back].name);
+          }
+          for (std::size_t peek = i + 100; peek < i + 200; ++peek) {
+            vm.AdviseWillNeed(trace.refs[peek].name);
+          }
+        }
+        vm.Step(ref);
+        ++i;
+      }
+      const dsa::VmReport report = vm.Snapshot();
+      table.AddRow()
+          .AddCell(static_cast<std::uint64_t>(budget))
+          .AddCell(report.faults)
+          .AddCell(vm.pager().stats().extra_fetches)
+          .AddCell(report.wait_cycles);
+    }
+    std::printf("B. advised-fetch budget sweep:\n%s\n", table.Render().c_str());
+  }
+
+  // --- C: working-set window -----------------------------------------------------
+  {
+    dsa::Table table({"tau (cyc)", "faults", "policy releases", "peak resident (words)",
+                      "space-time total"});
+    for (const dsa::Cycles tau : {dsa::Cycles{2000}, dsa::Cycles{20000}, dsa::Cycles{200000},
+                                  dsa::Cycles{2000000}}) {
+      dsa::PagedVmConfig config;
+      config.label = "ws-ablation";
+      config.address_bits = 16;
+      config.core_words = 16384;
+      config.page_words = 512;
+      config.replacement = dsa::ReplacementStrategyKind::kWorkingSet;
+      config.replacement_options.working_set_tau = tau;
+      config.backing_level = dsa::MakeDrumLevel("drum", 1u << 18, 4, 6000);
+      dsa::PagedLinearVm vm(config);
+      const dsa::VmReport report = vm.Run(trace);
+      table.AddRow()
+          .AddCell(tau)
+          .AddCell(report.faults)
+          .AddCell(vm.pager().stats().policy_releases)
+          .AddCell(report.peak_resident_words)
+          .AddCell(report.space_time.total(), 0);
+    }
+    std::printf("C. working-set window sweep:\n%s\n", table.Render().c_str());
+  }
+
+  // --- D: the ninth associative register ---------------------------------------------
+  {
+    dsa::Table table({"IC register", "mean map cost (cyc/ref)", "execute share of refs"});
+    // An execute-heavy trace: instruction fetches walk lines, data scatter.
+    dsa::ReferenceTrace code_trace;
+    code_trace.label = "code+data";
+    dsa::Rng rng(23);
+    for (int i = 0; i < 60000; ++i) {
+      if (i % 4 != 3) {
+        // Straight-line code in a 2K region.
+        code_trace.refs.push_back(
+            {dsa::Name{(static_cast<std::uint64_t>(i) * 2) % 2048}, dsa::AccessKind::kExecute});
+      } else {
+        code_trace.refs.push_back({dsa::Name{4096 + rng.Below(16384)}, dsa::AccessKind::kRead});
+      }
+    }
+    for (const bool ic_register : {false, true}) {
+      dsa::PagedSegmentedVmConfig config;
+      config.label = "ic-ablation";
+      config.segment_bits = 4;
+      config.offset_bits = 16;
+      config.core_words = 32768;
+      config.page_words = 1024;
+      config.tlb_entries = 0;  // isolate the ninth register's contribution
+      config.dedicated_execute_register = ic_register;
+      config.workload_segment_words = 32768;
+      config.backing_level = dsa::MakeDrumLevel("drum", 1u << 18, 2, 1000);
+      const dsa::VmReport report = dsa::PagedSegmentedVm(config).Run(code_trace);
+      table.AddRow()
+          .AddCell(ic_register ? "present (360/67)" : "absent")
+          .AddCell(report.MeanTranslationCost(), 2)
+          .AddCell("0.75");
+    }
+    std::printf("D. instruction-counter register:\n%s\n", table.Render().c_str());
+  }
+
+  std::printf("Shape check: (A) the vacant frame's price is visible — one frame of\n"
+              "residency lost, hence more faults on a tight core; its payoff (victim\n"
+              "write-backs off the fault path) only outweighs that when victims are\n"
+              "dirty and core is not scarce, which is why ATLAS paired it with a\n"
+              "dedicated drum organisation.  (B) once paired with releases, a larger\n"
+              "advice budget converts faults into piggybacked fetches until the advice\n"
+              "is exhausted; (C) a small tau shrinks residency at the price of\n"
+              "refaults, a large tau is plain LRU; (D) the ninth register pays for\n"
+              "straight-line code even with no general associative memory at all.\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Experiment E7: the cost of addressing sophistication, and facility (vi).
+//
+// "The basic disadvantage of a segmented name space over a linear name space
+// is the added complexity of the addressing mechanism ... this increase can
+// be considerably reduced by the use of sophisticated hardware mechanisms."
+// The full ladder — absolute addressing, relocation+limit, one-level paging,
+// two-level segmentation+paging — each without and with a small associative
+// memory, on one locality workload.
+
+#include <cstdio>
+
+#include "src/map/relocation_limit.h"
+#include "src/stats/table.h"
+#include "src/trace/synthetic.h"
+#include "src/vm/paged_segmented_vm.h"
+#include "src/vm/paged_vm.h"
+
+namespace {
+
+const dsa::ReferenceTrace& Workload() {
+  static const dsa::ReferenceTrace* trace = [] {
+    dsa::WorkingSetTraceParams params;
+    params.extent = 1 << 15;
+    params.region_words = 256;
+    params.regions_per_phase = 12;
+    params.phases = 5;
+    params.phase_length = 10000;
+    return new dsa::ReferenceTrace(dsa::MakeWorkingSetTrace(params));
+  }();
+  return *trace;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== E7: addressing overhead across the mechanism ladder ==\n\n");
+
+  dsa::Table table({"addressing mechanism", "assoc memory", "mean map cost (cyc/ref)",
+                    "assoc hit rate", "relocatable?", "bounds checked?",
+                    "artificial contiguity?"});
+
+  // Rung 0: absolute addresses (early machines) — free, and rigid.
+  table.AddRow()
+      .AddCell("absolute (names are addresses)")
+      .AddCell("-")
+      .AddCell(0.0, 2)
+      .AddCell("-")
+      .AddCell("no")
+      .AddCell("no")
+      .AddCell("no");
+
+  // Rung 1: relocation + limit registers.
+  {
+    dsa::RelocationLimitMapper mapper(dsa::PhysicalAddress{0}, 1u << 15);
+    for (const dsa::Reference& ref : Workload().refs) {
+      mapper.Translate(ref.name, ref.kind, 0);
+    }
+    table.AddRow()
+        .AddCell("relocation + limit registers")
+        .AddCell("-")
+        .AddCell(mapper.MeanTranslationCost(), 2)
+        .AddCell("-")
+        .AddCell("yes (whole program)")
+        .AddCell("yes (one limit)")
+        .AddCell("no");
+  }
+
+  // Rungs 2-3: one-level paging without/with TLB.
+  for (const std::size_t tlb : {0u, 8u}) {
+    dsa::PagedVmConfig config;
+    config.label = "ladder";
+    config.address_bits = 15;
+    config.core_words = 32768;  // everything resident: measure pure map cost
+    config.page_words = 512;
+    config.tlb_entries = tlb;
+    config.backing_level = dsa::MakeDrumLevel("drum", 1u << 18, 2, 100);
+    dsa::PagedLinearVm vm(config);
+    const dsa::VmReport report = vm.Run(Workload());
+    table.AddRow()
+        .AddCell("page table (linear names)")
+        .AddCell(tlb == 0 ? "none" : "8 entries")
+        .AddCell(report.MeanTranslationCost(), 2)
+        .AddCell(tlb == 0 ? std::string("-") : dsa::FormatFixed(report.tlb_hit_rate, 3))
+        .AddCell("yes (per page)")
+        .AddCell("name-space limit")
+        .AddCell("yes");
+  }
+
+  // Rungs 4-5: segment + page tables without/with TLB.
+  for (const std::size_t tlb : {0u, 8u}) {
+    dsa::PagedSegmentedVmConfig config;
+    config.label = "ladder";
+    config.segment_bits = 7;
+    config.offset_bits = 13;
+    config.core_words = 32768;
+    config.page_words = 512;
+    config.tlb_entries = tlb;
+    config.workload_segment_words = 4096;
+    config.backing_level = dsa::MakeDrumLevel("drum", 1u << 18, 2, 100);
+    dsa::PagedSegmentedVm vm(config);
+    const dsa::VmReport report = vm.Run(Workload());
+    table.AddRow()
+        .AddCell("segment + page tables (Fig. 4)")
+        .AddCell(tlb == 0 ? "none" : "8 entries")
+        .AddCell(report.MeanTranslationCost(), 2)
+        .AddCell(tlb == 0 ? std::string("-") : dsa::FormatFixed(report.tlb_hit_rate, 3))
+        .AddCell("yes (per page)")
+        .AddCell("yes (per segment)")
+        .AddCell("yes");
+  }
+
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("Shape check (paper): each rung of function (relocation, protection, per-\n"
+              "segment bounds, artificial contiguity) adds cycles per reference; the\n"
+              "8-entry associative memory collapses the two-table cost back toward the\n"
+              "relocation-register price — the mechanism that makes segmentation viable.\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Experiment E6: storage packing and the autonomous channel.
+//
+// "The need to speed up the process of storage packing to reduce
+// fragmentation is sometimes catered for by fast autonomous storage to
+// storage channel operations."  Part 1 prices compaction under the CPU copy
+// loop vs the autonomous channel across heap sizes.  Part 2 shows compaction
+// earning its keep inside a segment manager: fragmented core that would
+// otherwise force evictions (and refetches) is packed instead.
+
+#include <cstdio>
+#include <vector>
+
+#include "src/alloc/compaction.h"
+#include "src/core/rng.h"
+#include "src/seg/segment_manager.h"
+#include "src/stats/table.h"
+
+namespace {
+
+// Builds a fragmented heap at ~`live_fraction` occupancy with object churn.
+void Fragment(dsa::VariableAllocator* alloc, double live_fraction, std::uint64_t seed) {
+  dsa::Rng rng(seed);
+  std::vector<dsa::PhysicalAddress> live;
+  const dsa::WordCount target =
+      static_cast<dsa::WordCount>(static_cast<double>(alloc->capacity()) * live_fraction);
+  for (int op = 0; op < 60000; ++op) {
+    const bool want_free = alloc->live_words() > target || (!live.empty() && rng.Chance(0.35));
+    if (want_free && !live.empty()) {
+      const std::size_t i = rng.Below(live.size());
+      alloc->Free(live[i]);
+      live[i] = live.back();
+      live.pop_back();
+    } else if (auto block = alloc->Allocate(rng.Between(16, 512))) {
+      live.push_back(block->addr);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== E6 part 1: compaction cost — CPU copy loop vs autonomous channel ==\n\n");
+
+  dsa::Table cost_table({"heap words", "live %", "holes before", "words moved",
+                         "CPU-loop cycles", "autonomous cycles", "autonomous CPU cycles",
+                         "speedup"});
+  for (dsa::WordCount heap : {dsa::WordCount{1} << 14, dsa::WordCount{1} << 16,
+                              dsa::WordCount{1} << 18}) {
+    for (double live_fraction : {0.5, 0.8}) {
+      // Two identical heaps, one per channel flavour.
+      dsa::VariableAllocator cpu_heap(
+          heap, dsa::MakePlacementPolicy(dsa::PlacementStrategyKind::kFirstFit));
+      dsa::VariableAllocator dma_heap(
+          heap, dsa::MakePlacementPolicy(dsa::PlacementStrategyKind::kFirstFit));
+      Fragment(&cpu_heap, live_fraction, 5);
+      Fragment(&dma_heap, live_fraction, 5);
+
+      dsa::CompactionEngine cpu_engine(dsa::CpuPackingChannel());
+      dsa::CompactionEngine dma_engine(dsa::AutonomousPackingChannel());
+      const dsa::CompactionResult cpu = cpu_engine.Compact(&cpu_heap, nullptr);
+      const dsa::CompactionResult dma = dma_engine.Compact(&dma_heap, nullptr);
+
+      cost_table.AddRow()
+          .AddCell(heap)
+          .AddCell(100.0 * live_fraction, 0)
+          .AddCell(static_cast<std::uint64_t>(cpu.holes_before))
+          .AddCell(cpu.words_moved)
+          .AddCell(cpu.move_cycles)
+          .AddCell(dma.move_cycles)
+          .AddCell(dma.cpu_cycles)
+          .AddCell(static_cast<double>(cpu.move_cycles) /
+                       static_cast<double>(dma.move_cycles == 0 ? 1 : dma.move_cycles),
+                   2);
+    }
+  }
+  std::printf("%s\n", cost_table.Render().c_str());
+
+  std::printf("== E6 part 2: compaction vs eviction inside a segment manager ==\n\n");
+  dsa::Table policy_table({"corrective action", "segment faults", "evictions", "compactions",
+                           "words compacted", "wait cycles", "compaction cycles"});
+  for (const bool compact : {false, true}) {
+    dsa::BackingStore backing(dsa::MakeDrumLevel("drum", 1u << 20, 2, 6000));
+    dsa::SegmentManagerConfig config;
+    config.core_words = 16384;
+    config.max_segment_extent = 2048;
+    config.placement = dsa::PlacementStrategyKind::kBestFit;
+    config.compact_on_fragmentation = compact;
+    config.packing = dsa::AutonomousPackingChannel();
+    dsa::SegmentManager manager(config, &backing, nullptr);
+
+    // Segment churn: a rotating population of odd-sized segments.
+    dsa::Rng rng(9);
+    std::vector<dsa::SegmentId> segments;
+    dsa::Cycles now = 0;
+    for (int op = 0; op < 20000; ++op) {
+      ++now;
+      if (segments.size() > 24 && rng.Chance(0.4)) {
+        const std::size_t i = rng.Below(segments.size());
+        manager.Destroy(segments[i]);
+        segments[i] = segments.back();
+        segments.pop_back();
+      } else if (rng.Chance(0.5)) {
+        const dsa::SegmentId seg = manager.Create(rng.Between(64, 2048));
+        segments.push_back(seg);
+        (void)manager.Access(seg, 0, dsa::AccessKind::kWrite, now);
+      } else if (!segments.empty()) {
+        const dsa::SegmentId seg = segments[rng.Below(segments.size())];
+        (void)manager.Access(seg, 0, dsa::AccessKind::kRead, now);
+      }
+    }
+    const dsa::SegmentManagerStats& stats = manager.stats();
+    policy_table.AddRow()
+        .AddCell(compact ? "compact on fragmentation" : "evict only")
+        .AddCell(stats.segment_faults)
+        .AddCell(stats.evictions)
+        .AddCell(stats.compactions)
+        .AddCell(stats.words_compacted)
+        .AddCell(stats.wait_cycles)
+        .AddCell(stats.compaction_cycles);
+  }
+  std::printf("%s\n", policy_table.Render().c_str());
+
+  std::printf("Shape check (paper): the autonomous channel moves words ~4x faster than\n"
+              "the CPU loop and leaves the CPU free; with compaction enabled the segment\n"
+              "manager trades cheap in-core moves for expensive drum round-trips —\n"
+              "fewer evictions and less waiting at the price of packing cycles.\n");
+  return 0;
+}

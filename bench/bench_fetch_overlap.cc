@@ -1,0 +1,117 @@
+// Experiment E5: fetch strategies and overlapping page waits.
+//
+// Part 1 — when to fetch: demand vs spatial prefetch vs advised fetch on
+// workloads that reward or punish lookahead.
+// Part 2 — the multiprogramming rescue: "the time spent on fetching pages
+// can normally be overlapped with the execution of other programs."
+
+#include <cstdio>
+
+#include "src/sched/multiprogramming.h"
+#include "src/stats/table.h"
+#include "src/trace/synthetic.h"
+#include "src/vm/paged_vm.h"
+
+namespace {
+
+dsa::PagedVmConfig BaseConfig() {
+  dsa::PagedVmConfig config;
+  config.address_bits = 16;
+  config.core_words = 16384;
+  config.page_words = 512;
+  config.backing_level = dsa::MakeDrumLevel("drum", 1u << 18, 2, 6000);
+  config.replacement = dsa::ReplacementStrategyKind::kLru;
+  return config;
+}
+
+void RunFetchRow(dsa::Table* table, const char* workload_label,
+                 const dsa::ReferenceTrace& trace, dsa::FetchStrategyKind fetch,
+                 std::size_t window) {
+  dsa::PagedVmConfig config = BaseConfig();
+  config.fetch = fetch;
+  config.prefetch_window = window;
+  config.label = "fetch";
+  dsa::PagedLinearVm vm(config);
+  const dsa::VmReport report = vm.Run(trace);
+  std::string strategy = ToString(fetch);
+  if (fetch == dsa::FetchStrategyKind::kPrefetch) {
+    strategy += " w=" + std::to_string(window);
+  }
+  table->AddRow()
+      .AddCell(workload_label)
+      .AddCell(strategy)
+      .AddCell(report.faults)
+      .AddCell(vm.pager().stats().extra_fetches)
+      .AddCell(report.wait_cycles)
+      .AddCell(report.space_time.total(), 0)
+      .AddCell(100.0 * report.space_time.WaitingFraction(), 1);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== E5 part 1: fetch strategies ==\n\n");
+
+  dsa::SequentialTraceParams seq;
+  seq.extent = 1 << 16;
+  seq.length = 60000;
+  const dsa::ReferenceTrace sequential = MakeSequentialTrace(seq);
+
+  dsa::WorkingSetTraceParams ws;
+  ws.extent = 1 << 16;
+  ws.region_words = 256;
+  ws.regions_per_phase = 16;
+  ws.phases = 6;
+  ws.phase_length = 10000;
+  const dsa::ReferenceTrace scattered = MakeWorkingSetTrace(ws);
+
+  dsa::Table fetch_table({"workload", "fetch strategy", "demand faults", "extra fetches",
+                          "wait cycles", "space-time total", "waiting share %"});
+  for (const auto& [label, trace] :
+       {std::pair<const char*, const dsa::ReferenceTrace*>{"sequential", &sequential},
+        std::pair<const char*, const dsa::ReferenceTrace*>{"scattered", &scattered}}) {
+    RunFetchRow(&fetch_table, label, *trace, dsa::FetchStrategyKind::kDemand, 0);
+    RunFetchRow(&fetch_table, label, *trace, dsa::FetchStrategyKind::kPrefetch, 2);
+    RunFetchRow(&fetch_table, label, *trace, dsa::FetchStrategyKind::kPrefetch, 8);
+  }
+  std::printf("%s\n", fetch_table.Render().c_str());
+
+  std::printf("== E5 part 2: multiprogramming overlap of page waits ==\n\n");
+  dsa::Table overlap_table({"degree", "CPU utilisation", "throughput (refs/cyc)",
+                            "faults", "per-job space-time", "makespan (cyc)"});
+  for (std::size_t degree = 1; degree <= 8; ++degree) {
+    dsa::MultiprogramConfig config;
+    config.core_words = 24576;
+    config.page_words = 512;
+    config.backing_level = dsa::MakeDrumLevel("drum", 1u << 18, 2, 6000);
+    config.replacement = dsa::ReplacementStrategyKind::kLru;
+    config.quantum = 4000;
+    dsa::MultiprogrammingSimulator sim(config);
+    for (std::size_t j = 0; j < degree; ++j) {
+      dsa::LoopTraceParams params;
+      params.extent = 8192;
+      params.body_words = 2048;
+      params.advance_words = 1024;
+      params.iterations = 4;
+      params.length = 25000;
+      params.seed = 50 + j;
+      sim.AddJob("job", dsa::MakeLoopTrace(params));
+    }
+    const dsa::MultiprogramReport report = sim.Run();
+    overlap_table.AddRow()
+        .AddCell(static_cast<std::uint64_t>(degree))
+        .AddCell(report.CpuUtilization(), 3)
+        .AddCell(report.Throughput(), 5)
+        .AddCell(report.faults)
+        .AddCell(report.TotalSpaceTime() / static_cast<double>(degree), 0)
+        .AddCell(report.total_cycles);
+  }
+  std::printf("%s\n", overlap_table.Render().c_str());
+
+  std::printf("Shape check (paper): prefetch pays on the sequential sweep (fewer demand\n"
+              "faults at modest extra transfers) and buys little on scattered phases;\n"
+              "CPU utilisation climbs with multiprogramming degree while waits overlap,\n"
+              "then sags once the shared core makes the jobs fault against each other —\n"
+              "per-job space-time swelling all the way.\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Experiment F1 (Figure 1): artificial name contiguity.
+//
+// Paper: "a set of separate blocks of locations, whose absolute addresses
+// are contiguous, can then be made to correspond to a single set of
+// contiguous names."  The cost is "reduced speed of addressing".
+//
+// Part 1 shows the problem: after churn, a variable-unit heap has plenty of
+// free words but no contiguous run — a large contiguous-name request is
+// unsatisfiable without a mapping device.
+// Part 2 shows the mechanism: the same scattered blocks stitched into one
+// contiguous name range by a Fig. 2 block table, with the per-access price.
+
+#include <cstdio>
+#include <vector>
+
+#include "src/alloc/variable_allocator.h"
+#include "src/core/rng.h"
+#include "src/map/block_table.h"
+#include "src/map/mapper.h"
+#include "src/stats/table.h"
+
+namespace {
+
+constexpr dsa::WordCount kCapacity = 1 << 16;
+constexpr dsa::WordCount kBlockWords = 512;
+constexpr dsa::WordCount kWantWords = 8192;  // the contiguous region the program needs
+
+}  // namespace
+
+int main() {
+  std::printf("== F1: artificial contiguity (Fig. 1) ==\n\n");
+
+  // Fragment a 64K-word store: churn small allocations until free space is
+  // scattered.
+  dsa::VariableAllocator heap(kCapacity,
+                              dsa::MakePlacementPolicy(dsa::PlacementStrategyKind::kFirstFit));
+  dsa::Rng rng(42);
+  std::vector<dsa::PhysicalAddress> live;
+  for (int op = 0; op < 20000; ++op) {
+    if (!live.empty() && rng.Chance(0.45)) {
+      const std::size_t i = rng.Below(live.size());
+      heap.Free(live[i]);
+      live[i] = live.back();
+      live.pop_back();
+    } else if (auto block = heap.Allocate(rng.Between(16, 384))) {
+      live.push_back(block->addr);
+    }
+  }
+  // Drain to ~50% occupancy: plenty of free words, scattered into holes.
+  while (!live.empty() && heap.live_words() > kCapacity / 2) {
+    const std::size_t i = rng.Below(live.size());
+    heap.Free(live[i]);
+    live[i] = live.back();
+    live.pop_back();
+  }
+  const auto frag = heap.Fragmentation();
+  std::printf("after churn: %llu of %llu words free, largest hole %llu, %zu holes, "
+              "external fragmentation %.2f\n",
+              static_cast<unsigned long long>(frag.free),
+              static_cast<unsigned long long>(frag.capacity),
+              static_cast<unsigned long long>(frag.largest_free), frag.hole_count,
+              frag.ExternalFragmentation());
+
+  const bool direct_possible = heap.free_list().largest_hole() >= kWantWords;
+  std::printf("contiguous %llu-word request without mapping: %s\n",
+              static_cast<unsigned long long>(kWantWords),
+              direct_possible ? "satisfiable" : "UNSATISFIABLE (no hole is large enough)");
+
+  // Stitch scattered 512-word blocks into one contiguous name range.
+  dsa::BlockTableMapper mapper(kBlockWords, kWantWords / kBlockWords);
+  std::size_t stitched = 0;
+  while (stitched < kWantWords / kBlockWords) {
+    const auto block = heap.Allocate(kBlockWords);
+    if (!block.has_value()) {
+      break;
+    }
+    mapper.SetBlock(stitched, block->addr);
+    ++stitched;
+  }
+  std::printf("with a block-table mapping device: stitched %zu scattered %llu-word blocks "
+              "into names [0, %llu)\n\n",
+              stitched, static_cast<unsigned long long>(kBlockWords),
+              static_cast<unsigned long long>(stitched * kBlockWords));
+
+  if (stitched == 0) {
+    std::fprintf(stderr, "churn left no block-sized holes; nothing to measure\n");
+    return 1;
+  }
+
+  // Measure the addressing price: direct (identity) vs mapped access.
+  dsa::IdentityMapper identity(kCapacity);
+  dsa::Table table({"access pattern", "mapper", "accesses", "faults", "mean cost (cyc/access)"});
+  const dsa::WordCount extent = stitched * kBlockWords;
+
+  auto run = [&](const char* pattern, dsa::AddressMapper* m, bool random) {
+    dsa::Rng pattern_rng(7);
+    std::uint64_t accesses = 0;
+    for (int i = 0; i < 200000; ++i) {
+      const dsa::Name name{random ? pattern_rng.Below(extent)
+                                  : static_cast<std::uint64_t>(i) % extent};
+      const auto t = m->Translate(name, dsa::AccessKind::kRead, i);
+      if (t.has_value()) {
+        ++accesses;
+      }
+    }
+    table.AddRow()
+        .AddCell(pattern)
+        .AddCell(m->name())
+        .AddCell(accesses)
+        .AddCell(m->faults())
+        .AddCell(m->MeanTranslationCost(), 2);
+  };
+  run("sequential", &identity, false);
+  run("sequential", &mapper, false);
+  run("random", &identity, true);
+  run("random", &mapper, true);
+
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("Shape check (paper): the mapped sweep never faults despite scattered physical\n"
+              "blocks — name contiguity without address contiguity — at a fixed per-access\n"
+              "translation surcharge over direct addressing.\n");
+  return 0;
+}

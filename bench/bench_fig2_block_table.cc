@@ -1,0 +1,55 @@
+// Experiment F2 (Figure 2): the simple block-table mapping scheme.
+//
+// "The mapping is usually based on the use of a group of the most
+// significant bits of the name."  The block size choice trades the mapping
+// table's own core consumption against internal waste in the final block of
+// every mapped object — the same tension the page-size discussion expands.
+
+#include <cstdio>
+
+#include "src/map/block_table.h"
+#include "src/stats/table.h"
+
+int main() {
+  std::printf("== F2: simple block-table mapping (Fig. 2) ==\n\n");
+
+  // Map a 24-bit name space for a resident program population of 100
+  // objects averaging 1,500 words (stand-ins for routines/arrays).
+  constexpr dsa::WordCount kNameSpace = 1u << 24;
+  constexpr std::size_t kObjects = 100;
+  constexpr dsa::WordCount kMeanObjectWords = 1500;
+
+  dsa::Table table({"block size (words)", "table entries", "table words",
+                    "mean access cost (cyc)", "internal waste (words)",
+                    "waste % of live"});
+
+  for (dsa::WordCount block = 64; block <= 8192; block *= 2) {
+    const std::size_t entries = static_cast<std::size_t>(kNameSpace / block);
+    dsa::BlockTableMapper mapper(block, entries);
+    // Bind the first few blocks and sample the access cost.
+    mapper.SetBlock(0, dsa::PhysicalAddress{0});
+    for (int i = 0; i < 1000; ++i) {
+      mapper.Translate(dsa::Name{static_cast<std::uint64_t>(i) % block},
+                       dsa::AccessKind::kRead, 0);
+    }
+    // Internal waste: each object's final block is on average half unused.
+    const dsa::WordCount live = kObjects * kMeanObjectWords;
+    const dsa::WordCount waste = kObjects * block / 2;
+    table.AddRow()
+        .AddCell(block)
+        .AddCell(static_cast<std::uint64_t>(entries))
+        .AddCell(mapper.TableWords())
+        .AddCell(mapper.MeanTranslationCost(), 2)
+        .AddCell(waste)
+        .AddCell(100.0 * static_cast<double>(waste) / static_cast<double>(live), 1);
+  }
+
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("Shape check (paper): access cost is flat (one table reference + one add)\n"
+              "regardless of block size; the costs that move are the table's own core\n"
+              "words (shrinking as blocks grow) and the half-block-per-object internal\n"
+              "waste (growing as blocks grow) — \"if it is too small, there will be an\n"
+              "unacceptable amount of overhead.  If it is too large, too much space will\n"
+              "be wasted.\"\n");
+  return 0;
+}

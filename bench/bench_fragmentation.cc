@@ -1,0 +1,155 @@
+// Experiment E1: "paging just obscures the problem [of fragmentation],
+// since the fragmentation occurs within pages."
+//
+// The same allocation request stream is replayed against a variable-unit
+// allocator (external fragmentation, no internal waste), a paged store
+// (internal waste, no external fragmentation), and a buddy system (some of
+// both).  Each run continues until the first unsatisfiable request; the
+// utilisation ceiling — live words per capacity word at that moment — puts
+// the three designs' losses on one scale.
+
+#include <cstdio>
+#include <memory>
+#include <unordered_map>
+
+#include "src/alloc/buddy.h"
+#include "src/alloc/variable_allocator.h"
+#include "src/stats/table.h"
+#include "src/trace/allocation.h"
+
+namespace {
+
+constexpr dsa::WordCount kCapacity = 1 << 16;
+constexpr dsa::WordCount kPageWords = 512;
+
+struct Outcome {
+  std::size_t ops_to_failure{0};
+  dsa::WordCount live_at_failure{0};
+  double internal_frag{0.0};
+  double external_frag{0.0};
+};
+
+// Replays ops until the first failure against a real allocator.
+Outcome ReplayAllocator(dsa::Allocator* alloc, const dsa::AllocationTrace& trace) {
+  Outcome out;
+  std::unordered_map<std::uint64_t, dsa::PhysicalAddress> live;
+  for (const dsa::AllocOp& op : trace.ops) {
+    ++out.ops_to_failure;
+    if (op.kind == dsa::AllocOpKind::kAllocate) {
+      const auto block = alloc->Allocate(op.size);
+      if (!block.has_value()) {
+        break;
+      }
+      live.emplace(op.request, block->addr);
+    } else if (auto it = live.find(op.request); it != live.end()) {
+      alloc->Free(it->second);
+      live.erase(it);
+    }
+  }
+  out.live_at_failure = alloc->live_words();
+  const auto frag = alloc->Fragmentation();
+  out.internal_frag = frag.InternalFragmentation();
+  out.external_frag = frag.ExternalFragmentation();
+  return out;
+}
+
+// The paged store: every request takes ceil(size/page) whole frames.  There
+// is never external fragmentation — any free frame serves — but the unused
+// tail of each request's final page is pure internal waste.
+Outcome ReplayPaged(const dsa::AllocationTrace& trace) {
+  Outcome out;
+  const std::size_t total_frames = kCapacity / kPageWords;
+  std::size_t frames_used = 0;
+  dsa::WordCount live = 0;
+  std::unordered_map<std::uint64_t, std::pair<std::size_t, dsa::WordCount>> objects;
+  for (const dsa::AllocOp& op : trace.ops) {
+    ++out.ops_to_failure;
+    if (op.kind == dsa::AllocOpKind::kAllocate) {
+      const std::size_t frames =
+          static_cast<std::size_t>((op.size + kPageWords - 1) / kPageWords);
+      if (frames_used + frames > total_frames) {
+        break;
+      }
+      frames_used += frames;
+      live += op.size;
+      objects.emplace(op.request, std::make_pair(frames, op.size));
+    } else if (auto it = objects.find(op.request); it != objects.end()) {
+      frames_used -= it->second.first;
+      live -= it->second.second;
+      objects.erase(it);
+    }
+  }
+  out.live_at_failure = live;
+  const dsa::WordCount allocated = frames_used * kPageWords;
+  out.internal_frag =
+      allocated == 0 ? 0.0
+                     : static_cast<double>(allocated - live) / static_cast<double>(allocated);
+  out.external_frag = 0.0;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== E1: fragmentation — variable units vs paging vs buddy ==\n\n");
+
+  dsa::Table table({"request sizes", "system", "ops to 1st failure", "live words at failure",
+                    "utilisation ceiling %", "internal frag %", "external frag %"});
+
+  struct Shape {
+    const char* label;
+    dsa::SizeDistribution distribution;
+    double mean;
+  };
+  const Shape shapes[] = {
+      {"exponential (mean 128)", dsa::SizeDistribution::kExponential, 128.0},
+      {"uniform [1, 1024]", dsa::SizeDistribution::kUniform, 0.0},
+      {"bimodal 32/2048", dsa::SizeDistribution::kBimodal, 0.0},
+  };
+
+  for (const Shape& shape : shapes) {
+    dsa::AllocationTraceParams params;
+    params.operations = 200000;
+    params.distribution = shape.distribution;
+    params.mean_size = shape.mean;
+    params.min_size = 1;
+    params.max_size = 1024;
+    params.large_fraction = 0.08;
+    params.small_size = 32;
+    params.large_size = 2048;
+    if (shape.distribution == dsa::SizeDistribution::kBimodal) {
+      params.max_size = 2048;
+    }
+    params.target_live = 1u << 20;  // never reached: pure pressure ramp + light churn
+    params.seed = 31;
+    const dsa::AllocationTrace trace = dsa::MakeAllocationTrace(params);
+
+    auto add_row = [&](const char* system, const Outcome& out) {
+      table.AddRow()
+          .AddCell(shape.label)
+          .AddCell(system)
+          .AddCell(static_cast<std::uint64_t>(out.ops_to_failure))
+          .AddCell(out.live_at_failure)
+          .AddCell(100.0 * static_cast<double>(out.live_at_failure) /
+                       static_cast<double>(kCapacity),
+                   1)
+          .AddCell(100.0 * out.internal_frag, 1)
+          .AddCell(100.0 * out.external_frag, 1);
+    };
+
+    dsa::VariableAllocator best_fit(
+        kCapacity, dsa::MakePlacementPolicy(dsa::PlacementStrategyKind::kBestFit));
+    add_row("variable best-fit", ReplayAllocator(&best_fit, trace));
+    add_row("paged (512-word frames)", ReplayPaged(trace));
+    dsa::BuddyAllocator buddy(kCapacity);
+    add_row("buddy", ReplayAllocator(&buddy, trace));
+  }
+
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("Shape check (paper): paging shows zero external fragmentation but pays for\n"
+              "it inside pages (internal %%), hitting its ceiling early when requests are\n"
+              "small relative to the frame; the variable-unit store wastes nothing inside\n"
+              "blocks but strands free words between them.  Fragmentation is conserved,\n"
+              "not eliminated — it is only moved.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Experiment E11 (conclusion i): integrating storage allocation with
+// scheduling.
+//
+// "It cannot be stressed too strongly that the strategies of storage
+// allocation must be fully integrated with the overall strategies for
+// allocating and scheduling the computer system resources.  For example, a
+// system in which entirely independent decisions are taken as to processor
+// scheduling and storage allocation is unlikely to perform acceptably in any
+// but the most undemanding of environments."
+//
+// The same over-committed job mix runs under (a) storage-blind round-robin
+// and (b) a residency-aware scheduler that prefers the ready job with the
+// most storage investment.  Core pressure is swept from undemanding to
+// severe; the integrated scheduler's edge should appear exactly where the
+// paper predicts — under pressure.
+
+#include <cstdio>
+
+#include "src/sched/multiprogramming.h"
+#include "src/stats/table.h"
+#include "src/trace/synthetic.h"
+
+namespace {
+
+dsa::MultiprogramReport RunMix(dsa::SchedulerKind scheduler, std::size_t max_active,
+                               dsa::WordCount core_words) {
+  dsa::MultiprogramConfig config;
+  config.scheduler = scheduler;
+  config.max_active = max_active;
+  config.core_words = core_words;
+  config.page_words = 512;
+  config.backing_level = dsa::MakeDrumLevel("drum", 1u << 20, 2, 6000);
+  config.replacement = dsa::ReplacementStrategyKind::kLru;
+  config.quantum = 3000;
+  dsa::MultiprogrammingSimulator sim(config);
+  for (std::size_t j = 0; j < 6; ++j) {
+    dsa::WorkingSetTraceParams params;
+    params.extent = 8192;
+    params.region_words = 256;
+    params.regions_per_phase = 10;
+    params.phases = 4;
+    params.phase_length = 6000;
+    params.seed = 400 + j;
+    sim.AddJob("job", dsa::MakeWorkingSetTrace(params));
+  }
+  return sim.Run();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== E11: independent vs integrated scheduling decisions ==\n\n");
+
+  dsa::Table table({"core words", "pressure", "scheduler", "faults", "CPU utilisation",
+                    "throughput (refs/cyc)", "makespan (cyc)"});
+  for (const dsa::WordCount core : {dsa::WordCount{32768}, dsa::WordCount{16384},
+                                    dsa::WordCount{8192}, dsa::WordCount{4096}}) {
+    const char* pressure = core >= 32768 ? "undemanding"
+                           : core >= 16384 ? "moderate"
+                           : core >= 8192  ? "heavy"
+                                           : "severe";
+    struct SchedulerCase {
+      const char* label;
+      dsa::SchedulerKind kind;
+      std::size_t max_active;
+    };
+    for (const SchedulerCase& c :
+         {SchedulerCase{"round-robin, all 6 active (independent)",
+                        dsa::SchedulerKind::kRoundRobin, 0},
+          SchedulerCase{"residency-aware dispatch", dsa::SchedulerKind::kResidencyAware, 0},
+          SchedulerCase{"load-controlled, 2 active (integrated)",
+                        dsa::SchedulerKind::kRoundRobin, 2}}) {
+      const dsa::MultiprogramReport report = RunMix(c.kind, c.max_active, core);
+      table.AddRow()
+          .AddCell(core)
+          .AddCell(pressure)
+          .AddCell(c.label)
+          .AddCell(report.faults)
+          .AddCell(report.CpuUtilization(), 3)
+          .AddCell(report.Throughput(), 5)
+          .AddCell(report.total_cycles);
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("Shape check (paper): with core to spare the schedulers tie — \"the most\n"
+              "undemanding of environments\".  Under pressure the storage-blind rotation\n"
+              "spreads frames across all six jobs and thrashes; the integrated decision\n"
+              "(admit only as many jobs as core can hold) concentrates storage and keeps\n"
+              "throughput up.  Allocation and scheduling decisions must be made together.\n");
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Micro-benchmarks (google-benchmark) for the library's hot operations:
+// address translation paths, allocator operations, and trace generation.
+// These measure *simulator* throughput (how fast experiments run), not
+// simulated cycles — the cycle costs are the other harnesses' business.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/alloc/buddy.h"
+#include "src/alloc/variable_allocator.h"
+#include "src/core/rng.h"
+#include "src/map/associative_memory.h"
+#include "src/map/page_table.h"
+#include "src/map/two_level.h"
+#include "src/trace/synthetic.h"
+
+namespace dsa {
+namespace {
+
+void BM_PageTableTranslateTlbHit(benchmark::State& state) {
+  PageTableMapper mapper(512, 1024, 16);
+  mapper.Map(PageId{0}, FrameId{0});
+  mapper.Translate(Name{0}, AccessKind::kRead, 0);  // warm the TLB
+  Cycles now = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapper.Translate(Name{5}, AccessKind::kRead, now++));
+  }
+}
+BENCHMARK(BM_PageTableTranslateTlbHit);
+
+void BM_PageTableTranslateTlbMiss(benchmark::State& state) {
+  PageTableMapper mapper(512, 1024, 4);
+  for (std::uint64_t p = 0; p < 64; ++p) {
+    mapper.Map(PageId{p}, FrameId{p % 32});
+  }
+  Cycles now = 0;
+  std::uint64_t page = 0;
+  for (auto _ : state) {
+    // Stride past the 4-entry TLB so every probe misses.
+    page = (page + 8) % 64;
+    benchmark::DoNotOptimize(
+        mapper.Translate(Name{page * 512 + 3}, AccessKind::kRead, now++));
+  }
+}
+BENCHMARK(BM_PageTableTranslateTlbMiss);
+
+void BM_TwoLevelTranslate(benchmark::State& state) {
+  SegmentPageMapper mapper(6, 14, 512, static_cast<std::size_t>(state.range(0)));
+  mapper.DefineSegment(SegmentId{1}, 8192);
+  for (std::uint64_t p = 0; p < 16; ++p) {
+    mapper.MapPage(SegmentId{1}, PageId{p}, FrameId{p});
+  }
+  Cycles now = 0;
+  std::uint64_t offset = 0;
+  for (auto _ : state) {
+    offset = (offset + 517) % 8192;
+    benchmark::DoNotOptimize(
+        mapper.TranslateSegmented({SegmentId{1}, offset}, AccessKind::kRead, now++));
+  }
+}
+BENCHMARK(BM_TwoLevelTranslate)->Arg(0)->Arg(8);
+
+void BM_AssociativeLookup(benchmark::State& state) {
+  AssociativeMemory memory(static_cast<std::size_t>(state.range(0)));
+  for (std::uint64_t k = 0; k < static_cast<std::uint64_t>(state.range(0)); ++k) {
+    memory.Insert(k, k, k);
+  }
+  Cycles now = 100;
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    key = (key + 1) % static_cast<std::uint64_t>(state.range(0));
+    benchmark::DoNotOptimize(memory.Lookup(key, now++));
+  }
+}
+BENCHMARK(BM_AssociativeLookup)->Arg(8)->Arg(44);
+
+void BM_VariableAllocatorChurn(benchmark::State& state) {
+  VariableAllocator alloc(1 << 18, MakePlacementPolicy(PlacementStrategyKind::kBestFit));
+  Rng rng(3);
+  std::vector<PhysicalAddress> live;
+  for (auto _ : state) {
+    if (!live.empty() && rng.Chance(0.5)) {
+      const std::size_t i = rng.Below(live.size());
+      alloc.Free(live[i]);
+      live[i] = live.back();
+      live.pop_back();
+    } else if (auto block = alloc.Allocate(rng.Between(8, 256))) {
+      live.push_back(block->addr);
+    }
+  }
+}
+BENCHMARK(BM_VariableAllocatorChurn);
+
+void BM_BuddyAllocatorChurn(benchmark::State& state) {
+  BuddyAllocator alloc(1 << 18);
+  Rng rng(3);
+  std::vector<PhysicalAddress> live;
+  for (auto _ : state) {
+    if (!live.empty() && rng.Chance(0.5)) {
+      const std::size_t i = rng.Below(live.size());
+      alloc.Free(live[i]);
+      live[i] = live.back();
+      live.pop_back();
+    } else if (auto block = alloc.Allocate(rng.Between(8, 256))) {
+      live.push_back(block->addr);
+    }
+  }
+}
+BENCHMARK(BM_BuddyAllocatorChurn);
+
+void BM_WorkingSetTraceGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    WorkingSetTraceParams params;
+    params.extent = 1 << 14;
+    params.phase_length = 1000;
+    params.phases = 4;
+    benchmark::DoNotOptimize(MakeWorkingSetTrace(params));
+  }
+}
+BENCHMARK(BM_WorkingSetTraceGeneration);
+
+}  // namespace
+}  // namespace dsa
+
+BENCHMARK_MAIN();

@@ -1,0 +1,120 @@
+// Experiment E8: symbolically vs linearly segmented name spaces.
+//
+// "One does not need to search a dictionary for a group of available
+// contiguous segment names, and more importantly, one does not have to
+// reallocate names when the dictionary has become fragmented ...  A
+// symbolically segmented name space consequently involves far less
+// bookkeeping than a linearly segmented name space."
+//
+// Both name spaces absorb the same segment-population churn, with objects
+// that need runs of k adjacent segment names (multi-segment arrays indexed
+// across names — the one feature linear naming buys).  Measured: dictionary
+// bookkeeping operations, allocation failures caused purely by *name*
+// fragmentation, and the name-space hole structure.
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/rng.h"
+#include "src/naming/linearly_segmented.h"
+#include "src/naming/symbolic.h"
+#include "src/stats/table.h"
+
+namespace {
+
+// One multi-segment object as each name space sees it.
+struct Object {
+  std::uint64_t run_length{1};
+  std::optional<dsa::SegmentId> linear_run;  // nullopt if the run allocation failed
+  std::vector<std::string> symbols;          // empty if the symbolic create failed
+};
+
+}  // namespace
+
+int main() {
+  std::printf("== E8: segment-name bookkeeping — linear vs symbolic ==\n\n");
+
+  dsa::Table table({"max run length", "churn ops", "linear: bookkeeping ops",
+                    "linear: run failures", "linear: name holes", "linear: largest free run",
+                    "symbolic: bookkeeping ops", "symbolic: failures"});
+
+  for (const std::uint64_t kmax : {2u, 8u, 32u}) {
+    constexpr int kOps = 30000;
+    // 10-bit segment-name space (1024 names); objects need 1..kmax adjacent
+    // names, so frees of small runs pockmark the dictionary for large ones.
+    dsa::LinearlySegmentedNameSpace linear(10, 16);
+    dsa::SymbolicSegmentDirectory symbolic(1024);
+    dsa::Rng rng(kmax * 101);
+
+    std::vector<Object> live;
+    std::uint64_t live_names = 0;
+    std::uint64_t symbolic_failures = 0;
+    std::uint64_t next_object = 0;
+
+    for (int op = 0; op < kOps; ++op) {
+      // Hold occupancy near 85% of the 1024 names: failures below that line
+      // are fragmentation, not exhaustion.
+      const bool over_target = live_names >= 870;
+      if (!live.empty() && (over_target || rng.Chance(0.45))) {
+        const std::size_t i = rng.Below(live.size());
+        Object& object = live[i];
+        if (object.linear_run.has_value()) {
+          linear.FreeRun(*object.linear_run, object.run_length);
+        }
+        for (const std::string& symbol : object.symbols) {
+          symbolic.Destroy(symbol);
+        }
+        live_names -= object.run_length;
+        live[i] = std::move(live.back());
+        live.pop_back();
+        continue;
+      }
+
+      Object object;
+      object.run_length = rng.Between(1, kmax);
+      // Linear side: run_length *contiguous* names (counts failures itself).
+      object.linear_run = linear.AllocateRun(object.run_length);
+      // Symbolic side: any run_length fresh symbols.
+      bool symbolic_ok = true;
+      for (std::uint64_t part = 0; part < object.run_length; ++part) {
+        const std::string symbol =
+            "obj" + std::to_string(next_object) + "." + std::to_string(part);
+        if (!symbolic.Create(symbol).has_value()) {
+          symbolic_ok = false;
+          break;
+        }
+        object.symbols.push_back(symbol);
+      }
+      if (!symbolic_ok) {
+        ++symbolic_failures;
+        for (const std::string& symbol : object.symbols) {
+          symbolic.Destroy(symbol);
+        }
+        object.symbols.clear();
+      }
+      ++next_object;
+      live_names += object.run_length;
+      live.push_back(std::move(object));
+    }
+
+    table.AddRow()
+        .AddCell(kmax)
+        .AddCell(static_cast<std::uint64_t>(kOps))
+        .AddCell(linear.bookkeeping_ops())
+        .AddCell(linear.run_failures())
+        .AddCell(static_cast<std::uint64_t>(linear.name_hole_count()))
+        .AddCell(linear.largest_free_run())
+        .AddCell(symbolic.bookkeeping_ops())
+        .AddCell(symbolic_failures);
+  }
+
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("Shape check (paper): with short runs the two designs cost alike; as\n"
+              "objects span more adjacent names, the linear dictionary's searches\n"
+              "lengthen and runs fail from pure name fragmentation (free names exist,\n"
+              "contiguous runs do not) while the symbolic directory stays flat-cost and\n"
+              "only fails when genuinely full — \"far less bookkeeping\".\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Experiment E2: choosing the size of the uniform allocation unit.
+//
+// "If it is too small, there will be an unacceptable amount of overhead.  If
+// it is too large, too much space will be wasted."  The sweep measures both
+// arms on one workload: overhead = faults (each costs a fixed trap/fetch
+// start-up) plus mapping-table core words; waste = internal fragmentation
+// for a realistic object population.
+
+#include <cstdio>
+
+#include "src/stats/table.h"
+#include "src/trace/synthetic.h"
+#include "src/vm/paged_vm.h"
+
+int main() {
+  std::printf("== E2: page-size sweep — overhead vs waste ==\n\n");
+
+  dsa::WorkingSetTraceParams workload;
+  workload.extent = 65536;
+  workload.region_words = 300;  // object-sized regions, deliberately unaligned
+  workload.regions_per_phase = 24;
+  workload.phases = 6;
+  workload.phase_length = 10000;
+  const dsa::ReferenceTrace trace = dsa::MakeWorkingSetTrace(workload);
+
+  // The object population whose tails waste page interiors: one 300-word
+  // object per region touched.
+  const double objects = 24 * 6;
+  const double object_words = 300;
+
+  dsa::Table table({"page size", "frames", "faults", "fault overhead (cyc)",
+                    "table words", "internal waste (words)", "waste % of live"});
+
+  for (dsa::WordCount page : {dsa::WordCount{32}, dsa::WordCount{64}, dsa::WordCount{128},
+                              dsa::WordCount{256}, dsa::WordCount{512}, dsa::WordCount{1024},
+                              dsa::WordCount{2048}, dsa::WordCount{4096},
+                              dsa::WordCount{8192}}) {
+    dsa::PagedVmConfig config;
+    config.label = "page-sweep";
+    config.address_bits = 17;
+    config.core_words = 16384;
+    config.page_words = page;
+    config.backing_level = dsa::MakeDrumLevel("drum", 1u << 18, /*word_time=*/2,
+                                              /*rotational_delay=*/6000);
+    config.replacement = dsa::ReplacementStrategyKind::kLru;
+    dsa::PagedLinearVm vm(config);
+    const dsa::VmReport report = vm.Run(trace);
+
+    const std::uint64_t table_words = (1u << 17) / page;  // one map entry per page
+    // Internal waste: each object occupies ceil(300/page) pages.
+    const double pages_per_object =
+        static_cast<double>((300 + page - 1) / page);
+    const double waste = objects * (pages_per_object * static_cast<double>(page) - object_words);
+    table.AddRow()
+        .AddCell(page)
+        .AddCell(static_cast<std::uint64_t>(16384 / page))
+        .AddCell(report.faults)
+        .AddCell(report.wait_cycles)
+        .AddCell(table_words)
+        .AddCell(waste, 0)
+        .AddCell(100.0 * waste / (objects * object_words), 1);
+  }
+
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("Shape check (paper): the fault column is U-shaped — tiny pages fault on\n"
+              "every object tail and bloat the mapping table; huge pages leave the fixed\n"
+              "core too few frames and thrash — while internal waste rises monotonically\n"
+              "with page size.  The unit size is \"one of the problems of designing a\n"
+              "system based on a uniform unit\"; ATLAS chose 512, MULTICS hedged with\n"
+              "1024+64.\n");
+  return 0;
+}

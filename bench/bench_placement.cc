@@ -1,0 +1,162 @@
+// Experiment E3: placement strategies for variable units.
+//
+// "A common and frequently satisfactory strategy is to place the information
+// in the smallest space which is sufficient to contain it.  An alternative
+// strategy, which involves less bookkeeping, is to place large blocks ...
+// starting at one end of storage and small blocks starting at the other
+// end.  A further alternative is given in Appendix A.4 [the Rice chain]."
+//
+// Every placement design runs the same churn streams at high occupancy;
+// reported: how long each survives before its first unsatisfiable request,
+// steady-state external fragmentation, and the bookkeeping (search length).
+
+#include <cstdio>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/alloc/buddy.h"
+#include "src/alloc/rice_chain.h"
+#include "src/alloc/variable_allocator.h"
+#include "src/stats/summary.h"
+#include "src/stats/table.h"
+#include "src/trace/allocation.h"
+
+namespace {
+
+constexpr dsa::WordCount kCapacity = 1 << 16;
+
+struct RunResult {
+  std::uint64_t failures{0};
+  std::uint64_t satisfied{0};
+  double mean_external_frag{0.0};
+  double mean_holes{0.0};
+  double mean_search_length{0.0};
+  double utilisation{0.0};  // mean live/capacity over samples
+};
+
+RunResult Drive(dsa::Allocator* alloc, const dsa::AllocationTrace& trace,
+                const dsa::PlacementPolicy* policy) {
+  RunResult result;
+  std::unordered_map<std::uint64_t, dsa::PhysicalAddress> live;
+  dsa::RunningSummary frag;
+  dsa::RunningSummary holes;
+  dsa::RunningSummary utilisation;
+  std::size_t op_index = 0;
+  for (const dsa::AllocOp& op : trace.ops) {
+    if (op.kind == dsa::AllocOpKind::kAllocate) {
+      const auto block = alloc->Allocate(op.size);
+      if (block.has_value()) {
+        live.emplace(op.request, block->addr);
+        ++result.satisfied;
+      } else {
+        ++result.failures;
+      }
+    } else if (auto it = live.find(op.request); it != live.end()) {
+      alloc->Free(it->second);
+      live.erase(it);
+    }
+    if (++op_index % 500 == 0) {
+      const auto report = alloc->Fragmentation();
+      frag.Add(report.ExternalFragmentation());
+      holes.Add(static_cast<double>(report.hole_count));
+      utilisation.Add(static_cast<double>(alloc->live_words()) /
+                      static_cast<double>(kCapacity));
+    }
+  }
+  result.mean_external_frag = frag.mean();
+  result.mean_holes = holes.mean();
+  result.utilisation = utilisation.mean();
+  if (policy != nullptr) {
+    result.mean_search_length = policy->MeanSearchLength();
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== E3: placement strategies at high occupancy ==\n\n");
+
+  struct Shape {
+    const char* label;
+    dsa::SizeDistribution distribution;
+  };
+  const Shape shapes[] = {
+      {"exponential", dsa::SizeDistribution::kExponential},
+      {"bimodal", dsa::SizeDistribution::kBimodal},
+  };
+
+  for (const Shape& shape : shapes) {
+    dsa::AllocationTraceParams params;
+    params.operations = 60000;
+    params.distribution = shape.distribution;
+    params.mean_size = 160.0;
+    params.min_size = 1;
+    params.max_size = 2048;
+    params.small_size = 48;
+    params.large_size = 2048;
+    params.large_fraction = 0.1;
+    // Hold live volume near 85% of capacity so placement quality matters.
+    params.target_live = 350;
+    params.seed = 17;
+    const dsa::AllocationTrace trace = dsa::MakeAllocationTrace(params);
+
+    std::printf("request sizes: %s (peak demand %llu of %llu words)\n", shape.label,
+                static_cast<unsigned long long>(trace.PeakLiveWords()),
+                static_cast<unsigned long long>(kCapacity));
+    dsa::Table table({"strategy", "satisfied", "failures", "mean ext. frag", "mean holes",
+                      "mean search length", "mean utilisation %"});
+
+    for (dsa::PlacementStrategyKind kind :
+         {dsa::PlacementStrategyKind::kFirstFit, dsa::PlacementStrategyKind::kNextFit,
+          dsa::PlacementStrategyKind::kBestFit, dsa::PlacementStrategyKind::kWorstFit,
+          dsa::PlacementStrategyKind::kTwoEnded}) {
+      dsa::VariableAllocator alloc(kCapacity, dsa::MakePlacementPolicy(kind, 256));
+      const RunResult result = Drive(&alloc, trace, &alloc.policy());
+      table.AddRow()
+          .AddCell(ToString(kind))
+          .AddCell(result.satisfied)
+          .AddCell(result.failures)
+          .AddCell(result.mean_external_frag, 3)
+          .AddCell(result.mean_holes, 1)
+          .AddCell(result.mean_search_length, 1)
+          .AddCell(100.0 * result.utilisation, 1);
+    }
+    {
+      dsa::BuddyAllocator buddy(kCapacity);
+      const RunResult result = Drive(&buddy, trace, nullptr);
+      table.AddRow()
+          .AddCell("buddy")
+          .AddCell(result.satisfied)
+          .AddCell(result.failures)
+          .AddCell(result.mean_external_frag, 3)
+          .AddCell(result.mean_holes, 1)
+          .AddCell("n/a")
+          .AddCell(100.0 * result.utilisation, 1);
+    }
+    {
+      dsa::RiceChainAllocator rice(kCapacity);
+      const RunResult result = Drive(&rice, trace, nullptr);
+      const double search = rice.stats().allocations == 0
+                                ? 0.0
+                                : static_cast<double>(rice.chain_blocks_examined()) /
+                                      static_cast<double>(rice.stats().allocations);
+      table.AddRow()
+          .AddCell("rice-chain")
+          .AddCell(result.satisfied)
+          .AddCell(result.failures)
+          .AddCell(result.mean_external_frag, 3)
+          .AddCell(result.mean_holes, 1)
+          .AddCell(search, 1)
+          .AddCell(100.0 * result.utilisation, 1);
+    }
+    std::printf("%s\n", table.Render().c_str());
+  }
+
+  std::printf("Shape check (paper): best-fit is \"frequently satisfactory\" (few failures,\n"
+              "moderate search); worst-fit degrades fastest; two-ended trades a little\n"
+              "fragmentation for shorter searches; the Rice chain survives via combining\n"
+              "at the cost of longer sequential searches under pressure.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Experiment E4: replacement strategies against Belady's optimum.
+//
+// "A detailed evaluation of several replacement strategies for the case of
+// uniform units of allocation has been given by Belady [1]."  Fault-rate
+// curves for every surveyed policy (plus working-set) across memory sizes
+// and workload shapes, with the offline OPT bound in the last column.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/paging/pager.h"
+#include "src/paging/replacement_factory.h"
+#include "src/stats/table.h"
+#include "src/trace/synthetic.h"
+
+namespace {
+
+std::uint64_t CountFaults(const std::vector<dsa::PageId>& refs, std::size_t frames,
+                          dsa::ReplacementStrategyKind kind) {
+  dsa::BackingStore backing(dsa::MakeDrumLevel("drum", 1u << 22, 0, 0));
+  dsa::PagerConfig config;
+  config.page_words = 1;
+  config.frames = frames;
+  dsa::ReplacementOptions options;
+  if (kind == dsa::ReplacementStrategyKind::kOpt) {
+    options.page_string = refs;
+  }
+  options.working_set_tau = 4096;
+  dsa::Pager pager(config, &backing, nullptr, dsa::MakeReplacementPolicy(kind, options),
+                   std::make_unique<dsa::DemandFetch>(), nullptr);
+  dsa::Cycles now = 0;
+  for (const dsa::PageId page : refs) {
+    pager.Access(page, dsa::AccessKind::kRead, now++);
+  }
+  return pager.stats().faults;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== E4: replacement strategies vs Belady OPT (faults per 100k refs) ==\n\n");
+
+  struct Workload {
+    std::string label;
+    std::vector<dsa::PageId> refs;
+  };
+  std::vector<Workload> workloads;
+  {
+    dsa::WorkingSetTraceParams params;
+    params.extent = 1 << 15;
+    params.region_words = 256;
+    params.regions_per_phase = 10;
+    params.phases = 10;
+    params.phase_length = 10000;
+    workloads.push_back({"working-set", dsa::MakeWorkingSetTrace(params).PageString(256)});
+  }
+  {
+    dsa::LoopTraceParams params;
+    params.extent = 1 << 15;
+    params.body_words = 6144;
+    params.advance_words = 2048;
+    params.iterations = 6;
+    params.length = 100000;
+    workloads.push_back({"loop", dsa::MakeLoopTrace(params).PageString(256)});
+  }
+  {
+    dsa::ZipfTraceParams params;
+    params.extent = 1 << 15;
+    params.length = 100000;
+    workloads.push_back({"zipf", dsa::MakeZipfTrace(params).PageString(256)});
+  }
+  {
+    dsa::RandomTraceParams params;
+    params.extent = 1 << 14;
+    params.length = 100000;
+    workloads.push_back({"random", dsa::MakeRandomTrace(params).PageString(256)});
+  }
+
+  for (const Workload& workload : workloads) {
+    std::printf("workload: %s (%zu refs)\n", workload.label.c_str(), workload.refs.size());
+    dsa::Table table({"frames", "fifo", "lru", "random", "clock", "atlas-learning",
+                      "m44-class", "working-set", "OPT (bound)"});
+    for (std::size_t frames : {8u, 16u, 32u, 64u}) {
+      auto& row = table.AddRow().AddCell(static_cast<std::uint64_t>(frames));
+      for (dsa::ReplacementStrategyKind kind :
+           {dsa::ReplacementStrategyKind::kFifo, dsa::ReplacementStrategyKind::kLru,
+            dsa::ReplacementStrategyKind::kRandom, dsa::ReplacementStrategyKind::kClock,
+            dsa::ReplacementStrategyKind::kAtlasLearning,
+            dsa::ReplacementStrategyKind::kM44Class,
+            dsa::ReplacementStrategyKind::kWorkingSet,
+            dsa::ReplacementStrategyKind::kOpt}) {
+        row.AddCell(CountFaults(workload.refs, frames, kind));
+      }
+    }
+    std::printf("%s\n", table.Render().c_str());
+  }
+
+  std::printf("Shape check (Belady [1] / paper): OPT lower-bounds every column; history-\n"
+              "guided policies (LRU, clock, M44 classes) beat random on locality-bearing\n"
+              "workloads and all converge on the random workload where history is\n"
+              "worthless; the ATLAS learning program excels on the loop workload it was\n"
+              "designed around.\n");
+  return 0;
+}

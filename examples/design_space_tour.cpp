@@ -1,0 +1,106 @@
+// Design-space tour: walk the paper's four-axis taxonomy end to end.
+//
+// "The above discussions have been intended to show that each of the four
+// basic characteristics is of considerable utility in describing a storage
+// allocation system, and that collectively they have the advantage of
+// being, to a large degree, mutually independent.  They draw attention to
+// the fact that ... not all of the more promising choices of a set of
+// characteristics have been tried."
+//
+// Builds every buildable point of the grid with the SystemBuilder, runs one
+// common workload through each, and prints the taxonomy with measurements
+// attached — including the authors' favoured, never-built combination.
+
+#include <cstdio>
+
+#include "src/stats/table.h"
+#include "src/trace/synthetic.h"
+#include "src/vm/system_builder.h"
+
+int main() {
+  dsa::WorkingSetTraceParams params;
+  params.extent = 1 << 14;
+  params.region_words = 128;
+  params.regions_per_phase = 12;
+  params.phases = 5;
+  params.phase_length = 8000;
+  const dsa::ReferenceTrace trace = dsa::MakeWorkingSetTrace(params);
+
+  dsa::Table table({"name space", "predictions", "contiguity", "unit", "family built",
+                    "fault rate", "map cost (cyc/ref)", "note"});
+
+  const dsa::Characteristics favoured = dsa::AuthorsFavoredCharacteristics();
+  std::size_t built = 0;
+  std::size_t rejected = 0;
+
+  for (dsa::NameSpaceKind ns :
+       {dsa::NameSpaceKind::kLinear, dsa::NameSpaceKind::kLinearlySegmented,
+        dsa::NameSpaceKind::kSymbolicallySegmented}) {
+    for (dsa::PredictiveInformation predictive :
+         {dsa::PredictiveInformation::kNotAccepted, dsa::PredictiveInformation::kAccepted}) {
+      for (dsa::ArtificialContiguity contiguity :
+           {dsa::ArtificialContiguity::kNone, dsa::ArtificialContiguity::kProvided}) {
+        for (dsa::AllocationUnit unit :
+             {dsa::AllocationUnit::kUniformPages, dsa::AllocationUnit::kVariableBlocks,
+              dsa::AllocationUnit::kMixedPages}) {
+          dsa::SystemSpec spec;
+          spec.label = "tour";
+          spec.characteristics = {ns, predictive,
+                                  predictive == dsa::PredictiveInformation::kAccepted
+                                      ? dsa::PredictionSource::kProgrammer
+                                      : dsa::PredictionSource::kNone,
+                                  contiguity, unit};
+          spec.core_words = 8192;
+          spec.page_words = 256;
+          spec.max_segment_extent = 512;
+          spec.workload_segment_words = 256;
+          spec.backing_level = dsa::MakeDrumLevel("drum", 1u << 18, 2, 2000);
+
+          const char* note = "";
+          if (spec.characteristics == favoured) {
+            note = "<= authors' favoured combination";
+          }
+
+          if (!dsa::SpecIsBuildable(spec)) {
+            ++rejected;
+            table.AddRow()
+                .AddCell(ToString(ns))
+                .AddCell(ToString(predictive))
+                .AddCell(ToString(contiguity))
+                .AddCell(ToString(unit))
+                .AddCell("(rejected)")
+                .AddCell("-")
+                .AddCell("-")
+                .AddCell("variable units need segments or a map to relocate by");
+            continue;
+          }
+          const auto system = dsa::BuildSystem(spec);
+          const dsa::VmReport report = system->Run(trace);
+          ++built;
+          const char* family =
+              unit == dsa::AllocationUnit::kVariableBlocks
+                  ? "segment-unit (B5000/Rice)"
+                  : (ns == dsa::NameSpaceKind::kLinear ? "paged linear (ATLAS/M44)"
+                                                       : "paged segments (Fig. 4)");
+          table.AddRow()
+              .AddCell(ToString(ns))
+              .AddCell(ToString(predictive))
+              .AddCell(ToString(contiguity))
+              .AddCell(ToString(unit))
+              .AddCell(family)
+              .AddCell(report.FaultRate(), 5)
+              .AddCell(report.MeanTranslationCost(), 2)
+              .AddCell(note);
+        }
+      }
+    }
+  }
+
+  std::printf("The four-axis design space, built and measured (one workload, %zu refs):\n\n%s\n",
+              trace.size(), table.Render().c_str());
+  std::printf("%zu points built, %zu rejected.  The paper observed that \"not all of the\n"
+              "more promising choices of a set of characteristics have been tried\" —\n"
+              "here every coherent point runs, including the authors' favoured one.\n",
+              built, rejected);
+  return 0;
+}

@@ -1,0 +1,247 @@
+// dsa_sim — command-line driver for the storage allocation simulator.
+//
+// Reads a reference trace (the text format of src/trace/trace_io.h) from a
+// file or generates a synthetic one, builds the system described by the
+// flags through the SystemBuilder, runs the trace, and prints the report.
+//
+// Usage:
+//   dsa_sim [options]
+//     --trace FILE            read a trace file (default: synthetic working-set)
+//     --gen KIND              synthetic workload: working-set|loop|sequential|random|zipf
+//     --name-space KIND       linear|linseg|symseg            (default linear)
+//     --unit KIND             pages|blocks|mixed              (default pages)
+//     --advice                accept predictive directives
+//     --core WORDS            working storage size            (default 16384)
+//     --page WORDS            page size                       (default 512)
+//     --segment WORDS         max/workload segment size       (default 512)
+//     --replacement KIND      fifo|lru|random|clock|atlas|m44|ws (default lru)
+//     --fetch KIND            demand|prefetch|advised         (default demand)
+//     --tlb N                 associative memory entries      (default 8)
+//     --drum-latency CYCLES   backing start-up latency        (default 6000)
+//     --dump-trace FILE       write the workload out in trace format and exit
+//
+// Examples:
+//   dsa_sim --name-space symseg --unit blocks --replacement clock
+//   dsa_sim --gen loop --replacement atlas --core 8192
+//   dsa_sim --dump-trace /tmp/t.trace && dsa_sim --trace /tmp/t.trace
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "src/trace/synthetic.h"
+#include "src/trace/trace_io.h"
+#include "src/vm/system_builder.h"
+
+namespace {
+
+[[noreturn]] void Usage(const char* argv0, const char* complaint) {
+  std::fprintf(stderr, "dsa_sim: %s\n(see the header comment of %s.cpp for usage)\n",
+               complaint, argv0);
+  std::exit(2);
+}
+
+dsa::ReferenceTrace GenerateWorkload(const std::string& kind) {
+  if (kind == "working-set") {
+    dsa::WorkingSetTraceParams params;
+    params.extent = 1 << 16;
+    params.region_words = 256;
+    params.regions_per_phase = 16;
+    params.phases = 6;
+    params.phase_length = 10000;
+    return MakeWorkingSetTrace(params);
+  }
+  if (kind == "loop") {
+    dsa::LoopTraceParams params;
+    params.extent = 1 << 16;
+    params.body_words = 4096;
+    params.advance_words = 1024;
+    params.iterations = 6;
+    params.length = 60000;
+    return MakeLoopTrace(params);
+  }
+  if (kind == "sequential") {
+    dsa::SequentialTraceParams params;
+    params.extent = 1 << 16;
+    params.length = 60000;
+    return MakeSequentialTrace(params);
+  }
+  if (kind == "random") {
+    dsa::RandomTraceParams params;
+    params.extent = 1 << 16;
+    params.length = 60000;
+    return MakeRandomTrace(params);
+  }
+  if (kind == "zipf") {
+    dsa::ZipfTraceParams params;
+    params.extent = 1 << 16;
+    params.length = 60000;
+    return MakeZipfTrace(params);
+  }
+  std::fprintf(stderr, "dsa_sim: unknown --gen kind '%s'\n", kind.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_file;
+  std::string dump_file;
+  std::string gen_kind = "working-set";
+  dsa::SystemSpec spec;
+  spec.label = "dsa_sim";
+  spec.core_words = 16384;
+  spec.page_words = 512;
+  spec.max_segment_extent = 512;
+  spec.workload_segment_words = 512;
+  spec.tlb_entries = 8;
+  dsa::Cycles drum_latency = 6000;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        Usage(argv[0], ("missing value after " + arg).c_str());
+      }
+      return argv[++i];
+    };
+    if (arg == "--trace") {
+      trace_file = next();
+    } else if (arg == "--gen") {
+      gen_kind = next();
+    } else if (arg == "--dump-trace") {
+      dump_file = next();
+    } else if (arg == "--name-space") {
+      const std::string v = next();
+      if (v == "linear") {
+        spec.characteristics.name_space = dsa::NameSpaceKind::kLinear;
+      } else if (v == "linseg") {
+        spec.characteristics.name_space = dsa::NameSpaceKind::kLinearlySegmented;
+      } else if (v == "symseg") {
+        spec.characteristics.name_space = dsa::NameSpaceKind::kSymbolicallySegmented;
+      } else {
+        Usage(argv[0], "bad --name-space");
+      }
+    } else if (arg == "--unit") {
+      const std::string v = next();
+      if (v == "pages") {
+        spec.characteristics.unit = dsa::AllocationUnit::kUniformPages;
+      } else if (v == "blocks") {
+        spec.characteristics.unit = dsa::AllocationUnit::kVariableBlocks;
+      } else if (v == "mixed") {
+        spec.characteristics.unit = dsa::AllocationUnit::kMixedPages;
+      } else {
+        Usage(argv[0], "bad --unit");
+      }
+    } else if (arg == "--advice") {
+      spec.characteristics.predictive = dsa::PredictiveInformation::kAccepted;
+      spec.characteristics.prediction_source = dsa::PredictionSource::kProgrammer;
+    } else if (arg == "--core") {
+      spec.core_words = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--page") {
+      spec.page_words = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--segment") {
+      spec.max_segment_extent = std::strtoull(next().c_str(), nullptr, 10);
+      spec.workload_segment_words = spec.max_segment_extent;
+    } else if (arg == "--replacement") {
+      const std::string v = next();
+      if (v == "fifo") {
+        spec.replacement = dsa::ReplacementStrategyKind::kFifo;
+      } else if (v == "lru") {
+        spec.replacement = dsa::ReplacementStrategyKind::kLru;
+      } else if (v == "random") {
+        spec.replacement = dsa::ReplacementStrategyKind::kRandom;
+      } else if (v == "clock") {
+        spec.replacement = dsa::ReplacementStrategyKind::kClock;
+      } else if (v == "atlas") {
+        spec.replacement = dsa::ReplacementStrategyKind::kAtlasLearning;
+      } else if (v == "m44") {
+        spec.replacement = dsa::ReplacementStrategyKind::kM44Class;
+      } else if (v == "ws") {
+        spec.replacement = dsa::ReplacementStrategyKind::kWorkingSet;
+      } else {
+        Usage(argv[0], "bad --replacement");
+      }
+    } else if (arg == "--fetch") {
+      const std::string v = next();
+      if (v == "demand") {
+        spec.fetch = dsa::FetchStrategyKind::kDemand;
+      } else if (v == "prefetch") {
+        spec.fetch = dsa::FetchStrategyKind::kPrefetch;
+      } else if (v == "advised") {
+        spec.fetch = dsa::FetchStrategyKind::kAdvised;
+        spec.characteristics.predictive = dsa::PredictiveInformation::kAccepted;
+      } else {
+        Usage(argv[0], "bad --fetch");
+      }
+    } else if (arg == "--tlb") {
+      spec.tlb_entries = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--drum-latency") {
+      drum_latency = std::strtoull(next().c_str(), nullptr, 10);
+    } else {
+      Usage(argv[0], ("unknown option " + arg).c_str());
+    }
+  }
+  spec.backing_level = dsa::MakeDrumLevel("drum", 1u << 22, /*word_time=*/2, drum_latency);
+
+  // Obtain the workload.
+  dsa::ReferenceTrace trace;
+  if (!trace_file.empty()) {
+    std::ifstream in(trace_file);
+    if (!in) {
+      Usage(argv[0], "cannot open --trace file");
+    }
+    auto parsed = dsa::ReadReferenceTrace(&in);
+    if (!parsed.has_value()) {
+      std::fprintf(stderr, "dsa_sim: %s:%zu: %s\n", trace_file.c_str(), parsed.error().line,
+                   parsed.error().message.c_str());
+      return 2;
+    }
+    trace = std::move(parsed.value());
+  } else {
+    trace = GenerateWorkload(gen_kind);
+  }
+
+  if (!dump_file.empty()) {
+    std::ofstream out(dump_file);
+    if (!out) {
+      Usage(argv[0], "cannot open --dump-trace file");
+    }
+    WriteReferenceTrace(trace, &out);
+    std::printf("wrote %zu references to %s\n", trace.size(), dump_file.c_str());
+    return 0;
+  }
+
+  if (!dsa::SpecIsBuildable(spec)) {
+    std::fprintf(stderr,
+                 "dsa_sim: a linear name space with variable allocation units has no "
+                 "relocation handle; pick --name-space linseg/symseg or --unit pages\n");
+    return 2;
+  }
+
+  const auto system = dsa::BuildSystem(spec);
+  const dsa::VmReport report = system->Run(trace);
+
+  std::printf("system           %s\n", dsa::Describe(system->characteristics()).c_str());
+  std::printf("workload         %s (%llu references)\n", trace.label.c_str(),
+              static_cast<unsigned long long>(report.references));
+  std::printf("faults           %llu  (rate %.5f)\n",
+              static_cast<unsigned long long>(report.faults), report.FaultRate());
+  std::printf("bounds traps     %llu\n",
+              static_cast<unsigned long long>(report.bounds_violations));
+  std::printf("write-backs      %llu\n", static_cast<unsigned long long>(report.writebacks));
+  std::printf("total cycles     %llu\n", static_cast<unsigned long long>(report.total_cycles));
+  std::printf("mean map cost    %.2f cycles/ref\n", report.MeanTranslationCost());
+  std::printf("wait fraction    %.3f\n", report.WaitFraction());
+  std::printf("space-time       active %.3e, waiting %.3e (waiting %.1f%%)\n",
+              report.space_time.active, report.space_time.waiting,
+              100.0 * report.space_time.WaitingFraction());
+  std::printf("peak residency   %llu words\n",
+              static_cast<unsigned long long>(report.peak_resident_words));
+  if (report.tlb_hit_rate > 0.0) {
+    std::printf("assoc hit rate   %.3f\n", report.tlb_hit_rate);
+  }
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Machine survey: instantiate all seven appendix systems (A.1-A.7) and print
+// the survey — design-space coordinates plus measured behaviour on a common
+// pressure-scaled workload.
+//
+//   $ ./machine_survey [pressure]
+//
+// `pressure` scales each machine's workload extent relative to its core
+// (default 2.0 = programs twice the size of working storage).
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/machines/survey.h"
+
+int main(int argc, char** argv) {
+  double pressure = 2.0;
+  if (argc > 1) {
+    pressure = std::atof(argv[1]);
+    if (pressure <= 0.0) {
+      std::fprintf(stderr, "usage: %s [pressure > 0]\n", argv[0]);
+      return 1;
+    }
+  }
+
+  std::printf("Appendix survey, Randell & Kuehner 1968 (workload pressure %.1fx core)\n\n",
+              pressure);
+  const auto rows = dsa::RunSurvey(pressure);
+  std::printf("%s\n", dsa::RenderSurvey(rows).c_str());
+
+  std::printf("Notes per machine:\n");
+  for (const auto& row : rows) {
+    std::printf("  [%s] %s: %s\n", row.description.appendix.c_str(),
+                row.description.name.c_str(), row.description.notes.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Multiprogramming and page-wait overlap: the fetch-strategy argument.
+//
+// "A large space-time product will not overly affect the performance ... if
+// the time spent on fetching pages can normally be overlapped with the
+// execution of other programs."
+//
+// Runs the same job mix at multiprogramming degrees 1..6 over a fixed core
+// and one drum channel, printing CPU utilisation (climbing with overlap) and
+// per-job space-time (swelling as jobs share storage).
+
+#include <cstdio>
+
+#include "src/sched/multiprogramming.h"
+#include "src/stats/table.h"
+#include "src/trace/synthetic.h"
+
+int main() {
+  std::printf("Multiprogramming degree vs CPU utilisation (shared core, one drum channel)\n\n");
+
+  dsa::Table table({"degree", "total cycles", "CPU busy", "CPU idle", "utilisation",
+                    "faults", "throughput (refs/cyc)", "space-time per job"});
+
+  for (std::size_t degree = 1; degree <= 6; ++degree) {
+    dsa::MultiprogramConfig config;
+    config.core_words = 16384;
+    config.page_words = 512;
+    config.replacement = dsa::ReplacementStrategyKind::kLru;
+    config.quantum = 4000;
+    dsa::MultiprogrammingSimulator sim(config);
+
+    for (std::size_t j = 0; j < degree; ++j) {
+      dsa::LoopTraceParams params;
+      params.extent = 8192;
+      params.body_words = 1536;
+      params.advance_words = 512;
+      params.iterations = 4;
+      params.length = 30000;
+      params.seed = 100 + j;  // distinct but statistically identical jobs
+      sim.AddJob("job-" + std::to_string(j), dsa::MakeLoopTrace(params));
+    }
+
+    const dsa::MultiprogramReport report = sim.Run();
+    table.AddRow()
+        .AddCell(static_cast<std::uint64_t>(degree))
+        .AddCell(report.total_cycles)
+        .AddCell(report.cpu_busy_cycles)
+        .AddCell(report.cpu_idle_cycles)
+        .AddCell(report.CpuUtilization(), 3)
+        .AddCell(report.faults)
+        .AddCell(report.Throughput(), 5)
+        .AddCell(report.TotalSpaceTime() / static_cast<double>(report.degree), 0);
+  }
+
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("Reading the table: at degree 1 the CPU idles through every page wait; as\n"
+              "degree rises the waits overlap other jobs' execution and utilisation climbs,\n"
+              "until shared core makes the jobs fault against each other.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Quickstart: build a storage allocation system from a point in the paper's
+// design space, run a workload through it, and read the report.
+//
+//   $ ./quickstart
+//
+// Demonstrates the SystemBuilder (pick the four characteristics + the three
+// strategies), the trace generators, and the VmReport metrics — fault rate,
+// translation overhead, and the Fig. 3 space-time split.
+
+#include <cstdio>
+
+#include "src/stats/table.h"
+#include "src/trace/synthetic.h"
+#include "src/vm/system_builder.h"
+
+namespace {
+
+void RunAndPrint(dsa::StorageAllocationSystem* system, const dsa::ReferenceTrace& trace) {
+  const dsa::VmReport report = system->Run(trace);
+  std::printf("== %s ==\n", report.label.c_str());
+  std::printf("   characteristics: %s\n", dsa::Describe(system->characteristics()).c_str());
+  std::printf("   references        %llu\n",
+              static_cast<unsigned long long>(report.references));
+  std::printf("   faults            %llu  (rate %.5f)\n",
+              static_cast<unsigned long long>(report.faults), report.FaultRate());
+  std::printf("   total cycles      %llu\n",
+              static_cast<unsigned long long>(report.total_cycles));
+  std::printf("   mean map cost     %.2f cycles/ref\n", report.MeanTranslationCost());
+  std::printf("   wait fraction     %.3f\n", report.WaitFraction());
+  std::printf("   space-time        active %.0f  waiting %.0f  (waiting %.1f%%)\n",
+              report.space_time.active, report.space_time.waiting,
+              100.0 * report.space_time.WaitingFraction());
+  std::printf("   peak residency    %llu words\n\n",
+              static_cast<unsigned long long>(report.peak_resident_words));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("dsa quickstart: two points in the design space, one workload\n\n");
+
+  // A workload with phase-structured locality, twice the size of core.
+  dsa::WorkingSetTraceParams workload;
+  workload.extent = 32768;
+  workload.region_words = 256;
+  workload.regions_per_phase = 24;
+  workload.phases = 6;
+  workload.phase_length = 10000;
+  const dsa::ReferenceTrace trace = dsa::MakeWorkingSetTrace(workload);
+
+  // Point 1: an ATLAS-flavoured system — linear name space, uniform pages,
+  // artificial contiguity, demand fetch, LRU replacement.
+  dsa::SystemSpec paged;
+  paged.label = "paged (ATLAS-flavoured)";
+  paged.characteristics.name_space = dsa::NameSpaceKind::kLinear;
+  paged.characteristics.contiguity = dsa::ArtificialContiguity::kProvided;
+  paged.characteristics.unit = dsa::AllocationUnit::kUniformPages;
+  paged.core_words = 16384;
+  paged.page_words = 512;
+  paged.replacement = dsa::ReplacementStrategyKind::kLru;
+  auto paged_system = dsa::BuildSystem(paged);
+  RunAndPrint(paged_system.get(), trace);
+
+  // Point 2: the authors' favoured combination — symbolically segmented,
+  // variable units sized to the segments.
+  dsa::SystemSpec favoured;
+  favoured.label = "authors' favoured (B5000-flavoured)";
+  favoured.characteristics = dsa::AuthorsFavoredCharacteristics();
+  favoured.core_words = 16384;
+  favoured.max_segment_extent = 1024;
+  favoured.workload_segment_words = 256;
+  favoured.placement = dsa::PlacementStrategyKind::kBestFit;
+  auto segmented_system = dsa::BuildSystem(favoured);
+  RunAndPrint(segmented_system.get(), trace);
+
+  std::printf("Both systems ran the same %zu-reference trace; compare fault rates,\n"
+              "mapping overhead, and the space-time split above.\n",
+              trace.size());
+  return 0;
+}

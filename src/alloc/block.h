@@ -1,0 +1,25 @@
+// A contiguous extent of physical working storage.
+
+#ifndef SRC_ALLOC_BLOCK_H_
+#define SRC_ALLOC_BLOCK_H_
+
+#include "src/core/types.h"
+
+namespace dsa {
+
+struct Block {
+  PhysicalAddress addr;
+  WordCount size{0};
+
+  WordCount end() const { return addr.value + size; }
+
+  bool Contains(PhysicalAddress p) const {
+    return p.value >= addr.value && p.value < addr.value + size;
+  }
+
+  bool operator==(const Block&) const = default;
+};
+
+}  // namespace dsa
+
+#endif  // SRC_ALLOC_BLOCK_H_

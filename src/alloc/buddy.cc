@@ -1,0 +1,125 @@
+#include "src/alloc/buddy.h"
+
+#include <bit>
+
+#include "src/core/assert.h"
+
+namespace dsa {
+
+BuddyAllocator::BuddyAllocator(WordCount capacity, int min_order)
+    : capacity_(capacity), min_order_(min_order) {
+  DSA_ASSERT(capacity_ > 0 && std::has_single_bit(capacity_),
+             "buddy capacity must be a power of two");
+  DSA_ASSERT(min_order_ >= 0 && min_order_ < kMaxOrders, "min_order out of range");
+  max_order_ = std::bit_width(capacity_) - 1;
+  DSA_ASSERT(min_order_ <= max_order_, "min_order exceeds capacity order");
+  free_.resize(static_cast<std::size_t>(max_order_) + 1);
+  free_[static_cast<std::size_t>(max_order_)].insert(0);
+}
+
+int BuddyAllocator::OrderFor(WordCount size) const {
+  DSA_ASSERT(size > 0, "cannot size an empty request");
+  int order = std::bit_width(size - 1);  // ceil(log2(size))
+  if (order < min_order_) {
+    order = min_order_;
+  }
+  return order;
+}
+
+std::optional<Block> BuddyAllocator::Allocate(WordCount size) {
+  ++stats_.allocations;
+  stats_.words_requested += size;
+  const int order = OrderFor(size);
+  if (order > max_order_) {
+    ++stats_.failures;
+    return std::nullopt;
+  }
+  // Find the smallest order >= `order` with a free block.
+  int found = -1;
+  for (int k = order; k <= max_order_; ++k) {
+    if (!free_[static_cast<std::size_t>(k)].empty()) {
+      found = k;
+      break;
+    }
+  }
+  if (found < 0) {
+    ++stats_.failures;
+    return std::nullopt;
+  }
+  // Pop the lowest-addressed block and split down to the target order.
+  auto& found_set = free_[static_cast<std::size_t>(found)];
+  std::uint64_t addr = *found_set.begin();
+  found_set.erase(found_set.begin());
+  for (int k = found; k > order; --k) {
+    const std::uint64_t half = std::uint64_t{1} << (k - 1);
+    free_[static_cast<std::size_t>(k - 1)].insert(addr + half);  // upper buddy stays free
+  }
+  const WordCount granted = WordCount{1} << order;
+  live_.emplace(addr, LiveBlock{order, size});
+  live_words_ += size;
+  reserved_words_ += granted;
+  stats_.words_allocated += granted;
+  return Block{PhysicalAddress{addr}, granted};
+}
+
+void BuddyAllocator::Free(PhysicalAddress addr) {
+  auto it = live_.find(addr.value);
+  DSA_ASSERT(it != live_.end(), "buddy free of unknown block");
+  int order = it->second.order;
+  live_words_ -= it->second.requested;
+  reserved_words_ -= WordCount{1} << order;
+  live_.erase(it);
+  ++stats_.frees;
+
+  // Coalesce with the buddy while it is free, up to the top order.
+  std::uint64_t block = addr.value;
+  while (order < max_order_) {
+    const std::uint64_t buddy = block ^ (std::uint64_t{1} << order);
+    auto& level = free_[static_cast<std::size_t>(order)];
+    auto buddy_it = level.find(buddy);
+    if (buddy_it == level.end()) {
+      break;
+    }
+    level.erase(buddy_it);
+    block = std::min(block, buddy);
+    ++order;
+  }
+  free_[static_cast<std::size_t>(order)].insert(block);
+}
+
+std::vector<WordCount> BuddyAllocator::HoleSizes() const {
+  // Report *coalesced* holes: adjacent free buddy blocks that happen to abut
+  // (but are not buddies) still form one contiguous hole from the point of
+  // view of an external observer measuring fragmentation.
+  std::map<std::uint64_t, WordCount> holes;
+  for (int k = 0; k <= max_order_; ++k) {
+    for (std::uint64_t a : free_[static_cast<std::size_t>(k)]) {
+      holes.emplace(a, WordCount{1} << k);
+    }
+  }
+  std::vector<WordCount> sizes;
+  std::uint64_t run_start = 0;
+  WordCount run_size = 0;
+  for (const auto& [a, s] : holes) {
+    if (run_size > 0 && run_start + run_size == a) {
+      run_size += s;
+    } else {
+      if (run_size > 0) {
+        sizes.push_back(run_size);
+      }
+      run_start = a;
+      run_size = s;
+    }
+  }
+  if (run_size > 0) {
+    sizes.push_back(run_size);
+  }
+  return sizes;
+}
+
+std::size_t BuddyAllocator::FreeBlocksAtOrder(int order) const {
+  DSA_ASSERT(order >= 0 && order <= max_order_, "order out of range");
+  return free_[static_cast<std::size_t>(order)].size();
+}
+
+}  // namespace dsa

@@ -1,0 +1,63 @@
+// Binary buddy allocator.
+//
+// The buddy system is the classic compromise between uniform and variable
+// units: requests are rounded to powers of two, so external fragmentation is
+// bounded at the cost of internal waste — the same trade the paper's
+// page-size discussion makes, realised inside a variable-unit design.  It
+// serves as the third point of comparison in the fragmentation experiments.
+
+#ifndef SRC_ALLOC_BUDDY_H_
+#define SRC_ALLOC_BUDDY_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/alloc/allocator.h"
+
+namespace dsa {
+
+class BuddyAllocator : public Allocator {
+ public:
+  // `capacity` must be a power of two; `min_order` is the smallest block
+  // granted (2^min_order words).
+  BuddyAllocator(WordCount capacity, int min_order = 0);
+
+  std::optional<Block> Allocate(WordCount size) override;
+  void Free(PhysicalAddress addr) override;
+
+  std::string name() const override { return "buddy"; }
+  WordCount capacity() const override { return capacity_; }
+  WordCount live_words() const override { return live_words_; }
+  WordCount reserved_words() const override { return reserved_words_; }
+  std::vector<WordCount> HoleSizes() const override;
+  const AllocatorStats& stats() const override { return stats_; }
+
+  // Number of free blocks at a given order (test/diagnostic hook).
+  std::size_t FreeBlocksAtOrder(int order) const;
+
+  // Rounds a request up to the granted order.
+  int OrderFor(WordCount size) const;
+
+ private:
+  static constexpr int kMaxOrders = 48;
+
+  WordCount capacity_;
+  int min_order_;
+  int max_order_;
+  // free_[k] holds start addresses of free blocks of size 2^k.
+  std::vector<std::set<std::uint64_t>> free_;
+  // start address -> {order, requested size}
+  struct LiveBlock {
+    int order;
+    WordCount requested;
+  };
+  std::map<std::uint64_t, LiveBlock> live_;
+  WordCount live_words_{0};
+  WordCount reserved_words_{0};
+  AllocatorStats stats_;
+};
+
+}  // namespace dsa
+
+#endif  // SRC_ALLOC_BUDDY_H_

@@ -1,0 +1,38 @@
+#include "src/alloc/compaction.h"
+
+namespace dsa {
+
+CompactionResult CompactionEngine::Compact(VariableAllocator* allocator, CoreStore* store,
+                                           const RelocationCallback& on_relocate) {
+  CompactionResult result;
+  result.holes_before = allocator->free_list().hole_count();
+
+  WordCount next_free = 0;
+  for (const Block& block : allocator->LiveBlocks()) {
+    const PhysicalAddress from = block.addr;
+    const PhysicalAddress to{next_free};
+    if (from != to) {
+      allocator->Relocate(from, to);
+      if (store != nullptr) {
+        // memmove semantics: slide-down moves may overlap their own tail.
+        store->Move(from, to, block.size, /*cycles_per_word_copied=*/1);
+      }
+      const Cycles cost = channel_.MoveCost(block.size);
+      result.move_cycles += cost;
+      if (!channel_.autonomous) {
+        result.cpu_cycles += cost;
+      }
+      ++result.blocks_moved;
+      result.words_moved += block.size;
+      if (on_relocate) {
+        on_relocate(from, to, block.size);
+      }
+    }
+    next_free += block.size;
+  }
+
+  result.holes_after = allocator->free_list().hole_count();
+  return result;
+}
+
+}  // namespace dsa

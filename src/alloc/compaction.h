@@ -1,0 +1,54 @@
+// Storage packing: "to move information around in storage so as to remove
+// any unused spaces between the sets of contiguous locations."
+//
+// The engine slides every live block of a VariableAllocator to the lowest
+// free address, producing one hole at the top of storage.  It charges a
+// configurable move cost (hardware facility iii: CPU copy loop vs fast
+// autonomous storage-to-storage channel) and notifies the owner of each
+// relocation so stored descriptors can be updated — the relocatability
+// problem the paper opens with.
+
+#ifndef SRC_ALLOC_COMPACTION_H_
+#define SRC_ALLOC_COMPACTION_H_
+
+#include <functional>
+
+#include "src/alloc/variable_allocator.h"
+#include "src/mem/channel.h"
+#include "src/mem/core_store.h"
+
+namespace dsa {
+
+struct CompactionResult {
+  std::size_t blocks_moved{0};
+  WordCount words_moved{0};
+  Cycles move_cycles{0};      // total transfer cost
+  Cycles cpu_cycles{0};       // portion that occupied the CPU (0 for autonomous channel)
+  std::size_t holes_before{0};
+  std::size_t holes_after{0};
+};
+
+class CompactionEngine {
+ public:
+  // Called for every moved block so owners can update their descriptors
+  // (segment tables, codewords) — there must be no other stored absolute
+  // addresses, per the paper's relocation discussion.
+  using RelocationCallback = std::function<void(PhysicalAddress from, PhysicalAddress to,
+                                                WordCount size)>;
+
+  explicit CompactionEngine(PackingChannel channel) : channel_(channel) {}
+
+  // Compacts `allocator` in place.  When `store` is non-null the block
+  // contents are physically moved too (and verified by tests).
+  CompactionResult Compact(VariableAllocator* allocator, CoreStore* store,
+                           const RelocationCallback& on_relocate = nullptr);
+
+  const PackingChannel& channel() const { return channel_; }
+
+ private:
+  PackingChannel channel_;
+};
+
+}  // namespace dsa
+
+#endif  // SRC_ALLOC_COMPACTION_H_

@@ -1,0 +1,107 @@
+#include "src/alloc/free_list.h"
+
+#include <algorithm>
+
+#include "src/core/assert.h"
+
+namespace dsa {
+
+FreeList::FreeList(WordCount capacity) {
+  if (capacity > 0) {
+    holes_.emplace(0, capacity);
+    total_free_ = capacity;
+  }
+}
+
+void FreeList::Insert(Block hole) {
+  DSA_ASSERT(hole.size > 0, "cannot insert an empty hole");
+  const std::uint64_t start = hole.addr.value;
+  const std::uint64_t end = start + hole.size;
+
+  // The first hole at or after `start`.
+  auto after = holes_.lower_bound(start);
+  // The hole before it, if any.
+  auto before = after == holes_.begin() ? holes_.end() : std::prev(after);
+
+  if (before != holes_.end()) {
+    DSA_ASSERT(before->first + before->second <= start, "hole overlaps predecessor (double free?)");
+  }
+  if (after != holes_.end()) {
+    DSA_ASSERT(end <= after->first, "hole overlaps successor (double free?)");
+  }
+
+  std::uint64_t new_start = start;
+  std::uint64_t new_end = end;
+  if (before != holes_.end() && before->first + before->second == start) {
+    new_start = before->first;
+    holes_.erase(before);
+  }
+  if (after != holes_.end() && after->first == end) {
+    new_end = after->first + after->second;
+    holes_.erase(after);
+  }
+  holes_.emplace(new_start, new_end - new_start);
+  total_free_ += hole.size;
+}
+
+void FreeList::TakeRange(PhysicalAddress addr, WordCount size) {
+  DSA_ASSERT(size > 0, "cannot take an empty range");
+  const std::uint64_t start = addr.value;
+  const std::uint64_t end = start + size;
+
+  auto it = holes_.upper_bound(start);
+  DSA_ASSERT(it != holes_.begin(), "range not inside any hole");
+  --it;
+  const std::uint64_t hole_start = it->first;
+  const std::uint64_t hole_end = it->first + it->second;
+  DSA_ASSERT(hole_start <= start && end <= hole_end, "range not inside a single hole");
+
+  holes_.erase(it);
+  if (hole_start < start) {
+    holes_.emplace(hole_start, start - hole_start);
+  }
+  if (end < hole_end) {
+    holes_.emplace(end, hole_end - end);
+  }
+  total_free_ -= size;
+}
+
+bool FreeList::RangeIsFree(PhysicalAddress addr, WordCount size) const {
+  if (size == 0) {
+    return true;
+  }
+  auto it = holes_.upper_bound(addr.value);
+  if (it == holes_.begin()) {
+    return false;
+  }
+  --it;
+  return it->first <= addr.value && addr.value + size <= it->first + it->second;
+}
+
+WordCount FreeList::largest_hole() const {
+  WordCount largest = 0;
+  for (const auto& [start, size] : holes_) {
+    largest = std::max(largest, size);
+  }
+  return largest;
+}
+
+std::vector<WordCount> FreeList::HoleSizes() const {
+  std::vector<WordCount> sizes;
+  sizes.reserve(holes_.size());
+  for (const auto& [start, size] : holes_) {
+    sizes.push_back(size);
+  }
+  return sizes;
+}
+
+std::vector<Block> FreeList::Holes() const {
+  std::vector<Block> holes;
+  holes.reserve(holes_.size());
+  for (const auto& [start, size] : holes_) {
+    holes.push_back(Block{PhysicalAddress{start}, size});
+  }
+  return holes;
+}
+
+}  // namespace dsa

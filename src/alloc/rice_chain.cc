@@ -1,0 +1,132 @@
+#include "src/alloc/rice_chain.h"
+
+#include <algorithm>
+
+#include "src/core/assert.h"
+
+namespace dsa {
+
+RiceChainAllocator::RiceChainAllocator(WordCount capacity) : capacity_(capacity) {
+  DSA_ASSERT(capacity_ > 0, "allocator needs nonzero capacity");
+  chain_.push_back(Block{PhysicalAddress{0}, capacity_});
+}
+
+std::optional<Block> RiceChainAllocator::TryAllocate(WordCount size) {
+  for (auto it = chain_.begin(); it != chain_.end(); ++it) {
+    ++chain_blocks_examined_;
+    if (it->size < size) {
+      continue;
+    }
+    const PhysicalAddress addr = it->addr;
+    if (it->size == size) {
+      chain_.erase(it);
+    } else {
+      // "If any unused space is left over it replaces the original inactive
+      // block in the chain."
+      it->addr = PhysicalAddress{it->addr.value + size};
+      it->size -= size;
+    }
+    live_.emplace(addr.value, size);
+    live_words_ += size;
+    stats_.words_allocated += size;
+    return Block{addr, size};
+  }
+  return std::nullopt;
+}
+
+bool RiceChainAllocator::CombineAdjacent() {
+  if (chain_.size() < 2) {
+    return false;
+  }
+  std::vector<Block> blocks(chain_.begin(), chain_.end());
+  std::sort(blocks.begin(), blocks.end(),
+            [](const Block& a, const Block& b) { return a.addr.value < b.addr.value; });
+  std::vector<Block> merged;
+  merged.reserve(blocks.size());
+  for (const Block& b : blocks) {
+    if (!merged.empty() && merged.back().end() == b.addr.value) {
+      merged.back().size += b.size;
+    } else {
+      merged.push_back(b);
+    }
+  }
+  if (merged.size() == blocks.size()) {
+    return false;
+  }
+  ++combines_;
+  chain_.assign(merged.begin(), merged.end());
+  return true;
+}
+
+std::optional<Block> RiceChainAllocator::Allocate(WordCount size) {
+  DSA_ASSERT(size > 0, "cannot allocate zero words");
+  ++stats_.allocations;
+  stats_.words_requested += size;
+
+  if (auto block = TryAllocate(size)) {
+    return block;
+  }
+  if (CombineAdjacent()) {
+    if (auto block = TryAllocate(size)) {
+      return block;
+    }
+  }
+  // "If this fails a replacement algorithm ... is applied iteratively until
+  // a block of sufficient size is released."
+  if (replacement_hook_) {
+    while (true) {
+      ++replacement_invocations_;
+      if (!replacement_hook_(this)) {
+        break;
+      }
+      CombineAdjacent();
+      if (auto block = TryAllocate(size)) {
+        return block;
+      }
+    }
+  }
+  ++stats_.failures;
+  return std::nullopt;
+}
+
+void RiceChainAllocator::Free(PhysicalAddress addr) {
+  auto it = live_.find(addr.value);
+  DSA_ASSERT(it != live_.end(), "free of unknown block");
+  const WordCount size = it->second;
+  live_.erase(it);
+  live_words_ -= size;
+  ++stats_.frees;
+  // The newly inactive block is threaded at the head of the chain (its first
+  // word holding the size and next-pointer in the real machine).
+  chain_.push_front(Block{addr, size});
+}
+
+std::vector<WordCount> RiceChainAllocator::HoleSizes() const {
+  // Measure *contiguous* free extents, not raw chain entries: the chain may
+  // hold adjacent uncombined blocks which are one hole physically.
+  std::vector<Block> blocks(chain_.begin(), chain_.end());
+  std::sort(blocks.begin(), blocks.end(),
+            [](const Block& a, const Block& b) { return a.addr.value < b.addr.value; });
+  std::vector<WordCount> merged;
+  std::uint64_t run_end = 0;
+  for (const Block& b : blocks) {
+    if (!merged.empty() && run_end == b.addr.value) {
+      merged.back() += b.size;
+    } else {
+      merged.push_back(b.size);
+    }
+    run_end = b.end();
+  }
+  return merged;
+}
+
+std::vector<Block> RiceChainAllocator::LiveBlocks() const {
+  std::vector<Block> blocks;
+  blocks.reserve(live_.size());
+  for (const auto& [start, size] : live_) {
+    blocks.push_back(Block{PhysicalAddress{start}, size});
+  }
+  return blocks;
+}
+
+}  // namespace dsa

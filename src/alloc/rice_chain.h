@@ -1,0 +1,73 @@
+// The Rice University computer's storage allocation scheme (Appendix A.4,
+// after Iliffe & Jodeit).
+//
+// Segments are placed sequentially in contiguous blocks.  A block that
+// "loses its significance" is designated inactive and threaded onto a chain
+// (in the real machine, through its own first word).  Allocation searches
+// the chain sequentially for a block of sufficient size; any leftover
+// replaces the original block in the chain.  On failure, adjacent inactive
+// blocks are combined; if that also fails, a replacement algorithm is
+// applied iteratively until a sufficient block is released.
+
+#ifndef SRC_ALLOC_RICE_CHAIN_H_
+#define SRC_ALLOC_RICE_CHAIN_H_
+
+#include <functional>
+#include <list>
+#include <map>
+
+#include "src/alloc/allocator.h"
+
+namespace dsa {
+
+class RiceChainAllocator : public Allocator {
+ public:
+  // The replacement hook models the paper's "replacement algorithm ...
+  // applied iteratively until a block of sufficient size is released": it
+  // must either Free() at least one active block (and return true) or give
+  // up (return false).  Without a hook, allocation simply fails.
+  using ReplacementHook = std::function<bool(RiceChainAllocator* allocator)>;
+
+  explicit RiceChainAllocator(WordCount capacity);
+
+  void set_replacement_hook(ReplacementHook hook) { replacement_hook_ = std::move(hook); }
+
+  std::optional<Block> Allocate(WordCount size) override;
+  void Free(PhysicalAddress addr) override;
+
+  std::string name() const override { return "rice-chain"; }
+  WordCount capacity() const override { return capacity_; }
+  WordCount live_words() const override { return live_words_; }
+  WordCount reserved_words() const override { return live_words_; }
+  std::vector<WordCount> HoleSizes() const override;
+  const AllocatorStats& stats() const override { return stats_; }
+
+  // Live blocks in address order, e.g. for choosing replacement victims.
+  std::vector<Block> LiveBlocks() const;
+
+  std::size_t chain_length() const { return chain_.size(); }
+  std::uint64_t combines() const { return combines_; }
+  std::uint64_t chain_blocks_examined() const { return chain_blocks_examined_; }
+  std::uint64_t replacement_invocations() const { return replacement_invocations_; }
+
+ private:
+  // Sequential chain search; carves on success.
+  std::optional<Block> TryAllocate(WordCount size);
+  // "Finding groups of adjacent inactive blocks which can be combined."
+  // Returns true if any blocks merged.
+  bool CombineAdjacent();
+
+  WordCount capacity_;
+  std::list<Block> chain_;  // inactive blocks, most recently freed first
+  std::map<std::uint64_t, WordCount> live_;
+  WordCount live_words_{0};
+  AllocatorStats stats_;
+  ReplacementHook replacement_hook_;
+  std::uint64_t combines_{0};
+  std::uint64_t chain_blocks_examined_{0};
+  std::uint64_t replacement_invocations_{0};
+};
+
+}  // namespace dsa
+
+#endif  // SRC_ALLOC_RICE_CHAIN_H_

@@ -1,0 +1,75 @@
+#include "src/alloc/variable_allocator.h"
+
+#include "src/core/assert.h"
+
+namespace dsa {
+
+VariableAllocator::VariableAllocator(WordCount capacity, std::unique_ptr<PlacementPolicy> policy)
+    : capacity_(capacity), policy_(std::move(policy)), free_(capacity) {
+  DSA_ASSERT(capacity_ > 0, "allocator needs nonzero capacity");
+  DSA_ASSERT(policy_ != nullptr, "allocator needs a placement policy");
+}
+
+std::optional<Block> VariableAllocator::Allocate(WordCount size) {
+  DSA_ASSERT(size > 0, "cannot allocate zero words");
+  ++stats_.allocations;
+  stats_.words_requested += size;
+  const std::optional<PhysicalAddress> addr = policy_->Choose(free_, size);
+  if (!addr.has_value()) {
+    ++stats_.failures;
+    return std::nullopt;
+  }
+  free_.TakeRange(*addr, size);
+  live_.emplace(addr->value, size);
+  live_words_ += size;
+  stats_.words_allocated += size;
+  return Block{*addr, size};
+}
+
+void VariableAllocator::Free(PhysicalAddress addr) {
+  auto it = live_.find(addr.value);
+  DSA_ASSERT(it != live_.end(), "free of unknown block");
+  const WordCount size = it->second;
+  live_.erase(it);
+  live_words_ -= size;
+  ++stats_.frees;
+  free_.Insert(Block{addr, size});
+  policy_->NoteFree(addr, size);
+}
+
+std::string VariableAllocator::name() const {
+  return std::string("variable/") + policy_->name();
+}
+
+std::vector<Block> VariableAllocator::LiveBlocks() const {
+  std::vector<Block> blocks;
+  blocks.reserve(live_.size());
+  for (const auto& [start, size] : live_) {
+    blocks.push_back(Block{PhysicalAddress{start}, size});
+  }
+  return blocks;
+}
+
+WordCount VariableAllocator::LiveBlockSize(PhysicalAddress addr) const {
+  auto it = live_.find(addr.value);
+  DSA_ASSERT(it != live_.end(), "LiveBlockSize of unknown block");
+  return it->second;
+}
+
+void VariableAllocator::Relocate(PhysicalAddress from, PhysicalAddress to) {
+  if (from == to) {
+    return;
+  }
+  auto it = live_.find(from.value);
+  DSA_ASSERT(it != live_.end(), "relocate of unknown block");
+  const WordCount size = it->second;
+  // Temporarily free the block; the destination must then be wholly free
+  // (i.e. overlap only the block's own old extent or existing holes).
+  live_.erase(it);
+  free_.Insert(Block{from, size});
+  DSA_ASSERT(free_.RangeIsFree(to, size), "relocation destination is not free");
+  free_.TakeRange(to, size);
+  live_.emplace(to.value, size);
+}
+
+}  // namespace dsa

@@ -1,0 +1,57 @@
+// Variable-unit allocator: an address-ordered free list driven by a
+// pluggable placement policy.  This is the allocation engine of the
+// B5000-style systems where "the unit of allocation ... directly reflects
+// the allocation request".
+
+#ifndef SRC_ALLOC_VARIABLE_ALLOCATOR_H_
+#define SRC_ALLOC_VARIABLE_ALLOCATOR_H_
+
+#include <map>
+#include <memory>
+
+#include "src/alloc/allocator.h"
+#include "src/alloc/free_list.h"
+#include "src/alloc/placement.h"
+
+namespace dsa {
+
+class VariableAllocator : public Allocator {
+ public:
+  VariableAllocator(WordCount capacity, std::unique_ptr<PlacementPolicy> policy);
+
+  std::optional<Block> Allocate(WordCount size) override;
+  void Free(PhysicalAddress addr) override;
+
+  std::string name() const override;
+  WordCount capacity() const override { return capacity_; }
+  WordCount live_words() const override { return live_words_; }
+  WordCount reserved_words() const override { return live_words_; }
+  std::vector<WordCount> HoleSizes() const override { return free_.HoleSizes(); }
+  const AllocatorStats& stats() const override { return stats_; }
+
+  const PlacementPolicy& policy() const { return *policy_; }
+  const FreeList& free_list() const { return free_; }
+
+  // Live blocks in address order (compaction input).
+  std::vector<Block> LiveBlocks() const;
+
+  // Size of the live block starting at `addr`; asserts it exists.
+  WordCount LiveBlockSize(PhysicalAddress addr) const;
+
+  // Compaction support: atomically relocates the live block at `from` to
+  // `to`, updating the free list.  The destination must be free (other than
+  // any overlap with the block itself, which slide-down compaction creates).
+  void Relocate(PhysicalAddress from, PhysicalAddress to);
+
+ private:
+  WordCount capacity_;
+  std::unique_ptr<PlacementPolicy> policy_;
+  FreeList free_;
+  std::map<std::uint64_t, WordCount> live_;  // start address -> size
+  WordCount live_words_{0};
+  AllocatorStats stats_;
+};
+
+}  // namespace dsa
+
+#endif  // SRC_ALLOC_VARIABLE_ALLOCATOR_H_

@@ -1,0 +1,36 @@
+// Always-on checked assertions for simulator invariants.
+//
+// The simulator is deterministic and cheap relative to the experiments it
+// drives, so invariant checks stay enabled in release builds: a silently
+// corrupted free list or frame table would invalidate every downstream
+// measurement.
+
+#ifndef SRC_CORE_ASSERT_H_
+#define SRC_CORE_ASSERT_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dsa {
+
+[[noreturn]] inline void AssertFail(const char* expr, const char* file, int line,
+                                    const char* msg) {
+  std::fprintf(stderr, "DSA_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace dsa
+
+// Checks `cond`; aborts with location and message on failure.  Always on.
+#define DSA_ASSERT(cond, msg)                                \
+  do {                                                       \
+    if (!(cond)) {                                           \
+      ::dsa::AssertFail(#cond, __FILE__, __LINE__, (msg));   \
+    }                                                        \
+  } while (0)
+
+// Shorthand for checks whose failure is self-explanatory.
+#define DSA_CHECK(cond) DSA_ASSERT(cond, "")
+
+#endif  // SRC_CORE_ASSERT_H_

@@ -1,0 +1,84 @@
+#include "src/core/characteristics.h"
+
+#include <sstream>
+
+namespace dsa {
+
+Characteristics AuthorsFavoredCharacteristics() {
+  Characteristics c;
+  c.name_space = NameSpaceKind::kSymbolicallySegmented;
+  c.predictive = PredictiveInformation::kAccepted;
+  c.prediction_source = PredictionSource::kProgrammer;
+  c.contiguity = ArtificialContiguity::kProvided;  // "used if it is essential, to provide large segments"
+  c.unit = AllocationUnit::kVariableBlocks;        // "nonuniform units ... corresponding closely to the size of small segments"
+  return c;
+}
+
+const char* ToString(NameSpaceKind kind) {
+  switch (kind) {
+    case NameSpaceKind::kLinear:
+      return "linear";
+    case NameSpaceKind::kLinearlySegmented:
+      return "linearly segmented";
+    case NameSpaceKind::kSymbolicallySegmented:
+      return "symbolically segmented";
+  }
+  return "?";
+}
+
+const char* ToString(PredictiveInformation predictive) {
+  switch (predictive) {
+    case PredictiveInformation::kNotAccepted:
+      return "not accepted";
+    case PredictiveInformation::kAccepted:
+      return "accepted";
+  }
+  return "?";
+}
+
+const char* ToString(PredictionSource source) {
+  switch (source) {
+    case PredictionSource::kNone:
+      return "none";
+    case PredictionSource::kProgrammer:
+      return "programmer";
+    case PredictionSource::kCompiler:
+      return "compiler";
+  }
+  return "?";
+}
+
+const char* ToString(ArtificialContiguity contiguity) {
+  switch (contiguity) {
+    case ArtificialContiguity::kNone:
+      return "none";
+    case ArtificialContiguity::kProvided:
+      return "provided";
+  }
+  return "?";
+}
+
+const char* ToString(AllocationUnit unit) {
+  switch (unit) {
+    case AllocationUnit::kUniformPages:
+      return "uniform pages";
+    case AllocationUnit::kVariableBlocks:
+      return "variable blocks";
+    case AllocationUnit::kMixedPages:
+      return "mixed page sizes";
+  }
+  return "?";
+}
+
+std::string Describe(const Characteristics& c) {
+  std::ostringstream out;
+  out << "name space: " << ToString(c.name_space) << "; predictions: " << ToString(c.predictive);
+  if (c.predictive == PredictiveInformation::kAccepted) {
+    out << " (" << ToString(c.prediction_source) << ")";
+  }
+  out << "; artificial contiguity: " << ToString(c.contiguity)
+      << "; allocation unit: " << ToString(c.unit);
+  return out.str();
+}
+
+}  // namespace dsa

@@ -1,0 +1,98 @@
+// The paper's primary contribution: a four-axis characterisation of dynamic
+// storage allocation systems.
+//
+//   1. Name space            — linear / linearly segmented / symbolically segmented
+//   2. Predictive information — whether advisory directives about future use are accepted
+//   3. Artificial contiguity  — whether a mapping device gives name contiguity
+//                               without address contiguity
+//   4. Uniformity of unit     — uniform page frames / variable-size blocks / mixed
+//
+// The axes are "to a large degree, mutually independent"; `Characteristics`
+// is the product type, and `SystemBuilder` (src/vm/system_builder.h) turns
+// any point of the space into a runnable system.
+
+#ifndef SRC_CORE_CHARACTERISTICS_H_
+#define SRC_CORE_CHARACTERISTICS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dsa {
+
+// Axis 1: the structure of the set of names a program may use.
+enum class NameSpaceKind : std::uint8_t {
+  // Names are the integers 0..n; possibly relocated via a base/limit pair.
+  kLinear,
+  // (segment, word) pairs where segment names are themselves ordered integers
+  // packed into the most significant address bits (IBM 360/67, MULTICS
+  // hardware).  Indexing across segment names is possible, so segment-name
+  // allocation has the same fragmentation problems as storage allocation.
+  kLinearlySegmented,
+  // (segment, word) pairs where segment names are unordered symbols
+  // (Burroughs B5000).  No name contiguity, hence far less bookkeeping.
+  kSymbolicallySegmented,
+};
+
+// Axis 2: whether the system accepts advisory predictions of future storage
+// use ("program descriptions" in ACSI-MATIC; the two special M44/44X
+// instructions; the MULTICS keep/will-need/wont-need directives).
+enum class PredictiveInformation : std::uint8_t {
+  kNotAccepted,
+  kAccepted,
+};
+
+// Who supplies predictions when they are accepted.  The paper judges
+// compiler-supplied predictions differently from user-supplied ones.
+enum class PredictionSource : std::uint8_t {
+  kNone,
+  kProgrammer,
+  kCompiler,
+};
+
+// Axis 3: whether a mapping device provides name contiguity without address
+// contiguity (Figs. 1 and 2), usually exploited to disguise the actual
+// extent of working storage ("virtual storage systems").
+enum class ArtificialContiguity : std::uint8_t {
+  kNone,
+  kProvided,
+};
+
+// Axis 4: the uniformity of the unit of storage allocation.
+enum class AllocationUnit : std::uint8_t {
+  // Equal-size page frames (ATLAS, M44/44X, 360/67).
+  kUniformPages,
+  // Block size follows the allocation request (B5000, Rice).
+  kVariableBlocks,
+  // More than one page-frame size (MULTICS with 64- and 1024-word pages);
+  // formally non-uniform, so fragmentation provisions are still required.
+  kMixedPages,
+};
+
+// A point in the paper's design space.
+struct Characteristics {
+  NameSpaceKind name_space{NameSpaceKind::kLinear};
+  PredictiveInformation predictive{PredictiveInformation::kNotAccepted};
+  PredictionSource prediction_source{PredictionSource::kNone};
+  ArtificialContiguity contiguity{ArtificialContiguity::kNone};
+  AllocationUnit unit{AllocationUnit::kUniformPages};
+
+  bool operator==(const Characteristics&) const = default;
+};
+
+// The combination the authors "tend to favor" in the summary section:
+// symbolic segmentation, predictions accepted, mapping only where essential,
+// and non-uniform units sized to small segments.
+Characteristics AuthorsFavoredCharacteristics();
+
+const char* ToString(NameSpaceKind kind);
+const char* ToString(PredictiveInformation predictive);
+const char* ToString(PredictionSource source);
+const char* ToString(ArtificialContiguity contiguity);
+const char* ToString(AllocationUnit unit);
+
+// One human-readable line, e.g. for the appendix survey table.
+std::string Describe(const Characteristics& c);
+
+}  // namespace dsa
+
+#endif  // SRC_CORE_CHARACTERISTICS_H_

@@ -1,0 +1,40 @@
+// The simulated machine clock.
+//
+// All dsa time is discrete and deterministic: the clock only moves when a
+// component charges cycles to it.  Nothing in the library reads wall-clock
+// time, so every experiment is exactly reproducible.
+
+#ifndef SRC_CORE_CLOCK_H_
+#define SRC_CORE_CLOCK_H_
+
+#include "src/core/assert.h"
+#include "src/core/types.h"
+
+namespace dsa {
+
+class Clock {
+ public:
+  Clock() = default;
+
+  // Current simulated time.
+  Cycles now() const { return now_; }
+
+  // Advances time by `delta` cycles.
+  void Advance(Cycles delta) { now_ += delta; }
+
+  // Advances time to `t`, which must not be in the past.
+  void AdvanceTo(Cycles t) {
+    DSA_ASSERT(t >= now_, "Clock cannot move backwards");
+    now_ = t;
+  }
+
+  // Resets to time zero (used between experiment repetitions).
+  void Reset() { now_ = 0; }
+
+ private:
+  Cycles now_{0};
+};
+
+}  // namespace dsa
+
+#endif  // SRC_CORE_CLOCK_H_

@@ -1,0 +1,73 @@
+// A minimal expected<T, E> for fallible operations on simulator hot paths.
+//
+// C++20 has no std::expected; exceptions are deliberately avoided for
+// translation faults because a page fault is the *normal* control flow of a
+// demand-paging system, not an error.
+
+#ifndef SRC_CORE_EXPECTED_H_
+#define SRC_CORE_EXPECTED_H_
+
+#include <utility>
+#include <variant>
+
+#include "src/core/assert.h"
+
+namespace dsa {
+
+// Tag wrapper distinguishing an error value from a success value when the
+// two types coincide.
+template <typename E>
+struct Unexpected {
+  E error;
+};
+
+template <typename E>
+Unexpected<E> MakeUnexpected(E e) {
+  return Unexpected<E>{std::move(e)};
+}
+
+// Holds either a value of type T or an error of type E.
+template <typename T, typename E>
+class Expected {
+ public:
+  // Implicit conversions mirror std::expected usability: `return value;` and
+  // `return MakeUnexpected(err);` both work.
+  Expected(T value) : storage_(std::in_place_index<0>, std::move(value)) {}  // NOLINT
+  Expected(Unexpected<E> e) : storage_(std::in_place_index<1>, std::move(e.error)) {}  // NOLINT
+
+  bool has_value() const { return storage_.index() == 0; }
+  explicit operator bool() const { return has_value(); }
+
+  T& value() {
+    DSA_ASSERT(has_value(), "Expected::value() on error");
+    return std::get<0>(storage_);
+  }
+  const T& value() const {
+    DSA_ASSERT(has_value(), "Expected::value() on error");
+    return std::get<0>(storage_);
+  }
+
+  E& error() {
+    DSA_ASSERT(!has_value(), "Expected::error() on value");
+    return std::get<1>(storage_);
+  }
+  const E& error() const {
+    DSA_ASSERT(!has_value(), "Expected::error() on value");
+    return std::get<1>(storage_);
+  }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  // Returns the contained value, or `fallback` on error.
+  T value_or(T fallback) const { return has_value() ? std::get<0>(storage_) : fallback; }
+
+ private:
+  std::variant<T, E> storage_;
+};
+
+}  // namespace dsa
+
+#endif  // SRC_CORE_EXPECTED_H_

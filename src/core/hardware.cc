@@ -1,0 +1,44 @@
+#include "src/core/hardware.h"
+
+namespace dsa {
+
+const char* ToString(HardwareFacility f) {
+  switch (f) {
+    case HardwareFacility::kAddressMapping:
+      return "address mapping";
+    case HardwareFacility::kBoundViolationDetection:
+      return "bound violation detection";
+    case HardwareFacility::kStoragePacking:
+      return "storage packing";
+    case HardwareFacility::kInformationGathering:
+      return "information gathering";
+    case HardwareFacility::kInvalidAccessTrapping:
+      return "invalid access trapping";
+    case HardwareFacility::kAddressingOverheadReduction:
+      return "addressing overhead reduction";
+  }
+  return "?";
+}
+
+std::string HardwareFacilitySet::Describe() const {
+  static constexpr HardwareFacility kAll[] = {
+      HardwareFacility::kAddressMapping,          HardwareFacility::kBoundViolationDetection,
+      HardwareFacility::kStoragePacking,          HardwareFacility::kInformationGathering,
+      HardwareFacility::kInvalidAccessTrapping,   HardwareFacility::kAddressingOverheadReduction,
+  };
+  std::string out;
+  for (HardwareFacility f : kAll) {
+    if (Has(f)) {
+      if (!out.empty()) {
+        out += ", ";
+      }
+      out += ToString(f);
+    }
+  }
+  if (out.empty()) {
+    out = "(none)";
+  }
+  return out;
+}
+
+}  // namespace dsa

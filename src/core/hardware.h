@@ -1,0 +1,50 @@
+// The paper's catalogue of special hardware facilities (section "Special
+// Hardware Facilities"), used to describe machines in the appendix survey.
+
+#ifndef SRC_CORE_HARDWARE_H_
+#define SRC_CORE_HARDWARE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dsa {
+
+// One bit per facility the paper enumerates (i)-(vi).
+enum class HardwareFacility : std::uint8_t {
+  kAddressMapping = 0,            // (i)   mapping memory / associative mapping
+  kBoundViolationDetection = 1,   // (ii)  base+limit checking
+  kStoragePacking = 2,            // (iii) autonomous storage-to-storage channels
+  kInformationGathering = 3,      // (iv)  use / modified sensors
+  kInvalidAccessTrapping = 4,     // (v)   traps on absent information (demand paging)
+  kAddressingOverheadReduction = 5,  // (vi) small associative memories (TLBs)
+};
+
+class HardwareFacilitySet {
+ public:
+  HardwareFacilitySet() = default;
+
+  HardwareFacilitySet& Add(HardwareFacility f) {
+    bits_ |= Bit(f);
+    return *this;
+  }
+
+  bool Has(HardwareFacility f) const { return (bits_ & Bit(f)) != 0; }
+
+  // Comma-separated short names, for survey tables.
+  std::string Describe() const;
+
+  bool operator==(const HardwareFacilitySet&) const = default;
+
+ private:
+  static std::uint8_t Bit(HardwareFacility f) {
+    return static_cast<std::uint8_t>(1u << static_cast<std::uint8_t>(f));
+  }
+
+  std::uint8_t bits_{0};
+};
+
+const char* ToString(HardwareFacility f);
+
+}  // namespace dsa
+
+#endif  // SRC_CORE_HARDWARE_H_

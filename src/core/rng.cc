@@ -1,0 +1,9 @@
+#include "src/core/rng.h"
+
+#include <cmath>
+
+namespace dsa {
+
+double Rng::LogApprox(double v) { return std::log(v); }
+
+}  // namespace dsa

@@ -1,0 +1,59 @@
+#include "src/core/strategy.h"
+
+namespace dsa {
+
+const char* ToString(FetchStrategyKind kind) {
+  switch (kind) {
+    case FetchStrategyKind::kDemand:
+      return "demand";
+    case FetchStrategyKind::kPrefetch:
+      return "prefetch";
+    case FetchStrategyKind::kAdvised:
+      return "advised";
+  }
+  return "?";
+}
+
+const char* ToString(PlacementStrategyKind kind) {
+  switch (kind) {
+    case PlacementStrategyKind::kFirstFit:
+      return "first-fit";
+    case PlacementStrategyKind::kNextFit:
+      return "next-fit";
+    case PlacementStrategyKind::kBestFit:
+      return "best-fit";
+    case PlacementStrategyKind::kWorstFit:
+      return "worst-fit";
+    case PlacementStrategyKind::kTwoEnded:
+      return "two-ended";
+    case PlacementStrategyKind::kBuddy:
+      return "buddy";
+    case PlacementStrategyKind::kRiceChain:
+      return "rice-chain";
+  }
+  return "?";
+}
+
+const char* ToString(ReplacementStrategyKind kind) {
+  switch (kind) {
+    case ReplacementStrategyKind::kFifo:
+      return "fifo";
+    case ReplacementStrategyKind::kLru:
+      return "lru";
+    case ReplacementStrategyKind::kRandom:
+      return "random";
+    case ReplacementStrategyKind::kClock:
+      return "clock";
+    case ReplacementStrategyKind::kAtlasLearning:
+      return "atlas-learning";
+    case ReplacementStrategyKind::kM44Class:
+      return "m44-class";
+    case ReplacementStrategyKind::kWorkingSet:
+      return "working-set";
+    case ReplacementStrategyKind::kOpt:
+      return "opt";
+  }
+  return "?";
+}
+
+}  // namespace dsa

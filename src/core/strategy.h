@@ -1,0 +1,53 @@
+// Names for the paper's three strategy problem areas.
+//
+// The concrete strategy interfaces live with the data they operate on
+// (src/paging/replacement.h, src/paging/fetch.h, src/alloc/placement.h);
+// these enums are the configuration-level vocabulary used by SystemBuilder
+// and the machine descriptions.
+
+#ifndef SRC_CORE_STRATEGY_H_
+#define SRC_CORE_STRATEGY_H_
+
+#include <cstdint>
+
+namespace dsa {
+
+// "There exist many strategies governing when to fetch information."
+enum class FetchStrategyKind : std::uint8_t {
+  kDemand,        // fetch at the moment of reference (demand paging / B5000 segment fetch)
+  kPrefetch,      // fetch before need, from spatial lookahead
+  kAdvised,       // fetch before need, from explicit predictive directives
+};
+
+// "Once it is decided that some information is to be fetched ... some
+// strategy is needed for deciding where to put the information."
+enum class PlacementStrategyKind : std::uint8_t {
+  kFirstFit,
+  kNextFit,
+  kBestFit,    // "the smallest space which is sufficient to contain it"
+  kWorstFit,
+  kTwoEnded,   // "large blocks ... at one end of storage and small blocks ... at the other"
+  kBuddy,
+  kRiceChain,  // Appendix A.4: sequential placement + inactive-block chain
+};
+
+// "A replacement strategy is used to determine which informational units
+// should be overlayed."
+enum class ReplacementStrategyKind : std::uint8_t {
+  kFifo,
+  kLru,
+  kRandom,
+  kClock,          // "essentially cyclical" (B5000)
+  kAtlasLearning,  // the ATLAS learning program (Kilburn et al.)
+  kM44Class,       // usage-frequency + modified classes, random tie-break (M44/44X)
+  kWorkingSet,     // Denning-style extension; see DESIGN.md
+  kOpt,            // Belady's offline optimal bound
+};
+
+const char* ToString(FetchStrategyKind kind);
+const char* ToString(PlacementStrategyKind kind);
+const char* ToString(ReplacementStrategyKind kind);
+
+}  // namespace dsa
+
+#endif  // SRC_CORE_STRATEGY_H_

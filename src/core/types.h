@@ -1,0 +1,102 @@
+// Fundamental value types shared by every dsa module.
+//
+// The paper is careful to distinguish the *name* a program uses from the
+// *address* the machine uses ("Storage Addressing", "Artificial
+// Contiguity").  We keep that distinction in the type system: `Name` is what
+// programs emit, `PhysicalAddress` is what storage accepts, and only an
+// address mapper may convert one to the other.
+
+#ifndef SRC_CORE_TYPES_H_
+#define SRC_CORE_TYPES_H_
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace dsa {
+
+// One storage word.  Contents are opaque payload; the simulator moves them
+// around (compaction, page transfers) but never interprets them.
+using Word = std::uint64_t;
+
+// A count of storage words.
+using WordCount = std::uint64_t;
+
+// Simulated time, in machine cycles.  One cycle is the cost of one
+// register-to-register operation; storage levels express their latencies in
+// cycles (see src/mem/storage_level.h).
+using Cycles = std::uint64_t;
+
+// A strongly typed integer identifier.  `Tag` makes PageId/FrameId/... into
+// distinct, non-convertible types so a frame number can never be passed
+// where a page number is expected.
+template <typename Tag, typename Rep = std::uint64_t>
+struct StrongId {
+  using rep = Rep;
+
+  Rep value{0};
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep v) : value(v) {}
+
+  constexpr auto operator<=>(const StrongId&) const = default;
+};
+
+// The name of an informational item, as emitted by a program.  For a linear
+// name space this is the integer name itself; for segmented name spaces the
+// naming module packs/unpacks (segment, word) pairs into this representation.
+struct NameTag {};
+using Name = StrongId<NameTag>;
+
+// An absolute address in physical working storage.
+struct PhysicalAddressTag {};
+using PhysicalAddress = StrongId<PhysicalAddressTag>;
+
+// A page: the set of items that fit in one page frame.
+struct PageTag {};
+using PageId = StrongId<PageTag>;
+
+// A page frame: one uniform-size block of physical working storage.
+struct FrameTag {};
+using FrameId = StrongId<FrameTag>;
+
+// A segment, in the paper's sense: an ordered set of items declared to
+// constitute a unit, with its own linear name space.
+struct SegmentTag {};
+using SegmentId = StrongId<SegmentTag>;
+
+// A job (program) in the multiprogramming scheduler.
+struct JobTag {};
+using JobId = StrongId<JobTag, std::uint32_t>;
+
+// The kind of storage access a reference performs.  Write accesses set the
+// "modified" sensor the paper lists under information-gathering hardware.
+enum class AccessKind : std::uint8_t {
+  kRead,
+  kWrite,
+  kExecute,  // instruction fetch; read-like but mapped via its own TLB slot on the 360/67
+};
+
+inline const char* ToString(AccessKind kind) {
+  switch (kind) {
+    case AccessKind::kRead:
+      return "read";
+    case AccessKind::kWrite:
+      return "write";
+    case AccessKind::kExecute:
+      return "execute";
+  }
+  return "?";
+}
+
+}  // namespace dsa
+
+// Hash support so strong ids can key unordered containers.
+template <typename Tag, typename Rep>
+struct std::hash<dsa::StrongId<Tag, Rep>> {
+  std::size_t operator()(const dsa::StrongId<Tag, Rep>& id) const noexcept {
+    return std::hash<Rep>{}(id.value);
+  }
+};
+
+#endif  // SRC_CORE_TYPES_H_

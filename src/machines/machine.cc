@@ -1,0 +1,236 @@
+#include "src/machines/machine.h"
+
+#include "src/vm/paged_segmented_vm.h"
+#include "src/vm/paged_vm.h"
+#include "src/vm/segmented_vm.h"
+
+namespace dsa {
+
+// Timing convention: 1 cycle ~ one core-speed machine operation.  Drums cost
+// thousands of cycles to start (rotational delay) and a few cycles per word;
+// disks add seek time on top.  The ratios, not the absolute values, carry
+// the paper's arguments.
+
+Machine MakeAtlasMachine() {
+  PagedVmConfig config;
+  config.label = "ATLAS";
+  config.address_bits = 24;  // "the programmer could use a full 24-bit address representation"
+  config.core_words = 16384;
+  config.page_words = 512;
+  config.backing_level = MakeDrumLevel("drum", 98304, /*word_time=*/4, /*rotational_delay=*/6000);
+  config.mapper = PagedMapperKind::kAtlasRegisters;
+  config.replacement = ReplacementStrategyKind::kAtlasLearning;
+  config.fetch = FetchStrategyKind::kDemand;
+  config.keep_one_frame_vacant = true;
+
+  Machine machine;
+  machine.description.name = "Ferranti ATLAS";
+  machine.description.appendix = "A.1";
+  machine.description.notes =
+      "16,384-word core + 98,304-word drum; 512-word pages; demand paging; learning-program "
+      "replacement keeping one frame vacant";
+  machine.description.facilities.Add(HardwareFacility::kAddressMapping)
+      .Add(HardwareFacility::kInformationGathering)
+      .Add(HardwareFacility::kInvalidAccessTrapping)
+      .Add(HardwareFacility::kAddressingOverheadReduction);
+  machine.system = std::make_unique<PagedLinearVm>(config);
+  machine.description.characteristics = machine.system->characteristics();
+  return machine;
+}
+
+Machine MakeM44Machine(WordCount page_words) {
+  PagedVmConfig config;
+  config.label = "IBM M44/44X";
+  config.address_bits = 21;  // "a 2 million word linear name space"
+  config.page_words = page_words;
+  config.core_words = 192 * 1024;  // ~200,000 words of 8us core
+  // IBM 1301 disk: long access, modest transfer rate relative to core.
+  config.backing_level = MakeDiskLevel("ibm1301", 9000000, /*word_time=*/2,
+                                       /*seek_plus_rotation=*/20000);
+  config.mapper = PagedMapperKind::kPageTable;  // "indirect addressing through a special mapping store"
+  config.tlb_entries = 0;                       // the mapping store is the full map, not a cache
+  config.replacement = ReplacementStrategyKind::kM44Class;
+  config.fetch = FetchStrategyKind::kDemand;
+  config.accept_advice = true;  // the two special advise instructions
+
+  Machine machine;
+  machine.description.name = "IBM M44/44X";
+  machine.description.appendix = "A.2";
+  machine.description.notes =
+      "virtual machines with 2M-word linear name spaces over ~200K words of core + IBM 1301 "
+      "disk; page size settable at start-up; class-based random replacement; advise "
+      "instructions accepted";
+  machine.description.facilities.Add(HardwareFacility::kAddressMapping)
+      .Add(HardwareFacility::kInformationGathering)
+      .Add(HardwareFacility::kInvalidAccessTrapping);
+  machine.system = std::make_unique<PagedLinearVm>(config);
+  machine.description.characteristics = machine.system->characteristics();
+  return machine;
+}
+
+Machine MakeB5000Machine() {
+  SegmentedVmConfig config;
+  config.label = "Burroughs B5000";
+  config.core_words = 24000;  // "a typical size for working storage is 24,000 words"
+  config.max_segment_extent = 1024;
+  config.workload_segment_words = 512;
+  config.backing_level = MakeDrumLevel("drum", 1u << 20, /*word_time=*/4,
+                                       /*rotational_delay=*/6000);
+  config.placement = PlacementStrategyKind::kBestFit;  // "smallest available block of sufficient size"
+  config.replacement = SegmentReplacementKind::kCyclic;
+  config.symbolic_names = true;
+  config.descriptor_cache_entries = 0;
+
+  Machine machine;
+  machine.description.name = "Burroughs B5000";
+  machine.description.appendix = "A.3";
+  machine.description.notes =
+      "symbolically segmented; segments <= 1024 words and the unit of allocation; fetched on "
+      "first reference; best-fit placement; essentially cyclical replacement; PRT descriptors";
+  machine.description.facilities.Add(HardwareFacility::kAddressMapping)
+      .Add(HardwareFacility::kBoundViolationDetection)
+      .Add(HardwareFacility::kInvalidAccessTrapping);
+  machine.system = std::make_unique<SegmentedVm>(config);
+  machine.description.characteristics = machine.system->characteristics();
+  return machine;
+}
+
+Machine MakeRiceMachine() {
+  SegmentedVmConfig config;
+  config.label = "Rice University";
+  config.core_words = 32768;
+  config.max_segment_extent = 8192;  // limited only by working storage
+  config.workload_segment_words = 1024;
+  // The delivered machine had only tape backing; the paper notes proposals
+  // for a drum.  The drum variant keeps the replacement path exercised.
+  config.backing_level = MakeDrumLevel("proposed-drum", 1u << 20, /*word_time=*/4,
+                                       /*rotational_delay=*/8000);
+  config.placement = PlacementStrategyKind::kFirstFit;  // sequential placement + chain search
+  config.replacement = SegmentReplacementKind::kRiceSecondChance;
+  config.symbolic_names = true;  // codewords are unordered handles
+
+  Machine machine;
+  machine.description.name = "Rice University computer";
+  machine.description.appendix = "A.4";
+  machine.description.notes =
+      "codeword-addressed segments; sequential placement with inactive-block chain and "
+      "combining (modelled by first-fit over a coalescing free list); replacement prefers "
+      "unused segments with backing copies";
+  machine.description.facilities.Add(HardwareFacility::kAddressMapping)
+      .Add(HardwareFacility::kBoundViolationDetection);
+  machine.system = std::make_unique<SegmentedVm>(config);
+  machine.description.characteristics = machine.system->characteristics();
+  return machine;
+}
+
+Machine MakeB8500Machine() {
+  SegmentedVmConfig config;
+  config.label = "Burroughs B8500";
+  config.core_words = 65536;
+  config.max_segment_extent = 1024;
+  config.workload_segment_words = 512;
+  config.backing_level = MakeDrumLevel("drum", 1u << 21, /*word_time=*/3,
+                                       /*rotational_delay=*/5000);
+  config.placement = PlacementStrategyKind::kBestFit;
+  config.replacement = SegmentReplacementKind::kCyclic;
+  config.symbolic_names = true;
+  // 24 of the 44 thin-film words hold PRT elements and index words.
+  config.descriptor_cache_entries = 24;
+
+  Machine machine;
+  machine.description.name = "Burroughs B8500";
+  machine.description.appendix = "A.5";
+  machine.description.notes =
+      "B5000 storage design plus a 44-word thin-film associative memory (24 words modelled as "
+      "a descriptor/index cache)";
+  machine.description.facilities.Add(HardwareFacility::kAddressMapping)
+      .Add(HardwareFacility::kBoundViolationDetection)
+      .Add(HardwareFacility::kInvalidAccessTrapping)
+      .Add(HardwareFacility::kAddressingOverheadReduction);
+  machine.system = std::make_unique<SegmentedVm>(config);
+  machine.description.characteristics = machine.system->characteristics();
+  return machine;
+}
+
+Machine MakeMulticsMachine() {
+  PagedSegmentedVmConfig config;
+  config.label = "MULTICS (GE 645)";
+  config.segment_bits = 12;  // scaled model of the 256K-segment name space
+  config.offset_bits = 18;   // "segments ... have a maximum extent of 256K words"
+  config.core_words = 131072;  // "128K words of core storage"
+  config.page_words = 1024;    // principal page size (64-word pages make the unit mixed)
+  config.backing_level = MakeDrumLevel("drum", 1u << 22, /*word_time=*/4,
+                                       /*rotational_delay=*/6000);
+  config.tlb_entries = 16;
+  config.replacement = ReplacementStrategyKind::kClock;
+  config.fetch = FetchStrategyKind::kDemand;
+  config.accept_advice = true;  // the three MULTICS directives
+  config.workload_segment_words = 4096;
+  config.reported_unit = AllocationUnit::kMixedPages;
+
+  Machine machine;
+  machine.description.name = "MULTICS (GE 645)";
+  machine.description.appendix = "A.6";
+  machine.description.notes =
+      "linearly segmented name space used symbolically by convention; paged segments via "
+      "segment table + page tables with a small associative memory; page sizes 1024 and 64 "
+      "(mixed unit); demand paging plus keep/will-need/wont-need directives";
+  machine.description.facilities.Add(HardwareFacility::kAddressMapping)
+      .Add(HardwareFacility::kBoundViolationDetection)
+      .Add(HardwareFacility::kInvalidAccessTrapping)
+      .Add(HardwareFacility::kInformationGathering)
+      .Add(HardwareFacility::kAddressingOverheadReduction);
+  machine.system = std::make_unique<PagedSegmentedVm>(config);
+  machine.description.characteristics = machine.system->characteristics();
+  // The convention-over-hardware nuance the paper highlights:
+  machine.description.characteristics.name_space = NameSpaceKind::kLinearlySegmented;
+  return machine;
+}
+
+Machine Make360M67Machine() {
+  PagedSegmentedVmConfig config;
+  config.label = "IBM 360/67";
+  config.segment_bits = 4;   // 24-bit addressing: 16 segments
+  config.offset_bits = 20;   // of one million bytes each
+  config.core_words = 196608;  // three 256KB modules, in word-equivalents
+  config.page_words = 1024;    // 4096-byte pages
+  config.backing_level = MakeDrumLevel("drum", 1u << 22, /*word_time=*/3,
+                                       /*rotational_delay=*/5000);
+  config.tlb_entries = 8;  // the eight-word associative memory
+  config.dedicated_execute_register = true;  // the ninth register, for the instruction counter
+  config.replacement = ReplacementStrategyKind::kLru;
+  config.fetch = FetchStrategyKind::kDemand;
+  config.accept_advice = false;
+  config.workload_segment_words = 65536;
+  config.reported_unit = AllocationUnit::kUniformPages;
+
+  Machine machine;
+  machine.description.name = "IBM System/360 Model 67";
+  machine.description.appendix = "A.7";
+  machine.description.notes =
+      "linearly segmented, 16 x 1M with 24-bit addressing; segmentation reduces page-table "
+      "storage rather than conveying structure; 8-entry associative memory; automatic "
+      "use/modified recording";
+  machine.description.facilities.Add(HardwareFacility::kAddressMapping)
+      .Add(HardwareFacility::kBoundViolationDetection)
+      .Add(HardwareFacility::kInvalidAccessTrapping)
+      .Add(HardwareFacility::kInformationGathering)
+      .Add(HardwareFacility::kAddressingOverheadReduction);
+  machine.system = std::make_unique<PagedSegmentedVm>(config);
+  machine.description.characteristics = machine.system->characteristics();
+  return machine;
+}
+
+std::vector<Machine> MakeAllMachines() {
+  std::vector<Machine> machines;
+  machines.push_back(MakeAtlasMachine());
+  machines.push_back(MakeM44Machine());
+  machines.push_back(MakeB5000Machine());
+  machines.push_back(MakeRiceMachine());
+  machines.push_back(MakeB8500Machine());
+  machines.push_back(MakeMulticsMachine());
+  machines.push_back(Make360M67Machine());
+  return machines;
+}
+
+}  // namespace dsa

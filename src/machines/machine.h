@@ -1,0 +1,80 @@
+// The appendix: "a brief survey of relevant aspects of several computer
+// systems ... intended to illustrate the many combinations of functional
+// capability, underlying strategies, and special hardware facilities that
+// have been chosen by system designers."
+//
+// Each factory returns a machine model: a point in the design space
+// (Characteristics + hardware facilities) bound to a runnable system built
+// from the library's substrates, with the paper's own capacity and timing
+// parameters.
+
+#ifndef SRC_MACHINES_MACHINE_H_
+#define SRC_MACHINES_MACHINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/characteristics.h"
+#include "src/core/hardware.h"
+#include "src/vm/system.h"
+
+namespace dsa {
+
+struct MachineDescription {
+  std::string name;
+  std::string appendix;  // "A.1" ... "A.7"
+  Characteristics characteristics;
+  HardwareFacilitySet facilities;
+  std::string notes;  // capacities, page/segment sizes, strategy summary
+};
+
+struct Machine {
+  MachineDescription description;
+  std::unique_ptr<StorageAllocationSystem> system;
+};
+
+// A.1  Ferranti ATLAS: 16K-word core + 96K-word drum, 512-word pages, demand
+// paging via page-address registers, the learning-program replacement, one
+// frame kept vacant.
+Machine MakeAtlasMachine();
+
+// A.2  IBM M44/44X: ~200K words of core, IBM 1301 disk, 2M-word virtual
+// linear name space per 44X, variable page size (default 1024), class-based
+// random replacement, advise instructions accepted.
+Machine MakeM44Machine(WordCount page_words = 1024);
+
+// A.3  Burroughs B5000: symbolically segmented, segments <= 1024 words and
+// the unit of allocation, fetch on first reference, best-fit placement,
+// cyclic replacement, PRT descriptors.
+Machine MakeB5000Machine();
+
+// A.4  Rice University computer: codeword-addressed segments, sequential
+// placement with an inactive-block chain (modelled by first-fit over a
+// coalescing free list; the chain allocator itself is exercised in the
+// placement experiments), replacement honouring backing copies and use
+// sensors.
+Machine MakeRiceMachine();
+
+// A.5  Burroughs B8500: the B5000 design plus the 44-word thin-film
+// associative memory (24 words of PRT/index caching modelled as a
+// descriptor cache).
+Machine MakeB8500Machine();
+
+// A.6  MULTICS / GE 645: linearly segmented (used symbolically by
+// convention), paged segments via the Fig. 4 two-level map with a small
+// associative memory, demand paging plus the three predictive directives.
+// Two page sizes in the real machine make the unit formally non-uniform.
+Machine MakeMulticsMachine();
+
+// A.7  IBM System/360 Model 67: 24-bit linearly segmented name space
+// (16 x 1M), two-level map with the 8-entry associative memory, demand
+// paging, automatic use/modified recording.
+Machine Make360M67Machine();
+
+// All seven, in appendix order.
+std::vector<Machine> MakeAllMachines();
+
+}  // namespace dsa
+
+#endif  // SRC_MACHINES_MACHINE_H_

@@ -1,0 +1,93 @@
+#include "src/machines/survey.h"
+
+#include <sstream>
+
+#include "src/stats/table.h"
+#include "src/trace/synthetic.h"
+#include "src/vm/paged_vm.h"
+
+namespace dsa {
+
+ReferenceTrace SurveyWorkload(WordCount core_words, double pressure, std::size_t length,
+                              std::uint64_t seed) {
+  WorkingSetTraceParams params;
+  params.extent = static_cast<WordCount>(static_cast<double>(core_words) * pressure);
+  params.region_words = 256;
+  // The live working set covers roughly half of core, so replacement has
+  // real decisions to make without thrashing every reference.
+  params.regions_per_phase =
+      static_cast<std::size_t>(core_words / (2 * params.region_words)) + 1;
+  params.phases = 8;
+  params.phase_length = length / params.phases;
+  params.seed = seed;
+  ReferenceTrace trace = MakeWorkingSetTrace(params);
+  trace.label = "survey-workload";
+  return trace;
+}
+
+std::vector<SurveyRow> RunSurvey(double pressure, std::size_t length, std::uint64_t seed) {
+  std::vector<SurveyRow> rows;
+  for (Machine& machine : MakeAllMachines()) {
+    WordCount core = 0;
+    // Scale the workload to each machine's working storage.
+    if (machine.description.appendix == "A.1") {
+      core = 16384;
+    } else if (machine.description.appendix == "A.2") {
+      core = 192 * 1024;
+    } else if (machine.description.appendix == "A.3") {
+      core = 24000;
+    } else if (machine.description.appendix == "A.4") {
+      core = 32768;
+    } else if (machine.description.appendix == "A.5") {
+      core = 65536;
+    } else if (machine.description.appendix == "A.6") {
+      core = 131072;
+    } else {
+      core = 196608;
+    }
+    const ReferenceTrace trace = SurveyWorkload(core, pressure, length, seed);
+    SurveyRow row;
+    row.report = machine.system->Run(trace);
+    row.description = std::move(machine.description);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string RenderSurvey(const std::vector<SurveyRow>& rows) {
+  Table design({"machine", "appendix", "name space", "predictions", "artificial contiguity",
+                "unit of allocation", "hardware facilities"});
+  for (const SurveyRow& row : rows) {
+    const Characteristics& c = row.description.characteristics;
+    design.AddRow()
+        .AddCell(row.description.name)
+        .AddCell(row.description.appendix)
+        .AddCell(ToString(c.name_space))
+        .AddCell(ToString(c.predictive))
+        .AddCell(ToString(c.contiguity))
+        .AddCell(ToString(c.unit))
+        .AddCell(row.description.facilities.Describe());
+  }
+
+  Table measured({"machine", "references", "faults", "fault rate", "mean map cost (cyc)",
+                  "wait fraction", "space-time waiting %", "assoc hit rate"});
+  for (const SurveyRow& row : rows) {
+    measured.AddRow()
+        .AddCell(row.description.name)
+        .AddCell(row.report.references)
+        .AddCell(row.report.faults)
+        .AddCell(row.report.FaultRate(), 5)
+        .AddCell(row.report.MeanTranslationCost(), 2)
+        .AddCell(row.report.WaitFraction(), 3)
+        .AddCell(100.0 * row.report.space_time.WaitingFraction(), 1)
+        .AddCell(row.report.tlb_hit_rate, 3);
+  }
+
+  std::ostringstream out;
+  out << "Design-space coordinates (the paper's four characteristics):\n"
+      << design.Render() << "\nMeasured on the common locality workload (pressure-scaled):\n"
+      << measured.Render();
+  return out.str();
+}
+
+}  // namespace dsa

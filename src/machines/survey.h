@@ -1,0 +1,37 @@
+// The appendix survey as a measurable table: every machine on a common
+// (per-machine-scaled) workload, with its design-space coordinates and its
+// measured behaviour side by side.
+
+#ifndef SRC_MACHINES_SURVEY_H_
+#define SRC_MACHINES_SURVEY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/machines/machine.h"
+#include "src/trace/reference.h"
+
+namespace dsa {
+
+struct SurveyRow {
+  MachineDescription description;
+  VmReport report;
+};
+
+// A locality workload scaled to a machine: a working-set phase trace over
+// roughly `pressure` x core_words of name space, so every machine feels the
+// same relative storage pressure.
+ReferenceTrace SurveyWorkload(WordCount core_words, double pressure, std::size_t length,
+                              std::uint64_t seed);
+
+// Runs every machine on its scaled workload.
+std::vector<SurveyRow> RunSurvey(double pressure = 2.0, std::size_t length = 60000,
+                                 std::uint64_t seed = 7);
+
+// Renders the two survey tables (design-space coordinates; measured
+// behaviour) as one report string.
+std::string RenderSurvey(const std::vector<SurveyRow>& rows);
+
+}  // namespace dsa
+
+#endif  // SRC_MACHINES_SURVEY_H_

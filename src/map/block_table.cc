@@ -1,0 +1,50 @@
+#include "src/map/block_table.h"
+
+#include <bit>
+
+#include "src/core/assert.h"
+
+namespace dsa {
+
+BlockTableMapper::BlockTableMapper(WordCount block_words, std::size_t blocks,
+                                   MappingCostModel costs)
+    : block_words_(block_words), table_(blocks), costs_(costs) {
+  DSA_ASSERT(block_words_ > 0 && std::has_single_bit(block_words_),
+             "block size must be a power of two");
+  DSA_ASSERT(blocks > 0, "block table needs at least one entry");
+  offset_bits_ = std::bit_width(block_words_) - 1;
+}
+
+void BlockTableMapper::SetBlock(std::size_t index, PhysicalAddress base) {
+  DSA_ASSERT(index < table_.size(), "block index out of range");
+  table_[index] = base;
+}
+
+void BlockTableMapper::ClearBlock(std::size_t index) {
+  DSA_ASSERT(index < table_.size(), "block index out of range");
+  table_[index].reset();
+}
+
+TranslationResult BlockTableMapper::Translate(Name name, AccessKind kind, Cycles now) {
+  (void)kind;
+  (void)now;
+  const std::uint64_t block = name.value >> offset_bits_;
+  const std::uint64_t offset = name.value & (block_words_ - 1);
+  // One core reference to read the table entry, one register op to combine.
+  const Cycles cost = costs_.core_reference + costs_.register_op;
+  if (block >= table_.size()) {
+    Fault fault{FaultKind::kInvalidName, name, {}, PageId{block}, cost};
+    CountFault(cost);
+    return MakeUnexpected(fault);
+  }
+  const std::optional<PhysicalAddress>& base = table_[block];
+  if (!base.has_value()) {
+    Fault fault{FaultKind::kPageNotPresent, name, {}, PageId{block}, cost};
+    CountFault(cost);
+    return MakeUnexpected(fault);
+  }
+  CountTranslation(cost);
+  return Translation{PhysicalAddress{base->value + offset}, cost, false};
+}
+
+}  // namespace dsa

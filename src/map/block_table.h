@@ -1,0 +1,48 @@
+// Figure 2: "A simple mapping scheme."
+//
+// The most significant bits of the name index a table of block addresses;
+// the remaining bits are the word within the block.  A set of separate
+// physical blocks thereby corresponds to a single set of contiguous names —
+// artificial contiguity in its simplest form.  All blocks are assumed
+// resident; absence is a separate concern layered on by paging.
+
+#ifndef SRC_MAP_BLOCK_TABLE_H_
+#define SRC_MAP_BLOCK_TABLE_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/map/cost_model.h"
+#include "src/map/mapper.h"
+
+namespace dsa {
+
+class BlockTableMapper : public AddressMapper {
+ public:
+  // `block_words` must be a power of two; the table has `blocks` entries.
+  BlockTableMapper(WordCount block_words, std::size_t blocks, MappingCostModel costs = {});
+
+  // Binds name-block `index` to the physical block starting at `base`.
+  void SetBlock(std::size_t index, PhysicalAddress base);
+  void ClearBlock(std::size_t index);
+
+  TranslationResult Translate(Name name, AccessKind kind, Cycles now) override;
+
+  std::string name() const override { return "block-table"; }
+
+  WordCount block_words() const { return block_words_; }
+  std::size_t block_count() const { return table_.size(); }
+  // Words of core the mapping table itself occupies (one word per entry) —
+  // part of the overhead term in the page-size experiment.
+  WordCount TableWords() const { return table_.size(); }
+
+ private:
+  WordCount block_words_;
+  int offset_bits_;
+  std::vector<std::optional<PhysicalAddress>> table_;
+  MappingCostModel costs_;
+};
+
+}  // namespace dsa
+
+#endif  // SRC_MAP_BLOCK_TABLE_H_

@@ -1,0 +1,29 @@
+// Cycle costs of the address-translation path.
+//
+// "The complexity is not too detrimental in itself, but it can possibly
+// cause a significant increase in the time taken to address storage."  The
+// experiments that quantify that increase (F1, F4, E7) charge translations
+// through this model so the cost of each mechanism is explicit:
+//
+//   * register_op      — an add/compare against a live register
+//                        (relocation + limit checking);
+//   * core_reference   — one extra working-storage access to read a mapping
+//                        table entry (block table, segment table, page table);
+//   * associative_search — one probe of a small associative memory.
+
+#ifndef SRC_MAP_COST_MODEL_H_
+#define SRC_MAP_COST_MODEL_H_
+
+#include "src/core/types.h"
+
+namespace dsa {
+
+struct MappingCostModel {
+  Cycles register_op{1};
+  Cycles core_reference{2};
+  Cycles associative_search{1};
+};
+
+}  // namespace dsa
+
+#endif  // SRC_MAP_COST_MODEL_H_

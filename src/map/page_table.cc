@@ -1,0 +1,113 @@
+#include "src/map/page_table.h"
+
+#include <bit>
+
+#include "src/core/assert.h"
+
+namespace dsa {
+
+const PageTableEntry& PageTable::entry(PageId page) const {
+  DSA_ASSERT(page.value < entries_.size(), "page out of table range");
+  return entries_[page.value];
+}
+
+void PageTable::Map(PageId page, FrameId frame) {
+  DSA_ASSERT(page.value < entries_.size(), "page out of table range");
+  entries_[page.value] = PageTableEntry{true, frame};
+}
+
+void PageTable::Unmap(PageId page) {
+  DSA_ASSERT(page.value < entries_.size(), "page out of table range");
+  entries_[page.value] = PageTableEntry{};
+}
+
+PageTableMapper::PageTableMapper(WordCount page_words, std::size_t pages,
+                                 std::size_t tlb_entries, MappingCostModel costs)
+    : page_words_(page_words), table_(pages), tlb_(tlb_entries), costs_(costs) {
+  DSA_ASSERT(page_words_ > 0 && std::has_single_bit(page_words_),
+             "page size must be a power of two");
+  offset_bits_ = std::bit_width(page_words_) - 1;
+}
+
+TranslationResult PageTableMapper::Translate(Name name, AccessKind kind, Cycles now) {
+  (void)kind;
+  const PageId page = PageOf(name);
+  const WordCount offset = OffsetOf(name);
+  Cycles cost = 0;
+
+  if (page.value >= table_.page_count()) {
+    Fault fault{FaultKind::kInvalidName, name, {}, page, cost};
+    CountFault(cost);
+    return MakeUnexpected(fault);
+  }
+
+  // Associative probe first, when the facility exists.
+  if (tlb_.capacity() > 0) {
+    cost += costs_.associative_search;
+    if (auto frame = tlb_.Lookup(page.value, now)) {
+      CountTranslation(cost);
+      return Translation{PhysicalAddress{*frame * page_words_ + offset}, cost, true};
+    }
+  }
+
+  // Slow path: read the page table entry from core.
+  cost += costs_.core_reference;
+  const PageTableEntry& entry = table_.entry(page);
+  if (!entry.present) {
+    Fault fault{FaultKind::kPageNotPresent, name, {}, page, cost};
+    CountFault(cost);
+    return MakeUnexpected(fault);
+  }
+  if (tlb_.capacity() > 0) {
+    tlb_.Insert(page.value, entry.frame.value, now);
+  }
+  CountTranslation(cost);
+  return Translation{PhysicalAddress{entry.frame.value * page_words_ + offset}, cost, false};
+}
+
+void PageTableMapper::Map(PageId page, FrameId frame) { table_.Map(page, frame); }
+
+void PageTableMapper::Unmap(PageId page) {
+  table_.Unmap(page);
+  tlb_.Invalidate(page.value);
+}
+
+AtlasPageRegisterMapper::AtlasPageRegisterMapper(WordCount page_words, std::size_t frames,
+                                                 MappingCostModel costs)
+    : page_words_(page_words), registers_(frames), costs_(costs) {
+  DSA_ASSERT(page_words_ > 0 && std::has_single_bit(page_words_),
+             "page size must be a power of two");
+  DSA_ASSERT(frames > 0, "need at least one page frame");
+  offset_bits_ = std::bit_width(page_words_) - 1;
+}
+
+TranslationResult AtlasPageRegisterMapper::Translate(Name name, AccessKind kind, Cycles now) {
+  (void)kind;
+  (void)now;
+  const PageId page = PageOf(name);
+  const WordCount offset = name.value & (page_words_ - 1);
+  // The associative search happens in parallel across all registers: one
+  // fixed hardware cost whether it hits or traps.
+  const Cycles cost = costs_.associative_search;
+  for (std::size_t f = 0; f < registers_.size(); ++f) {
+    if (registers_[f].has_value() && registers_[f]->value == page.value) {
+      CountTranslation(cost);
+      return Translation{PhysicalAddress{f * page_words_ + offset}, cost, true};
+    }
+  }
+  Fault fault{FaultKind::kPageNotPresent, name, {}, page, cost};
+  CountFault(cost);
+  return MakeUnexpected(fault);
+}
+
+void AtlasPageRegisterMapper::LoadFrame(FrameId frame, PageId page) {
+  DSA_ASSERT(frame.value < registers_.size(), "frame out of range");
+  registers_[frame.value] = page;
+}
+
+void AtlasPageRegisterMapper::ClearFrame(FrameId frame) {
+  DSA_ASSERT(frame.value < registers_.size(), "frame out of range");
+  registers_[frame.value].reset();
+}
+
+}  // namespace dsa

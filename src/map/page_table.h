@@ -1,0 +1,103 @@
+// Single-level page mapping: a page table in core, optionally fronted by a
+// small associative memory (the Fig. 4 fast path without the segment level),
+// plus the ATLAS page-address-register scheme where the associative memory
+// *is* the map.
+
+#ifndef SRC_MAP_PAGE_TABLE_H_
+#define SRC_MAP_PAGE_TABLE_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/core/types.h"
+#include "src/map/associative_memory.h"
+#include "src/map/cost_model.h"
+#include "src/map/mapper.h"
+
+namespace dsa {
+
+struct PageTableEntry {
+  bool present{false};
+  FrameId frame;
+};
+
+// The in-core table of page locations.  Use/modified sensors live with the
+// frame table (src/paging/frame_table.h), matching the paper's description
+// of per-page-frame recording hardware.
+class PageTable {
+ public:
+  explicit PageTable(std::size_t pages) : entries_(pages) {}
+
+  std::size_t page_count() const { return entries_.size(); }
+
+  const PageTableEntry& entry(PageId page) const;
+  void Map(PageId page, FrameId frame);
+  void Unmap(PageId page);
+
+  // Words of core the table occupies (one word per entry).
+  WordCount TableWords() const { return entries_.size(); }
+
+ private:
+  std::vector<PageTableEntry> entries_;
+};
+
+// Name -> (page, offset) -> frame via the page table, with an optional TLB.
+class PageTableMapper : public AddressMapper {
+ public:
+  // `page_words` must be a power of two.  `tlb_entries == 0` disables the
+  // associative memory (every translation pays the table reference).
+  PageTableMapper(WordCount page_words, std::size_t pages, std::size_t tlb_entries,
+                  MappingCostModel costs = {});
+
+  TranslationResult Translate(Name name, AccessKind kind, Cycles now) override;
+
+  std::string name() const override { return "page-table"; }
+
+  // Page-load/unload hooks for the pager.  Unmap also shoots down the TLB.
+  void Map(PageId page, FrameId frame);
+  void Unmap(PageId page);
+
+  WordCount page_words() const { return page_words_; }
+  const PageTable& table() const { return table_; }
+  const AssociativeMemory& tlb() const { return tlb_; }
+
+  PageId PageOf(Name name) const { return PageId{name.value >> offset_bits_}; }
+  WordCount OffsetOf(Name name) const { return name.value & (page_words_ - 1); }
+
+ private:
+  WordCount page_words_;
+  int offset_bits_;
+  PageTable table_;
+  AssociativeMemory tlb_;
+  MappingCostModel costs_;
+};
+
+// The Ferranti ATLAS scheme: one page-address register per page frame; the
+// mapping is performed directly by an associative search over the registers.
+// A miss *is* the not-in-core trap — there is no in-core table behind it.
+class AtlasPageRegisterMapper : public AddressMapper {
+ public:
+  AtlasPageRegisterMapper(WordCount page_words, std::size_t frames, MappingCostModel costs = {});
+
+  TranslationResult Translate(Name name, AccessKind kind, Cycles now) override;
+
+  std::string name() const override { return "atlas-page-registers"; }
+
+  void LoadFrame(FrameId frame, PageId page);
+  void ClearFrame(FrameId frame);
+
+  WordCount page_words() const { return page_words_; }
+  std::size_t frame_count() const { return registers_.size(); }
+
+  PageId PageOf(Name name) const { return PageId{name.value >> offset_bits_}; }
+
+ private:
+  WordCount page_words_;
+  int offset_bits_;
+  std::vector<std::optional<PageId>> registers_;
+  MappingCostModel costs_;
+};
+
+}  // namespace dsa
+
+#endif  // SRC_MAP_PAGE_TABLE_H_

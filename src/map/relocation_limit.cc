@@ -1,0 +1,19 @@
+#include "src/map/relocation_limit.h"
+
+namespace dsa {
+
+TranslationResult RelocationLimitMapper::Translate(Name name, AccessKind kind, Cycles now) {
+  (void)kind;
+  (void)now;
+  // Limit check, then relocation add: two register operations.
+  const Cycles cost = 2 * costs_.register_op;
+  if (name.value >= limit_) {
+    Fault fault{FaultKind::kBoundsViolation, name, {}, {}, cost};
+    CountFault(cost);
+    return MakeUnexpected(fault);
+  }
+  CountTranslation(cost);
+  return Translation{PhysicalAddress{relocation_.value + name.value}, cost, false};
+}
+
+}  // namespace dsa

@@ -1,0 +1,42 @@
+// "The next level in sophistication is obtained in many systems by providing
+// a relocation register, limit register pair.  All name representations are
+// checked against the contents of the limit register and then have the
+// contents of the relocation register added to them."
+
+#ifndef SRC_MAP_RELOCATION_LIMIT_H_
+#define SRC_MAP_RELOCATION_LIMIT_H_
+
+#include "src/map/cost_model.h"
+#include "src/map/mapper.h"
+
+namespace dsa {
+
+class RelocationLimitMapper : public AddressMapper {
+ public:
+  RelocationLimitMapper(PhysicalAddress relocation, WordCount limit,
+                        MappingCostModel costs = {})
+      : relocation_(relocation), limit_(limit), costs_(costs) {}
+
+  TranslationResult Translate(Name name, AccessKind kind, Cycles now) override;
+
+  std::string name() const override { return "relocation+limit"; }
+
+  // The registers are reloaded when the program is moved — the whole point
+  // of keeping absolute addresses out of the program body.
+  void Load(PhysicalAddress relocation, WordCount limit) {
+    relocation_ = relocation;
+    limit_ = limit;
+  }
+
+  PhysicalAddress relocation() const { return relocation_; }
+  WordCount limit() const { return limit_; }
+
+ private:
+  PhysicalAddress relocation_;
+  WordCount limit_;
+  MappingCostModel costs_;
+};
+
+}  // namespace dsa
+
+#endif  // SRC_MAP_RELOCATION_LIMIT_H_

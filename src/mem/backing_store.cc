@@ -1,0 +1,35 @@
+#include "src/mem/backing_store.h"
+
+namespace dsa {
+
+Cycles BackingStore::Store(SlotId slot, std::vector<Word> data) {
+  const Cycles cost = level_.TransferTime(data.size());
+  slots_[slot] = std::move(data);
+  ++stores_;
+  busy_cycles_ += cost;
+  return cost;
+}
+
+Cycles BackingStore::Fetch(SlotId slot, WordCount words, std::vector<Word>* out) const {
+  const Cycles cost = level_.TransferTime(words);
+  auto it = slots_.find(slot);
+  if (it == slots_.end()) {
+    out->assign(words, Word{0});
+  } else {
+    *out = it->second;
+    out->resize(words, Word{0});
+  }
+  ++fetches_;
+  busy_cycles_ += cost;
+  return cost;
+}
+
+WordCount BackingStore::OccupiedWords() const {
+  WordCount total = 0;
+  for (const auto& [slot, data] : slots_) {
+    total += data.size();
+  }
+  return total;
+}
+
+}  // namespace dsa

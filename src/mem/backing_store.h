@@ -1,0 +1,61 @@
+// Backing storage (drum/disk/tape) holding pages or segments by slot id.
+//
+// Content is kept so transfers round-trip; timing comes from the level spec.
+// Slots are sized by the caller (a page for paging systems, a whole segment
+// for the B5000/Rice machines).
+
+#ifndef SRC_MEM_BACKING_STORE_H_
+#define SRC_MEM_BACKING_STORE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/types.h"
+#include "src/mem/storage_level.h"
+
+namespace dsa {
+
+class BackingStore {
+ public:
+  using SlotId = std::uint64_t;
+
+  explicit BackingStore(StorageLevel level) : level_(std::move(level)) {}
+
+  const StorageLevel& level() const { return level_; }
+
+  // True if the slot has ever been stored (an unstored slot reads as zeros,
+  // modelling the zero-fill of a first-touch page).
+  bool Contains(SlotId slot) const { return slots_.contains(slot); }
+
+  // Writes `data` to `slot`, charging transfer time for data.size() words.
+  Cycles Store(SlotId slot, std::vector<Word> data);
+
+  // Reads `words` words of `slot` into `out` (zero-filled when absent),
+  // charging transfer time.
+  Cycles Fetch(SlotId slot, WordCount words, std::vector<Word>* out) const;
+
+  // Drops a slot without a transfer (a destroyed segment's backing copy).
+  void Discard(SlotId slot) { slots_.erase(slot); }
+
+  // Words currently occupied across all slots.
+  WordCount OccupiedWords() const;
+
+  std::size_t slot_count() const { return slots_.size(); }
+
+  // Lifetime transfer accounting.
+  std::uint64_t stores() const { return stores_; }
+  std::uint64_t fetches() const { return fetches_; }
+  Cycles busy_cycles() const { return busy_cycles_; }
+
+ private:
+  StorageLevel level_;
+  std::unordered_map<SlotId, std::vector<Word>> slots_;
+  mutable std::uint64_t stores_{0};
+  mutable std::uint64_t fetches_{0};
+  mutable Cycles busy_cycles_{0};
+};
+
+}  // namespace dsa
+
+#endif  // SRC_MEM_BACKING_STORE_H_

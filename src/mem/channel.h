@@ -1,0 +1,86 @@
+// Transfer channels.
+//
+// Two kinds appear in the paper:
+//   * the I/O channel between working and backing storage, whose occupancy
+//     determines how much page-fetch time multiprogramming can overlap; and
+//   * the "fast autonomous storage to storage channel operations" offered as
+//     special hardware for storage packing (hardware facility iii).
+
+#ifndef SRC_MEM_CHANNEL_H_
+#define SRC_MEM_CHANNEL_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/core/types.h"
+#include "src/mem/storage_level.h"
+
+namespace dsa {
+
+// A channel that serialises transfers: a request issued at time t completes
+// at max(t, busy_until) + duration.  The CPU is free during the transfer —
+// that freedom is exactly what the multiprogramming experiments measure.
+class TransferChannel {
+ public:
+  struct Completion {
+    Cycles start;   // when the transfer began moving data
+    Cycles finish;  // when the data is available
+  };
+
+  // Schedules a transfer of `words` against `level`, issued at `now`.
+  Completion Schedule(const StorageLevel& level, WordCount words, Cycles now) {
+    const Cycles start = std::max(now, busy_until_);
+    const Cycles duration = level.TransferTime(words);
+    busy_until_ = start + duration;
+    ++transfers_;
+    busy_cycles_ += duration;
+    if (start > now) {
+      queueing_cycles_ += start - now;
+    }
+    return Completion{start, busy_until_};
+  }
+
+  Cycles busy_until() const { return busy_until_; }
+  std::uint64_t transfers() const { return transfers_; }
+  Cycles busy_cycles() const { return busy_cycles_; }
+  Cycles queueing_cycles() const { return queueing_cycles_; }
+
+  void Reset() {
+    busy_until_ = 0;
+    transfers_ = 0;
+    busy_cycles_ = 0;
+    queueing_cycles_ = 0;
+  }
+
+ private:
+  Cycles busy_until_{0};
+  std::uint64_t transfers_{0};
+  Cycles busy_cycles_{0};
+  Cycles queueing_cycles_{0};
+};
+
+// Cost model for in-core block moves during compaction: either the CPU
+// copies word by word, or an autonomous storage-to-storage channel does it
+// at a faster per-word rate with a fixed setup cost, leaving the CPU free.
+struct PackingChannel {
+  bool autonomous{false};
+  Cycles setup_cycles{0};          // per-move start-up (channel program setup)
+  Cycles cycles_per_word{4};       // CPU copy costs ~load+store+bookkeeping
+
+  Cycles MoveCost(WordCount words) const {
+    if (words == 0) {
+      return 0;
+    }
+    return setup_cycles + words * cycles_per_word;
+  }
+};
+
+// The paper-era CPU copy loop: no setup, expensive per word.
+inline PackingChannel CpuPackingChannel() { return PackingChannel{false, 0, 4}; }
+
+// Autonomous hardware: setup cost, then one cycle per word, CPU-free.
+inline PackingChannel AutonomousPackingChannel() { return PackingChannel{true, 64, 1}; }
+
+}  // namespace dsa
+
+#endif  // SRC_MEM_CHANNEL_H_

@@ -1,0 +1,36 @@
+#include "src/mem/core_store.h"
+
+#include <cstring>
+
+namespace dsa {
+
+Cycles CoreStore::Move(PhysicalAddress src, PhysicalAddress dst, WordCount count,
+                       Cycles cycles_per_word_copied) {
+  if (count == 0) {
+    return 0;
+  }
+  DSA_ASSERT(src.value + count <= words_.size(), "core move source out of bounds");
+  DSA_ASSERT(dst.value + count <= words_.size(), "core move destination out of bounds");
+  std::memmove(&words_[dst.value], &words_[src.value], count * sizeof(Word));
+  return count * cycles_per_word_copied;
+}
+
+void CoreStore::ReadRange(PhysicalAddress addr, WordCount count, std::vector<Word>* out) const {
+  DSA_ASSERT(addr.value + count <= words_.size(), "core range read out of bounds");
+  out->assign(words_.begin() + static_cast<std::ptrdiff_t>(addr.value),
+              words_.begin() + static_cast<std::ptrdiff_t>(addr.value + count));
+}
+
+void CoreStore::WriteRange(PhysicalAddress addr, const std::vector<Word>& data) {
+  DSA_ASSERT(addr.value + data.size() <= words_.size(), "core range write out of bounds");
+  std::memcpy(&words_[addr.value], data.data(), data.size() * sizeof(Word));
+}
+
+void CoreStore::Fill(PhysicalAddress addr, WordCount count, Word value) {
+  DSA_ASSERT(addr.value + count <= words_.size(), "core fill out of bounds");
+  for (WordCount i = 0; i < count; ++i) {
+    words_[addr.value + i] = value;
+  }
+}
+
+}  // namespace dsa

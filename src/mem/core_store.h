@@ -1,0 +1,59 @@
+// The physical working store: a bounds-checked array of words.
+//
+// Contents are real (not just counted) so that compaction and page transfers
+// can be verified end-to-end: after any sequence of moves, the words a
+// program wrote must still be the words it reads back.
+
+#ifndef SRC_MEM_CORE_STORE_H_
+#define SRC_MEM_CORE_STORE_H_
+
+#include <vector>
+
+#include "src/core/assert.h"
+#include "src/core/types.h"
+#include "src/mem/storage_level.h"
+
+namespace dsa {
+
+class CoreStore {
+ public:
+  explicit CoreStore(StorageLevel level)
+      : level_(std::move(level)), words_(level_.capacity_words, Word{0}) {
+    DSA_ASSERT(level_.kind == StorageLevelKind::kCore, "CoreStore needs a core-level spec");
+  }
+
+  explicit CoreStore(WordCount capacity)
+      : CoreStore(MakeCoreLevel("core", capacity, /*word_time=*/1)) {}
+
+  const StorageLevel& level() const { return level_; }
+  WordCount capacity() const { return level_.capacity_words; }
+
+  Word Read(PhysicalAddress addr) const {
+    DSA_ASSERT(addr.value < words_.size(), "core read out of bounds");
+    return words_[addr.value];
+  }
+
+  void Write(PhysicalAddress addr, Word value) {
+    DSA_ASSERT(addr.value < words_.size(), "core write out of bounds");
+    words_[addr.value] = value;
+  }
+
+  // Copies `count` words from `src` to `dst` within core.  Overlapping moves
+  // behave like std::memmove (needed when compaction slides a block down over
+  // its own tail).  Returns the CPU cost at `cycles_per_word_copied`.
+  Cycles Move(PhysicalAddress src, PhysicalAddress dst, WordCount count,
+              Cycles cycles_per_word_copied);
+
+  // Bulk accessors used by page/segment transfer paths.
+  void ReadRange(PhysicalAddress addr, WordCount count, std::vector<Word>* out) const;
+  void WriteRange(PhysicalAddress addr, const std::vector<Word>& data);
+  void Fill(PhysicalAddress addr, WordCount count, Word value);
+
+ private:
+  StorageLevel level_;
+  std::vector<Word> words_;
+};
+
+}  // namespace dsa
+
+#endif  // SRC_MEM_CORE_STORE_H_

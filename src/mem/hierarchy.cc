@@ -1,0 +1,21 @@
+#include "src/mem/hierarchy.h"
+
+#include <sstream>
+
+namespace dsa {
+
+std::string StorageHierarchy::Describe() const {
+  std::ostringstream out;
+  const StorageLevel& core_level = core_->level();
+  out << core_level.name << " (" << ToString(core_level.kind) << ", "
+      << core_level.capacity_words << " words)";
+  for (const auto& level : backing_) {
+    const StorageLevel& spec = level->level();
+    out << " + " << spec.name << " (" << ToString(spec.kind) << ", " << spec.capacity_words
+        << " words, latency " << spec.access_latency << ", " << spec.cycles_per_word
+        << " cyc/word)";
+  }
+  return out.str();
+}
+
+}  // namespace dsa

@@ -1,0 +1,60 @@
+// A complete storage hierarchy: one core store, one or more backing levels,
+// and the channels connecting them.
+
+#ifndef SRC_MEM_HIERARCHY_H_
+#define SRC_MEM_HIERARCHY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/assert.h"
+#include "src/mem/backing_store.h"
+#include "src/mem/channel.h"
+#include "src/mem/core_store.h"
+
+namespace dsa {
+
+class StorageHierarchy {
+ public:
+  explicit StorageHierarchy(StorageLevel core_level)
+      : core_(std::make_unique<CoreStore>(std::move(core_level))) {}
+
+  // Adds a backing level with its own channel; returns its index.
+  std::size_t AddBackingLevel(StorageLevel level) {
+    backing_.push_back(std::make_unique<BackingStore>(std::move(level)));
+    channels_.emplace_back(std::make_unique<TransferChannel>());
+    return backing_.size() - 1;
+  }
+
+  CoreStore& core() { return *core_; }
+  const CoreStore& core() const { return *core_; }
+
+  std::size_t backing_level_count() const { return backing_.size(); }
+
+  BackingStore& backing(std::size_t index) {
+    DSA_ASSERT(index < backing_.size(), "backing level index out of range");
+    return *backing_[index];
+  }
+  const BackingStore& backing(std::size_t index) const {
+    DSA_ASSERT(index < backing_.size(), "backing level index out of range");
+    return *backing_[index];
+  }
+
+  TransferChannel& channel(std::size_t index) {
+    DSA_ASSERT(index < channels_.size(), "channel index out of range");
+    return *channels_[index];
+  }
+
+  // One-line inventory, e.g. for machine descriptions.
+  std::string Describe() const;
+
+ private:
+  std::unique_ptr<CoreStore> core_;
+  std::vector<std::unique_ptr<BackingStore>> backing_;
+  std::vector<std::unique_ptr<TransferChannel>> channels_;
+};
+
+}  // namespace dsa
+
+#endif  // SRC_MEM_HIERARCHY_H_

@@ -1,0 +1,40 @@
+#include "src/mem/storage_level.h"
+
+namespace dsa {
+
+const char* ToString(StorageLevelKind kind) {
+  switch (kind) {
+    case StorageLevelKind::kCore:
+      return "core";
+    case StorageLevelKind::kDrum:
+      return "drum";
+    case StorageLevelKind::kDisk:
+      return "disk";
+    case StorageLevelKind::kTape:
+      return "tape";
+  }
+  return "?";
+}
+
+StorageLevel MakeCoreLevel(std::string name, WordCount capacity, Cycles word_time) {
+  return StorageLevel{std::move(name), StorageLevelKind::kCore, capacity, word_time, 0};
+}
+
+StorageLevel MakeDrumLevel(std::string name, WordCount capacity, Cycles word_time,
+                           Cycles rotational_delay) {
+  return StorageLevel{std::move(name), StorageLevelKind::kDrum, capacity, word_time,
+                      rotational_delay};
+}
+
+StorageLevel MakeDiskLevel(std::string name, WordCount capacity, Cycles word_time,
+                           Cycles seek_plus_rotation) {
+  return StorageLevel{std::move(name), StorageLevelKind::kDisk, capacity, word_time,
+                      seek_plus_rotation};
+}
+
+StorageLevel MakeTapeLevel(std::string name, WordCount capacity, Cycles word_time,
+                           Cycles positioning) {
+  return StorageLevel{std::move(name), StorageLevelKind::kTape, capacity, word_time, positioning};
+}
+
+}  // namespace dsa

@@ -1,0 +1,57 @@
+// Timing and capacity model for one level of a storage hierarchy.
+//
+// "The choice of suitable strategies will depend highly upon the environment
+// in which they are to be used and in particular the characteristics of the
+// various storage levels and their interconnections."  This struct carries
+// exactly those characteristics; machine models in src/machines instantiate
+// it with the parameters the paper quotes (ATLAS core+drum, M44 core+1301
+// disk, MULTICS core+drum+disk, ...).
+
+#ifndef SRC_MEM_STORAGE_LEVEL_H_
+#define SRC_MEM_STORAGE_LEVEL_H_
+
+#include <string>
+
+#include "src/core/types.h"
+
+namespace dsa {
+
+enum class StorageLevelKind : std::uint8_t {
+  kCore,  // directly addressable working storage
+  kDrum,  // rotational backing storage, no seek
+  kDisk,  // rotational backing storage with seek
+  kTape,  // sequential backing storage (Rice machine)
+};
+
+struct StorageLevel {
+  std::string name;
+  StorageLevelKind kind{StorageLevelKind::kCore};
+  WordCount capacity_words{0};
+
+  // Cost in cycles of accessing one word once a transfer is under way.
+  Cycles cycles_per_word{1};
+  // Fixed cost in cycles to start a transfer (average rotational delay for a
+  // drum, seek+rotation for a disk, rewind-free positioning for tape).
+  Cycles access_latency{0};
+
+  // Cycles to move `words` to/from this level, including start-up latency.
+  Cycles TransferTime(WordCount words) const {
+    return access_latency + words * cycles_per_word;
+  }
+};
+
+const char* ToString(StorageLevelKind kind);
+
+// Convenience constructors with characteristic shapes.  `word_time` is the
+// per-word transfer cost in cycles.
+StorageLevel MakeCoreLevel(std::string name, WordCount capacity, Cycles word_time);
+StorageLevel MakeDrumLevel(std::string name, WordCount capacity, Cycles word_time,
+                           Cycles rotational_delay);
+StorageLevel MakeDiskLevel(std::string name, WordCount capacity, Cycles word_time,
+                           Cycles seek_plus_rotation);
+StorageLevel MakeTapeLevel(std::string name, WordCount capacity, Cycles word_time,
+                           Cycles positioning);
+
+}  // namespace dsa
+
+#endif  // SRC_MEM_STORAGE_LEVEL_H_

@@ -1,0 +1,49 @@
+// The linear name space: "one in which permissible names are the integers
+// 0, 1, ..., n".
+//
+// Its extent is fixed by the address representation, not by physical
+// storage — the decoupling that artificial contiguity exploits (the M44/44X
+// gives each user ~2 million words of name space over ~200K words of core).
+
+#ifndef SRC_NAMING_LINEAR_H_
+#define SRC_NAMING_LINEAR_H_
+
+#include "src/core/assert.h"
+#include "src/core/types.h"
+
+namespace dsa {
+
+class LinearNameSpace {
+ public:
+  // `address_bits` bounds the extent by the name representation; `extent`
+  // may be smaller (a base/limit system with a reduced limit).
+  LinearNameSpace(int address_bits, WordCount extent)
+      : address_bits_(address_bits), extent_(extent) {
+    DSA_ASSERT(address_bits_ > 0 && address_bits_ <= 63, "address bits out of range");
+    DSA_ASSERT(extent_ <= MaxExtent(), "extent exceeds address representation");
+  }
+
+  explicit LinearNameSpace(int address_bits)
+      : LinearNameSpace(address_bits, WordCount{1} << address_bits) {}
+
+  int address_bits() const { return address_bits_; }
+  WordCount extent() const { return extent_; }
+  WordCount MaxExtent() const { return WordCount{1} << address_bits_; }
+
+  bool Contains(Name name) const { return name.value < extent_; }
+
+  // Grows/shrinks the permissible extent (limit-register update).  The new
+  // extent must still fit the address representation.
+  void SetExtent(WordCount extent) {
+    DSA_ASSERT(extent <= MaxExtent(), "extent exceeds address representation");
+    extent_ = extent;
+  }
+
+ private:
+  int address_bits_;
+  WordCount extent_;
+};
+
+}  // namespace dsa
+
+#endif  // SRC_NAMING_LINEAR_H_

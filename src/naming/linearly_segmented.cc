@@ -1,0 +1,55 @@
+#include "src/naming/linearly_segmented.h"
+
+#include "src/core/assert.h"
+
+namespace dsa {
+
+LinearlySegmentedNameSpace::LinearlySegmentedNameSpace(int segment_bits, int offset_bits)
+    : segment_bits_(segment_bits),
+      offset_bits_(offset_bits),
+      name_holes_(std::uint64_t{1} << segment_bits) {
+  DSA_ASSERT(segment_bits_ > 0 && offset_bits_ > 0, "both name components need bits");
+  DSA_ASSERT(segment_bits_ + offset_bits_ <= 63, "address representation too wide");
+}
+
+Expected<Name, NamePackError> LinearlySegmentedNameSpace::Pack(SegmentedName name) const {
+  if (name.segment.value >= max_segments()) {
+    return MakeUnexpected(NamePackError::kSegmentOutOfRange);
+  }
+  if (name.offset >= max_segment_extent()) {
+    return MakeUnexpected(NamePackError::kOffsetOutOfRange);
+  }
+  return Name{(name.segment.value << offset_bits_) | name.offset};
+}
+
+SegmentedName LinearlySegmentedNameSpace::Unpack(Name name) const {
+  SegmentedName out;
+  out.segment = SegmentId{name.value >> offset_bits_};
+  out.offset = name.value & (max_segment_extent() - 1);
+  DSA_ASSERT(out.segment.value < max_segments(), "name exceeds the address representation");
+  return out;
+}
+
+std::optional<SegmentId> LinearlySegmentedNameSpace::AllocateRun(std::uint64_t count) {
+  DSA_ASSERT(count > 0, "cannot allocate zero segment names");
+  // First-fit search over the dictionary of free name runs.
+  for (const auto& [start, size] : name_holes_) {
+    ++bookkeeping_ops_;
+    if (size >= count) {
+      const std::uint64_t first = start;  // copy: TakeRange invalidates the iterator
+      name_holes_.TakeRange(PhysicalAddress{first}, count);
+      ++bookkeeping_ops_;
+      return SegmentId{first};
+    }
+  }
+  ++run_failures_;
+  return std::nullopt;
+}
+
+void LinearlySegmentedNameSpace::FreeRun(SegmentId first, std::uint64_t count) {
+  DSA_ASSERT(count > 0, "cannot free zero segment names");
+  name_holes_.Insert(Block{PhysicalAddress{first.value}, count});
+  ++bookkeeping_ops_;
+}
+
+}  // namespace dsa

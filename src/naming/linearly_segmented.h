@@ -1,0 +1,71 @@
+// The linearly segmented name space (IBM 360/67, MULTICS hardware): "a
+// sequence of bits at the most significant end of the address representation
+// is considered to be the segment name."
+//
+// Because segment names are ordered and indexable, allocating the names of a
+// multi-segment object means finding a *contiguous run* of free segment
+// names — the same fragmentation problem as storage allocation, re-created
+// one level up.  `AllocateRun`/`FreeRun` expose that bookkeeping so
+// experiment E8 can measure it against the symbolic directory.
+
+#ifndef SRC_NAMING_LINEARLY_SEGMENTED_H_
+#define SRC_NAMING_LINEARLY_SEGMENTED_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/alloc/free_list.h"
+#include "src/core/expected.h"
+#include "src/core/types.h"
+#include "src/naming/segmented_name.h"
+
+namespace dsa {
+
+enum class NamePackError : std::uint8_t {
+  kSegmentOutOfRange,
+  kOffsetOutOfRange,
+};
+
+class LinearlySegmentedNameSpace {
+ public:
+  // The address representation is split into `segment_bits` high bits and
+  // `offset_bits` low bits (360/67 with 24-bit addressing: 4 + 20).
+  LinearlySegmentedNameSpace(int segment_bits, int offset_bits);
+
+  int segment_bits() const { return segment_bits_; }
+  int offset_bits() const { return offset_bits_; }
+  std::uint64_t max_segments() const { return std::uint64_t{1} << segment_bits_; }
+  WordCount max_segment_extent() const { return WordCount{1} << offset_bits_; }
+
+  // Packs a two-component name into the linear representation.
+  Expected<Name, NamePackError> Pack(SegmentedName name) const;
+
+  // Splits a linear representation into its two components.
+  SegmentedName Unpack(Name name) const;
+
+  // --- Segment-name bookkeeping ------------------------------------------
+  // Allocates `count` *contiguous* segment names (first-fit over the segment
+  // name dictionary).  Nullopt when no contiguous run exists, even if enough
+  // names are free in total — that shortfall is name-space fragmentation.
+  std::optional<SegmentId> AllocateRun(std::uint64_t count);
+  void FreeRun(SegmentId first, std::uint64_t count);
+
+  std::uint64_t free_names() const { return name_holes_.total_free(); }
+  std::uint64_t largest_free_run() const { return name_holes_.largest_hole(); }
+  std::size_t name_hole_count() const { return name_holes_.hole_count(); }
+
+  // Dictionary operations performed (the bookkeeping-cost metric of E8).
+  std::uint64_t bookkeeping_ops() const { return bookkeeping_ops_; }
+  std::uint64_t run_failures() const { return run_failures_; }
+
+ private:
+  int segment_bits_;
+  int offset_bits_;
+  FreeList name_holes_;  // reuse hole management over the segment-name space
+  std::uint64_t bookkeeping_ops_{0};
+  std::uint64_t run_failures_{0};
+};
+
+}  // namespace dsa
+
+#endif  // SRC_NAMING_LINEARLY_SEGMENTED_H_

@@ -1,0 +1,20 @@
+// The two-component name of an item in a segmented name space:
+// "(name of segment, name of item within segment)".
+
+#ifndef SRC_NAMING_SEGMENTED_NAME_H_
+#define SRC_NAMING_SEGMENTED_NAME_H_
+
+#include "src/core/types.h"
+
+namespace dsa {
+
+struct SegmentedName {
+  SegmentId segment;
+  WordCount offset{0};
+
+  bool operator==(const SegmentedName&) const = default;
+};
+
+}  // namespace dsa
+
+#endif  // SRC_NAMING_SEGMENTED_NAME_H_

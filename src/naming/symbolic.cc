@@ -1,0 +1,55 @@
+#include "src/naming/symbolic.h"
+
+namespace dsa {
+
+std::optional<SegmentId> SymbolicSegmentDirectory::Create(const std::string& symbol) {
+  ++bookkeeping_ops_;
+  if (by_symbol_.contains(symbol)) {
+    return std::nullopt;
+  }
+  SegmentId id;
+  if (!free_ids_.empty()) {
+    id = free_ids_.back();
+    free_ids_.pop_back();
+  } else {
+    if (next_fresh_id_ >= max_segments_) {
+      return std::nullopt;
+    }
+    id = SegmentId{next_fresh_id_++};
+  }
+  by_symbol_.emplace(symbol, id);
+  by_id_.emplace(id.value, symbol);
+  return id;
+}
+
+bool SymbolicSegmentDirectory::Destroy(const std::string& symbol) {
+  ++bookkeeping_ops_;
+  auto it = by_symbol_.find(symbol);
+  if (it == by_symbol_.end()) {
+    return false;
+  }
+  by_id_.erase(it->second.value);
+  free_ids_.push_back(it->second);
+  by_symbol_.erase(it);
+  return true;
+}
+
+std::optional<SegmentId> SymbolicSegmentDirectory::Lookup(const std::string& symbol) const {
+  ++bookkeeping_ops_;
+  auto it = by_symbol_.find(symbol);
+  if (it == by_symbol_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::optional<std::string> SymbolicSegmentDirectory::SymbolOf(SegmentId id) const {
+  ++bookkeeping_ops_;
+  auto it = by_id_.find(id.value);
+  if (it == by_id_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+}  // namespace dsa

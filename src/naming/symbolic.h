@@ -1,0 +1,58 @@
+// The symbolically segmented name space (Burroughs B5000): "the segments are
+// in no sense ordered, since users are not provided with any means of
+// manipulating a segment name to produce another name."
+//
+// With no ordering there is no name contiguity, hence no search for
+// contiguous free names and no dictionary fragmentation — the directory is a
+// flat symbol table with O(1)-ish bookkeeping per operation.  The counters
+// here pair with LinearlySegmentedNameSpace's for experiment E8.
+
+#ifndef SRC_NAMING_SYMBOLIC_H_
+#define SRC_NAMING_SYMBOLIC_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/types.h"
+
+namespace dsa {
+
+class SymbolicSegmentDirectory {
+ public:
+  explicit SymbolicSegmentDirectory(std::uint64_t max_segments = 1u << 20)
+      : max_segments_(max_segments) {}
+
+  // Binds a fresh segment id to `symbol`.  Nullopt if the symbol is already
+  // bound or the directory is full.
+  std::optional<SegmentId> Create(const std::string& symbol);
+
+  // Unbinds `symbol`; its id returns to the free pool immediately — no
+  // reallocation or tolerated fragmentation, which is the paper's point.
+  bool Destroy(const std::string& symbol);
+
+  std::optional<SegmentId> Lookup(const std::string& symbol) const;
+
+  // Reverse lookup, for reports.
+  std::optional<std::string> SymbolOf(SegmentId id) const;
+
+  std::size_t size() const { return by_symbol_.size(); }
+  std::uint64_t max_segments() const { return max_segments_; }
+
+  // Dictionary operations performed (one per create/destroy/lookup step).
+  std::uint64_t bookkeeping_ops() const { return bookkeeping_ops_; }
+
+ private:
+  std::uint64_t max_segments_;
+  std::unordered_map<std::string, SegmentId> by_symbol_;
+  std::unordered_map<std::uint64_t, std::string> by_id_;
+  std::vector<SegmentId> free_ids_;
+  std::uint64_t next_fresh_id_{0};
+  mutable std::uint64_t bookkeeping_ops_{0};
+};
+
+}  // namespace dsa
+
+#endif  // SRC_NAMING_SYMBOLIC_H_

@@ -1,0 +1,25 @@
+#include "src/paging/advice.h"
+
+namespace dsa {
+
+std::vector<PageId> AdviceRegistry::TakeWillNeed(std::size_t limit) {
+  std::vector<PageId> out;
+  out.reserve(std::min(limit, will_need_.size()));
+  for (auto it = will_need_.begin(); it != will_need_.end() && out.size() < limit;) {
+    out.push_back(PageId{*it});
+    it = will_need_.erase(it);
+  }
+  return out;
+}
+
+std::vector<PageId> AdviceRegistry::TakeWontNeed() {
+  std::vector<PageId> out;
+  out.reserve(wont_need_.size());
+  for (std::uint64_t page : wont_need_) {
+    out.push_back(PageId{page});
+  }
+  wont_need_.clear();
+  return out;
+}
+
+}  // namespace dsa

@@ -1,0 +1,69 @@
+// Predictive directives: the second basic characteristic.
+//
+// Three shapes appear in the paper and all route through this registry:
+//   * M44/44X — "one [instruction] indicates that a page will shortly be
+//     needed; the other indicates that it will not be needed for some time";
+//   * MULTICS — keep permanently resident / will be accessed shortly /
+//     will not be accessed again;
+//   * ACSI-MATIC — program descriptions naming preferred storage media.
+//
+// Directives are *advisory*: "the consequences of predictions will be
+// related to the overall situation as regards storage utilization."  The
+// pager consults the registry; it is never obliged to obey.
+
+#ifndef SRC_PAGING_ADVICE_H_
+#define SRC_PAGING_ADVICE_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "src/core/types.h"
+
+namespace dsa {
+
+class AdviceRegistry {
+ public:
+  // "Will shortly be needed": candidate for prefetch.
+  void AdviseWillNeed(PageId page) { will_need_.insert(page.value); }
+
+  // "Will not be needed for some time": candidate for early release.
+  void AdviseWontNeed(PageId page) {
+    wont_need_.insert(page.value);
+    will_need_.erase(page.value);
+  }
+
+  // "Kept permanently in working storage."
+  void AdviseKeepResident(PageId page) {
+    keep_resident_.insert(page.value);
+    wont_need_.erase(page.value);
+  }
+  void RevokeKeepResident(PageId page) { keep_resident_.erase(page.value); }
+
+  bool IsKeepResident(PageId page) const { return keep_resident_.contains(page.value); }
+
+  // Drains up to `limit` will-need pages (the pager fetches them).
+  std::vector<PageId> TakeWillNeed(std::size_t limit);
+
+  // Drains all wont-need pages (the pager may release them).
+  std::vector<PageId> TakeWontNeed();
+
+  // An access supersedes prior advice about that page.
+  void OnAccess(PageId page) {
+    will_need_.erase(page.value);
+    wont_need_.erase(page.value);
+  }
+
+  std::size_t pending_will_need() const { return will_need_.size(); }
+  std::size_t pending_wont_need() const { return wont_need_.size(); }
+  std::size_t keep_resident_count() const { return keep_resident_.size(); }
+
+ private:
+  std::unordered_set<std::uint64_t> will_need_;
+  std::unordered_set<std::uint64_t> wont_need_;
+  std::unordered_set<std::uint64_t> keep_resident_;
+};
+
+}  // namespace dsa
+
+#endif  // SRC_PAGING_ADVICE_H_

@@ -1,0 +1,72 @@
+#include "src/paging/atlas_learning.h"
+
+#include "src/core/assert.h"
+
+namespace dsa {
+
+void AtlasLearningReplacement::OnLoad(FrameId frame, PageId page, Cycles now) {
+  (void)frame;
+  // Arrival counts as use; without this a never-seen page would read as
+  // abandoned the instant it landed.
+  auto [it, inserted] = history_.try_emplace(page.value);
+  if (inserted) {
+    it->second.last_use = now;
+  }
+}
+
+void AtlasLearningReplacement::OnAccess(FrameId frame, PageId page, Cycles now, bool write) {
+  (void)frame;
+  (void)write;
+  auto [it, inserted] = history_.try_emplace(page.value);
+  PageHistory& record = it->second;
+  if (!inserted) {
+    const Cycles gap = now > record.last_use ? now - record.last_use : 0;
+    if (gap > idle_threshold_) {
+      record.previous_idle = gap;  // a period of inactivity just completed
+    }
+  }
+  record.last_use = now;
+}
+
+FrameId AtlasLearningReplacement::ChooseVictim(FrameTable* frames, Cycles now) {
+  const auto candidates = frames->EvictionCandidates();
+  DSA_ASSERT(!candidates.empty(), "no eviction candidates");
+
+  // Rule 1: a page idle longer than its learned inactivity period (plus
+  // margin) appears to be no longer in use.  A page with no completed period
+  // on record (previous_idle == 0) is abandoned as soon as it goes quiet.
+  bool found_abandoned = false;
+  FrameId abandoned = candidates.front();
+  Cycles best_overshoot = 0;
+  for (FrameId f : candidates) {
+    const PageHistory& record = history_[frames->info(f).page.value];
+    const Cycles idle = now > record.last_use ? now - record.last_use : 0;
+    if (idle > record.previous_idle + margin_) {
+      const Cycles overshoot = idle - record.previous_idle;
+      if (!found_abandoned || overshoot > best_overshoot) {
+        found_abandoned = true;
+        best_overshoot = overshoot;
+        abandoned = f;
+      }
+    }
+  }
+  if (found_abandoned) {
+    return abandoned;
+  }
+
+  // Rule 2: all pages are in current use; overlay the one whose predicted
+  // next use (last_use + learned period) is farthest in the future.
+  FrameId victim = candidates.front();
+  Cycles farthest_prediction = 0;
+  for (FrameId f : candidates) {
+    const PageHistory& record = history_[frames->info(f).page.value];
+    const Cycles predicted_next_use = record.last_use + record.previous_idle;
+    if (predicted_next_use >= farthest_prediction) {
+      farthest_prediction = predicted_next_use;
+      victim = f;
+    }
+  }
+  return victim;
+}
+
+}  // namespace dsa

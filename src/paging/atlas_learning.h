@@ -1,0 +1,58 @@
+// The ATLAS "learning program" (Kilburn et al., Appendix A.1).
+//
+// "The learning program makes use of information which records the length of
+// time since the page in each page frame has been accessed and the previous
+// duration of inactivity for that page.  It attempts to find a page which
+// appears to be no longer in use.  If all the pages are in current use it
+// tries to choose the one which, if the recent pattern of use is maintained,
+// will be the last to be required."
+//
+// History is kept per *page* and survives eviction — the original tracked
+// pages through the drum, which is what lets the program learn loop periods
+// that exceed one residence.  The decision rule, after Kilburn:
+//
+//   1. A page idle for t > T + margin (T = its last completed inactivity
+//      period) has outlived its observed pattern — it "appears to be no
+//      longer in use".  Among such pages pick the largest overshoot t - T.
+//   2. Otherwise predict each page's next use at last_use + T and overlay
+//      the page whose predicted use is farthest away.
+
+#ifndef SRC_PAGING_ATLAS_LEARNING_H_
+#define SRC_PAGING_ATLAS_LEARNING_H_
+
+#include <unordered_map>
+
+#include "src/paging/replacement.h"
+
+namespace dsa {
+
+class AtlasLearningReplacement : public ReplacementPolicy {
+ public:
+  // `margin` is the tolerance added to the learned period before a page is
+  // declared abandoned; `idle_threshold` is the smallest quiet gap that
+  // counts as a completed inactivity period (the drum-revolution sampling
+  // granularity of the original hardware).
+  explicit AtlasLearningReplacement(Cycles margin = 0, Cycles idle_threshold = 16)
+      : margin_(margin), idle_threshold_(idle_threshold) {}
+
+  void OnLoad(FrameId frame, PageId page, Cycles now) override;
+  void OnAccess(FrameId frame, PageId page, Cycles now, bool write) override;
+  FrameId ChooseVictim(FrameTable* frames, Cycles now) override;
+  ReplacementStrategyKind kind() const override {
+    return ReplacementStrategyKind::kAtlasLearning;
+  }
+
+ private:
+  struct PageHistory {
+    Cycles last_use{0};
+    Cycles previous_idle{0};  // T: the last completed period of inactivity
+  };
+
+  Cycles margin_;
+  Cycles idle_threshold_;
+  std::unordered_map<std::uint64_t, PageHistory> history_;
+};
+
+}  // namespace dsa
+
+#endif  // SRC_PAGING_ATLAS_LEARNING_H_

@@ -1,0 +1,25 @@
+#include "src/paging/fetch.h"
+
+namespace dsa {
+
+std::vector<PageId> PrefetchFetch::ExtraPages(PageId demanded, Cycles now) {
+  (void)now;
+  std::vector<PageId> out;
+  out.reserve(window_);
+  for (std::size_t i = 1; i <= window_; ++i) {
+    const std::uint64_t page = demanded.value + i;
+    if (page >= page_count_) {
+      break;
+    }
+    out.push_back(PageId{page});
+  }
+  return out;
+}
+
+std::vector<PageId> AdvisedFetch::ExtraPages(PageId demanded, Cycles now) {
+  (void)demanded;
+  (void)now;
+  return advice_->TakeWillNeed(budget_);
+}
+
+}  // namespace dsa

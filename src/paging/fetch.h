@@ -1,0 +1,75 @@
+// Fetch strategies: "information can be fetched before it is needed, at the
+// moment it is needed (e.g. 'demand paging'), or even later at the
+// convenience of the system."
+
+#ifndef SRC_PAGING_FETCH_H_
+#define SRC_PAGING_FETCH_H_
+
+#include <vector>
+
+#include "src/core/strategy.h"
+#include "src/core/types.h"
+#include "src/paging/advice.h"
+
+namespace dsa {
+
+class FetchPolicy {
+ public:
+  virtual ~FetchPolicy() = default;
+
+  // Pages to bring in when `demanded` has faulted.  The demanded page is
+  // implicit and always fetched; the returned list holds *extra* pages.
+  // The pager filters out pages already resident and respects frame
+  // availability (a prefetch never forces a replacement).
+  virtual std::vector<PageId> ExtraPages(PageId demanded, Cycles now) = 0;
+
+  virtual FetchStrategyKind kind() const = 0;
+  const char* name() const { return ToString(kind()); }
+};
+
+// Pure demand fetch: nothing beyond the faulting page.
+class DemandFetch : public FetchPolicy {
+ public:
+  std::vector<PageId> ExtraPages(PageId demanded, Cycles now) override {
+    (void)demanded;
+    (void)now;
+    return {};
+  }
+  FetchStrategyKind kind() const override { return FetchStrategyKind::kDemand; }
+};
+
+// Spatial lookahead: also fetch the next `window` consecutive pages, within
+// `page_count`.  Pays off on sequential workloads, wastes residency on
+// scattered ones — the trade experiment E5 sweeps.
+class PrefetchFetch : public FetchPolicy {
+ public:
+  PrefetchFetch(std::size_t window, std::uint64_t page_count)
+      : window_(window), page_count_(page_count) {}
+
+  std::vector<PageId> ExtraPages(PageId demanded, Cycles now) override;
+  FetchStrategyKind kind() const override { return FetchStrategyKind::kPrefetch; }
+
+ private:
+  std::size_t window_;
+  std::uint64_t page_count_;
+};
+
+// Directive-driven fetch: brings in pages the program advised it will need
+// (the M44 special instruction / MULTICS directive), up to `budget` per
+// fault.  The registry is shared with the pager.
+class AdvisedFetch : public FetchPolicy {
+ public:
+  AdvisedFetch(AdviceRegistry* advice, std::size_t budget)
+      : advice_(advice), budget_(budget) {}
+
+  std::vector<PageId> ExtraPages(PageId demanded, Cycles now) override;
+  FetchStrategyKind kind() const override { return FetchStrategyKind::kAdvised; }
+
+ private:
+  AdviceRegistry* advice_;
+  std::size_t budget_;
+};
+
+}  // namespace dsa
+
+#endif  // SRC_PAGING_FETCH_H_

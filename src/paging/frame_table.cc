@@ -1,0 +1,94 @@
+#include "src/paging/frame_table.h"
+
+#include "src/core/assert.h"
+
+namespace dsa {
+
+FrameTable::FrameTable(std::size_t frames) : frames_(frames) {
+  DSA_ASSERT(frames > 0, "frame table needs at least one frame");
+  free_.reserve(frames);
+  // Stack ordered so the lowest index pops first.
+  for (std::size_t f = frames; f > 0; --f) {
+    free_.push_back(FrameId{f - 1});
+  }
+}
+
+const FrameInfo& FrameTable::info(FrameId frame) const {
+  DSA_ASSERT(frame.value < frames_.size(), "frame out of range");
+  return frames_[frame.value];
+}
+
+FrameInfo& FrameTable::MutableInfo(FrameId frame) {
+  DSA_ASSERT(frame.value < frames_.size(), "frame out of range");
+  return frames_[frame.value];
+}
+
+std::optional<FrameId> FrameTable::TakeFreeFrame() {
+  if (free_.empty()) {
+    return std::nullopt;
+  }
+  const FrameId frame = free_.back();
+  free_.pop_back();
+  return frame;
+}
+
+void FrameTable::Load(FrameId frame, PageId page, Cycles now) {
+  FrameInfo& info = MutableInfo(frame);
+  DSA_ASSERT(!info.occupied, "loading into an occupied frame");
+  info = FrameInfo{};
+  info.occupied = true;
+  info.page = page;
+  info.load_time = now;
+  info.last_use = now;
+  ++occupied_;
+}
+
+void FrameTable::Evict(FrameId frame) {
+  FrameInfo& info = MutableInfo(frame);
+  DSA_ASSERT(info.occupied, "evicting an empty frame");
+  DSA_ASSERT(!info.pinned, "evicting a pinned frame");
+  info = FrameInfo{};
+  free_.push_back(frame);
+  --occupied_;
+}
+
+void FrameTable::Touch(FrameId frame, Cycles now, bool write, Cycles idle_threshold) {
+  FrameInfo& info = MutableInfo(frame);
+  DSA_ASSERT(info.occupied, "touching an empty frame");
+  const Cycles idle = now > info.last_use ? now - info.last_use : 0;
+  if (idle > idle_threshold) {
+    // A period of inactivity just ended; remember its length for the ATLAS
+    // learning program's next-use prediction.
+    info.previous_idle = idle;
+  }
+  info.use = true;
+  if (write) {
+    info.modified = true;
+  }
+  info.last_use = now;
+}
+
+void FrameTable::Pin(FrameId frame) {
+  FrameInfo& info = MutableInfo(frame);
+  DSA_ASSERT(info.occupied, "pinning an empty frame");
+  info.pinned = true;
+}
+
+void FrameTable::Unpin(FrameId frame) { MutableInfo(frame).pinned = false; }
+
+void FrameTable::ClearUse(FrameId frame) { MutableInfo(frame).use = false; }
+
+void FrameTable::ClearModified(FrameId frame) { MutableInfo(frame).modified = false; }
+
+std::vector<FrameId> FrameTable::EvictionCandidates() const {
+  std::vector<FrameId> candidates;
+  candidates.reserve(occupied_);
+  for (std::size_t f = 0; f < frames_.size(); ++f) {
+    if (frames_[f].occupied && !frames_[f].pinned) {
+      candidates.push_back(FrameId{f});
+    }
+  }
+  return candidates;
+}
+
+}  // namespace dsa

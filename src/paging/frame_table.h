@@ -1,0 +1,80 @@
+// The frame table: occupancy and the hardware usage sensors for every page
+// frame of working storage.
+//
+// "Typical examples of special hardware for information gathering are
+// sensors which record the fact of usage or of modifications of the
+// information constituting a page ...  Such sensors can then be interrogated
+// in order to guide the actions of a replacement strategy."  The `use` and
+// `modified` bits here are those sensors; replacement policies may read and
+// clear them.
+
+#ifndef SRC_PAGING_FRAME_TABLE_H_
+#define SRC_PAGING_FRAME_TABLE_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/core/types.h"
+
+namespace dsa {
+
+struct FrameInfo {
+  bool occupied{false};
+  bool pinned{false};      // "kept permanently in working storage" (MULTICS directive)
+  PageId page;             // meaningful when occupied
+  bool use{false};         // set on every access; cleared by policies
+  bool modified{false};    // set on write accesses; cleared on write-back
+  Cycles load_time{0};     // when the page arrived (FIFO's ordering)
+  Cycles last_use{0};      // refreshed on every access (LRU's ordering)
+  Cycles previous_idle{0}; // length of the last completed inactivity period (ATLAS)
+};
+
+class FrameTable {
+ public:
+  explicit FrameTable(std::size_t frames);
+
+  std::size_t frame_count() const { return frames_.size(); }
+  std::size_t occupied_count() const { return occupied_; }
+  // Frames available to TakeFreeFrame (taken-but-not-yet-loaded frames count
+  // as neither free nor occupied).
+  std::size_t free_count() const { return free_.size(); }
+
+  const FrameInfo& info(FrameId frame) const;
+
+  // Pops a free frame, lowest index first.
+  std::optional<FrameId> TakeFreeFrame();
+
+  // Installs `page` in `frame` (which must be free).
+  void Load(FrameId frame, PageId page, Cycles now);
+
+  // Vacates `frame` (which must be occupied and unpinned).
+  void Evict(FrameId frame);
+
+  // Records an access: sets the use sensor, refreshes recency, and closes
+  // the current inactivity period for the ATLAS learning policy.
+  // `idle_threshold` is the gap, in cycles, beyond which the quiet spell
+  // counts as a completed period of inactivity.
+  void Touch(FrameId frame, Cycles now, bool write, Cycles idle_threshold);
+
+  void Pin(FrameId frame);
+  void Unpin(FrameId frame);
+
+  // Clears the use sensor (clock hand sweep / periodic harvest).
+  void ClearUse(FrameId frame);
+  // Clears the modified sensor (page written back).
+  void ClearModified(FrameId frame);
+
+  // Occupied, unpinned frames — the candidate set for any replacement.
+  std::vector<FrameId> EvictionCandidates() const;
+
+ private:
+  FrameInfo& MutableInfo(FrameId frame);
+
+  std::vector<FrameInfo> frames_;
+  std::vector<FrameId> free_;
+  std::size_t occupied_{0};
+};
+
+}  // namespace dsa
+
+#endif  // SRC_PAGING_FRAME_TABLE_H_

@@ -1,0 +1,134 @@
+#include "src/paging/hierarchy_pager.h"
+
+#include <vector>
+
+#include "src/core/assert.h"
+
+namespace dsa {
+
+HierarchyPager::HierarchyPager(HierarchyPagerConfig config,
+                               std::unique_ptr<ReplacementPolicy> replacement)
+    : config_(config),
+      drum_(config.drum_level),
+      disk_(config.disk_level),
+      replacement_(std::move(replacement)),
+      frames_(config.frames) {
+  DSA_ASSERT(replacement_ != nullptr, "hierarchy pager needs a replacement policy");
+  DSA_ASSERT(config_.drum_pages > 0, "drum must hold at least one page");
+  if (config_.touch_idle_threshold == 0) {
+    config_.touch_idle_threshold = config_.page_words;
+  }
+}
+
+void HierarchyPager::DropFromDrum(PageId page) {
+  auto it = drum_pos_.find(page.value);
+  if (it != drum_pos_.end()) {
+    drum_lru_.erase(it->second);
+    drum_pos_.erase(it);
+    drum_.Discard(page.value);
+  }
+}
+
+void HierarchyPager::PlaceEvicted(PageId page, Cycles now) {
+  const bool to_drum = config_.demotion == DemotionPolicy::kAlwaysDrum ||
+                       (config_.promote_on_disk_fault && promoted_[page.value]);
+  std::vector<Word> data(config_.page_words, Word{0});
+  if (!to_drum) {
+    disk_channel_.Schedule(disk_.level(), config_.page_words, now);
+    disk_.Store(page.value, std::move(data));
+    home_[page.value] = Home::kDisk;
+    return;
+  }
+  // Stage on the drum; spill its least recently landed page to disk first
+  // if the drum is full.
+  if (drum_lru_.size() >= config_.drum_pages) {
+    const std::uint64_t spill = drum_lru_.back();
+    drum_lru_.pop_back();
+    drum_pos_.erase(spill);
+    drum_.Discard(spill);
+    std::vector<Word> spilled(config_.page_words, Word{0});
+    disk_channel_.Schedule(disk_.level(), config_.page_words, now);
+    disk_.Store(spill, std::move(spilled));
+    home_[spill] = Home::kDisk;
+    ++stats_.demotions;
+  }
+  drum_channel_.Schedule(drum_.level(), config_.page_words, now);
+  drum_.Store(page.value, std::move(data));
+  drum_lru_.push_front(page.value);
+  drum_pos_[page.value] = drum_lru_.begin();
+  home_[page.value] = Home::kDrum;
+}
+
+void HierarchyPager::EvictOne(Cycles now) {
+  const FrameId victim = replacement_->ChooseVictim(&frames_, now);
+  const FrameInfo& info = frames_.info(victim);
+  DSA_ASSERT(info.occupied && !info.pinned, "policy chose an invalid victim");
+  const PageId page = info.page;
+  // Every eviction writes the page out (its only up-to-date copy is in core:
+  // the fetch consumed the backing copy's slot when the page moved levels).
+  ++stats_.writebacks;
+  PlaceEvicted(page, now);
+  replacement_->OnEvict(victim, page);
+  frames_.Evict(victim);
+  resident_.erase(page.value);
+}
+
+Cycles HierarchyPager::Access(PageId page, AccessKind kind, Cycles now) {
+  ++stats_.accesses;
+  const bool write = kind == AccessKind::kWrite;
+
+  if (auto it = resident_.find(page.value); it != resident_.end()) {
+    frames_.Touch(it->second, now, write, config_.touch_idle_threshold);
+    replacement_->OnAccess(it->second, page, now, write);
+    return 0;
+  }
+
+  // --- fault: find the page's home and fetch it ----------------------------
+  ++stats_.faults;
+  std::optional<FrameId> frame = frames_.TakeFreeFrame();
+  if (!frame.has_value()) {
+    EvictOne(now);
+    frame = frames_.TakeFreeFrame();
+    DSA_ASSERT(frame.has_value(), "eviction did not free a frame");
+  }
+
+  Cycles wait = 0;
+  std::vector<Word> data;
+  const Home home = home_.contains(page.value) ? home_[page.value] : Home::kNowhere;
+  switch (home) {
+    case Home::kDrum: {
+      const auto done = drum_channel_.Schedule(drum_.level(), config_.page_words, now);
+      wait = done.finish - now;
+      drum_.Fetch(page.value, config_.page_words, &data);
+      DropFromDrum(page);
+      ++stats_.drum_hits;
+      break;
+    }
+    case Home::kDisk: {
+      const auto done = disk_channel_.Schedule(disk_.level(), config_.page_words, now);
+      wait = done.finish - now;
+      disk_.Fetch(page.value, config_.page_words, &data);
+      disk_.Discard(page.value);
+      ++stats_.disk_hits;
+      // "Worthwhile only if the item is going to be used frequently": a disk
+      // fault is the frequency evidence this model accepts.
+      promoted_[page.value] = true;
+      break;
+    }
+    case Home::kNowhere:
+      ++stats_.zero_fills;  // first touch: zero-filled, no transfer
+      break;
+  }
+  home_.erase(page.value);
+  stats_.wait_cycles += wait;
+
+  frames_.Load(*frame, page, now);
+  resident_.emplace(page.value, *frame);
+  replacement_->OnLoad(*frame, page, now);
+  const Cycles arrival = now + wait;
+  frames_.Touch(*frame, arrival, write, config_.touch_idle_threshold);
+  replacement_->OnAccess(*frame, page, arrival, write);
+  return wait;
+}
+
+}  // namespace dsa

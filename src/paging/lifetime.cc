@@ -1,0 +1,64 @@
+#include "src/paging/lifetime.h"
+
+#include <memory>
+
+#include "src/core/assert.h"
+#include "src/mem/backing_store.h"
+#include "src/paging/pager.h"
+#include "src/paging/replacement_factory.h"
+
+namespace dsa {
+
+std::size_t LifetimeCurve::KneeFrames(double tolerance) const {
+  if (points.empty()) {
+    return 0;
+  }
+  const double floor_rate = points.back().fault_rate;
+  for (const LifetimePoint& point : points) {
+    if (point.fault_rate <= floor_rate * (1.0 + tolerance) ||
+        point.fault_rate - floor_rate < 1e-12) {
+      return point.frames;
+    }
+  }
+  return points.back().frames;
+}
+
+LifetimeCurve ComputeLifetimeCurve(const std::vector<PageId>& refs,
+                                   const std::vector<std::size_t>& frames,
+                                   ReplacementStrategyKind policy, std::uint64_t seed) {
+  DSA_ASSERT(!refs.empty(), "lifetime curve needs a reference string");
+  LifetimeCurve curve;
+  curve.policy = policy;
+  for (const std::size_t frame_count : frames) {
+    DSA_ASSERT(frame_count > 0, "memory sizes must be positive");
+    BackingStore backing(MakeDrumLevel("drum", 1u << 22, /*word_time=*/0,
+                                       /*rotational_delay=*/0));
+    PagerConfig config;
+    config.page_words = 1;
+    config.frames = frame_count;
+    ReplacementOptions options;
+    options.seed = seed;
+    if (policy == ReplacementStrategyKind::kOpt) {
+      options.page_string = refs;
+    }
+    Pager pager(config, &backing, /*channel=*/nullptr, MakeReplacementPolicy(policy, options),
+                std::make_unique<DemandFetch>(), /*advice=*/nullptr);
+    Cycles now = 0;
+    for (const PageId page : refs) {
+      pager.Access(page, AccessKind::kRead, now++);
+    }
+    LifetimePoint point;
+    point.frames = frame_count;
+    point.faults = pager.stats().faults;
+    point.fault_rate =
+        static_cast<double>(point.faults) / static_cast<double>(refs.size());
+    point.mean_lifetime = point.faults == 0
+                              ? static_cast<double>(refs.size())
+                              : static_cast<double>(refs.size()) /
+                                    static_cast<double>(point.faults);
+    curve.points.push_back(point);
+  }
+  return curve;
+}
+
+}  // namespace dsa

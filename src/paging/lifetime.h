@@ -1,0 +1,51 @@
+// The lifetime function and fault-rate curve (after Belady [1], the paper's
+// reference for replacement evaluation).
+//
+// For a page reference string and a replacement policy, the *fault-rate
+// curve* gives faults/reference at each memory size, and the *lifetime
+// function* its reciprocal — the mean number of references a program
+// executes between faults ("the length of time for which a program can run
+// before a transfer is needed").  Both are the standard summaries the
+// replacement experiments (E4) report.
+
+#ifndef SRC_PAGING_LIFETIME_H_
+#define SRC_PAGING_LIFETIME_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/strategy.h"
+#include "src/core/types.h"
+
+namespace dsa {
+
+struct LifetimePoint {
+  std::size_t frames{0};
+  std::uint64_t faults{0};
+  double fault_rate{0.0};
+  // Mean references between faults; the full trace length when no fault
+  // occurred beyond the compulsory ones.
+  double mean_lifetime{0.0};
+};
+
+struct LifetimeCurve {
+  ReplacementStrategyKind policy{};
+  std::vector<LifetimePoint> points;
+
+  // The smallest measured memory size whose fault rate is within
+  // `tolerance` of the largest memory's — the knee a system designer would
+  // provision for.  Returns 0 for an empty curve.
+  std::size_t KneeFrames(double tolerance = 0.10) const;
+};
+
+// Runs `refs` through a latency-free pager at each memory size in `frames`
+// (ascending) under `policy`, producing one curve.  For kOpt the reference
+// string itself supplies the future.
+LifetimeCurve ComputeLifetimeCurve(const std::vector<PageId>& refs,
+                                   const std::vector<std::size_t>& frames,
+                                   ReplacementStrategyKind policy,
+                                   std::uint64_t seed = 1234);
+
+}  // namespace dsa
+
+#endif  // SRC_PAGING_LIFETIME_H_

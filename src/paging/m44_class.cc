@@ -1,0 +1,40 @@
+#include "src/paging/m44_class.h"
+
+#include <array>
+#include <vector>
+
+#include "src/core/assert.h"
+
+namespace dsa {
+
+FrameId M44ClassReplacement::ChooseVictim(FrameTable* frames, Cycles now) {
+  (void)now;
+  const auto candidates = frames->EvictionCandidates();
+  DSA_ASSERT(!candidates.empty(), "no eviction candidates");
+
+  // Class 0: unused, clean.  Class 1: unused, dirty.
+  // Class 2: used, clean.    Class 3: used, dirty.
+  std::array<std::vector<FrameId>, 4> classes;
+  for (FrameId f : candidates) {
+    const FrameInfo& info = frames->info(f);
+    const std::size_t cls =
+        (info.use ? 2u : 0u) + (info.modified ? 1u : 0u);
+    classes[cls].push_back(f);
+  }
+
+  FrameId victim{0};
+  for (const auto& cls : classes) {
+    if (!cls.empty()) {
+      victim = cls[rng_.Below(cls.size())];
+      break;
+    }
+  }
+
+  // Start a fresh usage-observation window for the next decision.
+  for (FrameId f : candidates) {
+    frames->ClearUse(f);
+  }
+  return victim;
+}
+
+}  // namespace dsa

@@ -1,0 +1,35 @@
+// The M44/44X replacement algorithm (Appendix A.2; also Belady [1]).
+//
+// "One of particular interest selects at random from a set of equally
+// acceptable candidates determined on the basis of frequency of usage and
+// whether or not a page has been modified."
+//
+// Candidates are ranked into four classes by the (use, modified) sensor
+// pair; unused-and-clean pages are the cheapest to overlay (no write-back,
+// no recent use), unused-but-dirty next, and so on.  The victim is drawn
+// uniformly at random from the lowest nonempty class.  Use sensors are
+// cleared after every decision, so `use` approximates frequency of usage
+// over the inter-fault window.
+
+#ifndef SRC_PAGING_M44_CLASS_H_
+#define SRC_PAGING_M44_CLASS_H_
+
+#include "src/core/rng.h"
+#include "src/paging/replacement.h"
+
+namespace dsa {
+
+class M44ClassReplacement : public ReplacementPolicy {
+ public:
+  explicit M44ClassReplacement(std::uint64_t seed = 44) : rng_(seed) {}
+
+  FrameId ChooseVictim(FrameTable* frames, Cycles now) override;
+  ReplacementStrategyKind kind() const override { return ReplacementStrategyKind::kM44Class; }
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace dsa
+
+#endif  // SRC_PAGING_M44_CLASS_H_

@@ -1,0 +1,58 @@
+#include "src/paging/opt.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/core/assert.h"
+
+namespace dsa {
+
+OptReplacement::OptReplacement(std::vector<PageId> page_string)
+    : page_string_(std::move(page_string)) {
+  for (std::size_t i = 0; i < page_string_.size(); ++i) {
+    uses_[page_string_[i].value].push_back(i);
+  }
+}
+
+void OptReplacement::OnAccess(FrameId frame, PageId page, Cycles now, bool write) {
+  (void)frame;
+  (void)now;
+  (void)write;
+  DSA_ASSERT(position_ < page_string_.size(), "OPT ran past its reference string");
+  DSA_ASSERT(page_string_[position_] == page,
+             "OPT was constructed from a different reference string");
+  ++position_;
+}
+
+std::size_t OptReplacement::NextUse(PageId page, std::size_t from) const {
+  auto it = uses_.find(page.value);
+  if (it == uses_.end()) {
+    return std::numeric_limits<std::size_t>::max();
+  }
+  const std::vector<std::size_t>& positions = it->second;
+  auto pos = std::lower_bound(positions.begin(), positions.end(), from);
+  if (pos == positions.end()) {
+    return std::numeric_limits<std::size_t>::max();
+  }
+  return *pos;
+}
+
+FrameId OptReplacement::ChooseVictim(FrameTable* frames, Cycles now) {
+  (void)now;
+  const auto candidates = frames->EvictionCandidates();
+  DSA_ASSERT(!candidates.empty(), "no eviction candidates");
+  // `position_` references have completed; the faulting reference is at
+  // `position_`, so future uses of resident pages are those at > position_.
+  FrameId victim = candidates.front();
+  std::size_t farthest = 0;
+  for (FrameId f : candidates) {
+    const std::size_t next = NextUse(frames->info(f).page, position_ + 1);
+    if (next > farthest) {
+      farthest = next;
+      victim = f;
+    }
+  }
+  return victim;
+}
+
+}  // namespace dsa

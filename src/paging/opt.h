@@ -1,0 +1,41 @@
+// Belady's offline optimal policy (MIN), per reference [1] of the paper:
+// overlay the resident page whose next use lies farthest in the future.
+//
+// OPT needs the future, so it is constructed from the full page reference
+// string and tracks its position by counting OnAccess notifications.  It is
+// the lower bound every online policy is measured against in experiment E4.
+
+#ifndef SRC_PAGING_OPT_H_
+#define SRC_PAGING_OPT_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/paging/replacement.h"
+
+namespace dsa {
+
+class OptReplacement : public ReplacementPolicy {
+ public:
+  explicit OptReplacement(std::vector<PageId> page_string);
+
+  void OnAccess(FrameId frame, PageId page, Cycles now, bool write) override;
+  FrameId ChooseVictim(FrameTable* frames, Cycles now) override;
+  ReplacementStrategyKind kind() const override { return ReplacementStrategyKind::kOpt; }
+
+  std::size_t position() const { return position_; }
+
+ private:
+  // Position of the next use of `page` at or after `from`; or npos if never
+  // used again.
+  std::size_t NextUse(PageId page, std::size_t from) const;
+
+  std::vector<PageId> page_string_;
+  // page -> sorted positions at which it is referenced
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> uses_;
+  std::size_t position_{0};
+};
+
+}  // namespace dsa
+
+#endif  // SRC_PAGING_OPT_H_

@@ -1,0 +1,212 @@
+#include "src/paging/pager.h"
+
+#include <vector>
+
+#include "src/core/assert.h"
+
+namespace dsa {
+
+Pager::Pager(PagerConfig config, BackingStore* backing, TransferChannel* channel,
+             std::unique_ptr<ReplacementPolicy> replacement, std::unique_ptr<FetchPolicy> fetch,
+             AdviceRegistry* advice)
+    : config_(config),
+      backing_(backing),
+      channel_(channel),
+      replacement_(std::move(replacement)),
+      fetch_(std::move(fetch)),
+      advice_(advice),
+      frames_(config.frames) {
+  DSA_ASSERT(backing_ != nullptr, "pager needs a backing store");
+  DSA_ASSERT(replacement_ != nullptr, "pager needs a replacement policy");
+  DSA_ASSERT(fetch_ != nullptr, "pager needs a fetch policy");
+  if (config_.touch_idle_threshold == 0) {
+    config_.touch_idle_threshold = config_.page_words;
+  }
+}
+
+std::optional<FrameId> Pager::FrameOf(PageId page) const {
+  auto it = resident_.find(page.value);
+  if (it == resident_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+void Pager::AdviseWillNeed(PageId page) {
+  if (advice_ != nullptr && !IsResident(page)) {
+    advice_->AdviseWillNeed(page);
+  }
+}
+
+void Pager::AdviseWontNeed(PageId page) {
+  if (advice_ != nullptr) {
+    advice_->AdviseWontNeed(page);
+  }
+}
+
+void Pager::AdviseKeepResident(PageId page) {
+  if (advice_ == nullptr) {
+    return;
+  }
+  advice_->AdviseKeepResident(page);
+  if (auto frame = FrameOf(page)) {
+    frames_.Pin(*frame);
+  }
+}
+
+void Pager::EvictFrame(FrameId frame, Cycles now) {
+  const FrameInfo& info = frames_.info(frame);
+  DSA_ASSERT(info.occupied, "evicting an empty frame");
+  const PageId page = info.page;
+  if (info.modified) {
+    // Write-back transfers occupy the channel but are buffered off the
+    // program's critical path; later fetches queue behind them.
+    ++stats_.writebacks;
+    std::vector<Word> data(config_.page_words, Word{0});
+    if (channel_ != nullptr) {
+      channel_->Schedule(backing_->level(), config_.page_words, now);
+    }
+    stats_.transfer_cycles += backing_->Store(page.value, std::move(data));
+  }
+  replacement_->OnEvict(frame, page);
+  frames_.Evict(frame);
+  resident_.erase(page.value);
+  ++stats_.evictions;
+  if (on_evict_) {
+    on_evict_(page, frame);
+  }
+}
+
+FrameId Pager::EvictOne(Cycles now) {
+  const FrameId victim = replacement_->ChooseVictim(&frames_, now);
+  const FrameInfo& info = frames_.info(victim);
+  DSA_ASSERT(info.occupied && !info.pinned, "policy chose an invalid victim");
+  EvictFrame(victim, now);
+  return victim;
+}
+
+Cycles Pager::FetchInto(PageId page, FrameId frame, Cycles now, bool demand) {
+  std::vector<Word> data;
+  Cycles wait = 0;
+  if (channel_ != nullptr) {
+    const TransferChannel::Completion done =
+        channel_->Schedule(backing_->level(), config_.page_words, now);
+    wait = done.finish - now;
+    // Account the device time once; Fetch() tracks device-side counters.
+    stats_.transfer_cycles += backing_->Fetch(page.value, config_.page_words, &data);
+  } else {
+    wait = backing_->Fetch(page.value, config_.page_words, &data);
+    stats_.transfer_cycles += wait;
+  }
+  frames_.Load(frame, page, now);
+  resident_.emplace(page.value, frame);
+  replacement_->OnLoad(frame, page, now);
+  if (advice_ != nullptr && advice_->IsKeepResident(page)) {
+    frames_.Pin(frame);
+  }
+  if (on_load_) {
+    on_load_(page, frame);
+  }
+  if (demand) {
+    ++stats_.demand_fetches;
+  } else {
+    ++stats_.extra_fetches;
+  }
+  return wait;
+}
+
+void Pager::ApplyReleases(Cycles now) {
+  if (advice_ != nullptr) {
+    for (PageId page : advice_->TakeWontNeed()) {
+      if (auto frame = FrameOf(page)) {
+        if (!frames_.info(*frame).pinned) {
+          EvictFrame(*frame, now);
+          ++stats_.advised_releases;
+        }
+      }
+    }
+  }
+  for (FrameId frame : replacement_->FramesToRelease(&frames_, now)) {
+    if (frames_.info(frame).occupied && !frames_.info(frame).pinned) {
+      EvictFrame(frame, now);
+      ++stats_.policy_releases;
+    }
+  }
+}
+
+PageAccessOutcome Pager::Access(PageId page, AccessKind kind, Cycles now) {
+  ++stats_.accesses;
+  if (advice_ != nullptr) {
+    advice_->OnAccess(page);
+  }
+  const bool write = kind == AccessKind::kWrite;
+
+  if (auto frame = FrameOf(page)) {
+    frames_.Touch(*frame, now, write, config_.touch_idle_threshold);
+    replacement_->OnAccess(*frame, page, now, write);
+    return PageAccessOutcome{false, *frame, 0, 0};
+  }
+
+  // --- page fault ----------------------------------------------------------
+  ++stats_.faults;
+  ApplyReleases(now);
+
+  std::optional<FrameId> frame = frames_.TakeFreeFrame();
+  if (!frame.has_value()) {
+    frame = EvictOne(now);
+    const std::optional<FrameId> reclaimed = frames_.TakeFreeFrame();
+    DSA_ASSERT(reclaimed.has_value(), "eviction did not free a frame");
+    frame = reclaimed;
+  }
+  PageAccessOutcome outcome;
+  outcome.faulted = true;
+  outcome.frame = *frame;
+  outcome.wait_cycles = FetchInto(page, *frame, now, /*demand=*/true);
+  stats_.wait_cycles += outcome.wait_cycles;
+
+  // Piggybacked fetches never force a replacement: they fill free frames
+  // only, and their transfer time overlaps the program's restart.
+  for (PageId extra : fetch_->ExtraPages(page, now)) {
+    if (IsResident(extra)) {
+      continue;
+    }
+    if (page_valid_ && !page_valid_(extra)) {
+      continue;
+    }
+    const std::optional<FrameId> spare = frames_.TakeFreeFrame();
+    if (!spare.has_value()) {
+      break;
+    }
+    FetchInto(extra, *spare, now, /*demand=*/false);
+    ++outcome.extra_fetches;
+  }
+
+  const Cycles arrival = now + outcome.wait_cycles;
+  frames_.Touch(outcome.frame, arrival, write, config_.touch_idle_threshold);
+  replacement_->OnAccess(outcome.frame, page, arrival, write);
+
+  // ATLAS: restore the vacant frame after the dust settles, off the critical
+  // path of the *next* fault.  The page just demanded is exempt — evicting
+  // it before the program restarts would be self-defeating.
+  if (config_.keep_one_frame_vacant && frames_.free_count() == 0) {
+    const bool was_pinned = frames_.info(outcome.frame).pinned;
+    frames_.Pin(outcome.frame);
+    if (!frames_.EvictionCandidates().empty()) {
+      EvictOne(arrival);
+    }
+    if (!was_pinned) {
+      frames_.Unpin(outcome.frame);
+    }
+  }
+  return outcome;
+}
+
+void Pager::Release(PageId page, Cycles now) {
+  if (auto frame = FrameOf(page)) {
+    if (!frames_.info(*frame).pinned) {
+      EvictFrame(*frame, now);
+    }
+  }
+}
+
+}  // namespace dsa

@@ -1,0 +1,135 @@
+// The pager: binds the frame table, a replacement strategy, a fetch
+// strategy, the advice registry, and the backing-store timing into the
+// storage allocation engine of a paged system.
+//
+// The pager deals in opaque page ids; callers that page segments pack
+// (segment, page) pairs into the id.  Residency callbacks keep whatever
+// address mapper is in use coherent with the frame table.
+
+#ifndef SRC_PAGING_PAGER_H_
+#define SRC_PAGING_PAGER_H_
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "src/core/types.h"
+#include "src/mem/backing_store.h"
+#include "src/mem/channel.h"
+#include "src/paging/advice.h"
+#include "src/paging/fetch.h"
+#include "src/paging/frame_table.h"
+#include "src/paging/replacement.h"
+
+namespace dsa {
+
+struct PagerConfig {
+  WordCount page_words{512};
+  std::size_t frames{32};
+  // ATLAS: "the replacement strategy ... is used to ensure that one page
+  // frame is kept vacant, ready for the next page demand."  Replacement then
+  // happens after the fetch, off the fault's critical path.
+  bool keep_one_frame_vacant{false};
+  // Gap beyond which a quiet spell counts as a completed inactivity period
+  // for the learning policy's sensors; defaults to the page size (one
+  // page-sweep's worth of references).
+  Cycles touch_idle_threshold{0};  // 0 => use page_words
+};
+
+struct PageAccessOutcome {
+  bool faulted{false};
+  FrameId frame;
+  Cycles wait_cycles{0};        // stall time the program sees
+  std::size_t extra_fetches{0};  // prefetch/advice fetches piggybacked on the fault
+};
+
+struct PagerStats {
+  std::uint64_t accesses{0};
+  std::uint64_t faults{0};
+  std::uint64_t demand_fetches{0};
+  std::uint64_t extra_fetches{0};   // prefetched or advised
+  std::uint64_t writebacks{0};
+  std::uint64_t evictions{0};
+  std::uint64_t advised_releases{0};
+  std::uint64_t policy_releases{0};  // working-set style voluntary shrink
+  Cycles wait_cycles{0};
+  Cycles transfer_cycles{0};
+
+  double FaultRate() const {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(faults) / static_cast<double>(accesses);
+  }
+};
+
+class Pager {
+ public:
+  using LoadCallback = std::function<void(PageId page, FrameId frame)>;
+  using EvictCallback = std::function<void(PageId page, FrameId frame)>;
+
+  // `channel` may be null (transfers then cost pure level latency with no
+  // queueing).  `advice` may be null (no predictive directives accepted).
+  Pager(PagerConfig config, BackingStore* backing, TransferChannel* channel,
+        std::unique_ptr<ReplacementPolicy> replacement, std::unique_ptr<FetchPolicy> fetch,
+        AdviceRegistry* advice);
+
+  void SetResidencyCallbacks(LoadCallback on_load, EvictCallback on_evict) {
+    on_load_ = std::move(on_load);
+    on_evict_ = std::move(on_evict);
+  }
+
+  // Restricts which page ids the fetch policy may bring in speculatively
+  // (e.g. keys past the end of a segment's page table).  Demanded pages are
+  // assumed valid by construction.
+  void SetPageValidator(std::function<bool(PageId)> valid) { page_valid_ = std::move(valid); }
+
+  // Performs one reference.  On a fault this selects victims, writes back
+  // dirty pages, fetches the page (plus any policy extras), and reports the
+  // stall time.
+  PageAccessOutcome Access(PageId page, AccessKind kind, Cycles now);
+
+  bool IsResident(PageId page) const { return resident_.contains(page.value); }
+  std::optional<FrameId> FrameOf(PageId page) const;
+
+  // Advisory interface (routes through the registry when present).
+  void AdviseWillNeed(PageId page);
+  void AdviseWontNeed(PageId page);
+  void AdviseKeepResident(PageId page);
+
+  // Releases a resident page immediately (writing back if dirty).
+  void Release(PageId page, Cycles now);
+
+  const FrameTable& frames() const { return frames_; }
+  const PagerStats& stats() const { return stats_; }
+  const ReplacementPolicy& replacement() const { return *replacement_; }
+  const PagerConfig& config() const { return config_; }
+
+  // Resident words right now (the space term of the space-time product).
+  WordCount ResidentWords() const { return frames_.occupied_count() * config_.page_words; }
+
+ private:
+  // Frees one frame via the replacement policy; returns it.
+  FrameId EvictOne(Cycles now);
+  // Vacates a specific frame, writing back if modified.
+  void EvictFrame(FrameId frame, Cycles now);
+  // Transfers `page` into `frame`; returns the program-visible wait.
+  Cycles FetchInto(PageId page, FrameId frame, Cycles now, bool demand);
+  // Applies wont-need advice and policy shrink before hunting for frames.
+  void ApplyReleases(Cycles now);
+
+  PagerConfig config_;
+  BackingStore* backing_;
+  TransferChannel* channel_;
+  std::unique_ptr<ReplacementPolicy> replacement_;
+  std::unique_ptr<FetchPolicy> fetch_;
+  AdviceRegistry* advice_;
+  FrameTable frames_;
+  std::unordered_map<std::uint64_t, FrameId> resident_;
+  LoadCallback on_load_;
+  EvictCallback on_evict_;
+  std::function<bool(PageId)> page_valid_;
+  PagerStats stats_;
+};
+
+}  // namespace dsa
+
+#endif  // SRC_PAGING_PAGER_H_

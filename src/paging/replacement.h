@@ -1,0 +1,62 @@
+// The replacement-strategy interface: "when it is necessary to make room in
+// working storage for some new information, a replacement strategy is used
+// to determine which informational units should be overlayed.  The strategy
+// should seek to avoid the overlaying of information which may be required
+// again in the near future."
+
+#ifndef SRC_PAGING_REPLACEMENT_H_
+#define SRC_PAGING_REPLACEMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/strategy.h"
+#include "src/core/types.h"
+#include "src/paging/frame_table.h"
+
+namespace dsa {
+
+class ReplacementPolicy {
+ public:
+  virtual ~ReplacementPolicy() = default;
+
+  // Lifecycle notifications from the pager.
+  virtual void OnLoad(FrameId frame, PageId page, Cycles now) {
+    (void)frame;
+    (void)page;
+    (void)now;
+  }
+  // Called for every reference (including the one that faulted, after the
+  // page arrives).
+  virtual void OnAccess(FrameId frame, PageId page, Cycles now, bool write) {
+    (void)frame;
+    (void)page;
+    (void)now;
+    (void)write;
+  }
+  virtual void OnEvict(FrameId frame, PageId page) {
+    (void)frame;
+    (void)page;
+  }
+
+  // Picks a victim among `frames->EvictionCandidates()`, which is non-empty.
+  // Policies may read and clear the usage sensors while deciding.
+  virtual FrameId ChooseVictim(FrameTable* frames, Cycles now) = 0;
+
+  // Pages the policy volunteers to give back ahead of need (a
+  // variable-allocation policy like working-set shrinks residency here; most
+  // policies return nothing).  The pager asks at every fault.
+  virtual std::vector<FrameId> FramesToRelease(FrameTable* frames, Cycles now) {
+    (void)frames;
+    (void)now;
+    return {};
+  }
+
+  virtual ReplacementStrategyKind kind() const = 0;
+  std::string name() const { return ToString(kind()); }
+};
+
+}  // namespace dsa
+
+#endif  // SRC_PAGING_REPLACEMENT_H_

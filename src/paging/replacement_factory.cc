@@ -1,0 +1,46 @@
+#include "src/paging/replacement_factory.h"
+
+#include "src/core/assert.h"
+#include "src/paging/atlas_learning.h"
+#include "src/paging/m44_class.h"
+#include "src/paging/opt.h"
+#include "src/paging/replacement_simple.h"
+#include "src/paging/working_set.h"
+
+namespace dsa {
+
+std::unique_ptr<ReplacementPolicy> MakeReplacementPolicy(ReplacementStrategyKind kind,
+                                                         ReplacementOptions options) {
+  switch (kind) {
+    case ReplacementStrategyKind::kFifo:
+      return std::make_unique<FifoReplacement>();
+    case ReplacementStrategyKind::kLru:
+      return std::make_unique<LruReplacement>();
+    case ReplacementStrategyKind::kRandom:
+      return std::make_unique<RandomReplacement>(options.seed);
+    case ReplacementStrategyKind::kClock:
+      return std::make_unique<ClockReplacement>();
+    case ReplacementStrategyKind::kAtlasLearning:
+      return std::make_unique<AtlasLearningReplacement>(options.atlas_margin);
+    case ReplacementStrategyKind::kM44Class:
+      return std::make_unique<M44ClassReplacement>(options.seed);
+    case ReplacementStrategyKind::kWorkingSet:
+      return std::make_unique<WorkingSetReplacement>(options.working_set_tau);
+    case ReplacementStrategyKind::kOpt:
+      DSA_ASSERT(!options.page_string.empty(), "OPT needs the future reference string");
+      return std::make_unique<OptReplacement>(options.page_string);
+  }
+  DSA_ASSERT(false, "unknown replacement kind");
+  return nullptr;
+}
+
+std::vector<ReplacementStrategyKind> OnlineReplacementKinds() {
+  return {
+      ReplacementStrategyKind::kFifo,   ReplacementStrategyKind::kLru,
+      ReplacementStrategyKind::kRandom, ReplacementStrategyKind::kClock,
+      ReplacementStrategyKind::kAtlasLearning, ReplacementStrategyKind::kM44Class,
+      ReplacementStrategyKind::kWorkingSet,
+  };
+}
+
+}  // namespace dsa

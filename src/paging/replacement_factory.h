@@ -1,0 +1,30 @@
+// Factory over ReplacementStrategyKind, used by SystemBuilder, the machine
+// models, and the parameterized test/bench sweeps.
+
+#ifndef SRC_PAGING_REPLACEMENT_FACTORY_H_
+#define SRC_PAGING_REPLACEMENT_FACTORY_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/paging/replacement.h"
+
+namespace dsa {
+
+struct ReplacementOptions {
+  std::uint64_t seed{1234};          // random / M44 tie-break
+  Cycles atlas_margin{0};            // ATLAS abandonment tolerance
+  Cycles working_set_tau{100000};    // working-set window
+  // Required for kOpt: the full future page reference string.
+  std::vector<PageId> page_string;
+};
+
+std::unique_ptr<ReplacementPolicy> MakeReplacementPolicy(ReplacementStrategyKind kind,
+                                                         ReplacementOptions options = {});
+
+// The online policies (everything except OPT), for sweeps.
+std::vector<ReplacementStrategyKind> OnlineReplacementKinds();
+
+}  // namespace dsa
+
+#endif  // SRC_PAGING_REPLACEMENT_FACTORY_H_

@@ -1,0 +1,62 @@
+#include "src/paging/replacement_simple.h"
+
+#include "src/core/assert.h"
+
+namespace dsa {
+
+FrameId FifoReplacement::ChooseVictim(FrameTable* frames, Cycles now) {
+  (void)now;
+  const auto candidates = frames->EvictionCandidates();
+  DSA_ASSERT(!candidates.empty(), "no eviction candidates");
+  FrameId victim = candidates.front();
+  for (FrameId f : candidates) {
+    if (frames->info(f).load_time < frames->info(victim).load_time) {
+      victim = f;
+    }
+  }
+  return victim;
+}
+
+FrameId LruReplacement::ChooseVictim(FrameTable* frames, Cycles now) {
+  (void)now;
+  const auto candidates = frames->EvictionCandidates();
+  DSA_ASSERT(!candidates.empty(), "no eviction candidates");
+  FrameId victim = candidates.front();
+  for (FrameId f : candidates) {
+    if (frames->info(f).last_use < frames->info(victim).last_use) {
+      victim = f;
+    }
+  }
+  return victim;
+}
+
+FrameId RandomReplacement::ChooseVictim(FrameTable* frames, Cycles now) {
+  (void)now;
+  const auto candidates = frames->EvictionCandidates();
+  DSA_ASSERT(!candidates.empty(), "no eviction candidates");
+  return candidates[rng_.Below(candidates.size())];
+}
+
+FrameId ClockReplacement::ChooseVictim(FrameTable* frames, Cycles now) {
+  (void)now;
+  const std::size_t n = frames->frame_count();
+  // Two full sweeps guarantee termination: the first pass may clear every
+  // use sensor, the second must then find a victim.
+  for (std::size_t step = 0; step < 2 * n + 1; ++step) {
+    const FrameId frame{hand_};
+    hand_ = (hand_ + 1) % n;
+    const FrameInfo& info = frames->info(frame);
+    if (!info.occupied || info.pinned) {
+      continue;
+    }
+    if (info.use) {
+      frames->ClearUse(frame);
+      continue;
+    }
+    return frame;
+  }
+  DSA_ASSERT(false, "clock sweep found no candidate");
+  return FrameId{0};
+}
+
+}  // namespace dsa

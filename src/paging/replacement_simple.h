@@ -1,0 +1,56 @@
+// The history-based workhorse policies: FIFO, LRU, random, and the
+// "essentially cyclical" strategy the B5000 used (a clock sweep over the
+// use sensors).
+
+#ifndef SRC_PAGING_REPLACEMENT_SIMPLE_H_
+#define SRC_PAGING_REPLACEMENT_SIMPLE_H_
+
+#include "src/core/rng.h"
+#include "src/paging/replacement.h"
+
+namespace dsa {
+
+// Overlays the page that has been resident longest, ignoring use entirely.
+// Exhibits Belady's anomaly (more frames can mean more faults), which the
+// property tests demonstrate on the classic reference string.
+class FifoReplacement : public ReplacementPolicy {
+ public:
+  FrameId ChooseVictim(FrameTable* frames, Cycles now) override;
+  ReplacementStrategyKind kind() const override { return ReplacementStrategyKind::kFifo; }
+};
+
+// Overlays the page unused for the longest time — pure "recent history of
+// usage of information" guidance.
+class LruReplacement : public ReplacementPolicy {
+ public:
+  FrameId ChooseVictim(FrameTable* frames, Cycles now) override;
+  ReplacementStrategyKind kind() const override { return ReplacementStrategyKind::kLru; }
+};
+
+// Overlays a uniformly random candidate: the no-information baseline.
+class RandomReplacement : public ReplacementPolicy {
+ public:
+  explicit RandomReplacement(std::uint64_t seed = 99) : rng_(seed) {}
+
+  FrameId ChooseVictim(FrameTable* frames, Cycles now) override;
+  ReplacementStrategyKind kind() const override { return ReplacementStrategyKind::kRandom; }
+
+ private:
+  Rng rng_;
+};
+
+// Cyclic sweep with second chance: advance a hand over the frames; a frame
+// whose use sensor is set gets the sensor cleared and is passed over; the
+// first frame found unused is the victim.
+class ClockReplacement : public ReplacementPolicy {
+ public:
+  FrameId ChooseVictim(FrameTable* frames, Cycles now) override;
+  ReplacementStrategyKind kind() const override { return ReplacementStrategyKind::kClock; }
+
+ private:
+  std::size_t hand_{0};
+};
+
+}  // namespace dsa
+
+#endif  // SRC_PAGING_REPLACEMENT_SIMPLE_H_

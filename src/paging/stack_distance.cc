@@ -1,0 +1,71 @@
+#include "src/paging/stack_distance.h"
+
+#include <list>
+#include <unordered_map>
+
+#include "src/core/assert.h"
+
+namespace dsa {
+
+std::uint64_t StackDistanceProfile::FaultsAt(std::size_t frames) const {
+  DSA_ASSERT(frames > 0, "memory must hold at least one frame");
+  std::uint64_t faults = cold_references;
+  for (std::size_t d = frames + 1; d <= distance_counts.size(); ++d) {
+    faults += distance_counts[d - 1];
+  }
+  return faults;
+}
+
+std::vector<std::uint64_t> StackDistanceProfile::FaultCurve(std::size_t max_frames) const {
+  // curve[m] = cold + sum_{d > m} counts[d-1]; computed as suffix sums so
+  // the whole curve costs one pass over the histogram.
+  std::vector<std::uint64_t> curve(max_frames + 1, 0);
+  std::uint64_t beyond = cold_references;
+  for (std::size_t d = distance_counts.size(); d > max_frames; --d) {
+    beyond += distance_counts[d - 1];
+  }
+  for (std::size_t m = std::min(max_frames, distance_counts.size()); m >= 1; --m) {
+    curve[m] = beyond;
+    beyond += distance_counts[m - 1];
+  }
+  // Memory sizes beyond the deepest observed distance see only cold misses;
+  // sizes below the shallowest recorded distance accumulate everything.
+  for (std::size_t m = distance_counts.size() + 1; m <= max_frames; ++m) {
+    curve[m] = cold_references;
+  }
+  return curve;
+}
+
+StackDistanceProfile ComputeStackDistances(const std::vector<PageId>& refs) {
+  StackDistanceProfile profile;
+  profile.total_references = refs.size();
+
+  // The LRU stack: most recently used first.  The map gives O(1) lookup of a
+  // page's node; depth is found by walking, which is O(n * distinct) — fine
+  // for analysis workloads and exact by construction.
+  std::list<std::uint64_t> stack;
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> where;
+
+  for (const PageId page : refs) {
+    auto it = where.find(page.value);
+    if (it == where.end()) {
+      ++profile.cold_references;
+    } else {
+      // Depth of the page in the stack (1-based).
+      std::size_t depth = 1;
+      for (auto walk = stack.begin(); walk != it->second; ++walk) {
+        ++depth;
+      }
+      if (profile.distance_counts.size() < depth) {
+        profile.distance_counts.resize(depth, 0);
+      }
+      ++profile.distance_counts[depth - 1];
+      stack.erase(it->second);
+    }
+    stack.push_front(page.value);
+    where[page.value] = stack.begin();
+  }
+  return profile;
+}
+
+}  // namespace dsa

@@ -1,0 +1,46 @@
+// Mattson stack-distance analysis for LRU.
+//
+// LRU is a stack algorithm (the inclusion property the property suite
+// demonstrates), so a single pass over the reference string yields the
+// distance of each reference in the LRU stack — and from the distance
+// histogram, the exact fault count at *every* memory size at once.  This is
+// the analytical counterpart of Belady's simulations [1], and the library's
+// strongest self-check: the histogram must agree exactly with the pager
+// simulating LRU at each size.
+
+#ifndef SRC_PAGING_STACK_DISTANCE_H_
+#define SRC_PAGING_STACK_DISTANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/types.h"
+
+namespace dsa {
+
+struct StackDistanceProfile {
+  // counts[d-1] = number of references at stack distance d (d >= 1; a
+  // distance-d reference hits iff the memory holds at least d frames).
+  std::vector<std::uint64_t> distance_counts;
+  // References to pages never seen before (infinite distance) — the
+  // compulsory misses.
+  std::uint64_t cold_references{0};
+  std::uint64_t total_references{0};
+
+  // Exact LRU faults with `frames` frames: cold misses plus every reference
+  // whose stack distance exceeds the frame count.
+  std::uint64_t FaultsAt(std::size_t frames) const;
+
+  // Exact LRU fault counts for frames = 1..max_frames (index 0 unused).
+  std::vector<std::uint64_t> FaultCurve(std::size_t max_frames) const;
+
+  // Distinct pages in the string.
+  std::uint64_t DistinctPages() const { return cold_references; }
+};
+
+// One pass over the page reference string.
+StackDistanceProfile ComputeStackDistances(const std::vector<PageId>& refs);
+
+}  // namespace dsa
+
+#endif  // SRC_PAGING_STACK_DISTANCE_H_

@@ -1,0 +1,37 @@
+#include "src/paging/working_set.h"
+
+#include "src/core/assert.h"
+
+namespace dsa {
+
+FrameId WorkingSetReplacement::ChooseVictim(FrameTable* frames, Cycles now) {
+  (void)now;
+  const auto candidates = frames->EvictionCandidates();
+  DSA_ASSERT(!candidates.empty(), "no eviction candidates");
+
+  // Prefer any page that has left the working set (idle > tau); among those,
+  // the one idle longest.  Otherwise fall back to plain LRU.
+  FrameId victim = candidates.front();
+  Cycles oldest_use = frames->info(victim).last_use;
+  for (FrameId f : candidates) {
+    const Cycles last_use = frames->info(f).last_use;
+    if (last_use < oldest_use) {
+      oldest_use = last_use;
+      victim = f;
+    }
+  }
+  return victim;  // the LRU page is outside tau iff any page is
+}
+
+std::vector<FrameId> WorkingSetReplacement::FramesToRelease(FrameTable* frames, Cycles now) {
+  std::vector<FrameId> out;
+  for (FrameId f : frames->EvictionCandidates()) {
+    const Cycles last_use = frames->info(f).last_use;
+    if (now > last_use && now - last_use > tau_) {
+      out.push_back(f);
+    }
+  }
+  return out;
+}
+
+}  // namespace dsa

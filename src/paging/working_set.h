@@ -1,0 +1,39 @@
+// Working-set replacement (extension).
+//
+// The paper predates Denning's 1968 formulation but argues exactly its
+// premise: "a sufficient reserve of programs can be kept in working storage"
+// only when each holds the storage it is actively using.  This policy evicts
+// pages outside the working-set window tau, falling back to LRU when every
+// resident page is inside the window.  Included as the forward-looking
+// comparison point in experiment E4.
+
+#ifndef SRC_PAGING_WORKING_SET_H_
+#define SRC_PAGING_WORKING_SET_H_
+
+#include "src/paging/replacement.h"
+
+namespace dsa {
+
+class WorkingSetReplacement : public ReplacementPolicy {
+ public:
+  explicit WorkingSetReplacement(Cycles tau) : tau_(tau) {}
+
+  FrameId ChooseVictim(FrameTable* frames, Cycles now) override;
+
+  // The defining working-set behaviour: every page idle longer than tau has
+  // left the working set and is released, shrinking residency to W(t, tau).
+  std::vector<FrameId> FramesToRelease(FrameTable* frames, Cycles now) override;
+
+  ReplacementStrategyKind kind() const override {
+    return ReplacementStrategyKind::kWorkingSet;
+  }
+
+  Cycles tau() const { return tau_; }
+
+ private:
+  Cycles tau_;
+};
+
+}  // namespace dsa
+
+#endif  // SRC_PAGING_WORKING_SET_H_

@@ -1,0 +1,36 @@
+#include "src/seg/codeword.h"
+
+#include "src/core/assert.h"
+
+namespace dsa {
+
+WordCount IndexRegisterFile::Get(std::size_t reg) const {
+  DSA_ASSERT(reg < kRegisters, "index register out of range");
+  return regs_[reg];
+}
+
+void IndexRegisterFile::Set(std::size_t reg, WordCount value) {
+  DSA_ASSERT(reg < kRegisters, "index register out of range");
+  regs_[reg] = value;
+}
+
+Expected<PhysicalAddress, Fault> ResolveCodeword(const Codeword& codeword,
+                                                 const IndexRegisterFile& registers,
+                                                 WordCount offset) {
+  const WordCount effective = offset + registers.Get(codeword.index_register);
+  if (effective >= codeword.extent) {
+    Fault fault;
+    fault.kind = FaultKind::kBoundsViolation;
+    fault.name = Name{effective};
+    return MakeUnexpected(fault);
+  }
+  if (!codeword.presence) {
+    Fault fault;
+    fault.kind = FaultKind::kSegmentNotPresent;
+    fault.name = Name{effective};
+    return MakeUnexpected(fault);
+  }
+  return PhysicalAddress{codeword.base.value + effective};
+}
+
+}  // namespace dsa

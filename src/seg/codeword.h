@@ -1,0 +1,52 @@
+// Rice University codewords (Appendix A.4, after Iliffe & Jodeit).
+//
+// "Codewords are used to provide a compact characterization of individual
+// program or data segments, and are thus approximately analogous to the
+// descriptors, or PRT elements, used in the B5000 system.  Probably the
+// major difference ... is that codewords contain an index register address.
+// When the codeword is used to access a segment, the contents of the
+// specified index register are automatically added to the segment base
+// address given in the codeword."
+
+#ifndef SRC_SEG_CODEWORD_H_
+#define SRC_SEG_CODEWORD_H_
+
+#include <array>
+#include <optional>
+
+#include "src/core/expected.h"
+#include "src/core/types.h"
+#include "src/map/fault.h"
+
+namespace dsa {
+
+struct Codeword {
+  bool presence{false};
+  PhysicalAddress base;
+  WordCount extent{0};
+  std::size_t index_register{0};  // automatically added on access
+};
+
+// The machine's index registers, any of which a codeword may name.
+class IndexRegisterFile {
+ public:
+  static constexpr std::size_t kRegisters = 8;
+
+  WordCount Get(std::size_t reg) const;
+  void Set(std::size_t reg, WordCount value);
+
+ private:
+  std::array<WordCount, kRegisters> regs_{};
+};
+
+// Resolves codeword + offset + auto-index into a physical address, with
+// bounds checking against the segment extent.  The equivalent operation on
+// the B5000 "would have to be programmed explicitly" — the auto-indexing is
+// the hardware assist being modelled.
+Expected<PhysicalAddress, Fault> ResolveCodeword(const Codeword& codeword,
+                                                 const IndexRegisterFile& registers,
+                                                 WordCount offset);
+
+}  // namespace dsa
+
+#endif  // SRC_SEG_CODEWORD_H_

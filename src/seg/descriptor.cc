@@ -1,0 +1,60 @@
+#include "src/seg/descriptor.h"
+
+#include "src/core/assert.h"
+
+namespace dsa {
+
+ProgramReferenceTable::Slot& ProgramReferenceTable::SlotAt(std::size_t index) {
+  DSA_ASSERT(index < table_.size(), "PRT index out of range");
+  return table_[index];
+}
+
+std::optional<std::size_t> ProgramReferenceTable::AllocateEntry(WordCount extent) {
+  for (std::size_t i = 0; i < table_.size(); ++i) {
+    if (!table_[i].in_use) {
+      table_[i].in_use = true;
+      table_[i].descriptor = Descriptor{};
+      table_[i].descriptor.extent = extent;
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+void ProgramReferenceTable::ReleaseEntry(std::size_t index) {
+  Slot& slot = SlotAt(index);
+  DSA_ASSERT(slot.in_use, "releasing an unused PRT entry");
+  slot = Slot{};
+}
+
+const Descriptor& ProgramReferenceTable::entry(std::size_t index) const {
+  DSA_ASSERT(index < table_.size(), "PRT index out of range");
+  DSA_ASSERT(table_[index].in_use, "reading an unused PRT entry");
+  return table_[index].descriptor;
+}
+
+bool ProgramReferenceTable::EntryInUse(std::size_t index) const {
+  DSA_ASSERT(index < table_.size(), "PRT index out of range");
+  return table_[index].in_use;
+}
+
+void ProgramReferenceTable::MarkPresent(std::size_t index, PhysicalAddress base) {
+  Slot& slot = SlotAt(index);
+  DSA_ASSERT(slot.in_use, "marking an unused PRT entry");
+  slot.descriptor.presence = true;
+  slot.descriptor.base = base;
+}
+
+void ProgramReferenceTable::MarkAbsent(std::size_t index) {
+  Slot& slot = SlotAt(index);
+  DSA_ASSERT(slot.in_use, "marking an unused PRT entry");
+  slot.descriptor.presence = false;
+}
+
+void ProgramReferenceTable::SetExtent(std::size_t index, WordCount extent) {
+  Slot& slot = SlotAt(index);
+  DSA_ASSERT(slot.in_use, "resizing an unused PRT entry");
+  slot.descriptor.extent = extent;
+}
+
+}  // namespace dsa

@@ -1,0 +1,55 @@
+// B5000 descriptors and the Program Reference Table (Appendix A.3).
+//
+// "Each program in the system has associated with it a Program Reference
+// Table (PRT) ...  Every segment of the program is represented by an entry
+// in this table.  This entry gives the base address and extent of the
+// segment, and an indication of whether the segment is currently in working
+// storage."
+
+#ifndef SRC_SEG_DESCRIPTOR_H_
+#define SRC_SEG_DESCRIPTOR_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/core/types.h"
+
+namespace dsa {
+
+struct Descriptor {
+  bool presence{false};        // segment currently in working storage?
+  PhysicalAddress base;        // meaningful when present
+  WordCount extent{0};
+};
+
+class ProgramReferenceTable {
+ public:
+  explicit ProgramReferenceTable(std::size_t entries) : table_(entries) {}
+
+  std::size_t size() const { return table_.size(); }
+
+  // Allocates the lowest unused PRT slot for a new segment.
+  std::optional<std::size_t> AllocateEntry(WordCount extent);
+  void ReleaseEntry(std::size_t index);
+
+  const Descriptor& entry(std::size_t index) const;
+  bool EntryInUse(std::size_t index) const;
+
+  void MarkPresent(std::size_t index, PhysicalAddress base);
+  void MarkAbsent(std::size_t index);
+  void SetExtent(std::size_t index, WordCount extent);
+
+ private:
+  struct Slot {
+    bool in_use{false};
+    Descriptor descriptor;
+  };
+
+  Slot& SlotAt(std::size_t index);
+
+  std::vector<Slot> table_;
+};
+
+}  // namespace dsa
+
+#endif  // SRC_SEG_DESCRIPTOR_H_

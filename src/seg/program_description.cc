@@ -1,0 +1,35 @@
+#include "src/seg/program_description.h"
+
+namespace dsa {
+
+void ProgramDescription::Update(SegmentDirective directive) {
+  for (SegmentDirective& existing : directives_) {
+    if (existing.segment == directive.segment) {
+      existing = directive;
+      return;
+    }
+  }
+  directives_.push_back(directive);
+}
+
+Cycles ProgramDescription::ApplyTo(SegmentManager* manager, Cycles now) const {
+  Cycles transfer = 0;
+  for (const SegmentDirective& d : directives_) {
+    if (!manager->Exists(d.segment)) {
+      continue;
+    }
+    if (d.medium == PreferredMedium::kWorkingStorage) {
+      transfer += manager->AdviseWillNeed(d.segment, now);
+      if (!d.may_be_overlaid && manager->IsResident(d.segment)) {
+        manager->AdviseKeepResident(d.segment);
+      }
+    } else {
+      if (d.may_be_overlaid) {
+        manager->RevokeKeepResident(d.segment);
+      }
+    }
+  }
+  return transfer;
+}
+
+}  // namespace dsa

@@ -1,0 +1,54 @@
+// ACSI-MATIC "program descriptions" (the paper's cited pioneering work on
+// predictive information): "programs were accompanied by 'program
+// descriptions,' which could be varied dynamically, and which specified, for
+// example, (i) which storage medium a particular segment was to be in when
+// it was used, and (ii) permissions and restrictions on the overlaying of
+// groups of segments.  Storage allocation strategies were then based on the
+// analysis of these descriptions."
+
+#ifndef SRC_SEG_PROGRAM_DESCRIPTION_H_
+#define SRC_SEG_PROGRAM_DESCRIPTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/types.h"
+#include "src/seg/segment_manager.h"
+
+namespace dsa {
+
+enum class PreferredMedium : std::uint8_t {
+  kWorkingStorage,  // keep in core while in use
+  kBackingStorage,  // acceptable to hold on drum/disk until demanded
+};
+
+struct SegmentDirective {
+  SegmentId segment;
+  PreferredMedium medium{PreferredMedium::kBackingStorage};
+  bool may_be_overlaid{true};  // restriction on overlaying this segment
+};
+
+// A dynamically variable description of a program's storage behaviour.
+class ProgramDescription {
+ public:
+  void Add(SegmentDirective directive) { directives_.push_back(directive); }
+
+  // Directives can be "varied dynamically": replaces any prior directive for
+  // the same segment.
+  void Update(SegmentDirective directive);
+
+  const std::vector<SegmentDirective>& directives() const { return directives_; }
+
+  // Analyses the description and applies it to a segment manager: segments
+  // preferring working storage are prefetched (advisorily) and pinned when
+  // overlaying is restricted; the rest are left to demand fetching.
+  // Returns prefetch transfer cycles incurred.
+  Cycles ApplyTo(SegmentManager* manager, Cycles now) const;
+
+ private:
+  std::vector<SegmentDirective> directives_;
+};
+
+}  // namespace dsa
+
+#endif  // SRC_SEG_PROGRAM_DESCRIPTION_H_

@@ -1,0 +1,51 @@
+#include "src/seg/protection.h"
+
+#include "src/core/assert.h"
+
+namespace dsa {
+
+std::string Describe(const SegmentProtection& protection) {
+  std::string out;
+  out += protection.read ? 'r' : '-';
+  out += protection.write ? 'w' : '-';
+  out += protection.execute ? 'x' : '-';
+  return out;
+}
+
+void SharingDirectory::Grant(JobId program, SegmentId segment, SegmentProtection protection) {
+  const std::uint64_t key = Key(program, segment);
+  if (!rights_.contains(key)) {
+    ++sharers_[segment.value];
+  }
+  rights_[key] = protection;
+}
+
+void SharingDirectory::Revoke(JobId program, SegmentId segment) {
+  const std::uint64_t key = Key(program, segment);
+  if (rights_.erase(key) > 0) {
+    auto it = sharers_.find(segment.value);
+    DSA_ASSERT(it != sharers_.end() && it->second > 0, "sharer count underflow");
+    if (--it->second == 0) {
+      sharers_.erase(it);
+    }
+  }
+}
+
+SegmentProtection SharingDirectory::RightsOf(JobId program, SegmentId segment) const {
+  auto it = rights_.find(Key(program, segment));
+  if (it == rights_.end()) {
+    return SegmentProtection{false, false, false};
+  }
+  return it->second;
+}
+
+bool SharingDirectory::HasAccess(JobId program, SegmentId segment) const {
+  return rights_.contains(Key(program, segment));
+}
+
+std::size_t SharingDirectory::SharerCount(SegmentId segment) const {
+  auto it = sharers_.find(segment.value);
+  return it == sharers_.end() ? 0 : it->second;
+}
+
+}  // namespace dsa

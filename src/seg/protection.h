@@ -1,0 +1,72 @@
+// Segment protection and sharing.
+//
+// "Segments form a very convenient unit for purposes of information
+// protection and sharing, between programs."  A protection word per segment
+// says which access kinds each program may perform; a shared segment simply
+// carries different protections for different programs (e.g. the MULTICS
+// pure-procedure convention: owner writes, everyone executes).
+
+#ifndef SRC_SEG_PROTECTION_H_
+#define SRC_SEG_PROTECTION_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "src/core/types.h"
+
+namespace dsa {
+
+struct SegmentProtection {
+  bool read{true};
+  bool write{true};
+  bool execute{true};
+
+  bool Permits(AccessKind kind) const {
+    switch (kind) {
+      case AccessKind::kRead:
+        return read;
+      case AccessKind::kWrite:
+        return write;
+      case AccessKind::kExecute:
+        return execute;
+    }
+    return false;
+  }
+
+  bool operator==(const SegmentProtection&) const = default;
+};
+
+inline SegmentProtection ReadOnlyProtection() { return {true, false, false}; }
+inline SegmentProtection PureProcedureProtection() { return {true, false, true}; }
+inline SegmentProtection FullAccessProtection() { return {true, true, true}; }
+
+std::string Describe(const SegmentProtection& protection);
+
+// Per-program protections for shared segments: (program, segment) -> rights.
+// A segment with no entry for a program is inaccessible to it; the owner is
+// recorded at sharing time with whatever rights it retains.
+class SharingDirectory {
+ public:
+  void Grant(JobId program, SegmentId segment, SegmentProtection protection);
+  void Revoke(JobId program, SegmentId segment);
+
+  // The rights `program` holds on `segment` (no entry => no access).
+  SegmentProtection RightsOf(JobId program, SegmentId segment) const;
+  bool HasAccess(JobId program, SegmentId segment) const;
+
+  // Number of programs holding any right on `segment`.
+  std::size_t SharerCount(SegmentId segment) const;
+
+ private:
+  static std::uint64_t Key(JobId program, SegmentId segment) {
+    return (static_cast<std::uint64_t>(program.value) << 48) | segment.value;
+  }
+
+  std::unordered_map<std::uint64_t, SegmentProtection> rights_;
+  std::unordered_map<std::uint64_t, std::size_t> sharers_;  // segment -> count
+};
+
+}  // namespace dsa
+
+#endif  // SRC_SEG_PROTECTION_H_

@@ -1,0 +1,188 @@
+#include "src/seg/rice_image.h"
+
+#include <algorithm>
+
+#include "src/core/assert.h"
+
+namespace dsa {
+
+namespace {
+
+constexpr std::uint64_t kActiveTag = std::uint64_t{1} << 63;
+constexpr std::uint64_t kPresenceBit = std::uint64_t{1} << 63;
+
+}  // namespace
+
+RiceStorageImage::RiceStorageImage(CoreStore* store, std::size_t codeword_slots)
+    : store_(store), codeword_slots_(codeword_slots) {
+  DSA_ASSERT(store_ != nullptr, "image needs a core store");
+  DSA_ASSERT(codeword_slots_ > 0, "need at least one codeword slot");
+  DSA_ASSERT(store_->capacity() > codeword_slots_ + 1, "no data region");
+  // Codeword table: all absent.
+  for (std::size_t slot = 0; slot < codeword_slots_; ++slot) {
+    store_->Write(PhysicalAddress{slot}, EncodeCodeword(Codeword{}));
+  }
+  // Data region: one inactive block spanning everything.
+  chain_head_ = codeword_slots_;
+  store_->Write(PhysicalAddress{chain_head_},
+                EncodeInactive(data_region_words(), kNullLink));
+}
+
+Word RiceStorageImage::EncodeCodeword(const Codeword& codeword) {
+  DSA_ASSERT(codeword.base.value < (std::uint64_t{1} << 31), "codeword base too large to encode");
+  DSA_ASSERT(codeword.extent < (std::uint64_t{1} << 32), "codeword extent too large to encode");
+  Word word = (codeword.base.value << 32) | codeword.extent;
+  if (codeword.presence) {
+    word |= kPresenceBit;
+  }
+  return word;
+}
+
+Codeword RiceStorageImage::DecodeCodeword(Word word) {
+  Codeword codeword;
+  codeword.presence = (word & kPresenceBit) != 0;
+  codeword.base = PhysicalAddress{(word >> 32) & 0x7fffffffull};
+  codeword.extent = word & 0xffffffffull;
+  return codeword;
+}
+
+Word RiceStorageImage::EncodeInactive(WordCount size, std::uint64_t next) {
+  DSA_ASSERT(size < (std::uint64_t{1} << 31), "inactive block too large to encode");
+  DSA_ASSERT(next <= kNullLink, "chain link too large to encode");
+  return (size << 32) | next;
+}
+
+Word RiceStorageImage::EncodeActive(std::size_t slot) {
+  return kActiveTag | static_cast<std::uint64_t>(slot);
+}
+
+void RiceStorageImage::WriteCodeword(std::size_t slot, const Codeword& codeword) {
+  DSA_ASSERT(slot < codeword_slots_, "codeword slot out of range");
+  store_->Write(PhysicalAddress{slot}, EncodeCodeword(codeword));
+}
+
+Codeword RiceStorageImage::ReadCodeword(std::size_t slot) const {
+  DSA_ASSERT(slot < codeword_slots_, "codeword slot out of range");
+  return DecodeCodeword(store_->Read(PhysicalAddress{slot}));
+}
+
+std::optional<PhysicalAddress> RiceStorageImage::Activate(std::size_t slot, WordCount extent) {
+  DSA_ASSERT(extent > 0, "segments are nonempty");
+  DSA_ASSERT(!ReadCodeword(slot).presence, "segment already active");
+  const WordCount needed = extent + 1;  // header + payload
+
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    // Sequential search of the stored chain.
+    std::uint64_t prev = kNullLink;
+    std::uint64_t cur = chain_head_;
+    while (cur != kNullLink) {
+      const Word header = store_->Read(PhysicalAddress{cur});
+      const WordCount size = header >> 32;
+      const std::uint64_t next = header & 0xffffffffull;
+      if (size >= needed) {
+        const WordCount leftover = size - needed;
+        std::uint64_t replacement = next;
+        if (leftover >= 1) {
+          // "If any unused space is left over it replaces the original
+          // inactive block in the chain."  (A leftover needs at least its
+          // header word.)
+          const std::uint64_t leftover_addr = cur + needed;
+          store_->Write(PhysicalAddress{leftover_addr}, EncodeInactive(leftover, next));
+          replacement = leftover_addr;
+        }
+        if (prev == kNullLink) {
+          chain_head_ = replacement;
+        } else {
+          const Word prev_header = store_->Read(PhysicalAddress{prev});
+          store_->Write(PhysicalAddress{prev},
+                        EncodeInactive(prev_header >> 32, replacement));
+        }
+        // Back reference, then the codeword.
+        store_->Write(PhysicalAddress{cur}, EncodeActive(slot));
+        Codeword codeword;
+        codeword.presence = true;
+        codeword.base = PhysicalAddress{cur + 1};
+        codeword.extent = extent;
+        WriteCodeword(slot, codeword);
+        return codeword.base;
+      }
+      prev = cur;
+      cur = next;
+    }
+    if (attempt == 0 && !CombineAdjacent()) {
+      break;  // combining cannot help; fail now
+    }
+  }
+  return std::nullopt;
+}
+
+void RiceStorageImage::Deactivate(std::size_t slot) {
+  Codeword codeword = ReadCodeword(slot);
+  DSA_ASSERT(codeword.presence, "deactivating an absent segment");
+  const std::uint64_t block = codeword.base.value - 1;
+  DSA_ASSERT((store_->Read(PhysicalAddress{block}) & kActiveTag) != 0,
+             "block header is not an active back reference");
+  store_->Write(PhysicalAddress{block}, EncodeInactive(codeword.extent + 1, chain_head_));
+  chain_head_ = block;
+  codeword.presence = false;
+  WriteCodeword(slot, codeword);
+}
+
+std::vector<Block> RiceStorageImage::ChainBlocks() const {
+  std::vector<Block> blocks;
+  std::uint64_t cur = chain_head_;
+  std::size_t guard = 0;
+  while (cur != kNullLink) {
+    DSA_ASSERT(cur >= codeword_slots_ && cur < store_->capacity(), "chain link out of range");
+    DSA_ASSERT(++guard <= store_->capacity(), "chain contains a cycle");
+    const Word header = store_->Read(PhysicalAddress{cur});
+    DSA_ASSERT((header & kActiveTag) == 0, "chain links through an active block");
+    blocks.push_back(Block{PhysicalAddress{cur}, header >> 32});
+    cur = header & 0xffffffffull;
+  }
+  return blocks;
+}
+
+bool RiceStorageImage::CombineAdjacent() {
+  std::vector<Block> blocks = ChainBlocks();
+  if (blocks.size() < 2) {
+    return false;
+  }
+  std::sort(blocks.begin(), blocks.end(),
+            [](const Block& a, const Block& b) { return a.addr.value < b.addr.value; });
+  std::vector<Block> merged;
+  merged.reserve(blocks.size());
+  for (const Block& block : blocks) {
+    if (!merged.empty() && merged.back().end() == block.addr.value) {
+      merged.back().size += block.size;
+    } else {
+      merged.push_back(block);
+    }
+  }
+  if (merged.size() == blocks.size()) {
+    return false;
+  }
+  // Rewrite the chain in address order through the stored headers.
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    const std::uint64_t next = i + 1 < merged.size() ? merged[i + 1].addr.value : kNullLink;
+    store_->Write(merged[i].addr, EncodeInactive(merged[i].size, next));
+  }
+  chain_head_ = merged.front().addr.value;
+  return true;
+}
+
+bool RiceStorageImage::BackReferencesIntact() const {
+  for (std::size_t slot = 0; slot < codeword_slots_; ++slot) {
+    const Codeword codeword = ReadCodeword(slot);
+    if (!codeword.presence) {
+      continue;
+    }
+    const Word header = store_->Read(PhysicalAddress{codeword.base.value - 1});
+    if ((header & kActiveTag) == 0 || (header & 0xffffffffull) != slot) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dsa

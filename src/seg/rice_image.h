@@ -1,0 +1,85 @@
+// The Rice University storage image, with the Iliffe-Jodeit bookkeeping
+// held *in storage words*, exactly as Appendix A.4 describes:
+//
+//   "Segments are initially placed sequentially in storage in a block of
+//   contiguous locations, the first of which is a 'back reference' to the
+//   codeword of the segment.  When a segment loses its significance the
+//   block in which it was stored is designated as 'inactive,' and its first
+//   word set up with the size of the block and the location of the next
+//   inactive block in storage."
+//
+// RiceChainAllocator (src/alloc/rice_chain.h) models the same algorithm
+// with out-of-band metadata for speed; this image is the fidelity check —
+// every chain link, back reference, and codeword lives in the CoreStore and
+// survives round-trips through it.
+//
+// Word encodings (64-bit simulator words):
+//   codeword      : presence(bit 63) | base(bits 62..32) | extent(bits 31..0)
+//   active header : kActiveTag(bit 63) | codeword slot(bits 31..0)
+//   inactive hdr  : block size(bits 62..32) | next block address(bits 31..0)
+// Block sizes include the header word; kNullLink terminates the chain.
+
+#ifndef SRC_SEG_RICE_IMAGE_H_
+#define SRC_SEG_RICE_IMAGE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/alloc/block.h"
+#include "src/mem/core_store.h"
+#include "src/seg/codeword.h"
+
+namespace dsa {
+
+class RiceStorageImage {
+ public:
+  static constexpr std::uint64_t kNullLink = 0xffffffffull;
+
+  // The store's first `codeword_slots` words hold the codeword table; the
+  // rest is the data region, initialised as one inactive block.
+  RiceStorageImage(CoreStore* store, std::size_t codeword_slots);
+
+  // Activates segment `slot` with `extent` payload words: searches the
+  // stored chain sequentially, carves a block (header + payload), writes the
+  // back reference and the codeword.  Returns the payload base address, or
+  // nullopt when no inactive block suffices even after combining.
+  std::optional<PhysicalAddress> Activate(std::size_t slot, WordCount extent);
+
+  // Deactivates segment `slot`: threads its block onto the chain head and
+  // clears the codeword's presence bit.
+  void Deactivate(std::size_t slot);
+
+  // "An attempt is made to ... find groups of adjacent inactive blocks which
+  // can be combined."  Returns true if any blocks merged.
+  bool CombineAdjacent();
+
+  // Decodes the stored codeword for `slot`.
+  Codeword ReadCodeword(std::size_t slot) const;
+
+  // Walks the stored chain; asserts on any malformed link.
+  std::vector<Block> ChainBlocks() const;
+
+  // True iff every present segment's block header points back at its
+  // codeword slot — the invariant that makes relocation by block possible.
+  bool BackReferencesIntact() const;
+
+  std::size_t codeword_slots() const { return codeword_slots_; }
+  WordCount data_region_words() const { return store_->capacity() - codeword_slots_; }
+
+ private:
+  static Word EncodeCodeword(const Codeword& codeword);
+  static Codeword DecodeCodeword(Word word);
+  static Word EncodeInactive(WordCount size, std::uint64_t next);
+  static Word EncodeActive(std::size_t slot);
+
+  void WriteCodeword(std::size_t slot, const Codeword& codeword);
+
+  CoreStore* store_;
+  std::size_t codeword_slots_;
+  std::uint64_t chain_head_{kNullLink};
+};
+
+}  // namespace dsa
+
+#endif  // SRC_SEG_RICE_IMAGE_H_

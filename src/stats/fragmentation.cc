@@ -1,0 +1,42 @@
+#include "src/stats/fragmentation.h"
+
+#include <algorithm>
+
+namespace dsa {
+
+double FragmentationReport::ExternalFragmentation() const {
+  if (free == 0) {
+    return 0.0;
+  }
+  return 1.0 - static_cast<double>(largest_free) / static_cast<double>(free);
+}
+
+double FragmentationReport::InternalFragmentation() const {
+  if (allocated == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(allocated - live) / static_cast<double>(allocated);
+}
+
+double FragmentationReport::TotalWasteFraction() const {
+  if (capacity == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(capacity - live) / static_cast<double>(capacity);
+}
+
+FragmentationReport ReportFromHoles(WordCount capacity, WordCount live, WordCount allocated,
+                                    const std::vector<WordCount>& hole_sizes) {
+  FragmentationReport report;
+  report.capacity = capacity;
+  report.live = live;
+  report.allocated = allocated;
+  report.hole_count = hole_sizes.size();
+  for (WordCount h : hole_sizes) {
+    report.free += h;
+    report.largest_free = std::max(report.largest_free, h);
+  }
+  return report;
+}
+
+}  // namespace dsa

@@ -1,0 +1,48 @@
+// Fragmentation metrics.
+//
+// The paper's §"Uniformity of Unit of Storage Allocation" argues that paging
+// does not eliminate fragmentation but moves it inside pages.  To test that
+// claim (experiment E1) the two forms must be measured on a common scale:
+//
+//   * external fragmentation — free storage exists but is scattered in holes
+//     too small to satisfy a request (variable-unit systems);
+//   * internal fragmentation — storage inside allocated units is unused
+//     because requests rarely fill an integral number of page frames.
+
+#ifndef SRC_STATS_FRAGMENTATION_H_
+#define SRC_STATS_FRAGMENTATION_H_
+
+#include <vector>
+
+#include "src/core/types.h"
+
+namespace dsa {
+
+struct FragmentationReport {
+  WordCount capacity{0};        // total words managed
+  WordCount live{0};            // words the program actually asked for
+  WordCount allocated{0};       // words handed out (>= live under paging)
+  WordCount free{0};            // words not handed out
+  WordCount largest_free{0};    // largest contiguous free extent
+  std::size_t hole_count{0};    // number of free extents
+
+  // Fraction of free storage unusable for a request of `largest_free` scale:
+  // 1 - largest_free/free.  Zero when storage is unfragmented or full.
+  double ExternalFragmentation() const;
+
+  // Fraction of allocated storage wasted inside allocation units:
+  // (allocated - live) / allocated.
+  double InternalFragmentation() const;
+
+  // Overall waste relative to capacity: (capacity - live) / capacity when the
+  // system cannot accept more work, i.e. the utilisation ceiling.
+  double TotalWasteFraction() const;
+};
+
+// Computes hole statistics from a list of free extents.
+FragmentationReport ReportFromHoles(WordCount capacity, WordCount live, WordCount allocated,
+                                    const std::vector<WordCount>& hole_sizes);
+
+}  // namespace dsa
+
+#endif  // SRC_STATS_FRAGMENTATION_H_

@@ -1,0 +1,48 @@
+#include "src/stats/histogram.h"
+
+#include <bit>
+#include <sstream>
+
+namespace dsa {
+
+int LogHistogram::BucketFor(std::uint64_t value) {
+  if (value == 0) {
+    return 0;
+  }
+  return std::bit_width(value);  // value in [2^(w-1), 2^w) => bucket w
+}
+
+std::uint64_t LogHistogram::BucketLow(int bucket) {
+  if (bucket <= 0) {
+    return 0;
+  }
+  return std::uint64_t{1} << (bucket - 1);
+}
+
+std::string LogHistogram::Render(int bar_width) const {
+  std::uint64_t max_count = 0;
+  for (auto c : counts_) {
+    if (c > max_count) {
+      max_count = c;
+    }
+  }
+  std::ostringstream out;
+  for (int b = 0; b < kBuckets; ++b) {
+    const std::uint64_t c = counts_[static_cast<std::size_t>(b)];
+    if (c == 0) {
+      continue;
+    }
+    const std::uint64_t lo = BucketLow(b);
+    const std::uint64_t hi = b == 0 ? 0 : (std::uint64_t{1} << b) - 1;
+    const int bar =
+        max_count == 0 ? 0 : static_cast<int>(c * static_cast<std::uint64_t>(bar_width) / max_count);
+    out << "[" << lo << ", " << hi << "]  " << c << "  ";
+    for (int i = 0; i < bar; ++i) {
+      out << '#';
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace dsa

@@ -1,0 +1,41 @@
+// Power-of-two bucketed histogram, used for request sizes, hole sizes, and
+// fault inter-arrival times.
+
+#ifndef SRC_STATS_HISTOGRAM_H_
+#define SRC_STATS_HISTOGRAM_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace dsa {
+
+class LogHistogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void Add(std::uint64_t value) {
+    ++counts_[BucketFor(value)];
+    ++total_;
+  }
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t BucketCount(int bucket) const { return counts_[static_cast<std::size_t>(bucket)]; }
+
+  // Bucket index: 0 holds value 0, bucket i>0 holds [2^(i-1), 2^i).
+  static int BucketFor(std::uint64_t value);
+
+  // Inclusive lower bound of a bucket.
+  static std::uint64_t BucketLow(int bucket);
+
+  // Multi-line ASCII rendering: one row per nonempty bucket with a bar.
+  std::string Render(int bar_width = 40) const;
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t total_{0};
+};
+
+}  // namespace dsa
+
+#endif  // SRC_STATS_HISTOGRAM_H_

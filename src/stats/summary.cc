@@ -1,0 +1,55 @@
+#include "src/stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/assert.h"
+
+namespace dsa {
+
+void RunningSummary::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningSummary::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningSummary::stddev() const { return std::sqrt(variance()); }
+
+double Percentiles::Percentile(double p) const {
+  DSA_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range");
+  if (values_.empty()) {
+    return 0.0;
+  }
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+  const auto n = values_.size();
+  // Nearest-rank: ceil(p/100 * n), clamped to [1, n].
+  auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * static_cast<double>(n)));
+  if (rank < 1) {
+    rank = 1;
+  }
+  if (rank > n) {
+    rank = n;
+  }
+  return values_[rank - 1];
+}
+
+}  // namespace dsa

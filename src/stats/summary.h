@@ -1,0 +1,56 @@
+// Streaming and batch summary statistics used by every experiment harness.
+
+#ifndef SRC_STATS_SUMMARY_H_
+#define SRC_STATS_SUMMARY_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dsa {
+
+// Streaming min/max/mean/variance accumulator (Welford's algorithm).
+class RunningSummary {
+ public:
+  void Add(double x);
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double sum() const { return sum_; }
+
+  // Sample variance / standard deviation (n-1 denominator).
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::uint64_t count_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+  double sum_{0.0};
+};
+
+// Batch percentile computation over a retained sample vector.
+class Percentiles {
+ public:
+  void Add(double x) { values_.push_back(x); }
+  void Reserve(std::size_t n) { values_.reserve(n); }
+
+  std::size_t count() const { return values_.size(); }
+
+  // Returns the p-th percentile (0 <= p <= 100) by nearest-rank on the
+  // sorted sample.  Returns 0 for an empty sample.
+  double Percentile(double p) const;
+
+  double Median() const { return Percentile(50.0); }
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_{false};
+};
+
+}  // namespace dsa
+
+#endif  // SRC_STATS_SUMMARY_H_

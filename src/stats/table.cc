@@ -1,0 +1,83 @@
+#include "src/stats/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "src/core/assert.h"
+
+namespace dsa {
+
+std::string FormatFixed(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  DSA_ASSERT(!headers_.empty(), "Table needs at least one column");
+}
+
+Table& Table::AddRow() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::AddCell(std::string text) {
+  DSA_ASSERT(!rows_.empty(), "AddCell before AddRow");
+  DSA_ASSERT(rows_.back().size() < headers_.size(), "row has more cells than headers");
+  rows_.back().push_back(std::move(text));
+  return *this;
+}
+
+Table& Table::AddCell(const char* text) { return AddCell(std::string(text)); }
+
+Table& Table::AddCell(std::uint64_t value) { return AddCell(std::to_string(value)); }
+
+Table& Table::AddCell(std::int64_t value) { return AddCell(std::to_string(value)); }
+
+Table& Table::AddCell(int value) { return AddCell(std::to_string(value)); }
+
+Table& Table::AddCell(double value, int digits) { return AddCell(FormatFixed(value, digits)); }
+
+std::string Table::Render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    out << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& text = c < cells.size() ? cells[c] : std::string();
+      out << ' ' << text;
+      for (std::size_t pad = text.size(); pad < widths[c]; ++pad) {
+        out << ' ';
+      }
+      out << " |";
+    }
+    out << '\n';
+  };
+
+  emit_row(headers_);
+  out << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    for (std::size_t i = 0; i < widths[c] + 2; ++i) {
+      out << '-';
+    }
+    out << "|";
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return out.str();
+}
+
+}  // namespace dsa

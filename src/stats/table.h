@@ -1,0 +1,44 @@
+// ASCII table rendering for the experiment harnesses.  Every bench binary
+// prints its paper-table/figure data through this, so EXPERIMENTS.md rows can
+// be regenerated verbatim.
+
+#ifndef SRC_STATS_TABLE_H_
+#define SRC_STATS_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dsa {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Starts a new row.  Cells are appended with Add* until the next AddRow.
+  Table& AddRow();
+
+  Table& AddCell(std::string text);
+  Table& AddCell(const char* text);
+  Table& AddCell(std::uint64_t value);
+  Table& AddCell(std::int64_t value);
+  Table& AddCell(int value);
+  // Fixed-point with `digits` decimals.
+  Table& AddCell(double value, int digits = 2);
+
+  // Renders with column-aligned pipes and a header rule.
+  std::string Render() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats `value` with `digits` decimals (helper shared with benches).
+std::string FormatFixed(double value, int digits);
+
+}  // namespace dsa
+
+#endif  // SRC_STATS_TABLE_H_

@@ -1,0 +1,97 @@
+#include "src/trace/allocation.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/assert.h"
+#include "src/core/rng.h"
+
+namespace dsa {
+
+WordCount AllocationTrace::PeakLiveWords() const {
+  WordCount live = 0;
+  WordCount peak = 0;
+  std::unordered_map<std::uint64_t, WordCount> sizes;
+  for (const AllocOp& op : ops) {
+    if (op.kind == AllocOpKind::kAllocate) {
+      sizes[op.request] = op.size;
+      live += op.size;
+      if (live > peak) {
+        peak = live;
+      }
+    } else {
+      auto it = sizes.find(op.request);
+      DSA_ASSERT(it != sizes.end(), "free of unknown request in trace");
+      live -= it->second;
+      sizes.erase(it);
+    }
+  }
+  return peak;
+}
+
+const char* ToString(SizeDistribution distribution) {
+  switch (distribution) {
+    case SizeDistribution::kUniform:
+      return "uniform";
+    case SizeDistribution::kExponential:
+      return "exponential";
+    case SizeDistribution::kBimodal:
+      return "bimodal";
+    case SizeDistribution::kFixed:
+      return "fixed";
+  }
+  return "?";
+}
+
+namespace {
+
+WordCount DrawSize(const AllocationTraceParams& params, Rng* rng) {
+  switch (params.distribution) {
+    case SizeDistribution::kUniform:
+      return rng->Between(params.min_size, params.max_size);
+    case SizeDistribution::kExponential: {
+      const WordCount s = rng->ExponentialSize(params.mean_size, params.max_size);
+      return s < params.min_size ? params.min_size : s;
+    }
+    case SizeDistribution::kBimodal:
+      return rng->Chance(params.large_fraction) ? params.large_size : params.small_size;
+    case SizeDistribution::kFixed:
+      return params.mean_size < 1.0 ? 1 : static_cast<WordCount>(params.mean_size);
+  }
+  return params.min_size;
+}
+
+}  // namespace
+
+AllocationTrace MakeAllocationTrace(const AllocationTraceParams& params) {
+  DSA_ASSERT(params.min_size >= 1, "minimum request size is one word");
+  DSA_ASSERT(params.min_size <= params.max_size, "min_size > max_size");
+  Rng rng(params.seed);
+  AllocationTrace trace;
+  trace.label = std::string("alloc-") + ToString(params.distribution);
+  trace.ops.reserve(params.operations);
+
+  std::vector<std::uint64_t> live;  // request ids currently allocated
+  std::uint64_t next_request = 0;
+
+  for (std::size_t i = 0; i < params.operations; ++i) {
+    const bool at_steady_state = live.size() >= params.target_live;
+    // In steady state alternate ~50/50 so the live population hovers at the
+    // target; during ramp-up allocate with high probability.
+    const bool do_free = !live.empty() && (at_steady_state ? rng.Chance(0.5) : rng.Chance(0.1));
+    if (do_free) {
+      const std::size_t victim = rng.Below(live.size());
+      trace.ops.push_back({AllocOpKind::kFree, live[victim], 0});
+      live[victim] = live.back();
+      live.pop_back();
+    } else {
+      const WordCount size = DrawSize(params, &rng);
+      trace.ops.push_back({AllocOpKind::kAllocate, next_request, size});
+      live.push_back(next_request);
+      ++next_request;
+    }
+  }
+  return trace;
+}
+
+}  // namespace dsa

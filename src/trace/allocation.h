@@ -1,0 +1,76 @@
+// Allocation-request traces: sequences of variable-size allocate/free
+// operations driving the placement-strategy experiments (E3, E6) and the
+// paging-vs-variable fragmentation comparison (E1).
+
+#ifndef SRC_TRACE_ALLOCATION_H_
+#define SRC_TRACE_ALLOCATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/types.h"
+
+namespace dsa {
+
+enum class AllocOpKind : std::uint8_t {
+  kAllocate,
+  kFree,
+};
+
+// One allocation-trace operation.  `request` identifies the object so frees
+// can name their allocation; `size` is meaningful only for kAllocate.
+struct AllocOp {
+  AllocOpKind kind{AllocOpKind::kAllocate};
+  std::uint64_t request{0};
+  WordCount size{0};
+
+  bool operator==(const AllocOp&) const = default;
+};
+
+struct AllocationTrace {
+  std::string label;
+  std::vector<AllocOp> ops;
+
+  std::size_t size() const { return ops.size(); }
+
+  // Peak simultaneously-live words if every allocation succeeded (the load
+  // the trace puts on storage, independent of any allocator).
+  WordCount PeakLiveWords() const;
+};
+
+// The request-size distributions the generators can draw from.  The paper's
+// placement discussion keys on "the average size of allocation unit, and the
+// number of different allocation units"; these shapes vary exactly that.
+enum class SizeDistribution : std::uint8_t {
+  kUniform,      // sizes uniform in [min, max]
+  kExponential,  // many small, few large (typical segment populations)
+  kBimodal,      // small working segments + occasional large arrays
+  kFixed,        // all requests the same size (the degenerate paging-friendly case)
+};
+
+struct AllocationTraceParams {
+  std::size_t operations{20000};
+  SizeDistribution distribution{SizeDistribution::kExponential};
+  WordCount min_size{1};
+  WordCount max_size{4096};
+  double mean_size{128.0};          // for kExponential
+  WordCount small_size{32};         // for kBimodal
+  WordCount large_size{2048};       // for kBimodal
+  double large_fraction{0.1};       // for kBimodal
+  // Steady-state control: probability that the next op frees a live object
+  // instead of allocating, once `target_live` objects exist.
+  std::size_t target_live{256};
+  std::uint64_t seed{11};
+};
+
+// Generates an alloc/free stream: ramps up to target_live objects, then
+// holds a churn steady state, freeing objects chosen uniformly at random
+// (exponential lifetimes).
+AllocationTrace MakeAllocationTrace(const AllocationTraceParams& params);
+
+const char* ToString(SizeDistribution distribution);
+
+}  // namespace dsa
+
+#endif  // SRC_TRACE_ALLOCATION_H_

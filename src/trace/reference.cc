@@ -1,0 +1,38 @@
+#include "src/trace/reference.h"
+
+#include <unordered_set>
+
+#include "src/core/assert.h"
+
+namespace dsa {
+
+WordCount ReferenceTrace::NameExtent() const {
+  WordCount extent = 0;
+  for (const Reference& r : refs) {
+    if (r.name.value + 1 > extent) {
+      extent = r.name.value + 1;
+    }
+  }
+  return extent;
+}
+
+std::vector<PageId> ReferenceTrace::PageString(WordCount page_size) const {
+  DSA_ASSERT(page_size > 0, "page size must be positive");
+  std::vector<PageId> pages;
+  pages.reserve(refs.size());
+  for (const Reference& r : refs) {
+    pages.push_back(PageId{r.name.value / page_size});
+  }
+  return pages;
+}
+
+std::size_t ReferenceTrace::DistinctPages(WordCount page_size) const {
+  DSA_ASSERT(page_size > 0, "page size must be positive");
+  std::unordered_set<std::uint64_t> seen;
+  for (const Reference& r : refs) {
+    seen.insert(r.name.value / page_size);
+  }
+  return seen.size();
+}
+
+}  // namespace dsa

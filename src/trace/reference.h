@@ -1,0 +1,48 @@
+// Reference traces: the instruction-level storage accesses a program makes.
+//
+// A trace is the workload unit for every paging/VM experiment.  References
+// carry linear names; the naming module (and the segmented machines) layer
+// their interpretation on top.
+
+#ifndef SRC_TRACE_REFERENCE_H_
+#define SRC_TRACE_REFERENCE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/types.h"
+
+namespace dsa {
+
+// One storage reference.
+struct Reference {
+  Name name;
+  AccessKind kind{AccessKind::kRead};
+
+  bool operator==(const Reference&) const = default;
+};
+
+// An ordered reference string, with an identifying label for reports.
+struct ReferenceTrace {
+  std::string label;
+  std::vector<Reference> refs;
+
+  std::size_t size() const { return refs.size(); }
+  bool empty() const { return refs.empty(); }
+
+  // Highest name referenced plus one; the minimal linear name space extent
+  // this trace requires.  Zero for an empty trace.
+  WordCount NameExtent() const;
+
+  // The trace reduced to page numbers for a given page size; used by
+  // offline-optimal replacement and by analysis helpers.
+  std::vector<PageId> PageString(WordCount page_size) const;
+
+  // Number of distinct pages touched at a given page size.
+  std::size_t DistinctPages(WordCount page_size) const;
+};
+
+}  // namespace dsa
+
+#endif  // SRC_TRACE_REFERENCE_H_

@@ -1,0 +1,181 @@
+#include "src/trace/synthetic.h"
+
+#include <cmath>
+#include <vector>
+
+#include "src/core/assert.h"
+#include "src/core/rng.h"
+
+namespace dsa {
+
+namespace {
+
+AccessKind PickKind(Rng* rng, double write_fraction) {
+  return rng->Chance(write_fraction) ? AccessKind::kWrite : AccessKind::kRead;
+}
+
+}  // namespace
+
+ReferenceTrace MakeSequentialTrace(const SequentialTraceParams& params) {
+  DSA_ASSERT(params.extent > 0, "sequential trace needs a nonzero extent");
+  Rng rng(params.seed);
+  ReferenceTrace trace;
+  trace.label = "sequential";
+  trace.refs.reserve(params.length);
+  for (std::size_t i = 0; i < params.length; ++i) {
+    const Name name{static_cast<std::uint64_t>(i) % params.extent};
+    trace.refs.push_back({name, PickKind(&rng, params.write_fraction)});
+  }
+  return trace;
+}
+
+ReferenceTrace MakeRandomTrace(const RandomTraceParams& params) {
+  DSA_ASSERT(params.extent > 0, "random trace needs a nonzero extent");
+  Rng rng(params.seed);
+  ReferenceTrace trace;
+  trace.label = "random";
+  trace.refs.reserve(params.length);
+  for (std::size_t i = 0; i < params.length; ++i) {
+    trace.refs.push_back({Name{rng.Below(params.extent)}, PickKind(&rng, params.write_fraction)});
+  }
+  return trace;
+}
+
+ReferenceTrace MakeLoopTrace(const LoopTraceParams& params) {
+  DSA_ASSERT(params.body_words > 0, "loop body must be nonempty");
+  DSA_ASSERT(params.extent >= params.body_words, "loop body exceeds extent");
+  Rng rng(params.seed);
+  ReferenceTrace trace;
+  trace.label = "loop";
+  trace.refs.reserve(params.length);
+  WordCount body_base = 0;
+  std::size_t iteration = 0;
+  WordCount offset = 0;
+  while (trace.refs.size() < params.length) {
+    const Name name{(body_base + offset) % params.extent};
+    trace.refs.push_back({name, PickKind(&rng, params.write_fraction)});
+    ++offset;
+    if (offset == params.body_words) {
+      offset = 0;
+      ++iteration;
+      if (iteration == params.iterations) {
+        iteration = 0;
+        body_base = (body_base + params.advance_words) % params.extent;
+      }
+    }
+  }
+  return trace;
+}
+
+ReferenceTrace MakeWorkingSetTrace(const WorkingSetTraceParams& params) {
+  DSA_ASSERT(params.region_words > 0, "region size must be positive");
+  DSA_ASSERT(params.extent >= params.region_words, "region exceeds extent");
+  Rng rng(params.seed);
+  ReferenceTrace trace;
+  trace.label = "working-set";
+  trace.refs.reserve(params.phases * params.phase_length);
+  const WordCount region_count = params.extent / params.region_words;
+  DSA_ASSERT(region_count >= params.regions_per_phase,
+             "extent too small for the requested working set");
+  for (std::size_t phase = 0; phase < params.phases; ++phase) {
+    // Pick this phase's working set of regions.
+    std::vector<WordCount> regions;
+    regions.reserve(params.regions_per_phase);
+    for (std::size_t i = 0; i < params.regions_per_phase; ++i) {
+      regions.push_back(rng.Below(region_count));
+    }
+    std::size_t hot = 0;
+    for (std::size_t i = 0; i < params.phase_length; ++i) {
+      if (!rng.Chance(params.rereference_bias)) {
+        hot = rng.Below(regions.size());
+      }
+      const WordCount base = regions[hot] * params.region_words;
+      const Name name{base + rng.Below(params.region_words)};
+      trace.refs.push_back({name, PickKind(&rng, params.write_fraction)});
+    }
+  }
+  return trace;
+}
+
+ReferenceTrace MakeMatrixTrace(const MatrixTraceParams& params) {
+  DSA_ASSERT(params.rows > 0 && params.cols > 0, "matrix must be nonempty");
+  Rng rng(params.seed);
+  ReferenceTrace trace;
+  trace.label = params.column_major ? "matrix-column-major" : "matrix-row-major";
+  trace.refs.reserve(params.passes * params.rows * params.cols);
+  for (std::size_t pass = 0; pass < params.passes; ++pass) {
+    if (params.column_major) {
+      for (std::size_t c = 0; c < params.cols; ++c) {
+        for (std::size_t r = 0; r < params.rows; ++r) {
+          const Name name{params.base + r * params.cols + c};
+          trace.refs.push_back({name, PickKind(&rng, params.write_fraction)});
+        }
+      }
+    } else {
+      for (std::size_t r = 0; r < params.rows; ++r) {
+        for (std::size_t c = 0; c < params.cols; ++c) {
+          const Name name{params.base + r * params.cols + c};
+          trace.refs.push_back({name, PickKind(&rng, params.write_fraction)});
+        }
+      }
+    }
+  }
+  return trace;
+}
+
+ReferenceTrace MakeZipfTrace(const ZipfTraceParams& params) {
+  DSA_ASSERT(params.extent > 0, "zipf trace needs a nonzero extent");
+  DSA_ASSERT(params.theta >= 0.0 && params.theta < 1.5, "theta out of range");
+  Rng rng(params.seed);
+  ReferenceTrace trace;
+  trace.label = "zipf";
+  trace.refs.reserve(params.length);
+  // Standard Zipf sampler via the Gray/Knuth approximation.
+  const double n = static_cast<double>(params.extent);
+  const double theta = params.theta;
+  const double alpha = 1.0 / (1.0 - theta);
+  const double zetan = [&] {
+    // Truncated harmonic sum; exact for small extents, sampled for large.
+    double z = 0.0;
+    const std::uint64_t limit = params.extent > 100000 ? 100000 : params.extent;
+    for (std::uint64_t i = 1; i <= limit; ++i) {
+      z += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    if (params.extent > limit) {
+      // Integral tail approximation.
+      z += (std::pow(n, 1.0 - theta) - std::pow(static_cast<double>(limit), 1.0 - theta)) /
+           (1.0 - theta);
+    }
+    return z;
+  }();
+  const double zeta2 = 1.0 + std::pow(0.5, theta);
+  const double eta = (1.0 - std::pow(2.0 / n, 1.0 - theta)) / (1.0 - zeta2 / zetan);
+  for (std::size_t i = 0; i < params.length; ++i) {
+    const double u = rng.NextDouble();
+    const double uz = u * zetan;
+    std::uint64_t name_value = 0;
+    if (uz < 1.0) {
+      name_value = 0;
+    } else if (uz < 1.0 + std::pow(0.5, theta)) {
+      name_value = 1;
+    } else {
+      name_value = static_cast<std::uint64_t>(n * std::pow(eta * u - eta + 1.0, alpha));
+      if (name_value >= params.extent) {
+        name_value = params.extent - 1;
+      }
+    }
+    trace.refs.push_back({Name{name_value}, PickKind(&rng, params.write_fraction)});
+  }
+  return trace;
+}
+
+ReferenceTrace Concatenate(const ReferenceTrace& a, const ReferenceTrace& b) {
+  ReferenceTrace out;
+  out.label = a.label + "+" + b.label;
+  out.refs.reserve(a.refs.size() + b.refs.size());
+  out.refs.insert(out.refs.end(), a.refs.begin(), a.refs.end());
+  out.refs.insert(out.refs.end(), b.refs.begin(), b.refs.end());
+  return out;
+}
+
+}  // namespace dsa

@@ -1,0 +1,100 @@
+// Synthetic reference-trace generators.
+//
+// The 1967 paper reasons about program behaviour qualitatively ("if the
+// program has started using information from a particular segment, it is
+// likely, in a short time, to need to use other information in that
+// segment").  These generators parameterise exactly the properties that
+// argument depends on: spatial locality, loop structure, phase changes, and
+// skew.  Each returns a deterministic trace for a given seed.
+
+#ifndef SRC_TRACE_SYNTHETIC_H_
+#define SRC_TRACE_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "src/trace/reference.h"
+
+namespace dsa {
+
+// Straight-line sweep through [0, extent), wrapping, `length` references.
+// The best case for prefetching and the worst case for LRU at small memory.
+struct SequentialTraceParams {
+  WordCount extent{1 << 16};
+  std::size_t length{100000};
+  double write_fraction{0.25};
+  std::uint64_t seed{1};
+};
+ReferenceTrace MakeSequentialTrace(const SequentialTraceParams& params);
+
+// Uniform random references over [0, extent): the no-locality baseline where
+// every replacement policy degenerates to the same fault rate.
+struct RandomTraceParams {
+  WordCount extent{1 << 16};
+  std::size_t length{100000};
+  double write_fraction{0.25};
+  std::uint64_t seed{2};
+};
+ReferenceTrace MakeRandomTrace(const RandomTraceParams& params);
+
+// Nested-loop structure: the trace repeatedly sweeps a loop body of
+// `body_words`, re-entering it `iterations` times, then advances the body by
+// `advance_words` and repeats.  This is the periodic behaviour the ATLAS
+// learning program was designed to exploit.
+struct LoopTraceParams {
+  WordCount extent{1 << 16};
+  WordCount body_words{2048};
+  WordCount advance_words{1024};
+  std::size_t iterations{8};
+  std::size_t length{100000};
+  double write_fraction{0.25};
+  std::uint64_t seed{3};
+};
+ReferenceTrace MakeLoopTrace(const LoopTraceParams& params);
+
+// Working-set phase model: execution proceeds in phases; each phase picks a
+// fresh random set of `pages_per_phase` page-sized regions and references
+// within it (mostly re-referencing recent words).  Phase transitions are the
+// locality disruptions that defeat purely historical replacement.
+struct WorkingSetTraceParams {
+  WordCount extent{1 << 18};
+  WordCount region_words{512};     // granularity of the working set
+  std::size_t regions_per_phase{12};
+  std::size_t phase_length{20000}; // references per phase
+  std::size_t phases{10};
+  double rereference_bias{0.9};    // probability of staying on the hot region
+  double write_fraction{0.25};
+  std::uint64_t seed{4};
+};
+ReferenceTrace MakeWorkingSetTrace(const WorkingSetTraceParams& params);
+
+// Matrix traversal over a row-major rows x cols array starting at `base`.
+// Row-major traversal is page-friendly; column-major touches a new page
+// almost every reference once rows exceed page_size/cols.
+struct MatrixTraceParams {
+  WordCount base{0};
+  std::size_t rows{256};
+  std::size_t cols{256};
+  bool column_major{false};
+  std::size_t passes{2};
+  double write_fraction{0.5};
+  std::uint64_t seed{5};
+};
+ReferenceTrace MakeMatrixTrace(const MatrixTraceParams& params);
+
+// Zipf-skewed references: a few names dominate.  Models the "permanently
+// resident supervisor" pattern MULTICS pins explicitly.
+struct ZipfTraceParams {
+  WordCount extent{1 << 16};
+  std::size_t length{100000};
+  double theta{0.99};  // skew; 0 = uniform
+  double write_fraction{0.25};
+  std::uint64_t seed{6};
+};
+ReferenceTrace MakeZipfTrace(const ZipfTraceParams& params);
+
+// Concatenates b onto a (used to build multi-phase workloads).
+ReferenceTrace Concatenate(const ReferenceTrace& a, const ReferenceTrace& b);
+
+}  // namespace dsa
+
+#endif  // SRC_TRACE_SYNTHETIC_H_

@@ -1,0 +1,139 @@
+#include "src/trace/trace_io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace dsa {
+
+namespace {
+
+char KindChar(AccessKind kind) {
+  switch (kind) {
+    case AccessKind::kRead:
+      return 'r';
+    case AccessKind::kWrite:
+      return 'w';
+    case AccessKind::kExecute:
+      return 'x';
+  }
+  return '?';
+}
+
+bool ParseKind(const std::string& token, AccessKind* kind) {
+  if (token == "r") {
+    *kind = AccessKind::kRead;
+  } else if (token == "w") {
+    *kind = AccessKind::kWrite;
+  } else if (token == "x") {
+    *kind = AccessKind::kExecute;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// Strips comments and leading whitespace; returns false for blank lines.
+bool MeaningfulLine(std::string* line) {
+  const auto hash = line->find('#');
+  if (hash != std::string::npos) {
+    line->erase(hash);
+  }
+  const auto first = line->find_first_not_of(" \t\r");
+  if (first == std::string::npos) {
+    return false;
+  }
+  line->erase(0, first);
+  return true;
+}
+
+}  // namespace
+
+void WriteReferenceTrace(const ReferenceTrace& trace, std::ostream* out) {
+  *out << "# reference trace: " << trace.label << "\n";
+  *out << "label " << trace.label << "\n";
+  for (const Reference& r : trace.refs) {
+    *out << "ref " << r.name.value << ' ' << KindChar(r.kind) << "\n";
+  }
+}
+
+Expected<ReferenceTrace, TraceParseError> ReadReferenceTrace(std::istream* in) {
+  ReferenceTrace trace;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(*in, line)) {
+    ++line_no;
+    if (!MeaningfulLine(&line)) {
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string verb;
+    fields >> verb;
+    if (verb == "label") {
+      fields >> trace.label;
+    } else if (verb == "ref") {
+      std::uint64_t name = 0;
+      std::string kind_token;
+      if (!(fields >> name >> kind_token)) {
+        return MakeUnexpected(TraceParseError{line_no, "expected: ref <name> <r|w|x>"});
+      }
+      AccessKind kind{};
+      if (!ParseKind(kind_token, &kind)) {
+        return MakeUnexpected(TraceParseError{line_no, "bad access kind: " + kind_token});
+      }
+      trace.refs.push_back({Name{name}, kind});
+    } else {
+      return MakeUnexpected(TraceParseError{line_no, "unknown record: " + verb});
+    }
+  }
+  return trace;
+}
+
+void WriteAllocationTrace(const AllocationTrace& trace, std::ostream* out) {
+  *out << "# allocation trace: " << trace.label << "\n";
+  *out << "label " << trace.label << "\n";
+  for (const AllocOp& op : trace.ops) {
+    if (op.kind == AllocOpKind::kAllocate) {
+      *out << "alloc " << op.request << ' ' << op.size << "\n";
+    } else {
+      *out << "free " << op.request << "\n";
+    }
+  }
+}
+
+Expected<AllocationTrace, TraceParseError> ReadAllocationTrace(std::istream* in) {
+  AllocationTrace trace;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(*in, line)) {
+    ++line_no;
+    if (!MeaningfulLine(&line)) {
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string verb;
+    fields >> verb;
+    if (verb == "label") {
+      fields >> trace.label;
+    } else if (verb == "alloc") {
+      std::uint64_t request = 0;
+      WordCount size = 0;
+      if (!(fields >> request >> size) || size == 0) {
+        return MakeUnexpected(TraceParseError{line_no, "expected: alloc <request> <size>=1..>"});
+      }
+      trace.ops.push_back({AllocOpKind::kAllocate, request, size});
+    } else if (verb == "free") {
+      std::uint64_t request = 0;
+      if (!(fields >> request)) {
+        return MakeUnexpected(TraceParseError{line_no, "expected: free <request>"});
+      }
+      trace.ops.push_back({AllocOpKind::kFree, request, 0});
+    } else {
+      return MakeUnexpected(TraceParseError{line_no, "unknown record: " + verb});
+    }
+  }
+  return trace;
+}
+
+}  // namespace dsa

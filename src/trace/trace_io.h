@@ -1,0 +1,35 @@
+// Plain-text serialisation for traces, so experiments can be re-run on
+// externally captured or hand-written workloads.
+//
+// Reference trace format (one record per line, '#' comments allowed):
+//   ref <name> <r|w|x>
+// Allocation trace format:
+//   alloc <request-id> <size>
+//   free <request-id>
+
+#ifndef SRC_TRACE_TRACE_IO_H_
+#define SRC_TRACE_TRACE_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/core/expected.h"
+#include "src/trace/allocation.h"
+#include "src/trace/reference.h"
+
+namespace dsa {
+
+struct TraceParseError {
+  std::size_t line{0};
+  std::string message;
+};
+
+void WriteReferenceTrace(const ReferenceTrace& trace, std::ostream* out);
+Expected<ReferenceTrace, TraceParseError> ReadReferenceTrace(std::istream* in);
+
+void WriteAllocationTrace(const AllocationTrace& trace, std::ostream* out);
+Expected<AllocationTrace, TraceParseError> ReadAllocationTrace(std::istream* in);
+
+}  // namespace dsa
+
+#endif  // SRC_TRACE_TRACE_IO_H_

@@ -1,0 +1,54 @@
+#include "src/vm/overlay.h"
+
+#include <optional>
+#include <vector>
+
+#include "src/core/assert.h"
+
+namespace dsa {
+
+StaticOverlayPlan::StaticOverlayPlan(OverlayPlanConfig config) : config_(std::move(config)) {
+  DSA_ASSERT(config_.region_words > 0, "overlay regions are nonempty");
+  DSA_ASSERT(config_.resident_regions > 0, "the plan must keep at least one region in core");
+}
+
+OverlayReport StaticOverlayPlan::Run(const ReferenceTrace& trace) const {
+  OverlayReport report;
+  std::vector<std::optional<std::uint64_t>> resident(config_.resident_regions);
+  std::vector<Cycles> last_use(config_.resident_regions, 0);
+
+  for (const Reference& ref : trace.refs) {
+    ++report.references;
+    report.total_cycles += config_.cycles_per_reference;
+    const std::uint64_t region = ref.name.value / config_.region_words;
+
+    std::size_t found = config_.resident_regions;
+    for (std::size_t s = 0; s < config_.resident_regions; ++s) {
+      if (resident[s] == region) {
+        found = s;
+        break;
+      }
+    }
+    if (found == config_.resident_regions) {
+      // Overlay the least recently used slot with the whole demanded region
+      // — the worst-case transfer the plan committed to.
+      std::size_t victim = 0;
+      for (std::size_t s = 1; s < config_.resident_regions; ++s) {
+        if (last_use[s] < last_use[victim]) {
+          victim = s;
+        }
+      }
+      resident[victim] = region;
+      found = victim;
+      ++report.overlay_swaps;
+      report.words_transferred += config_.region_words;
+      const Cycles transfer = config_.backing.TransferTime(config_.region_words);
+      report.total_cycles += transfer;
+      report.transfer_cycles += transfer;
+    }
+    last_use[found] = report.total_cycles;
+  }
+  return report;
+}
+
+}  // namespace dsa

@@ -1,0 +1,61 @@
+// Static, preplanned overlays — the Introduction's pre-VM baseline.
+//
+// "The simplest strategies involved preplanned allocation and overlaying on
+// the basis of worst case estimates of storage requirements."  The plan
+// divides the name space into fixed regions of which a fixed number fit in
+// core; touching a non-resident region swaps the *whole region* over the
+// least recently used slot.  Automatic systems are judged against this.
+
+#ifndef SRC_VM_OVERLAY_H_
+#define SRC_VM_OVERLAY_H_
+
+#include <cstdint>
+
+#include "src/core/types.h"
+#include "src/mem/storage_level.h"
+#include "src/trace/reference.h"
+
+namespace dsa {
+
+struct OverlayPlanConfig {
+  WordCount region_words{2048};     // the worst-case planning unit
+  std::size_t resident_regions{4};  // how many regions core holds at once
+  StorageLevel backing{MakeDrumLevel("drum", 1u << 20, /*word_time=*/4,
+                                     /*rotational_delay=*/6000)};
+  Cycles cycles_per_reference{1};
+};
+
+struct OverlayReport {
+  std::uint64_t references{0};
+  std::uint64_t overlay_swaps{0};
+  WordCount words_transferred{0};
+  Cycles total_cycles{0};
+  Cycles transfer_cycles{0};
+
+  double SwapRate() const {
+    return references == 0 ? 0.0
+                           : static_cast<double>(overlay_swaps) /
+                                 static_cast<double>(references);
+  }
+};
+
+class StaticOverlayPlan {
+ public:
+  explicit StaticOverlayPlan(OverlayPlanConfig config);
+
+  // Replays the trace under the plan's overlaying discipline.
+  OverlayReport Run(const ReferenceTrace& trace) const;
+
+  const OverlayPlanConfig& config() const { return config_; }
+  // Core the plan reserves (its worst-case estimate).
+  WordCount PlannedCoreWords() const {
+    return config_.region_words * config_.resident_regions;
+  }
+
+ private:
+  OverlayPlanConfig config_;
+};
+
+}  // namespace dsa
+
+#endif  // SRC_VM_OVERLAY_H_

@@ -1,0 +1,102 @@
+// The paged-segmented virtual memory system (MULTICS / IBM 360/67 shape):
+// a linearly segmented name space whose segments are themselves paged, with
+// the Fig. 4 two-level mapping and a small associative memory in front.
+//
+// "Unlike the B5000 system, the segment is not the unit of allocation.
+// Instead allocation is performed by a variant of the standard paging
+// technique."
+
+#ifndef SRC_VM_PAGED_SEGMENTED_VM_H_
+#define SRC_VM_PAGED_SEGMENTED_VM_H_
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+
+#include "src/core/clock.h"
+#include "src/map/two_level.h"
+#include "src/mem/backing_store.h"
+#include "src/mem/channel.h"
+#include "src/paging/advice.h"
+#include "src/paging/pager.h"
+#include "src/paging/replacement_factory.h"
+#include "src/vm/system.h"
+
+namespace dsa {
+
+struct PagedSegmentedVmConfig {
+  std::string label{"paged-segmented-vm"};
+  int segment_bits{12};    // MULTICS: up to 256K segments; model scaled
+  int offset_bits{18};     // max segment extent 256K words
+  WordCount core_words{131072};
+  WordCount page_words{1024};
+  StorageLevel backing_level{MakeDrumLevel("drum", 1u << 22, /*word_time=*/4,
+                                           /*rotational_delay=*/6000)};
+  std::size_t tlb_entries{16};
+  // The 360/67's ninth associative register for the instruction counter.
+  bool dedicated_execute_register{false};
+  MappingCostModel mapping_costs{};
+  ReplacementStrategyKind replacement{ReplacementStrategyKind::kClock};
+  ReplacementOptions replacement_options{};
+  FetchStrategyKind fetch{FetchStrategyKind::kDemand};
+  std::size_t prefetch_window{2};
+  std::size_t advice_fetch_budget{4};
+  bool accept_advice{false};
+  // How linear workload traces are sliced into segments.
+  WordCount workload_segment_words{4096};
+  Cycles cycles_per_reference{1};
+  // Reported allocation-unit flavour: MULTICS uses two page sizes, making it
+  // formally non-uniform even though this model pages at one size.
+  AllocationUnit reported_unit{AllocationUnit::kUniformPages};
+};
+
+class PagedSegmentedVm : public StorageAllocationSystem {
+ public:
+  explicit PagedSegmentedVm(PagedSegmentedVmConfig config);
+
+  VmReport Run(const ReferenceTrace& trace) override;
+  std::string name() const override { return config_.label; }
+  Characteristics characteristics() const override;
+
+  // Predictive directives at (segment, page-in-segment) granularity.
+  void AdviseWillNeed(SegmentedName name);
+  void AdviseWontNeed(SegmentedName name);
+  void AdviseKeepResident(SegmentedName name);
+
+  const Pager& pager() const { return *pager_; }
+  const SegmentPageMapper& mapper() const { return *mapper_; }
+  const PagedSegmentedVmConfig& config() const { return config_; }
+
+ private:
+  void Reset();
+  SegmentedName Slice(Name name) const;
+  void EnsureSegment(SegmentId segment);
+  std::uint64_t KeyOf(SegmentId segment, PageId page) const {
+    return (segment.value << 32) | page.value;
+  }
+  // The pager's opaque page key for a (segment, offset) pair.
+  PageId PageKeyOf(SegmentedName name) const {
+    return PageId{KeyOf(name.segment, PageId{name.offset / config_.page_words})};
+  }
+
+  PagedSegmentedVmConfig config_;
+  Clock clock_;
+  std::unique_ptr<BackingStore> backing_;
+  std::unique_ptr<TransferChannel> channel_;
+  std::unique_ptr<AdviceRegistry> advice_;
+  std::unique_ptr<SegmentPageMapper> mapper_;
+  std::unique_ptr<Pager> pager_;
+  std::unordered_set<std::uint64_t> defined_segments_;
+  SpaceTimeAccumulator space_time_;
+
+  std::uint64_t references_{0};
+  std::uint64_t bounds_violations_{0};
+  Cycles compute_cycles_{0};
+  Cycles translation_cycles_{0};
+  Cycles wait_cycles_{0};
+  WordCount peak_resident_{0};
+};
+
+}  // namespace dsa
+
+#endif  // SRC_VM_PAGED_SEGMENTED_VM_H_

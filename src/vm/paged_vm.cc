@@ -1,0 +1,199 @@
+#include "src/vm/paged_vm.h"
+
+#include <algorithm>
+
+#include "src/core/assert.h"
+#include "src/paging/fetch.h"
+
+namespace dsa {
+
+namespace {
+
+std::unique_ptr<FetchPolicy> MakeFetchPolicy(const PagedVmConfig& config,
+                                             AdviceRegistry* advice,
+                                             std::uint64_t page_count) {
+  switch (config.fetch) {
+    case FetchStrategyKind::kDemand:
+      return std::make_unique<DemandFetch>();
+    case FetchStrategyKind::kPrefetch:
+      return std::make_unique<PrefetchFetch>(config.prefetch_window, page_count);
+    case FetchStrategyKind::kAdvised:
+      DSA_ASSERT(advice != nullptr, "advised fetch requires accept_advice");
+      return std::make_unique<AdvisedFetch>(advice, config.advice_fetch_budget);
+  }
+  DSA_ASSERT(false, "unknown fetch strategy");
+  return nullptr;
+}
+
+}  // namespace
+
+PagedLinearVm::PagedLinearVm(PagedVmConfig config)
+    : config_(std::move(config)), names_(config_.address_bits) {
+  DSA_ASSERT(config_.core_words % config_.page_words == 0,
+             "core must hold an integral number of page frames");
+  Reset();
+}
+
+void PagedLinearVm::Reset() {
+  clock_.Reset();
+  backing_ = std::make_unique<BackingStore>(config_.backing_level);
+  channel_ = std::make_unique<TransferChannel>();
+  advice_ = config_.accept_advice ? std::make_unique<AdviceRegistry>() : nullptr;
+
+  const std::size_t frames = static_cast<std::size_t>(config_.core_words / config_.page_words);
+  const std::uint64_t page_count =
+      (names_.MaxExtent() + config_.page_words - 1) / config_.page_words;
+
+  PagerConfig pager_config;
+  pager_config.page_words = config_.page_words;
+  pager_config.frames = frames;
+  pager_config.keep_one_frame_vacant = config_.keep_one_frame_vacant;
+
+  auto replacement =
+      MakeReplacementPolicy(config_.replacement, config_.replacement_options);
+  auto fetch = MakeFetchPolicy(config_, advice_.get(), page_count);
+  pager_ = std::make_unique<Pager>(pager_config, backing_.get(), channel_.get(),
+                                   std::move(replacement), std::move(fetch), advice_.get());
+
+  switch (config_.mapper) {
+    case PagedMapperKind::kPageTable: {
+      auto mapper = std::make_unique<PageTableMapper>(
+          config_.page_words, static_cast<std::size_t>(page_count), config_.tlb_entries,
+          config_.mapping_costs);
+      PageTableMapper* raw = mapper.get();
+      pager_->SetResidencyCallbacks(
+          [raw](PageId page, FrameId frame) { raw->Map(page, frame); },
+          [raw](PageId page, FrameId frame) {
+            (void)frame;
+            raw->Unmap(page);
+          });
+      mapper_ = std::move(mapper);
+      break;
+    }
+    case PagedMapperKind::kAtlasRegisters: {
+      auto mapper = std::make_unique<AtlasPageRegisterMapper>(config_.page_words, frames,
+                                                              config_.mapping_costs);
+      AtlasPageRegisterMapper* raw = mapper.get();
+      pager_->SetResidencyCallbacks(
+          [raw](PageId page, FrameId frame) { raw->LoadFrame(frame, page); },
+          [raw](PageId page, FrameId frame) {
+            (void)page;
+            raw->ClearFrame(frame);
+          });
+      mapper_ = std::move(mapper);
+      break;
+    }
+  }
+
+  space_time_ = SpaceTimeAccumulator{};
+  references_ = 0;
+  bounds_violations_ = 0;
+  compute_cycles_ = 0;
+  translation_cycles_ = 0;
+  wait_cycles_ = 0;
+  peak_resident_ = 0;
+}
+
+Cycles PagedLinearVm::Step(const Reference& ref) {
+  ++references_;
+
+  // Instruction execution.
+  clock_.Advance(config_.cycles_per_reference);
+  compute_cycles_ += config_.cycles_per_reference;
+  space_time_.Accumulate(pager_->ResidentWords(), config_.cycles_per_reference,
+                         /*waiting=*/false);
+
+  if (!names_.Contains(ref.name)) {
+    ++bounds_violations_;
+    return 0;
+  }
+
+  // First translation attempt.  A miss is the invalid-access trap that
+  // triggers the fetch strategy.
+  Cycles stall = 0;
+  TranslationResult first = mapper_->Translate(ref.name, ref.kind, clock_.now());
+  Cycles map_cost = first.has_value() ? first->cost : first.error().detection_cost;
+  translation_cycles_ += map_cost;
+  clock_.Advance(map_cost);
+  space_time_.Accumulate(pager_->ResidentWords(), map_cost, /*waiting=*/false);
+
+  if (!first.has_value()) {
+    const Fault& fault = first.error();
+    if (fault.kind == FaultKind::kBoundsViolation || fault.kind == FaultKind::kInvalidName) {
+      ++bounds_violations_;
+      return 0;
+    }
+    DSA_ASSERT(fault.kind == FaultKind::kPageNotPresent, "unexpected fault kind in paged VM");
+  }
+
+  // Drive the pager; on the hit path this only refreshes sensors/recency.
+  const PageAccessOutcome outcome = pager_->Access(PageOf(ref.name), ref.kind, clock_.now());
+  if (outcome.faulted) {
+    // The program occupies storage while awaiting the page — the waiting
+    // shading of Fig. 3.  Residency during the wait includes the newly
+    // loaded page(s).
+    space_time_.Accumulate(pager_->ResidentWords(), outcome.wait_cycles, /*waiting=*/true);
+    clock_.Advance(outcome.wait_cycles);
+    wait_cycles_ += outcome.wait_cycles;
+    stall += outcome.wait_cycles;
+
+    // Retry the translation after the trap handler completes.
+    TranslationResult retry = mapper_->Translate(ref.name, ref.kind, clock_.now());
+    DSA_ASSERT(retry.has_value(), "translation must succeed after the page is loaded");
+    translation_cycles_ += retry->cost;
+    clock_.Advance(retry->cost);
+    space_time_.Accumulate(pager_->ResidentWords(), retry->cost, /*waiting=*/false);
+  }
+
+  peak_resident_ = std::max(peak_resident_, pager_->ResidentWords());
+  return stall;
+}
+
+VmReport PagedLinearVm::Run(const ReferenceTrace& trace) {
+  Reset();
+  for (const Reference& ref : trace.refs) {
+    Step(ref);
+  }
+  VmReport report = Snapshot();
+  report.label = config_.label + " / " + trace.label;
+  return report;
+}
+
+VmReport PagedLinearVm::Snapshot() const {
+  VmReport report;
+  report.label = config_.label;
+  report.references = references_;
+  report.faults = pager_->stats().faults;
+  report.bounds_violations = bounds_violations_;
+  report.writebacks = pager_->stats().writebacks;
+  report.total_cycles = clock_.now();
+  report.compute_cycles = compute_cycles_;
+  report.translation_cycles = translation_cycles_;
+  report.wait_cycles = wait_cycles_;
+  report.space_time = space_time_.product();
+  report.peak_resident_words = peak_resident_;
+  if (config_.mapper == PagedMapperKind::kPageTable && config_.tlb_entries > 0) {
+    report.tlb_hit_rate = static_cast<const PageTableMapper&>(*mapper_).tlb().HitRate();
+  }
+  return report;
+}
+
+Characteristics PagedLinearVm::characteristics() const {
+  Characteristics c;
+  c.name_space = NameSpaceKind::kLinear;
+  c.predictive = config_.accept_advice ? PredictiveInformation::kAccepted
+                                       : PredictiveInformation::kNotAccepted;
+  c.prediction_source =
+      config_.accept_advice ? PredictionSource::kProgrammer : PredictionSource::kNone;
+  c.contiguity = ArtificialContiguity::kProvided;
+  c.unit = config_.reported_unit;
+  return c;
+}
+
+void PagedLinearVm::AdviseWillNeed(Name name) { pager_->AdviseWillNeed(PageOf(name)); }
+
+void PagedLinearVm::AdviseWontNeed(Name name) { pager_->AdviseWontNeed(PageOf(name)); }
+
+void PagedLinearVm::AdviseKeepResident(Name name) { pager_->AdviseKeepResident(PageOf(name)); }
+
+}  // namespace dsa

@@ -1,0 +1,53 @@
+// The space-time product (Figure 3).
+//
+// "A more significant measure of a strategy's effectiveness is the
+// space-time product.  A program which is awaiting arrival of a further page
+// will, unless extra page transmission is introduced, continue to occupy
+// working storage."  The accumulator splits the integral of resident words
+// over time into the figure's two shadings: space held while the program is
+// *active* and space held while it *awaits pages*.
+
+#ifndef SRC_VM_SPACE_TIME_H_
+#define SRC_VM_SPACE_TIME_H_
+
+#include "src/core/types.h"
+
+namespace dsa {
+
+struct SpaceTime {
+  // Units: word-cycles.
+  double active{0.0};
+  double waiting{0.0};
+
+  double total() const { return active + waiting; }
+
+  // Fraction of the space-time product spent awaiting pages — the paper's
+  // "danger of demand paging in unsuitable environments" in one number.
+  double WaitingFraction() const {
+    const double t = total();
+    return t == 0.0 ? 0.0 : waiting / t;
+  }
+};
+
+class SpaceTimeAccumulator {
+ public:
+  // Charges `words` of residency held for `cycles`, attributed to activity
+  // or page-waiting.
+  void Accumulate(WordCount words, Cycles cycles, bool waiting) {
+    const double wt = static_cast<double>(words) * static_cast<double>(cycles);
+    if (waiting) {
+      product_.waiting += wt;
+    } else {
+      product_.active += wt;
+    }
+  }
+
+  const SpaceTime& product() const { return product_; }
+
+ private:
+  SpaceTime product_;
+};
+
+}  // namespace dsa
+
+#endif  // SRC_VM_SPACE_TIME_H_

@@ -1,0 +1,64 @@
+// The common face of every complete storage allocation system built from
+// this library: run a reference trace, report what happened.  Machines
+// (src/machines), the SystemBuilder, and the survey harness all speak this
+// interface.
+
+#ifndef SRC_VM_SYSTEM_H_
+#define SRC_VM_SYSTEM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/characteristics.h"
+#include "src/core/types.h"
+#include "src/trace/reference.h"
+#include "src/vm/space_time.h"
+
+namespace dsa {
+
+struct VmReport {
+  std::string label;
+  std::uint64_t references{0};
+  std::uint64_t faults{0};            // page or segment faults
+  std::uint64_t bounds_violations{0};
+  std::uint64_t writebacks{0};
+  Cycles total_cycles{0};             // simulated end time
+  Cycles compute_cycles{0};           // instruction execution
+  Cycles translation_cycles{0};       // address-mapping overhead
+  Cycles wait_cycles{0};              // stalls awaiting transfers
+  SpaceTime space_time;
+  WordCount peak_resident_words{0};
+  double tlb_hit_rate{0.0};           // 0 when no associative memory exists
+
+  double FaultRate() const {
+    return references == 0 ? 0.0
+                           : static_cast<double>(faults) / static_cast<double>(references);
+  }
+  // Mean cycles of mapping overhead per reference (experiment E7's metric).
+  double MeanTranslationCost() const {
+    return references == 0 ? 0.0
+                           : static_cast<double>(translation_cycles) /
+                                 static_cast<double>(references);
+  }
+  // Fraction of wall time the program was stalled on transfers.
+  double WaitFraction() const {
+    return total_cycles == 0 ? 0.0
+                             : static_cast<double>(wait_cycles) /
+                                   static_cast<double>(total_cycles);
+  }
+};
+
+class StorageAllocationSystem {
+ public:
+  virtual ~StorageAllocationSystem() = default;
+
+  // Executes the trace from a cold start and reports.
+  virtual VmReport Run(const ReferenceTrace& trace) = 0;
+
+  virtual std::string name() const = 0;
+  virtual Characteristics characteristics() const = 0;
+};
+
+}  // namespace dsa
+
+#endif  // SRC_VM_SYSTEM_H_

@@ -1,0 +1,59 @@
+// SystemBuilder: turns a point in the paper's four-axis design space into a
+// runnable storage allocation system.
+//
+// "The selection of a particular combination of the four basic
+// characteristics ... provides a preliminary system specification.  No
+// detailed specification ... would however be complete without a description
+// of the basic strategies it incorporates."  A SystemSpec is therefore a
+// Characteristics value plus the three strategies (fetch, placement,
+// replacement) and capacity/timing parameters; Build() maps it to one of the
+// three architecture families the library implements.
+
+#ifndef SRC_VM_SYSTEM_BUILDER_H_
+#define SRC_VM_SYSTEM_BUILDER_H_
+
+#include <memory>
+#include <string>
+
+#include "src/core/characteristics.h"
+#include "src/core/strategy.h"
+#include "src/mem/storage_level.h"
+#include "src/vm/system.h"
+
+namespace dsa {
+
+struct SystemSpec {
+  std::string label{"custom-system"};
+  Characteristics characteristics{};
+
+  // Strategies (each applies where the architecture uses it).
+  FetchStrategyKind fetch{FetchStrategyKind::kDemand};
+  PlacementStrategyKind placement{PlacementStrategyKind::kBestFit};
+  ReplacementStrategyKind replacement{ReplacementStrategyKind::kLru};
+
+  // Capacities and timing.
+  WordCount core_words{16384};
+  WordCount page_words{512};         // uniform/mixed units
+  WordCount max_segment_extent{1024};  // variable units
+  WordCount workload_segment_words{512};
+  StorageLevel backing_level{MakeDrumLevel("drum", 1u << 20, /*word_time=*/4,
+                                           /*rotational_delay=*/6000)};
+  std::size_t tlb_entries{8};
+  Cycles cycles_per_reference{1};
+};
+
+// Builds the system family implied by the characteristics:
+//   * linear + uniform pages            -> PagedLinearVm
+//   * linearly segmented + pages/mixed  -> PagedSegmentedVm (Fig. 4)
+//   * any segmented + variable blocks   -> SegmentedVm (segment = unit)
+//   * linear + variable blocks is rejected: with no mapping device and no
+//     segments, variable-unit allocation has nothing to relocate by — the
+//     combination the paper notes was never usefully built.
+std::unique_ptr<StorageAllocationSystem> BuildSystem(const SystemSpec& spec);
+
+// True if Build() accepts this point of the design space.
+bool SpecIsBuildable(const SystemSpec& spec);
+
+}  // namespace dsa
+
+#endif  // SRC_VM_SYSTEM_BUILDER_H_

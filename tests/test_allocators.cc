@@ -1,0 +1,364 @@
+// VariableAllocator unit tests plus the cross-policy property suite: under
+// random allocate/free churn, no allocator may ever hand out overlapping
+// blocks, lose words, or miscount fragmentation.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/alloc/buddy.h"
+#include "src/alloc/compaction.h"
+#include "src/alloc/rice_chain.h"
+#include "src/alloc/variable_allocator.h"
+#include "src/core/rng.h"
+#include "src/stats/summary.h"
+#include "src/trace/allocation.h"
+
+namespace dsa {
+namespace {
+
+TEST(VariableAllocatorTest, AllocatesAndFrees) {
+  VariableAllocator alloc(1000, MakePlacementPolicy(PlacementStrategyKind::kFirstFit));
+  const auto block = alloc.Allocate(100);
+  ASSERT_TRUE(block.has_value());
+  EXPECT_EQ(block->addr, PhysicalAddress{0});
+  EXPECT_EQ(block->size, 100u);
+  EXPECT_EQ(alloc.live_words(), 100u);
+  alloc.Free(block->addr);
+  EXPECT_EQ(alloc.live_words(), 0u);
+  EXPECT_EQ(alloc.free_list().total_free(), 1000u);
+  EXPECT_EQ(alloc.free_list().hole_count(), 1u);  // coalesced back to one hole
+}
+
+TEST(VariableAllocatorTest, FailureLeavesStateUntouched) {
+  VariableAllocator alloc(100, MakePlacementPolicy(PlacementStrategyKind::kBestFit));
+  ASSERT_TRUE(alloc.Allocate(60).has_value());
+  EXPECT_FALSE(alloc.Allocate(50).has_value());
+  EXPECT_EQ(alloc.stats().failures, 1u);
+  EXPECT_EQ(alloc.live_words(), 60u);
+}
+
+TEST(VariableAllocatorTest, ExternalFragmentationBlocksLargeRequests) {
+  VariableAllocator alloc(100, MakePlacementPolicy(PlacementStrategyKind::kFirstFit));
+  // Allocate 10x10, free every other one: 50 words free, largest hole 10.
+  std::vector<PhysicalAddress> blocks;
+  for (int i = 0; i < 10; ++i) {
+    blocks.push_back(alloc.Allocate(10)->addr);
+  }
+  for (int i = 0; i < 10; i += 2) {
+    alloc.Free(blocks[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_EQ(alloc.free_list().total_free(), 50u);
+  EXPECT_FALSE(alloc.Allocate(11).has_value());  // despite 50 free words
+  const auto frag = alloc.Fragmentation();
+  EXPECT_DOUBLE_EQ(frag.ExternalFragmentation(), 0.8);
+}
+
+TEST(VariableAllocatorTest, LiveBlocksReportedInAddressOrder) {
+  VariableAllocator alloc(1000, MakePlacementPolicy(PlacementStrategyKind::kFirstFit));
+  alloc.Allocate(10);
+  alloc.Allocate(20);
+  alloc.Allocate(30);
+  const auto blocks = alloc.LiveBlocks();
+  ASSERT_EQ(blocks.size(), 3u);
+  EXPECT_LT(blocks[0].addr.value, blocks[1].addr.value);
+  EXPECT_LT(blocks[1].addr.value, blocks[2].addr.value);
+  EXPECT_EQ(alloc.LiveBlockSize(blocks[1].addr), 20u);
+}
+
+TEST(VariableAllocatorTest, RelocateMovesBlock) {
+  VariableAllocator alloc(1000, MakePlacementPolicy(PlacementStrategyKind::kFirstFit));
+  const auto a = alloc.Allocate(10);
+  const auto b = alloc.Allocate(10);
+  ASSERT_TRUE(a && b);
+  alloc.Free(a->addr);  // hole at [0,10)
+  alloc.Relocate(b->addr, PhysicalAddress{0});
+  const auto blocks = alloc.LiveBlocks();
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].addr, PhysicalAddress{0});
+  EXPECT_TRUE(alloc.free_list().RangeIsFree(PhysicalAddress{10}, 990));
+}
+
+TEST(VariableAllocatorTest, RelocateWithOverlapSlidesDown) {
+  VariableAllocator alloc(100, MakePlacementPolicy(PlacementStrategyKind::kFirstFit));
+  const auto a = alloc.Allocate(10);
+  const auto b = alloc.Allocate(50);
+  ASSERT_TRUE(a && b);
+  alloc.Free(a->addr);
+  // Slide the 50-word block from 10 down to 5: destination overlaps source.
+  alloc.Relocate(b->addr, PhysicalAddress{5});
+  EXPECT_EQ(alloc.LiveBlocks()[0].addr, PhysicalAddress{5});
+}
+
+TEST(VariableAllocatorDeathTest, FreeOfUnknownBlockAborts) {
+  VariableAllocator alloc(100, MakePlacementPolicy(PlacementStrategyKind::kFirstFit));
+  EXPECT_DEATH(alloc.Free(PhysicalAddress{5}), "unknown block");
+}
+
+TEST(VariableAllocatorTest, NameIncludesPolicy) {
+  VariableAllocator alloc(100, MakePlacementPolicy(PlacementStrategyKind::kBestFit));
+  EXPECT_EQ(alloc.name(), "variable/best-fit");
+}
+
+// --- Cross-allocator property suite ---------------------------------------------
+
+enum class AllocatorFlavour {
+  kFirstFit,
+  kNextFit,
+  kBestFit,
+  kWorstFit,
+  kTwoEnded,
+  kBuddy,
+  kRiceChain,
+};
+
+std::unique_ptr<Allocator> MakeFlavour(AllocatorFlavour flavour, WordCount capacity) {
+  switch (flavour) {
+    case AllocatorFlavour::kFirstFit:
+      return std::make_unique<VariableAllocator>(
+          capacity, MakePlacementPolicy(PlacementStrategyKind::kFirstFit));
+    case AllocatorFlavour::kNextFit:
+      return std::make_unique<VariableAllocator>(
+          capacity, MakePlacementPolicy(PlacementStrategyKind::kNextFit));
+    case AllocatorFlavour::kBestFit:
+      return std::make_unique<VariableAllocator>(
+          capacity, MakePlacementPolicy(PlacementStrategyKind::kBestFit));
+    case AllocatorFlavour::kWorstFit:
+      return std::make_unique<VariableAllocator>(
+          capacity, MakePlacementPolicy(PlacementStrategyKind::kWorstFit));
+    case AllocatorFlavour::kTwoEnded:
+      return std::make_unique<VariableAllocator>(
+          capacity, MakePlacementPolicy(PlacementStrategyKind::kTwoEnded, 64));
+    case AllocatorFlavour::kBuddy:
+      return std::make_unique<BuddyAllocator>(capacity);
+    case AllocatorFlavour::kRiceChain:
+      return std::make_unique<RiceChainAllocator>(capacity);
+  }
+  return nullptr;
+}
+
+class AllocatorPropertyTest : public ::testing::TestWithParam<AllocatorFlavour> {};
+
+// Invariant: live blocks never overlap and never leave [0, capacity), and
+// requested words are conserved, across thousands of random churn steps.
+TEST_P(AllocatorPropertyTest, NoOverlapNoLeakUnderChurn) {
+  constexpr WordCount kCapacity = 1 << 14;
+  auto alloc = MakeFlavour(GetParam(), kCapacity);
+
+  AllocationTraceParams params;
+  params.operations = 6000;
+  params.max_size = 512;
+  params.target_live = 40;
+  params.seed = 1234;
+  const AllocationTrace trace = MakeAllocationTrace(params);
+
+  std::map<std::uint64_t, Block> by_request;      // request id -> granted block
+  std::map<std::uint64_t, WordCount> live_spans;  // start -> granted size
+
+  for (const AllocOp& op : trace.ops) {
+    if (op.kind == AllocOpKind::kAllocate) {
+      const auto block = alloc->Allocate(op.size);
+      if (!block.has_value()) {
+        continue;  // over-capacity requests may fail; that is not a bug
+      }
+      EXPECT_GE(block->size, op.size);
+      EXPECT_LE(block->addr.value + block->size, kCapacity) << "block beyond capacity";
+      // Overlap check against the address-ordered live map.
+      auto next = live_spans.upper_bound(block->addr.value);
+      if (next != live_spans.end()) {
+        EXPECT_LE(block->addr.value + block->size, next->first) << "overlaps successor";
+      }
+      if (next != live_spans.begin()) {
+        auto prev = std::prev(next);
+        EXPECT_LE(prev->first + prev->second, block->addr.value) << "overlaps predecessor";
+      }
+      live_spans.emplace(block->addr.value, block->size);
+      by_request.emplace(op.request, *block);
+    } else {
+      auto it = by_request.find(op.request);
+      if (it == by_request.end()) {
+        continue;  // the allocation had failed
+      }
+      alloc->Free(it->second.addr);
+      live_spans.erase(it->second.addr.value);
+      // The request sizes were recorded by the trace generator.
+      by_request.erase(it);
+    }
+  }
+
+  // Conservation: live words as seen by the allocator match requested sizes
+  // for variable allocators, and reserved covers every live span for all.
+  WordCount span_words = 0;
+  for (const auto& [start, size] : live_spans) {
+    span_words += size;
+  }
+  EXPECT_EQ(alloc->reserved_words(), span_words);
+  EXPECT_LE(alloc->live_words(), alloc->reserved_words());
+}
+
+// Invariant: freeing everything restores one maximal hole (full coalescing).
+TEST_P(AllocatorPropertyTest, FullFreeRestoresOneHole) {
+  constexpr WordCount kCapacity = 1 << 12;
+  auto alloc = MakeFlavour(GetParam(), kCapacity);
+  Rng rng(77);
+  std::vector<PhysicalAddress> blocks;
+  for (int round = 0; round < 50; ++round) {
+    const auto block = alloc->Allocate(rng.Between(1, 100));
+    if (block.has_value()) {
+      blocks.push_back(block->addr);
+    }
+  }
+  for (PhysicalAddress addr : blocks) {
+    alloc->Free(addr);
+  }
+  EXPECT_EQ(alloc->live_words(), 0u);
+  const auto holes = alloc->HoleSizes();
+  WordCount total = 0;
+  for (WordCount h : holes) {
+    total += h;
+  }
+  EXPECT_EQ(total, kCapacity);
+  // Buddy and Rice report contiguity after their own coalescing rules; a
+  // fully freed heap must still read as one hole.
+  ASSERT_EQ(holes.size(), 1u) << "free storage did not coalesce";
+  EXPECT_EQ(holes[0], kCapacity);
+}
+
+// Invariant: the allocator's fragmentation report is internally consistent.
+TEST_P(AllocatorPropertyTest, FragmentationReportConsistent) {
+  constexpr WordCount kCapacity = 1 << 13;
+  auto alloc = MakeFlavour(GetParam(), kCapacity);
+  Rng rng(99);
+  std::vector<PhysicalAddress> blocks;
+  for (int round = 0; round < 200; ++round) {
+    if (!blocks.empty() && rng.Chance(0.4)) {
+      const std::size_t i = rng.Below(blocks.size());
+      alloc->Free(blocks[i]);
+      blocks[i] = blocks.back();
+      blocks.pop_back();
+    } else {
+      const auto block = alloc->Allocate(rng.Between(1, 200));
+      if (block.has_value()) {
+        blocks.push_back(block->addr);
+      }
+    }
+  }
+  const auto frag = alloc->Fragmentation();
+  EXPECT_EQ(frag.capacity, kCapacity);
+  EXPECT_EQ(frag.free + alloc->reserved_words(), kCapacity);
+  EXPECT_LE(frag.largest_free, frag.free);
+  EXPECT_GE(frag.ExternalFragmentation(), 0.0);
+  EXPECT_LE(frag.ExternalFragmentation(), 1.0);
+  EXPECT_GE(frag.InternalFragmentation(), 0.0);
+}
+
+// The fifty-percent rule (Knuth's formulation of the equilibrium the paper's
+// §Uniformity appeals to via Wald: "analysis or experimentation can often be
+// used to show that the storage utilization will remain at an acceptable
+// level"): under first-fit churn with rare exact fits, the hole count settles
+// near half the live-block count.
+TEST(FiftyPercentRuleTest, FirstFitEquilibriumHoleRatio) {
+  constexpr WordCount kCapacity = 1 << 18;
+  VariableAllocator alloc(kCapacity, MakePlacementPolicy(PlacementStrategyKind::kFirstFit));
+  Rng rng(2024);
+  std::vector<PhysicalAddress> live;
+  RunningSummary ratio;
+  for (int op = 0; op < 120000; ++op) {
+    // Hover around 400 live blocks of irregular size (exact fits rare).
+    const bool do_free = !live.empty() && (live.size() >= 400 ? rng.Chance(0.55)
+                                                              : rng.Chance(0.25));
+    if (do_free) {
+      const std::size_t i = rng.Below(live.size());
+      alloc.Free(live[i]);
+      live[i] = live.back();
+      live.pop_back();
+    } else if (auto block = alloc.Allocate(rng.Between(17, 331))) {
+      live.push_back(block->addr);
+    }
+    if (op > 40000 && op % 500 == 0 && !live.empty()) {
+      ratio.Add(static_cast<double>(alloc.free_list().hole_count()) /
+                static_cast<double>(live.size()));
+    }
+  }
+  ASSERT_GT(ratio.count(), 50u);
+  // Knuth predicts ~0.5; accept the equilibrium band.
+  EXPECT_GT(ratio.mean(), 0.25);
+  EXPECT_LT(ratio.mean(), 0.85);
+}
+
+// Compaction after arbitrary churn always restores a single hole and keeps
+// every live block intact, with contents preserved through the core store.
+TEST(CompactionChurnPropertyTest, AlwaysRestoresOneHolePreservingContents) {
+  constexpr WordCount kCapacity = 1 << 12;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    VariableAllocator alloc(kCapacity, MakePlacementPolicy(PlacementStrategyKind::kFirstFit));
+    CoreStore store(kCapacity);
+    Rng rng(seed);
+    std::map<std::uint64_t, Word> tags;  // block start -> tag written to its words
+    std::vector<Block> live;
+    for (int op = 0; op < 400; ++op) {
+      if (!live.empty() && rng.Chance(0.45)) {
+        const std::size_t i = rng.Below(live.size());
+        tags.erase(live[i].addr.value);
+        alloc.Free(live[i].addr);
+        live[i] = live.back();
+        live.pop_back();
+      } else if (auto block = alloc.Allocate(rng.Between(4, 64))) {
+        const Word tag = (seed << 32) | static_cast<Word>(op);
+        store.Fill(block->addr, block->size, tag);
+        tags.emplace(block->addr.value, tag);
+        live.push_back(*block);
+      }
+    }
+    CompactionEngine engine(CpuPackingChannel());
+    std::map<std::uint64_t, std::uint64_t> moves;  // old -> new
+    engine.Compact(&alloc, &store,
+                   [&moves](PhysicalAddress from, PhysicalAddress to, WordCount size) {
+                     (void)size;
+                     moves.emplace(from.value, to.value);
+                   });
+    EXPECT_LE(alloc.free_list().hole_count(), 1u) << "seed " << seed;
+    for (const Block& block : live) {
+      const std::uint64_t where =
+          moves.contains(block.addr.value) ? moves[block.addr.value] : block.addr.value;
+      const Word expected = tags.at(block.addr.value);
+      for (WordCount w = 0; w < block.size; ++w) {
+        ASSERT_EQ(store.Read(PhysicalAddress{where + w}), expected)
+            << "seed " << seed << " block@" << block.addr.value << " word " << w;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFlavours, AllocatorPropertyTest,
+                         ::testing::Values(AllocatorFlavour::kFirstFit,
+                                           AllocatorFlavour::kNextFit,
+                                           AllocatorFlavour::kBestFit,
+                                           AllocatorFlavour::kWorstFit,
+                                           AllocatorFlavour::kTwoEnded,
+                                           AllocatorFlavour::kBuddy,
+                                           AllocatorFlavour::kRiceChain),
+                         [](const ::testing::TestParamInfo<AllocatorFlavour>& info) {
+                           switch (info.param) {
+                             case AllocatorFlavour::kFirstFit:
+                               return "FirstFit";
+                             case AllocatorFlavour::kNextFit:
+                               return "NextFit";
+                             case AllocatorFlavour::kBestFit:
+                               return "BestFit";
+                             case AllocatorFlavour::kWorstFit:
+                               return "WorstFit";
+                             case AllocatorFlavour::kTwoEnded:
+                               return "TwoEnded";
+                             case AllocatorFlavour::kBuddy:
+                               return "Buddy";
+                             case AllocatorFlavour::kRiceChain:
+                               return "RiceChain";
+                           }
+                           return "Unknown";
+                         });
+
+}  // namespace
+}  // namespace dsa

@@ -1,0 +1,120 @@
+// Unit tests for the binary buddy allocator.
+
+#include <gtest/gtest.h>
+
+#include "src/alloc/buddy.h"
+
+namespace dsa {
+namespace {
+
+TEST(BuddyTest, RoundsRequestsUpToPowersOfTwo) {
+  BuddyAllocator alloc(1024);
+  EXPECT_EQ(alloc.OrderFor(1), 0);
+  EXPECT_EQ(alloc.OrderFor(2), 1);
+  EXPECT_EQ(alloc.OrderFor(3), 2);
+  EXPECT_EQ(alloc.OrderFor(64), 6);
+  EXPECT_EQ(alloc.OrderFor(65), 7);
+}
+
+TEST(BuddyTest, MinOrderEnforced) {
+  BuddyAllocator alloc(1024, /*min_order=*/4);
+  EXPECT_EQ(alloc.OrderFor(1), 4);
+  const auto block = alloc.Allocate(1);
+  ASSERT_TRUE(block.has_value());
+  EXPECT_EQ(block->size, 16u);
+}
+
+TEST(BuddyTest, GrantedBlockIsPowerOfTwoAndTracked) {
+  BuddyAllocator alloc(1024);
+  const auto block = alloc.Allocate(100);
+  ASSERT_TRUE(block.has_value());
+  EXPECT_EQ(block->size, 128u);
+  EXPECT_EQ(alloc.live_words(), 100u);
+  EXPECT_EQ(alloc.reserved_words(), 128u);
+  // Internal fragmentation from rounding: (128-100)/128.
+  EXPECT_NEAR(alloc.Fragmentation().InternalFragmentation(), 28.0 / 128.0, 1e-12);
+}
+
+TEST(BuddyTest, SplitsProduceFreeBuddies) {
+  BuddyAllocator alloc(1024);
+  alloc.Allocate(1);  // splits 1024 down to order 0
+  // One free buddy at each order 0..9.
+  for (int order = 0; order <= 9; ++order) {
+    EXPECT_EQ(alloc.FreeBlocksAtOrder(order), 1u) << "order " << order;
+  }
+  EXPECT_EQ(alloc.FreeBlocksAtOrder(10), 0u);
+}
+
+TEST(BuddyTest, FreeCoalescesBackToTop) {
+  BuddyAllocator alloc(1024);
+  const auto block = alloc.Allocate(1);
+  alloc.Free(block->addr);
+  EXPECT_EQ(alloc.FreeBlocksAtOrder(10), 1u);
+  for (int order = 0; order < 10; ++order) {
+    EXPECT_EQ(alloc.FreeBlocksAtOrder(order), 0u);
+  }
+}
+
+TEST(BuddyTest, BuddiesOnlyMergeWithTheirPartner) {
+  BuddyAllocator alloc(64);
+  const auto a = alloc.Allocate(16);  // [0,16)
+  const auto b = alloc.Allocate(16);  // [16,32)
+  const auto c = alloc.Allocate(16);  // [32,48)
+  ASSERT_TRUE(a && b && c);
+  alloc.Free(b->addr);
+  // b's buddy (a) is live, so no merge: one free 16 at order 4 plus [48,64).
+  EXPECT_EQ(alloc.FreeBlocksAtOrder(4), 2u);
+  alloc.Free(a->addr);
+  // a+b merge to a 32; its buddy [32,64) is half-live so no further merge.
+  EXPECT_EQ(alloc.FreeBlocksAtOrder(5), 1u);
+  alloc.Free(c->addr);
+  EXPECT_EQ(alloc.FreeBlocksAtOrder(6), 1u);  // everything back together
+}
+
+TEST(BuddyTest, FailsWhenNoBlockBigEnough) {
+  BuddyAllocator alloc(64);
+  ASSERT_TRUE(alloc.Allocate(33).has_value());  // takes the whole 64 block
+  EXPECT_FALSE(alloc.Allocate(1).has_value());
+  EXPECT_EQ(alloc.stats().failures, 1u);
+}
+
+TEST(BuddyTest, OversizedRequestFailsCleanly) {
+  BuddyAllocator alloc(64);
+  EXPECT_FALSE(alloc.Allocate(65).has_value());
+  EXPECT_EQ(alloc.live_words(), 0u);
+}
+
+TEST(BuddyTest, HoleSizesMergesAdjacentFreeRuns) {
+  BuddyAllocator alloc(64);
+  const auto a = alloc.Allocate(16);
+  const auto b = alloc.Allocate(16);
+  ASSERT_TRUE(a && b);
+  (void)b;
+  alloc.Free(a->addr);
+  // Free space: [0,16) and [32,64) — adjacent blocks [32,48),[48,64) read as
+  // one hole even if stored separately internally.
+  const auto holes = alloc.HoleSizes();
+  ASSERT_EQ(holes.size(), 2u);
+  EXPECT_EQ(holes[0], 16u);
+  EXPECT_EQ(holes[1], 32u);
+}
+
+TEST(BuddyDeathTest, NonPowerOfTwoCapacityRejected) {
+  EXPECT_DEATH(BuddyAllocator alloc(1000), "power of two");
+}
+
+TEST(BuddyDeathTest, UnknownFreeAborts) {
+  BuddyAllocator alloc(64);
+  EXPECT_DEATH(alloc.Free(PhysicalAddress{0}), "unknown block");
+}
+
+TEST(BuddyTest, StatsDistinguishRequestedFromGranted) {
+  BuddyAllocator alloc(1024);
+  alloc.Allocate(100);
+  alloc.Allocate(100);
+  EXPECT_EQ(alloc.stats().words_requested, 200u);
+  EXPECT_EQ(alloc.stats().words_allocated, 256u);
+}
+
+}  // namespace
+}  // namespace dsa

@@ -1,0 +1,299 @@
+// Unit tests for src/core: strong ids, Expected, Clock, Rng, and the
+// taxonomy types.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "src/core/characteristics.h"
+#include "src/core/clock.h"
+#include "src/core/expected.h"
+#include "src/core/hardware.h"
+#include "src/core/rng.h"
+#include "src/core/strategy.h"
+#include "src/core/types.h"
+
+namespace dsa {
+namespace {
+
+// --- StrongId ---------------------------------------------------------------
+
+TEST(StrongIdTest, DefaultIsZero) {
+  PageId page;
+  EXPECT_EQ(page.value, 0u);
+}
+
+TEST(StrongIdTest, ComparesByValue) {
+  EXPECT_EQ(PageId{7}, PageId{7});
+  EXPECT_NE(PageId{7}, PageId{8});
+  EXPECT_LT(PageId{7}, PageId{8});
+  EXPECT_GT(FrameId{9}, FrameId{1});
+}
+
+TEST(StrongIdTest, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<PageId, FrameId>);
+  static_assert(!std::is_same_v<Name, PhysicalAddress>);
+}
+
+TEST(StrongIdTest, HashableInUnorderedContainers) {
+  std::unordered_set<PageId> pages;
+  pages.insert(PageId{1});
+  pages.insert(PageId{2});
+  pages.insert(PageId{1});
+  EXPECT_EQ(pages.size(), 2u);
+}
+
+TEST(AccessKindTest, ToStringCoversAllKinds) {
+  EXPECT_STREQ(ToString(AccessKind::kRead), "read");
+  EXPECT_STREQ(ToString(AccessKind::kWrite), "write");
+  EXPECT_STREQ(ToString(AccessKind::kExecute), "execute");
+}
+
+// --- Expected ---------------------------------------------------------------
+
+TEST(ExpectedTest, HoldsValue) {
+  Expected<int, std::string> e = 42;
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(*e, 42);
+  EXPECT_EQ(e.value_or(-1), 42);
+}
+
+TEST(ExpectedTest, HoldsError) {
+  Expected<int, std::string> e = MakeUnexpected(std::string("boom"));
+  ASSERT_FALSE(e.has_value());
+  EXPECT_EQ(e.error(), "boom");
+  EXPECT_EQ(e.value_or(-1), -1);
+}
+
+TEST(ExpectedTest, BoolConversion) {
+  Expected<int, int> good = 1;
+  Expected<int, int> bad = MakeUnexpected(2);
+  EXPECT_TRUE(static_cast<bool>(good));
+  EXPECT_FALSE(static_cast<bool>(bad));
+}
+
+TEST(ExpectedTest, ArrowOperator) {
+  struct Payload {
+    int x;
+  };
+  Expected<Payload, int> e = Payload{5};
+  EXPECT_EQ(e->x, 5);
+}
+
+TEST(ExpectedDeathTest, ValueOnErrorAborts) {
+  Expected<int, int> e = MakeUnexpected(3);
+  EXPECT_DEATH(e.value(), "Expected::value");
+}
+
+TEST(ExpectedDeathTest, ErrorOnValueAborts) {
+  Expected<int, int> e = 3;
+  EXPECT_DEATH(e.error(), "Expected::error");
+}
+
+// --- Clock ------------------------------------------------------------------
+
+TEST(ClockTest, StartsAtZeroAndAdvances) {
+  Clock clock;
+  EXPECT_EQ(clock.now(), 0u);
+  clock.Advance(5);
+  clock.Advance(7);
+  EXPECT_EQ(clock.now(), 12u);
+}
+
+TEST(ClockTest, AdvanceToMovesForward) {
+  Clock clock;
+  clock.AdvanceTo(100);
+  EXPECT_EQ(clock.now(), 100u);
+  clock.AdvanceTo(100);  // no-op allowed
+  EXPECT_EQ(clock.now(), 100u);
+}
+
+TEST(ClockTest, ResetReturnsToZero) {
+  Clock clock;
+  clock.Advance(9);
+  clock.Reset();
+  EXPECT_EQ(clock.now(), 0u);
+}
+
+TEST(ClockDeathTest, CannotMoveBackwards) {
+  Clock clock;
+  clock.Advance(10);
+  EXPECT_DEATH(clock.AdvanceTo(5), "backwards");
+}
+
+// --- Rng --------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+  }
+}
+
+TEST(RngTest, BelowOneIsAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.Below(1), 0u);
+  }
+}
+
+TEST(RngTest, BetweenInclusive) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = rng.Between(3, 6);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 6u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all four values appear
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+TEST(RngTest, ChanceApproximatesProbability) {
+  Rng rng(15);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.Chance(0.3)) {
+      ++hits;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialSizeBounds) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t s = rng.ExponentialSize(64.0, 1000);
+    EXPECT_GE(s, 1u);
+    EXPECT_LE(s, 1000u);
+  }
+}
+
+TEST(RngTest, ExponentialSizeMeanRoughlyMatches) {
+  Rng rng(19);
+  double sum = 0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) {
+    sum += static_cast<double>(rng.ExponentialSize(100.0, 1u << 30));
+  }
+  // Mean of 1 + Exp(100) is ~101; allow generous tolerance.
+  EXPECT_NEAR(sum / trials, 101.0, 5.0);
+}
+
+TEST(RngTest, ReseedReproduces) {
+  Rng rng(21);
+  const std::uint64_t first = rng.Next();
+  rng.Next();
+  rng.Seed(21);
+  EXPECT_EQ(rng.Next(), first);
+}
+
+// --- Characteristics ----------------------------------------------------------
+
+TEST(CharacteristicsTest, DefaultIsLinearPagedNoPrediction) {
+  Characteristics c;
+  EXPECT_EQ(c.name_space, NameSpaceKind::kLinear);
+  EXPECT_EQ(c.predictive, PredictiveInformation::kNotAccepted);
+  EXPECT_EQ(c.contiguity, ArtificialContiguity::kNone);
+  EXPECT_EQ(c.unit, AllocationUnit::kUniformPages);
+}
+
+TEST(CharacteristicsTest, AuthorsFavoredMatchesTheSummarySection) {
+  const Characteristics c = AuthorsFavoredCharacteristics();
+  EXPECT_EQ(c.name_space, NameSpaceKind::kSymbolicallySegmented);
+  EXPECT_EQ(c.predictive, PredictiveInformation::kAccepted);
+  EXPECT_EQ(c.contiguity, ArtificialContiguity::kProvided);
+  EXPECT_EQ(c.unit, AllocationUnit::kVariableBlocks);
+}
+
+TEST(CharacteristicsTest, DescribeMentionsEveryAxis) {
+  const std::string text = Describe(AuthorsFavoredCharacteristics());
+  EXPECT_NE(text.find("symbolically segmented"), std::string::npos);
+  EXPECT_NE(text.find("accepted"), std::string::npos);
+  EXPECT_NE(text.find("artificial contiguity"), std::string::npos);
+  EXPECT_NE(text.find("variable blocks"), std::string::npos);
+}
+
+TEST(CharacteristicsTest, EqualityIsMemberwise) {
+  Characteristics a = AuthorsFavoredCharacteristics();
+  Characteristics b = a;
+  EXPECT_EQ(a, b);
+  b.unit = AllocationUnit::kUniformPages;
+  EXPECT_NE(a, b);
+}
+
+TEST(StrategyTest, ToStringCoversEveryKind) {
+  EXPECT_STREQ(ToString(FetchStrategyKind::kDemand), "demand");
+  EXPECT_STREQ(ToString(FetchStrategyKind::kPrefetch), "prefetch");
+  EXPECT_STREQ(ToString(FetchStrategyKind::kAdvised), "advised");
+  EXPECT_STREQ(ToString(PlacementStrategyKind::kBestFit), "best-fit");
+  EXPECT_STREQ(ToString(PlacementStrategyKind::kTwoEnded), "two-ended");
+  EXPECT_STREQ(ToString(PlacementStrategyKind::kRiceChain), "rice-chain");
+  EXPECT_STREQ(ToString(ReplacementStrategyKind::kAtlasLearning), "atlas-learning");
+  EXPECT_STREQ(ToString(ReplacementStrategyKind::kM44Class), "m44-class");
+  EXPECT_STREQ(ToString(ReplacementStrategyKind::kOpt), "opt");
+}
+
+// --- HardwareFacilitySet ------------------------------------------------------
+
+TEST(HardwareFacilityTest, EmptySetDescribesAsNone) {
+  HardwareFacilitySet set;
+  EXPECT_EQ(set.Describe(), "(none)");
+  EXPECT_FALSE(set.Has(HardwareFacility::kAddressMapping));
+}
+
+TEST(HardwareFacilityTest, AddAndQuery) {
+  HardwareFacilitySet set;
+  set.Add(HardwareFacility::kAddressMapping).Add(HardwareFacility::kStoragePacking);
+  EXPECT_TRUE(set.Has(HardwareFacility::kAddressMapping));
+  EXPECT_TRUE(set.Has(HardwareFacility::kStoragePacking));
+  EXPECT_FALSE(set.Has(HardwareFacility::kInvalidAccessTrapping));
+}
+
+TEST(HardwareFacilityTest, DescribeListsInCatalogueOrder) {
+  HardwareFacilitySet set;
+  set.Add(HardwareFacility::kInvalidAccessTrapping).Add(HardwareFacility::kAddressMapping);
+  EXPECT_EQ(set.Describe(), "address mapping, invalid access trapping");
+}
+
+}  // namespace
+}  // namespace dsa

@@ -1,0 +1,116 @@
+// Unit tests for the frame table and its hardware usage sensors.
+
+#include <gtest/gtest.h>
+
+#include "src/paging/frame_table.h"
+
+namespace dsa {
+namespace {
+
+TEST(FrameTableTest, FreeFramesPopLowestFirst) {
+  FrameTable table(4);
+  EXPECT_EQ(table.free_count(), 4u);
+  EXPECT_EQ(table.TakeFreeFrame(), FrameId{0});
+  EXPECT_EQ(table.TakeFreeFrame(), FrameId{1});
+  EXPECT_EQ(table.free_count(), 2u);
+}
+
+TEST(FrameTableTest, LoadRecordsPageAndTimes) {
+  FrameTable table(2);
+  const FrameId frame = *table.TakeFreeFrame();
+  table.Load(frame, PageId{9}, 100);
+  const FrameInfo& info = table.info(frame);
+  EXPECT_TRUE(info.occupied);
+  EXPECT_EQ(info.page, PageId{9});
+  EXPECT_EQ(info.load_time, 100u);
+  EXPECT_EQ(info.last_use, 100u);
+  EXPECT_FALSE(info.use);
+  EXPECT_EQ(table.occupied_count(), 1u);
+}
+
+TEST(FrameTableTest, TouchSetsSensors) {
+  FrameTable table(2);
+  const FrameId frame = *table.TakeFreeFrame();
+  table.Load(frame, PageId{1}, 0);
+  table.Touch(frame, 5, /*write=*/false, /*idle_threshold=*/100);
+  EXPECT_TRUE(table.info(frame).use);
+  EXPECT_FALSE(table.info(frame).modified);
+  table.Touch(frame, 6, /*write=*/true, 100);
+  EXPECT_TRUE(table.info(frame).modified);
+  EXPECT_EQ(table.info(frame).last_use, 6u);
+}
+
+TEST(FrameTableTest, IdlePeriodsRecordedBeyondThreshold) {
+  FrameTable table(2);
+  const FrameId frame = *table.TakeFreeFrame();
+  table.Load(frame, PageId{1}, 0);
+  table.Touch(frame, 10, false, /*idle_threshold=*/100);
+  EXPECT_EQ(table.info(frame).previous_idle, 0u);  // short gap: same use period
+  table.Touch(frame, 500, false, 100);
+  EXPECT_EQ(table.info(frame).previous_idle, 490u);  // completed inactivity period
+  table.Touch(frame, 505, false, 100);
+  EXPECT_EQ(table.info(frame).previous_idle, 490u);  // short gap preserves the record
+}
+
+TEST(FrameTableTest, EvictReturnsFrameToFreePool) {
+  FrameTable table(2);
+  const FrameId frame = *table.TakeFreeFrame();
+  table.Load(frame, PageId{1}, 0);
+  table.Evict(frame);
+  EXPECT_FALSE(table.info(frame).occupied);
+  EXPECT_EQ(table.free_count(), 2u);
+}
+
+TEST(FrameTableTest, PinnedFramesAreNotCandidates) {
+  FrameTable table(3);
+  const FrameId a = *table.TakeFreeFrame();
+  const FrameId b = *table.TakeFreeFrame();
+  table.Load(a, PageId{1}, 0);
+  table.Load(b, PageId{2}, 0);
+  table.Pin(a);
+  const auto candidates = table.EvictionCandidates();
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0], b);
+  table.Unpin(a);
+  EXPECT_EQ(table.EvictionCandidates().size(), 2u);
+}
+
+TEST(FrameTableTest, ClearSensors) {
+  FrameTable table(1);
+  const FrameId frame = *table.TakeFreeFrame();
+  table.Load(frame, PageId{1}, 0);
+  table.Touch(frame, 1, true, 10);
+  table.ClearUse(frame);
+  table.ClearModified(frame);
+  EXPECT_FALSE(table.info(frame).use);
+  EXPECT_FALSE(table.info(frame).modified);
+}
+
+TEST(FrameTableTest, ExhaustedFreePoolReturnsNullopt) {
+  FrameTable table(1);
+  EXPECT_TRUE(table.TakeFreeFrame().has_value());
+  EXPECT_FALSE(table.TakeFreeFrame().has_value());
+}
+
+TEST(FrameTableDeathTest, DoubleLoadAborts) {
+  FrameTable table(1);
+  const FrameId frame = *table.TakeFreeFrame();
+  table.Load(frame, PageId{1}, 0);
+  EXPECT_DEATH(table.Load(frame, PageId{2}, 1), "occupied");
+}
+
+TEST(FrameTableDeathTest, EvictingPinnedFrameAborts) {
+  FrameTable table(1);
+  const FrameId frame = *table.TakeFreeFrame();
+  table.Load(frame, PageId{1}, 0);
+  table.Pin(frame);
+  EXPECT_DEATH(table.Evict(frame), "pinned");
+}
+
+TEST(FrameTableDeathTest, TouchingEmptyFrameAborts) {
+  FrameTable table(1);
+  EXPECT_DEATH(table.Touch(FrameId{0}, 0, false, 1), "empty");
+}
+
+}  // namespace
+}  // namespace dsa

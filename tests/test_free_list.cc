@@ -1,0 +1,127 @@
+// Unit tests for the coalescing free list, the invariant bed under every
+// variable-unit allocator.
+
+#include <gtest/gtest.h>
+
+#include "src/alloc/free_list.h"
+
+namespace dsa {
+namespace {
+
+TEST(FreeListTest, StartsAsOneHole) {
+  FreeList list(1000);
+  EXPECT_EQ(list.hole_count(), 1u);
+  EXPECT_EQ(list.total_free(), 1000u);
+  EXPECT_EQ(list.largest_hole(), 1000u);
+}
+
+TEST(FreeListTest, TakeFromMiddleSplitsHole) {
+  FreeList list(1000);
+  list.TakeRange(PhysicalAddress{100}, 50);
+  EXPECT_EQ(list.hole_count(), 2u);
+  EXPECT_EQ(list.total_free(), 950u);
+  const auto holes = list.Holes();
+  EXPECT_EQ(holes[0], (Block{PhysicalAddress{0}, 100}));
+  EXPECT_EQ(holes[1], (Block{PhysicalAddress{150}, 850}));
+}
+
+TEST(FreeListTest, TakeAtHoleStartLeavesOneRemainder) {
+  FreeList list(100);
+  list.TakeRange(PhysicalAddress{0}, 30);
+  EXPECT_EQ(list.hole_count(), 1u);
+  EXPECT_EQ(list.Holes()[0], (Block{PhysicalAddress{30}, 70}));
+}
+
+TEST(FreeListTest, TakeWholeHoleRemovesIt) {
+  FreeList list(100);
+  list.TakeRange(PhysicalAddress{0}, 100);
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.total_free(), 0u);
+}
+
+TEST(FreeListTest, InsertCoalescesWithPredecessor) {
+  FreeList list(100);
+  list.TakeRange(PhysicalAddress{50}, 50);  // hole [0,50)
+  list.Insert(Block{PhysicalAddress{50}, 10});
+  EXPECT_EQ(list.hole_count(), 1u);
+  EXPECT_EQ(list.Holes()[0], (Block{PhysicalAddress{0}, 60}));
+}
+
+TEST(FreeListTest, InsertCoalescesWithSuccessor) {
+  FreeList list(100);
+  list.TakeRange(PhysicalAddress{0}, 50);  // hole [50,100)
+  list.Insert(Block{PhysicalAddress{40}, 10});
+  EXPECT_EQ(list.hole_count(), 1u);
+  EXPECT_EQ(list.Holes()[0], (Block{PhysicalAddress{40}, 60}));
+}
+
+TEST(FreeListTest, InsertCoalescesBothSides) {
+  FreeList list(100);
+  list.TakeRange(PhysicalAddress{40}, 20);  // holes [0,40) and [60,100)
+  ASSERT_EQ(list.hole_count(), 2u);
+  list.Insert(Block{PhysicalAddress{40}, 20});
+  EXPECT_EQ(list.hole_count(), 1u);
+  EXPECT_EQ(list.Holes()[0], (Block{PhysicalAddress{0}, 100}));
+}
+
+TEST(FreeListTest, InsertIsolatedHoleStaysSeparate) {
+  FreeList list;
+  list.Insert(Block{PhysicalAddress{0}, 10});
+  list.Insert(Block{PhysicalAddress{20}, 10});
+  EXPECT_EQ(list.hole_count(), 2u);
+  EXPECT_EQ(list.total_free(), 20u);
+}
+
+TEST(FreeListTest, RangeIsFreeChecksContainment) {
+  FreeList list(100);
+  list.TakeRange(PhysicalAddress{40}, 20);
+  EXPECT_TRUE(list.RangeIsFree(PhysicalAddress{0}, 40));
+  EXPECT_TRUE(list.RangeIsFree(PhysicalAddress{60}, 40));
+  EXPECT_FALSE(list.RangeIsFree(PhysicalAddress{30}, 20));  // straddles the allocation
+  EXPECT_FALSE(list.RangeIsFree(PhysicalAddress{40}, 1));
+  EXPECT_TRUE(list.RangeIsFree(PhysicalAddress{0}, 0));  // empty range trivially free
+}
+
+TEST(FreeListTest, HoleSizesMatchHoles) {
+  FreeList list(100);
+  list.TakeRange(PhysicalAddress{10}, 5);
+  list.TakeRange(PhysicalAddress{50}, 5);
+  const auto sizes = list.HoleSizes();
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes[0], 10u);
+  EXPECT_EQ(sizes[1], 35u);
+  EXPECT_EQ(sizes[2], 45u);
+}
+
+TEST(FreeListTest, ClearEmptiesEverything) {
+  FreeList list(100);
+  list.Clear();
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.total_free(), 0u);
+}
+
+TEST(FreeListDeathTest, DoubleFreeDetected) {
+  FreeList list(100);
+  EXPECT_DEATH(list.Insert(Block{PhysicalAddress{10}, 5}), "double free");
+}
+
+TEST(FreeListDeathTest, OverlappingInsertDetected) {
+  FreeList list;
+  list.Insert(Block{PhysicalAddress{0}, 10});
+  EXPECT_DEATH(list.Insert(Block{PhysicalAddress{5}, 10}), "double free");
+}
+
+TEST(FreeListDeathTest, TakeOutsideAnyHoleDetected) {
+  FreeList list(100);
+  list.TakeRange(PhysicalAddress{0}, 100);
+  EXPECT_DEATH(list.TakeRange(PhysicalAddress{0}, 1), "hole");
+}
+
+TEST(FreeListDeathTest, TakeStraddlingHolesDetected) {
+  FreeList list(100);
+  list.TakeRange(PhysicalAddress{40}, 20);
+  EXPECT_DEATH(list.TakeRange(PhysicalAddress{30}, 40), "single hole");
+}
+
+}  // namespace
+}  // namespace dsa

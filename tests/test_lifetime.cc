@@ -1,0 +1,90 @@
+// Tests for the lifetime/fault-rate curve analysis.
+
+#include <gtest/gtest.h>
+
+#include "src/paging/lifetime.h"
+#include "src/trace/synthetic.h"
+
+namespace dsa {
+namespace {
+
+std::vector<PageId> LocalityString() {
+  WorkingSetTraceParams params;
+  params.extent = 1 << 13;
+  params.region_words = 128;
+  params.regions_per_phase = 6;
+  params.phases = 4;
+  params.phase_length = 5000;
+  return MakeWorkingSetTrace(params).PageString(128);
+}
+
+TEST(LifetimeCurveTest, PointsCoverRequestedSizes) {
+  const auto curve = ComputeLifetimeCurve(LocalityString(), {4, 8, 16},
+                                          ReplacementStrategyKind::kLru);
+  ASSERT_EQ(curve.points.size(), 3u);
+  EXPECT_EQ(curve.points[0].frames, 4u);
+  EXPECT_EQ(curve.points[2].frames, 16u);
+  EXPECT_EQ(curve.policy, ReplacementStrategyKind::kLru);
+}
+
+TEST(LifetimeCurveTest, FaultRateFallsAndLifetimeRisesWithMemoryUnderLru) {
+  const auto curve = ComputeLifetimeCurve(LocalityString(), {2, 4, 8, 16, 32, 64},
+                                          ReplacementStrategyKind::kLru);
+  for (std::size_t i = 1; i < curve.points.size(); ++i) {
+    EXPECT_LE(curve.points[i].fault_rate, curve.points[i - 1].fault_rate)
+        << "at " << curve.points[i].frames << " frames";
+    EXPECT_GE(curve.points[i].mean_lifetime, curve.points[i - 1].mean_lifetime);
+  }
+}
+
+TEST(LifetimeCurveTest, LifetimeIsReciprocalOfFaultRate) {
+  const auto refs = LocalityString();
+  const auto curve = ComputeLifetimeCurve(refs, {8}, ReplacementStrategyKind::kLru);
+  const LifetimePoint& point = curve.points[0];
+  ASSERT_GT(point.faults, 0u);
+  EXPECT_NEAR(point.mean_lifetime * point.fault_rate, 1.0, 1e-9);
+}
+
+TEST(LifetimeCurveTest, CompulsoryOnlyAtFullMemory) {
+  const auto refs = LocalityString();
+  std::set<std::uint64_t> distinct;
+  for (const PageId page : refs) {
+    distinct.insert(page.value);
+  }
+  const auto curve =
+      ComputeLifetimeCurve(refs, {distinct.size() + 1}, ReplacementStrategyKind::kFifo);
+  EXPECT_EQ(curve.points[0].faults, distinct.size());
+}
+
+TEST(LifetimeCurveTest, KneeDetectsTheFlatteningPoint) {
+  const auto curve = ComputeLifetimeCurve(LocalityString(), {2, 4, 8, 16, 32, 64, 128},
+                                          ReplacementStrategyKind::kLru);
+  const std::size_t knee = curve.KneeFrames(0.10);
+  EXPECT_GT(knee, 2u);
+  EXPECT_LE(knee, 128u);
+  // The knee's fault rate is within tolerance of the floor.
+  const double floor_rate = curve.points.back().fault_rate;
+  for (const LifetimePoint& point : curve.points) {
+    if (point.frames == knee) {
+      EXPECT_LE(point.fault_rate, floor_rate * 1.10 + 1e-12);
+    }
+  }
+}
+
+TEST(LifetimeCurveTest, OptCurveLowerBoundsLru) {
+  const auto refs = LocalityString();
+  const std::vector<std::size_t> sizes = {4, 8, 16, 32};
+  const auto opt = ComputeLifetimeCurve(refs, sizes, ReplacementStrategyKind::kOpt);
+  const auto lru = ComputeLifetimeCurve(refs, sizes, ReplacementStrategyKind::kLru);
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    EXPECT_LE(opt.points[i].faults, lru.points[i].faults) << sizes[i] << " frames";
+  }
+}
+
+TEST(LifetimeCurveTest, EmptyCurveKneeIsZero) {
+  LifetimeCurve curve;
+  EXPECT_EQ(curve.KneeFrames(), 0u);
+}
+
+}  // namespace
+}  // namespace dsa

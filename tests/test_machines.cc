@@ -1,0 +1,125 @@
+// Tests for the seven appendix machine models and the survey harness.
+
+#include <gtest/gtest.h>
+
+#include "src/machines/survey.h"
+
+namespace dsa {
+namespace {
+
+TEST(MachinesTest, AllSevenBuild) {
+  const auto machines = MakeAllMachines();
+  ASSERT_EQ(machines.size(), 7u);
+  for (const Machine& machine : machines) {
+    EXPECT_NE(machine.system, nullptr) << machine.description.name;
+    EXPECT_FALSE(machine.description.notes.empty());
+  }
+}
+
+TEST(MachinesTest, AppendixOrderAndNames) {
+  const auto machines = MakeAllMachines();
+  EXPECT_EQ(machines[0].description.appendix, "A.1");
+  EXPECT_EQ(machines[0].description.name, "Ferranti ATLAS");
+  EXPECT_EQ(machines[2].description.name, "Burroughs B5000");
+  EXPECT_EQ(machines[6].description.appendix, "A.7");
+}
+
+TEST(MachinesTest, CharacteristicsMatchThePaper) {
+  const auto machines = MakeAllMachines();
+  // ATLAS: linear, no predictions, artificial contiguity, uniform pages.
+  const Characteristics& atlas = machines[0].description.characteristics;
+  EXPECT_EQ(atlas.name_space, NameSpaceKind::kLinear);
+  EXPECT_EQ(atlas.predictive, PredictiveInformation::kNotAccepted);
+  EXPECT_EQ(atlas.contiguity, ArtificialContiguity::kProvided);
+  EXPECT_EQ(atlas.unit, AllocationUnit::kUniformPages);
+  // M44/44X accepts the advise instructions.
+  EXPECT_EQ(machines[1].description.characteristics.predictive,
+            PredictiveInformation::kAccepted);
+  // B5000: symbolically segmented variable blocks, no artificial contiguity.
+  const Characteristics& b5000 = machines[2].description.characteristics;
+  EXPECT_EQ(b5000.name_space, NameSpaceKind::kSymbolicallySegmented);
+  EXPECT_EQ(b5000.unit, AllocationUnit::kVariableBlocks);
+  EXPECT_EQ(b5000.contiguity, ArtificialContiguity::kNone);
+  // MULTICS: linearly segmented, mixed page sizes, predictions accepted.
+  const Characteristics& multics = machines[5].description.characteristics;
+  EXPECT_EQ(multics.name_space, NameSpaceKind::kLinearlySegmented);
+  EXPECT_EQ(multics.unit, AllocationUnit::kMixedPages);
+  EXPECT_EQ(multics.predictive, PredictiveInformation::kAccepted);
+  // 360/67: linearly segmented uniform pages, no predictions.
+  const Characteristics& m67 = machines[6].description.characteristics;
+  EXPECT_EQ(m67.name_space, NameSpaceKind::kLinearlySegmented);
+  EXPECT_EQ(m67.unit, AllocationUnit::kUniformPages);
+  EXPECT_EQ(m67.predictive, PredictiveInformation::kNotAccepted);
+}
+
+TEST(MachinesTest, HardwareFacilitiesMatchThePaper) {
+  const auto machines = MakeAllMachines();
+  // ATLAS pioneered trapping and mapping.
+  EXPECT_TRUE(machines[0].description.facilities.Has(HardwareFacility::kAddressMapping));
+  EXPECT_TRUE(
+      machines[0].description.facilities.Has(HardwareFacility::kInvalidAccessTrapping));
+  // B5000 has no small associative memory; the B8500 adds one.
+  EXPECT_FALSE(machines[2].description.facilities.Has(
+      HardwareFacility::kAddressingOverheadReduction));
+  EXPECT_TRUE(machines[4].description.facilities.Has(
+      HardwareFacility::kAddressingOverheadReduction));
+  // 360/67 records use and modification automatically.
+  EXPECT_TRUE(
+      machines[6].description.facilities.Has(HardwareFacility::kInformationGathering));
+}
+
+TEST(MachinesTest, EachMachineRunsAWorkload) {
+  for (Machine& machine : MakeAllMachines()) {
+    const ReferenceTrace trace = SurveyWorkload(16384, 1.5, 6000, 3);
+    const VmReport report = machine.system->Run(trace);
+    EXPECT_EQ(report.references, trace.size()) << machine.description.name;
+    EXPECT_GT(report.faults, 0u) << machine.description.name;
+    EXPECT_EQ(report.bounds_violations, 0u) << machine.description.name;
+    EXPECT_GT(report.total_cycles, 0u) << machine.description.name;
+  }
+}
+
+TEST(MachinesTest, B8500DescriptorCacheBeatsB5000MappingCost) {
+  Machine b5000 = MakeB5000Machine();
+  Machine b8500 = MakeB8500Machine();
+  const ReferenceTrace trace = SurveyWorkload(24000, 1.5, 8000, 5);
+  const VmReport plain = b5000.system->Run(trace);
+  const VmReport cached = b8500.system->Run(trace);
+  EXPECT_LT(cached.MeanTranslationCost(), plain.MeanTranslationCost());
+  EXPECT_GT(cached.tlb_hit_rate, 0.5);
+}
+
+TEST(MachinesTest, M44PageSizeIsConfigurable) {
+  // "The page size may be varied at system start-up for experimentation."
+  Machine small_pages = MakeM44Machine(512);
+  Machine large_pages = MakeM44Machine(4096);
+  const ReferenceTrace trace = SurveyWorkload(32768, 1.5, 6000, 9);
+  const VmReport small = small_pages.system->Run(trace);
+  const VmReport large = large_pages.system->Run(trace);
+  EXPECT_GT(small.faults, 0u);
+  EXPECT_GT(large.faults, 0u);
+  // Smaller pages mean more faults but tighter residency on this workload.
+  EXPECT_GE(small.faults, large.faults);
+}
+
+TEST(SurveyTest, SurveyWorkloadScalesWithCore) {
+  const ReferenceTrace small = SurveyWorkload(8192, 2.0, 4000, 1);
+  const ReferenceTrace large = SurveyWorkload(65536, 2.0, 4000, 1);
+  EXPECT_LE(small.NameExtent(), 2 * 8192u);
+  EXPECT_GT(large.NameExtent(), 2 * 8192u);
+}
+
+TEST(SurveyTest, RunSurveyCoversAllMachinesAndRenders) {
+  const auto rows = RunSurvey(/*pressure=*/1.5, /*length=*/4000, /*seed=*/2);
+  ASSERT_EQ(rows.size(), 7u);
+  const std::string text = RenderSurvey(rows);
+  for (const SurveyRow& row : rows) {
+    EXPECT_NE(text.find(row.description.name), std::string::npos);
+    EXPECT_EQ(row.report.references, 4000u);
+  }
+  EXPECT_NE(text.find("fault rate"), std::string::npos);
+  EXPECT_NE(text.find("symbolically segmented"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dsa

@@ -1,0 +1,220 @@
+// Unit tests for src/mem: storage levels, the core store, backing stores,
+// channels, and the hierarchy.
+
+#include <gtest/gtest.h>
+
+#include "src/mem/backing_store.h"
+#include "src/mem/channel.h"
+#include "src/mem/core_store.h"
+#include "src/mem/hierarchy.h"
+#include "src/mem/storage_level.h"
+
+namespace dsa {
+namespace {
+
+// --- StorageLevel ---------------------------------------------------------------
+
+TEST(StorageLevelTest, TransferTimeIsLatencyPlusWords) {
+  const StorageLevel drum = MakeDrumLevel("drum", 1000, /*word_time=*/4,
+                                          /*rotational_delay=*/6000);
+  EXPECT_EQ(drum.TransferTime(0), 6000u);
+  EXPECT_EQ(drum.TransferTime(512), 6000u + 4 * 512);
+}
+
+TEST(StorageLevelTest, CoreHasNoStartupLatency) {
+  const StorageLevel core = MakeCoreLevel("core", 1000, 1);
+  EXPECT_EQ(core.TransferTime(100), 100u);
+  EXPECT_EQ(core.kind, StorageLevelKind::kCore);
+}
+
+TEST(StorageLevelTest, FactoriesSetKinds) {
+  EXPECT_EQ(MakeDiskLevel("d", 1, 1, 1).kind, StorageLevelKind::kDisk);
+  EXPECT_EQ(MakeTapeLevel("t", 1, 1, 1).kind, StorageLevelKind::kTape);
+  EXPECT_STREQ(ToString(StorageLevelKind::kDrum), "drum");
+}
+
+// --- CoreStore ------------------------------------------------------------------
+
+TEST(CoreStoreTest, ReadsBackWrites) {
+  CoreStore store(64);
+  store.Write(PhysicalAddress{10}, 0xdeadbeef);
+  EXPECT_EQ(store.Read(PhysicalAddress{10}), 0xdeadbeefu);
+  EXPECT_EQ(store.Read(PhysicalAddress{11}), 0u);  // zero-initialised
+}
+
+TEST(CoreStoreTest, MoveCopiesAndCharges) {
+  CoreStore store(64);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    store.Write(PhysicalAddress{i}, i + 100);
+  }
+  const Cycles cost = store.Move(PhysicalAddress{0}, PhysicalAddress{32}, 8, 4);
+  EXPECT_EQ(cost, 32u);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(store.Read(PhysicalAddress{32 + i}), i + 100);
+  }
+}
+
+TEST(CoreStoreTest, OverlappingSlideDownPreservesContents) {
+  CoreStore store(64);
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    store.Write(PhysicalAddress{8 + i}, i + 1);
+  }
+  // Slide a 16-word block down by 4: destination overlaps source.
+  store.Move(PhysicalAddress{8}, PhysicalAddress{4}, 16, 1);
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(store.Read(PhysicalAddress{4 + i}), i + 1);
+  }
+}
+
+TEST(CoreStoreTest, RangeReadWriteRoundTrip) {
+  CoreStore store(32);
+  std::vector<Word> data{1, 2, 3, 4};
+  store.WriteRange(PhysicalAddress{5}, data);
+  std::vector<Word> out;
+  store.ReadRange(PhysicalAddress{5}, 4, &out);
+  EXPECT_EQ(out, data);
+}
+
+TEST(CoreStoreTest, FillSetsRange) {
+  CoreStore store(16);
+  store.Fill(PhysicalAddress{2}, 3, 9);
+  EXPECT_EQ(store.Read(PhysicalAddress{2}), 9u);
+  EXPECT_EQ(store.Read(PhysicalAddress{4}), 9u);
+  EXPECT_EQ(store.Read(PhysicalAddress{5}), 0u);
+}
+
+TEST(CoreStoreDeathTest, OutOfBoundsAccessAborts) {
+  CoreStore store(8);
+  EXPECT_DEATH(store.Read(PhysicalAddress{8}), "out of bounds");
+  EXPECT_DEATH(store.Write(PhysicalAddress{100}, 1), "out of bounds");
+  EXPECT_DEATH(store.Move(PhysicalAddress{4}, PhysicalAddress{6}, 4, 1), "out of bounds");
+}
+
+// --- BackingStore ----------------------------------------------------------------
+
+TEST(BackingStoreTest, FetchOfUnstoredSlotZeroFills) {
+  BackingStore store(MakeDrumLevel("drum", 4096, 4, 100));
+  std::vector<Word> out;
+  const Cycles cost = store.Fetch(7, 16, &out);
+  EXPECT_EQ(cost, 100u + 16 * 4);
+  ASSERT_EQ(out.size(), 16u);
+  for (Word w : out) {
+    EXPECT_EQ(w, 0u);
+  }
+  EXPECT_FALSE(store.Contains(7));
+}
+
+TEST(BackingStoreTest, StoreFetchRoundTrip) {
+  BackingStore store(MakeDrumLevel("drum", 4096, 4, 100));
+  store.Store(3, {11, 22, 33});
+  std::vector<Word> out;
+  store.Fetch(3, 3, &out);
+  EXPECT_EQ(out, (std::vector<Word>{11, 22, 33}));
+  EXPECT_TRUE(store.Contains(3));
+}
+
+TEST(BackingStoreTest, FetchPadsShortSlots) {
+  BackingStore store(MakeDrumLevel("drum", 4096, 4, 100));
+  store.Store(1, {5});
+  std::vector<Word> out;
+  store.Fetch(1, 3, &out);
+  EXPECT_EQ(out, (std::vector<Word>{5, 0, 0}));
+}
+
+TEST(BackingStoreTest, DiscardRemovesSlot) {
+  BackingStore store(MakeDrumLevel("drum", 4096, 4, 100));
+  store.Store(1, {5});
+  store.Discard(1);
+  EXPECT_FALSE(store.Contains(1));
+  EXPECT_EQ(store.OccupiedWords(), 0u);
+}
+
+TEST(BackingStoreTest, AccountingCountersAdvance) {
+  BackingStore store(MakeDrumLevel("drum", 4096, 4, 100));
+  store.Store(1, {1, 2});
+  std::vector<Word> out;
+  store.Fetch(1, 2, &out);
+  EXPECT_EQ(store.stores(), 1u);
+  EXPECT_EQ(store.fetches(), 1u);
+  EXPECT_EQ(store.busy_cycles(), (100u + 8) * 2);
+  EXPECT_EQ(store.OccupiedWords(), 2u);
+  EXPECT_EQ(store.slot_count(), 1u);
+}
+
+// --- TransferChannel --------------------------------------------------------------
+
+TEST(TransferChannelTest, IdleChannelStartsImmediately) {
+  TransferChannel channel;
+  const StorageLevel drum = MakeDrumLevel("drum", 4096, 4, 100);
+  const auto done = channel.Schedule(drum, 10, /*now=*/50);
+  EXPECT_EQ(done.start, 50u);
+  EXPECT_EQ(done.finish, 50u + 100 + 40);
+}
+
+TEST(TransferChannelTest, BusyChannelQueues) {
+  TransferChannel channel;
+  const StorageLevel drum = MakeDrumLevel("drum", 4096, 4, 100);
+  const auto first = channel.Schedule(drum, 10, 0);
+  const auto second = channel.Schedule(drum, 10, 0);
+  EXPECT_EQ(second.start, first.finish);
+  EXPECT_EQ(channel.queueing_cycles(), first.finish);
+  EXPECT_EQ(channel.transfers(), 2u);
+}
+
+TEST(TransferChannelTest, LaterRequestAfterDrainDoesNotQueue) {
+  TransferChannel channel;
+  const StorageLevel drum = MakeDrumLevel("drum", 4096, 4, 100);
+  const auto first = channel.Schedule(drum, 10, 0);
+  const auto second = channel.Schedule(drum, 10, first.finish + 5);
+  EXPECT_EQ(second.start, first.finish + 5);
+}
+
+TEST(TransferChannelTest, ResetClearsState) {
+  TransferChannel channel;
+  channel.Schedule(MakeDrumLevel("drum", 4096, 4, 100), 10, 0);
+  channel.Reset();
+  EXPECT_EQ(channel.busy_until(), 0u);
+  EXPECT_EQ(channel.transfers(), 0u);
+}
+
+// --- PackingChannel ----------------------------------------------------------------
+
+TEST(PackingChannelTest, CpuCopyScalesPerWord) {
+  const PackingChannel cpu = CpuPackingChannel();
+  EXPECT_FALSE(cpu.autonomous);
+  EXPECT_EQ(cpu.MoveCost(0), 0u);
+  EXPECT_EQ(cpu.MoveCost(100), 400u);
+}
+
+TEST(PackingChannelTest, AutonomousChannelHasSetupButCheaperWords) {
+  const PackingChannel channel = AutonomousPackingChannel();
+  EXPECT_TRUE(channel.autonomous);
+  EXPECT_EQ(channel.MoveCost(100), 64u + 100);
+  // Crossover: for large moves the autonomous channel wins.
+  EXPECT_LT(channel.MoveCost(1000), CpuPackingChannel().MoveCost(1000));
+}
+
+// --- StorageHierarchy ----------------------------------------------------------------
+
+TEST(StorageHierarchyTest, BuildsLevelsAndChannels) {
+  StorageHierarchy hierarchy(MakeCoreLevel("core", 1024, 1));
+  const std::size_t drum = hierarchy.AddBackingLevel(MakeDrumLevel("drum", 8192, 4, 100));
+  const std::size_t disk = hierarchy.AddBackingLevel(MakeDiskLevel("disk", 65536, 8, 5000));
+  EXPECT_EQ(hierarchy.backing_level_count(), 2u);
+  EXPECT_EQ(hierarchy.backing(drum).level().kind, StorageLevelKind::kDrum);
+  EXPECT_EQ(hierarchy.backing(disk).level().kind, StorageLevelKind::kDisk);
+  hierarchy.channel(drum).Schedule(hierarchy.backing(drum).level(), 4, 0);
+  EXPECT_EQ(hierarchy.channel(drum).transfers(), 1u);
+}
+
+TEST(StorageHierarchyTest, DescribeListsEveryLevel) {
+  StorageHierarchy hierarchy(MakeCoreLevel("core", 1024, 1));
+  hierarchy.AddBackingLevel(MakeDrumLevel("drum", 8192, 4, 100));
+  const std::string text = hierarchy.Describe();
+  EXPECT_NE(text.find("core"), std::string::npos);
+  EXPECT_NE(text.find("drum"), std::string::npos);
+  EXPECT_NE(text.find("8192"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dsa

@@ -1,0 +1,119 @@
+// Tests for the static overlay plan and the execute-register extension to
+// the two-level mapper.
+
+#include <gtest/gtest.h>
+
+#include "src/map/two_level.h"
+#include "src/trace/synthetic.h"
+#include "src/vm/overlay.h"
+
+namespace dsa {
+namespace {
+
+OverlayPlanConfig SmallPlan() {
+  OverlayPlanConfig config;
+  config.region_words = 512;
+  config.resident_regions = 2;
+  config.backing = MakeDrumLevel("drum", 1u << 16, 2, 100);
+  return config;
+}
+
+TEST(OverlayPlanTest, NoSwapsWhenProgramFitsThePlan) {
+  StaticOverlayPlan plan(SmallPlan());
+  SequentialTraceParams params;
+  params.extent = 1024;  // exactly two regions
+  params.length = 5000;
+  const OverlayReport report = plan.Run(MakeSequentialTrace(params));
+  EXPECT_EQ(report.overlay_swaps, 2u);  // the two initial loads only
+  EXPECT_EQ(report.words_transferred, 1024u);
+}
+
+TEST(OverlayPlanTest, RegionCrossingsSwapWholeRegions) {
+  StaticOverlayPlan plan(SmallPlan());
+  // Ping-pong across three regions with two slots: every switch swaps.
+  ReferenceTrace trace;
+  trace.label = "ping-pong";
+  for (int lap = 0; lap < 10; ++lap) {
+    for (std::uint64_t region = 0; region < 3; ++region) {
+      trace.refs.push_back({Name{region * 512}, AccessKind::kRead});
+    }
+  }
+  const OverlayReport report = plan.Run(trace);
+  // LRU on 3 regions cycled through 2 slots always evicts the region needed
+  // next: every one of the 30 references swaps.
+  EXPECT_EQ(report.overlay_swaps, 30u);
+  EXPECT_EQ(report.words_transferred, 30u * 512);
+}
+
+TEST(OverlayPlanTest, CyclesIncludeTransfers) {
+  StaticOverlayPlan plan(SmallPlan());
+  ReferenceTrace trace;
+  trace.refs = {{Name{0}, AccessKind::kRead}};
+  const OverlayReport report = plan.Run(trace);
+  const Cycles transfer = SmallPlan().backing.TransferTime(512);
+  EXPECT_EQ(report.total_cycles, 1u + transfer);
+  EXPECT_EQ(report.transfer_cycles, transfer);
+  EXPECT_EQ(report.SwapRate(), 1.0);
+}
+
+TEST(OverlayPlanTest, PlannedCoreWordsIsWorstCase) {
+  StaticOverlayPlan plan(SmallPlan());
+  EXPECT_EQ(plan.PlannedCoreWords(), 1024u);
+}
+
+// --- The 360/67 ninth associative register ------------------------------------
+
+class ExecuteRegisterTest : public ::testing::Test {
+ protected:
+  ExecuteRegisterTest()
+      : mapper_(4, 12, 256, /*tlb_entries=*/0, MappingCostModel{},
+                /*dedicated_execute_register=*/true) {
+    mapper_.DefineSegment(SegmentId{1}, 1024);
+    mapper_.MapPage(SegmentId{1}, PageId{0}, FrameId{2});
+    mapper_.MapPage(SegmentId{1}, PageId{1}, FrameId{3});
+  }
+  SegmentPageMapper mapper_;
+};
+
+TEST_F(ExecuteRegisterTest, InstructionStreamHitsAfterFirstFetch) {
+  // First instruction fetch walks both tables (cost 4); later fetches from
+  // the same page hit the ninth register (cost 1).
+  const auto first = mapper_.TranslateSegmented({SegmentId{1}, 0}, AccessKind::kExecute, 0);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->cost, 4u);
+  const auto second = mapper_.TranslateSegmented({SegmentId{1}, 4}, AccessKind::kExecute, 1);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->cost, 1u);
+  EXPECT_TRUE(second->associative_hit);
+  EXPECT_EQ(second->address, PhysicalAddress{2 * 256 + 4});
+  EXPECT_EQ(mapper_.execute_register_hits(), 1u);
+}
+
+TEST_F(ExecuteRegisterTest, DataAccessesDoNotUseTheRegister) {
+  mapper_.TranslateSegmented({SegmentId{1}, 0}, AccessKind::kExecute, 0);
+  const auto data = mapper_.TranslateSegmented({SegmentId{1}, 4}, AccessKind::kRead, 1);
+  ASSERT_TRUE(data.has_value());
+  EXPECT_EQ(data->cost, 4u);  // both tables again: no TLB, register is IC-only
+  EXPECT_EQ(mapper_.execute_register_hits(), 0u);
+}
+
+TEST_F(ExecuteRegisterTest, CrossingPagesReloadsTheRegister) {
+  mapper_.TranslateSegmented({SegmentId{1}, 0}, AccessKind::kExecute, 0);
+  const auto crossed = mapper_.TranslateSegmented({SegmentId{1}, 300}, AccessKind::kExecute, 1);
+  ASSERT_TRUE(crossed.has_value());
+  EXPECT_EQ(crossed->cost, 4u);  // page 1: register held page 0
+  const auto back_hit = mapper_.TranslateSegmented({SegmentId{1}, 301}, AccessKind::kExecute, 2);
+  ASSERT_TRUE(back_hit.has_value());
+  EXPECT_EQ(back_hit->cost, 1u);
+}
+
+TEST_F(ExecuteRegisterTest, UnmapInvalidatesTheRegister) {
+  mapper_.TranslateSegmented({SegmentId{1}, 0}, AccessKind::kExecute, 0);
+  mapper_.UnmapPage(SegmentId{1}, PageId{0});
+  const auto after = mapper_.TranslateSegmented({SegmentId{1}, 0}, AccessKind::kExecute, 1);
+  ASSERT_FALSE(after.has_value());
+  EXPECT_EQ(after.error().kind, FaultKind::kPageNotPresent);
+}
+
+}  // namespace
+}  // namespace dsa

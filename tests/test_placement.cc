@@ -1,0 +1,162 @@
+// Unit tests for the placement strategies over crafted hole configurations.
+
+#include <gtest/gtest.h>
+
+#include "src/alloc/placement.h"
+
+namespace dsa {
+namespace {
+
+// Builds holes [0,10), [100,130), [200,220) — sizes 10, 30, 20.
+FreeList ThreeHoles() {
+  FreeList list;
+  list.Insert(Block{PhysicalAddress{0}, 10});
+  list.Insert(Block{PhysicalAddress{100}, 30});
+  list.Insert(Block{PhysicalAddress{200}, 20});
+  return list;
+}
+
+TEST(FirstFitTest, TakesLowestFittingHole) {
+  FreeList holes = ThreeHoles();
+  FirstFitPlacement policy;
+  EXPECT_EQ(policy.Choose(holes, 5), PhysicalAddress{0});
+  EXPECT_EQ(policy.Choose(holes, 15), PhysicalAddress{100});
+  EXPECT_EQ(policy.Choose(holes, 25), PhysicalAddress{100});
+}
+
+TEST(FirstFitTest, FailsWhenNothingFits) {
+  FreeList holes = ThreeHoles();
+  FirstFitPlacement policy;
+  EXPECT_FALSE(policy.Choose(holes, 31).has_value());
+}
+
+TEST(FirstFitTest, CountsSearchLength) {
+  FreeList holes = ThreeHoles();
+  FirstFitPlacement policy;
+  policy.Choose(holes, 25);  // examines holes 1 and 2
+  EXPECT_EQ(policy.holes_examined(), 2u);
+  EXPECT_EQ(policy.choices(), 1u);
+  EXPECT_DOUBLE_EQ(policy.MeanSearchLength(), 2.0);
+}
+
+TEST(BestFitTest, TakesSmallestSufficientHole) {
+  FreeList holes = ThreeHoles();
+  BestFitPlacement policy;
+  // Request 15: candidates are the 30- and 20-word holes; best is 20.
+  EXPECT_EQ(policy.Choose(holes, 15), PhysicalAddress{200});
+  // Request 5: the 10-word hole wins.
+  EXPECT_EQ(policy.Choose(holes, 5), PhysicalAddress{0});
+}
+
+TEST(BestFitTest, ExactFitShortCircuits) {
+  FreeList holes = ThreeHoles();
+  BestFitPlacement policy;
+  EXPECT_EQ(policy.Choose(holes, 10), PhysicalAddress{0});
+  EXPECT_EQ(policy.holes_examined(), 1u);  // stopped at the exact fit
+}
+
+TEST(BestFitTest, ScansEverythingOtherwise) {
+  FreeList holes = ThreeHoles();
+  BestFitPlacement policy;
+  policy.Choose(holes, 15);
+  EXPECT_EQ(policy.holes_examined(), 3u);
+}
+
+TEST(WorstFitTest, TakesLargestHole) {
+  FreeList holes = ThreeHoles();
+  WorstFitPlacement policy;
+  EXPECT_EQ(policy.Choose(holes, 5), PhysicalAddress{100});
+}
+
+TEST(WorstFitTest, FailsWhenNothingFits) {
+  FreeList holes = ThreeHoles();
+  WorstFitPlacement policy;
+  EXPECT_FALSE(policy.Choose(holes, 100).has_value());
+}
+
+TEST(NextFitTest, AdvancesPastPreviousAllocation) {
+  FreeList holes = ThreeHoles();
+  NextFitPlacement policy;
+  EXPECT_EQ(policy.Choose(holes, 5), PhysicalAddress{0});
+  // The rover is now past address 5; next search starts from the 30-word hole.
+  EXPECT_EQ(policy.Choose(holes, 5), PhysicalAddress{0});  // hole 0 still has room at [0,10)
+}
+
+TEST(NextFitTest, WrapsAroundToTheBeginning) {
+  FreeList holes;
+  holes.Insert(Block{PhysicalAddress{0}, 20});
+  holes.Insert(Block{PhysicalAddress{100}, 10});
+  NextFitPlacement policy;
+  EXPECT_EQ(policy.Choose(holes, 10), PhysicalAddress{0});   // rover -> 10
+  EXPECT_EQ(policy.Choose(holes, 10), PhysicalAddress{0});   // [0,20) still fits from rover? no:
+  // after first choice rover=10; hole [0,20) ends past rover so it is scanned
+  // and fits.  A larger request must come from the wrap.
+}
+
+TEST(NextFitTest, UsesLaterHoleBeforeWrapping) {
+  FreeList holes;
+  holes.Insert(Block{PhysicalAddress{0}, 10});
+  holes.Insert(Block{PhysicalAddress{100}, 10});
+  NextFitPlacement policy;
+  EXPECT_EQ(policy.Choose(holes, 10), PhysicalAddress{0});    // rover -> 10
+  EXPECT_EQ(policy.Choose(holes, 10), PhysicalAddress{100});  // skips the consumed low hole
+}
+
+TEST(TwoEndedTest, LargeRequestsFromBottom) {
+  FreeList holes = ThreeHoles();
+  TwoEndedPlacement policy(/*large_threshold=*/15);
+  EXPECT_EQ(policy.Choose(holes, 20), PhysicalAddress{100});  // first fit from bottom
+}
+
+TEST(TwoEndedTest, SmallRequestsCarvedFromTopOfHighestHole) {
+  FreeList holes = ThreeHoles();
+  TwoEndedPlacement policy(/*large_threshold=*/15);
+  // Small request: top of hole [200,220) => address 220-5 = 215.
+  EXPECT_EQ(policy.Choose(holes, 5), PhysicalAddress{215});
+}
+
+TEST(TwoEndedTest, SmallRequestFallsBackWhenHighHolesTooSmall) {
+  FreeList holes;
+  holes.Insert(Block{PhysicalAddress{0}, 100});
+  holes.Insert(Block{PhysicalAddress{200}, 4});
+  TwoEndedPlacement policy(/*large_threshold=*/50);
+  EXPECT_EQ(policy.Choose(holes, 8), PhysicalAddress{92});  // top of the low hole
+}
+
+TEST(TwoEndedTest, ThresholdBoundaryIsLarge) {
+  FreeList holes = ThreeHoles();
+  TwoEndedPlacement policy(/*large_threshold=*/10);
+  EXPECT_EQ(policy.Choose(holes, 10), PhysicalAddress{0});  // >= threshold: bottom
+}
+
+TEST(PlacementFactoryTest, BuildsEveryPolicyKind) {
+  for (PlacementStrategyKind kind :
+       {PlacementStrategyKind::kFirstFit, PlacementStrategyKind::kNextFit,
+        PlacementStrategyKind::kBestFit, PlacementStrategyKind::kWorstFit,
+        PlacementStrategyKind::kTwoEnded}) {
+    const auto policy = MakePlacementPolicy(kind);
+    ASSERT_NE(policy, nullptr);
+    EXPECT_EQ(policy->kind(), kind);
+  }
+}
+
+TEST(PlacementFactoryDeathTest, RejectsWholeAllocatorKinds) {
+  EXPECT_DEATH(MakePlacementPolicy(PlacementStrategyKind::kBuddy), "whole-allocator");
+}
+
+TEST(PlacementPolicyTest, EmptyFreeListAlwaysFails) {
+  FreeList holes;
+  FirstFitPlacement first;
+  BestFitPlacement best;
+  WorstFitPlacement worst;
+  NextFitPlacement next;
+  TwoEndedPlacement two(16);
+  EXPECT_FALSE(first.Choose(holes, 1).has_value());
+  EXPECT_FALSE(best.Choose(holes, 1).has_value());
+  EXPECT_FALSE(worst.Choose(holes, 1).has_value());
+  EXPECT_FALSE(next.Choose(holes, 1).has_value());
+  EXPECT_FALSE(two.Choose(holes, 1).has_value());
+}
+
+}  // namespace
+}  // namespace dsa

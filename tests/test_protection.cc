@@ -1,0 +1,123 @@
+// Tests for segment protection and the sharing directory.
+
+#include <gtest/gtest.h>
+
+#include "src/seg/protection.h"
+#include "src/seg/segment_manager.h"
+
+namespace dsa {
+namespace {
+
+TEST(SegmentProtectionTest, PermitsFollowFlags) {
+  EXPECT_TRUE(FullAccessProtection().Permits(AccessKind::kWrite));
+  EXPECT_FALSE(ReadOnlyProtection().Permits(AccessKind::kWrite));
+  EXPECT_FALSE(ReadOnlyProtection().Permits(AccessKind::kExecute));
+  EXPECT_TRUE(PureProcedureProtection().Permits(AccessKind::kExecute));
+  EXPECT_FALSE(PureProcedureProtection().Permits(AccessKind::kWrite));
+}
+
+TEST(SegmentProtectionTest, DescribeRendersRwx) {
+  EXPECT_EQ(Describe(FullAccessProtection()), "rwx");
+  EXPECT_EQ(Describe(ReadOnlyProtection()), "r--");
+  EXPECT_EQ(Describe(PureProcedureProtection()), "r-x");
+  EXPECT_EQ(Describe(SegmentProtection{false, false, false}), "---");
+}
+
+TEST(SharingDirectoryTest, GrantAndQuery) {
+  SharingDirectory directory;
+  directory.Grant(JobId{1}, SegmentId{7}, PureProcedureProtection());
+  EXPECT_TRUE(directory.HasAccess(JobId{1}, SegmentId{7}));
+  EXPECT_FALSE(directory.HasAccess(JobId{2}, SegmentId{7}));
+  EXPECT_TRUE(directory.RightsOf(JobId{1}, SegmentId{7}).execute);
+  EXPECT_FALSE(directory.RightsOf(JobId{2}, SegmentId{7}).read);
+}
+
+TEST(SharingDirectoryTest, SharedSegmentCarriesDifferentRights) {
+  // The pure-procedure convention: the owner writes, everyone else executes.
+  SharingDirectory directory;
+  directory.Grant(JobId{0}, SegmentId{3}, FullAccessProtection());
+  directory.Grant(JobId{1}, SegmentId{3}, PureProcedureProtection());
+  directory.Grant(JobId{2}, SegmentId{3}, PureProcedureProtection());
+  EXPECT_EQ(directory.SharerCount(SegmentId{3}), 3u);
+  EXPECT_TRUE(directory.RightsOf(JobId{0}, SegmentId{3}).write);
+  EXPECT_FALSE(directory.RightsOf(JobId{1}, SegmentId{3}).write);
+}
+
+TEST(SharingDirectoryTest, RevokeDropsSharer) {
+  SharingDirectory directory;
+  directory.Grant(JobId{1}, SegmentId{3}, FullAccessProtection());
+  directory.Grant(JobId{2}, SegmentId{3}, ReadOnlyProtection());
+  directory.Revoke(JobId{1}, SegmentId{3});
+  EXPECT_EQ(directory.SharerCount(SegmentId{3}), 1u);
+  EXPECT_FALSE(directory.HasAccess(JobId{1}, SegmentId{3}));
+  directory.Revoke(JobId{2}, SegmentId{3});
+  EXPECT_EQ(directory.SharerCount(SegmentId{3}), 0u);
+}
+
+TEST(SharingDirectoryTest, RegrantDoesNotDoubleCount) {
+  SharingDirectory directory;
+  directory.Grant(JobId{1}, SegmentId{3}, ReadOnlyProtection());
+  directory.Grant(JobId{1}, SegmentId{3}, FullAccessProtection());
+  EXPECT_EQ(directory.SharerCount(SegmentId{3}), 1u);
+  EXPECT_TRUE(directory.RightsOf(JobId{1}, SegmentId{3}).write);
+}
+
+class ProtectedSegmentManagerTest : public ::testing::Test {
+ protected:
+  ProtectedSegmentManagerTest()
+      : backing_(MakeDrumLevel("drum", 1u << 18, 2, 100)) {
+    SegmentManagerConfig config;
+    config.core_words = 4096;
+    config.max_segment_extent = 1024;
+    manager_ = std::make_unique<SegmentManager>(config, &backing_, nullptr);
+  }
+
+  BackingStore backing_;
+  std::unique_ptr<SegmentManager> manager_;
+};
+
+TEST_F(ProtectedSegmentManagerTest, WriteToReadOnlySegmentTraps) {
+  const SegmentId seg = manager_->Create(128);
+  manager_->SetProtection(seg, ReadOnlyProtection());
+  const auto read = manager_->Access(seg, 0, AccessKind::kRead, 0);
+  EXPECT_TRUE(read.has_value());
+  const auto write = manager_->Access(seg, 0, AccessKind::kWrite, 1);
+  ASSERT_FALSE(write.has_value());
+  EXPECT_EQ(write.error().kind, FaultKind::kProtectionViolation);
+}
+
+TEST_F(ProtectedSegmentManagerTest, ForbiddenAccessDoesNotFetch) {
+  const SegmentId seg = manager_->Create(128);
+  manager_->SetProtection(seg, ReadOnlyProtection());
+  const auto write = manager_->Access(seg, 0, AccessKind::kWrite, 0);
+  ASSERT_FALSE(write.has_value());
+  EXPECT_FALSE(manager_->IsResident(seg)) << "a trapped access must not load the segment";
+  EXPECT_EQ(manager_->stats().segment_faults, 0u);
+}
+
+TEST_F(ProtectedSegmentManagerTest, ExecuteOnlyConvention) {
+  const SegmentId proc = manager_->Create(256);
+  manager_->SetProtection(proc, PureProcedureProtection());
+  EXPECT_TRUE(manager_->Access(proc, 0, AccessKind::kExecute, 0).has_value());
+  EXPECT_TRUE(manager_->Access(proc, 0, AccessKind::kRead, 1).has_value());
+  const auto write = manager_->Access(proc, 0, AccessKind::kWrite, 2);
+  ASSERT_FALSE(write.has_value());
+  EXPECT_EQ(write.error().kind, FaultKind::kProtectionViolation);
+}
+
+TEST_F(ProtectedSegmentManagerTest, DefaultIsFullAccess) {
+  const SegmentId seg = manager_->Create(64);
+  EXPECT_EQ(manager_->ProtectionOf(seg), FullAccessProtection());
+  EXPECT_TRUE(manager_->Access(seg, 0, AccessKind::kWrite, 0).has_value());
+}
+
+TEST_F(ProtectedSegmentManagerTest, BoundsCheckedBeforeProtection) {
+  const SegmentId seg = manager_->Create(64);
+  manager_->SetProtection(seg, ReadOnlyProtection());
+  const auto outcome = manager_->Access(seg, 64, AccessKind::kWrite, 0);
+  ASSERT_FALSE(outcome.has_value());
+  EXPECT_EQ(outcome.error().kind, FaultKind::kBoundsViolation);
+}
+
+}  // namespace
+}  // namespace dsa

@@ -1,0 +1,282 @@
+// Unit tests for the replacement strategies on hand-built frame states.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/paging/atlas_learning.h"
+#include "src/paging/m44_class.h"
+#include "src/paging/opt.h"
+#include "src/paging/replacement_factory.h"
+#include "src/paging/replacement_simple.h"
+#include "src/paging/working_set.h"
+
+namespace dsa {
+namespace {
+
+// Loads pages 0..n-1 into frames 0..n-1 at times 0,10,20,...
+FrameTable LoadedTable(std::size_t n) {
+  FrameTable table(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const FrameId frame = *table.TakeFreeFrame();
+    table.Load(frame, PageId{i}, i * 10);
+  }
+  return table;
+}
+
+TEST(FifoReplacementTest, EvictsOldestLoad) {
+  FrameTable table = LoadedTable(3);
+  table.Touch(FrameId{0}, 100, false, 1);  // recency must not matter
+  FifoReplacement policy;
+  EXPECT_EQ(policy.ChooseVictim(&table, 200), FrameId{0});
+}
+
+TEST(FifoReplacementTest, SkipsPinnedFrames) {
+  FrameTable table = LoadedTable(3);
+  table.Pin(FrameId{0});
+  FifoReplacement policy;
+  EXPECT_EQ(policy.ChooseVictim(&table, 200), FrameId{1});
+}
+
+TEST(LruReplacementTest, EvictsLeastRecentlyUsed) {
+  FrameTable table = LoadedTable(3);
+  table.Touch(FrameId{0}, 100, false, 1);
+  table.Touch(FrameId{2}, 110, false, 1);
+  // Frame 1 was last used at load (time 10).
+  LruReplacement policy;
+  EXPECT_EQ(policy.ChooseVictim(&table, 200), FrameId{1});
+}
+
+TEST(RandomReplacementTest, OnlyPicksCandidates) {
+  FrameTable table = LoadedTable(4);
+  table.Pin(FrameId{2});
+  RandomReplacement policy(7);
+  for (int i = 0; i < 100; ++i) {
+    const FrameId victim = policy.ChooseVictim(&table, 0);
+    EXPECT_NE(victim, FrameId{2});
+    EXPECT_TRUE(table.info(victim).occupied);
+  }
+}
+
+TEST(RandomReplacementTest, EventuallyPicksEveryCandidate) {
+  FrameTable table = LoadedTable(4);
+  RandomReplacement policy(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    seen.insert(policy.ChooseVictim(&table, 0).value);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(ClockReplacementTest, SecondChanceClearsUseBits) {
+  FrameTable table = LoadedTable(3);
+  table.Touch(FrameId{0}, 50, false, 1);
+  table.Touch(FrameId{1}, 51, false, 1);
+  // Frame 2 unused: the hand passes 0 and 1 (clearing), victims 2.
+  ClockReplacement policy;
+  EXPECT_EQ(policy.ChooseVictim(&table, 100), FrameId{2});
+  EXPECT_FALSE(table.info(FrameId{0}).use);
+  EXPECT_FALSE(table.info(FrameId{1}).use);
+}
+
+TEST(ClockReplacementTest, AllUsedDegradesToSweep) {
+  FrameTable table = LoadedTable(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    table.Touch(FrameId{i}, 50, false, 1);
+  }
+  ClockReplacement policy;
+  // First sweep clears everything; second finds frame 0.
+  EXPECT_EQ(policy.ChooseVictim(&table, 100), FrameId{0});
+}
+
+TEST(ClockReplacementTest, HandAdvancesBetweenDecisions) {
+  FrameTable table = LoadedTable(3);
+  ClockReplacement policy;
+  EXPECT_EQ(policy.ChooseVictim(&table, 0), FrameId{0});
+  // Frame 0 still occupied in this test (we did not evict); the hand moved on.
+  EXPECT_EQ(policy.ChooseVictim(&table, 0), FrameId{1});
+}
+
+TEST(M44ClassReplacementTest, PrefersUnusedCleanPages) {
+  FrameTable table = LoadedTable(4);
+  table.Touch(FrameId{0}, 50, true, 1);   // used+dirty  (class 3)
+  table.Touch(FrameId{1}, 51, false, 1);  // used+clean  (class 2)
+  // Make frame 2 dirty but clear its use bit: unused+dirty (class 1).
+  table.Touch(FrameId{2}, 52, true, 1);
+  table.ClearUse(FrameId{2});
+  // Frame 3 untouched: unused+clean (class 0) — the only acceptable victim.
+  M44ClassReplacement policy;
+  EXPECT_EQ(policy.ChooseVictim(&table, 100), FrameId{3});
+}
+
+TEST(M44ClassReplacementTest, FallsToHigherClassWhenLowerEmpty) {
+  FrameTable table = LoadedTable(2);
+  table.Touch(FrameId{0}, 50, true, 1);   // used+dirty
+  table.Touch(FrameId{1}, 51, false, 1);  // used+clean
+  M44ClassReplacement policy;
+  EXPECT_EQ(policy.ChooseVictim(&table, 100), FrameId{1});
+}
+
+TEST(M44ClassReplacementTest, ClearsUseWindowAfterDeciding) {
+  FrameTable table = LoadedTable(2);
+  table.Touch(FrameId{0}, 50, false, 1);
+  table.Touch(FrameId{1}, 51, false, 1);
+  M44ClassReplacement policy;
+  policy.ChooseVictim(&table, 100);
+  EXPECT_FALSE(table.info(FrameId{0}).use);
+  EXPECT_FALSE(table.info(FrameId{1}).use);
+}
+
+TEST(M44ClassReplacementTest, RandomAmongEqualCandidates) {
+  FrameTable table = LoadedTable(4);  // all class 0
+  M44ClassReplacement policy(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) {
+    seen.insert(policy.ChooseVictim(&table, 0).value);
+  }
+  EXPECT_GT(seen.size(), 1u) << "selection is not random among equals";
+}
+
+TEST(AtlasLearningTest, PrefersPageThatOutlivedItsPattern) {
+  FrameTable table = LoadedTable(3);
+  AtlasLearningReplacement policy;
+  // Give every page a learned inactivity period of 200 cycles.
+  for (std::size_t i = 0; i < 3; ++i) {
+    policy.OnAccess(FrameId{i}, PageId{i}, 200, false);
+    policy.OnAccess(FrameId{i}, PageId{i}, 400, false);  // gap 200 -> learned period
+  }
+  // Pages 0 and 1 stay in use; page 2 goes quiet far beyond its period.
+  policy.OnAccess(FrameId{0}, PageId{0}, 950, false);
+  policy.OnAccess(FrameId{1}, PageId{1}, 960, false);
+  EXPECT_EQ(policy.ChooseVictim(&table, 1000), FrameId{2});
+}
+
+TEST(AtlasLearningTest, HistorySurvivesEviction) {
+  // The learning program tracks pages, not frames: a page's learned period
+  // must persist across an evict/reload cycle.
+  FrameTable table(1);
+  AtlasLearningReplacement policy;
+  const FrameId frame = *table.TakeFreeFrame();
+  table.Load(frame, PageId{7}, 0);
+  policy.OnAccess(frame, PageId{7}, 100, false);
+  policy.OnAccess(frame, PageId{7}, 400, false);  // learned period 300
+  policy.OnEvict(frame, PageId{7});
+  table.Evict(frame);
+  // Reload and re-access: the page is "in use" with its old pattern, so it
+  // is not declared abandoned a mere 50 cycles after its last touch.
+  const FrameId again = *table.TakeFreeFrame();
+  table.Load(again, PageId{7}, 500);
+  policy.OnAccess(again, PageId{7}, 500, false);
+  // idle = 50 < learned 300: rule 1 must NOT fire; rule 2 returns the only
+  // candidate.
+  EXPECT_EQ(policy.ChooseVictim(&table, 550), again);
+}
+
+TEST(AtlasLearningTest, AllInUsePicksFarthestPredictedReuse) {
+  FrameTable table(2);
+  const FrameId a = *table.TakeFreeFrame();
+  const FrameId b = *table.TakeFreeFrame();
+  table.Load(a, PageId{0}, 0);
+  table.Load(b, PageId{1}, 0);
+  AtlasLearningReplacement policy;
+  // Page 0: period 100, last used t=1000 -> predicted reuse 1100.
+  policy.OnAccess(a, PageId{0}, 900, false);
+  policy.OnAccess(a, PageId{0}, 1000, false);
+  // Page 1: period 300, last used t=1000 -> predicted reuse 1300.
+  policy.OnAccess(b, PageId{1}, 700, false);
+  policy.OnAccess(b, PageId{1}, 1000, false);
+  // Neither is abandoned at t=1010; page 1's predicted reuse is farther.
+  EXPECT_EQ(policy.ChooseVictim(&table, 1010), b);
+}
+
+TEST(WorkingSetTest, ReleasesPagesOutsideTau) {
+  FrameTable table = LoadedTable(3);
+  table.Touch(FrameId{0}, 1000, false, 1);
+  // Frames 1 and 2 were last used at their load times (10, 20).
+  WorkingSetReplacement policy(/*tau=*/500);
+  const auto released = policy.FramesToRelease(&table, 1000);
+  ASSERT_EQ(released.size(), 2u);
+  EXPECT_EQ(released[0], FrameId{1});
+  EXPECT_EQ(released[1], FrameId{2});
+}
+
+TEST(WorkingSetTest, NothingReleasedInsideTau) {
+  FrameTable table = LoadedTable(3);
+  WorkingSetReplacement policy(500);
+  EXPECT_TRUE(policy.FramesToRelease(&table, 100).empty());
+}
+
+TEST(WorkingSetTest, VictimFallsBackToLru) {
+  FrameTable table = LoadedTable(3);
+  table.Touch(FrameId{0}, 100, false, 1);
+  WorkingSetReplacement policy(10000);
+  EXPECT_EQ(policy.ChooseVictim(&table, 200), FrameId{1});
+}
+
+// --- OPT ------------------------------------------------------------------------
+
+TEST(OptReplacementTest, EvictsFarthestNextUse) {
+  // Reference string: 0 1 2 0 1 3 0 1 ; at the fault on 3, pages 0 and 1
+  // recur but page 2 never does — OPT must evict page 2.
+  const std::vector<PageId> refs = {PageId{0}, PageId{1}, PageId{2}, PageId{0},
+                                    PageId{1}, PageId{3}, PageId{0}, PageId{1}};
+  OptReplacement policy(refs);
+  FrameTable table(3);
+  // Simulate: load 0,1,2 and notify accesses 0..4.
+  for (std::size_t i = 0; i < 3; ++i) {
+    const FrameId f = *table.TakeFreeFrame();
+    table.Load(f, refs[i], i);
+    policy.OnAccess(f, refs[i], i, false);
+  }
+  policy.OnAccess(FrameId{0}, PageId{0}, 3, false);
+  policy.OnAccess(FrameId{1}, PageId{1}, 4, false);
+  // Fault on page 3 (position 5): victim must be frame 2 (page 2).
+  EXPECT_EQ(policy.ChooseVictim(&table, 5), FrameId{2});
+}
+
+TEST(OptReplacementTest, TiesBrokenButValid) {
+  const std::vector<PageId> refs = {PageId{0}, PageId{1}, PageId{2}};
+  OptReplacement policy(refs);
+  FrameTable table(2);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const FrameId f = *table.TakeFreeFrame();
+    table.Load(f, refs[i], i);
+    policy.OnAccess(f, refs[i], i, false);
+  }
+  // Neither 0 nor 1 recurs: any occupied frame is optimal.
+  const FrameId victim = policy.ChooseVictim(&table, 2);
+  EXPECT_TRUE(table.info(victim).occupied);
+}
+
+TEST(OptReplacementDeathTest, WrongStringDetected) {
+  OptReplacement policy({PageId{0}, PageId{1}});
+  FrameTable table(1);
+  const FrameId f = *table.TakeFreeFrame();
+  table.Load(f, PageId{5}, 0);
+  EXPECT_DEATH(policy.OnAccess(f, PageId{5}, 0, false), "different reference string");
+}
+
+// --- Factory -----------------------------------------------------------------------
+
+TEST(ReplacementFactoryTest, BuildsEveryOnlineKind) {
+  for (ReplacementStrategyKind kind : OnlineReplacementKinds()) {
+    const auto policy = MakeReplacementPolicy(kind);
+    ASSERT_NE(policy, nullptr);
+    EXPECT_EQ(policy->kind(), kind);
+  }
+}
+
+TEST(ReplacementFactoryTest, OptRequiresReferenceString) {
+  ReplacementOptions options;
+  options.page_string = {PageId{0}};
+  const auto policy = MakeReplacementPolicy(ReplacementStrategyKind::kOpt, options);
+  EXPECT_EQ(policy->kind(), ReplacementStrategyKind::kOpt);
+}
+
+TEST(ReplacementFactoryDeathTest, OptWithoutStringAborts) {
+  EXPECT_DEATH(MakeReplacementPolicy(ReplacementStrategyKind::kOpt), "reference string");
+}
+
+}  // namespace
+}  // namespace dsa

@@ -1,0 +1,133 @@
+// Unit tests for the Rice University inactive-block chain allocator
+// (Appendix A.4).
+
+#include <gtest/gtest.h>
+
+#include "src/alloc/rice_chain.h"
+
+namespace dsa {
+namespace {
+
+TEST(RiceChainTest, SequentialInitialPlacement) {
+  RiceChainAllocator alloc(1000);
+  EXPECT_EQ(alloc.Allocate(100)->addr, PhysicalAddress{0});
+  EXPECT_EQ(alloc.Allocate(100)->addr, PhysicalAddress{100});
+  EXPECT_EQ(alloc.Allocate(100)->addr, PhysicalAddress{200});
+  EXPECT_EQ(alloc.chain_length(), 1u);  // the shrinking initial block
+}
+
+TEST(RiceChainTest, LeftoverReplacesBlockInChain) {
+  RiceChainAllocator alloc(1000);
+  const auto a = alloc.Allocate(100);
+  alloc.Allocate(100);
+  alloc.Free(a->addr);  // head of chain: [0,100)
+  // Allocate 40 from the freed block: leftover [40,100) keeps chain position.
+  const auto b = alloc.Allocate(40);
+  EXPECT_EQ(b->addr, PhysicalAddress{0});
+  EXPECT_EQ(alloc.chain_length(), 2u);  // leftover + initial block
+  // The leftover is found first on the next small request.
+  EXPECT_EQ(alloc.Allocate(60)->addr, PhysicalAddress{40});
+}
+
+TEST(RiceChainTest, ExactFitRemovesChainEntry) {
+  RiceChainAllocator alloc(1000);
+  const auto a = alloc.Allocate(100);
+  alloc.Allocate(100);
+  alloc.Free(a->addr);
+  EXPECT_EQ(alloc.chain_length(), 2u);
+  alloc.Allocate(100);  // exact fit for the freed block
+  EXPECT_EQ(alloc.chain_length(), 1u);
+}
+
+TEST(RiceChainTest, MostRecentlyFreedSearchedFirst) {
+  RiceChainAllocator alloc(300);
+  const auto a = alloc.Allocate(100);
+  const auto b = alloc.Allocate(100);
+  const auto c = alloc.Allocate(100);
+  ASSERT_TRUE(a && b && c);
+  alloc.Free(a->addr);
+  alloc.Free(c->addr);  // chain: c, a
+  EXPECT_EQ(alloc.Allocate(50)->addr, c->addr);
+}
+
+TEST(RiceChainTest, CombiningMergesAdjacentInactiveBlocks) {
+  RiceChainAllocator alloc(300);
+  const auto a = alloc.Allocate(100);
+  const auto b = alloc.Allocate(100);
+  const auto c = alloc.Allocate(100);
+  ASSERT_TRUE(a && b && c);
+  alloc.Free(a->addr);
+  alloc.Free(b->addr);
+  // Chain holds two adjacent 100-word blocks; a 150-word request needs the
+  // combining pass.
+  const auto big = alloc.Allocate(150);
+  ASSERT_TRUE(big.has_value());
+  EXPECT_EQ(big->addr, PhysicalAddress{0});
+  EXPECT_EQ(alloc.combines(), 1u);
+}
+
+TEST(RiceChainTest, ReplacementHookAppliedIteratively) {
+  RiceChainAllocator alloc(300);
+  std::vector<PhysicalAddress> victims;
+  for (int i = 0; i < 3; ++i) {
+    victims.push_back(alloc.Allocate(100)->addr);
+  }
+  // Hook releases live blocks lowest-address-first, one per invocation —
+  // "applied iteratively until a block of sufficient size is released."
+  alloc.set_replacement_hook([](RiceChainAllocator* a) {
+    const auto live = a->LiveBlocks();
+    if (live.empty()) {
+      return false;
+    }
+    a->Free(live.front().addr);
+    return true;
+  });
+  const auto big = alloc.Allocate(250);
+  ASSERT_TRUE(big.has_value());
+  EXPECT_EQ(big->addr, PhysicalAddress{0});
+  EXPECT_GE(alloc.replacement_invocations(), 2u);  // one eviction was not enough
+}
+
+TEST(RiceChainTest, HookGivingUpYieldsFailure) {
+  RiceChainAllocator alloc(100);
+  alloc.Allocate(100);
+  alloc.set_replacement_hook([](RiceChainAllocator*) { return false; });
+  EXPECT_FALSE(alloc.Allocate(50).has_value());
+  EXPECT_EQ(alloc.stats().failures, 1u);
+  EXPECT_EQ(alloc.replacement_invocations(), 1u);
+}
+
+TEST(RiceChainTest, NoHookMeansPlainFailure) {
+  RiceChainAllocator alloc(100);
+  alloc.Allocate(100);
+  EXPECT_FALSE(alloc.Allocate(1).has_value());
+  EXPECT_EQ(alloc.replacement_invocations(), 0u);
+}
+
+TEST(RiceChainTest, HoleSizesMergeAdjacency) {
+  RiceChainAllocator alloc(300);
+  const auto a = alloc.Allocate(100);
+  const auto b = alloc.Allocate(100);
+  ASSERT_TRUE(a && b);
+  alloc.Free(b->addr);
+  alloc.Free(a->addr);
+  // Chain entries are [0,100) and [100,200) plus the initial [200,300):
+  // physically one hole.
+  const auto holes = alloc.HoleSizes();
+  ASSERT_EQ(holes.size(), 1u);
+  EXPECT_EQ(holes[0], 300u);
+}
+
+TEST(RiceChainTest, SearchLengthAccounted) {
+  RiceChainAllocator alloc(1000);
+  alloc.Allocate(100);
+  EXPECT_EQ(alloc.chain_blocks_examined(), 1u);
+}
+
+TEST(RiceChainDeathTest, UnknownFreeAborts) {
+  RiceChainAllocator alloc(100);
+  EXPECT_DEATH(alloc.Free(PhysicalAddress{10}), "unknown block");
+}
+
+}  // namespace
+}  // namespace dsa

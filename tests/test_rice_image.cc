@@ -1,0 +1,169 @@
+// Tests for the in-band Rice storage image: chain links, back references,
+// and codewords all living in CoreStore words.
+
+#include <gtest/gtest.h>
+
+#include "src/core/rng.h"
+#include "src/seg/rice_image.h"
+
+namespace dsa {
+namespace {
+
+class RiceImageTest : public ::testing::Test {
+ protected:
+  RiceImageTest() : store_(1024), image_(&store_, /*codeword_slots=*/16) {}
+
+  CoreStore store_;
+  RiceStorageImage image_;
+};
+
+TEST_F(RiceImageTest, InitialChainIsOneBlock) {
+  const auto chain = image_.ChainBlocks();
+  ASSERT_EQ(chain.size(), 1u);
+  EXPECT_EQ(chain[0].addr, PhysicalAddress{16});
+  EXPECT_EQ(chain[0].size, 1024u - 16);
+}
+
+TEST_F(RiceImageTest, ActivateWritesCodewordAndBackReference) {
+  const auto base = image_.Activate(3, 100);
+  ASSERT_TRUE(base.has_value());
+  EXPECT_EQ(*base, PhysicalAddress{17});  // first data word after the header
+  const Codeword codeword = image_.ReadCodeword(3);
+  EXPECT_TRUE(codeword.presence);
+  EXPECT_EQ(codeword.base, *base);
+  EXPECT_EQ(codeword.extent, 100u);
+  EXPECT_TRUE(image_.BackReferencesIntact());
+}
+
+TEST_F(RiceImageTest, SequentialActivationsPackStorage) {
+  const auto a = image_.Activate(0, 50);
+  const auto b = image_.Activate(1, 60);
+  ASSERT_TRUE(a && b);
+  // b starts right after a's 50 payload words + 1 header word.
+  EXPECT_EQ(b->value, a->value + 51);
+  EXPECT_EQ(image_.ChainBlocks().size(), 1u);  // the shrinking tail block
+}
+
+TEST_F(RiceImageTest, DeactivateThreadsBlockAtChainHead) {
+  const auto a = image_.Activate(0, 50);
+  image_.Activate(1, 60);
+  ASSERT_TRUE(a.has_value());
+  image_.Deactivate(0);
+  const auto chain = image_.ChainBlocks();
+  ASSERT_EQ(chain.size(), 2u);
+  EXPECT_EQ(chain[0].addr.value, a->value - 1);  // most recently freed first
+  EXPECT_EQ(chain[0].size, 51u);
+  EXPECT_FALSE(image_.ReadCodeword(0).presence);
+}
+
+TEST_F(RiceImageTest, LeftoverReplacesBlockInChain) {
+  const auto a = image_.Activate(0, 100);
+  image_.Activate(1, 100);
+  ASSERT_TRUE(a.has_value());
+  image_.Deactivate(0);
+  // Reuse 40 of the 101-word inactive block: leftover keeps the chain spot.
+  const auto b = image_.Activate(2, 40);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->value, a->value);  // same payload start as the freed segment
+  const auto chain = image_.ChainBlocks();
+  ASSERT_EQ(chain.size(), 2u);
+  EXPECT_EQ(chain[0].size, 101u - 41);
+}
+
+TEST_F(RiceImageTest, CombiningMergesAdjacentInactiveBlocks) {
+  const auto a = image_.Activate(0, 100);
+  const auto b = image_.Activate(1, 100);
+  // Fill the remaining tail exactly (1008 data words - 2x101 - header).
+  const auto filler = image_.Activate(2, 1008 - 2 * 101 - 1);
+  ASSERT_TRUE(a && b && filler);
+  EXPECT_TRUE(image_.ChainBlocks().empty());
+  image_.Deactivate(0);
+  image_.Deactivate(1);
+  EXPECT_EQ(image_.ChainBlocks().size(), 2u);
+  // Neither 101-word block fits a 180-word segment; only combining them
+  // into one 202-word block can satisfy it.
+  const auto big = image_.Activate(3, 180);
+  ASSERT_TRUE(big.has_value());
+  EXPECT_EQ(big->value, a->value);
+  EXPECT_TRUE(image_.BackReferencesIntact());
+}
+
+TEST_F(RiceImageTest, FailureWhenNothingSuffices) {
+  ASSERT_TRUE(image_.Activate(0, 900).has_value());
+  EXPECT_FALSE(image_.Activate(1, 200).has_value());
+  // The failed activation left no trace.
+  EXPECT_FALSE(image_.ReadCodeword(1).presence);
+  EXPECT_TRUE(image_.BackReferencesIntact());
+}
+
+TEST_F(RiceImageTest, ChurnPreservesInvariants) {
+  Rng rng(12);
+  std::vector<std::size_t> active;
+  for (int op = 0; op < 2000; ++op) {
+    if (!active.empty() && rng.Chance(0.5)) {
+      const std::size_t i = rng.Below(active.size());
+      image_.Deactivate(active[i]);
+      active[i] = active.back();
+      active.pop_back();
+    } else {
+      // Find a free codeword slot.
+      std::size_t slot = 16;
+      for (std::size_t s = 0; s < 16; ++s) {
+        if (!image_.ReadCodeword(s).presence) {
+          slot = s;
+          break;
+        }
+      }
+      if (slot == 16) {
+        continue;
+      }
+      if (image_.Activate(slot, rng.Between(5, 120)).has_value()) {
+        active.push_back(slot);
+      }
+    }
+    ASSERT_TRUE(image_.BackReferencesIntact()) << "after op " << op;
+    // Chain blocks and active blocks exactly tile the data region.
+    WordCount chain_words = 0;
+    for (const Block& block : image_.ChainBlocks()) {
+      chain_words += block.size;
+    }
+    WordCount active_words = 0;
+    for (std::size_t slot : active) {
+      active_words += image_.ReadCodeword(slot).extent + 1;
+    }
+    ASSERT_EQ(chain_words + active_words, image_.data_region_words()) << "after op " << op;
+  }
+}
+
+TEST_F(RiceImageTest, PayloadSurvivesNeighbourChurn) {
+  const auto keep = image_.Activate(0, 64);
+  ASSERT_TRUE(keep.has_value());
+  for (WordCount w = 0; w < 64; ++w) {
+    store_.Write(PhysicalAddress{keep->value + w}, 0xabcd0000u + w);
+  }
+  // Churn other segments around it.
+  const auto other = image_.Activate(1, 128);
+  ASSERT_TRUE(other.has_value());
+  image_.Deactivate(1);
+  image_.Activate(2, 30);
+  image_.Activate(3, 70);
+  for (WordCount w = 0; w < 64; ++w) {
+    EXPECT_EQ(store_.Read(PhysicalAddress{keep->value + w}), 0xabcd0000u + w);
+  }
+}
+
+TEST(RiceImageDeathTest, DoubleActivateAborts) {
+  CoreStore store(256);
+  RiceStorageImage image(&store, 4);
+  ASSERT_TRUE(image.Activate(0, 10).has_value());
+  EXPECT_DEATH(image.Activate(0, 10), "already active");
+}
+
+TEST(RiceImageDeathTest, DeactivateAbsentAborts) {
+  CoreStore store(256);
+  RiceStorageImage image(&store, 4);
+  EXPECT_DEATH(image.Deactivate(0), "absent");
+}
+
+}  // namespace
+}  // namespace dsa

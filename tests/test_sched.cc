@@ -1,0 +1,190 @@
+// Integration tests for the multiprogramming simulator.
+
+#include <gtest/gtest.h>
+
+#include "src/sched/multiprogramming.h"
+#include "src/trace/synthetic.h"
+
+namespace dsa {
+namespace {
+
+MultiprogramConfig SmallConfig() {
+  MultiprogramConfig config;
+  config.core_words = 4096;
+  config.page_words = 256;
+  config.backing_level = MakeDrumLevel("drum", 1u << 16, /*word_time=*/2,
+                                       /*rotational_delay=*/2000);
+  config.quantum = 1000;
+  config.context_switch_cycles = 10;
+  return config;
+}
+
+ReferenceTrace SmallJob(std::uint64_t seed) {
+  LoopTraceParams params;
+  params.extent = 2048;
+  params.body_words = 512;
+  params.advance_words = 256;
+  params.iterations = 3;
+  params.length = 5000;
+  params.seed = seed;
+  return MakeLoopTrace(params);
+}
+
+TEST(MultiprogrammingTest, SingleJobRunsToCompletion) {
+  MultiprogrammingSimulator sim(SmallConfig());
+  sim.AddJob("solo", SmallJob(1));
+  const MultiprogramReport report = sim.Run();
+  ASSERT_EQ(report.jobs.size(), 1u);
+  EXPECT_EQ(report.jobs[0].references, 5000u);
+  EXPECT_GT(report.jobs[0].faults, 0u);
+  EXPECT_GT(report.total_cycles, 5000u);
+}
+
+TEST(MultiprogrammingTest, SoloJobIdlesThroughPageWaits) {
+  MultiprogrammingSimulator sim(SmallConfig());
+  sim.AddJob("solo", SmallJob(1));
+  const MultiprogramReport report = sim.Run();
+  EXPECT_GT(report.cpu_idle_cycles, 0u) << "with one job every page wait idles the CPU";
+  EXPECT_LT(report.CpuUtilization(), 1.0);
+}
+
+TEST(MultiprogrammingTest, SecondJobOverlapsPageWaits) {
+  MultiprogrammingSimulator one(SmallConfig());
+  one.AddJob("a", SmallJob(1));
+  const MultiprogramReport solo = one.Run();
+
+  MultiprogrammingSimulator two(SmallConfig());
+  two.AddJob("a", SmallJob(1));
+  two.AddJob("b", SmallJob(2));
+  const MultiprogramReport pair = two.Run();
+
+  EXPECT_GT(pair.CpuUtilization(), solo.CpuUtilization());
+  EXPECT_GT(pair.Throughput(), solo.Throughput() * 1.2);
+}
+
+TEST(MultiprogrammingTest, EveryReferenceRetiredAtAnyDegree) {
+  for (std::size_t degree = 1; degree <= 4; ++degree) {
+    MultiprogrammingSimulator sim(SmallConfig());
+    for (std::size_t j = 0; j < degree; ++j) {
+      sim.AddJob("job", SmallJob(j + 1));
+    }
+    const MultiprogramReport report = sim.Run();
+    for (const JobReport& job : report.jobs) {
+      EXPECT_EQ(job.references, 5000u) << "degree " << degree;
+      EXPECT_GT(job.finish_time, 0u);
+    }
+  }
+}
+
+TEST(MultiprogrammingTest, SpaceTimeSplitsActiveAndBlocked) {
+  MultiprogrammingSimulator sim(SmallConfig());
+  sim.AddJob("a", SmallJob(1));
+  sim.AddJob("b", SmallJob(2));
+  const MultiprogramReport report = sim.Run();
+  for (const JobReport& job : report.jobs) {
+    EXPECT_GT(job.space_time.active, 0.0);
+    EXPECT_GT(job.space_time.waiting, 0.0);
+    EXPECT_GT(job.blocked_cycles, 0u);
+  }
+  EXPECT_GT(report.TotalSpaceTime(), 0.0);
+}
+
+TEST(MultiprogrammingTest, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    MultiprogrammingSimulator sim(SmallConfig());
+    sim.AddJob("a", SmallJob(1));
+    sim.AddJob("b", SmallJob(2));
+    return sim.Run();
+  };
+  const MultiprogramReport first = run_once();
+  const MultiprogramReport second = run_once();
+  EXPECT_EQ(first.total_cycles, second.total_cycles);
+  EXPECT_EQ(first.faults, second.faults);
+  EXPECT_EQ(first.cpu_busy_cycles, second.cpu_busy_cycles);
+}
+
+TEST(MultiprogrammingTest, ContextSwitchCostsAccounted) {
+  MultiprogramConfig config = SmallConfig();
+  config.context_switch_cycles = 100;
+  MultiprogrammingSimulator sim(config);
+  sim.AddJob("a", SmallJob(1));
+  sim.AddJob("b", SmallJob(2));
+  const MultiprogramReport report = sim.Run();
+  EXPECT_GT(report.context_switch_cycles, 0u);
+  EXPECT_EQ(report.context_switch_cycles % 100, 0u);
+}
+
+TEST(MultiprogrammingTest, CoreContentionRaisesFaults) {
+  // Jobs that fit alone but not together must fault more when packed.
+  MultiprogramConfig config = SmallConfig();
+  config.core_words = 2048;  // 8 frames; each job's loop body spans 2-3 pages
+  MultiprogrammingSimulator one(config);
+  one.AddJob("a", SmallJob(1));
+  const std::uint64_t solo_faults = one.Run().faults;
+
+  MultiprogrammingSimulator four(config);
+  for (int j = 0; j < 4; ++j) {
+    four.AddJob("j", SmallJob(static_cast<std::uint64_t>(j) + 1));
+  }
+  const MultiprogramReport packed = four.Run();
+  EXPECT_GT(packed.faults, 4 * solo_faults);
+}
+
+TEST(MultiprogrammingTest, LoadControlCapsActiveJobs) {
+  // With max_active=1 the jobs run strictly one after another: each job's
+  // faults equal its solo faults, and total faults equal degree x solo.
+  MultiprogramConfig config = SmallConfig();
+  config.core_words = 2048;  // tight: interleaving would thrash
+  MultiprogrammingSimulator solo(config);
+  solo.AddJob("solo", SmallJob(1));
+  const std::uint64_t solo_faults = solo.Run().faults;
+
+  MultiprogramConfig serial_config = config;
+  serial_config.max_active = 1;
+  MultiprogrammingSimulator serial(serial_config);
+  for (int j = 0; j < 4; ++j) {
+    serial.AddJob("job", SmallJob(1));  // identical jobs
+  }
+  const MultiprogramReport report = serial.Run();
+  EXPECT_EQ(report.faults, 4 * solo_faults);
+  for (const JobReport& job : report.jobs) {
+    EXPECT_EQ(job.references, 5000u);
+  }
+}
+
+TEST(MultiprogrammingTest, LoadControlBeatsThrashingUnderPressure) {
+  MultiprogramConfig config = SmallConfig();
+  config.core_words = 2048;
+  MultiprogrammingSimulator packed(config);
+  MultiprogramConfig controlled_config = config;
+  controlled_config.max_active = 1;
+  MultiprogrammingSimulator controlled(controlled_config);
+  for (std::size_t j = 0; j < 4; ++j) {
+    packed.AddJob("job", SmallJob(j + 1));
+    controlled.AddJob("job", SmallJob(j + 1));
+  }
+  const MultiprogramReport thrashing = packed.Run();
+  const MultiprogramReport calm = controlled.Run();
+  EXPECT_LT(calm.faults, thrashing.faults);
+  EXPECT_LT(calm.total_cycles, thrashing.total_cycles);
+}
+
+TEST(MultiprogrammingTest, ResidencyAwareSchedulerRunsToCompletion) {
+  MultiprogramConfig config = SmallConfig();
+  config.scheduler = SchedulerKind::kResidencyAware;
+  MultiprogrammingSimulator sim(config);
+  sim.AddJob("a", SmallJob(1));
+  sim.AddJob("b", SmallJob(2));
+  const MultiprogramReport report = sim.Run();
+  for (const JobReport& job : report.jobs) {
+    EXPECT_EQ(job.references, 5000u);
+  }
+}
+
+TEST(MultiprogrammingDeathTest, EmptyRunAborts) {
+  MultiprogrammingSimulator sim(SmallConfig());
+  EXPECT_DEATH(sim.Run(), "nothing to run");
+}
+
+}  // namespace
+}  // namespace dsa

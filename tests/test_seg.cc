@@ -1,0 +1,354 @@
+// Unit tests for src/seg: descriptors/PRT, codewords, the segment manager,
+// and ACSI-MATIC program descriptions.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/seg/codeword.h"
+#include "src/seg/descriptor.h"
+#include "src/seg/program_description.h"
+#include "src/seg/segment_manager.h"
+
+namespace dsa {
+namespace {
+
+// --- ProgramReferenceTable -------------------------------------------------------
+
+TEST(PrtTest, AllocatesLowestFreeEntry) {
+  ProgramReferenceTable prt(4);
+  EXPECT_EQ(prt.AllocateEntry(100), std::optional<std::size_t>{0});
+  EXPECT_EQ(prt.AllocateEntry(200), std::optional<std::size_t>{1});
+  prt.ReleaseEntry(0);
+  EXPECT_EQ(prt.AllocateEntry(300), std::optional<std::size_t>{0});
+}
+
+TEST(PrtTest, FullTableRejects) {
+  ProgramReferenceTable prt(1);
+  ASSERT_TRUE(prt.AllocateEntry(10).has_value());
+  EXPECT_FALSE(prt.AllocateEntry(10).has_value());
+}
+
+TEST(PrtTest, PresenceLifecycle) {
+  ProgramReferenceTable prt(2);
+  const std::size_t index = *prt.AllocateEntry(64);
+  EXPECT_FALSE(prt.entry(index).presence);
+  prt.MarkPresent(index, PhysicalAddress{512});
+  EXPECT_TRUE(prt.entry(index).presence);
+  EXPECT_EQ(prt.entry(index).base, PhysicalAddress{512});
+  EXPECT_EQ(prt.entry(index).extent, 64u);
+  prt.MarkAbsent(index);
+  EXPECT_FALSE(prt.entry(index).presence);
+}
+
+TEST(PrtDeathTest, ReadingUnusedEntryAborts) {
+  ProgramReferenceTable prt(2);
+  EXPECT_DEATH(prt.entry(0), "unused");
+}
+
+// --- Codewords ---------------------------------------------------------------------
+
+TEST(CodewordTest, ResolvesWithAutoIndexing) {
+  IndexRegisterFile registers;
+  registers.Set(3, 100);
+  Codeword codeword;
+  codeword.presence = true;
+  codeword.base = PhysicalAddress{5000};
+  codeword.extent = 200;
+  codeword.index_register = 3;
+  const auto addr = ResolveCodeword(codeword, registers, 50);
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(*addr, PhysicalAddress{5150});  // base + offset + index register
+}
+
+TEST(CodewordTest, ZeroIndexRegisterIsPlainAccess) {
+  IndexRegisterFile registers;
+  Codeword codeword;
+  codeword.presence = true;
+  codeword.base = PhysicalAddress{10};
+  codeword.extent = 8;
+  const auto addr = ResolveCodeword(codeword, registers, 7);
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(*addr, PhysicalAddress{17});
+}
+
+TEST(CodewordTest, BoundsCheckedAfterIndexing) {
+  IndexRegisterFile registers;
+  registers.Set(0, 190);
+  Codeword codeword;
+  codeword.presence = true;
+  codeword.extent = 200;
+  const auto addr = ResolveCodeword(codeword, registers, 15);  // 205 >= 200
+  ASSERT_FALSE(addr.has_value());
+  EXPECT_EQ(addr.error().kind, FaultKind::kBoundsViolation);
+}
+
+TEST(CodewordTest, AbsentSegmentTraps) {
+  IndexRegisterFile registers;
+  Codeword codeword;
+  codeword.presence = false;
+  codeword.extent = 100;
+  const auto addr = ResolveCodeword(codeword, registers, 5);
+  ASSERT_FALSE(addr.has_value());
+  EXPECT_EQ(addr.error().kind, FaultKind::kSegmentNotPresent);
+}
+
+// --- SegmentManager ------------------------------------------------------------------
+
+class SegmentManagerTest : public ::testing::Test {
+ protected:
+  SegmentManagerTest() { Rebuild({}); }
+
+  void Rebuild(SegmentManagerConfig config) {
+    if (config.core_words == 24000) {
+      config.core_words = 2048;  // small core so eviction is reachable
+      config.max_segment_extent = 1024;
+    }
+    backing_ = std::make_unique<BackingStore>(
+        MakeDrumLevel("drum", 1u << 20, /*word_time=*/2, /*rotational_delay=*/100));
+    manager_ = std::make_unique<SegmentManager>(config, backing_.get(), nullptr);
+  }
+
+  std::unique_ptr<BackingStore> backing_;
+  std::unique_ptr<SegmentManager> manager_;
+};
+
+TEST_F(SegmentManagerTest, FetchOnFirstReference) {
+  const SegmentId seg = manager_->Create(100);
+  EXPECT_FALSE(manager_->IsResident(seg));
+  const auto outcome = manager_->Access(seg, 0, AccessKind::kRead, 0);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_TRUE(outcome->segment_fault);
+  EXPECT_GT(outcome->wait_cycles, 0u);
+  EXPECT_TRUE(manager_->IsResident(seg));
+  // Second access is a hit with no wait.
+  const auto again = manager_->Access(seg, 50, AccessKind::kRead, 1000);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_FALSE(again->segment_fault);
+  EXPECT_EQ(again->address, PhysicalAddress{outcome->address.value + 50});
+}
+
+TEST_F(SegmentManagerTest, BoundsViolationIntercepted) {
+  const SegmentId seg = manager_->Create(100);
+  const auto outcome = manager_->Access(seg, 100, AccessKind::kRead, 0);
+  ASSERT_FALSE(outcome.has_value());
+  EXPECT_EQ(outcome.error().kind, FaultKind::kBoundsViolation);
+}
+
+TEST_F(SegmentManagerTest, UnknownSegmentIsInvalid) {
+  const auto outcome = manager_->Access(SegmentId{99}, 0, AccessKind::kRead, 0);
+  ASSERT_FALSE(outcome.has_value());
+  EXPECT_EQ(outcome.error().kind, FaultKind::kInvalidSegment);
+}
+
+TEST_F(SegmentManagerTest, EvictionMakesRoom) {
+  // Core is 2048 words; three 1000-word segments cannot coexist.
+  const SegmentId a = manager_->Create(1000);
+  const SegmentId b = manager_->Create(1000);
+  const SegmentId c = manager_->Create(1000);
+  Cycles now = 0;
+  ASSERT_TRUE(manager_->Access(a, 0, AccessKind::kRead, now).has_value());
+  ASSERT_TRUE(manager_->Access(b, 0, AccessKind::kRead, now).has_value());
+  const auto outcome = manager_->Access(c, 0, AccessKind::kRead, now);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_TRUE(manager_->IsResident(c));
+  EXPECT_EQ(manager_->stats().evictions, 1u);
+  EXPECT_FALSE(manager_->IsResident(a) && manager_->IsResident(b));
+}
+
+TEST_F(SegmentManagerTest, ModifiedSegmentWrittenBackOnEviction) {
+  const SegmentId a = manager_->Create(1000);
+  const SegmentId b = manager_->Create(1000);
+  const SegmentId c = manager_->Create(1000);
+  ASSERT_TRUE(manager_->Access(a, 0, AccessKind::kWrite, 0).has_value());
+  ASSERT_TRUE(manager_->Access(b, 0, AccessKind::kRead, 1).has_value());
+  ASSERT_TRUE(manager_->Access(c, 0, AccessKind::kRead, 2).has_value());
+  EXPECT_GE(manager_->stats().writebacks, 1u);
+}
+
+TEST_F(SegmentManagerTest, RoundTripPreservesResidencyAccounting) {
+  const SegmentId a = manager_->Create(500);
+  ASSERT_TRUE(manager_->Access(a, 0, AccessKind::kRead, 0).has_value());
+  EXPECT_EQ(manager_->ResidentWords(), 500u);
+  manager_->AdviseWontNeed(a, 10);
+  EXPECT_EQ(manager_->ResidentWords(), 0u);
+  ASSERT_TRUE(manager_->Access(a, 0, AccessKind::kRead, 20).has_value());
+  EXPECT_EQ(manager_->ResidentWords(), 500u);
+}
+
+TEST_F(SegmentManagerTest, PinnedSegmentSurvivesPressure) {
+  const SegmentId keep = manager_->Create(800);
+  ASSERT_TRUE(manager_->Access(keep, 0, AccessKind::kRead, 0).has_value());
+  manager_->AdviseKeepResident(keep);
+  for (int i = 0; i < 6; ++i) {
+    const SegmentId other = manager_->Create(1000);
+    ASSERT_TRUE(manager_->Access(other, 0, AccessKind::kRead, 10 + i).has_value());
+  }
+  EXPECT_TRUE(manager_->IsResident(keep));
+}
+
+TEST_F(SegmentManagerTest, WillNeedFetchesOnlyIntoExistingRoom) {
+  const SegmentId a = manager_->Create(1000);
+  const Cycles cost = manager_->AdviseWillNeed(a, 0);
+  EXPECT_GT(cost, 0u);
+  EXPECT_TRUE(manager_->IsResident(a));
+  // Fill the rest of core, then advise another: no eviction for advice.
+  const SegmentId b = manager_->Create(1000);
+  ASSERT_TRUE(manager_->Access(b, 0, AccessKind::kRead, 1).has_value());
+  const SegmentId c = manager_->Create(1000);
+  EXPECT_EQ(manager_->AdviseWillNeed(c, 2), 0u);
+  EXPECT_FALSE(manager_->IsResident(c));
+  EXPECT_EQ(manager_->stats().evictions, 0u);
+}
+
+TEST_F(SegmentManagerTest, DestroyReleasesCoreAndBacking) {
+  const SegmentId a = manager_->Create(500);
+  ASSERT_TRUE(manager_->Access(a, 0, AccessKind::kWrite, 0).has_value());
+  manager_->AdviseWontNeed(a, 1);  // forces a write-back copy
+  ASSERT_TRUE(manager_->Access(a, 0, AccessKind::kRead, 2).has_value());
+  manager_->Destroy(a);
+  EXPECT_FALSE(manager_->Exists(a));
+  EXPECT_EQ(manager_->ResidentWords(), 0u);
+  EXPECT_EQ(backing_->slot_count(), 0u);
+}
+
+TEST_F(SegmentManagerTest, DynamicSegmentsGrowAndShrink) {
+  const SegmentId a = manager_->Create(100);
+  ASSERT_TRUE(manager_->Access(a, 0, AccessKind::kRead, 0).has_value());
+  // Grow while resident.
+  const auto grown = manager_->Resize(a, 400, 1);
+  ASSERT_TRUE(grown.has_value());
+  EXPECT_EQ(manager_->ExtentOf(a), 400u);
+  EXPECT_TRUE(manager_->Access(a, 399, AccessKind::kRead, 2).has_value());
+  // Shrink: the tail becomes a bounds violation.
+  ASSERT_TRUE(manager_->Resize(a, 50, 3).has_value());
+  const auto tail = manager_->Access(a, 60, AccessKind::kRead, 4);
+  ASSERT_FALSE(tail.has_value());
+  EXPECT_EQ(tail.error().kind, FaultKind::kBoundsViolation);
+}
+
+TEST_F(SegmentManagerTest, ResizeBeyondMaximumRejected) {
+  const SegmentId a = manager_->Create(100);
+  const auto outcome = manager_->Resize(a, 4096, 0);
+  ASSERT_FALSE(outcome.has_value());
+  EXPECT_EQ(outcome.error().kind, FaultKind::kBoundsViolation);
+}
+
+TEST_F(SegmentManagerTest, CompactionRescuesFragmentedCore) {
+  SegmentManagerConfig config;
+  config.core_words = 2048;
+  config.max_segment_extent = 1024;
+  config.compact_on_fragmentation = true;
+  Rebuild(config);
+  // Fill core with four 512-word segments, release two alternating ones:
+  // 1024 words free but the largest hole is 512.
+  SegmentId segs[4];
+  for (auto& seg : segs) {
+    seg = manager_->Create(512);
+    ASSERT_TRUE(manager_->Access(seg, 0, AccessKind::kRead, 0).has_value());
+  }
+  manager_->AdviseWontNeed(segs[0], 1);
+  manager_->AdviseWontNeed(segs[2], 1);
+  // A 1024-word segment now requires compaction rather than eviction.
+  const SegmentId big = manager_->Create(1024);
+  ASSERT_TRUE(manager_->Access(big, 0, AccessKind::kRead, 2).has_value());
+  EXPECT_EQ(manager_->stats().compactions, 1u);
+  EXPECT_EQ(manager_->stats().evictions, 2u);  // only the advised releases
+  // The surviving segments must still be accessible at their new homes.
+  EXPECT_TRUE(manager_->Access(segs[1], 100, AccessKind::kRead, 3).has_value());
+  EXPECT_TRUE(manager_->Access(segs[3], 100, AccessKind::kRead, 3).has_value());
+}
+
+TEST_F(SegmentManagerTest, RiceSecondChancePrefersCleanBackedSegments) {
+  SegmentManagerConfig config;
+  config.core_words = 2048;
+  config.max_segment_extent = 1024;
+  config.replacement = SegmentReplacementKind::kRiceSecondChance;
+  Rebuild(config);
+  const SegmentId clean = manager_->Create(1000);
+  const SegmentId dirty = manager_->Create(1000);
+  ASSERT_TRUE(manager_->Access(clean, 0, AccessKind::kRead, 0).has_value());
+  // Give `clean` a backing copy by evicting and refetching it.
+  manager_->AdviseWontNeed(clean, 1);
+  ASSERT_TRUE(manager_->Access(clean, 0, AccessKind::kRead, 2).has_value());
+  ASSERT_TRUE(manager_->Access(dirty, 0, AccessKind::kWrite, 3).has_value());
+  const std::uint64_t writebacks_before = manager_->stats().writebacks;
+  // Pressure: the clean, backed segment should be the victim (free discard).
+  const SegmentId incoming = manager_->Create(1000);
+  ASSERT_TRUE(manager_->Access(incoming, 0, AccessKind::kRead, 4).has_value());
+  EXPECT_FALSE(manager_->IsResident(clean));
+  EXPECT_TRUE(manager_->IsResident(dirty));
+  EXPECT_EQ(manager_->stats().writebacks, writebacks_before);
+}
+
+TEST_F(SegmentManagerTest, CyclicReplacementSweepsSegments) {
+  const SegmentId a = manager_->Create(1000);
+  const SegmentId b = manager_->Create(1000);
+  ASSERT_TRUE(manager_->Access(a, 0, AccessKind::kRead, 0).has_value());
+  ASSERT_TRUE(manager_->Access(b, 0, AccessKind::kRead, 1).has_value());
+  const SegmentId c = manager_->Create(1000);
+  ASSERT_TRUE(manager_->Access(c, 0, AccessKind::kRead, 2).has_value());
+  EXPECT_FALSE(manager_->IsResident(a));  // cursor starts at the lowest id
+  const SegmentId d = manager_->Create(1000);
+  ASSERT_TRUE(manager_->Access(d, 0, AccessKind::kRead, 3).has_value());
+  EXPECT_FALSE(manager_->IsResident(b));  // sweep continues, not LRU/restart
+}
+
+TEST(SegmentManagerDeathTest, OversizedCreateAborts) {
+  BackingStore backing(MakeDrumLevel("drum", 1u << 20, 2, 100));
+  SegmentManagerConfig config;
+  config.core_words = 2048;
+  config.max_segment_extent = 1024;
+  SegmentManager manager(config, &backing, nullptr);
+  EXPECT_DEATH(manager.Create(2000), "maximum extent");
+}
+
+// --- ProgramDescription ----------------------------------------------------------------
+
+TEST(ProgramDescriptionTest, AppliesPreloadAndPinning) {
+  BackingStore backing(MakeDrumLevel("drum", 1u << 20, 2, 100));
+  SegmentManagerConfig config;
+  config.core_words = 4096;
+  config.max_segment_extent = 1024;
+  SegmentManager manager(config, &backing, nullptr);
+  const SegmentId hot = manager.Create(512);
+  const SegmentId cold = manager.Create(512);
+
+  ProgramDescription description;
+  description.Add({hot, PreferredMedium::kWorkingStorage, /*may_be_overlaid=*/false});
+  description.Add({cold, PreferredMedium::kBackingStorage, /*may_be_overlaid=*/true});
+  const Cycles transfer = description.ApplyTo(&manager, 0);
+  EXPECT_GT(transfer, 0u);
+  EXPECT_TRUE(manager.IsResident(hot));
+  EXPECT_FALSE(manager.IsResident(cold));
+  // The pinned segment survives heavy pressure.
+  for (int i = 0; i < 8; ++i) {
+    const SegmentId filler = manager.Create(1024);
+    ASSERT_TRUE(manager.Access(filler, 0, AccessKind::kRead, 10 + i).has_value());
+  }
+  EXPECT_TRUE(manager.IsResident(hot));
+}
+
+TEST(ProgramDescriptionTest, UpdateReplacesDirective) {
+  ProgramDescription description;
+  description.Add({SegmentId{1}, PreferredMedium::kWorkingStorage, false});
+  description.Update({SegmentId{1}, PreferredMedium::kBackingStorage, true});
+  ASSERT_EQ(description.directives().size(), 1u);
+  EXPECT_EQ(description.directives()[0].medium, PreferredMedium::kBackingStorage);
+  description.Update({SegmentId{2}, PreferredMedium::kWorkingStorage, true});
+  EXPECT_EQ(description.directives().size(), 2u);
+}
+
+TEST(ProgramDescriptionTest, UnknownSegmentsSkipped) {
+  BackingStore backing(MakeDrumLevel("drum", 1u << 20, 2, 100));
+  SegmentManagerConfig config;
+  config.core_words = 2048;
+  config.max_segment_extent = 1024;
+  SegmentManager manager(config, &backing, nullptr);
+  ProgramDescription description;
+  description.Add({SegmentId{42}, PreferredMedium::kWorkingStorage, false});
+  EXPECT_EQ(description.ApplyTo(&manager, 0), 0u);
+}
+
+}  // namespace
+}  // namespace dsa

@@ -1,0 +1,139 @@
+// Tests for Mattson stack-distance analysis — including exact agreement
+// with the simulated LRU pager at every memory size (the library's
+// strongest internal cross-check).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/paging/pager.h"
+#include "src/paging/replacement_factory.h"
+#include "src/paging/stack_distance.h"
+#include "src/trace/synthetic.h"
+
+namespace dsa {
+namespace {
+
+std::vector<PageId> Pages(std::initializer_list<std::uint64_t> values) {
+  std::vector<PageId> refs;
+  for (std::uint64_t v : values) {
+    refs.push_back(PageId{v});
+  }
+  return refs;
+}
+
+std::uint64_t SimulatedLruFaults(const std::vector<PageId>& refs, std::size_t frames) {
+  BackingStore backing(MakeDrumLevel("drum", 1u << 22, 0, 0));
+  PagerConfig config;
+  config.page_words = 1;
+  config.frames = frames;
+  Pager pager(config, &backing, nullptr,
+              MakeReplacementPolicy(ReplacementStrategyKind::kLru),
+              std::make_unique<DemandFetch>(), nullptr);
+  Cycles now = 0;
+  for (const PageId page : refs) {
+    pager.Access(page, AccessKind::kRead, now++);
+  }
+  return pager.stats().faults;
+}
+
+TEST(StackDistanceTest, HandComputedDistances) {
+  // String: a b c a b b c  -> distances: inf inf inf 3 3 1 3
+  const auto profile = ComputeStackDistances(Pages({0, 1, 2, 0, 1, 1, 2}));
+  EXPECT_EQ(profile.cold_references, 3u);
+  EXPECT_EQ(profile.total_references, 7u);
+  ASSERT_EQ(profile.distance_counts.size(), 3u);
+  EXPECT_EQ(profile.distance_counts[0], 1u);  // distance 1: the repeated b
+  EXPECT_EQ(profile.distance_counts[1], 0u);
+  EXPECT_EQ(profile.distance_counts[2], 3u);  // distance 3: a, b, c re-touches
+}
+
+TEST(StackDistanceTest, FaultsAtMatchesByHand) {
+  const auto profile = ComputeStackDistances(Pages({0, 1, 2, 0, 1, 1, 2}));
+  EXPECT_EQ(profile.FaultsAt(1), 3u + 3u);  // only the distance-1 hit survives
+  EXPECT_EQ(profile.FaultsAt(2), 3u + 3u);
+  EXPECT_EQ(profile.FaultsAt(3), 3u);  // everything but cold misses hits
+  EXPECT_EQ(profile.FaultsAt(10), 3u);
+}
+
+TEST(StackDistanceTest, FaultCurveMatchesFaultsAt) {
+  WorkingSetTraceParams params;
+  params.extent = 1 << 12;
+  params.region_words = 64;
+  params.regions_per_phase = 6;
+  params.phases = 3;
+  params.phase_length = 2000;
+  const auto refs = MakeWorkingSetTrace(params).PageString(64);
+  const auto profile = ComputeStackDistances(refs);
+  const auto curve = profile.FaultCurve(64);
+  for (std::size_t m = 1; m <= 64; ++m) {
+    EXPECT_EQ(curve[m], profile.FaultsAt(m)) << "at " << m << " frames";
+  }
+}
+
+TEST(StackDistanceTest, ExactAgreementWithSimulatedLru) {
+  // The keystone check: analysis and simulation are two independent
+  // implementations of LRU; they must produce identical fault counts at
+  // every memory size, on every workload shape.
+  std::vector<std::vector<PageId>> workloads;
+  {
+    WorkingSetTraceParams params;
+    params.extent = 1 << 13;
+    params.region_words = 128;
+    params.regions_per_phase = 5;
+    params.phases = 4;
+    params.phase_length = 4000;
+    workloads.push_back(MakeWorkingSetTrace(params).PageString(128));
+  }
+  {
+    LoopTraceParams params;
+    params.extent = 1 << 13;
+    params.body_words = 2048;
+    params.advance_words = 512;
+    params.iterations = 4;
+    params.length = 16000;
+    workloads.push_back(MakeLoopTrace(params).PageString(128));
+  }
+  {
+    RandomTraceParams params;
+    params.extent = 1 << 12;
+    params.length = 16000;
+    workloads.push_back(MakeRandomTrace(params).PageString(128));
+  }
+  for (const auto& refs : workloads) {
+    const auto profile = ComputeStackDistances(refs);
+    for (const std::size_t frames : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+      EXPECT_EQ(profile.FaultsAt(frames), SimulatedLruFaults(refs, frames))
+          << frames << " frames";
+    }
+  }
+}
+
+TEST(StackDistanceTest, SequentialSweepIsAllColdThenAllDistanceN) {
+  // 3 laps over 8 pages: lap 1 cold, laps 2-3 all at distance 8.
+  std::vector<PageId> refs;
+  for (int lap = 0; lap < 3; ++lap) {
+    for (std::uint64_t p = 0; p < 8; ++p) {
+      refs.push_back(PageId{p});
+    }
+  }
+  const auto profile = ComputeStackDistances(refs);
+  EXPECT_EQ(profile.cold_references, 8u);
+  ASSERT_EQ(profile.distance_counts.size(), 8u);
+  EXPECT_EQ(profile.distance_counts[7], 16u);
+  // Classic cyclic result: with fewer than 8 frames LRU faults on everything.
+  EXPECT_EQ(profile.FaultsAt(7), 24u);
+  EXPECT_EQ(profile.FaultsAt(8), 8u);
+}
+
+TEST(StackDistanceTest, DistinctPagesEqualsColdMisses) {
+  RandomTraceParams params;
+  params.extent = 500;
+  params.length = 20000;
+  const auto refs = MakeRandomTrace(params).PageString(1);
+  const auto profile = ComputeStackDistances(refs);
+  EXPECT_EQ(profile.DistinctPages(), 500u);  // all 500 names drawn at this length
+}
+
+}  // namespace
+}  // namespace dsa

@@ -1,0 +1,203 @@
+// Unit tests for src/stats: summaries, percentiles, histograms, tables, and
+// fragmentation metrics.
+
+#include <gtest/gtest.h>
+
+#include "src/stats/fragmentation.h"
+#include "src/stats/histogram.h"
+#include "src/stats/summary.h"
+#include "src/stats/table.h"
+
+namespace dsa {
+namespace {
+
+// --- RunningSummary -----------------------------------------------------------
+
+TEST(RunningSummaryTest, EmptyIsZero) {
+  RunningSummary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningSummaryTest, SingleValue) {
+  RunningSummary s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningSummaryTest, KnownMoments) {
+  RunningSummary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningSummaryTest, NegativeValues) {
+  RunningSummary s;
+  s.Add(-3.0);
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+}
+
+// --- Percentiles ----------------------------------------------------------------
+
+TEST(PercentilesTest, EmptyReturnsZero) {
+  Percentiles p;
+  EXPECT_EQ(p.Percentile(50), 0.0);
+}
+
+TEST(PercentilesTest, NearestRankOnSmallSample) {
+  Percentiles p;
+  for (double x : {15.0, 20.0, 35.0, 40.0, 50.0}) {
+    p.Add(x);
+  }
+  EXPECT_EQ(p.Percentile(30), 20.0);
+  EXPECT_EQ(p.Percentile(40), 20.0);
+  EXPECT_EQ(p.Percentile(50), 35.0);
+  EXPECT_EQ(p.Percentile(100), 50.0);
+  EXPECT_EQ(p.Percentile(0), 15.0);
+}
+
+TEST(PercentilesTest, MedianOfSequence) {
+  Percentiles p;
+  for (int i = 1; i <= 101; ++i) {
+    p.Add(static_cast<double>(i));
+  }
+  EXPECT_EQ(p.Median(), 51.0);
+}
+
+TEST(PercentilesTest, UnsortedInsertOrder) {
+  Percentiles p;
+  p.Add(9.0);
+  p.Add(1.0);
+  p.Add(5.0);
+  EXPECT_EQ(p.Percentile(0), 1.0);
+  EXPECT_EQ(p.Percentile(100), 9.0);
+}
+
+// --- LogHistogram ---------------------------------------------------------------
+
+TEST(LogHistogramTest, BucketBoundaries) {
+  EXPECT_EQ(LogHistogram::BucketFor(0), 0);
+  EXPECT_EQ(LogHistogram::BucketFor(1), 1);
+  EXPECT_EQ(LogHistogram::BucketFor(2), 2);
+  EXPECT_EQ(LogHistogram::BucketFor(3), 2);
+  EXPECT_EQ(LogHistogram::BucketFor(4), 3);
+  EXPECT_EQ(LogHistogram::BucketFor(1024), 11);
+  EXPECT_EQ(LogHistogram::BucketFor(1025), 11);
+}
+
+TEST(LogHistogramTest, BucketLowInvertsBucketFor) {
+  for (int b = 1; b < 20; ++b) {
+    EXPECT_EQ(LogHistogram::BucketFor(LogHistogram::BucketLow(b)), b);
+  }
+}
+
+TEST(LogHistogramTest, CountsAccumulate) {
+  LogHistogram h;
+  h.Add(1);
+  h.Add(1);
+  h.Add(100);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.BucketCount(1), 2u);
+  EXPECT_EQ(h.BucketCount(LogHistogram::BucketFor(100)), 1u);
+}
+
+TEST(LogHistogramTest, RenderShowsNonEmptyBuckets) {
+  LogHistogram h;
+  h.Add(5);
+  const std::string text = h.Render();
+  EXPECT_NE(text.find("[4, 7]"), std::string::npos);
+  EXPECT_NE(text.find('#'), std::string::npos);
+}
+
+// --- Table ---------------------------------------------------------------------
+
+TEST(TableTest, RendersHeaderRuleAndRows) {
+  Table t({"a", "bb"});
+  t.AddRow().AddCell(std::uint64_t{1}).AddCell("x");
+  const std::string text = t.Render();
+  EXPECT_NE(text.find("| a | bb |"), std::string::npos);
+  EXPECT_NE(text.find("| 1 | x  |"), std::string::npos);
+  EXPECT_NE(text.find("|---|"), std::string::npos);
+}
+
+TEST(TableTest, ColumnWidthsFollowWidestCell) {
+  Table t({"h"});
+  t.AddRow().AddCell("wide-cell");
+  const std::string text = t.Render();
+  EXPECT_NE(text.find("| h         |"), std::string::npos);
+}
+
+TEST(TableTest, FixedPointFormatting) {
+  EXPECT_EQ(FormatFixed(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatFixed(2.0, 0), "2");
+  Table t({"v"});
+  t.AddRow().AddCell(0.5, 3);
+  EXPECT_NE(t.Render().find("0.500"), std::string::npos);
+}
+
+TEST(TableTest, RowCountTracksRows) {
+  Table t({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.AddRow().AddCell("1");
+  t.AddRow().AddCell("2");
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TableDeathTest, TooManyCellsAborts) {
+  Table t({"only"});
+  t.AddRow().AddCell("one");
+  EXPECT_DEATH(t.AddCell("two"), "more cells");
+}
+
+// --- FragmentationReport ----------------------------------------------------------
+
+TEST(FragmentationTest, NoHolesMeansNoExternalFragmentation) {
+  const auto report = ReportFromHoles(1000, 600, 600, {});
+  EXPECT_EQ(report.ExternalFragmentation(), 0.0);
+  EXPECT_EQ(report.free, 0u);
+}
+
+TEST(FragmentationTest, SingleHoleIsUnfragmented) {
+  const auto report = ReportFromHoles(1000, 600, 600, {400});
+  EXPECT_EQ(report.ExternalFragmentation(), 0.0);
+  EXPECT_EQ(report.largest_free, 400u);
+}
+
+TEST(FragmentationTest, ScatteredHolesAreFragmented) {
+  const auto report = ReportFromHoles(1000, 600, 600, {100, 100, 100, 100});
+  EXPECT_DOUBLE_EQ(report.ExternalFragmentation(), 0.75);
+  EXPECT_EQ(report.hole_count, 4u);
+}
+
+TEST(FragmentationTest, InternalFragmentationFromRounding) {
+  // 600 words requested, 800 handed out (e.g. page rounding).
+  const auto report = ReportFromHoles(1000, 600, 800, {200});
+  EXPECT_DOUBLE_EQ(report.InternalFragmentation(), 0.25);
+}
+
+TEST(FragmentationTest, TotalWasteFraction) {
+  const auto report = ReportFromHoles(1000, 600, 800, {200});
+  EXPECT_DOUBLE_EQ(report.TotalWasteFraction(), 0.4);
+}
+
+TEST(FragmentationTest, ZeroCapacityIsSafe) {
+  const auto report = ReportFromHoles(0, 0, 0, {});
+  EXPECT_EQ(report.TotalWasteFraction(), 0.0);
+  EXPECT_EQ(report.InternalFragmentation(), 0.0);
+}
+
+}  // namespace
+}  // namespace dsa

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_addressing_overhead.cc" "bench-objs/CMakeFiles/bench_addressing_overhead.dir/bench_addressing_overhead.cc.o" "gcc" "bench-objs/CMakeFiles/bench_addressing_overhead.dir/bench_addressing_overhead.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/dsa_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/machines/CMakeFiles/dsa_machines.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/dsa_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dsa_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/paging/CMakeFiles/dsa_paging.dir/DependInfo.cmake"
+  "/root/repo/build/src/seg/CMakeFiles/dsa_seg.dir/DependInfo.cmake"
+  "/root/repo/build/src/map/CMakeFiles/dsa_map.dir/DependInfo.cmake"
+  "/root/repo/build/src/naming/CMakeFiles/dsa_naming.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/dsa_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dsa_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dsa_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dsa_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_addressing_overhead"
+  "../bench/bench_addressing_overhead.pdb"
+  "CMakeFiles/bench_addressing_overhead.dir/bench_addressing_overhead.cc.o"
+  "CMakeFiles/bench_addressing_overhead.dir/bench_addressing_overhead.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_addressing_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

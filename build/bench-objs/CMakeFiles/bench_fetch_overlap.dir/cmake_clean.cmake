@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fetch_overlap"
+  "../bench/bench_fetch_overlap.pdb"
+  "CMakeFiles/bench_fetch_overlap.dir/bench_fetch_overlap.cc.o"
+  "CMakeFiles/bench_fetch_overlap.dir/bench_fetch_overlap.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fetch_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_contiguity"
+  "../bench/bench_fig1_contiguity.pdb"
+  "CMakeFiles/bench_fig1_contiguity.dir/bench_fig1_contiguity.cc.o"
+  "CMakeFiles/bench_fig1_contiguity.dir/bench_fig1_contiguity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_contiguity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_two_level"
+  "../bench/bench_fig4_two_level.pdb"
+  "CMakeFiles/bench_fig4_two_level.dir/bench_fig4_two_level.cc.o"
+  "CMakeFiles/bench_fig4_two_level.dir/bench_fig4_two_level.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_two_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

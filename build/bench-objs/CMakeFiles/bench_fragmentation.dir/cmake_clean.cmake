@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fragmentation"
+  "../bench/bench_fragmentation.pdb"
+  "CMakeFiles/bench_fragmentation.dir/bench_fragmentation.cc.o"
+  "CMakeFiles/bench_fragmentation.dir/bench_fragmentation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fragmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

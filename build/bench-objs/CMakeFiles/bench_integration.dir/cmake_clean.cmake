@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_integration"
+  "../bench/bench_integration.pdb"
+  "CMakeFiles/bench_integration.dir/bench_integration.cc.o"
+  "CMakeFiles/bench_integration.dir/bench_integration.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_name_spaces"
+  "../bench/bench_name_spaces.pdb"
+  "CMakeFiles/bench_name_spaces.dir/bench_name_spaces.cc.o"
+  "CMakeFiles/bench_name_spaces.dir/bench_name_spaces.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_name_spaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

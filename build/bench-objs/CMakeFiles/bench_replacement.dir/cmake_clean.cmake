@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_replacement"
+  "../bench/bench_replacement.pdb"
+  "CMakeFiles/bench_replacement.dir/bench_replacement.cc.o"
+  "CMakeFiles/bench_replacement.dir/bench_replacement.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_replacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

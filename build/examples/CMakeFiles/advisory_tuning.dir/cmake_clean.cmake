@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advisory_tuning.dir/advisory_tuning.cpp.o"
+  "CMakeFiles/advisory_tuning.dir/advisory_tuning.cpp.o.d"
+  "advisory_tuning"
+  "advisory_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advisory_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

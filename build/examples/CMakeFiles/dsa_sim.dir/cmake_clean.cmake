@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsa_sim.dir/dsa_sim.cpp.o"
+  "CMakeFiles/dsa_sim.dir/dsa_sim.cpp.o.d"
+  "dsa_sim"
+  "dsa_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsa_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_survey.dir/machine_survey.cpp.o"
+  "CMakeFiles/machine_survey.dir/machine_survey.cpp.o.d"
+  "machine_survey"
+  "machine_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiprogramming.dir/multiprogramming.cpp.o"
+  "CMakeFiles/multiprogramming.dir/multiprogramming.cpp.o.d"
+  "multiprogramming"
+  "multiprogramming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiprogramming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

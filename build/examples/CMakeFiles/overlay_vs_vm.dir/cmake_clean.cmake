@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlay_vs_vm.dir/overlay_vs_vm.cpp.o"
+  "CMakeFiles/overlay_vs_vm.dir/overlay_vs_vm.cpp.o.d"
+  "overlay_vs_vm"
+  "overlay_vs_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlay_vs_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("core")
+subdirs("stats")
+subdirs("trace")
+subdirs("mem")
+subdirs("alloc")
+subdirs("naming")
+subdirs("map")
+subdirs("paging")
+subdirs("seg")
+subdirs("vm")
+subdirs("sched")
+subdirs("machines")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/buddy.cc" "src/alloc/CMakeFiles/dsa_alloc.dir/buddy.cc.o" "gcc" "src/alloc/CMakeFiles/dsa_alloc.dir/buddy.cc.o.d"
+  "/root/repo/src/alloc/compaction.cc" "src/alloc/CMakeFiles/dsa_alloc.dir/compaction.cc.o" "gcc" "src/alloc/CMakeFiles/dsa_alloc.dir/compaction.cc.o.d"
+  "/root/repo/src/alloc/free_list.cc" "src/alloc/CMakeFiles/dsa_alloc.dir/free_list.cc.o" "gcc" "src/alloc/CMakeFiles/dsa_alloc.dir/free_list.cc.o.d"
+  "/root/repo/src/alloc/placement.cc" "src/alloc/CMakeFiles/dsa_alloc.dir/placement.cc.o" "gcc" "src/alloc/CMakeFiles/dsa_alloc.dir/placement.cc.o.d"
+  "/root/repo/src/alloc/rice_chain.cc" "src/alloc/CMakeFiles/dsa_alloc.dir/rice_chain.cc.o" "gcc" "src/alloc/CMakeFiles/dsa_alloc.dir/rice_chain.cc.o.d"
+  "/root/repo/src/alloc/variable_allocator.cc" "src/alloc/CMakeFiles/dsa_alloc.dir/variable_allocator.cc.o" "gcc" "src/alloc/CMakeFiles/dsa_alloc.dir/variable_allocator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dsa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dsa_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dsa_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

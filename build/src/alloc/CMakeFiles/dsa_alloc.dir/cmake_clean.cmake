@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsa_alloc.dir/buddy.cc.o"
+  "CMakeFiles/dsa_alloc.dir/buddy.cc.o.d"
+  "CMakeFiles/dsa_alloc.dir/compaction.cc.o"
+  "CMakeFiles/dsa_alloc.dir/compaction.cc.o.d"
+  "CMakeFiles/dsa_alloc.dir/free_list.cc.o"
+  "CMakeFiles/dsa_alloc.dir/free_list.cc.o.d"
+  "CMakeFiles/dsa_alloc.dir/placement.cc.o"
+  "CMakeFiles/dsa_alloc.dir/placement.cc.o.d"
+  "CMakeFiles/dsa_alloc.dir/rice_chain.cc.o"
+  "CMakeFiles/dsa_alloc.dir/rice_chain.cc.o.d"
+  "CMakeFiles/dsa_alloc.dir/variable_allocator.cc.o"
+  "CMakeFiles/dsa_alloc.dir/variable_allocator.cc.o.d"
+  "libdsa_alloc.a"
+  "libdsa_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsa_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

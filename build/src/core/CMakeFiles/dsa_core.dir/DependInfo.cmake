@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/characteristics.cc" "src/core/CMakeFiles/dsa_core.dir/characteristics.cc.o" "gcc" "src/core/CMakeFiles/dsa_core.dir/characteristics.cc.o.d"
+  "/root/repo/src/core/hardware.cc" "src/core/CMakeFiles/dsa_core.dir/hardware.cc.o" "gcc" "src/core/CMakeFiles/dsa_core.dir/hardware.cc.o.d"
+  "/root/repo/src/core/rng.cc" "src/core/CMakeFiles/dsa_core.dir/rng.cc.o" "gcc" "src/core/CMakeFiles/dsa_core.dir/rng.cc.o.d"
+  "/root/repo/src/core/strategy.cc" "src/core/CMakeFiles/dsa_core.dir/strategy.cc.o" "gcc" "src/core/CMakeFiles/dsa_core.dir/strategy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsa_core.dir/characteristics.cc.o"
+  "CMakeFiles/dsa_core.dir/characteristics.cc.o.d"
+  "CMakeFiles/dsa_core.dir/hardware.cc.o"
+  "CMakeFiles/dsa_core.dir/hardware.cc.o.d"
+  "CMakeFiles/dsa_core.dir/rng.cc.o"
+  "CMakeFiles/dsa_core.dir/rng.cc.o.d"
+  "CMakeFiles/dsa_core.dir/strategy.cc.o"
+  "CMakeFiles/dsa_core.dir/strategy.cc.o.d"
+  "libdsa_core.a"
+  "libdsa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsa_machines.dir/machine.cc.o"
+  "CMakeFiles/dsa_machines.dir/machine.cc.o.d"
+  "CMakeFiles/dsa_machines.dir/survey.cc.o"
+  "CMakeFiles/dsa_machines.dir/survey.cc.o.d"
+  "libdsa_machines.a"
+  "libdsa_machines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsa_machines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/map/associative_memory.cc" "src/map/CMakeFiles/dsa_map.dir/associative_memory.cc.o" "gcc" "src/map/CMakeFiles/dsa_map.dir/associative_memory.cc.o.d"
+  "/root/repo/src/map/block_table.cc" "src/map/CMakeFiles/dsa_map.dir/block_table.cc.o" "gcc" "src/map/CMakeFiles/dsa_map.dir/block_table.cc.o.d"
+  "/root/repo/src/map/fault.cc" "src/map/CMakeFiles/dsa_map.dir/fault.cc.o" "gcc" "src/map/CMakeFiles/dsa_map.dir/fault.cc.o.d"
+  "/root/repo/src/map/page_table.cc" "src/map/CMakeFiles/dsa_map.dir/page_table.cc.o" "gcc" "src/map/CMakeFiles/dsa_map.dir/page_table.cc.o.d"
+  "/root/repo/src/map/relocation_limit.cc" "src/map/CMakeFiles/dsa_map.dir/relocation_limit.cc.o" "gcc" "src/map/CMakeFiles/dsa_map.dir/relocation_limit.cc.o.d"
+  "/root/repo/src/map/two_level.cc" "src/map/CMakeFiles/dsa_map.dir/two_level.cc.o" "gcc" "src/map/CMakeFiles/dsa_map.dir/two_level.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dsa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/naming/CMakeFiles/dsa_naming.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/dsa_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dsa_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dsa_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsa_map.dir/associative_memory.cc.o"
+  "CMakeFiles/dsa_map.dir/associative_memory.cc.o.d"
+  "CMakeFiles/dsa_map.dir/block_table.cc.o"
+  "CMakeFiles/dsa_map.dir/block_table.cc.o.d"
+  "CMakeFiles/dsa_map.dir/fault.cc.o"
+  "CMakeFiles/dsa_map.dir/fault.cc.o.d"
+  "CMakeFiles/dsa_map.dir/page_table.cc.o"
+  "CMakeFiles/dsa_map.dir/page_table.cc.o.d"
+  "CMakeFiles/dsa_map.dir/relocation_limit.cc.o"
+  "CMakeFiles/dsa_map.dir/relocation_limit.cc.o.d"
+  "CMakeFiles/dsa_map.dir/two_level.cc.o"
+  "CMakeFiles/dsa_map.dir/two_level.cc.o.d"
+  "libdsa_map.a"
+  "libdsa_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsa_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/backing_store.cc" "src/mem/CMakeFiles/dsa_mem.dir/backing_store.cc.o" "gcc" "src/mem/CMakeFiles/dsa_mem.dir/backing_store.cc.o.d"
+  "/root/repo/src/mem/core_store.cc" "src/mem/CMakeFiles/dsa_mem.dir/core_store.cc.o" "gcc" "src/mem/CMakeFiles/dsa_mem.dir/core_store.cc.o.d"
+  "/root/repo/src/mem/hierarchy.cc" "src/mem/CMakeFiles/dsa_mem.dir/hierarchy.cc.o" "gcc" "src/mem/CMakeFiles/dsa_mem.dir/hierarchy.cc.o.d"
+  "/root/repo/src/mem/storage_level.cc" "src/mem/CMakeFiles/dsa_mem.dir/storage_level.cc.o" "gcc" "src/mem/CMakeFiles/dsa_mem.dir/storage_level.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dsa_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

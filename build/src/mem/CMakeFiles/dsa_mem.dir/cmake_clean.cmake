@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsa_mem.dir/backing_store.cc.o"
+  "CMakeFiles/dsa_mem.dir/backing_store.cc.o.d"
+  "CMakeFiles/dsa_mem.dir/core_store.cc.o"
+  "CMakeFiles/dsa_mem.dir/core_store.cc.o.d"
+  "CMakeFiles/dsa_mem.dir/hierarchy.cc.o"
+  "CMakeFiles/dsa_mem.dir/hierarchy.cc.o.d"
+  "CMakeFiles/dsa_mem.dir/storage_level.cc.o"
+  "CMakeFiles/dsa_mem.dir/storage_level.cc.o.d"
+  "libdsa_mem.a"
+  "libdsa_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsa_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

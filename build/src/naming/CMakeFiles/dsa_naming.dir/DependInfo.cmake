@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/naming/linearly_segmented.cc" "src/naming/CMakeFiles/dsa_naming.dir/linearly_segmented.cc.o" "gcc" "src/naming/CMakeFiles/dsa_naming.dir/linearly_segmented.cc.o.d"
+  "/root/repo/src/naming/symbolic.cc" "src/naming/CMakeFiles/dsa_naming.dir/symbolic.cc.o" "gcc" "src/naming/CMakeFiles/dsa_naming.dir/symbolic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dsa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/dsa_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dsa_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dsa_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsa_naming.dir/linearly_segmented.cc.o"
+  "CMakeFiles/dsa_naming.dir/linearly_segmented.cc.o.d"
+  "CMakeFiles/dsa_naming.dir/symbolic.cc.o"
+  "CMakeFiles/dsa_naming.dir/symbolic.cc.o.d"
+  "libdsa_naming.a"
+  "libdsa_naming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsa_naming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/paging/advice.cc" "src/paging/CMakeFiles/dsa_paging.dir/advice.cc.o" "gcc" "src/paging/CMakeFiles/dsa_paging.dir/advice.cc.o.d"
+  "/root/repo/src/paging/atlas_learning.cc" "src/paging/CMakeFiles/dsa_paging.dir/atlas_learning.cc.o" "gcc" "src/paging/CMakeFiles/dsa_paging.dir/atlas_learning.cc.o.d"
+  "/root/repo/src/paging/fetch.cc" "src/paging/CMakeFiles/dsa_paging.dir/fetch.cc.o" "gcc" "src/paging/CMakeFiles/dsa_paging.dir/fetch.cc.o.d"
+  "/root/repo/src/paging/frame_table.cc" "src/paging/CMakeFiles/dsa_paging.dir/frame_table.cc.o" "gcc" "src/paging/CMakeFiles/dsa_paging.dir/frame_table.cc.o.d"
+  "/root/repo/src/paging/hierarchy_pager.cc" "src/paging/CMakeFiles/dsa_paging.dir/hierarchy_pager.cc.o" "gcc" "src/paging/CMakeFiles/dsa_paging.dir/hierarchy_pager.cc.o.d"
+  "/root/repo/src/paging/lifetime.cc" "src/paging/CMakeFiles/dsa_paging.dir/lifetime.cc.o" "gcc" "src/paging/CMakeFiles/dsa_paging.dir/lifetime.cc.o.d"
+  "/root/repo/src/paging/m44_class.cc" "src/paging/CMakeFiles/dsa_paging.dir/m44_class.cc.o" "gcc" "src/paging/CMakeFiles/dsa_paging.dir/m44_class.cc.o.d"
+  "/root/repo/src/paging/opt.cc" "src/paging/CMakeFiles/dsa_paging.dir/opt.cc.o" "gcc" "src/paging/CMakeFiles/dsa_paging.dir/opt.cc.o.d"
+  "/root/repo/src/paging/pager.cc" "src/paging/CMakeFiles/dsa_paging.dir/pager.cc.o" "gcc" "src/paging/CMakeFiles/dsa_paging.dir/pager.cc.o.d"
+  "/root/repo/src/paging/replacement_factory.cc" "src/paging/CMakeFiles/dsa_paging.dir/replacement_factory.cc.o" "gcc" "src/paging/CMakeFiles/dsa_paging.dir/replacement_factory.cc.o.d"
+  "/root/repo/src/paging/replacement_simple.cc" "src/paging/CMakeFiles/dsa_paging.dir/replacement_simple.cc.o" "gcc" "src/paging/CMakeFiles/dsa_paging.dir/replacement_simple.cc.o.d"
+  "/root/repo/src/paging/stack_distance.cc" "src/paging/CMakeFiles/dsa_paging.dir/stack_distance.cc.o" "gcc" "src/paging/CMakeFiles/dsa_paging.dir/stack_distance.cc.o.d"
+  "/root/repo/src/paging/working_set.cc" "src/paging/CMakeFiles/dsa_paging.dir/working_set.cc.o" "gcc" "src/paging/CMakeFiles/dsa_paging.dir/working_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dsa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dsa_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

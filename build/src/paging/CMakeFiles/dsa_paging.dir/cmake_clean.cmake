@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsa_paging.dir/advice.cc.o"
+  "CMakeFiles/dsa_paging.dir/advice.cc.o.d"
+  "CMakeFiles/dsa_paging.dir/atlas_learning.cc.o"
+  "CMakeFiles/dsa_paging.dir/atlas_learning.cc.o.d"
+  "CMakeFiles/dsa_paging.dir/fetch.cc.o"
+  "CMakeFiles/dsa_paging.dir/fetch.cc.o.d"
+  "CMakeFiles/dsa_paging.dir/frame_table.cc.o"
+  "CMakeFiles/dsa_paging.dir/frame_table.cc.o.d"
+  "CMakeFiles/dsa_paging.dir/hierarchy_pager.cc.o"
+  "CMakeFiles/dsa_paging.dir/hierarchy_pager.cc.o.d"
+  "CMakeFiles/dsa_paging.dir/lifetime.cc.o"
+  "CMakeFiles/dsa_paging.dir/lifetime.cc.o.d"
+  "CMakeFiles/dsa_paging.dir/m44_class.cc.o"
+  "CMakeFiles/dsa_paging.dir/m44_class.cc.o.d"
+  "CMakeFiles/dsa_paging.dir/opt.cc.o"
+  "CMakeFiles/dsa_paging.dir/opt.cc.o.d"
+  "CMakeFiles/dsa_paging.dir/pager.cc.o"
+  "CMakeFiles/dsa_paging.dir/pager.cc.o.d"
+  "CMakeFiles/dsa_paging.dir/replacement_factory.cc.o"
+  "CMakeFiles/dsa_paging.dir/replacement_factory.cc.o.d"
+  "CMakeFiles/dsa_paging.dir/replacement_simple.cc.o"
+  "CMakeFiles/dsa_paging.dir/replacement_simple.cc.o.d"
+  "CMakeFiles/dsa_paging.dir/stack_distance.cc.o"
+  "CMakeFiles/dsa_paging.dir/stack_distance.cc.o.d"
+  "CMakeFiles/dsa_paging.dir/working_set.cc.o"
+  "CMakeFiles/dsa_paging.dir/working_set.cc.o.d"
+  "libdsa_paging.a"
+  "libdsa_paging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsa_paging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

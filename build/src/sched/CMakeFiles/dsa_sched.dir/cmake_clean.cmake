@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsa_sched.dir/multiprogramming.cc.o"
+  "CMakeFiles/dsa_sched.dir/multiprogramming.cc.o.d"
+  "libdsa_sched.a"
+  "libdsa_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsa_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/seg/codeword.cc" "src/seg/CMakeFiles/dsa_seg.dir/codeword.cc.o" "gcc" "src/seg/CMakeFiles/dsa_seg.dir/codeword.cc.o.d"
+  "/root/repo/src/seg/descriptor.cc" "src/seg/CMakeFiles/dsa_seg.dir/descriptor.cc.o" "gcc" "src/seg/CMakeFiles/dsa_seg.dir/descriptor.cc.o.d"
+  "/root/repo/src/seg/program_description.cc" "src/seg/CMakeFiles/dsa_seg.dir/program_description.cc.o" "gcc" "src/seg/CMakeFiles/dsa_seg.dir/program_description.cc.o.d"
+  "/root/repo/src/seg/protection.cc" "src/seg/CMakeFiles/dsa_seg.dir/protection.cc.o" "gcc" "src/seg/CMakeFiles/dsa_seg.dir/protection.cc.o.d"
+  "/root/repo/src/seg/rice_image.cc" "src/seg/CMakeFiles/dsa_seg.dir/rice_image.cc.o" "gcc" "src/seg/CMakeFiles/dsa_seg.dir/rice_image.cc.o.d"
+  "/root/repo/src/seg/segment_manager.cc" "src/seg/CMakeFiles/dsa_seg.dir/segment_manager.cc.o" "gcc" "src/seg/CMakeFiles/dsa_seg.dir/segment_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dsa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/dsa_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/map/CMakeFiles/dsa_map.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dsa_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/naming/CMakeFiles/dsa_naming.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dsa_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsa_seg.dir/codeword.cc.o"
+  "CMakeFiles/dsa_seg.dir/codeword.cc.o.d"
+  "CMakeFiles/dsa_seg.dir/descriptor.cc.o"
+  "CMakeFiles/dsa_seg.dir/descriptor.cc.o.d"
+  "CMakeFiles/dsa_seg.dir/program_description.cc.o"
+  "CMakeFiles/dsa_seg.dir/program_description.cc.o.d"
+  "CMakeFiles/dsa_seg.dir/protection.cc.o"
+  "CMakeFiles/dsa_seg.dir/protection.cc.o.d"
+  "CMakeFiles/dsa_seg.dir/rice_image.cc.o"
+  "CMakeFiles/dsa_seg.dir/rice_image.cc.o.d"
+  "CMakeFiles/dsa_seg.dir/segment_manager.cc.o"
+  "CMakeFiles/dsa_seg.dir/segment_manager.cc.o.d"
+  "libdsa_seg.a"
+  "libdsa_seg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsa_seg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

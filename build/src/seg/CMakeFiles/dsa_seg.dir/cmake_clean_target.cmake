@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdsa_seg.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsa_stats.dir/fragmentation.cc.o"
+  "CMakeFiles/dsa_stats.dir/fragmentation.cc.o.d"
+  "CMakeFiles/dsa_stats.dir/histogram.cc.o"
+  "CMakeFiles/dsa_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/dsa_stats.dir/summary.cc.o"
+  "CMakeFiles/dsa_stats.dir/summary.cc.o.d"
+  "CMakeFiles/dsa_stats.dir/table.cc.o"
+  "CMakeFiles/dsa_stats.dir/table.cc.o.d"
+  "libdsa_stats.a"
+  "libdsa_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsa_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

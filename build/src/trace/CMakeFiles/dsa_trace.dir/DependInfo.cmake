@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/allocation.cc" "src/trace/CMakeFiles/dsa_trace.dir/allocation.cc.o" "gcc" "src/trace/CMakeFiles/dsa_trace.dir/allocation.cc.o.d"
+  "/root/repo/src/trace/reference.cc" "src/trace/CMakeFiles/dsa_trace.dir/reference.cc.o" "gcc" "src/trace/CMakeFiles/dsa_trace.dir/reference.cc.o.d"
+  "/root/repo/src/trace/synthetic.cc" "src/trace/CMakeFiles/dsa_trace.dir/synthetic.cc.o" "gcc" "src/trace/CMakeFiles/dsa_trace.dir/synthetic.cc.o.d"
+  "/root/repo/src/trace/trace_io.cc" "src/trace/CMakeFiles/dsa_trace.dir/trace_io.cc.o" "gcc" "src/trace/CMakeFiles/dsa_trace.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dsa_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

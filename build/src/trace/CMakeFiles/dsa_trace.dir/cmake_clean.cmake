@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsa_trace.dir/allocation.cc.o"
+  "CMakeFiles/dsa_trace.dir/allocation.cc.o.d"
+  "CMakeFiles/dsa_trace.dir/reference.cc.o"
+  "CMakeFiles/dsa_trace.dir/reference.cc.o.d"
+  "CMakeFiles/dsa_trace.dir/synthetic.cc.o"
+  "CMakeFiles/dsa_trace.dir/synthetic.cc.o.d"
+  "CMakeFiles/dsa_trace.dir/trace_io.cc.o"
+  "CMakeFiles/dsa_trace.dir/trace_io.cc.o.d"
+  "libdsa_trace.a"
+  "libdsa_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsa_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

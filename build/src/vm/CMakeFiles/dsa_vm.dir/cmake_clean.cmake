@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsa_vm.dir/overlay.cc.o"
+  "CMakeFiles/dsa_vm.dir/overlay.cc.o.d"
+  "CMakeFiles/dsa_vm.dir/paged_segmented_vm.cc.o"
+  "CMakeFiles/dsa_vm.dir/paged_segmented_vm.cc.o.d"
+  "CMakeFiles/dsa_vm.dir/paged_vm.cc.o"
+  "CMakeFiles/dsa_vm.dir/paged_vm.cc.o.d"
+  "CMakeFiles/dsa_vm.dir/segmented_vm.cc.o"
+  "CMakeFiles/dsa_vm.dir/segmented_vm.cc.o.d"
+  "CMakeFiles/dsa_vm.dir/system_builder.cc.o"
+  "CMakeFiles/dsa_vm.dir/system_builder.cc.o.d"
+  "libdsa_vm.a"
+  "libdsa_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsa_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

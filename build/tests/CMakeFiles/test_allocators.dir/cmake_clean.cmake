@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_allocators.dir/test_allocators.cc.o"
+  "CMakeFiles/test_allocators.dir/test_allocators.cc.o.d"
+  "test_allocators"
+  "test_allocators.pdb"
+  "test_allocators[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_allocators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

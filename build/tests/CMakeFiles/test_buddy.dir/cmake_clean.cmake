@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_buddy.dir/test_buddy.cc.o"
+  "CMakeFiles/test_buddy.dir/test_buddy.cc.o.d"
+  "test_buddy"
+  "test_buddy.pdb"
+  "test_buddy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_buddy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

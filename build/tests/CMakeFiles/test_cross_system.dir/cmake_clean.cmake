@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cross_system.dir/test_cross_system.cc.o"
+  "CMakeFiles/test_cross_system.dir/test_cross_system.cc.o.d"
+  "test_cross_system"
+  "test_cross_system.pdb"
+  "test_cross_system[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cross_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

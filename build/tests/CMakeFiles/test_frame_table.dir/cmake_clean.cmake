@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frame_table.dir/test_frame_table.cc.o"
+  "CMakeFiles/test_frame_table.dir/test_frame_table.cc.o.d"
+  "test_frame_table"
+  "test_frame_table.pdb"
+  "test_frame_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frame_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

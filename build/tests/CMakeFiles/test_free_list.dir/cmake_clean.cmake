@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_free_list.dir/test_free_list.cc.o"
+  "CMakeFiles/test_free_list.dir/test_free_list.cc.o.d"
+  "test_free_list"
+  "test_free_list.pdb"
+  "test_free_list[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_free_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

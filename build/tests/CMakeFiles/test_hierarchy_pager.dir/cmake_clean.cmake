@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hierarchy_pager.dir/test_hierarchy_pager.cc.o"
+  "CMakeFiles/test_hierarchy_pager.dir/test_hierarchy_pager.cc.o.d"
+  "test_hierarchy_pager"
+  "test_hierarchy_pager.pdb"
+  "test_hierarchy_pager[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hierarchy_pager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

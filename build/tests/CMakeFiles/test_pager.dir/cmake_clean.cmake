@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pager.dir/test_pager.cc.o"
+  "CMakeFiles/test_pager.dir/test_pager.cc.o.d"
+  "test_pager"
+  "test_pager.pdb"
+  "test_pager[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

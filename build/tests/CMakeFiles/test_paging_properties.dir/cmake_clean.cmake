@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paging_properties.dir/test_paging_properties.cc.o"
+  "CMakeFiles/test_paging_properties.dir/test_paging_properties.cc.o.d"
+  "test_paging_properties"
+  "test_paging_properties.pdb"
+  "test_paging_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paging_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rice_chain.dir/test_rice_chain.cc.o"
+  "CMakeFiles/test_rice_chain.dir/test_rice_chain.cc.o.d"
+  "test_rice_chain"
+  "test_rice_chain.pdb"
+  "test_rice_chain[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rice_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

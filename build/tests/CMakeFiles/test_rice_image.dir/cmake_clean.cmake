@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rice_image.dir/test_rice_image.cc.o"
+  "CMakeFiles/test_rice_image.dir/test_rice_image.cc.o.d"
+  "test_rice_image"
+  "test_rice_image.pdb"
+  "test_rice_image[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rice_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

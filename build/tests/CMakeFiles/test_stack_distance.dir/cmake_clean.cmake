@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stack_distance.dir/test_stack_distance.cc.o"
+  "CMakeFiles/test_stack_distance.dir/test_stack_distance.cc.o.d"
+  "test_stack_distance"
+  "test_stack_distance.pdb"
+  "test_stack_distance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stack_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_free_list[1]_include.cmake")
+include("/root/repo/build/tests/test_placement[1]_include.cmake")
+include("/root/repo/build/tests/test_allocators[1]_include.cmake")
+include("/root/repo/build/tests/test_buddy[1]_include.cmake")
+include("/root/repo/build/tests/test_rice_chain[1]_include.cmake")
+include("/root/repo/build/tests/test_compaction[1]_include.cmake")
+include("/root/repo/build/tests/test_naming[1]_include.cmake")
+include("/root/repo/build/tests/test_map[1]_include.cmake")
+include("/root/repo/build/tests/test_frame_table[1]_include.cmake")
+include("/root/repo/build/tests/test_replacement[1]_include.cmake")
+include("/root/repo/build/tests/test_pager[1]_include.cmake")
+include("/root/repo/build/tests/test_paging_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_seg[1]_include.cmake")
+include("/root/repo/build/tests/test_vm[1]_include.cmake")
+include("/root/repo/build/tests/test_sched[1]_include.cmake")
+include("/root/repo/build/tests/test_machines[1]_include.cmake")
+include("/root/repo/build/tests/test_hierarchy_pager[1]_include.cmake")
+include("/root/repo/build/tests/test_protection[1]_include.cmake")
+include("/root/repo/build/tests/test_rice_image[1]_include.cmake")
+include("/root/repo/build/tests/test_overlay[1]_include.cmake")
+include("/root/repo/build/tests/test_lifetime[1]_include.cmake")
+include("/root/repo/build/tests/test_design_space[1]_include.cmake")
+include("/root/repo/build/tests/test_cross_system[1]_include.cmake")
+include("/root/repo/build/tests/test_stack_distance[1]_include.cmake")

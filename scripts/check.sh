@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a quick throughput sanity run.
+#
+#   scripts/check.sh              # configure, build, ctest, bench --quick
+#   DSA_SANITIZE=address scripts/check.sh   # same, under ASan
+#
+# Works from any directory; BENCH_throughput.json lands at the repo root.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SANITIZE_ARGS=()
+if [[ -n "${DSA_SANITIZE:-}" ]]; then
+  SANITIZE_ARGS+=("-DDSA_SANITIZE=${DSA_SANITIZE}")
+fi
+
+cmake -B build -S . "${SANITIZE_ARGS[@]}"
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+./build/bench/bench_throughput --quick

@@ -9,6 +9,7 @@ namespace dsa {
 FreeList::FreeList(WordCount capacity) {
   if (capacity > 0) {
     holes_.emplace(0, capacity);
+    by_size_.emplace(capacity, 0);
     total_free_ = capacity;
   }
 }
@@ -34,13 +35,16 @@ void FreeList::Insert(Block hole) {
   std::uint64_t new_end = end;
   if (before != holes_.end() && before->first + before->second == start) {
     new_start = before->first;
+    by_size_.erase({before->second, before->first});
     holes_.erase(before);
   }
   if (after != holes_.end() && after->first == end) {
     new_end = after->first + after->second;
+    by_size_.erase({after->second, after->first});
     holes_.erase(after);
   }
   holes_.emplace(new_start, new_end - new_start);
+  by_size_.emplace(new_end - new_start, new_start);
   total_free_ += hole.size;
 }
 
@@ -56,12 +60,15 @@ void FreeList::TakeRange(PhysicalAddress addr, WordCount size) {
   const std::uint64_t hole_end = it->first + it->second;
   DSA_ASSERT(hole_start <= start && end <= hole_end, "range not inside a single hole");
 
+  by_size_.erase({it->second, it->first});
   holes_.erase(it);
   if (hole_start < start) {
     holes_.emplace(hole_start, start - hole_start);
+    by_size_.emplace(start - hole_start, hole_start);
   }
   if (end < hole_end) {
     holes_.emplace(end, hole_end - end);
+    by_size_.emplace(hole_end - end, end);
   }
   total_free_ -= size;
 }
@@ -79,11 +86,24 @@ bool FreeList::RangeIsFree(PhysicalAddress addr, WordCount size) const {
 }
 
 WordCount FreeList::largest_hole() const {
-  WordCount largest = 0;
-  for (const auto& [start, size] : holes_) {
-    largest = std::max(largest, size);
+  return by_size_.empty() ? 0 : by_size_.rbegin()->first;
+}
+
+std::optional<PhysicalAddress> FreeList::SmallestHoleAtLeast(WordCount size) const {
+  const auto it = by_size_.lower_bound({size, 0});
+  if (it == by_size_.end()) {
+    return std::nullopt;
   }
-  return largest;
+  return PhysicalAddress{it->second};
+}
+
+std::optional<PhysicalAddress> FreeList::LargestHoleAtLeast(WordCount size) const {
+  if (by_size_.empty() || by_size_.rbegin()->first < size) {
+    return std::nullopt;
+  }
+  // Lowest-addressed hole of the maximum size.
+  const auto it = by_size_.lower_bound({by_size_.rbegin()->first, 0});
+  return PhysicalAddress{it->second};
 }
 
 std::vector<WordCount> FreeList::HoleSizes() const {

@@ -4,11 +4,20 @@
 // Coalescing is the invariant that makes "numerous little sets of contiguous
 // locations" (the paper's definition of fragmentation) a meaningful metric:
 // two adjacent holes are always recorded as one.
+//
+// Alongside the address-ordered map (the coalescing source of truth) the
+// list maintains a size-ordered secondary index, so best-fit and worst-fit
+// placement resolve in O(log holes) instead of scanning every hole.  The
+// index orders by (size, address); ties on size therefore resolve to the
+// lowest address, exactly as an address-ordered scan would.
 
 #ifndef SRC_ALLOC_FREE_LIST_H_
 #define SRC_ALLOC_FREE_LIST_H_
 
 #include <map>
+#include <optional>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "src/alloc/block.h"
@@ -45,16 +54,28 @@ class FreeList {
   WordCount largest_hole() const;
   bool empty() const { return holes_.empty(); }
 
+  // O(log holes) placement queries over the size index.
+  //
+  // Best fit: start of the smallest hole of at least `size` words (lowest
+  // address among equally sized holes), or nullopt when nothing fits.
+  std::optional<PhysicalAddress> SmallestHoleAtLeast(WordCount size) const;
+  // Worst fit: start of the largest hole, provided it holds at least `size`
+  // words (lowest address among equally sized holes), or nullopt.
+  std::optional<PhysicalAddress> LargestHoleAtLeast(WordCount size) const;
+
   std::vector<WordCount> HoleSizes() const;
   std::vector<Block> Holes() const;
 
   void Clear() {
     holes_.clear();
+    by_size_.clear();
     total_free_ = 0;
   }
 
  private:
   HoleMap holes_;
+  // (size, start address) for every hole in holes_.
+  std::set<std::pair<WordCount, std::uint64_t>> by_size_;
   WordCount total_free_{0};
 };
 

@@ -55,39 +55,16 @@ void NextFitPlacement::NoteFree(PhysicalAddress addr, WordCount size) {
 }
 
 std::optional<PhysicalAddress> BestFitPlacement::Choose(const FreeList& holes, WordCount size) {
-  std::uint64_t examined = 0;
-  std::optional<PhysicalAddress> best;
-  WordCount best_size = 0;
-  for (const auto& [start, hole_size] : holes) {
-    ++examined;
-    if (hole_size < size) {
-      continue;
-    }
-    if (!best.has_value() || hole_size < best_size) {
-      best = PhysicalAddress{start};
-      best_size = hole_size;
-      if (hole_size == size) {
-        break;  // exact fit cannot be beaten
-      }
-    }
-  }
-  CountSearch(examined);
-  return best;
+  // One probe of the free list's size index (O(log holes)); ties on size
+  // resolve to the lowest address, exactly as the former full scan did.
+  CountSearch(1);
+  return holes.SmallestHoleAtLeast(size);
 }
 
 std::optional<PhysicalAddress> WorstFitPlacement::Choose(const FreeList& holes, WordCount size) {
-  std::uint64_t examined = 0;
-  std::optional<PhysicalAddress> worst;
-  WordCount worst_size = 0;
-  for (const auto& [start, hole_size] : holes) {
-    ++examined;
-    if (hole_size >= size && hole_size > worst_size) {
-      worst = PhysicalAddress{start};
-      worst_size = hole_size;
-    }
-  }
-  CountSearch(examined);
-  return worst;
+  // One probe of the size index for the largest hole (O(log holes)).
+  CountSearch(1);
+  return holes.LargestHoleAtLeast(size);
 }
 
 std::optional<PhysicalAddress> TwoEndedPlacement::Choose(const FreeList& holes, WordCount size) {

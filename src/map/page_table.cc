@@ -41,6 +41,16 @@ TranslationResult PageTableMapper::Translate(Name name, AccessKind kind, Cycles 
     return MakeUnexpected(fault);
   }
 
+  // Last-translation line: a repeat reference to the page most recently
+  // translated skips the table walk while reporting the identical cost the
+  // walk would have charged.
+  if (line_valid_ && tlb_.capacity() == 0 && page == line_page_) {
+    ++line_hits_;
+    cost = costs_.core_reference;
+    CountTranslation(cost);
+    return Translation{PhysicalAddress{line_frame_ * page_words_ + offset}, cost, false};
+  }
+
   // Associative probe first, when the facility exists.
   if (tlb_.capacity() > 0) {
     cost += costs_.associative_search;
@@ -61,15 +71,26 @@ TranslationResult PageTableMapper::Translate(Name name, AccessKind kind, Cycles 
   if (tlb_.capacity() > 0) {
     tlb_.Insert(page.value, entry.frame.value, now);
   }
+  line_valid_ = true;
+  line_page_ = page;
+  line_frame_ = entry.frame.value;
   CountTranslation(cost);
   return Translation{PhysicalAddress{entry.frame.value * page_words_ + offset}, cost, false};
 }
 
-void PageTableMapper::Map(PageId page, FrameId frame) { table_.Map(page, frame); }
+void PageTableMapper::Map(PageId page, FrameId frame) {
+  table_.Map(page, frame);
+  if (line_valid_ && line_page_ == page) {
+    line_valid_ = false;
+  }
+}
 
 void PageTableMapper::Unmap(PageId page) {
   table_.Unmap(page);
   tlb_.Invalidate(page.value);
+  if (line_valid_ && line_page_ == page) {
+    line_valid_ = false;
+  }
 }
 
 AtlasPageRegisterMapper::AtlasPageRegisterMapper(WordCount page_words, std::size_t frames,
@@ -87,13 +108,14 @@ TranslationResult AtlasPageRegisterMapper::Translate(Name name, AccessKind kind,
   const PageId page = PageOf(name);
   const WordCount offset = name.value & (page_words_ - 1);
   // The associative search happens in parallel across all registers: one
-  // fixed hardware cost whether it hits or traps.
+  // fixed hardware cost whether it hits or traps.  The reverse index makes
+  // simulating that parallel search O(1) instead of a sweep of every
+  // register.
   const Cycles cost = costs_.associative_search;
-  for (std::size_t f = 0; f < registers_.size(); ++f) {
-    if (registers_[f].has_value() && registers_[f]->value == page.value) {
-      CountTranslation(cost);
-      return Translation{PhysicalAddress{f * page_words_ + offset}, cost, true};
-    }
+  const auto it = frame_of_page_.find(page.value);
+  if (it != frame_of_page_.end()) {
+    CountTranslation(cost);
+    return Translation{PhysicalAddress{it->second * page_words_ + offset}, cost, true};
   }
   Fault fault{FaultKind::kPageNotPresent, name, {}, page, cost};
   CountFault(cost);
@@ -102,11 +124,18 @@ TranslationResult AtlasPageRegisterMapper::Translate(Name name, AccessKind kind,
 
 void AtlasPageRegisterMapper::LoadFrame(FrameId frame, PageId page) {
   DSA_ASSERT(frame.value < registers_.size(), "frame out of range");
+  if (registers_[frame.value].has_value()) {
+    frame_of_page_.erase(registers_[frame.value]->value);
+  }
   registers_[frame.value] = page;
+  frame_of_page_[page.value] = frame.value;
 }
 
 void AtlasPageRegisterMapper::ClearFrame(FrameId frame) {
   DSA_ASSERT(frame.value < registers_.size(), "frame out of range");
+  if (registers_[frame.value].has_value()) {
+    frame_of_page_.erase(registers_[frame.value]->value);
+  }
   registers_[frame.value].reset();
 }
 

@@ -7,6 +7,7 @@
 #define SRC_MAP_PAGE_TABLE_H_
 
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "src/core/types.h"
@@ -64,12 +65,25 @@ class PageTableMapper : public AddressMapper {
   PageId PageOf(Name name) const { return PageId{name.value >> offset_bits_}; }
   WordCount OffsetOf(Name name) const { return name.value & (page_words_ - 1); }
 
+  // Resident hits served from the last-translation line (see below).
+  std::uint64_t line_hits() const { return line_hits_; }
+
  private:
   WordCount page_words_;
   int offset_bits_;
   PageTable table_;
   AssociativeMemory tlb_;
   MappingCostModel costs_;
+  // Software last-translation line: memoizes the most recent successful
+  // translation so repeated references to the same page skip the table walk.
+  // Invalidated whenever the page's mapping changes (Map/Unmap).  Only
+  // consulted when no associative memory is configured — with a TLB the TLB
+  // is the modeled fast path and its recency/hit statistics must keep
+  // advancing exactly as the hardware's would.
+  bool line_valid_{false};
+  PageId line_page_{};
+  std::uint64_t line_frame_{0};
+  std::uint64_t line_hits_{0};
 };
 
 // The Ferranti ATLAS scheme: one page-address register per page frame; the
@@ -95,6 +109,10 @@ class AtlasPageRegisterMapper : public AddressMapper {
   WordCount page_words_;
   int offset_bits_;
   std::vector<std::optional<PageId>> registers_;
+  // Reverse index (page -> frame) kept coherent with the registers.  The
+  // modeled hardware searches every register in parallel at one fixed cost;
+  // the index only makes the *simulation* of that search O(1).
+  std::unordered_map<std::uint64_t, std::size_t> frame_of_page_;
   MappingCostModel costs_;
 };
 

@@ -4,13 +4,17 @@
 
 namespace dsa {
 
-FrameTable::FrameTable(std::size_t frames) : frames_(frames) {
+FrameTable::FrameTable(std::size_t frames)
+    : frames_(frames), fifo_(frames + 1), lru_(frames + 1) {
   DSA_ASSERT(frames > 0, "frame table needs at least one frame");
   free_.reserve(frames);
   // Stack ordered so the lowest index pops first.
   for (std::size_t f = frames; f > 0; --f) {
     free_.push_back(FrameId{f - 1});
   }
+  // Both lists start empty: the sentinel points at itself.
+  fifo_[frames] = Link{frames, frames};
+  lru_[frames] = Link{frames, frames};
 }
 
 const FrameInfo& FrameTable::info(FrameId frame) const {
@@ -21,6 +25,37 @@ const FrameInfo& FrameTable::info(FrameId frame) const {
 FrameInfo& FrameTable::MutableInfo(FrameId frame) {
   DSA_ASSERT(frame.value < frames_.size(), "frame out of range");
   return frames_[frame.value];
+}
+
+void FrameTable::ListRemove(std::vector<Link>& list, std::size_t node) {
+  list[list[node].prev].next = list[node].next;
+  list[list[node].next].prev = list[node].prev;
+}
+
+void FrameTable::ListPushBack(std::vector<Link>& list, std::size_t node) {
+  const std::size_t sentinel = frames_.size();
+  list[node].prev = list[sentinel].prev;
+  list[node].next = sentinel;
+  list[list[sentinel].prev].next = node;
+  list[sentinel].prev = node;
+}
+
+std::optional<FrameId> FrameTable::FirstUnpinned(const std::vector<Link>& list) const {
+  const std::size_t sentinel = frames_.size();
+  for (std::size_t node = list[sentinel].next; node != sentinel; node = list[node].next) {
+    if (!frames_[node].pinned) {
+      return FrameId{node};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<FrameId> FrameTable::OldestLoadedCandidate() const {
+  return FirstUnpinned(fifo_);
+}
+
+std::optional<FrameId> FrameTable::LeastRecentlyUsedCandidate() const {
+  return FirstUnpinned(lru_);
 }
 
 std::optional<FrameId> FrameTable::TakeFreeFrame() {
@@ -41,6 +76,8 @@ void FrameTable::Load(FrameId frame, PageId page, Cycles now) {
   info.load_time = now;
   info.last_use = now;
   ++occupied_;
+  ListPushBack(fifo_, frame.value);
+  ListPushBack(lru_, frame.value);
 }
 
 void FrameTable::Evict(FrameId frame) {
@@ -50,6 +87,8 @@ void FrameTable::Evict(FrameId frame) {
   info = FrameInfo{};
   free_.push_back(frame);
   --occupied_;
+  ListRemove(fifo_, frame.value);
+  ListRemove(lru_, frame.value);
 }
 
 void FrameTable::Touch(FrameId frame, Cycles now, bool write, Cycles idle_threshold) {
@@ -66,15 +105,26 @@ void FrameTable::Touch(FrameId frame, Cycles now, bool write, Cycles idle_thresh
     info.modified = true;
   }
   info.last_use = now;
+  ListRemove(lru_, frame.value);
+  ListPushBack(lru_, frame.value);
 }
 
 void FrameTable::Pin(FrameId frame) {
   FrameInfo& info = MutableInfo(frame);
   DSA_ASSERT(info.occupied, "pinning an empty frame");
+  if (!info.pinned) {
+    ++pinned_;
+  }
   info.pinned = true;
 }
 
-void FrameTable::Unpin(FrameId frame) { MutableInfo(frame).pinned = false; }
+void FrameTable::Unpin(FrameId frame) {
+  FrameInfo& info = MutableInfo(frame);
+  if (info.pinned) {
+    --pinned_;
+  }
+  info.pinned = false;
+}
 
 void FrameTable::ClearUse(FrameId frame) { MutableInfo(frame).use = false; }
 

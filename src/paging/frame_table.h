@@ -7,6 +7,14 @@
 // in order to guide the actions of a replacement strategy."  The `use` and
 // `modified` bits here are those sensors; replacement policies may read and
 // clear them.
+//
+// Besides the sensors, the table maintains two intrusive orderings over the
+// occupied frames — a load-order (FIFO) list and a recency (LRU) list — so
+// that the corresponding replacement policies choose victims in O(1) instead
+// of scanning every frame.  Both lists are kept coherent by Load / Touch /
+// Evict; ties that a full scan would break by frame index cannot arise as
+// long as the simulated clock is monotone per reference (which the pager
+// guarantees), so list order and scan order agree.
 
 #ifndef SRC_PAGING_FRAME_TABLE_H_
 #define SRC_PAGING_FRAME_TABLE_H_
@@ -35,6 +43,7 @@ class FrameTable {
 
   std::size_t frame_count() const { return frames_.size(); }
   std::size_t occupied_count() const { return occupied_; }
+  std::size_t pinned_count() const { return pinned_; }
   // Frames available to TakeFreeFrame (taken-but-not-yet-loaded frames count
   // as neither free nor occupied).
   std::size_t free_count() const { return free_.size(); }
@@ -67,12 +76,36 @@ class FrameTable {
   // Occupied, unpinned frames — the candidate set for any replacement.
   std::vector<FrameId> EvictionCandidates() const;
 
+  // True iff EvictionCandidates() would be non-empty, in O(1).
+  bool HasEvictionCandidates() const { return occupied_ > pinned_; }
+
+  // O(1) victim queries over the intrusive lists (plus a skip per pinned
+  // frame at the head).  Returns the occupied, unpinned frame with the
+  // earliest load time / least recent use, or nullopt when none exists.
+  std::optional<FrameId> OldestLoadedCandidate() const;
+  std::optional<FrameId> LeastRecentlyUsedCandidate() const;
+
  private:
+  // Intrusive doubly-linked list over frame indices with a sentinel node at
+  // index frame_count(); head.next is the eviction end (oldest), tail is the
+  // most recent.
+  struct Link {
+    std::size_t prev{0};
+    std::size_t next{0};
+  };
+
   FrameInfo& MutableInfo(FrameId frame);
+
+  void ListRemove(std::vector<Link>& list, std::size_t node);
+  void ListPushBack(std::vector<Link>& list, std::size_t node);
+  std::optional<FrameId> FirstUnpinned(const std::vector<Link>& list) const;
 
   std::vector<FrameInfo> frames_;
   std::vector<FrameId> free_;
   std::size_t occupied_{0};
+  std::size_t pinned_{0};
+  std::vector<Link> fifo_;  // load order; size frame_count()+1, last is sentinel
+  std::vector<Link> lru_;   // recency order; same layout
 };
 
 }  // namespace dsa

@@ -191,7 +191,7 @@ PageAccessOutcome Pager::Access(PageId page, AccessKind kind, Cycles now) {
   if (config_.keep_one_frame_vacant && frames_.free_count() == 0) {
     const bool was_pinned = frames_.info(outcome.frame).pinned;
     frames_.Pin(outcome.frame);
-    if (!frames_.EvictionCandidates().empty()) {
+    if (frames_.HasEvictionCandidates()) {
       EvictOne(arrival);
     }
     if (!was_pinned) {

@@ -1,0 +1,39 @@
+// Scan-based reference implementations of FIFO and LRU replacement.
+//
+// These are the original O(frames)-per-victim implementations, retained
+// verbatim after the frame table grew its intrusive O(1) lists: they walk
+// the full candidate set and take the argmin of load_time / last_use,
+// breaking ties by lowest frame index.  They exist for two reasons:
+//
+//   1. Golden parity — tests/test_replacement_parity.cc proves the O(1)
+//      policies produce identical victim sequences and fault counts.
+//   2. Baseline throughput — bench/bench_throughput.cc replays the same
+//      trace through both engines and reports the speedup, so the perf
+//      trajectory of this hot path stays measurable forever.
+//
+// Production code should use the policies in replacement_simple.h.
+
+#ifndef SRC_PAGING_REPLACEMENT_NAIVE_H_
+#define SRC_PAGING_REPLACEMENT_NAIVE_H_
+
+#include "src/paging/replacement.h"
+
+namespace dsa {
+
+// Full scan for the earliest load_time among EvictionCandidates().
+class ScanFifoReplacement : public ReplacementPolicy {
+ public:
+  FrameId ChooseVictim(FrameTable* frames, Cycles now) override;
+  ReplacementStrategyKind kind() const override { return ReplacementStrategyKind::kFifo; }
+};
+
+// Full scan for the earliest last_use among EvictionCandidates().
+class ScanLruReplacement : public ReplacementPolicy {
+ public:
+  FrameId ChooseVictim(FrameTable* frames, Cycles now) override;
+  ReplacementStrategyKind kind() const override { return ReplacementStrategyKind::kLru; }
+};
+
+}  // namespace dsa
+
+#endif  // SRC_PAGING_REPLACEMENT_NAIVE_H_

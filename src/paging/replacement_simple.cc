@@ -6,28 +6,20 @@ namespace dsa {
 
 FrameId FifoReplacement::ChooseVictim(FrameTable* frames, Cycles now) {
   (void)now;
-  const auto candidates = frames->EvictionCandidates();
-  DSA_ASSERT(!candidates.empty(), "no eviction candidates");
-  FrameId victim = candidates.front();
-  for (FrameId f : candidates) {
-    if (frames->info(f).load_time < frames->info(victim).load_time) {
-      victim = f;
-    }
-  }
-  return victim;
+  // O(1): the frame table's intrusive load-order list keeps the longest-
+  // resident candidate at its head.
+  const auto victim = frames->OldestLoadedCandidate();
+  DSA_ASSERT(victim.has_value(), "no eviction candidates");
+  return *victim;
 }
 
 FrameId LruReplacement::ChooseVictim(FrameTable* frames, Cycles now) {
   (void)now;
-  const auto candidates = frames->EvictionCandidates();
-  DSA_ASSERT(!candidates.empty(), "no eviction candidates");
-  FrameId victim = candidates.front();
-  for (FrameId f : candidates) {
-    if (frames->info(f).last_use < frames->info(victim).last_use) {
-      victim = f;
-    }
-  }
-  return victim;
+  // O(1): the frame table's intrusive recency list keeps the least recently
+  // used candidate at its head.
+  const auto victim = frames->LeastRecentlyUsedCandidate();
+  DSA_ASSERT(victim.has_value(), "no eviction candidates");
+  return *victim;
 }
 
 FrameId RandomReplacement::ChooseVictim(FrameTable* frames, Cycles now) {
@@ -40,6 +32,12 @@ FrameId RandomReplacement::ChooseVictim(FrameTable* frames, Cycles now) {
 FrameId ClockReplacement::ChooseVictim(FrameTable* frames, Cycles now) {
   (void)now;
   const std::size_t n = frames->frame_count();
+  // The hand survives across decisions, so a reset or resize of the system
+  // can leave it pointing past the current table; fold it back in range
+  // rather than indexing out of bounds.
+  if (hand_ >= n) {
+    hand_ = 0;
+  }
   // Two full sweeps guarantee termination: the first pass may clear every
   // use sensor, the second must then find a victim.
   for (std::size_t step = 0; step < 2 * n + 1; ++step) {

@@ -1,11 +1,42 @@
 #include "src/paging/stack_distance.h"
 
-#include <list>
 #include <unordered_map>
 
 #include "src/core/assert.h"
 
 namespace dsa {
+
+namespace {
+
+// Fenwick (binary-indexed) tree over reference positions.  Position i holds
+// 1 exactly when reference i is the *most recent* access of its page, so a
+// range sum counts distinct pages touched in that span — the quantity the
+// LRU stack depth is made of.
+class FenwickTree {
+ public:
+  explicit FenwickTree(std::size_t size) : tree_(size + 1, 0) {}
+
+  // Adds `delta` at 1-based position `i`.
+  void Add(std::size_t i, std::int64_t delta) {
+    for (; i < tree_.size(); i += i & (~i + 1)) {
+      tree_[i] += delta;
+    }
+  }
+
+  // Sum of positions [1, i].
+  std::int64_t PrefixSum(std::size_t i) const {
+    std::int64_t sum = 0;
+    for (; i > 0; i -= i & (~i + 1)) {
+      sum += tree_[i];
+    }
+    return sum;
+  }
+
+ private:
+  std::vector<std::int64_t> tree_;
+};
+
+}  // namespace
 
 std::uint64_t StackDistanceProfile::FaultsAt(std::size_t frames) const {
   DSA_ASSERT(frames > 0, "memory must hold at least one frame");
@@ -40,30 +71,31 @@ StackDistanceProfile ComputeStackDistances(const std::vector<PageId>& refs) {
   StackDistanceProfile profile;
   profile.total_references = refs.size();
 
-  // The LRU stack: most recently used first.  The map gives O(1) lookup of a
-  // page's node; depth is found by walking, which is O(n * distinct) — fine
-  // for analysis workloads and exact by construction.
-  std::list<std::uint64_t> stack;
-  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> where;
+  // A page's stack depth is 1 plus the number of *distinct* pages accessed
+  // since its previous access.  Marking only the latest access of each page
+  // in the Fenwick tree makes that a range sum over (previous, current):
+  // O(log n) per reference instead of walking the explicit LRU stack.
+  FenwickTree latest_marks(refs.size());
+  std::unordered_map<std::uint64_t, std::size_t> last_position;  // page -> 1-based position
 
-  for (const PageId page : refs) {
-    auto it = where.find(page.value);
-    if (it == where.end()) {
+  for (std::size_t i = 1; i <= refs.size(); ++i) {
+    const PageId page = refs[i - 1];
+    auto it = last_position.find(page.value);
+    if (it == last_position.end()) {
       ++profile.cold_references;
+      last_position.emplace(page.value, i);
     } else {
-      // Depth of the page in the stack (1-based).
-      std::size_t depth = 1;
-      for (auto walk = stack.begin(); walk != it->second; ++walk) {
-        ++depth;
-      }
+      const std::size_t previous = it->second;
+      const std::size_t depth = static_cast<std::size_t>(
+          latest_marks.PrefixSum(i - 1) - latest_marks.PrefixSum(previous)) + 1;
       if (profile.distance_counts.size() < depth) {
         profile.distance_counts.resize(depth, 0);
       }
       ++profile.distance_counts[depth - 1];
-      stack.erase(it->second);
+      latest_marks.Add(previous, -1);
+      it->second = i;
     }
-    stack.push_front(page.value);
-    where[page.value] = stack.begin();
+    latest_marks.Add(i, +1);
   }
   return profile;
 }

@@ -48,18 +48,20 @@ TEST(BestFitTest, TakesSmallestSufficientHole) {
   EXPECT_EQ(policy.Choose(holes, 5), PhysicalAddress{0});
 }
 
-TEST(BestFitTest, ExactFitShortCircuits) {
+TEST(BestFitTest, ExactFitFoundInOneProbe) {
   FreeList holes = ThreeHoles();
   BestFitPlacement policy;
   EXPECT_EQ(policy.Choose(holes, 10), PhysicalAddress{0});
-  EXPECT_EQ(policy.holes_examined(), 1u);  // stopped at the exact fit
+  EXPECT_EQ(policy.holes_examined(), 1u);
 }
 
-TEST(BestFitTest, ScansEverythingOtherwise) {
+TEST(BestFitTest, IndexedSearchIsOneProbeRegardlessOfHoleCount) {
+  // Best fit resolves through the free list's size index: one probe per
+  // request, never a scan over every hole.
   FreeList holes = ThreeHoles();
   BestFitPlacement policy;
   policy.Choose(holes, 15);
-  EXPECT_EQ(policy.holes_examined(), 3u);
+  EXPECT_EQ(policy.holes_examined(), 1u);
 }
 
 TEST(WorstFitTest, TakesLargestHole) {

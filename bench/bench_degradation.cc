@@ -1,0 +1,220 @@
+// Graceful-degradation harness: replay one fixed trace while core frames
+// retire on a schedule, and watch the engine degrade instead of die.
+//
+// A 256-frame LRU pager with a fault injector (small transient-transfer and
+// permanent-slot rates) replays a fixed Zipf trace in stages.  Before each
+// stage a batch of frames is taken out of service via Pager::RetireFrame —
+// the externally-reported parity failure path — so the surviving-frame count
+// steps down from 256 to 32.  Per stage the bench emits the fault rate,
+// stall time, and space-time product (Fig. 3) against surviving frames; the
+// cumulative ReliabilityStats (retries, relocations, retired frames, lost
+// pages) land at the end.
+//
+// Every value in BENCH_degradation.json is a function of (seed, trace,
+// schedule) only — no wall-clock readings — so reruns are byte-identical.
+//
+// Usage: bench_degradation [--quick] [--out PATH]
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/mem/fault_injection.h"
+#include "src/paging/pager.h"
+#include "src/paging/replacement_simple.h"
+#include "src/trace/synthetic.h"
+#include "src/vm/space_time.h"
+
+namespace {
+
+constexpr dsa::WordCount kPageWords = 64;
+constexpr std::size_t kFrames = 256;
+constexpr std::size_t kPages = 2048;  // 8x-overcommitted core
+
+// Surviving-frame target at the start of each stage.
+constexpr std::size_t kStageFrames[] = {256, 224, 192, 160, 128, 96, 64, 32};
+constexpr std::size_t kStages = sizeof(kStageFrames) / sizeof(kStageFrames[0]);
+
+struct StageResult {
+  std::size_t surviving_frames{0};
+  std::uint64_t references{0};
+  std::uint64_t faults{0};
+  std::uint64_t failed_accesses{0};
+  dsa::Cycles wait_cycles{0};
+  dsa::SpaceTime space_time;
+  double FaultRate() const {
+    return references == 0 ? 0.0
+                           : static_cast<double>(faults) / static_cast<double>(references);
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_degradation.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const std::size_t total_refs = quick ? 80000 : 800000;
+  const std::size_t stage_refs = total_refs / kStages;
+
+  dsa::ZipfTraceParams zipf_params;
+  zipf_params.extent = kPages * kPageWords;
+  zipf_params.length = total_refs;
+  zipf_params.seed = 1967;
+  const std::vector<dsa::PageId> page_string =
+      MakeZipfTrace(zipf_params).PageString(kPageWords);
+
+  dsa::BackingStore backing(
+      dsa::MakeDrumLevel("drum", kPages * kPageWords, /*word_time=*/2,
+                         /*rotational_delay=*/3000));
+  dsa::TransferChannel channel;
+
+  dsa::FaultInjectorConfig fault_config;
+  fault_config.seed = 0x19670de9ULL;  // fixed: reruns are byte-identical
+  fault_config.max_retries = 3;
+  fault_config.rates.transient_transfer = 0.002;
+  fault_config.rates.permanent_slot = 0.0002;
+  dsa::FaultInjector injector(fault_config);
+
+  dsa::PagerConfig pager_config;
+  pager_config.page_words = kPageWords;
+  pager_config.frames = kFrames;
+  dsa::Pager pager(pager_config, &backing, &channel,
+                   std::make_unique<dsa::LruReplacement>(),
+                   std::make_unique<dsa::DemandFetch>(), nullptr, &injector);
+
+  std::printf("== bench_degradation: staged frame retirement under fault injection ==\n");
+  std::printf("   frames=%zu page_words=%llu pages=%zu refs=%zu (%s)\n", kFrames,
+              static_cast<unsigned long long>(kPageWords), kPages, total_refs,
+              quick ? "quick" : "full");
+  std::printf("   rates: transient=%g permanent_slot=%g max_retries=%d\n\n",
+              fault_config.rates.transient_transfer, fault_config.rates.permanent_slot,
+              fault_config.max_retries);
+  std::printf("  %7s %10s %9s %7s %11s %14s %9s\n", "frames", "refs", "faults", "f-rate",
+              "wait-cyc", "space-time", "failed");
+
+  dsa::Cycles now = 0;
+  std::size_t next_ref = 0;
+  std::vector<StageResult> stages;
+  for (std::size_t stage = 0; stage < kStages; ++stage) {
+    // Retire frames down to this stage's target (lowest frame ids first; the
+    // pager evicts any resident page and keeps running).
+    const std::size_t target = kStageFrames[stage];
+    for (std::size_t f = 0; f < kFrames && pager.frames().usable_frame_count() > target; ++f) {
+      pager.RetireFrame(dsa::FrameId{f}, now);
+    }
+
+    StageResult result;
+    result.surviving_frames = pager.frames().usable_frame_count();
+    const std::uint64_t faults_before = pager.stats().faults;
+    const std::uint64_t failed_before = pager.stats().reliability.failed_accesses;
+    const dsa::Cycles wait_before = pager.stats().wait_cycles;
+    dsa::SpaceTimeAccumulator space_time;
+
+    const std::size_t end = std::min(next_ref + stage_refs, page_string.size());
+    for (; next_ref < end; ++next_ref) {
+      // One reference in four writes, so dirty evictions exercise the
+      // write-back retry/relocation paths too.
+      const dsa::AccessKind kind =
+          next_ref % 4 == 0 ? dsa::AccessKind::kWrite : dsa::AccessKind::kRead;
+      const auto outcome = pager.Access(page_string[next_ref], kind, now);
+      const dsa::Cycles wait =
+          outcome.has_value() ? outcome->wait_cycles : outcome.error().wait_cycles;
+      space_time.Accumulate(pager.ResidentWords(), 1, /*waiting=*/false);
+      if (wait > 0) {
+        space_time.Accumulate(pager.ResidentWords(), wait, /*waiting=*/true);
+      }
+      now += wait + 1;
+      ++result.references;
+    }
+    result.faults = pager.stats().faults - faults_before;
+    result.failed_accesses = pager.stats().reliability.failed_accesses - failed_before;
+    result.wait_cycles = pager.stats().wait_cycles - wait_before;
+    result.space_time = space_time.product();
+    stages.push_back(result);
+
+    std::printf("  %7zu %10llu %9llu %7.4f %11llu %14.3e %9llu\n", result.surviving_frames,
+                static_cast<unsigned long long>(result.references),
+                static_cast<unsigned long long>(result.faults), result.FaultRate(),
+                static_cast<unsigned long long>(result.wait_cycles),
+                result.space_time.total(),
+                static_cast<unsigned long long>(result.failed_accesses));
+  }
+
+  const dsa::ReliabilityStats& rel = pager.stats().reliability;
+  std::printf("\n  reliability: %s\n", rel.Describe().c_str());
+  std::printf("  retired=%llu residual=%llu (of %zu)\n",
+              static_cast<unsigned long long>(rel.retired_frames),
+              static_cast<unsigned long long>(rel.residual_frames), kFrames);
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"bench_degradation\",\n  \"quick\": %s,\n",
+               quick ? "true" : "false");
+  std::fprintf(out,
+               "  \"config\": {\"frames\": %zu, \"page_words\": %llu, \"pages\": %zu, "
+               "\"replacement\": \"lru\", \"trace\": \"zipf\", \"trace_seed\": %llu, "
+               "\"injector_seed\": %llu, \"max_retries\": %d, "
+               "\"transient_rate\": %g, \"permanent_slot_rate\": %g},\n",
+               kFrames, static_cast<unsigned long long>(kPageWords), kPages,
+               static_cast<unsigned long long>(zipf_params.seed),
+               static_cast<unsigned long long>(fault_config.seed), fault_config.max_retries,
+               fault_config.rates.transient_transfer, fault_config.rates.permanent_slot);
+  std::fprintf(out, "  \"stages\": [\n");
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    const StageResult& s = stages[i];
+    std::fprintf(out,
+                 "    {\"surviving_frames\": %zu, \"references\": %llu, \"faults\": %llu, "
+                 "\"fault_rate\": %.6f, \"failed_accesses\": %llu, \"wait_cycles\": %llu, "
+                 "\"space_time_active\": %.1f, \"space_time_waiting\": %.1f}%s\n",
+                 s.surviving_frames, static_cast<unsigned long long>(s.references),
+                 static_cast<unsigned long long>(s.faults), s.FaultRate(),
+                 static_cast<unsigned long long>(s.failed_accesses),
+                 static_cast<unsigned long long>(s.wait_cycles), s.space_time.active,
+                 s.space_time.waiting, i + 1 < stages.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out,
+               "  \"reliability\": {\"transient_errors\": %llu, \"retries\": %llu, "
+               "\"retry_cycles\": %llu, \"slot_failures\": %llu, \"relocations\": %llu, "
+               "\"spill_relocations\": %llu, \"frame_failures\": %llu, "
+               "\"retired_frames\": %llu, \"residual_frames\": %llu, "
+               "\"failed_accesses\": %llu, \"lost_pages\": %llu}\n}\n",
+               static_cast<unsigned long long>(rel.transient_errors),
+               static_cast<unsigned long long>(rel.retries),
+               static_cast<unsigned long long>(rel.retry_cycles),
+               static_cast<unsigned long long>(rel.slot_failures),
+               static_cast<unsigned long long>(rel.relocations),
+               static_cast<unsigned long long>(rel.spill_relocations),
+               static_cast<unsigned long long>(rel.frame_failures),
+               static_cast<unsigned long long>(rel.retired_frames),
+               static_cast<unsigned long long>(rel.residual_frames),
+               static_cast<unsigned long long>(rel.failed_accesses),
+               static_cast<unsigned long long>(rel.lost_pages));
+  std::fclose(out);
+  std::printf("  wrote %s\n", out_path.c_str());
+
+  // The degradation run must end with the scheduled capacity still in
+  // service and every stage completed without an abort.
+  const bool ok = rel.retired_frames == kFrames - kStageFrames[kStages - 1] &&
+                  rel.residual_frames == kStageFrames[kStages - 1];
+  if (!ok) {
+    std::fprintf(stderr, "retirement schedule not honoured\n");
+  }
+  return ok ? 0 : 1;
+}

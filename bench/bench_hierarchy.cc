@@ -39,7 +39,7 @@ RunResult Drive(const dsa::HierarchyPagerConfig& config, const dsa::ReferenceTra
   dsa::HierarchyPager pager(config, std::make_unique<dsa::LruReplacement>());
   dsa::Cycles now = 0;
   for (const dsa::Reference& ref : trace.refs) {
-    now += pager.Access(dsa::PageId{ref.name.value / config.page_words}, ref.kind, now) + 1;
+    now += *pager.Access(dsa::PageId{ref.name.value / config.page_words}, ref.kind, now) + 1;
   }
   return RunResult{pager.stats()};
 }

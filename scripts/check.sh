@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus a quick throughput sanity run.
+# Tier-1 verification plus quick throughput and degradation sanity runs.
 #
-#   scripts/check.sh              # configure, build, ctest, bench --quick
+#   scripts/check.sh              # configure, build, ctest, benches --quick
 #   DSA_SANITIZE=address scripts/check.sh   # same, under ASan
 #
-# Works from any directory; BENCH_throughput.json lands at the repo root.
+# Works from any directory; BENCH_throughput.json and BENCH_degradation.json
+# land at the repo root.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -18,3 +19,4 @@ cmake -B build -S . "${SANITIZE_ARGS[@]}"
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 ./build/bench/bench_throughput --quick
+./build/bench/bench_degradation --quick

@@ -62,11 +62,31 @@ class Expected {
   const T* operator->() const { return &value(); }
 
   // Returns the contained value, or `fallback` on error.
-  T value_or(T fallback) const { return has_value() ? std::get<0>(storage_) : fallback; }
+  T value_or(T fallback) const& { return has_value() ? std::get<0>(storage_) : fallback; }
+  // Rvalue overload: moves the contained value out instead of copying, so
+  // `FallibleOp().value_or(default)` costs no copy for heavy T.
+  T value_or(T fallback) && {
+    return has_value() ? std::move(std::get<0>(storage_)) : std::move(fallback);
+  }
 
  private:
   std::variant<T, E> storage_;
 };
+
+// Success carrier for operations that produce no value, only an error; the
+// dsa analogue of absl::Status.  `Status<E>` is Expected<Monostate, E>, and
+// `Ok()` is its success value:
+//
+//   Status<PageAccessError> WriteBack(...);
+//   if (auto status = WriteBack(...); !status) { handle(status.error()); }
+struct Monostate {
+  friend bool operator==(Monostate, Monostate) { return true; }
+};
+
+template <typename E>
+using Status = Expected<Monostate, E>;
+
+inline Monostate Ok() { return Monostate{}; }
 
 }  // namespace dsa
 

@@ -1,9 +1,17 @@
 #include "src/mem/backing_store.h"
 
+#include "src/core/assert.h"
+
 namespace dsa {
 
 Cycles BackingStore::Store(SlotId slot, std::vector<Word> data) {
+  DSA_ASSERT(!IsBad(slot), "storing to a retired slot");
   const Cycles cost = level_.TransferTime(data.size());
+  auto it = slots_.find(slot);
+  if (it != slots_.end()) {
+    occupied_words_ -= it->second.size();
+  }
+  occupied_words_ += data.size();
   slots_[slot] = std::move(data);
   ++stores_;
   busy_cycles_ += cost;
@@ -11,6 +19,7 @@ Cycles BackingStore::Store(SlotId slot, std::vector<Word> data) {
 }
 
 Cycles BackingStore::Fetch(SlotId slot, WordCount words, std::vector<Word>* out) const {
+  DSA_ASSERT(!IsBad(slot), "fetching from a retired slot");
   const Cycles cost = level_.TransferTime(words);
   auto it = slots_.find(slot);
   if (it == slots_.end()) {
@@ -24,12 +33,24 @@ Cycles BackingStore::Fetch(SlotId slot, WordCount words, std::vector<Word>* out)
   return cost;
 }
 
-WordCount BackingStore::OccupiedWords() const {
-  WordCount total = 0;
-  for (const auto& [slot, data] : slots_) {
-    total += data.size();
+void BackingStore::Discard(SlotId slot) {
+  auto it = slots_.find(slot);
+  if (it != slots_.end()) {
+    occupied_words_ -= it->second.size();
+    slots_.erase(it);
   }
-  return total;
+}
+
+void BackingStore::MarkBad(SlotId slot) {
+  Discard(slot);
+  bad_slots_.insert(slot);
+}
+
+std::optional<BackingStore::SlotId> BackingStore::AllocateSpareSlot(WordCount words) {
+  if (!HasRoomFor(words)) {
+    return std::nullopt;
+  }
+  return next_spare_++;
 }
 
 }  // namespace dsa

@@ -3,12 +3,19 @@
 // Content is kept so transfers round-trip; timing comes from the level spec.
 // Slots are sized by the caller (a page for paging systems, a whole segment
 // for the B5000/Rice machines).
+//
+// Fault injection (src/mem/fault_injection.h) can retire individual slots as
+// permanently bad — a drum sector whose parity check fails for good.  A bad
+// slot keeps refusing reads and writes; the resilience layer relocates its
+// page to a spare slot allocated here, above the caller's id range.
 
 #ifndef SRC_MEM_BACKING_STORE_H_
 #define SRC_MEM_BACKING_STORE_H_
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/core/types.h"
@@ -19,6 +26,10 @@ namespace dsa {
 class BackingStore {
  public:
   using SlotId = std::uint64_t;
+
+  // Spare slots hand out ids from here upward so they can never collide
+  // with caller-chosen slot ids (page / segment numbers).
+  static constexpr SlotId kSpareSlotBase = SlotId{1} << 62;
 
   explicit BackingStore(StorageLevel level) : level_(std::move(level)) {}
 
@@ -36,10 +47,26 @@ class BackingStore {
   Cycles Fetch(SlotId slot, WordCount words, std::vector<Word>* out) const;
 
   // Drops a slot without a transfer (a destroyed segment's backing copy).
-  void Discard(SlotId slot) { slots_.erase(slot); }
+  void Discard(SlotId slot);
+
+  // Retires `slot` permanently: its content is lost and Store/Fetch against
+  // it must not be issued again (the resilience layer relocates instead).
+  void MarkBad(SlotId slot);
+  bool IsBad(SlotId slot) const { return bad_slots_.contains(slot); }
+  std::size_t bad_slot_count() const { return bad_slots_.size(); }
+
+  // Allocates a fresh spare slot for a relocated page, or nullopt when the
+  // level cannot hold `words` more (the caller then spills to the next
+  // level, or records the page as lost).
+  std::optional<SlotId> AllocateSpareSlot(WordCount words);
+
+  // True if `words` more would still fit under the level's capacity.
+  bool HasRoomFor(WordCount words) const {
+    return occupied_words_ + words <= level_.capacity_words;
+  }
 
   // Words currently occupied across all slots.
-  WordCount OccupiedWords() const;
+  WordCount OccupiedWords() const { return occupied_words_; }
 
   std::size_t slot_count() const { return slots_.size(); }
 
@@ -51,6 +78,9 @@ class BackingStore {
  private:
   StorageLevel level_;
   std::unordered_map<SlotId, std::vector<Word>> slots_;
+  std::unordered_set<SlotId> bad_slots_;
+  SlotId next_spare_{kSpareSlotBase};
+  WordCount occupied_words_{0};
   mutable std::uint64_t stores_{0};
   mutable std::uint64_t fetches_{0};
   mutable Cycles busy_cycles_{0};

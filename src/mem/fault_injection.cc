@@ -1,0 +1,46 @@
+#include "src/mem/fault_injection.h"
+
+namespace dsa {
+
+const char* ToString(TransferFaultKind kind) {
+  switch (kind) {
+    case TransferFaultKind::kNone:
+      return "none";
+    case TransferFaultKind::kTransient:
+      return "transient";
+    case TransferFaultKind::kPermanentSlot:
+      return "permanent-slot";
+  }
+  return "?";
+}
+
+const FaultRates& FaultInjector::RatesFor(std::size_t level) const {
+  auto it = config_.level_rates.find(level);
+  return it != config_.level_rates.end() ? it->second : config_.rates;
+}
+
+TransferFaultKind FaultInjector::DrawTransferFault(std::size_t level) {
+  const FaultRates& rates = RatesFor(level);
+  if (rates.transient_transfer <= 0.0 && rates.permanent_slot <= 0.0) {
+    // Zero-rate levels consume no randomness, so an injector that is quiet
+    // on one level does not perturb the fault schedule of another.
+    return TransferFaultKind::kNone;
+  }
+  const double u = rng_.NextDouble();
+  if (u < rates.transient_transfer) {
+    return TransferFaultKind::kTransient;
+  }
+  if (u < rates.transient_transfer + rates.permanent_slot) {
+    return TransferFaultKind::kPermanentSlot;
+  }
+  return TransferFaultKind::kNone;
+}
+
+bool FaultInjector::DrawFrameFailure() {
+  if (config_.rates.frame_failure <= 0.0) {
+    return false;
+  }
+  return rng_.Chance(config_.rates.frame_failure);
+}
+
+}  // namespace dsa

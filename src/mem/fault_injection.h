@@ -1,0 +1,96 @@
+// Seeded, deterministic storage fault injection.
+//
+// The 1967 machines this library models ran on hardware that failed
+// constantly: drums missed revolutions, sectors went bad, core planes took
+// parity hits.  The FaultInjector reintroduces those adverse conditions as a
+// first-class, fully reproducible subsystem: every fault is drawn from one
+// dsa::Rng stream (splitmix64 -> xoshiro256**, identical on every platform),
+// so a fixed seed and a fixed reference trace produce a byte-identical fault
+// schedule — and byte-identical ReliabilityStats — on every run.
+//
+// Three fault classes, matching what the resilience layer can survive:
+//
+//   * transient transfer errors (drum parity / missed revolution): the
+//     transfer is retried on the same channel, charging a fresh TransferTime
+//     including rotational latency;
+//   * permanent slot failures (bad sector): the BackingStore slot is retired
+//     and the page relocates to a spare slot, or spills to the next backing
+//     level when the store is full;
+//   * core frame failures (parity hit): the frame is retired from service
+//     via FrameTable::RetireFrame and the pager runs on with one fewer
+//     frame.
+//
+// All rates default to zero, and a zero-rate injector is bit-identical in
+// observable behaviour to having no injector at all (enforced by
+// tests/test_fault_injection.cc).
+
+#ifndef SRC_MEM_FAULT_INJECTION_H_
+#define SRC_MEM_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <map>
+
+#include "src/core/rng.h"
+
+namespace dsa {
+
+// Per-transfer / per-load fault probabilities.  A transfer draws one fault
+// kind per attempt; a frame draws a parity failure per page landing.
+struct FaultRates {
+  double transient_transfer{0.0};  // per transfer attempt
+  double permanent_slot{0.0};      // per transfer attempt
+  double frame_failure{0.0};       // per page landed in a core frame
+
+  bool Any() const {
+    return transient_transfer > 0.0 || permanent_slot > 0.0 || frame_failure > 0.0;
+  }
+};
+
+struct FaultInjectorConfig {
+  std::uint64_t seed{0xfa117ab1e5eedULL};
+  // Retries a faulting transfer before the access gives up and reports a
+  // PageAccessError.  Also bounds relocation attempts on a store.
+  int max_retries{3};
+  // Default rates for every backing level (and the core frames).
+  FaultRates rates{};
+  // Per-backing-level overrides, keyed by level index (0 = the flat pager's
+  // single store, or the hierarchy pager's drum; 1 = its disk; ...).
+  std::map<std::size_t, FaultRates> level_rates{};
+};
+
+// What one transfer attempt did.
+enum class TransferFaultKind : std::uint8_t {
+  kNone,           // the transfer completed
+  kTransient,      // parity / missed revolution: retry on the same channel
+  kPermanentSlot,  // bad sector: retire the slot, relocate the page
+};
+
+const char* ToString(TransferFaultKind kind);
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultInjectorConfig config)
+      : config_(std::move(config)), rng_(config_.seed) {}
+  virtual ~FaultInjector() = default;
+
+  // Draws the outcome of one transfer attempt against backing level `level`.
+  // Virtual so tests can script exact fault sequences.
+  virtual TransferFaultKind DrawTransferFault(std::size_t level);
+
+  // Draws whether the core frame that just received a page takes a parity
+  // hit and must be retired.
+  virtual bool DrawFrameFailure();
+
+  int max_retries() const { return config_.max_retries; }
+  const FaultInjectorConfig& config() const { return config_; }
+
+ private:
+  const FaultRates& RatesFor(std::size_t level) const;
+
+  FaultInjectorConfig config_;
+  Rng rng_;
+};
+
+}  // namespace dsa
+
+#endif  // SRC_MEM_FAULT_INJECTION_H_

@@ -67,9 +67,35 @@ std::optional<FrameId> FrameTable::TakeFreeFrame() {
   return frame;
 }
 
+void FrameTable::ReturnFreeFrame(FrameId frame) {
+  const FrameInfo& returned = info(frame);
+  DSA_ASSERT(!returned.occupied, "returning an occupied frame to the free pool");
+  DSA_ASSERT(!returned.retired, "returning a retired frame to the free pool");
+  free_.push_back(frame);
+}
+
+void FrameTable::RetireFrame(FrameId frame) {
+  FrameInfo& info = MutableInfo(frame);
+  DSA_ASSERT(!info.occupied, "retiring an occupied frame; evict its page first");
+  DSA_ASSERT(!info.retired, "retiring a frame twice");
+  // The frame is either in the free pool or in the taken-but-never-loaded
+  // limbo a failed fetch leaves behind; drop any free-pool entry so
+  // TakeFreeFrame can never hand it out again.
+  for (std::size_t i = 0; i < free_.size(); ++i) {
+    if (free_[i] == frame) {
+      free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+  info = FrameInfo{};
+  info.retired = true;
+  ++retired_;
+}
+
 void FrameTable::Load(FrameId frame, PageId page, Cycles now) {
   FrameInfo& info = MutableInfo(frame);
   DSA_ASSERT(!info.occupied, "loading into an occupied frame");
+  DSA_ASSERT(!info.retired, "loading into a retired frame");
   info = FrameInfo{};
   info.occupied = true;
   info.page = page;

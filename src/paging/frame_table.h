@@ -29,6 +29,7 @@ namespace dsa {
 struct FrameInfo {
   bool occupied{false};
   bool pinned{false};      // "kept permanently in working storage" (MULTICS directive)
+  bool retired{false};     // parity failure took the frame out of service
   PageId page;             // meaningful when occupied
   bool use{false};         // set on every access; cleared by policies
   bool modified{false};    // set on write accesses; cleared on write-back
@@ -44,6 +45,12 @@ class FrameTable {
   std::size_t frame_count() const { return frames_.size(); }
   std::size_t occupied_count() const { return occupied_; }
   std::size_t pinned_count() const { return pinned_; }
+  // Frames permanently out of service, and those still usable.  Retired
+  // frames never appear in the free pool, the intrusive lists, or any
+  // eviction candidate set, so every replacement engine (including the
+  // retained scan references) skips them by construction.
+  std::size_t retired_count() const { return retired_; }
+  std::size_t usable_frame_count() const { return frames_.size() - retired_; }
   // Frames available to TakeFreeFrame (taken-but-not-yet-loaded frames count
   // as neither free nor occupied).
   std::size_t free_count() const { return free_.size(); }
@@ -58,6 +65,16 @@ class FrameTable {
 
   // Vacates `frame` (which must be occupied and unpinned).
   void Evict(FrameId frame);
+
+  // Returns a frame obtained from TakeFreeFrame but never loaded (a fetch
+  // into it failed); it becomes the next frame TakeFreeFrame hands out.
+  void ReturnFreeFrame(FrameId frame);
+
+  // Takes `frame` permanently out of service (a core parity failure).  The
+  // frame must be vacant: callers evict its page first.  Graceful capacity
+  // degradation, not an assert — the table simply runs with one fewer
+  // frame.
+  void RetireFrame(FrameId frame);
 
   // Records an access: sets the use sensor, refreshes recency, and closes
   // the current inactivity period for the ATLAS learning policy.
@@ -104,6 +121,7 @@ class FrameTable {
   std::vector<FrameId> free_;
   std::size_t occupied_{0};
   std::size_t pinned_{0};
+  std::size_t retired_{0};
   std::vector<Link> fifo_;  // load order; size frame_count()+1, last is sentinel
   std::vector<Link> lru_;   // recency order; same layout
 };

@@ -6,18 +6,45 @@
 
 namespace dsa {
 
+namespace {
+// Injector level indices for the two backing levels.
+constexpr std::size_t kDrumLevel = 0;
+constexpr std::size_t kDiskLevel = 1;
+}  // namespace
+
 HierarchyPager::HierarchyPager(HierarchyPagerConfig config,
-                               std::unique_ptr<ReplacementPolicy> replacement)
+                               std::unique_ptr<ReplacementPolicy> replacement,
+                               FaultInjector* injector)
     : config_(config),
       drum_(config.drum_level),
       disk_(config.disk_level),
       replacement_(std::move(replacement)),
+      injector_(injector),
       frames_(config.frames) {
   DSA_ASSERT(replacement_ != nullptr, "hierarchy pager needs a replacement policy");
   DSA_ASSERT(config_.drum_pages > 0, "drum must hold at least one page");
   if (config_.touch_idle_threshold == 0) {
     config_.touch_idle_threshold = config_.page_words;
   }
+  stats_.reliability.residual_frames = frames_.usable_frame_count();
+}
+
+BackingStore::SlotId HierarchyPager::SlotFor(PageId page) const {
+  auto it = slot_of_.find(page.value);
+  return it != slot_of_.end() ? it->second : page.value;
+}
+
+void HierarchyPager::RecordSlot(PageId page, BackingStore::SlotId slot) {
+  if (slot == page.value) {
+    slot_of_.erase(page.value);
+  } else {
+    slot_of_[page.value] = slot;
+  }
+}
+
+void HierarchyPager::SyncRetirementStats() {
+  stats_.reliability.retired_frames = frames_.retired_count();
+  stats_.reliability.residual_frames = frames_.usable_frame_count();
 }
 
 void HierarchyPager::DropFromDrum(PageId page) {
@@ -25,35 +52,97 @@ void HierarchyPager::DropFromDrum(PageId page) {
   if (it != drum_pos_.end()) {
     drum_lru_.erase(it->second);
     drum_pos_.erase(it);
-    drum_.Discard(page.value);
+    const BackingStore::SlotId slot = SlotFor(page);
+    if (!drum_.IsBad(slot)) {
+      drum_.Discard(slot);
+    }
+    slot_of_.erase(page.value);
   }
+}
+
+std::optional<BackingStore::SlotId> HierarchyPager::StorePage(BackingStore& store,
+                                                              TransferChannel& channel,
+                                                              std::size_t level_index, PageId page,
+                                                              Cycles now) {
+  ReliabilityStats& rel = stats_.reliability;
+  const int max_retries = injector_ != nullptr ? injector_->max_retries() : 0;
+  for (int attempt = 0;; ++attempt) {
+    BackingStore::SlotId slot = page.value;
+    if (store.IsBad(slot)) {
+      const auto spare = store.AllocateSpareSlot(config_.page_words);
+      if (!spare.has_value()) {
+        return std::nullopt;
+      }
+      slot = *spare;
+      ++rel.relocations;
+    }
+    channel.Schedule(store.level(), config_.page_words, now);
+    store.Store(slot, std::vector<Word>(config_.page_words, Word{0}));
+    const TransferFaultKind fault = injector_ != nullptr
+                                        ? injector_->DrawTransferFault(level_index)
+                                        : TransferFaultKind::kNone;
+    if (fault == TransferFaultKind::kNone) {
+      return slot;
+    }
+    if (fault == TransferFaultKind::kPermanentSlot) {
+      // Write-check failed: the sector is bad and the copy that just landed
+      // is not durable.  The next attempt relocates.
+      store.MarkBad(slot);
+      ++rel.slot_failures;
+    } else {
+      ++rel.transient_errors;
+    }
+    if (attempt >= max_retries) {
+      return std::nullopt;
+    }
+    ++rel.retries;
+  }
+}
+
+void HierarchyPager::PlaceOnDisk(PageId page, Cycles now) {
+  const auto slot = StorePage(disk_, disk_channel_, kDiskLevel, page, now);
+  if (!slot.has_value()) {
+    // No disk slot would take the page: its contents are gone.  The page
+    // reads as zero-fill on its next touch.
+    ++stats_.reliability.lost_pages;
+    home_.erase(page.value);
+    slot_of_.erase(page.value);
+    return;
+  }
+  RecordSlot(page, *slot);
+  home_[page.value] = Home::kDisk;
 }
 
 void HierarchyPager::PlaceEvicted(PageId page, Cycles now) {
   const bool to_drum = config_.demotion == DemotionPolicy::kAlwaysDrum ||
                        (config_.promote_on_disk_fault && promoted_[page.value]);
-  std::vector<Word> data(config_.page_words, Word{0});
   if (!to_drum) {
-    disk_channel_.Schedule(disk_.level(), config_.page_words, now);
-    disk_.Store(page.value, std::move(data));
-    home_[page.value] = Home::kDisk;
+    PlaceOnDisk(page, now);
     return;
   }
   // Stage on the drum; spill its least recently landed page to disk first
   // if the drum is full.
   if (drum_lru_.size() >= config_.drum_pages) {
-    const std::uint64_t spill = drum_lru_.back();
+    const PageId spill{drum_lru_.back()};
     drum_lru_.pop_back();
-    drum_pos_.erase(spill);
-    drum_.Discard(spill);
-    std::vector<Word> spilled(config_.page_words, Word{0});
-    disk_channel_.Schedule(disk_.level(), config_.page_words, now);
-    disk_.Store(spill, std::move(spilled));
-    home_[spill] = Home::kDisk;
+    drum_pos_.erase(spill.value);
+    const BackingStore::SlotId spill_slot = SlotFor(spill);
+    if (!drum_.IsBad(spill_slot)) {
+      drum_.Discard(spill_slot);
+    }
+    slot_of_.erase(spill.value);
+    PlaceOnDisk(spill, now);
     ++stats_.demotions;
   }
-  drum_channel_.Schedule(drum_.level(), config_.page_words, now);
-  drum_.Store(page.value, std::move(data));
+  const auto slot = StorePage(drum_, drum_channel_, kDrumLevel, page, now);
+  if (!slot.has_value()) {
+    // The drum ran out of good slots (or retries); fall through one level
+    // rather than losing the page.
+    ++stats_.reliability.spill_relocations;
+    PlaceOnDisk(page, now);
+    return;
+  }
+  RecordSlot(page, *slot);
   drum_lru_.push_front(page.value);
   drum_pos_[page.value] = drum_lru_.begin();
   home_[page.value] = Home::kDrum;
@@ -73,51 +162,134 @@ void HierarchyPager::EvictOne(Cycles now) {
   resident_.erase(page.value);
 }
 
-Cycles HierarchyPager::Access(PageId page, AccessKind kind, Cycles now) {
+Expected<Cycles, PageAccessError> HierarchyPager::Access(PageId page, AccessKind kind,
+                                                         Cycles now) {
   ++stats_.accesses;
   const bool write = kind == AccessKind::kWrite;
 
   if (auto it = resident_.find(page.value); it != resident_.end()) {
     frames_.Touch(it->second, now, write, config_.touch_idle_threshold);
     replacement_->OnAccess(it->second, page, now, write);
-    return 0;
+    return Cycles{0};
   }
 
-  // --- fault: find the page's home and fetch it ----------------------------
+  // --- fault: find a frame, then the page's home, then fetch ---------------
   ++stats_.faults;
-  std::optional<FrameId> frame = frames_.TakeFreeFrame();
-  if (!frame.has_value()) {
-    EvictOne(now);
-    frame = frames_.TakeFreeFrame();
-    DSA_ASSERT(frame.has_value(), "eviction did not free a frame");
-  }
+  // The page's home must be resolved AFTER each eviction: an eviction's drum
+  // spill can demote the very page being faulted from drum to disk.
+  const auto resolve_home = [&]() {
+    auto it = home_.find(page.value);
+    return it != home_.end() ? it->second : Home::kNowhere;
+  };
 
-  Cycles wait = 0;
-  std::vector<Word> data;
-  const Home home = home_.contains(page.value) ? home_[page.value] : Home::kNowhere;
-  switch (home) {
-    case Home::kDrum: {
-      const auto done = drum_channel_.Schedule(drum_.level(), config_.page_words, now);
-      wait = done.finish - now;
-      drum_.Fetch(page.value, config_.page_words, &data);
-      DropFromDrum(page);
-      ++stats_.drum_hits;
+  // Find a frame for the page.  Core parity failures strike as the transfer
+  // arrives: its time is charged, the frame retires, the hunt continues.
+  Cycles wasted = 0;
+  std::optional<FrameId> frame;
+  for (;;) {
+    frame = frames_.TakeFreeFrame();
+    if (!frame.has_value()) {
+      if (!frames_.HasEvictionCandidates()) {
+        ++stats_.reliability.failed_accesses;
+        stats_.wait_cycles += wasted;
+        return MakeUnexpected(
+            PageAccessError{PageAccessErrorKind::kNoUsableFrames, page, wasted});
+      }
+      EvictOne(now);
+      frame = frames_.TakeFreeFrame();
+      DSA_ASSERT(frame.has_value(), "eviction did not free a frame");
+    }
+    if (injector_ == nullptr || frames_.usable_frame_count() <= 1 ||
+        !injector_->DrawFrameFailure()) {
       break;
     }
-    case Home::kDisk: {
-      const auto done = disk_channel_.Schedule(disk_.level(), config_.page_words, now);
-      wait = done.finish - now;
-      disk_.Fetch(page.value, config_.page_words, &data);
-      disk_.Discard(page.value);
+    // The transfer ran before the landing failed; charge its time against
+    // the page's current home (evictions may move it between landings).
+    const Home landing_home = resolve_home();
+    if (landing_home != Home::kNowhere) {
+      BackingStore& failed_store = landing_home == Home::kDrum ? drum_ : disk_;
+      TransferChannel& failed_channel =
+          landing_home == Home::kDrum ? drum_channel_ : disk_channel_;
+      const auto done =
+          failed_channel.Schedule(failed_store.level(), config_.page_words, now + wasted);
+      wasted += done.finish - (now + wasted);
+    }
+    frames_.RetireFrame(*frame);
+    ++stats_.reliability.frame_failures;
+    SyncRetirementStats();
+  }
+
+  const Home home = resolve_home();
+  BackingStore* store = home == Home::kDrum ? &drum_ : home == Home::kDisk ? &disk_ : nullptr;
+  TransferChannel* channel = home == Home::kDrum ? &drum_channel_
+                             : home == Home::kDisk ? &disk_channel_
+                                                   : nullptr;
+  const std::size_t level_index = home == Home::kDrum ? kDrumLevel : kDiskLevel;
+
+  Cycles wait = wasted;
+  ReliabilityStats& rel = stats_.reliability;
+  const int max_retries = injector_ != nullptr ? injector_->max_retries() : 0;
+  if (store != nullptr) {
+    const BackingStore::SlotId slot = SlotFor(page);
+    std::vector<Word> data;
+    for (int attempt = 0;; ++attempt) {
+      const auto done = channel->Schedule(store->level(), config_.page_words, now + wait);
+      const Cycles attempt_wait = done.finish - (now + wait);
+      wait += attempt_wait;
+      if (attempt > 0) {
+        rel.retry_cycles += attempt_wait;
+      }
+      store->Fetch(slot, config_.page_words, &data);
+      const TransferFaultKind fault = injector_ != nullptr
+                                          ? injector_->DrawTransferFault(level_index)
+                                          : TransferFaultKind::kNone;
+      if (fault == TransferFaultKind::kNone) {
+        break;
+      }
+      if (fault == TransferFaultKind::kPermanentSlot) {
+        // The only copy sat on a sector that just went bad; the page is
+        // unrecoverable and the access fails.
+        store->MarkBad(slot);
+        ++rel.slot_failures;
+        ++rel.lost_pages;
+        if (home == Home::kDrum) {
+          auto it = drum_pos_.find(page.value);
+          if (it != drum_pos_.end()) {
+            drum_lru_.erase(it->second);
+            drum_pos_.erase(it);
+          }
+        }
+        home_.erase(page.value);
+        slot_of_.erase(page.value);
+        frames_.ReturnFreeFrame(*frame);
+        ++rel.failed_accesses;
+        stats_.wait_cycles += wait;
+        return MakeUnexpected(
+            PageAccessError{PageAccessErrorKind::kSlotUnreadable, page, wait});
+      }
+      ++rel.transient_errors;
+      if (attempt >= max_retries) {
+        frames_.ReturnFreeFrame(*frame);
+        ++rel.failed_accesses;
+        stats_.wait_cycles += wait;
+        return MakeUnexpected(
+            PageAccessError{PageAccessErrorKind::kTransferFailed, page, wait});
+      }
+      ++rel.retries;
+    }
+    if (home == Home::kDrum) {
+      DropFromDrum(page);
+      ++stats_.drum_hits;
+    } else {
+      disk_.Discard(slot);
+      slot_of_.erase(page.value);
       ++stats_.disk_hits;
       // "Worthwhile only if the item is going to be used frequently": a disk
       // fault is the frequency evidence this model accepts.
       promoted_[page.value] = true;
-      break;
     }
-    case Home::kNowhere:
-      ++stats_.zero_fills;  // first touch: zero-filled, no transfer
-      break;
+  } else {
+    ++stats_.zero_fills;  // first touch: zero-filled, no transfer
   }
   home_.erase(page.value);
   stats_.wait_cycles += wait;

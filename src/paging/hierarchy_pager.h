@@ -12,6 +12,13 @@
 // least recently landed page is demoted to disk.  A page faulted from disk
 // may be *promoted* (its next home is the drum) — the policy choice this
 // module lets experiments vary.
+//
+// With a FaultInjector attached (level 0 = drum, level 1 = disk) transfers
+// may fail transiently (retried with fresh rotational latency) or
+// permanently (the slot goes bad; the page relocates to a spare slot on the
+// same level, or spills to disk when the drum has none).  Core frames can
+// take parity hits and retire.  A zero-rate injector is bit-identical to no
+// injector.
 
 #ifndef SRC_PAGING_HIERARCHY_PAGER_H_
 #define SRC_PAGING_HIERARCHY_PAGER_H_
@@ -19,13 +26,18 @@
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 
+#include "src/core/expected.h"
 #include "src/core/types.h"
 #include "src/mem/backing_store.h"
 #include "src/mem/channel.h"
+#include "src/mem/fault_injection.h"
 #include "src/paging/frame_table.h"
+#include "src/paging/pager.h"
 #include "src/paging/replacement.h"
+#include "src/stats/reliability.h"
 
 namespace dsa {
 
@@ -60,6 +72,7 @@ struct HierarchyPagerStats {
   std::uint64_t demotions{0};    // drum -> disk overflows
   std::uint64_t writebacks{0};
   Cycles wait_cycles{0};
+  ReliabilityStats reliability;
 
   double DrumServiceFraction() const {
     const std::uint64_t served = drum_hits + disk_hits;
@@ -70,10 +83,13 @@ struct HierarchyPagerStats {
 
 class HierarchyPager {
  public:
-  HierarchyPager(HierarchyPagerConfig config, std::unique_ptr<ReplacementPolicy> replacement);
+  // `injector` may be null: all transfers then succeed and no frame fails.
+  HierarchyPager(HierarchyPagerConfig config, std::unique_ptr<ReplacementPolicy> replacement,
+                 FaultInjector* injector = nullptr);
 
-  // One reference; returns the stall the program sees.
-  Cycles Access(PageId page, AccessKind kind, Cycles now);
+  // One reference; returns the stall the program sees, or a PageAccessError
+  // when every recovery path (retries, relocation, spare frames) is spent.
+  Expected<Cycles, PageAccessError> Access(PageId page, AccessKind kind, Cycles now);
 
   bool IsResident(PageId page) const { return resident_.contains(page.value); }
 
@@ -89,7 +105,19 @@ class HierarchyPager {
   // Places an evicted page per the demotion policy, spilling the drum's LRU
   // page to disk when the drum is full.
   void PlaceEvicted(PageId page, Cycles now);
+  // Stores the page on disk (relocating around bad slots); a page that
+  // cannot land anywhere is recorded lost.
+  void PlaceOnDisk(PageId page, Cycles now);
+  // Writes the page to `store`, retrying transients and relocating off bad
+  // slots; returns the slot that finally holds it, or nullopt when the
+  // level ran out of spares/retries.
+  std::optional<BackingStore::SlotId> StorePage(BackingStore& store, TransferChannel& channel,
+                                                std::size_t level_index, PageId page, Cycles now);
   void DropFromDrum(PageId page);
+  // The slot currently holding `page` at its home level.
+  BackingStore::SlotId SlotFor(PageId page) const;
+  void RecordSlot(PageId page, BackingStore::SlotId slot);
+  void SyncRetirementStats();
 
   HierarchyPagerConfig config_;
   BackingStore drum_;
@@ -97,12 +125,15 @@ class HierarchyPager {
   TransferChannel drum_channel_;
   TransferChannel disk_channel_;
   std::unique_ptr<ReplacementPolicy> replacement_;
+  FaultInjector* injector_;
   FrameTable frames_;
   std::unordered_map<std::uint64_t, FrameId> resident_;
   std::unordered_map<std::uint64_t, Home> home_;       // where each absent page lives
   std::unordered_map<std::uint64_t, bool> promoted_;   // disk-faulted pages to stage on drum
   std::list<std::uint64_t> drum_lru_;                  // drum residents, most recent first
   std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> drum_pos_;
+  // Pages relocated off their identity slot at their current home level.
+  std::unordered_map<std::uint64_t, BackingStore::SlotId> slot_of_;
   HierarchyPagerStats stats_;
 };
 

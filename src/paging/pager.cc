@@ -6,15 +6,34 @@
 
 namespace dsa {
 
+namespace {
+// The flat pager owns a single backing store; the injector sees it as
+// level 0 (the hierarchy pager uses 0 = drum, 1 = disk).
+constexpr std::size_t kBackingLevel = 0;
+}  // namespace
+
+const char* ToString(PageAccessErrorKind kind) {
+  switch (kind) {
+    case PageAccessErrorKind::kTransferFailed:
+      return "transfer-failed";
+    case PageAccessErrorKind::kSlotUnreadable:
+      return "slot-unreadable";
+    case PageAccessErrorKind::kNoUsableFrames:
+      return "no-usable-frames";
+  }
+  return "?";
+}
+
 Pager::Pager(PagerConfig config, BackingStore* backing, TransferChannel* channel,
              std::unique_ptr<ReplacementPolicy> replacement, std::unique_ptr<FetchPolicy> fetch,
-             AdviceRegistry* advice)
+             AdviceRegistry* advice, FaultInjector* injector)
     : config_(config),
       backing_(backing),
       channel_(channel),
       replacement_(std::move(replacement)),
       fetch_(std::move(fetch)),
       advice_(advice),
+      injector_(injector),
       frames_(config.frames) {
   DSA_ASSERT(backing_ != nullptr, "pager needs a backing store");
   DSA_ASSERT(replacement_ != nullptr, "pager needs a replacement policy");
@@ -22,6 +41,7 @@ Pager::Pager(PagerConfig config, BackingStore* backing, TransferChannel* channel
   if (config_.touch_idle_threshold == 0) {
     config_.touch_idle_threshold = config_.page_words;
   }
+  stats_.reliability.residual_frames = frames_.usable_frame_count();
 }
 
 std::optional<FrameId> Pager::FrameOf(PageId page) const {
@@ -54,19 +74,75 @@ void Pager::AdviseKeepResident(PageId page) {
   }
 }
 
+BackingStore::SlotId Pager::SlotFor(PageId page) const {
+  auto it = slot_of_.find(page.value);
+  return it != slot_of_.end() ? it->second : page.value;
+}
+
+void Pager::SyncRetirementStats() {
+  stats_.reliability.retired_frames = frames_.retired_count();
+  stats_.reliability.residual_frames = frames_.usable_frame_count();
+}
+
+Status<PageAccessError> Pager::WriteBack(PageId page, Cycles now) {
+  ReliabilityStats& rel = stats_.reliability;
+  const int max_retries = injector_ != nullptr ? injector_->max_retries() : 0;
+  for (int attempt = 0;; ++attempt) {
+    BackingStore::SlotId slot = SlotFor(page);
+    if (backing_->IsBad(slot)) {
+      // The page's home sector is gone; relocate to a spare slot.
+      const auto spare = backing_->AllocateSpareSlot(config_.page_words);
+      if (!spare.has_value()) {
+        ++rel.lost_pages;
+        return MakeUnexpected(PageAccessError{PageAccessErrorKind::kSlotUnreadable, page, 0});
+      }
+      slot_of_[page.value] = *spare;
+      slot = *spare;
+      ++rel.relocations;
+    }
+    // Write-back transfers occupy the channel but are buffered off the
+    // program's critical path; later fetches queue behind them.
+    std::vector<Word> data(config_.page_words, Word{0});
+    if (channel_ != nullptr) {
+      channel_->Schedule(backing_->level(), config_.page_words, now);
+    }
+    stats_.transfer_cycles += backing_->Store(slot, std::move(data));
+
+    const TransferFaultKind fault = injector_ != nullptr
+                                        ? injector_->DrawTransferFault(kBackingLevel)
+                                        : TransferFaultKind::kNone;
+    if (fault == TransferFaultKind::kNone) {
+      return Ok();
+    }
+    if (fault == TransferFaultKind::kPermanentSlot) {
+      // The write-check found a bad sector; the copy that just landed is
+      // not durable.  Retire the slot and relocate on the next attempt.
+      backing_->MarkBad(slot);
+      slot_of_.erase(page.value);
+      ++rel.slot_failures;
+    } else {
+      ++rel.transient_errors;
+    }
+    if (attempt >= max_retries) {
+      ++rel.lost_pages;
+      return MakeUnexpected(PageAccessError{
+          fault == TransferFaultKind::kTransient ? PageAccessErrorKind::kTransferFailed
+                                                 : PageAccessErrorKind::kSlotUnreadable,
+          page, 0});
+    }
+    ++rel.retries;
+  }
+}
+
 void Pager::EvictFrame(FrameId frame, Cycles now) {
   const FrameInfo& info = frames_.info(frame);
   DSA_ASSERT(info.occupied, "evicting an empty frame");
   const PageId page = info.page;
   if (info.modified) {
-    // Write-back transfers occupy the channel but are buffered off the
-    // program's critical path; later fetches queue behind them.
     ++stats_.writebacks;
-    std::vector<Word> data(config_.page_words, Word{0});
-    if (channel_ != nullptr) {
-      channel_->Schedule(backing_->level(), config_.page_words, now);
-    }
-    stats_.transfer_cycles += backing_->Store(page.value, std::move(data));
+    // A write-back that exhausts every retry and spare slot loses the page's
+    // contents; the eviction still proceeds (recorded by WriteBack).
+    (void)WriteBack(page, now);
   }
   replacement_->OnEvict(frame, page);
   frames_.Evict(frame);
@@ -85,18 +161,97 @@ FrameId Pager::EvictOne(Cycles now) {
   return victim;
 }
 
-Cycles Pager::FetchInto(PageId page, FrameId frame, Cycles now, bool demand) {
-  std::vector<Word> data;
+bool Pager::RetireFrame(FrameId frame, Cycles now) {
+  if (frame.value >= frames_.frame_count()) {
+    return false;
+  }
+  const FrameInfo& info = frames_.info(frame);
+  if (info.retired || info.pinned) {
+    return false;
+  }
+  if (frames_.usable_frame_count() <= 1) {
+    return false;  // never retire the last frame; the pager must keep paging
+  }
+  if (info.occupied) {
+    EvictFrame(frame, now);
+  }
+  frames_.RetireFrame(frame);
+  SyncRetirementStats();
+  return true;
+}
+
+Cycles Pager::ChargeFetchTransfer(PageId page, Cycles at) {
+  const BackingStore::SlotId slot = SlotFor(page);
   Cycles wait = 0;
+  if (backing_->IsBad(slot)) {
+    // The page's contents were lost with its sector; the device still spins
+    // through a full transfer of zeros from the replacement area.
+    const Cycles duration = backing_->level().TransferTime(config_.page_words);
+    if (channel_ != nullptr) {
+      const TransferChannel::Completion done =
+          channel_->Schedule(backing_->level(), config_.page_words, at);
+      wait = done.finish - at;
+    } else {
+      wait = duration;
+    }
+    stats_.transfer_cycles += duration;
+    return wait;
+  }
+  std::vector<Word> data;
   if (channel_ != nullptr) {
     const TransferChannel::Completion done =
-        channel_->Schedule(backing_->level(), config_.page_words, now);
-    wait = done.finish - now;
+        channel_->Schedule(backing_->level(), config_.page_words, at);
+    wait = done.finish - at;
     // Account the device time once; Fetch() tracks device-side counters.
-    stats_.transfer_cycles += backing_->Fetch(page.value, config_.page_words, &data);
+    stats_.transfer_cycles += backing_->Fetch(slot, config_.page_words, &data);
   } else {
-    wait = backing_->Fetch(page.value, config_.page_words, &data);
+    wait = backing_->Fetch(slot, config_.page_words, &data);
     stats_.transfer_cycles += wait;
+  }
+  return wait;
+}
+
+Expected<Cycles, PageAccessError> Pager::FetchInto(PageId page, FrameId frame, Cycles now,
+                                                   bool demand) {
+  ReliabilityStats& rel = stats_.reliability;
+  const int max_retries = injector_ != nullptr ? injector_->max_retries() : 0;
+  Cycles wait = 0;
+  for (int attempt = 0;; ++attempt) {
+    const Cycles attempt_wait = ChargeFetchTransfer(page, now + wait);
+    wait += attempt_wait;
+    if (attempt > 0) {
+      rel.retry_cycles += attempt_wait;
+    }
+    const TransferFaultKind fault = injector_ != nullptr
+                                        ? injector_->DrawTransferFault(kBackingLevel)
+                                        : TransferFaultKind::kNone;
+    if (fault == TransferFaultKind::kNone) {
+      break;
+    }
+    if (fault == TransferFaultKind::kPermanentSlot) {
+      // Bad sector under the read head.  If this slot held the page's only
+      // copy the contents are unrecoverable; an empty slot just reads as
+      // zeros from anywhere, so nothing is lost.
+      const BackingStore::SlotId slot = SlotFor(page);
+      const bool had_copy = backing_->Contains(slot);
+      backing_->MarkBad(slot);
+      slot_of_.erase(page.value);
+      ++rel.slot_failures;
+      if (had_copy) {
+        ++rel.lost_pages;
+        frames_.ReturnFreeFrame(frame);
+        return MakeUnexpected(
+            PageAccessError{PageAccessErrorKind::kSlotUnreadable, page, wait});
+      }
+      break;
+    }
+    ++rel.transient_errors;
+    if (attempt >= max_retries) {
+      frames_.ReturnFreeFrame(frame);
+      return MakeUnexpected(
+          PageAccessError{PageAccessErrorKind::kTransferFailed, page, wait});
+    }
+    ++rel.retries;
   }
   frames_.Load(frame, page, now);
   resident_.emplace(page.value, frame);
@@ -134,7 +289,7 @@ void Pager::ApplyReleases(Cycles now) {
   }
 }
 
-PageAccessOutcome Pager::Access(PageId page, AccessKind kind, Cycles now) {
+PageAccessResult Pager::Access(PageId page, AccessKind kind, Cycles now) {
   ++stats_.accesses;
   if (advice_ != nullptr) {
     advice_->OnAccess(page);
@@ -151,17 +306,49 @@ PageAccessOutcome Pager::Access(PageId page, AccessKind kind, Cycles now) {
   ++stats_.faults;
   ApplyReleases(now);
 
-  std::optional<FrameId> frame = frames_.TakeFreeFrame();
-  if (!frame.has_value()) {
-    frame = EvictOne(now);
-    const std::optional<FrameId> reclaimed = frames_.TakeFreeFrame();
-    DSA_ASSERT(reclaimed.has_value(), "eviction did not free a frame");
-    frame = reclaimed;
+  // Find a frame the new page can land in.  Core parity failures strike as
+  // the transfer arrives: the fetch's time is charged, the frame is retired,
+  // and the hunt continues with one fewer frame.
+  Cycles wasted = 0;  // stall burned on landings that parity-failed
+  std::optional<FrameId> frame;
+  for (;;) {
+    frame = frames_.TakeFreeFrame();
+    if (!frame.has_value()) {
+      if (!frames_.HasEvictionCandidates()) {
+        ++stats_.reliability.failed_accesses;
+        stats_.wait_cycles += wasted;
+        return MakeUnexpected(
+            PageAccessError{PageAccessErrorKind::kNoUsableFrames, page, wasted});
+      }
+      EvictOne(now);
+      const std::optional<FrameId> reclaimed = frames_.TakeFreeFrame();
+      DSA_ASSERT(reclaimed.has_value(), "eviction did not free a frame");
+      frame = reclaimed;
+    }
+    if (injector_ == nullptr || frames_.usable_frame_count() <= 1 ||
+        !injector_->DrawFrameFailure()) {
+      break;
+    }
+    wasted += ChargeFetchTransfer(page, now + wasted);
+    frames_.RetireFrame(*frame);
+    ++stats_.reliability.frame_failures;
+    SyncRetirementStats();
   }
+
+  const Expected<Cycles, PageAccessError> fetched =
+      FetchInto(page, *frame, now + wasted, /*demand=*/true);
+  if (!fetched.has_value()) {
+    PageAccessError error = fetched.error();
+    error.wait_cycles += wasted;
+    ++stats_.reliability.failed_accesses;
+    stats_.wait_cycles += error.wait_cycles;
+    return MakeUnexpected(error);
+  }
+
   PageAccessOutcome outcome;
   outcome.faulted = true;
   outcome.frame = *frame;
-  outcome.wait_cycles = FetchInto(page, *frame, now, /*demand=*/true);
+  outcome.wait_cycles = wasted + *fetched;
   stats_.wait_cycles += outcome.wait_cycles;
 
   // Piggybacked fetches never force a replacement: they fill free frames
@@ -177,7 +364,9 @@ PageAccessOutcome Pager::Access(PageId page, AccessKind kind, Cycles now) {
     if (!spare.has_value()) {
       break;
     }
-    FetchInto(extra, *spare, now, /*demand=*/false);
+    if (!FetchInto(extra, *spare, now, /*demand=*/false).has_value()) {
+      break;  // speculation is best-effort; the frame went back to the pool
+    }
     ++outcome.extra_fetches;
   }
 

@@ -5,6 +5,15 @@
 // The pager deals in opaque page ids; callers that page segments pack
 // (segment, page) pairs into the id.  Residency callbacks keep whatever
 // address mapper is in use coherent with the frame table.
+//
+// With a FaultInjector attached the pager becomes resilient rather than
+// merely correct: transient transfer errors are retried (bounded by
+// max_retries) with fresh latency charges, permanently failed backing slots
+// relocate their pages to spare slots, and core frames that take parity
+// hits are retired from service — the pager keeps running with one fewer
+// frame.  An access that exhausts every recovery returns a PageAccessError
+// instead of aborting.  With no injector (or a zero-rate one) behaviour is
+// bit-identical to the fault-free pager.
 
 #ifndef SRC_PAGING_PAGER_H_
 #define SRC_PAGING_PAGER_H_
@@ -13,13 +22,16 @@
 #include <memory>
 #include <unordered_map>
 
+#include "src/core/expected.h"
 #include "src/core/types.h"
 #include "src/mem/backing_store.h"
 #include "src/mem/channel.h"
+#include "src/mem/fault_injection.h"
 #include "src/paging/advice.h"
 #include "src/paging/fetch.h"
 #include "src/paging/frame_table.h"
 #include "src/paging/replacement.h"
+#include "src/stats/reliability.h"
 
 namespace dsa {
 
@@ -43,6 +55,27 @@ struct PageAccessOutcome {
   std::size_t extra_fetches{0};  // prefetch/advice fetches piggybacked on the fault
 };
 
+// Why an access could not be completed.  Only reachable with a fault
+// injector attached (or with every frame pinned/retired); the fault-free
+// pager never returns one.
+enum class PageAccessErrorKind : std::uint8_t {
+  kTransferFailed,  // transient transfer errors exhausted max_retries
+  kSlotUnreadable,  // the only backing copy sat on a slot that went bad
+  kNoUsableFrames,  // every frame is pinned or retired; nothing to evict
+};
+
+const char* ToString(PageAccessErrorKind kind);
+
+struct PageAccessError {
+  PageAccessErrorKind kind{PageAccessErrorKind::kTransferFailed};
+  PageId page;
+  // Stall the program saw before the pager gave up (retries charge time
+  // even when they fail); callers advance their clocks by this.
+  Cycles wait_cycles{0};
+};
+
+using PageAccessResult = Expected<PageAccessOutcome, PageAccessError>;
+
 struct PagerStats {
   std::uint64_t accesses{0};
   std::uint64_t faults{0};
@@ -54,6 +87,7 @@ struct PagerStats {
   std::uint64_t policy_releases{0};  // working-set style voluntary shrink
   Cycles wait_cycles{0};
   Cycles transfer_cycles{0};
+  ReliabilityStats reliability;
 
   double FaultRate() const {
     return accesses == 0 ? 0.0
@@ -68,9 +102,10 @@ class Pager {
 
   // `channel` may be null (transfers then cost pure level latency with no
   // queueing).  `advice` may be null (no predictive directives accepted).
+  // `injector` may be null (all transfers succeed, all frames stay good).
   Pager(PagerConfig config, BackingStore* backing, TransferChannel* channel,
         std::unique_ptr<ReplacementPolicy> replacement, std::unique_ptr<FetchPolicy> fetch,
-        AdviceRegistry* advice);
+        AdviceRegistry* advice, FaultInjector* injector = nullptr);
 
   void SetResidencyCallbacks(LoadCallback on_load, EvictCallback on_evict) {
     on_load_ = std::move(on_load);
@@ -84,8 +119,16 @@ class Pager {
 
   // Performs one reference.  On a fault this selects victims, writes back
   // dirty pages, fetches the page (plus any policy extras), and reports the
-  // stall time.
-  PageAccessOutcome Access(PageId page, AccessKind kind, Cycles now);
+  // stall time.  Returns a PageAccessError when every recovery path is
+  // exhausted; the page is then simply not resident and the program may
+  // retry or give up.
+  PageAccessResult Access(PageId page, AccessKind kind, Cycles now);
+
+  // Takes a frame out of service (an external parity report, or the
+  // degradation bench's retirement schedule).  A resident page is first
+  // evicted (writing back if dirty).  Returns false — and does nothing —
+  // when the frame is pinned, already retired, or the last usable frame.
+  bool RetireFrame(FrameId frame, Cycles now);
 
   bool IsResident(PageId page) const { return resident_.contains(page.value); }
   std::optional<FrameId> FrameOf(PageId page) const;
@@ -111,10 +154,23 @@ class Pager {
   FrameId EvictOne(Cycles now);
   // Vacates a specific frame, writing back if modified.
   void EvictFrame(FrameId frame, Cycles now);
-  // Transfers `page` into `frame`; returns the program-visible wait.
-  Cycles FetchInto(PageId page, FrameId frame, Cycles now, bool demand);
+  // Transfers `page` into `frame`; returns the program-visible wait.  On
+  // error the frame has been returned to the free pool.
+  Expected<Cycles, PageAccessError> FetchInto(PageId page, FrameId frame, Cycles now,
+                                              bool demand);
+  // Writes the page's core copy out to its backing slot, retrying and
+  // relocating around failed slots; an error means the contents are lost.
+  Status<PageAccessError> WriteBack(PageId page, Cycles now);
+  // Charges one fetch transfer (channel occupancy + device time) issued at
+  // `at`; returns the program-visible wait of that single attempt.
+  Cycles ChargeFetchTransfer(PageId page, Cycles at);
+  // The page's current backing slot (relocations move pages off their
+  // identity slot).
+  BackingStore::SlotId SlotFor(PageId page) const;
   // Applies wont-need advice and policy shrink before hunting for frames.
   void ApplyReleases(Cycles now);
+  // Refreshes the retirement gauges after a frame leaves service.
+  void SyncRetirementStats();
 
   PagerConfig config_;
   BackingStore* backing_;
@@ -122,8 +178,11 @@ class Pager {
   std::unique_ptr<ReplacementPolicy> replacement_;
   std::unique_ptr<FetchPolicy> fetch_;
   AdviceRegistry* advice_;
+  FaultInjector* injector_;
   FrameTable frames_;
   std::unordered_map<std::uint64_t, FrameId> resident_;
+  // Pages relocated off their identity slot by permanent slot failures.
+  std::unordered_map<std::uint64_t, BackingStore::SlotId> slot_of_;
   LoadCallback on_load_;
   EvictCallback on_evict_;
   std::function<bool(PageId)> page_valid_;

@@ -189,15 +189,24 @@ MultiprogramReport MultiprogrammingSimulator::Run() {
       slice_used += config_.cycles_per_reference;
       report.cpu_busy_cycles += config_.cycles_per_reference;
 
-      const PageAccessOutcome outcome =
+      const PageAccessResult outcome =
           pager_->Access(KeyFor(job.report.id, ref.name), ref.kind, now);
       ++job.next_ref;
       ++job.report.references;
-      if (outcome.faulted) {
+      if (!outcome.has_value()) {
+        // Unrecoverable access: the job paid the stall and moves on without
+        // the page (the reference is abandoned).
         ++job.report.faults;
         ++report.faults;
         job.state = JobState::kBlocked;
-        job.unblock_time = now + outcome.wait_cycles;
+        job.unblock_time = now + outcome.error().wait_cycles;
+        break;
+      }
+      if (outcome->faulted) {
+        ++job.report.faults;
+        ++report.faults;
+        job.state = JobState::kBlocked;
+        job.unblock_time = now + outcome->wait_cycles;
         break;
       }
     }

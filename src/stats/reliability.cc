@@ -1,0 +1,39 @@
+#include "src/stats/reliability.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dsa {
+
+bool ReliabilityStats::Quiet() const {
+  return transient_errors == 0 && retries == 0 && retry_cycles == 0 && slot_failures == 0 &&
+         relocations == 0 && spill_relocations == 0 && frame_failures == 0 &&
+         retired_frames == 0 && failed_accesses == 0 && lost_pages == 0;
+}
+
+void ReliabilityStats::Merge(const ReliabilityStats& other) {
+  transient_errors += other.transient_errors;
+  retries += other.retries;
+  retry_cycles += other.retry_cycles;
+  slot_failures += other.slot_failures;
+  relocations += other.relocations;
+  spill_relocations += other.spill_relocations;
+  frame_failures += other.frame_failures;
+  retired_frames += other.retired_frames;
+  residual_frames = std::min(residual_frames, other.residual_frames);
+  failed_accesses += other.failed_accesses;
+  lost_pages += other.lost_pages;
+}
+
+std::string ReliabilityStats::Describe() const {
+  std::ostringstream out;
+  out << "transient=" << transient_errors << " retries=" << retries
+      << " retry_cycles=" << retry_cycles << " bad_slots=" << slot_failures
+      << " relocations=" << relocations << "+" << spill_relocations
+      << " frame_failures=" << frame_failures << " retired=" << retired_frames
+      << " residual_frames=" << residual_frames << " failed_accesses=" << failed_accesses
+      << " lost_pages=" << lost_pages;
+  return out.str();
+}
+
+}  // namespace dsa

@@ -1,0 +1,55 @@
+// Reliability accounting for the fault-injection and resilience layer.
+//
+// Every counter here is driven by deterministic, seeded fault draws (see
+// src/mem/fault_injection.h), so for a fixed injector seed and a fixed
+// reference trace the whole struct is byte-identical across runs and
+// platforms.  Pagers embed one of these in their stats; VmReport carries it
+// up to examples and benches.
+
+#ifndef SRC_STATS_RELIABILITY_H_
+#define SRC_STATS_RELIABILITY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/types.h"
+
+namespace dsa {
+
+struct ReliabilityStats {
+  // Transient transfer errors (drum parity / missed revolution): the
+  // transfer is re-issued on the same channel with a fresh latency charge.
+  std::uint64_t transient_errors{0};
+  std::uint64_t retries{0};       // retry transfers actually issued
+  Cycles retry_cycles{0};         // extra stall attributable to retries
+
+  // Permanent slot failures (bad sector): the backing slot is retired and
+  // the page moves to a spare slot, or spills to the next backing level.
+  std::uint64_t slot_failures{0};
+  std::uint64_t relocations{0};        // re-homed to a spare slot, same level
+  std::uint64_t spill_relocations{0};  // pushed down to the next level
+
+  // Core frame failures (parity hit): the frame is retired from service.
+  std::uint64_t frame_failures{0};  // parity hits that forced retirement
+  std::uint64_t retired_frames{0};  // all frames out of service (any cause)
+  std::uint64_t residual_frames{0}; // usable frames remaining right now
+
+  // Terminal outcomes.
+  std::uint64_t failed_accesses{0}; // accesses that returned PageAccessError
+  std::uint64_t lost_pages{0};      // page contents unrecoverable
+
+  // True iff no fault ever fired and no capacity was lost — the state a
+  // zero-rate injector must leave behind (the fault-parity guarantee).
+  bool Quiet() const;
+
+  // Folds `other` into this accumulator (counters add; residual capacity
+  // takes the minimum, being a point-in-time gauge).
+  void Merge(const ReliabilityStats& other);
+
+  // One-line human-readable summary for bench/example output.
+  std::string Describe() const;
+};
+
+}  // namespace dsa
+
+#endif  // SRC_STATS_RELIABILITY_H_

@@ -19,6 +19,8 @@ void PagedSegmentedVm::Reset() {
   clock_.Reset();
   backing_ = std::make_unique<BackingStore>(config_.backing_level);
   channel_ = std::make_unique<TransferChannel>();
+  // Always attached: zero rates draw nothing and change nothing.
+  injector_ = std::make_unique<FaultInjector>(config_.fault_injection);
   advice_ = config_.accept_advice ? std::make_unique<AdviceRegistry>() : nullptr;
   defined_segments_.clear();
 
@@ -51,7 +53,8 @@ void PagedSegmentedVm::Reset() {
 
   auto replacement = MakeReplacementPolicy(config_.replacement, config_.replacement_options);
   pager_ = std::make_unique<Pager>(pager_config, backing_.get(), channel_.get(),
-                                   std::move(replacement), std::move(fetch), advice_.get());
+                                   std::move(replacement), std::move(fetch), advice_.get(),
+                                   injector_.get());
 
   SegmentPageMapper* raw = mapper_.get();
   pager_->SetResidencyCallbacks(
@@ -128,7 +131,18 @@ VmReport PagedSegmentedVm::Run(const ReferenceTrace& trace) {
                  "unexpected fault kind in paged-segmented VM");
     }
 
-    const PageAccessOutcome outcome = pager_->Access(PageKeyOf(split), ref.kind, clock_.now());
+    const PageAccessResult result = pager_->Access(PageKeyOf(split), ref.kind, clock_.now());
+    if (!result.has_value()) {
+      // Unrecoverable access: the stall was paid, the page never arrived,
+      // and the reference is abandoned.
+      const Cycles lost_wait = result.error().wait_cycles;
+      space_time_.Accumulate(pager_->ResidentWords(), lost_wait, /*waiting=*/true);
+      clock_.Advance(lost_wait);
+      wait_cycles_ += lost_wait;
+      peak_resident_ = std::max(peak_resident_, pager_->ResidentWords());
+      continue;
+    }
+    const PageAccessOutcome& outcome = *result;
     if (outcome.faulted) {
       space_time_.Accumulate(pager_->ResidentWords(), outcome.wait_cycles, /*waiting=*/true);
       clock_.Advance(outcome.wait_cycles);
@@ -155,6 +169,7 @@ VmReport PagedSegmentedVm::Run(const ReferenceTrace& trace) {
   report.wait_cycles = wait_cycles_;
   report.space_time = space_time_.product();
   report.peak_resident_words = peak_resident_;
+  report.reliability = pager_->stats().reliability;
   if (config_.tlb_entries > 0) {
     report.tlb_hit_rate = mapper_->tlb().HitRate();
   }

@@ -17,6 +17,7 @@
 #include "src/map/two_level.h"
 #include "src/mem/backing_store.h"
 #include "src/mem/channel.h"
+#include "src/mem/fault_injection.h"
 #include "src/paging/advice.h"
 #include "src/paging/pager.h"
 #include "src/paging/replacement_factory.h"
@@ -42,6 +43,8 @@ struct PagedSegmentedVmConfig {
   std::size_t prefetch_window{2};
   std::size_t advice_fetch_budget{4};
   bool accept_advice{false};
+  // Storage fault model (zero rates: bit-identical to a fault-free run).
+  FaultInjectorConfig fault_injection{};
   // How linear workload traces are sliced into segments.
   WordCount workload_segment_words{4096};
   Cycles cycles_per_reference{1};
@@ -83,6 +86,7 @@ class PagedSegmentedVm : public StorageAllocationSystem {
   Clock clock_;
   std::unique_ptr<BackingStore> backing_;
   std::unique_ptr<TransferChannel> channel_;
+  std::unique_ptr<FaultInjector> injector_;
   std::unique_ptr<AdviceRegistry> advice_;
   std::unique_ptr<SegmentPageMapper> mapper_;
   std::unique_ptr<Pager> pager_;

@@ -38,6 +38,8 @@ void PagedLinearVm::Reset() {
   clock_.Reset();
   backing_ = std::make_unique<BackingStore>(config_.backing_level);
   channel_ = std::make_unique<TransferChannel>();
+  // Always attached: zero rates draw nothing and change nothing.
+  injector_ = std::make_unique<FaultInjector>(config_.fault_injection);
   advice_ = config_.accept_advice ? std::make_unique<AdviceRegistry>() : nullptr;
 
   const std::size_t frames = static_cast<std::size_t>(config_.core_words / config_.page_words);
@@ -53,7 +55,8 @@ void PagedLinearVm::Reset() {
       MakeReplacementPolicy(config_.replacement, config_.replacement_options);
   auto fetch = MakeFetchPolicy(config_, advice_.get(), page_count);
   pager_ = std::make_unique<Pager>(pager_config, backing_.get(), channel_.get(),
-                                   std::move(replacement), std::move(fetch), advice_.get());
+                                   std::move(replacement), std::move(fetch), advice_.get(),
+                                   injector_.get());
 
   switch (config_.mapper) {
     case PagedMapperKind::kPageTable: {
@@ -127,7 +130,18 @@ Cycles PagedLinearVm::Step(const Reference& ref) {
   }
 
   // Drive the pager; on the hit path this only refreshes sensors/recency.
-  const PageAccessOutcome outcome = pager_->Access(PageOf(ref.name), ref.kind, clock_.now());
+  const PageAccessResult result = pager_->Access(PageOf(ref.name), ref.kind, clock_.now());
+  if (!result.has_value()) {
+    // Unrecoverable access: the program stalled through every retry and got
+    // nothing.  It resumes without the page (the reference is abandoned).
+    const Cycles lost_wait = result.error().wait_cycles;
+    space_time_.Accumulate(pager_->ResidentWords(), lost_wait, /*waiting=*/true);
+    clock_.Advance(lost_wait);
+    wait_cycles_ += lost_wait;
+    peak_resident_ = std::max(peak_resident_, pager_->ResidentWords());
+    return stall + lost_wait;
+  }
+  const PageAccessOutcome& outcome = *result;
   if (outcome.faulted) {
     // The program occupies storage while awaiting the page — the waiting
     // shading of Fig. 3.  Residency during the wait includes the newly
@@ -172,6 +186,7 @@ VmReport PagedLinearVm::Snapshot() const {
   report.wait_cycles = wait_cycles_;
   report.space_time = space_time_.product();
   report.peak_resident_words = peak_resident_;
+  report.reliability = pager_->stats().reliability;
   if (config_.mapper == PagedMapperKind::kPageTable && config_.tlb_entries > 0) {
     report.tlb_hit_rate = static_cast<const PageTableMapper&>(*mapper_).tlb().HitRate();
   }

@@ -15,6 +15,7 @@
 #include "src/map/page_table.h"
 #include "src/mem/backing_store.h"
 #include "src/mem/channel.h"
+#include "src/mem/fault_injection.h"
 #include "src/naming/linear.h"
 #include "src/paging/advice.h"
 #include "src/paging/pager.h"
@@ -47,6 +48,9 @@ struct PagedVmConfig {
   std::size_t advice_fetch_budget{4};
   bool accept_advice{false};
   bool keep_one_frame_vacant{false};
+
+  // Storage fault model (zero rates: bit-identical to a fault-free run).
+  FaultInjectorConfig fault_injection{};
 
   // Compute cost of one reference besides mapping (instruction execution).
   Cycles cycles_per_reference{1};
@@ -89,6 +93,7 @@ class PagedLinearVm : public StorageAllocationSystem {
   Clock clock_;
   std::unique_ptr<BackingStore> backing_;
   std::unique_ptr<TransferChannel> channel_;
+  std::unique_ptr<FaultInjector> injector_;
   std::unique_ptr<AdviceRegistry> advice_;
   std::unique_ptr<AddressMapper> mapper_;
   std::unique_ptr<Pager> pager_;

@@ -11,6 +11,7 @@
 
 #include "src/core/characteristics.h"
 #include "src/core/types.h"
+#include "src/stats/reliability.h"
 #include "src/trace/reference.h"
 #include "src/vm/space_time.h"
 
@@ -29,6 +30,8 @@ struct VmReport {
   SpaceTime space_time;
   WordCount peak_resident_words{0};
   double tlb_hit_rate{0.0};           // 0 when no associative memory exists
+  // Fault-injection outcome (all-zero quiet on fault-free runs).
+  ReliabilityStats reliability;
 
   double FaultRate() const {
     return references == 0 ? 0.0

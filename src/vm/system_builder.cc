@@ -79,6 +79,7 @@ std::unique_ptr<StorageAllocationSystem> BuildSystem(const SystemSpec& spec) {
     }
     config.cycles_per_reference = spec.cycles_per_reference;
     config.reported_unit = c.unit;
+    config.fault_injection = spec.fault_injection;
     return std::make_unique<PagedLinearVm>(config);
   }
 
@@ -95,6 +96,7 @@ std::unique_ptr<StorageAllocationSystem> BuildSystem(const SystemSpec& spec) {
   config.workload_segment_words = spec.workload_segment_words;
   config.cycles_per_reference = spec.cycles_per_reference;
   config.reported_unit = c.unit;
+  config.fault_injection = spec.fault_injection;
   return std::make_unique<PagedSegmentedVm>(config);
 }
 

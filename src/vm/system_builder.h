@@ -17,6 +17,7 @@
 
 #include "src/core/characteristics.h"
 #include "src/core/strategy.h"
+#include "src/mem/fault_injection.h"
 #include "src/mem/storage_level.h"
 #include "src/vm/system.h"
 
@@ -40,6 +41,11 @@ struct SystemSpec {
                                            /*rotational_delay=*/6000)};
   std::size_t tlb_entries{8};
   Cycles cycles_per_reference{1};
+
+  // Storage fault model for the paged families (zero rates: fault-free).
+  // The segment-unit family has no paging channel to inject into and
+  // ignores it.
+  FaultInjectorConfig fault_injection{};
 };
 
 // Builds the system family implied by the characteristics:

@@ -3,8 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
 #include <unordered_set>
+#include <utility>
 
 #include "src/core/characteristics.h"
 #include "src/core/clock.h"
@@ -79,6 +81,29 @@ TEST(ExpectedTest, ArrowOperator) {
   };
   Expected<Payload, int> e = Payload{5};
   EXPECT_EQ(e->x, 5);
+}
+
+TEST(ExpectedTest, RvalueValueOrMovesInsteadOfCopying) {
+  Expected<std::unique_ptr<int>, int> good = std::make_unique<int>(7);
+  std::unique_ptr<int> taken = std::move(good).value_or(nullptr);
+  ASSERT_NE(taken, nullptr);
+  EXPECT_EQ(*taken, 7);
+
+  Expected<std::unique_ptr<int>, int> bad = MakeUnexpected(1);
+  std::unique_ptr<int> fallback = std::move(bad).value_or(std::make_unique<int>(9));
+  ASSERT_NE(fallback, nullptr);
+  EXPECT_EQ(*fallback, 9);
+}
+
+TEST(ExpectedTest, StatusCarriesOkOrError) {
+  Status<std::string> ok = Ok();
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(*ok, Monostate{});
+
+  Status<std::string> failed = MakeUnexpected(std::string("write-back lost"));
+  ASSERT_FALSE(failed.has_value());
+  EXPECT_EQ(failed.error(), "write-back lost");
+  EXPECT_FALSE(static_cast<bool>(failed));
 }
 
 TEST(ExpectedDeathTest, ValueOnErrorAborts) {

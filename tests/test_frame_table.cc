@@ -92,6 +92,31 @@ TEST(FrameTableTest, ExhaustedFreePoolReturnsNullopt) {
   EXPECT_FALSE(table.TakeFreeFrame().has_value());
 }
 
+TEST(FrameTableTest, RetiredFrameLeavesFreePool) {
+  FrameTable table(3);
+  table.RetireFrame(FrameId{1});
+  EXPECT_EQ(table.retired_count(), 1u);
+  EXPECT_EQ(table.usable_frame_count(), 2u);
+  EXPECT_TRUE(table.info(FrameId{1}).retired);
+  // The free pool skips the retired frame entirely.
+  EXPECT_EQ(table.free_count(), 2u);
+  EXPECT_EQ(table.TakeFreeFrame(), FrameId{0});
+  EXPECT_EQ(table.TakeFreeFrame(), FrameId{2});
+  EXPECT_FALSE(table.TakeFreeFrame().has_value());
+}
+
+TEST(FrameTableTest, RetireAfterEvictRemovesFrameFromCirculation) {
+  FrameTable table(2);
+  const FrameId frame = *table.TakeFreeFrame();
+  table.Load(frame, PageId{1}, 0);
+  table.Evict(frame);  // back in the free pool...
+  table.RetireFrame(frame);  // ...and now gone for good
+  EXPECT_EQ(table.usable_frame_count(), 1u);
+  EXPECT_EQ(table.TakeFreeFrame(), FrameId{1});
+  EXPECT_FALSE(table.TakeFreeFrame().has_value());
+  EXPECT_TRUE(table.EvictionCandidates().empty());
+}
+
 TEST(FrameTableDeathTest, DoubleLoadAborts) {
   FrameTable table(1);
   const FrameId frame = *table.TakeFreeFrame();
@@ -110,6 +135,42 @@ TEST(FrameTableDeathTest, EvictingPinnedFrameAborts) {
 TEST(FrameTableDeathTest, TouchingEmptyFrameAborts) {
   FrameTable table(1);
   EXPECT_DEATH(table.Touch(FrameId{0}, 0, false, 1), "empty");
+}
+
+// Double-vacating a frame must remain a hard abort: a second Evict means the
+// caller's residency bookkeeping has already diverged from the table's.
+TEST(FrameTableDeathTest, DoubleEvictAborts) {
+  FrameTable table(2);
+  const FrameId frame = *table.TakeFreeFrame();
+  table.Load(frame, PageId{1}, 0);
+  table.Evict(frame);
+  EXPECT_DEATH(table.Evict(frame), "empty");
+}
+
+TEST(FrameTableDeathTest, RetiringOccupiedFrameAborts) {
+  FrameTable table(2);
+  const FrameId frame = *table.TakeFreeFrame();
+  table.Load(frame, PageId{1}, 0);
+  EXPECT_DEATH(table.RetireFrame(frame), "occupied");
+}
+
+TEST(FrameTableDeathTest, RetiringFrameTwiceAborts) {
+  FrameTable table(2);
+  table.RetireFrame(FrameId{0});
+  EXPECT_DEATH(table.RetireFrame(FrameId{0}), "twice");
+}
+
+TEST(FrameTableDeathTest, ReturningRetiredFrameAborts) {
+  FrameTable table(2);
+  const FrameId frame = *table.TakeFreeFrame();
+  table.RetireFrame(frame);
+  EXPECT_DEATH(table.ReturnFreeFrame(frame), "retired");
+}
+
+TEST(FrameTableDeathTest, LoadingIntoRetiredFrameAborts) {
+  FrameTable table(2);
+  table.RetireFrame(FrameId{0});
+  EXPECT_DEATH(table.Load(FrameId{0}, PageId{1}, 0), "retired");
 }
 
 }  // namespace

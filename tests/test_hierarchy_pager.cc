@@ -28,7 +28,7 @@ HierarchyPager MakePager(HierarchyPagerConfig config = SmallConfig()) {
 
 TEST(HierarchyPagerTest, FirstTouchIsZeroFillWithNoTransfer) {
   HierarchyPager pager = MakePager();
-  const Cycles wait = pager.Access(PageId{1}, AccessKind::kRead, 0);
+  const Cycles wait = *pager.Access(PageId{1}, AccessKind::kRead, 0);
   EXPECT_EQ(wait, 0u);
   EXPECT_EQ(pager.stats().zero_fills, 1u);
   EXPECT_EQ(pager.stats().drum_hits, 0u);
@@ -40,7 +40,7 @@ TEST(HierarchyPagerTest, EvictedPageLandsOnDrumAndComesBackFast) {
   Cycles now = 0;
   // Fill the 4 frames, then push page 0 out.
   for (std::uint64_t p = 0; p <= 4; ++p) {
-    now += pager.Access(PageId{p}, AccessKind::kRead, now) + 1;
+    now += *pager.Access(PageId{p}, AccessKind::kRead, now) + 1;
   }
   EXPECT_FALSE(pager.IsResident(PageId{0}));
   EXPECT_EQ(pager.drum_page_count(), 1u);
@@ -48,7 +48,7 @@ TEST(HierarchyPagerTest, EvictedPageLandsOnDrumAndComesBackFast) {
   // LRU victim to the drum, then read page 0 behind it on the same channel:
   // two drum transfers of (200 + 64*2) = 328 cycles each — still far below
   // the disk's 5000-cycle start-up.
-  const Cycles wait = pager.Access(PageId{0}, AccessKind::kRead, now + 100000);
+  const Cycles wait = *pager.Access(PageId{0}, AccessKind::kRead, now + 100000);
   EXPECT_EQ(pager.stats().drum_hits, 1u);
   EXPECT_EQ(wait, 2 * (200u + 64 * 2));
 }
@@ -59,7 +59,7 @@ TEST(HierarchyPagerTest, DrumOverflowDemotesToDisk) {
   HierarchyPager pager(config, std::make_unique<LruReplacement>());
   Cycles now = 0;
   for (std::uint64_t p = 0; p < 12; ++p) {
-    now += pager.Access(PageId{p}, AccessKind::kRead, now) + 1;
+    now += *pager.Access(PageId{p}, AccessKind::kRead, now) + 1;
   }
   EXPECT_GT(pager.stats().demotions, 0u);
   EXPECT_LE(pager.drum_page_count(), 2u);
@@ -71,11 +71,11 @@ TEST(HierarchyPagerTest, DiskFaultCostsMoreThanDrumFault) {
   HierarchyPager pager(config, std::make_unique<LruReplacement>());
   Cycles now = 0;
   for (std::uint64_t p = 0; p < 8; ++p) {
-    now += pager.Access(PageId{p}, AccessKind::kRead, now) + 1;
+    now += *pager.Access(PageId{p}, AccessKind::kRead, now) + 1;
   }
   // Pages 0..2 have been demoted to disk; page 6 sits on the drum (page 7's
   // eviction may vary) — fetch the definitely-disk page 0.
-  const Cycles disk_wait = pager.Access(PageId{0}, AccessKind::kRead, now + 100000);
+  const Cycles disk_wait = *pager.Access(PageId{0}, AccessKind::kRead, now + 100000);
   EXPECT_GE(disk_wait, 5000u);
   EXPECT_GT(pager.stats().disk_hits, 0u);
 }
@@ -88,16 +88,16 @@ TEST(HierarchyPagerTest, PromotionStagesDiskFaultedPagesOnDrum) {
   HierarchyPager pager(config, std::make_unique<LruReplacement>());
   Cycles now = 0;
   for (std::uint64_t p = 0; p < 8; ++p) {
-    now += pager.Access(PageId{p}, AccessKind::kRead, now) + 1;
+    now += *pager.Access(PageId{p}, AccessKind::kRead, now) + 1;
   }
   // Fault page 0 back from disk (promotion evidence), then evict it again.
-  now += pager.Access(PageId{0}, AccessKind::kRead, now) + 1;
+  now += *pager.Access(PageId{0}, AccessKind::kRead, now) + 1;
   for (std::uint64_t p = 20; p < 24; ++p) {
-    now += pager.Access(PageId{p}, AccessKind::kRead, now) + 1;
+    now += *pager.Access(PageId{p}, AccessKind::kRead, now) + 1;
   }
   // The re-eviction staged page 0 on the drum despite kAlwaysDisk.
   EXPECT_EQ(pager.drum_page_count(), 1u);
-  const Cycles wait = pager.Access(PageId{0}, AccessKind::kRead, now + 100000);
+  const Cycles wait = *pager.Access(PageId{0}, AccessKind::kRead, now + 100000);
   EXPECT_EQ(pager.stats().drum_hits, 1u);
   EXPECT_LT(wait, 5000u);
 }
@@ -109,7 +109,7 @@ TEST(HierarchyPagerTest, AlwaysDiskPolicySkipsTheDrum) {
   HierarchyPager pager(config, std::make_unique<LruReplacement>());
   Cycles now = 0;
   for (std::uint64_t p = 0; p < 12; ++p) {
-    now += pager.Access(PageId{p}, AccessKind::kRead, now) + 1;
+    now += *pager.Access(PageId{p}, AccessKind::kRead, now) + 1;
   }
   EXPECT_EQ(pager.drum_page_count(), 0u);
   EXPECT_EQ(pager.stats().demotions, 0u);
@@ -121,7 +121,7 @@ TEST(HierarchyPagerTest, DrumServiceFractionSummarises) {
   // Loop over 6 pages with 4 frames: steady re-faulting, all served by drum.
   for (int lap = 0; lap < 10; ++lap) {
     for (std::uint64_t p = 0; p < 6; ++p) {
-      now += pager.Access(PageId{p}, AccessKind::kRead, now) + 1;
+      now += *pager.Access(PageId{p}, AccessKind::kRead, now) + 1;
     }
   }
   EXPECT_GT(pager.stats().drum_hits, 0u);
@@ -132,7 +132,7 @@ TEST(HierarchyPagerTest, StatsAccumulateConsistently) {
   HierarchyPager pager = MakePager();
   Cycles now = 0;
   for (std::uint64_t p = 0; p < 20; ++p) {
-    now += pager.Access(PageId{p % 7}, AccessKind::kWrite, now) + 1;
+    now += *pager.Access(PageId{p % 7}, AccessKind::kWrite, now) + 1;
   }
   const HierarchyPagerStats& stats = pager.stats();
   EXPECT_EQ(stats.accesses, 20u);

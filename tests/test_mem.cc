@@ -194,6 +194,54 @@ TEST(PackingChannelTest, AutonomousChannelHasSetupButCheaperWords) {
   EXPECT_LT(channel.MoveCost(1000), CpuPackingChannel().MoveCost(1000));
 }
 
+TEST(BackingStoreTest, MarkBadRetiresSlotAndDropsContent) {
+  BackingStore store(MakeDrumLevel("drum", 1024, 2, 100));
+  store.Store(3, std::vector<Word>(16, Word{7}));
+  ASSERT_TRUE(store.Contains(3));
+  ASSERT_EQ(store.OccupiedWords(), 16u);
+
+  store.MarkBad(3);
+  EXPECT_TRUE(store.IsBad(3));
+  EXPECT_FALSE(store.Contains(3));   // the content went with the sector
+  EXPECT_EQ(store.OccupiedWords(), 0u);
+  EXPECT_EQ(store.bad_slot_count(), 1u);
+  EXPECT_FALSE(store.IsBad(4));
+}
+
+TEST(BackingStoreTest, SpareSlotsAllocateAboveCallerRange) {
+  BackingStore store(MakeDrumLevel("drum", 128, 2, 100));
+  const auto first = store.AllocateSpareSlot(16);
+  const auto second = store.AllocateSpareSlot(16);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_GE(*first, BackingStore::kSpareSlotBase);
+  EXPECT_NE(*first, *second);
+}
+
+TEST(BackingStoreTest, SpareSlotAllocationRespectsCapacity) {
+  BackingStore store(MakeDrumLevel("drum", 128, 2, 100));
+  store.Store(0, std::vector<Word>(100, Word{1}));
+  EXPECT_TRUE(store.HasRoomFor(28));
+  EXPECT_FALSE(store.HasRoomFor(29));
+  EXPECT_FALSE(store.AllocateSpareSlot(64).has_value());  // would overflow
+  EXPECT_TRUE(store.AllocateSpareSlot(16).has_value());
+}
+
+// Transfers against a retired slot must remain hard aborts: the resilience
+// layer is required to relocate first, never to retry a dead sector.
+TEST(BackingStoreDeathTest, StoreToBadSlotAborts) {
+  BackingStore store(MakeDrumLevel("drum", 1024, 2, 100));
+  store.MarkBad(5);
+  EXPECT_DEATH(store.Store(5, std::vector<Word>(4, Word{0})), "retired");
+}
+
+TEST(BackingStoreDeathTest, FetchFromBadSlotAborts) {
+  BackingStore store(MakeDrumLevel("drum", 1024, 2, 100));
+  store.MarkBad(5);
+  std::vector<Word> out;
+  EXPECT_DEATH(store.Fetch(5, 4, &out), "retired");
+}
+
 // --- StorageHierarchy ----------------------------------------------------------------
 
 TEST(StorageHierarchyTest, BuildsLevelsAndChannels) {
@@ -205,6 +253,15 @@ TEST(StorageHierarchyTest, BuildsLevelsAndChannels) {
   EXPECT_EQ(hierarchy.backing(disk).level().kind, StorageLevelKind::kDisk);
   hierarchy.channel(drum).Schedule(hierarchy.backing(drum).level(), 4, 0);
   EXPECT_EQ(hierarchy.channel(drum).transfers(), 1u);
+}
+
+// An out-of-range level index is a structural bug in the caller, not a
+// runtime condition to degrade around: it must stay a hard abort.
+TEST(StorageHierarchyDeathTest, OutOfRangeLevelIndexAborts) {
+  StorageHierarchy hierarchy(MakeCoreLevel("core", 1024, 1));
+  hierarchy.AddBackingLevel(MakeDrumLevel("drum", 8192, 4, 100));
+  EXPECT_DEATH(hierarchy.backing(1), "out of range");
+  EXPECT_DEATH(hierarchy.channel(1), "out of range");
 }
 
 TEST(StorageHierarchyTest, DescribeListsEveryLevel) {

@@ -47,11 +47,11 @@ class PagerTest : public ::testing::Test {
 TEST_F(PagerTest, FirstTouchFaultsSecondHits) {
   auto pager = MakePager(DefaultConfig());
   const auto first = pager->Access(PageId{1}, AccessKind::kRead, 0);
-  EXPECT_TRUE(first.faulted);
-  EXPECT_GT(first.wait_cycles, 0u);
-  const auto second = pager->Access(PageId{1}, AccessKind::kRead, first.wait_cycles + 1);
-  EXPECT_FALSE(second.faulted);
-  EXPECT_EQ(second.wait_cycles, 0u);
+  EXPECT_TRUE(first->faulted);
+  EXPECT_GT(first->wait_cycles, 0u);
+  const auto second = pager->Access(PageId{1}, AccessKind::kRead, first->wait_cycles + 1);
+  EXPECT_FALSE(second->faulted);
+  EXPECT_EQ(second->wait_cycles, 0u);
   EXPECT_EQ(pager->stats().accesses, 2u);
   EXPECT_EQ(pager->stats().faults, 1u);
 }
@@ -59,18 +59,18 @@ TEST_F(PagerTest, FirstTouchFaultsSecondHits) {
 TEST_F(PagerTest, WaitMatchesDrumTiming) {
   auto pager = MakePager(DefaultConfig());
   const auto outcome = pager->Access(PageId{0}, AccessKind::kRead, 0);
-  EXPECT_EQ(outcome.wait_cycles, 100u + 2 * kPage);  // rotation + words
+  EXPECT_EQ(outcome->wait_cycles, 100u + 2 * kPage);  // rotation + words
 }
 
 TEST_F(PagerTest, EvictionHappensWhenFramesExhausted) {
   auto pager = MakePager(DefaultConfig());
   Cycles now = 0;
   for (std::uint64_t p = 0; p < kFrames; ++p) {
-    now += pager->Access(PageId{p}, AccessKind::kRead, now).wait_cycles + 1;
+    now += pager->Access(PageId{p}, AccessKind::kRead, now)->wait_cycles + 1;
   }
   EXPECT_EQ(pager->frames().free_count(), 0u);
   // Page 3 evicts the LRU page 0.
-  now += pager->Access(PageId{3}, AccessKind::kRead, now).wait_cycles + 1;
+  now += pager->Access(PageId{3}, AccessKind::kRead, now)->wait_cycles + 1;
   EXPECT_FALSE(pager->IsResident(PageId{0}));
   EXPECT_TRUE(pager->IsResident(PageId{3}));
   EXPECT_EQ(pager->stats().evictions, 1u);
@@ -79,9 +79,9 @@ TEST_F(PagerTest, EvictionHappensWhenFramesExhausted) {
 TEST_F(PagerTest, DirtyEvictionWritesBack) {
   auto pager = MakePager(DefaultConfig());
   Cycles now = 0;
-  now += pager->Access(PageId{0}, AccessKind::kWrite, now).wait_cycles + 1;
+  now += pager->Access(PageId{0}, AccessKind::kWrite, now)->wait_cycles + 1;
   for (std::uint64_t p = 1; p <= kFrames; ++p) {
-    now += pager->Access(PageId{p}, AccessKind::kRead, now).wait_cycles + 1;
+    now += pager->Access(PageId{p}, AccessKind::kRead, now)->wait_cycles + 1;
   }
   EXPECT_EQ(pager->stats().writebacks, 1u);
   EXPECT_TRUE(backing_->Contains(0));  // page 0's dirty copy reached the drum
@@ -91,7 +91,7 @@ TEST_F(PagerTest, CleanEvictionSkipsWriteBack) {
   auto pager = MakePager(DefaultConfig());
   Cycles now = 0;
   for (std::uint64_t p = 0; p <= kFrames; ++p) {
-    now += pager->Access(PageId{p}, AccessKind::kRead, now).wait_cycles + 1;
+    now += pager->Access(PageId{p}, AccessKind::kRead, now)->wait_cycles + 1;
   }
   EXPECT_EQ(pager->stats().writebacks, 0u);
 }
@@ -102,7 +102,7 @@ TEST_F(PagerTest, KeepOneFrameVacantRestoresReserve) {
   auto pager = MakePager(config);
   Cycles now = 0;
   for (std::uint64_t p = 0; p < 5; ++p) {
-    now += pager->Access(PageId{p}, AccessKind::kRead, now).wait_cycles + 1;
+    now += pager->Access(PageId{p}, AccessKind::kRead, now)->wait_cycles + 1;
     EXPECT_GE(pager->frames().free_count(), 1u)
         << "vacant frame not maintained after page " << p;
   }
@@ -112,9 +112,9 @@ TEST_F(PagerTest, PrefetchFillsOnlyFreeFrames) {
   PagerConfig config = DefaultConfig();
   auto pager = MakePager(config, std::make_unique<PrefetchFetch>(8, 1u << 20));
   const auto outcome = pager->Access(PageId{0}, AccessKind::kRead, 0);
-  EXPECT_TRUE(outcome.faulted);
+  EXPECT_TRUE(outcome->faulted);
   // 3 frames: the demanded page plus at most 2 prefetched neighbours.
-  EXPECT_EQ(outcome.extra_fetches, kFrames - 1);
+  EXPECT_EQ(outcome->extra_fetches, kFrames - 1);
   EXPECT_TRUE(pager->IsResident(PageId{1}));
   EXPECT_TRUE(pager->IsResident(PageId{2}));
   EXPECT_FALSE(pager->IsResident(PageId{3}));
@@ -124,9 +124,9 @@ TEST_F(PagerTest, PrefetchFillsOnlyFreeFrames) {
 TEST_F(PagerTest, PrefetchNeverEvicts) {
   auto pager = MakePager(DefaultConfig(), std::make_unique<PrefetchFetch>(8, 1u << 20));
   Cycles now = 0;
-  now += pager->Access(PageId{0}, AccessKind::kRead, now).wait_cycles + 1;  // fills 0,1,2
+  now += pager->Access(PageId{0}, AccessKind::kRead, now)->wait_cycles + 1;  // fills 0,1,2
   const std::uint64_t evictions_before = pager->stats().evictions;
-  now += pager->Access(PageId{10}, AccessKind::kRead, now).wait_cycles + 1;
+  now += pager->Access(PageId{10}, AccessKind::kRead, now)->wait_cycles + 1;
   // The demand eviction is allowed; prefetch found no free frame and stopped.
   EXPECT_EQ(pager->stats().evictions, evictions_before + 1);
   EXPECT_FALSE(pager->IsResident(PageId{11}));
@@ -144,10 +144,10 @@ TEST_F(PagerTest, WontNeedAdviceReleasesAtNextFault) {
   auto pager = MakePager(DefaultConfig(), nullptr, /*with_advice=*/true);
   Cycles now = 0;
   for (std::uint64_t p = 0; p < kFrames; ++p) {
-    now += pager->Access(PageId{p}, AccessKind::kRead, now).wait_cycles + 1;
+    now += pager->Access(PageId{p}, AccessKind::kRead, now)->wait_cycles + 1;
   }
   pager->AdviseWontNeed(PageId{1});
-  now += pager->Access(PageId{9}, AccessKind::kRead, now).wait_cycles + 1;
+  now += pager->Access(PageId{9}, AccessKind::kRead, now)->wait_cycles + 1;
   EXPECT_FALSE(pager->IsResident(PageId{1}));
   EXPECT_EQ(pager->stats().advised_releases, 1u);
   // The advised release supplied the frame: no policy eviction was needed.
@@ -158,20 +158,20 @@ TEST_F(PagerTest, WontNeedAdviceReleasesAtNextFault) {
 TEST_F(PagerTest, AccessSupersedesWontNeed) {
   auto pager = MakePager(DefaultConfig(), nullptr, /*with_advice=*/true);
   Cycles now = 0;
-  now += pager->Access(PageId{1}, AccessKind::kRead, now).wait_cycles + 1;
+  now += pager->Access(PageId{1}, AccessKind::kRead, now)->wait_cycles + 1;
   pager->AdviseWontNeed(PageId{1});
-  now += pager->Access(PageId{1}, AccessKind::kRead, now).wait_cycles + 1;  // re-touch
-  now += pager->Access(PageId{2}, AccessKind::kRead, now).wait_cycles + 1;
+  now += pager->Access(PageId{1}, AccessKind::kRead, now)->wait_cycles + 1;  // re-touch
+  now += pager->Access(PageId{2}, AccessKind::kRead, now)->wait_cycles + 1;
   EXPECT_TRUE(pager->IsResident(PageId{1})) << "advice outlived a contradicting access";
 }
 
 TEST_F(PagerTest, KeepResidentPinsAgainstReplacement) {
   auto pager = MakePager(DefaultConfig(), nullptr, /*with_advice=*/true);
   Cycles now = 0;
-  now += pager->Access(PageId{0}, AccessKind::kRead, now).wait_cycles + 1;
+  now += pager->Access(PageId{0}, AccessKind::kRead, now)->wait_cycles + 1;
   pager->AdviseKeepResident(PageId{0});
   for (std::uint64_t p = 1; p < 10; ++p) {
-    now += pager->Access(PageId{p}, AccessKind::kRead, now).wait_cycles + 1;
+    now += pager->Access(PageId{p}, AccessKind::kRead, now)->wait_cycles + 1;
   }
   EXPECT_TRUE(pager->IsResident(PageId{0}));
 }
@@ -179,7 +179,7 @@ TEST_F(PagerTest, KeepResidentPinsAgainstReplacement) {
 TEST_F(PagerTest, ReleaseEvictsImmediately) {
   auto pager = MakePager(DefaultConfig());
   Cycles now = 0;
-  now += pager->Access(PageId{0}, AccessKind::kWrite, now).wait_cycles + 1;
+  now += pager->Access(PageId{0}, AccessKind::kWrite, now)->wait_cycles + 1;
   pager->Release(PageId{0}, now);
   EXPECT_FALSE(pager->IsResident(PageId{0}));
   EXPECT_EQ(pager->stats().writebacks, 1u);  // dirty release still writes back
@@ -189,9 +189,9 @@ TEST_F(PagerTest, ResidentWordsTracksOccupancy) {
   auto pager = MakePager(DefaultConfig());
   EXPECT_EQ(pager->ResidentWords(), 0u);
   Cycles now = 0;
-  now += pager->Access(PageId{0}, AccessKind::kRead, now).wait_cycles + 1;
+  now += pager->Access(PageId{0}, AccessKind::kRead, now)->wait_cycles + 1;
   EXPECT_EQ(pager->ResidentWords(), kPage);
-  now += pager->Access(PageId{1}, AccessKind::kRead, now).wait_cycles + 1;
+  now += pager->Access(PageId{1}, AccessKind::kRead, now)->wait_cycles + 1;
   EXPECT_EQ(pager->ResidentWords(), 2 * kPage);
 }
 
@@ -200,7 +200,7 @@ TEST_F(PagerTest, ChannelQueueingLengthensWaits) {
   // Two faults issued at the same instant: the second transfer queues.
   const auto first = pager->Access(PageId{0}, AccessKind::kRead, 0);
   const auto second = pager->Access(PageId{1}, AccessKind::kRead, 0);
-  EXPECT_GT(second.wait_cycles, first.wait_cycles);
+  EXPECT_GT(second->wait_cycles, first->wait_cycles);
 }
 
 TEST_F(PagerTest, FrameOfReportsMapping) {
@@ -218,7 +218,7 @@ TEST_F(PagerTest, ResidencyCallbacksFire) {
       [&events](PageId page, FrameId) { events.emplace_back(page.value, false); });
   Cycles now = 0;
   for (std::uint64_t p = 0; p <= kFrames; ++p) {
-    now += pager->Access(PageId{p}, AccessKind::kRead, now).wait_cycles + 1;
+    now += pager->Access(PageId{p}, AccessKind::kRead, now)->wait_cycles + 1;
   }
   ASSERT_EQ(events.size(), kFrames + 2);  // 4 loads + 1 evict
   EXPECT_EQ(events.back().second, true);

@@ -145,7 +145,7 @@ PagerReplay ReplayTrace(const std::vector<PageId>& refs, std::size_t frames,
   Cycles now = 0;
   for (const PageId page : refs) {
     const auto outcome = pager.Access(page, AccessKind::kRead, now);
-    now += 1 + outcome.wait_cycles;
+    now += 1 + outcome->wait_cycles;
   }
   replay.faults = pager.stats().faults;
   return replay;

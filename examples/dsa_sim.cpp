@@ -19,11 +19,15 @@
 //     --tlb N                 associative memory entries      (default 8)
 //     --drum-latency CYCLES   backing start-up latency        (default 6000)
 //     --dump-trace FILE       write the workload out in trace format and exit
+//     --trace=FILE            capture the run's event stream as JSONL (note the
+//                             '=': the two-token form reads a reference trace),
+//                             re-verify it, and report the verifier's verdict
 //
 // Examples:
 //   dsa_sim --name-space symseg --unit blocks --replacement clock
 //   dsa_sim --gen loop --replacement atlas --core 8192
 //   dsa_sim --dump-trace /tmp/t.trace && dsa_sim --trace /tmp/t.trace
+//   dsa_sim --trace=/tmp/events.jsonl
 
 #include <cstdio>
 #include <cstdlib>
@@ -31,6 +35,10 @@
 #include <fstream>
 #include <string>
 
+#include "src/obs/export.h"
+#include "src/obs/tracer.h"
+#include "src/obs/verifier.h"
+#include "src/obs/vm_metrics.h"
 #include "src/trace/synthetic.h"
 #include "src/trace/trace_io.h"
 #include "src/vm/system_builder.h"
@@ -88,6 +96,7 @@ dsa::ReferenceTrace GenerateWorkload(const std::string& kind) {
 
 int main(int argc, char** argv) {
   std::string trace_file;
+  std::string event_trace_file;
   std::string dump_file;
   std::string gen_kind = "working-set";
   dsa::SystemSpec spec;
@@ -109,6 +118,11 @@ int main(int argc, char** argv) {
     };
     if (arg == "--trace") {
       trace_file = next();
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      event_trace_file = arg.substr(std::strlen("--trace="));
+      if (event_trace_file.empty()) {
+        Usage(argv[0], "empty --trace= file name");
+      }
     } else if (arg == "--gen") {
       gen_kind = next();
     } else if (arg == "--dump-trace") {
@@ -221,27 +235,44 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Unbounded retention: the verifier needs the complete stream.
+  dsa::EventTracer tracer(/*capacity=*/0);
+  if (!event_trace_file.empty()) {
+    spec.tracer = &tracer;
+  }
+
   const auto system = dsa::BuildSystem(spec);
   const dsa::VmReport report = system->Run(trace);
 
-  std::printf("system           %s\n", dsa::Describe(system->characteristics()).c_str());
-  std::printf("workload         %s (%llu references)\n", trace.label.c_str(),
-              static_cast<unsigned long long>(report.references));
-  std::printf("faults           %llu  (rate %.5f)\n",
-              static_cast<unsigned long long>(report.faults), report.FaultRate());
-  std::printf("bounds traps     %llu\n",
-              static_cast<unsigned long long>(report.bounds_violations));
-  std::printf("write-backs      %llu\n", static_cast<unsigned long long>(report.writebacks));
-  std::printf("total cycles     %llu\n", static_cast<unsigned long long>(report.total_cycles));
-  std::printf("mean map cost    %.2f cycles/ref\n", report.MeanTranslationCost());
-  std::printf("wait fraction    %.3f\n", report.WaitFraction());
-  std::printf("space-time       active %.3e, waiting %.3e (waiting %.1f%%)\n",
-              report.space_time.active, report.space_time.waiting,
-              100.0 * report.space_time.WaitingFraction());
-  std::printf("peak residency   %llu words\n",
-              static_cast<unsigned long long>(report.peak_resident_words));
-  if (report.tlb_hit_rate > 0.0) {
-    std::printf("assoc hit rate   %.3f\n", report.tlb_hit_rate);
+  // The report block, rebuilt from the metrics registry (byte-identical to
+  // the printf block it replaced; test_metrics_format pins the formatting).
+  std::fputs(dsa::RenderVmReport(report, dsa::Describe(system->characteristics()), trace.label)
+                 .c_str(),
+             stdout);
+
+  if (!event_trace_file.empty()) {
+    const std::vector<dsa::TraceEvent> events = tracer.Snapshot();
+    std::ofstream out(event_trace_file);
+    if (!out) {
+      Usage(argv[0], "cannot open --trace= output file");
+    }
+    dsa::WriteEventsJsonl(events, &out);
+    out.close();
+
+    dsa::TraceVerifierConfig verifier_config;
+    verifier_config.frame_count = spec.page_words == 0
+                                      ? std::nullopt
+                                      : std::optional<std::size_t>(static_cast<std::size_t>(
+                                            spec.core_words / spec.page_words));
+    const dsa::TraceReplayVerifier verifier(verifier_config);
+    const std::vector<dsa::TraceViolation> violations = verifier.Verify(events);
+    std::printf("event trace      %zu events -> %s (%s)\n", events.size(),
+                event_trace_file.c_str(),
+                violations.empty() ? "verified" : "VERIFIER VIOLATIONS");
+    if (!violations.empty()) {
+      std::fputs(dsa::TraceReplayVerifier::Describe(violations).c_str(), stderr);
+      return 1;
+    }
   }
   return 0;
 }

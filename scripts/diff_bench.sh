@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Regenerates the quick bench results and diffs their deterministic fields
+# against the committed references (BENCH_*.quick.json).
+#
+# The simulator is a pure function of its seeds, so fault counts, wait
+# cycles, and space-time products must be bit-identical on every machine;
+# only wall-clock fields (seconds, refs_per_sec, speedup) vary and are
+# stripped before the diff.  CI runs this to catch silent behaviour drift
+# that the unit suites are too narrow to see.
+#
+#   scripts/diff_bench.sh          # build, run --quick, diff
+#   scripts/diff_bench.sh --regen  # rewrite the committed references
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+strip_timing() {
+  # Drops machine-dependent fields; everything left must be deterministic.
+  sed -E -e 's/"seconds": [0-9.eE+-]+, //g' \
+         -e 's/, "refs_per_sec": [0-9.eE+-]+//g' \
+         -e 's/"speedup": [0-9.eE+-]+/"speedup": null/g' "$1"
+}
+
+cmake -B build -S . > /dev/null
+cmake --build build -j --target bench_throughput bench_degradation > /dev/null
+
+mkdir -p build/bench_diff
+./build/bench/bench_throughput --quick --out build/bench_diff/throughput.json > /dev/null
+./build/bench/bench_degradation --quick --out build/bench_diff/degradation.json > /dev/null
+
+if [[ "${1:-}" == "--regen" ]]; then
+  strip_timing build/bench_diff/throughput.json > BENCH_throughput.quick.json
+  strip_timing build/bench_diff/degradation.json > BENCH_degradation.quick.json
+  echo "rewrote BENCH_throughput.quick.json and BENCH_degradation.quick.json"
+  exit 0
+fi
+
+status=0
+for name in throughput degradation; do
+  strip_timing "build/bench_diff/${name}.json" > "build/bench_diff/${name}.stripped.json"
+  if ! diff -u "BENCH_${name}.quick.json" "build/bench_diff/${name}.stripped.json"; then
+    echo "bench_${name}: deterministic results drifted from BENCH_${name}.quick.json" >&2
+    echo "(if intentional, refresh with scripts/diff_bench.sh --regen)" >&2
+    status=1
+  fi
+done
+exit $status

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Regenerates the golden event captures under tests/golden/ from the run
+# definitions in tests/golden_runs.h.
+#
+# Run this after an intentional engine-behaviour change, then review the
+# JSONL diff like any other code change — the byte comparison in
+# test_golden_traces is only as trustworthy as the review of what gets
+# regenerated.  gen_golden refuses to write a stream the replay verifier
+# rejects.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . > /dev/null
+cmake --build build -j --target gen_golden
+./build/tests/gen_golden tests/golden
+git --no-pager diff --stat -- tests/golden || true

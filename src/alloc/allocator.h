@@ -12,9 +12,12 @@
 
 #include "src/alloc/block.h"
 #include "src/core/types.h"
+#include "src/obs/event.h"
 #include "src/stats/fragmentation.h"
 
 namespace dsa {
+
+class EventTracer;
 
 struct AllocatorStats {
   std::uint64_t allocations{0};
@@ -52,6 +55,14 @@ class Allocator {
   FragmentationReport Fragmentation() const {
     return ReportFromHoles(capacity(), live_words(), reserved_words(), HoleSizes());
   }
+
+  // Attaches the shared event tracer; concrete allocators emit alloc/free
+  // records for every satisfied request (stamped by the tracer's clock —
+  // allocation itself is timeless in this model).
+  void SetTracer(EventTracer* tracer) { tracer_ = tracer; }
+
+ protected:
+  EventTracer* tracer_{nullptr};
 };
 
 }  // namespace dsa

@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "src/core/assert.h"
+#include "src/obs/tracer.h"
 
 namespace dsa {
 
@@ -59,6 +60,7 @@ std::optional<Block> BuddyAllocator::Allocate(WordCount size) {
   live_words_ += size;
   reserved_words_ += granted;
   stats_.words_allocated += granted;
+  DSA_TRACE_EMIT(tracer_, EventKind::kAlloc, addr, granted);
   return Block{PhysicalAddress{addr}, granted};
 }
 
@@ -70,6 +72,7 @@ void BuddyAllocator::Free(PhysicalAddress addr) {
   reserved_words_ -= WordCount{1} << order;
   live_.erase(it);
   ++stats_.frees;
+  DSA_TRACE_EMIT(tracer_, EventKind::kFree, addr.value, WordCount{1} << order);
 
   // Coalesce with the buddy while it is free, up to the top order.
   std::uint64_t block = addr.value;

@@ -1,5 +1,7 @@
 #include "src/alloc/compaction.h"
 
+#include "src/obs/tracer.h"
+
 namespace dsa {
 
 CompactionResult CompactionEngine::Compact(VariableAllocator* allocator, CoreStore* store,
@@ -32,6 +34,7 @@ CompactionResult CompactionEngine::Compact(VariableAllocator* allocator, CoreSto
   }
 
   result.holes_after = allocator->free_list().hole_count();
+  DSA_TRACE_EMIT(tracer_, EventKind::kCompaction, result.blocks_moved, result.words_moved);
   return result;
 }
 

@@ -38,6 +38,10 @@ class CompactionEngine {
 
   explicit CompactionEngine(PackingChannel channel) : channel_(channel) {}
 
+  // Attaches the shared event tracer; every compaction pass emits one
+  // kCompaction record (blocks moved, words moved).
+  void SetTracer(EventTracer* tracer) { tracer_ = tracer; }
+
   // Compacts `allocator` in place.  When `store` is non-null the block
   // contents are physically moved too (and verified by tests).
   CompactionResult Compact(VariableAllocator* allocator, CoreStore* store,
@@ -47,6 +51,7 @@ class CompactionEngine {
 
  private:
   PackingChannel channel_;
+  EventTracer* tracer_{nullptr};
 };
 
 }  // namespace dsa

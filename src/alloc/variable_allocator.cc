@@ -1,6 +1,7 @@
 #include "src/alloc/variable_allocator.h"
 
 #include "src/core/assert.h"
+#include "src/obs/tracer.h"
 
 namespace dsa {
 
@@ -23,6 +24,7 @@ std::optional<Block> VariableAllocator::Allocate(WordCount size) {
   live_.emplace(addr->value, size);
   live_words_ += size;
   stats_.words_allocated += size;
+  DSA_TRACE_EMIT(tracer_, EventKind::kAlloc, addr->value, size);
   return Block{*addr, size};
 }
 
@@ -33,6 +35,7 @@ void VariableAllocator::Free(PhysicalAddress addr) {
   live_.erase(it);
   live_words_ -= size;
   ++stats_.frees;
+  DSA_TRACE_EMIT(tracer_, EventKind::kFree, addr.value, size);
   free_.Insert(Block{addr, size});
   policy_->NoteFree(addr, size);
 }

@@ -1,0 +1,111 @@
+// The event taxonomy of the observability layer.
+//
+// The paper reasons entirely about observable behaviour — fault counts,
+// transfer timings, fragmentation, space-time products — so the simulator
+// records its decisions as typed events that can be exported, replayed, and
+// re-checked after the fact.  Every event is stamped with the simulated
+// Clock at the reference that triggered it (payload fields carry durations),
+// which keeps a captured stream monotone even when transfers overlap under
+// multiprogramming.
+//
+// Emission sites compile out entirely with -DDSA_TRACE=0 (the CMake
+// `DSA_TRACE` option), so hot paths measured by bench_throughput carry no
+// tracing cost when the layer is disabled at build time; at run time a null
+// or disabled tracer costs one predictable branch.
+
+#ifndef SRC_OBS_EVENT_H_
+#define SRC_OBS_EVENT_H_
+
+#include <cstdint>
+
+#include "src/core/types.h"
+
+#ifndef DSA_TRACE
+#define DSA_TRACE 1
+#endif
+
+namespace dsa {
+
+// One kind per decision the engines make.  Payload fields `a`, `b`, `c` are
+// generic 64-bit slots whose meaning is per-kind (listed right, in export
+// order); unused slots are zero.
+enum class EventKind : std::uint8_t {
+  kPageFault,         // a=page
+  kSegmentFault,      // a=segment, b=extent
+  kTransferStart,     // a=page, b=level, c=direction (0 fetch, 1 write-back)
+  kTransferComplete,  // a=page, b=level, c=wait cycles of the transfer
+  kVictimChosen,      // a=page (the victim's), b=frame
+  kFrameLoad,         // a=page, b=frame
+  kFrameEvict,        // a=page, b=frame
+  kFrameRetire,       // a=frame
+  kPageDemoted,       // a=page, b=destination level
+  kAlloc,             // a=address, b=size
+  kFree,              // a=address, b=size
+  kCompaction,        // a=blocks moved, b=words moved
+  kFaultRecovery,     // a=page, b=RecoveryAction
+  kScheduleSwitch,    // a=from job (kNoJob when idle), b=to job
+};
+
+// Payload `b` of kFaultRecovery.
+enum class RecoveryAction : std::uint64_t {
+  kRetry = 0,        // transient transfer error, re-issued
+  kRelocation = 1,   // page re-homed to a spare backing slot
+  kFrameParity = 2,  // core frame took a parity hit while landing a page
+  kPageLost = 3,     // every recovery exhausted; contents unrecoverable
+};
+
+// kScheduleSwitch `a` when no job was previously running.
+inline constexpr std::uint64_t kNoJob = ~std::uint64_t{0};
+
+struct TraceEvent {
+  Cycles time{0};
+  EventKind kind{EventKind::kPageFault};
+  std::uint64_t a{0};
+  std::uint64_t b{0};
+  std::uint64_t c{0};
+
+  bool operator==(const TraceEvent&) const = default;
+};
+
+// Stable wire names, shared by the JSONL/CSV exporters and the parser.
+const char* ToString(EventKind kind);
+// Reverse lookup; false if `name` is not a known kind.
+bool EventKindFromString(const char* name, EventKind* out);
+
+// Per-kind export names of the payload slots (nullptr when the slot is
+// unused by that kind).  Keeps the JSONL self-describing while the in-memory
+// record stays a flat POD.
+struct EventFieldNames {
+  const char* a;
+  const char* b;
+  const char* c;
+};
+EventFieldNames FieldNamesFor(EventKind kind);
+
+}  // namespace dsa
+
+// Emission macro used at every hook site.  With DSA_TRACE=0 the call —
+// including evaluation of the payload expressions — vanishes at compile
+// time.  `tracer` is an EventTracer* and may be null.
+#if DSA_TRACE
+// The no-tracer case is the production default, so the guard is annotated
+// unlikely: the compiler sinks the emission (argument materialisation and
+// the call) into a cold block, keeping hot functions compact.
+#define DSA_TRACE_EMIT(tracer, ...)                                              \
+  do {                                                                           \
+    auto* dsa_trace_t_ = (tracer);                                               \
+    if (__builtin_expect(dsa_trace_t_ != nullptr && dsa_trace_t_->enabled(), 0)) \
+      dsa_trace_t_->Emit(__VA_ARGS__);                                           \
+  } while (0)
+#define DSA_TRACE_CLOCK(tracer, now)                    \
+  do {                                                  \
+    auto* dsa_trace_t_ = (tracer);                      \
+    if (__builtin_expect(dsa_trace_t_ != nullptr, 0))   \
+      dsa_trace_t_->AdvanceClock(now);                  \
+  } while (0)
+#else
+#define DSA_TRACE_EMIT(tracer, ...) do {} while (0)
+#define DSA_TRACE_CLOCK(tracer, now) do {} while (0)
+#endif
+
+#endif  // SRC_OBS_EVENT_H_

@@ -1,0 +1,190 @@
+#include "src/obs/export.h"
+
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace dsa {
+
+namespace {
+
+void AppendField(std::string* out, const char* name, std::uint64_t value) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), ", \"%s\": %llu", name,
+                static_cast<unsigned long long>(value));
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string EventToJson(const TraceEvent& event) {
+  std::string line;
+  char head[96];
+  std::snprintf(head, sizeof(head), "{\"t\": %llu, \"kind\": \"%s\"",
+                static_cast<unsigned long long>(event.time), ToString(event.kind));
+  line.append(head);
+  const EventFieldNames names = FieldNamesFor(event.kind);
+  if (names.a != nullptr) {
+    AppendField(&line, names.a, event.a);
+  }
+  if (names.b != nullptr) {
+    AppendField(&line, names.b, event.b);
+  }
+  if (names.c != nullptr) {
+    AppendField(&line, names.c, event.c);
+  }
+  line.append("}");
+  return line;
+}
+
+void WriteEventsJsonl(const std::vector<TraceEvent>& events, std::ostream* out) {
+  for (const TraceEvent& event : events) {
+    *out << EventToJson(event) << '\n';
+  }
+}
+
+std::string EventsToJsonl(const std::vector<TraceEvent>& events) {
+  std::ostringstream out;
+  WriteEventsJsonl(events, &out);
+  return out.str();
+}
+
+void WriteEventsCsv(const std::vector<TraceEvent>& events, std::ostream* out) {
+  *out << "t,kind,a,b,c\n";
+  for (const TraceEvent& event : events) {
+    *out << event.time << ',' << ToString(event.kind) << ',' << event.a << ',' << event.b
+         << ',' << event.c << '\n';
+  }
+}
+
+namespace {
+
+// Minimal scanner for the exporter's own line format.
+struct LineScanner {
+  const char* p;
+
+  void SkipSpace() {
+    while (*p == ' ') {
+      ++p;
+    }
+  }
+  bool Literal(char c) {
+    SkipSpace();
+    if (*p != c) {
+      return false;
+    }
+    ++p;
+    return true;
+  }
+  bool Number(std::uint64_t* out) {
+    SkipSpace();
+    if (*p < '0' || *p > '9') {
+      return false;
+    }
+    std::uint64_t value = 0;
+    while (*p >= '0' && *p <= '9') {
+      value = value * 10 + static_cast<std::uint64_t>(*p - '0');
+      ++p;
+    }
+    *out = value;
+    return true;
+  }
+  // Reads a quoted string into `buf` (bounded; the wire names are short).
+  bool QuotedString(char* buf, std::size_t cap) {
+    SkipSpace();
+    if (*p != '"') {
+      return false;
+    }
+    ++p;
+    std::size_t n = 0;
+    while (*p != '"' && *p != '\0') {
+      if (n + 1 >= cap) {
+        return false;
+      }
+      buf[n++] = *p++;
+    }
+    if (*p != '"') {
+      return false;
+    }
+    ++p;
+    buf[n] = '\0';
+    return true;
+  }
+  // Matches `"name":` with the exact expected name.
+  bool Key(const char* name) {
+    char buf[64];
+    if (!QuotedString(buf, sizeof(buf))) {
+      return false;
+    }
+    const char* a = buf;
+    const char* b = name;
+    while (*a != '\0' && *a == *b) {
+      ++a;
+      ++b;
+    }
+    if (*a != *b) {
+      return false;
+    }
+    return Literal(':');
+  }
+};
+
+Expected<TraceEvent, std::string> ParseLine(const std::string& line) {
+  LineScanner s{line.c_str()};
+  TraceEvent event;
+  if (!s.Literal('{') || !s.Key("t") || !s.Number(&event.time) || !s.Literal(',') ||
+      !s.Key("kind")) {
+    return MakeUnexpected(std::string("malformed event header"));
+  }
+  char kind_name[48];
+  if (!s.QuotedString(kind_name, sizeof(kind_name))) {
+    return MakeUnexpected(std::string("malformed kind string"));
+  }
+  if (!EventKindFromString(kind_name, &event.kind)) {
+    return MakeUnexpected("unknown event kind '" + std::string(kind_name) + "'");
+  }
+  const EventFieldNames names = FieldNamesFor(event.kind);
+  const char* field_names[] = {names.a, names.b, names.c};
+  std::uint64_t* slots[] = {&event.a, &event.b, &event.c};
+  for (int i = 0; i < 3 && field_names[i] != nullptr; ++i) {
+    if (!s.Literal(',') || !s.Key(field_names[i]) || !s.Number(slots[i])) {
+      return MakeUnexpected("missing field '" + std::string(field_names[i]) + "'");
+    }
+  }
+  if (!s.Literal('}')) {
+    return MakeUnexpected(std::string("trailing content in event"));
+  }
+  s.SkipSpace();
+  if (*s.p != '\0') {
+    return MakeUnexpected(std::string("trailing content after event"));
+  }
+  return event;
+}
+
+}  // namespace
+
+Expected<std::vector<TraceEvent>, EventParseError> ReadEventsJsonl(std::istream* in) {
+  std::vector<TraceEvent> events;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(*in, line)) {
+    ++line_number;
+    if (line.empty()) {
+      continue;
+    }
+    auto parsed = ParseLine(line);
+    if (!parsed.has_value()) {
+      return MakeUnexpected(EventParseError{line_number, parsed.error()});
+    }
+    events.push_back(*parsed);
+  }
+  return events;
+}
+
+Expected<std::vector<TraceEvent>, EventParseError> ParseEventsJsonl(const std::string& text) {
+  std::istringstream in(text);
+  return ReadEventsJsonl(&in);
+}
+
+}  // namespace dsa

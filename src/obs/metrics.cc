@@ -1,0 +1,93 @@
+#include "src/obs/metrics.h"
+
+#include "src/core/assert.h"
+#include "src/stats/table.h"
+
+namespace dsa {
+
+MetricsRegistry::Slot* MetricsRegistry::FindOrCreate(const std::string& name,
+                                                     Entry::Kind kind) {
+  auto it = index_.find(name);
+  if (it != index_.end()) {
+    Slot& slot = entries_[it->second];
+    DSA_ASSERT(slot.kind == kind, "metric re-registered as a different kind");
+    return &slot;
+  }
+  index_.emplace(name, entries_.size());
+  entries_.push_back(Slot{kind, name, {}, {}, {}});
+  return &entries_.back();
+}
+
+MetricCounter* MetricsRegistry::GetCounter(const std::string& name) {
+  return &FindOrCreate(name, Entry::Kind::kCounter)->counter;
+}
+
+MetricGauge* MetricsRegistry::GetGauge(const std::string& name) {
+  return &FindOrCreate(name, Entry::Kind::kGauge)->gauge;
+}
+
+LogHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  return &FindOrCreate(name, Entry::Kind::kHistogram)->histogram;
+}
+
+std::uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return 0;
+  }
+  const Slot& slot = entries_[it->second];
+  DSA_ASSERT(slot.kind == Entry::Kind::kCounter, "metric is not a counter");
+  return slot.counter.value();
+}
+
+double MetricsRegistry::GaugeValue(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return 0.0;
+  }
+  const Slot& slot = entries_[it->second];
+  DSA_ASSERT(slot.kind == Entry::Kind::kGauge, "metric is not a gauge");
+  return slot.gauge.value();
+}
+
+std::vector<MetricsRegistry::Entry> MetricsRegistry::Entries() const {
+  std::vector<Entry> out;
+  out.reserve(entries_.size());
+  for (const Slot& slot : entries_) {
+    Entry entry;
+    entry.kind = slot.kind;
+    entry.name = slot.name;
+    switch (slot.kind) {
+      case Entry::Kind::kCounter:
+        entry.counter = &slot.counter;
+        break;
+      case Entry::Kind::kGauge:
+        entry.gauge = &slot.gauge;
+        break;
+      case Entry::Kind::kHistogram:
+        entry.histogram = &slot.histogram;
+        break;
+    }
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderTable(int gauge_digits) const {
+  Table table({"metric", "value"});
+  for (const Slot& slot : entries_) {
+    switch (slot.kind) {
+      case Entry::Kind::kCounter:
+        table.AddRow().AddCell(slot.name).AddCell(slot.counter.value());
+        break;
+      case Entry::Kind::kGauge:
+        table.AddRow().AddCell(slot.name).AddCell(slot.gauge.value(), gauge_digits);
+        break;
+      case Entry::Kind::kHistogram:
+        break;  // multi-line; rendered via LogHistogram::Render by callers
+    }
+  }
+  return table.Render();
+}
+
+}  // namespace dsa

@@ -1,0 +1,90 @@
+// The metrics registry: named counters, gauges, and histograms that the
+// report renderers are built on.
+//
+// Registration order is deterministic (first GetX wins the slot), so a
+// rendered table is byte-stable for a fixed sequence of registrations —
+// the property the golden formatting tests pin.  Handles returned by GetX
+// stay valid for the registry's lifetime.
+
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/stats/histogram.h"
+
+namespace dsa {
+
+class MetricCounter {
+ public:
+  void Increment(std::uint64_t by = 1) { value_ += by; }
+  void Set(std::uint64_t value) { value_ = value; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_{0};
+};
+
+class MetricGauge {
+ public:
+  void Set(double value) { value_ = value; }
+  double value() const { return value_; }
+
+ private:
+  double value_{0.0};
+};
+
+class MetricsRegistry {
+ public:
+  // Create-on-first-use lookups.  A name denotes exactly one metric kind;
+  // asking for an existing name as a different kind asserts.
+  MetricCounter* GetCounter(const std::string& name);
+  MetricGauge* GetGauge(const std::string& name);
+  LogHistogram* GetHistogram(const std::string& name);
+
+  bool Has(const std::string& name) const { return index_.contains(name); }
+  std::size_t size() const { return entries_.size(); }
+
+  // Convenience readers (0 when absent — a metric never incremented and a
+  // metric never registered render identically).
+  std::uint64_t CounterValue(const std::string& name) const;
+  double GaugeValue(const std::string& name) const;
+
+  // Two-column "metric | value" rendering of every counter and gauge in
+  // registration order (histograms render separately, being multi-line).
+  // Gauges print with `gauge_digits` decimals through FormatFixed, so the
+  // output matches the legacy printf("%.Nf") reports digit for digit.
+  std::string RenderTable(int gauge_digits = 3) const;
+
+  // Visits counters and gauges in registration order.
+  struct Entry {
+    enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram } kind;
+    std::string name;
+    const MetricCounter* counter{nullptr};  // set when kind == kCounter
+    const MetricGauge* gauge{nullptr};      // set when kind == kGauge
+    const LogHistogram* histogram{nullptr}; // set when kind == kHistogram
+  };
+  std::vector<Entry> Entries() const;
+
+ private:
+  struct Slot {
+    Entry::Kind kind;
+    std::string name;
+    MetricCounter counter;
+    MetricGauge gauge;
+    LogHistogram histogram;
+  };
+
+  Slot* FindOrCreate(const std::string& name, Entry::Kind kind);
+
+  std::deque<Slot> entries_;  // deque: stable addresses for handed-out handles
+  std::unordered_map<std::string, std::size_t> index_;
+};
+
+}  // namespace dsa
+
+#endif  // SRC_OBS_METRICS_H_

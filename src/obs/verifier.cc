@@ -1,0 +1,157 @@
+#include "src/obs/verifier.h"
+
+#include <map>
+#include <sstream>
+#include <tuple>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace dsa {
+
+namespace {
+
+std::string Format(const char* what, const TraceEvent& event) {
+  std::ostringstream out;
+  out << what << " (kind=" << ToString(event.kind) << " t=" << event.time << " a=" << event.a
+      << " b=" << event.b << " c=" << event.c << ")";
+  return out.str();
+}
+
+}  // namespace
+
+std::vector<TraceViolation> TraceReplayVerifier::Verify(
+    const std::vector<TraceEvent>& events) const {
+  std::vector<TraceViolation> violations;
+  auto report = [&](std::size_t index, std::string message) {
+    if (violations.size() < config_.max_violations) {
+      violations.push_back(TraceViolation{index, std::move(message)});
+    }
+  };
+
+  Cycles last_time = 0;
+  // Open transfers keyed by (page, level, direction) -> count.
+  std::map<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>, std::size_t> open_transfers;
+  std::unordered_map<std::uint64_t, std::uint64_t> frame_page;  // occupied frame -> page
+  std::unordered_set<std::uint64_t> retired;
+
+  auto check_not_retired = [&](std::size_t i, const TraceEvent& event, std::uint64_t frame) {
+    if (retired.contains(frame)) {
+      report(i, Format("traffic on a retired frame", event));
+      return false;
+    }
+    return true;
+  };
+
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& event = events[i];
+    if (event.time < last_time) {
+      report(i, Format("clock moved backwards", event));
+    }
+    last_time = event.time > last_time ? event.time : last_time;
+
+    switch (event.kind) {
+      case EventKind::kTransferStart: {
+        auto key = std::make_tuple(event.a, event.b, event.c);
+        if (open_transfers[key] > 0) {
+          report(i, Format("transfer started while already in flight", event));
+        }
+        ++open_transfers[key];
+        break;
+      }
+      case EventKind::kTransferComplete: {
+        // Completes carry the wait in slot c; match on (page, level) against
+        // either direction, preferring the exact fetch/write distinction to
+        // stay representation-independent: a complete closes one open start
+        // with the same page and level.
+        bool closed = false;
+        for (std::uint64_t dir = 0; dir < 2 && !closed; ++dir) {
+          auto key = std::make_tuple(event.a, event.b, dir);
+          auto it = open_transfers.find(key);
+          if (it != open_transfers.end() && it->second > 0) {
+            --it->second;
+            closed = true;
+          }
+        }
+        if (!closed) {
+          report(i, Format("transfer-complete without a matching start", event));
+        }
+        break;
+      }
+      case EventKind::kFrameLoad: {
+        if (!check_not_retired(i, event, event.b)) {
+          break;
+        }
+        if (frame_page.contains(event.b)) {
+          report(i, Format("load into an occupied frame", event));
+          break;
+        }
+        frame_page.emplace(event.b, event.a);
+        if (config_.frame_count.has_value() &&
+            frame_page.size() + retired.size() > *config_.frame_count) {
+          report(i, Format("occupied + retired frames exceed the frame count", event));
+        }
+        break;
+      }
+      case EventKind::kFrameEvict: {
+        if (!check_not_retired(i, event, event.b)) {
+          break;
+        }
+        auto it = frame_page.find(event.b);
+        if (it == frame_page.end()) {
+          report(i, Format("eviction of a vacant frame", event));
+        } else if (it->second != event.a) {
+          report(i, Format("eviction names a page not resident in the frame", event));
+        } else {
+          frame_page.erase(it);
+        }
+        break;
+      }
+      case EventKind::kVictimChosen: {
+        if (!check_not_retired(i, event, event.b)) {
+          break;
+        }
+        auto it = frame_page.find(event.b);
+        if (it == frame_page.end() || it->second != event.a) {
+          report(i, Format("victim chosen from a frame not holding that page", event));
+        }
+        break;
+      }
+      case EventKind::kFrameRetire: {
+        if (retired.contains(event.a)) {
+          report(i, Format("frame retired twice", event));
+          break;
+        }
+        if (frame_page.contains(event.a)) {
+          report(i, Format("frame retired while still occupied", event));
+          frame_page.erase(event.a);
+        }
+        retired.insert(event.a);
+        if (config_.frame_count.has_value() && retired.size() > *config_.frame_count) {
+          report(i, Format("more frames retired than exist", event));
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  for (const auto& [key, count] : open_transfers) {
+    if (count > 0) {
+      TraceEvent ghost{last_time, EventKind::kTransferStart, std::get<0>(key),
+                       std::get<1>(key), std::get<2>(key)};
+      report(events.size(), Format("transfer still open at end of stream", ghost));
+    }
+  }
+  return violations;
+}
+
+std::string TraceReplayVerifier::Describe(const std::vector<TraceViolation>& violations) {
+  std::ostringstream out;
+  for (const TraceViolation& v : violations) {
+    out << "event " << v.index << ": " << v.message << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace dsa

@@ -1,0 +1,67 @@
+// TraceReplayVerifier: re-checks engine invariants over any captured event
+// stream, independent of the engine that produced it.
+//
+// A golden trace pins *what* happened; the verifier pins *that what
+// happened was lawful*.  It replays the stream through a small state
+// machine and reports every violation of:
+//
+//   * monotone clock — event times never decrease (drivers only advance
+//     their clocks, and the tracer's stamp clock is monotone by
+//     construction, so a violation means a corrupted or spliced stream);
+//   * balanced transfers — every transfer-complete closes a matching open
+//     transfer-start (same page, level, direction), no transfer is started
+//     twice without completing, and no start dangles at end of stream;
+//   * no retired-frame traffic — once a frame-retire is recorded, no later
+//     frame-load, frame-evict, or victim-chosen may name that frame, and a
+//     frame is retired at most once;
+//   * frame conservation — loads only into vacant frames, evictions only of
+//     the page actually resident there, and (when the stream's frame count
+//     is known) occupied + retired never exceeds it.
+//
+// The verifier assumes a complete stream from a cold start — capture with
+// an unbounded tracer (capacity 0); a ring that dropped its head will
+// legitimately fail conservation.
+
+#ifndef SRC_OBS_VERIFIER_H_
+#define SRC_OBS_VERIFIER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/obs/event.h"
+
+namespace dsa {
+
+struct TraceViolation {
+  std::size_t index{0};  // position of the offending event in the stream
+  std::string message;
+};
+
+struct TraceVerifierConfig {
+  // Total frames of the captured system; enables the capacity bound of the
+  // conservation check when known.
+  std::optional<std::size_t> frame_count{};
+  // Stop after this many violations (a corrupt stream otherwise reports
+  // one violation per event).
+  std::size_t max_violations{64};
+};
+
+class TraceReplayVerifier {
+ public:
+  explicit TraceReplayVerifier(TraceVerifierConfig config = {}) : config_(config) {}
+
+  // Replays the stream; an empty result means every invariant held.
+  std::vector<TraceViolation> Verify(const std::vector<TraceEvent>& events) const;
+
+  // Convenience: formats violations one per line (empty string when clean).
+  static std::string Describe(const std::vector<TraceViolation>& violations);
+
+ private:
+  TraceVerifierConfig config_;
+};
+
+}  // namespace dsa
+
+#endif  // SRC_OBS_VERIFIER_H_

@@ -1,0 +1,101 @@
+#include "src/obs/vm_metrics.h"
+
+#include <cstdio>
+
+#include "src/stats/table.h"
+
+namespace dsa {
+
+void FillReliabilityMetrics(const ReliabilityStats& stats, const std::string& prefix,
+                            MetricsRegistry* registry) {
+  registry->GetCounter(prefix + "transient_errors")->Set(stats.transient_errors);
+  registry->GetCounter(prefix + "retries")->Set(stats.retries);
+  registry->GetCounter(prefix + "retry_cycles")->Set(stats.retry_cycles);
+  registry->GetCounter(prefix + "slot_failures")->Set(stats.slot_failures);
+  registry->GetCounter(prefix + "relocations")->Set(stats.relocations);
+  registry->GetCounter(prefix + "spill_relocations")->Set(stats.spill_relocations);
+  registry->GetCounter(prefix + "frame_failures")->Set(stats.frame_failures);
+  registry->GetCounter(prefix + "retired_frames")->Set(stats.retired_frames);
+  registry->GetCounter(prefix + "residual_frames")->Set(stats.residual_frames);
+  registry->GetCounter(prefix + "failed_accesses")->Set(stats.failed_accesses);
+  registry->GetCounter(prefix + "lost_pages")->Set(stats.lost_pages);
+}
+
+void FillPagerMetrics(const PagerStats& stats, MetricsRegistry* registry) {
+  registry->GetCounter("pager/accesses")->Set(stats.accesses);
+  registry->GetCounter("pager/faults")->Set(stats.faults);
+  registry->GetCounter("pager/demand_fetches")->Set(stats.demand_fetches);
+  registry->GetCounter("pager/extra_fetches")->Set(stats.extra_fetches);
+  registry->GetCounter("pager/writebacks")->Set(stats.writebacks);
+  registry->GetCounter("pager/evictions")->Set(stats.evictions);
+  registry->GetCounter("pager/advised_releases")->Set(stats.advised_releases);
+  registry->GetCounter("pager/policy_releases")->Set(stats.policy_releases);
+  registry->GetCounter("pager/wait_cycles")->Set(stats.wait_cycles);
+  registry->GetCounter("pager/transfer_cycles")->Set(stats.transfer_cycles);
+  registry->GetGauge("pager/fault_rate")->Set(stats.FaultRate());
+  FillReliabilityMetrics(stats.reliability, "pager/reliability/", registry);
+}
+
+void FillVmMetrics(const VmReport& report, MetricsRegistry* registry) {
+  registry->GetCounter("vm/references")->Set(report.references);
+  registry->GetCounter("vm/faults")->Set(report.faults);
+  registry->GetCounter("vm/bounds_violations")->Set(report.bounds_violations);
+  registry->GetCounter("vm/writebacks")->Set(report.writebacks);
+  registry->GetCounter("vm/total_cycles")->Set(report.total_cycles);
+  registry->GetCounter("vm/compute_cycles")->Set(report.compute_cycles);
+  registry->GetCounter("vm/translation_cycles")->Set(report.translation_cycles);
+  registry->GetCounter("vm/wait_cycles")->Set(report.wait_cycles);
+  registry->GetCounter("vm/peak_resident_words")->Set(report.peak_resident_words);
+  registry->GetGauge("vm/fault_rate")->Set(report.FaultRate());
+  registry->GetGauge("vm/mean_translation_cost")->Set(report.MeanTranslationCost());
+  registry->GetGauge("vm/wait_fraction")->Set(report.WaitFraction());
+  registry->GetGauge("vm/space_time_active")->Set(report.space_time.active);
+  registry->GetGauge("vm/space_time_waiting")->Set(report.space_time.waiting);
+  registry->GetGauge("vm/space_time_waiting_fraction")->Set(report.space_time.WaitingFraction());
+  registry->GetGauge("vm/tlb_hit_rate")->Set(report.tlb_hit_rate);
+  FillReliabilityMetrics(report.reliability, "vm/reliability/", registry);
+}
+
+std::string RenderVmMetricsReport(const MetricsRegistry& registry, const std::string& system,
+                                  const std::string& workload) {
+  char buf[256];
+  std::string out;
+  auto line = [&](const char* label, const std::string& value) {
+    std::snprintf(buf, sizeof(buf), "%-16s %s\n", label, value.c_str());
+    out.append(buf);
+  };
+  auto count = [&](const std::string& name) {
+    return std::to_string(registry.CounterValue(name));
+  };
+
+  line("system", system);
+  line("workload", workload + " (" + count("vm/references") + " references)");
+  line("faults", count("vm/faults") + "  (rate " +
+                     FormatFixed(registry.GaugeValue("vm/fault_rate"), 5) + ")");
+  line("bounds traps", count("vm/bounds_violations"));
+  line("write-backs", count("vm/writebacks"));
+  line("total cycles", count("vm/total_cycles"));
+  line("mean map cost",
+       FormatFixed(registry.GaugeValue("vm/mean_translation_cost"), 2) + " cycles/ref");
+  line("wait fraction", FormatFixed(registry.GaugeValue("vm/wait_fraction"), 3));
+  line("space-time",
+       "active " + FormatScientific(registry.GaugeValue("vm/space_time_active"), 3) +
+           ", waiting " + FormatScientific(registry.GaugeValue("vm/space_time_waiting"), 3) +
+           " (waiting " +
+           FormatFixed(100.0 * registry.GaugeValue("vm/space_time_waiting_fraction"), 1) +
+           "%)");
+  line("peak residency", count("vm/peak_resident_words") + " words");
+  if (registry.GaugeValue("vm/tlb_hit_rate") > 0.0) {
+    line("assoc hit rate", FormatFixed(registry.GaugeValue("vm/tlb_hit_rate"), 3));
+  }
+  return out;
+}
+
+std::string RenderVmReport(const VmReport& report, const std::string& system,
+                           const std::string& workload) {
+  MetricsRegistry registry;
+  FillVmMetrics(report, &registry);
+  return RenderVmMetricsReport(registry, system, workload);
+}
+
+}  // namespace dsa

@@ -1,0 +1,46 @@
+// Rebuilds the simulator's end-of-run reports on the MetricsRegistry.
+//
+// FillVmMetrics flattens a VmReport (and its embedded ReliabilityStats)
+// into named counters and gauges; RenderVmMetricsReport renders the legacy
+// dsa_sim report block *from the registry*, byte-identical to the printf
+// output it replaces — the formatting-parity test pins this.  Keeping the
+// derived rates as gauges (rather than recomputing at print time) means a
+// dashboard scraping the registry and a human reading the report always see
+// the same rounded values.
+
+#ifndef SRC_OBS_VM_METRICS_H_
+#define SRC_OBS_VM_METRICS_H_
+
+#include <string>
+
+#include "src/obs/metrics.h"
+#include "src/paging/pager.h"
+#include "src/stats/reliability.h"
+#include "src/vm/system.h"
+
+namespace dsa {
+
+// Registers/overwrites the report's fields under "vm/..." names.
+void FillVmMetrics(const VmReport& report, MetricsRegistry* registry);
+
+// Registers/overwrites pager counters under "pager/..." names.
+void FillPagerMetrics(const PagerStats& stats, MetricsRegistry* registry);
+
+// Registers/overwrites reliability counters under `prefix` + names.
+void FillReliabilityMetrics(const ReliabilityStats& stats, const std::string& prefix,
+                            MetricsRegistry* registry);
+
+// The legacy dsa_sim report block (trailing newline included), rendered
+// from a registry populated by FillVmMetrics.  `workload` is the trace
+// label.  The TLB line appears only when the hit rate is positive, exactly
+// like the printf it replaces.
+std::string RenderVmMetricsReport(const MetricsRegistry& registry, const std::string& system,
+                                  const std::string& workload);
+
+// Convenience: fill + render in one step.
+std::string RenderVmReport(const VmReport& report, const std::string& system,
+                           const std::string& workload);
+
+}  // namespace dsa
+
+#endif  // SRC_OBS_VM_METRICS_H_

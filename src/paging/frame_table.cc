@@ -1,6 +1,7 @@
 #include "src/paging/frame_table.h"
 
 #include "src/core/assert.h"
+#include "src/obs/tracer.h"
 
 namespace dsa {
 
@@ -90,6 +91,7 @@ void FrameTable::RetireFrame(FrameId frame) {
   info = FrameInfo{};
   info.retired = true;
   ++retired_;
+  DSA_TRACE_EMIT(tracer_, EventKind::kFrameRetire, frame.value);
 }
 
 void FrameTable::Load(FrameId frame, PageId page, Cycles now) {
@@ -104,12 +106,14 @@ void FrameTable::Load(FrameId frame, PageId page, Cycles now) {
   ++occupied_;
   ListPushBack(fifo_, frame.value);
   ListPushBack(lru_, frame.value);
+  DSA_TRACE_EMIT(tracer_, EventKind::kFrameLoad, page.value, frame.value);
 }
 
 void FrameTable::Evict(FrameId frame) {
   FrameInfo& info = MutableInfo(frame);
   DSA_ASSERT(info.occupied, "evicting an empty frame");
   DSA_ASSERT(!info.pinned, "evicting a pinned frame");
+  DSA_TRACE_EMIT(tracer_, EventKind::kFrameEvict, info.page.value, frame.value);
   info = FrameInfo{};
   free_.push_back(frame);
   --occupied_;

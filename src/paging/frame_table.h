@@ -23,8 +23,11 @@
 #include <vector>
 
 #include "src/core/types.h"
+#include "src/obs/event.h"
 
 namespace dsa {
+
+class EventTracer;
 
 struct FrameInfo {
   bool occupied{false};
@@ -41,6 +44,11 @@ struct FrameInfo {
 class FrameTable {
  public:
   explicit FrameTable(std::size_t frames);
+
+  // Attaches the shared tracer; the table emits frame-load / frame-evict /
+  // frame-retire events (stamped by the tracer's watermark clock, since the
+  // table itself never sees the simulated time of Evict and RetireFrame).
+  void SetTracer(EventTracer* tracer) { tracer_ = tracer; }
 
   std::size_t frame_count() const { return frames_.size(); }
   std::size_t occupied_count() const { return occupied_; }
@@ -117,6 +125,7 @@ class FrameTable {
   void ListPushBack(std::vector<Link>& list, std::size_t node);
   std::optional<FrameId> FirstUnpinned(const std::vector<Link>& list) const;
 
+  EventTracer* tracer_{nullptr};
   std::vector<FrameInfo> frames_;
   std::vector<FrameId> free_;
   std::size_t occupied_{0};

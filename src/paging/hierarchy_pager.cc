@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "src/core/assert.h"
+#include "src/obs/tracer.h"
 
 namespace dsa {
 
@@ -75,9 +76,16 @@ std::optional<BackingStore::SlotId> HierarchyPager::StorePage(BackingStore& stor
       }
       slot = *spare;
       ++rel.relocations;
+      DSA_TRACE_EMIT(tracer_, EventKind::kFaultRecovery, page.value,
+                     static_cast<std::uint64_t>(RecoveryAction::kRelocation));
     }
+    DSA_TRACE_EMIT(tracer_, EventKind::kTransferStart, page.value, level_index,
+                   /*direction=*/1);
     channel.Schedule(store.level(), config_.page_words, now);
-    store.Store(slot, std::vector<Word>(config_.page_words, Word{0}));
+    [[maybe_unused]] const Cycles store_cycles =
+        store.Store(slot, std::vector<Word>(config_.page_words, Word{0}));
+    DSA_TRACE_EMIT(tracer_, EventKind::kTransferComplete, page.value, level_index,
+                   store_cycles);
     const TransferFaultKind fault = injector_ != nullptr
                                         ? injector_->DrawTransferFault(level_index)
                                         : TransferFaultKind::kNone;
@@ -96,6 +104,8 @@ std::optional<BackingStore::SlotId> HierarchyPager::StorePage(BackingStore& stor
       return std::nullopt;
     }
     ++rel.retries;
+    DSA_TRACE_EMIT(tracer_, EventKind::kFaultRecovery, page.value,
+                   static_cast<std::uint64_t>(RecoveryAction::kRetry));
   }
 }
 
@@ -105,6 +115,8 @@ void HierarchyPager::PlaceOnDisk(PageId page, Cycles now) {
     // No disk slot would take the page: its contents are gone.  The page
     // reads as zero-fill on its next touch.
     ++stats_.reliability.lost_pages;
+    DSA_TRACE_EMIT(tracer_, EventKind::kFaultRecovery, page.value,
+                   static_cast<std::uint64_t>(RecoveryAction::kPageLost));
     home_.erase(page.value);
     slot_of_.erase(page.value);
     return;
@@ -131,6 +143,7 @@ void HierarchyPager::PlaceEvicted(PageId page, Cycles now) {
       drum_.Discard(spill_slot);
     }
     slot_of_.erase(spill.value);
+    DSA_TRACE_EMIT(tracer_, EventKind::kPageDemoted, spill.value, kDiskLevel);
     PlaceOnDisk(spill, now);
     ++stats_.demotions;
   }
@@ -153,6 +166,7 @@ void HierarchyPager::EvictOne(Cycles now) {
   const FrameInfo& info = frames_.info(victim);
   DSA_ASSERT(info.occupied && !info.pinned, "policy chose an invalid victim");
   const PageId page = info.page;
+  DSA_TRACE_EMIT(tracer_, EventKind::kVictimChosen, page.value, victim.value);
   // Every eviction writes the page out (its only up-to-date copy is in core:
   // the fetch consumed the backing copy's slot when the page moved levels).
   ++stats_.writebacks;
@@ -164,6 +178,7 @@ void HierarchyPager::EvictOne(Cycles now) {
 
 Expected<Cycles, PageAccessError> HierarchyPager::Access(PageId page, AccessKind kind,
                                                          Cycles now) {
+  DSA_TRACE_CLOCK(tracer_, now);
   ++stats_.accesses;
   const bool write = kind == AccessKind::kWrite;
 
@@ -175,6 +190,7 @@ Expected<Cycles, PageAccessError> HierarchyPager::Access(PageId page, AccessKind
 
   // --- fault: find a frame, then the page's home, then fetch ---------------
   ++stats_.faults;
+  DSA_TRACE_EMIT(tracer_, EventKind::kPageFault, page.value);
   // The page's home must be resolved AFTER each eviction: an eviction's drum
   // spill can demote the very page being faulted from drum to disk.
   const auto resolve_home = [&]() {
@@ -210,10 +226,19 @@ Expected<Cycles, PageAccessError> HierarchyPager::Access(PageId page, AccessKind
       BackingStore& failed_store = landing_home == Home::kDrum ? drum_ : disk_;
       TransferChannel& failed_channel =
           landing_home == Home::kDrum ? drum_channel_ : disk_channel_;
+      [[maybe_unused]] const std::size_t failed_level =
+          landing_home == Home::kDrum ? kDrumLevel : kDiskLevel;
+      DSA_TRACE_EMIT(tracer_, EventKind::kTransferStart, page.value, failed_level,
+                     /*direction=*/0);
       const auto done =
           failed_channel.Schedule(failed_store.level(), config_.page_words, now + wasted);
-      wasted += done.finish - (now + wasted);
+      const Cycles landing_wait = done.finish - (now + wasted);
+      wasted += landing_wait;
+      DSA_TRACE_EMIT(tracer_, EventKind::kTransferComplete, page.value, failed_level,
+                     landing_wait);
     }
+    DSA_TRACE_EMIT(tracer_, EventKind::kFaultRecovery, page.value,
+                   static_cast<std::uint64_t>(RecoveryAction::kFrameParity));
     frames_.RetireFrame(*frame);
     ++stats_.reliability.frame_failures;
     SyncRetirementStats();
@@ -233,6 +258,8 @@ Expected<Cycles, PageAccessError> HierarchyPager::Access(PageId page, AccessKind
     const BackingStore::SlotId slot = SlotFor(page);
     std::vector<Word> data;
     for (int attempt = 0;; ++attempt) {
+      DSA_TRACE_EMIT(tracer_, EventKind::kTransferStart, page.value, level_index,
+                     /*direction=*/0);
       const auto done = channel->Schedule(store->level(), config_.page_words, now + wait);
       const Cycles attempt_wait = done.finish - (now + wait);
       wait += attempt_wait;
@@ -240,6 +267,8 @@ Expected<Cycles, PageAccessError> HierarchyPager::Access(PageId page, AccessKind
         rel.retry_cycles += attempt_wait;
       }
       store->Fetch(slot, config_.page_words, &data);
+      DSA_TRACE_EMIT(tracer_, EventKind::kTransferComplete, page.value, level_index,
+                     attempt_wait);
       const TransferFaultKind fault = injector_ != nullptr
                                           ? injector_->DrawTransferFault(level_index)
                                           : TransferFaultKind::kNone;
@@ -252,6 +281,8 @@ Expected<Cycles, PageAccessError> HierarchyPager::Access(PageId page, AccessKind
         store->MarkBad(slot);
         ++rel.slot_failures;
         ++rel.lost_pages;
+        DSA_TRACE_EMIT(tracer_, EventKind::kFaultRecovery, page.value,
+                       static_cast<std::uint64_t>(RecoveryAction::kPageLost));
         if (home == Home::kDrum) {
           auto it = drum_pos_.find(page.value);
           if (it != drum_pos_.end()) {
@@ -276,6 +307,8 @@ Expected<Cycles, PageAccessError> HierarchyPager::Access(PageId page, AccessKind
             PageAccessError{PageAccessErrorKind::kTransferFailed, page, wait});
       }
       ++rel.retries;
+      DSA_TRACE_EMIT(tracer_, EventKind::kFaultRecovery, page.value,
+                     static_cast<std::uint64_t>(RecoveryAction::kRetry));
     }
     if (home == Home::kDrum) {
       DropFromDrum(page);

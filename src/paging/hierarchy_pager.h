@@ -87,6 +87,13 @@ class HierarchyPager {
   HierarchyPager(HierarchyPagerConfig config, std::unique_ptr<ReplacementPolicy> replacement,
                  FaultInjector* injector = nullptr);
 
+  // Attaches the shared event tracer (forwarded to the frame table).
+  // Transfers are tagged with their backing level: 0 = drum, 1 = disk.
+  void SetTracer(EventTracer* tracer) {
+    tracer_ = tracer;
+    frames_.SetTracer(tracer);
+  }
+
   // One reference; returns the stall the program sees, or a PageAccessError
   // when every recovery path (retries, relocation, spare frames) is spent.
   Expected<Cycles, PageAccessError> Access(PageId page, AccessKind kind, Cycles now);
@@ -120,6 +127,7 @@ class HierarchyPager {
   void SyncRetirementStats();
 
   HierarchyPagerConfig config_;
+  EventTracer* tracer_{nullptr};
   BackingStore drum_;
   BackingStore disk_;
   TransferChannel drum_channel_;

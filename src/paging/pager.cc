@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "src/core/assert.h"
+#include "src/obs/tracer.h"
 
 namespace dsa {
 
@@ -94,19 +95,28 @@ Status<PageAccessError> Pager::WriteBack(PageId page, Cycles now) {
       const auto spare = backing_->AllocateSpareSlot(config_.page_words);
       if (!spare.has_value()) {
         ++rel.lost_pages;
+        DSA_TRACE_EMIT(tracer_, EventKind::kFaultRecovery, page.value,
+                       static_cast<std::uint64_t>(RecoveryAction::kPageLost));
         return MakeUnexpected(PageAccessError{PageAccessErrorKind::kSlotUnreadable, page, 0});
       }
       slot_of_[page.value] = *spare;
       slot = *spare;
       ++rel.relocations;
+      DSA_TRACE_EMIT(tracer_, EventKind::kFaultRecovery, page.value,
+                     static_cast<std::uint64_t>(RecoveryAction::kRelocation));
     }
     // Write-back transfers occupy the channel but are buffered off the
     // program's critical path; later fetches queue behind them.
+    DSA_TRACE_EMIT(tracer_, EventKind::kTransferStart, page.value, kBackingLevel,
+                   /*direction=*/1);
     std::vector<Word> data(config_.page_words, Word{0});
     if (channel_ != nullptr) {
       channel_->Schedule(backing_->level(), config_.page_words, now);
     }
-    stats_.transfer_cycles += backing_->Store(slot, std::move(data));
+    const Cycles store_cycles = backing_->Store(slot, std::move(data));
+    stats_.transfer_cycles += store_cycles;
+    DSA_TRACE_EMIT(tracer_, EventKind::kTransferComplete, page.value, kBackingLevel,
+                   store_cycles);
 
     const TransferFaultKind fault = injector_ != nullptr
                                         ? injector_->DrawTransferFault(kBackingLevel)
@@ -125,12 +135,16 @@ Status<PageAccessError> Pager::WriteBack(PageId page, Cycles now) {
     }
     if (attempt >= max_retries) {
       ++rel.lost_pages;
+      DSA_TRACE_EMIT(tracer_, EventKind::kFaultRecovery, page.value,
+                     static_cast<std::uint64_t>(RecoveryAction::kPageLost));
       return MakeUnexpected(PageAccessError{
           fault == TransferFaultKind::kTransient ? PageAccessErrorKind::kTransferFailed
                                                  : PageAccessErrorKind::kSlotUnreadable,
           page, 0});
     }
     ++rel.retries;
+    DSA_TRACE_EMIT(tracer_, EventKind::kFaultRecovery, page.value,
+                   static_cast<std::uint64_t>(RecoveryAction::kRetry));
   }
 }
 
@@ -157,11 +171,13 @@ FrameId Pager::EvictOne(Cycles now) {
   const FrameId victim = replacement_->ChooseVictim(&frames_, now);
   const FrameInfo& info = frames_.info(victim);
   DSA_ASSERT(info.occupied && !info.pinned, "policy chose an invalid victim");
+  DSA_TRACE_EMIT(tracer_, EventKind::kVictimChosen, info.page.value, victim.value);
   EvictFrame(victim, now);
   return victim;
 }
 
 bool Pager::RetireFrame(FrameId frame, Cycles now) {
+  DSA_TRACE_CLOCK(tracer_, now);
   if (frame.value >= frames_.frame_count()) {
     return false;
   }
@@ -181,6 +197,8 @@ bool Pager::RetireFrame(FrameId frame, Cycles now) {
 }
 
 Cycles Pager::ChargeFetchTransfer(PageId page, Cycles at) {
+  DSA_TRACE_EMIT(tracer_, EventKind::kTransferStart, page.value, kBackingLevel,
+                 /*direction=*/0);
   const BackingStore::SlotId slot = SlotFor(page);
   Cycles wait = 0;
   if (backing_->IsBad(slot)) {
@@ -195,6 +213,7 @@ Cycles Pager::ChargeFetchTransfer(PageId page, Cycles at) {
       wait = duration;
     }
     stats_.transfer_cycles += duration;
+    DSA_TRACE_EMIT(tracer_, EventKind::kTransferComplete, page.value, kBackingLevel, wait);
     return wait;
   }
   std::vector<Word> data;
@@ -208,6 +227,7 @@ Cycles Pager::ChargeFetchTransfer(PageId page, Cycles at) {
     wait = backing_->Fetch(slot, config_.page_words, &data);
     stats_.transfer_cycles += wait;
   }
+  DSA_TRACE_EMIT(tracer_, EventKind::kTransferComplete, page.value, kBackingLevel, wait);
   return wait;
 }
 
@@ -239,6 +259,8 @@ Expected<Cycles, PageAccessError> Pager::FetchInto(PageId page, FrameId frame, C
       ++rel.slot_failures;
       if (had_copy) {
         ++rel.lost_pages;
+        DSA_TRACE_EMIT(tracer_, EventKind::kFaultRecovery, page.value,
+                       static_cast<std::uint64_t>(RecoveryAction::kPageLost));
         frames_.ReturnFreeFrame(frame);
         return MakeUnexpected(
             PageAccessError{PageAccessErrorKind::kSlotUnreadable, page, wait});
@@ -252,6 +274,8 @@ Expected<Cycles, PageAccessError> Pager::FetchInto(PageId page, FrameId frame, C
           PageAccessError{PageAccessErrorKind::kTransferFailed, page, wait});
     }
     ++rel.retries;
+    DSA_TRACE_EMIT(tracer_, EventKind::kFaultRecovery, page.value,
+                   static_cast<std::uint64_t>(RecoveryAction::kRetry));
   }
   frames_.Load(frame, page, now);
   resident_.emplace(page.value, frame);
@@ -290,6 +314,7 @@ void Pager::ApplyReleases(Cycles now) {
 }
 
 PageAccessResult Pager::Access(PageId page, AccessKind kind, Cycles now) {
+  DSA_TRACE_CLOCK(tracer_, now);
   ++stats_.accesses;
   if (advice_ != nullptr) {
     advice_->OnAccess(page);
@@ -304,6 +329,7 @@ PageAccessResult Pager::Access(PageId page, AccessKind kind, Cycles now) {
 
   // --- page fault ----------------------------------------------------------
   ++stats_.faults;
+  DSA_TRACE_EMIT(tracer_, EventKind::kPageFault, page.value);
   ApplyReleases(now);
 
   // Find a frame the new page can land in.  Core parity failures strike as
@@ -330,6 +356,8 @@ PageAccessResult Pager::Access(PageId page, AccessKind kind, Cycles now) {
       break;
     }
     wasted += ChargeFetchTransfer(page, now + wasted);
+    DSA_TRACE_EMIT(tracer_, EventKind::kFaultRecovery, page.value,
+                   static_cast<std::uint64_t>(RecoveryAction::kFrameParity));
     frames_.RetireFrame(*frame);
     ++stats_.reliability.frame_failures;
     SyncRetirementStats();
@@ -391,6 +419,7 @@ PageAccessResult Pager::Access(PageId page, AccessKind kind, Cycles now) {
 }
 
 void Pager::Release(PageId page, Cycles now) {
+  DSA_TRACE_CLOCK(tracer_, now);
   if (auto frame = FrameOf(page)) {
     if (!frames_.info(*frame).pinned) {
       EvictFrame(*frame, now);

@@ -107,6 +107,14 @@ class Pager {
         std::unique_ptr<ReplacementPolicy> replacement, std::unique_ptr<FetchPolicy> fetch,
         AdviceRegistry* advice, FaultInjector* injector = nullptr);
 
+  // Attaches the shared event tracer (forwarded to the frame table).  The
+  // pager advances the tracer's watermark clock at every externally-timed
+  // entry point, then emits fault / victim / transfer / recovery events.
+  void SetTracer(EventTracer* tracer) {
+    tracer_ = tracer;
+    frames_.SetTracer(tracer);
+  }
+
   void SetResidencyCallbacks(LoadCallback on_load, EvictCallback on_evict) {
     on_load_ = std::move(on_load);
     on_evict_ = std::move(on_evict);
@@ -173,6 +181,7 @@ class Pager {
   void SyncRetirementStats();
 
   PagerConfig config_;
+  EventTracer* tracer_{nullptr};
   BackingStore* backing_;
   TransferChannel* channel_;
   std::unique_ptr<ReplacementPolicy> replacement_;

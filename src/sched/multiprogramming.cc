@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/core/assert.h"
+#include "src/obs/tracer.h"
 #include "src/paging/fetch.h"
 
 namespace dsa {
@@ -35,6 +36,7 @@ MultiprogrammingSimulator::MultiprogrammingSimulator(MultiprogramConfig config)
   pager_ = std::make_unique<Pager>(pager_config, backing_.get(), channel_.get(),
                                    MakeReplacementPolicy(config_.replacement),
                                    std::make_unique<DemandFetch>(), /*advice=*/nullptr);
+  pager_->SetTracer(config_.tracer);
 
   // Track per-job residency through the pager's load/evict notifications.
   pager_->SetResidencyCallbacks(
@@ -94,6 +96,7 @@ MultiprogramReport MultiprogrammingSimulator::Run() {
   Cycles now = 0;
   std::size_t rr_cursor = 0;
   std::size_t done = 0;
+  std::uint64_t running = kNoJob;  // job on the CPU (kNoJob while idle)
 
   // Load control: only max_active jobs may hold frames at once.
   const std::size_t active_limit =
@@ -163,6 +166,11 @@ MultiprogramReport MultiprogrammingSimulator::Run() {
         }
       }
       DSA_ASSERT(found, "deadlock: no ready and no blocked job");
+      if (running != kNoJob) {
+        DSA_TRACE_CLOCK(config_.tracer, now);
+        DSA_TRACE_EMIT(config_.tracer, EventKind::kScheduleSwitch, running, kNoJob);
+        running = kNoJob;
+      }
       AccumulateSpaceTime(now, next);
       report.cpu_idle_cycles += next - now;
       now = next;
@@ -171,6 +179,11 @@ MultiprogramReport MultiprogrammingSimulator::Run() {
 
     Job& job = jobs_[picked];
     rr_cursor = picked + 1;
+    if (running != picked) {
+      DSA_TRACE_CLOCK(config_.tracer, now);
+      DSA_TRACE_EMIT(config_.tracer, EventKind::kScheduleSwitch, running, picked);
+      running = picked;
+    }
 
     // Context switch onto the job.
     if (config_.context_switch_cycles > 0) {

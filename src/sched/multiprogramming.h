@@ -52,6 +52,9 @@ struct MultiprogramConfig {
   Cycles cycles_per_reference{1};
   Cycles quantum{5000};             // round-robin slice
   Cycles context_switch_cycles{50};
+  // Optional shared event tracer (not owned); attached to the shared pager,
+  // and the scheduler emits kScheduleSwitch on every dispatch change.
+  EventTracer* tracer{nullptr};
 };
 
 struct JobReport {

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/core/assert.h"
+#include "src/obs/tracer.h"
 
 namespace dsa {
 
@@ -121,11 +122,15 @@ void SegmentManager::Evict(SegmentId victim, Cycles now) {
   DSA_ASSERT(info.present, "evicting an absent segment");
   if (info.modified || !info.has_backing_copy) {
     ++stats_.writebacks;
+    DSA_TRACE_EMIT(tracer_, EventKind::kTransferStart, victim.value, /*level=*/0,
+                   /*direction=*/1);
     std::vector<Word> data(info.extent, Word{0});
     if (channel_ != nullptr) {
       channel_->Schedule(backing_->level(), info.extent, now);
     }
-    backing_->Store(victim.value, std::move(data));
+    [[maybe_unused]] const Cycles store_cycles = backing_->Store(victim.value, std::move(data));
+    DSA_TRACE_EMIT(tracer_, EventKind::kTransferComplete, victim.value, /*level=*/0,
+                   store_cycles);
     info.has_backing_copy = true;
     info.modified = false;
   }
@@ -175,6 +180,8 @@ std::optional<Block> SegmentManager::MakeRoom(WordCount size, Cycles now, Segmen
 
 Cycles SegmentManager::FetchInto(SegmentId segment, Block block, Cycles now) {
   SegmentInfo& info = InfoFor(segment);
+  DSA_TRACE_EMIT(tracer_, EventKind::kTransferStart, segment.value, /*level=*/0,
+                 /*direction=*/0);
   std::vector<Word> data;
   Cycles wait = 0;
   if (channel_ != nullptr) {
@@ -185,6 +192,7 @@ Cycles SegmentManager::FetchInto(SegmentId segment, Block block, Cycles now) {
   } else {
     wait = backing_->Fetch(segment.value, info.extent, &data);
   }
+  DSA_TRACE_EMIT(tracer_, EventKind::kTransferComplete, segment.value, /*level=*/0, wait);
   info.present = true;
   info.base = block.addr;
   resident_by_base_.emplace(block.addr.value, segment);
@@ -193,6 +201,7 @@ Cycles SegmentManager::FetchInto(SegmentId segment, Block block, Cycles now) {
 
 Expected<SegmentAccessOutcome, Fault> SegmentManager::Access(SegmentId segment, WordCount offset,
                                                              AccessKind kind, Cycles now) {
+  DSA_TRACE_CLOCK(tracer_, now);
   ++stats_.accesses;
   auto it = segments_.find(segment.value);
   if (it == segments_.end()) {
@@ -222,6 +231,7 @@ Expected<SegmentAccessOutcome, Fault> SegmentManager::Access(SegmentId segment, 
   SegmentAccessOutcome outcome;
   if (!info.present) {
     ++stats_.segment_faults;
+    DSA_TRACE_EMIT(tracer_, EventKind::kSegmentFault, segment.value, info.extent);
     outcome.segment_fault = true;
     const std::optional<Block> block = MakeRoom(info.extent, now, segment);
     if (!block.has_value()) {
@@ -245,6 +255,7 @@ Expected<SegmentAccessOutcome, Fault> SegmentManager::Access(SegmentId segment, 
 
 Expected<SegmentAccessOutcome, Fault> SegmentManager::Resize(SegmentId segment, WordCount extent,
                                                              Cycles now) {
+  DSA_TRACE_CLOCK(tracer_, now);
   DSA_ASSERT(extent > 0, "segments are nonempty");
   if (extent > config_.max_segment_extent) {
     Fault fault;
@@ -301,6 +312,7 @@ void SegmentManager::AdviseKeepResident(SegmentId segment) { InfoFor(segment).pi
 void SegmentManager::RevokeKeepResident(SegmentId segment) { InfoFor(segment).pinned = false; }
 
 void SegmentManager::AdviseWontNeed(SegmentId segment, Cycles now) {
+  DSA_TRACE_CLOCK(tracer_, now);
   SegmentInfo& info = InfoFor(segment);
   if (info.present && !info.pinned) {
     Evict(segment, now);
@@ -308,6 +320,7 @@ void SegmentManager::AdviseWontNeed(SegmentId segment, Cycles now) {
 }
 
 Cycles SegmentManager::AdviseWillNeed(SegmentId segment, Cycles now) {
+  DSA_TRACE_CLOCK(tracer_, now);
   SegmentInfo& info = InfoFor(segment);
   if (info.present) {
     return 0;

@@ -72,6 +72,15 @@ class SegmentManager {
  public:
   SegmentManager(SegmentManagerConfig config, BackingStore* backing, TransferChannel* channel);
 
+  // Attaches the shared event tracer (wired through to the allocator and the
+  // compaction engine).  Transfer events use the segment id in the page slot
+  // and level 0 (segmented systems have a single backing level).
+  void SetTracer(EventTracer* tracer) {
+    tracer_ = tracer;
+    allocator_.SetTracer(tracer);
+    compactor_.SetTracer(tracer);
+  }
+
   // Declares a segment (descriptor only; fetched on first reference).
   SegmentId Create(WordCount extent);
   void Destroy(SegmentId segment);
@@ -140,6 +149,7 @@ class SegmentManager {
   void CompactCore(Cycles now);
 
   SegmentManagerConfig config_;
+  EventTracer* tracer_{nullptr};
   BackingStore* backing_;
   TransferChannel* channel_;
   VariableAllocator allocator_;

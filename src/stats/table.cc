@@ -8,10 +8,36 @@
 
 namespace dsa {
 
+namespace {
+
+// "-0.00" and "-0.000e+00" mean the value rounded to zero; drop the sign so
+// metrics-backed reports agree with accumulators that produced an exact 0.
+std::string DropNegativeZero(std::string text) {
+  if (text.empty() || text[0] != '-') {
+    return text;
+  }
+  for (std::size_t i = 1; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '0' || c == '.' || c == '+' || c == 'e') {
+      continue;
+    }
+    return text;  // a nonzero digit (or nan/inf): genuinely negative
+  }
+  return text.substr(1);
+}
+
+}  // namespace
+
 std::string FormatFixed(double value, int digits) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
-  return buf;
+  return DropNegativeZero(buf);
+}
+
+std::string FormatScientific(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", digits, value);
+  return DropNegativeZero(buf);
 }
 
 Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {

@@ -37,7 +37,15 @@ class Table {
 };
 
 // Formats `value` with `digits` decimals (helper shared with benches).
+// A value that rounds to zero renders as "0.00…", never "-0.00…": reports
+// derive gauges by subtraction, and a -1e-18 residue must format exactly
+// like the 0.0 the legacy accumulators produced.
 std::string FormatFixed(double value, int digits);
+
+// Scientific notation with `digits` mantissa decimals ("1.633e+09"), the
+// shared form of the space-time columns; normalizes negative zero like
+// FormatFixed.
+std::string FormatScientific(double value, int digits);
 
 }  // namespace dsa
 

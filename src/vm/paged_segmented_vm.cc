@@ -55,6 +55,7 @@ void PagedSegmentedVm::Reset() {
   pager_ = std::make_unique<Pager>(pager_config, backing_.get(), channel_.get(),
                                    std::move(replacement), std::move(fetch), advice_.get(),
                                    injector_.get());
+  pager_->SetTracer(config_.tracer);
 
   SegmentPageMapper* raw = mapper_.get();
   pager_->SetResidencyCallbacks(

@@ -45,6 +45,9 @@ struct PagedSegmentedVmConfig {
   bool accept_advice{false};
   // Storage fault model (zero rates: bit-identical to a fault-free run).
   FaultInjectorConfig fault_injection{};
+  // Optional shared event tracer (not owned); attached to the pager and the
+  // frame table on Reset.  Null: no tracing.
+  EventTracer* tracer{nullptr};
   // How linear workload traces are sliced into segments.
   WordCount workload_segment_words{4096};
   Cycles cycles_per_reference{1};

@@ -57,6 +57,7 @@ void PagedLinearVm::Reset() {
   pager_ = std::make_unique<Pager>(pager_config, backing_.get(), channel_.get(),
                                    std::move(replacement), std::move(fetch), advice_.get(),
                                    injector_.get());
+  pager_->SetTracer(config_.tracer);
 
   switch (config_.mapper) {
     case PagedMapperKind::kPageTable: {

@@ -52,6 +52,10 @@ struct PagedVmConfig {
   // Storage fault model (zero rates: bit-identical to a fault-free run).
   FaultInjectorConfig fault_injection{};
 
+  // Optional shared event tracer (not owned); attached to the pager and the
+  // frame table on Reset.  Null: no tracing.
+  EventTracer* tracer{nullptr};
+
   // Compute cost of one reference besides mapping (instruction execution).
   Cycles cycles_per_reference{1};
   // Reported allocation-unit flavour: a machine with more than one frame

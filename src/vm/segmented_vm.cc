@@ -27,6 +27,7 @@ void SegmentedVm::Reset() {
   mgr.compact_on_fragmentation = config_.compact_on_fragmentation;
   mgr.packing = config_.packing;
   manager_ = std::make_unique<SegmentManager>(mgr, backing_.get(), channel_.get());
+  manager_->SetTracer(config_.tracer);
 
   directory_ = SymbolicSegmentDirectory{};
   workload_segments_.clear();

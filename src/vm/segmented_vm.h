@@ -45,6 +45,9 @@ struct SegmentedVmConfig {
   // Whether segment-level predictive directives are accepted (ACSI-MATIC
   // program descriptions; the advisory API below is refused otherwise).
   bool accept_advice{false};
+  // Optional shared event tracer (not owned); attached to the segment
+  // manager (and its allocator/compactor) on Reset.  Null: no tracing.
+  EventTracer* tracer{nullptr};
   Cycles cycles_per_reference{1};
 };
 

@@ -61,6 +61,7 @@ std::unique_ptr<StorageAllocationSystem> BuildSystem(const SystemSpec& spec) {
     config.descriptor_cache_entries = spec.tlb_entries;
     config.accept_advice = advice;
     config.cycles_per_reference = spec.cycles_per_reference;
+    config.tracer = spec.tracer;
     return std::make_unique<SegmentedVm>(config);
   }
 
@@ -80,6 +81,7 @@ std::unique_ptr<StorageAllocationSystem> BuildSystem(const SystemSpec& spec) {
     config.cycles_per_reference = spec.cycles_per_reference;
     config.reported_unit = c.unit;
     config.fault_injection = spec.fault_injection;
+    config.tracer = spec.tracer;
     return std::make_unique<PagedLinearVm>(config);
   }
 
@@ -97,6 +99,7 @@ std::unique_ptr<StorageAllocationSystem> BuildSystem(const SystemSpec& spec) {
   config.cycles_per_reference = spec.cycles_per_reference;
   config.reported_unit = c.unit;
   config.fault_injection = spec.fault_injection;
+  config.tracer = spec.tracer;
   return std::make_unique<PagedSegmentedVm>(config);
 }
 

@@ -23,6 +23,8 @@
 
 namespace dsa {
 
+class EventTracer;
+
 struct SystemSpec {
   std::string label{"custom-system"};
   Characteristics characteristics{};
@@ -46,6 +48,10 @@ struct SystemSpec {
   // The segment-unit family has no paging channel to inject into and
   // ignores it.
   FaultInjectorConfig fault_injection{};
+
+  // Optional shared event tracer (not owned), threaded into whichever
+  // family Build() selects.  Null: no tracing.
+  EventTracer* tracer{nullptr};
 };
 
 // Builds the system family implied by the characteristics:

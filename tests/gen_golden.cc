@@ -1,0 +1,44 @@
+// Regenerates the golden event streams under tests/golden/ from the run
+// definitions in golden_runs.h.  Invoked by scripts/regen_golden.sh; refuses
+// to write a stream the replay verifier rejects, so a regression can never
+// be baked into the goldens.
+//
+// Usage: gen_golden OUTPUT_DIR
+
+#include <cstdio>
+#include <fstream>
+
+#include "tests/golden_runs.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s OUTPUT_DIR\n", argv[0]);
+    return 2;
+  }
+  const std::string dir = argv[1];
+
+  for (const dsa::golden::GoldenRun& run : dsa::golden::GoldenRuns()) {
+    const dsa::golden::GoldenResult result = dsa::golden::RunGolden(run);
+
+    dsa::TraceVerifierConfig config;
+    config.frame_count = result.frame_count;
+    const auto violations = dsa::TraceReplayVerifier(config).Verify(result.events);
+    if (!violations.empty()) {
+      std::fprintf(stderr, "gen_golden: run '%s' violates trace invariants:\n%s",
+                   run.name.c_str(),
+                   dsa::TraceReplayVerifier::Describe(violations).c_str());
+      return 1;
+    }
+
+    const std::string path = dir + "/" + run.name + ".jsonl";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "gen_golden: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    out << result.jsonl;
+    out.close();
+    std::printf("wrote %zu events to %s\n", result.events.size(), path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,141 @@
+// The canonical golden-trace runs, shared by test_golden_traces (which
+// byte-compares against tests/golden/*.jsonl) and gen_golden (which
+// regenerates those files via scripts/regen_golden.sh).
+//
+// Keeping the run definitions in one header is what makes the golden files
+// trustworthy: the regenerator and the comparator cannot drift apart.  Every
+// parameter below is pinned — changing any of them is a deliberate
+// regeneration event, not an accident.
+
+#ifndef TESTS_GOLDEN_RUNS_H_
+#define TESTS_GOLDEN_RUNS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/obs/export.h"
+#include "src/obs/tracer.h"
+#include "src/obs/verifier.h"
+#include "src/obs/vm_metrics.h"
+#include "src/trace/synthetic.h"
+#include "src/vm/system_builder.h"
+
+namespace dsa::golden {
+
+struct GoldenRun {
+  std::string name;  // file stem under tests/golden/
+  SystemSpec spec;
+  ReferenceTrace trace;
+};
+
+inline std::vector<GoldenRun> GoldenRuns() {
+  std::vector<GoldenRun> runs;
+
+  // A small paged linear system under a phase-changing working set: the
+  // richest flat-pager stream (faults, victims, transfers, write-backs).
+  {
+    GoldenRun run;
+    run.name = "paged";
+    run.spec.label = "golden-paged";
+    run.spec.core_words = 4096;
+    run.spec.page_words = 256;  // 16 frames
+    run.spec.tlb_entries = 8;
+    run.spec.backing_level =
+        MakeDrumLevel("drum", 1u << 18, /*word_time=*/2, /*rotational_delay=*/600);
+    // 24 hot regions over 16 frames: the pager faults and evicts
+    // continuously, so the stream exercises every flat-pager event kind.
+    WorkingSetTraceParams params;
+    params.extent = 1 << 14;
+    params.region_words = 256;
+    params.regions_per_phase = 24;
+    params.phase_length = 1500;
+    params.phases = 3;
+    params.seed = 41;
+    run.trace = MakeWorkingSetTrace(params);
+    runs.push_back(std::move(run));
+  }
+
+  // A symbolically segmented, variable-unit system whose working set spans
+  // 32 segments while core holds 8: exercises segment faults, alloc/free,
+  // eviction write-backs, and (on fragmentation) compaction events.
+  {
+    GoldenRun run;
+    run.name = "segmented";
+    run.spec.label = "golden-segmented";
+    run.spec.characteristics.name_space = NameSpaceKind::kSymbolicallySegmented;
+    run.spec.characteristics.unit = AllocationUnit::kVariableBlocks;
+    run.spec.core_words = 2048;
+    run.spec.max_segment_extent = 256;
+    run.spec.workload_segment_words = 256;
+    run.spec.backing_level =
+        MakeDrumLevel("drum", 1u << 18, /*word_time=*/2, /*rotational_delay=*/600);
+    WorkingSetTraceParams params;
+    params.extent = 1 << 13;
+    params.region_words = 256;
+    params.regions_per_phase = 12;
+    params.phase_length = 1200;
+    params.phases = 3;
+    params.seed = 42;
+    run.trace = MakeWorkingSetTrace(params);
+    runs.push_back(std::move(run));
+  }
+
+  // The paged run again with the storage fault injector turned up: the
+  // stream gains fault-recovery, frame-retire, and relocation events while
+  // every verifier invariant must still hold.
+  {
+    GoldenRun run;
+    run.name = "fault_injected";
+    run.spec.label = "golden-fault-injected";
+    run.spec.core_words = 4096;
+    run.spec.page_words = 256;
+    run.spec.tlb_entries = 8;
+    run.spec.backing_level =
+        MakeDrumLevel("drum", 1u << 18, /*word_time=*/2, /*rotational_delay=*/600);
+    run.spec.fault_injection.seed = 43;
+    run.spec.fault_injection.rates.transient_transfer = 0.15;
+    run.spec.fault_injection.rates.permanent_slot = 0.05;
+    run.spec.fault_injection.rates.frame_failure = 0.01;
+    WorkingSetTraceParams params;
+    params.extent = 1 << 14;
+    params.region_words = 256;
+    params.regions_per_phase = 24;
+    params.phase_length = 1500;
+    params.phases = 3;
+    params.seed = 41;
+    run.trace = MakeWorkingSetTrace(params);
+    runs.push_back(std::move(run));
+  }
+
+  return runs;
+}
+
+struct GoldenResult {
+  std::vector<TraceEvent> events;
+  std::string jsonl;
+  std::string report;
+  std::size_t frame_count{0};
+};
+
+// Builds the run's system with an unbounded tracer attached, executes the
+// trace, and returns the captured stream plus the rendered report.
+inline GoldenResult RunGolden(const GoldenRun& run) {
+  SystemSpec spec = run.spec;
+  EventTracer tracer(/*capacity=*/0);
+  spec.tracer = &tracer;
+  const auto system = BuildSystem(spec);
+  const VmReport report = system->Run(run.trace);
+
+  GoldenResult result;
+  result.events = tracer.Snapshot();
+  result.jsonl = EventsToJsonl(result.events);
+  result.report =
+      RenderVmReport(report, Describe(system->characteristics()), run.trace.label);
+  result.frame_count = static_cast<std::size_t>(spec.core_words / spec.page_words);
+  return result;
+}
+
+}  // namespace dsa::golden
+
+#endif  // TESTS_GOLDEN_RUNS_H_

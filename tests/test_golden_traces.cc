@@ -1,0 +1,101 @@
+// Golden-trace regression tests: every canonical run's event stream must be
+// byte-identical to the committed tests/golden/*.jsonl capture, and every
+// committed capture must satisfy the replay verifier.
+//
+// A byte diff here means engine behaviour changed.  If the change is
+// intentional, regenerate with scripts/regen_golden.sh and review the JSONL
+// diff like any other code change.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "tests/golden_runs.h"
+
+namespace dsa {
+namespace {
+
+#ifndef DSA_GOLDEN_DIR
+#error "DSA_GOLDEN_DIR must point at tests/golden"
+#endif
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return {};
+  }
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// Line number (1-based) of the first differing line, for a readable failure.
+std::string FirstDiff(const std::string& expected, const std::string& actual) {
+  std::istringstream a(expected);
+  std::istringstream b(actual);
+  std::string la;
+  std::string lb;
+  std::size_t line = 0;
+  while (true) {
+    ++line;
+    const bool ga = static_cast<bool>(std::getline(a, la));
+    const bool gb = static_cast<bool>(std::getline(b, lb));
+    if (!ga && !gb) {
+      return "streams identical";
+    }
+    if (!ga || !gb || la != lb) {
+      return "line " + std::to_string(line) + ":\n  golden: " + (ga ? la : "<eof>") +
+             "\n  actual: " + (gb ? lb : "<eof>");
+    }
+  }
+}
+
+class GoldenTraceTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GoldenTraceTest, StreamMatchesCommittedCapture) {
+  const golden::GoldenRun run = golden::GoldenRuns()[GetParam()];
+  const golden::GoldenResult result = golden::RunGolden(run);
+
+  const std::string path = std::string(DSA_GOLDEN_DIR) + "/" + run.name + ".jsonl";
+  const std::string committed = ReadFileOrEmpty(path);
+  ASSERT_FALSE(committed.empty()) << "missing golden capture " << path
+                                  << " — run scripts/regen_golden.sh";
+
+  EXPECT_GT(result.events.size(), 0u);
+  EXPECT_EQ(committed, result.jsonl)
+      << "event stream diverged from " << path << " at " << FirstDiff(committed, result.jsonl)
+      << "\nIf intentional, regenerate with scripts/regen_golden.sh.";
+}
+
+TEST_P(GoldenTraceTest, StreamPassesReplayVerifier) {
+  const golden::GoldenRun run = golden::GoldenRuns()[GetParam()];
+  const golden::GoldenResult result = golden::RunGolden(run);
+
+  TraceVerifierConfig config;
+  config.frame_count = result.frame_count;
+  const auto violations = TraceReplayVerifier(config).Verify(result.events);
+  EXPECT_TRUE(violations.empty()) << TraceReplayVerifier::Describe(violations);
+}
+
+TEST_P(GoldenTraceTest, CommittedCaptureRoundTripsThroughParser) {
+  const golden::GoldenRun run = golden::GoldenRuns()[GetParam()];
+  const std::string path = std::string(DSA_GOLDEN_DIR) + "/" + run.name + ".jsonl";
+  const std::string committed = ReadFileOrEmpty(path);
+  ASSERT_FALSE(committed.empty()) << "missing golden capture " << path;
+
+  const auto parsed = ParseEventsJsonl(committed);
+  ASSERT_TRUE(parsed.has_value())
+      << path << ":" << parsed.error().line << ": " << parsed.error().message;
+  EXPECT_EQ(EventsToJsonl(parsed.value()), committed);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRuns, GoldenTraceTest,
+                         ::testing::Range<std::size_t>(0, golden::GoldenRuns().size()),
+                         [](const ::testing::TestParamInfo<std::size_t>& info) {
+                           return golden::GoldenRuns()[info.param].name;
+                         });
+
+}  // namespace
+}  // namespace dsa

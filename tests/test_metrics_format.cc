@@ -1,0 +1,99 @@
+// Pins the byte format of the MetricsRegistry-backed report renderer and
+// the numeric formatters it leans on.  RenderVmReport replaced the literal
+// printf block in dsa_sim; these tests are the contract that the swap stays
+// byte-identical, so downstream tooling that parses report text never sees
+// a formatting drift.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/obs/vm_metrics.h"
+#include "src/stats/table.h"
+
+namespace dsa {
+namespace {
+
+VmReport SampleReport() {
+  VmReport report;
+  report.references = 60000;
+  report.faults = 128;
+  report.bounds_violations = 2;
+  report.writebacks = 31;
+  report.total_cycles = 1234567;
+  report.compute_cycles = 60000;
+  report.translation_cycles = 120000;
+  report.wait_cycles = 987654;
+  report.space_time.active = 1.5e9;
+  report.space_time.waiting = 0.5e9;
+  report.peak_resident_words = 16384;
+  report.tlb_hit_rate = 0.9541;
+  return report;
+}
+
+TEST(VmMetricsFormatTest, ReportBlockIsByteStable) {
+  const std::string out = RenderVmReport(SampleReport(), "paged linear", "workload-x");
+  const std::string expected =
+      "system           paged linear\n"
+      "workload         workload-x (60000 references)\n"
+      "faults           128  (rate 0.00213)\n"
+      "bounds traps     2\n"
+      "write-backs      31\n"
+      "total cycles     1234567\n"
+      "mean map cost    2.00 cycles/ref\n"
+      "wait fraction    0.800\n"
+      "space-time       active 1.500e+09, waiting 5.000e+08 (waiting 25.0%)\n"
+      "peak residency   16384 words\n"
+      "assoc hit rate   0.954\n";
+  EXPECT_EQ(out, expected);
+}
+
+TEST(VmMetricsFormatTest, TlbLineOnlyWhenHitRatePositive) {
+  VmReport report = SampleReport();
+  report.tlb_hit_rate = 0.0;
+  const std::string out = RenderVmReport(report, "s", "w");
+  EXPECT_EQ(out.find("assoc hit rate"), std::string::npos);
+}
+
+TEST(VmMetricsFormatTest, ZeroReportRendersZeroRatesNotNans) {
+  const std::string out = RenderVmReport(VmReport{}, "s", "w");
+  EXPECT_NE(out.find("faults           0  (rate 0.00000)\n"), std::string::npos);
+  EXPECT_NE(out.find("wait fraction    0.000\n"), std::string::npos);
+  EXPECT_NE(out.find("space-time       active 0.000e+00, waiting 0.000e+00 (waiting 0.0%)\n"),
+            std::string::npos);
+}
+
+TEST(VmMetricsFormatTest, FillThenRenderMatchesConvenienceWrapper) {
+  const VmReport report = SampleReport();
+  MetricsRegistry registry;
+  FillVmMetrics(report, &registry);
+  EXPECT_EQ(RenderVmMetricsReport(registry, "sys", "load"),
+            RenderVmReport(report, "sys", "load"));
+}
+
+TEST(VmMetricsFormatTest, FillVmMetricsRoundsOnceIntoGauges) {
+  // The gauge holds the same derived value the report prints — a dashboard
+  // scraping the registry and a human reading the report agree.
+  const VmReport report = SampleReport();
+  MetricsRegistry registry;
+  FillVmMetrics(report, &registry);
+  EXPECT_DOUBLE_EQ(registry.GaugeValue("vm/fault_rate"), report.FaultRate());
+  EXPECT_DOUBLE_EQ(registry.GaugeValue("vm/wait_fraction"), report.WaitFraction());
+  EXPECT_EQ(registry.CounterValue("vm/references"), 60000u);
+  EXPECT_EQ(registry.CounterValue("vm/reliability/lost_pages"), 0u);
+}
+
+TEST(NumericFormatTest, FormatFixedNeverPrintsNegativeZero) {
+  EXPECT_EQ(FormatFixed(-0.0, 3), "0.000");
+  EXPECT_EQ(FormatFixed(-1e-9, 3), "0.000");
+  EXPECT_EQ(FormatFixed(-0.0004, 3), "0.000");
+  EXPECT_EQ(FormatFixed(0.0005, 3), "0.001");  // plain round-half-up survives
+}
+
+TEST(NumericFormatTest, FormatScientificNeverPrintsNegativeZero) {
+  EXPECT_EQ(FormatScientific(-0.0, 3), "0.000e+00");
+  EXPECT_EQ(FormatScientific(1.5e9, 3), "1.500e+09");
+}
+
+}  // namespace
+}  // namespace dsa

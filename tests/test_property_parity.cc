@@ -1,0 +1,270 @@
+// Property and parity tests: the optimised data structures are checked
+// against brutally simple reference models on randomized inputs.
+//
+//   * FreeList (address-ordered map + size index) vs a plain occupancy
+//     bitmap: hole inventory, coalescing, and both O(log n) placement
+//     queries must match a linear scan on every step of a random
+//     alloc/free workload.
+//   * OPT replacement (Belady farthest-next-use) vs exhaustive search over
+//     every possible eviction schedule on small traces: Belady's rule must
+//     achieve exactly the true minimum fault count.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/alloc/free_list.h"
+#include "src/core/rng.h"
+#include "src/paging/lifetime.h"
+
+namespace dsa {
+namespace {
+
+// ------------------------------------------------- FreeList vs bitmap ----
+
+// The reference model: one bool per word.  Every query is a linear scan.
+class BitmapFreeModel {
+ public:
+  explicit BitmapFreeModel(WordCount capacity) : free_(capacity, true) {}
+
+  void Insert(Block hole) {
+    for (std::uint64_t w = hole.addr.value; w < hole.end(); ++w) {
+      ASSERT_FALSE(free_[w]) << "double free at word " << w;
+      free_[w] = true;
+    }
+  }
+
+  void TakeRange(PhysicalAddress addr, WordCount size) {
+    for (std::uint64_t w = addr.value; w < addr.value + size; ++w) {
+      ASSERT_TRUE(free_[w]) << "allocating a used word " << w;
+      free_[w] = false;
+    }
+  }
+
+  bool RangeIsFree(PhysicalAddress addr, WordCount size) const {
+    for (std::uint64_t w = addr.value; w < addr.value + size; ++w) {
+      if (w >= free_.size() || !free_[w]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Maximal runs of free words, in address order.
+  std::vector<Block> Holes() const {
+    std::vector<Block> holes;
+    std::uint64_t w = 0;
+    while (w < free_.size()) {
+      if (!free_[w]) {
+        ++w;
+        continue;
+      }
+      const std::uint64_t start = w;
+      while (w < free_.size() && free_[w]) {
+        ++w;
+      }
+      holes.push_back(Block{PhysicalAddress{start}, w - start});
+    }
+    return holes;
+  }
+
+  std::optional<PhysicalAddress> BestFit(WordCount size) const {
+    std::optional<Block> best;
+    for (const Block& hole : Holes()) {
+      if (hole.size >= size && (!best || hole.size < best->size)) {
+        best = hole;  // first hole of each size wins: lowest address on ties
+      }
+    }
+    if (!best) {
+      return std::nullopt;
+    }
+    return best->addr;
+  }
+
+  std::optional<PhysicalAddress> WorstFit(WordCount size) const {
+    std::optional<Block> worst;
+    for (const Block& hole : Holes()) {
+      if (hole.size >= size && (!worst || hole.size > worst->size)) {
+        worst = hole;
+      }
+    }
+    if (!worst) {
+      return std::nullopt;
+    }
+    return worst->addr;
+  }
+
+ private:
+  std::vector<bool> free_;
+};
+
+void ExpectParity(const FreeList& list, const BitmapFreeModel& model, WordCount capacity,
+                  Rng* rng) {
+  const std::vector<Block> expected = model.Holes();
+  ASSERT_EQ(list.Holes(), expected);
+  ASSERT_EQ(list.hole_count(), expected.size());
+
+  WordCount total = 0;
+  WordCount largest = 0;
+  for (const Block& hole : expected) {
+    total += hole.size;
+    largest = std::max(largest, hole.size);
+  }
+  ASSERT_EQ(list.total_free(), total);
+  ASSERT_EQ(list.largest_hole(), largest);
+
+  // Probe both placement queries and the occupancy predicate at a few
+  // random sizes/addresses per step.
+  for (int probe = 0; probe < 4; ++probe) {
+    const WordCount size = 1 + rng->Below(capacity / 4);
+    ASSERT_EQ(list.SmallestHoleAtLeast(size), model.BestFit(size)) << "size " << size;
+    ASSERT_EQ(list.LargestHoleAtLeast(size), model.WorstFit(size)) << "size " << size;
+    const PhysicalAddress addr{rng->Below(capacity)};
+    const WordCount span = 1 + rng->Below(16);
+    ASSERT_EQ(list.RangeIsFree(addr, span), model.RangeIsFree(addr, span))
+        << "addr " << addr.value << " span " << span;
+  }
+}
+
+TEST(FreeListParityTest, RandomAllocFreeWorkloadMatchesBitmapModel) {
+  constexpr WordCount kCapacity = 512;
+  for (std::uint64_t seed : {11u, 22u, 33u}) {
+    Rng rng(seed);
+    FreeList list(kCapacity);
+    BitmapFreeModel model(kCapacity);
+    std::map<std::uint64_t, WordCount> live;  // addr -> size of allocations
+
+    for (int step = 0; step < 600; ++step) {
+      const bool do_alloc = live.empty() || rng.Below(100) < 60;
+      if (do_alloc) {
+        const WordCount size = 1 + rng.Below(24);
+        // Alternate placement flavours so both indexes get exercised.
+        const auto addr = (step % 2 == 0) ? list.SmallestHoleAtLeast(size)
+                                          : list.LargestHoleAtLeast(size);
+        if (addr.has_value()) {
+          list.TakeRange(*addr, size);
+          model.TakeRange(*addr, size);
+          live.emplace(addr->value, size);
+        }
+      } else {
+        auto it = live.begin();
+        std::advance(it, rng.Below(live.size()));
+        list.Insert(Block{PhysicalAddress{it->first}, it->second});
+        model.Insert(Block{PhysicalAddress{it->first}, it->second});
+        live.erase(it);
+      }
+      ExpectParity(list, model, kCapacity, &rng);
+      if (::testing::Test::HasFatalFailure()) {
+        FAIL() << "parity broke at seed " << seed << " step " << step;
+      }
+    }
+
+    // Free everything: coalescing must recover the single original hole.
+    for (const auto& [addr, size] : live) {
+      list.Insert(Block{PhysicalAddress{addr}, size});
+    }
+    EXPECT_EQ(list.hole_count(), 1u) << "seed " << seed;
+    EXPECT_EQ(list.total_free(), kCapacity) << "seed " << seed;
+    EXPECT_EQ(list.largest_hole(), kCapacity) << "seed " << seed;
+  }
+}
+
+// ------------------------------------------------ OPT vs brute force -----
+
+// True minimum fault count over every possible eviction schedule, by
+// exhaustive recursion.  Exponential — keep traces tiny.
+std::uint64_t BruteForceMinFaults(const std::vector<PageId>& refs, std::size_t position,
+                                  std::vector<std::uint64_t> resident, std::size_t frames) {
+  if (position == refs.size()) {
+    return 0;
+  }
+  const std::uint64_t page = refs[position].value;
+  if (std::find(resident.begin(), resident.end(), page) != resident.end()) {
+    return BruteForceMinFaults(refs, position + 1, std::move(resident), frames);
+  }
+  if (resident.size() < frames) {
+    resident.push_back(page);
+    std::sort(resident.begin(), resident.end());  // canonical: set, not history
+    return 1 + BruteForceMinFaults(refs, position + 1, std::move(resident), frames);
+  }
+  std::uint64_t best = UINT64_MAX;
+  for (std::size_t victim = 0; victim < resident.size(); ++victim) {
+    std::vector<std::uint64_t> next = resident;
+    next[victim] = page;
+    std::sort(next.begin(), next.end());
+    best = std::min(best,
+                    1 + BruteForceMinFaults(refs, position + 1, std::move(next), frames));
+  }
+  return best;
+}
+
+std::uint64_t OptFaults(const std::vector<PageId>& refs, std::size_t frames) {
+  const LifetimeCurve curve = ComputeLifetimeCurve(refs, {frames},
+                                                   ReplacementStrategyKind::kOpt);
+  return curve.points.at(0).faults;
+}
+
+std::vector<PageId> RandomPageString(Rng* rng, std::size_t length, std::uint64_t pages) {
+  std::vector<PageId> refs;
+  refs.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    refs.push_back(PageId{rng->Below(pages)});
+  }
+  return refs;
+}
+
+TEST(OptParityTest, BeladyMatchesExhaustiveMinimumOnRandomTraces) {
+  Rng rng(4242);
+  for (int round = 0; round < 40; ++round) {
+    const std::size_t frames = 2 + rng.Below(2);        // 2 or 3 frames
+    const std::uint64_t pages = frames + 1 + rng.Below(3);  // up to frames+3 pages
+    const std::vector<PageId> refs = RandomPageString(&rng, 12, pages);
+    EXPECT_EQ(OptFaults(refs, frames), BruteForceMinFaults(refs, 0, {}, frames))
+        << "round " << round << " frames " << frames << " pages " << pages;
+  }
+}
+
+TEST(OptParityTest, BeladyMatchesExhaustiveMinimumOnAdversarialShapes) {
+  // Shapes with known optima: pure loops (where LRU is pessimal) and
+  // phase flips.
+  const std::vector<std::vector<std::uint64_t>> traces = {
+      {0, 1, 2, 0, 1, 2, 0, 1, 2, 0, 1, 2},  // loop of 3 over 2 frames
+      {0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3},  // loop of 4 over 3 frames
+      {0, 0, 0, 1, 1, 1, 2, 2, 2, 0, 1, 2},  // runs then recall
+      {0, 1, 0, 2, 0, 3, 0, 4, 0, 5, 0, 6},  // one hot page
+  };
+  for (const auto& raw : traces) {
+    std::vector<PageId> refs;
+    for (std::uint64_t p : raw) {
+      refs.push_back(PageId{p});
+    }
+    for (std::size_t frames : {2u, 3u}) {
+      EXPECT_EQ(OptFaults(refs, frames), BruteForceMinFaults(refs, 0, {}, frames))
+          << "frames " << frames;
+    }
+  }
+}
+
+TEST(OptParityTest, NoOnlinePolicyBeatsOpt) {
+  // Sanity anchor for the parity: on the same random strings, LRU and FIFO
+  // never fault less than OPT.
+  Rng rng(777);
+  for (int round = 0; round < 10; ++round) {
+    const std::vector<PageId> refs = RandomPageString(&rng, 200, 8);
+    for (std::size_t frames : {2u, 4u}) {
+      const std::uint64_t opt = OptFaults(refs, frames);
+      for (ReplacementStrategyKind policy :
+           {ReplacementStrategyKind::kLru, ReplacementStrategyKind::kFifo}) {
+        const LifetimeCurve curve = ComputeLifetimeCurve(refs, {frames}, policy);
+        EXPECT_GE(curve.points.at(0).faults, opt)
+            << ToString(policy) << " beat OPT at " << frames << " frames";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dsa

@@ -1,0 +1,233 @@
+// Overload sweep: multiprogramming degree past the thrashing cliff, with
+// and without closed-loop load control.
+//
+// A 16-frame core runs identical loop jobs whose working sets are ~4 pages,
+// so roughly four jobs coexist before replacement starts stealing live
+// pages.  The sweep raises the degree from 1 to 16 under three regimes:
+//
+//   uncontrolled   every job active at once (the paper's warning case:
+//                  "entirely independent decisions ... as to processor
+//                  scheduling and storage allocation");
+//   adaptive       the fault-rate-knee controller sheds and readmits jobs
+//                  with hysteresis (kAdaptiveFaultRate);
+//   working-set    admission by estimated working sets against core
+//                  capacity (kWorkingSetAdmission).
+//
+// Past the knee the uncontrolled curve's CPU utilisation collapses — the
+// serialised drum channel saturates with re-fetches of stolen pages — while
+// the controlled curves hold near their peak.  The run exits non-zero if
+// either property fails, so CI catches a regressed controller.
+//
+// Every value in BENCH_overload.json is a pure function of the seeds — no
+// wall-clock readings — so reruns are byte-identical.
+//
+// Usage: bench_overload [--quick] [--out PATH]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/sched/multiprogramming.h"
+#include "src/trace/synthetic.h"
+
+namespace {
+
+constexpr dsa::WordCount kPageWords = 256;
+constexpr std::size_t kFrames = 16;
+
+constexpr std::size_t kDegrees[] = {1, 2, 3, 4, 6, 8, 12, 16};
+constexpr std::size_t kNumDegrees = sizeof(kDegrees) / sizeof(kDegrees[0]);
+
+const char* const kPolicies[] = {"uncontrolled", "adaptive", "working-set"};
+constexpr std::size_t kNumPolicies = 3;
+
+struct Cell {
+  std::size_t degree{0};
+  double cpu_utilization{0.0};
+  double throughput{0.0};
+  std::uint64_t faults{0};
+  std::uint64_t deactivations{0};
+  std::uint64_t reactivations{0};
+  dsa::Cycles total_cycles{0};
+};
+
+dsa::MultiprogramConfig ConfigFor(std::size_t policy) {
+  dsa::MultiprogramConfig config;
+  config.core_words = kFrames * kPageWords;
+  config.page_words = kPageWords;
+  config.backing_level = dsa::MakeDrumLevel("drum", 1u << 18, /*word_time=*/1,
+                                            /*rotational_delay=*/300);
+  config.quantum = 2000;
+  config.context_switch_cycles = 20;
+  if (policy == 1) {
+    config.load_control.policy = dsa::LoadControlPolicy::kAdaptiveFaultRate;
+    config.load_control.window = 10000;
+    // High enough that the cold-start compulsory-fault transient (a few
+    // faults over the first few hundred references) cannot trip the knee;
+    // real thrash sustains thousands of references per window.
+    config.load_control.min_window_references = 1500;
+    // Healthy steady-state fault rate for the loop workload is ~1e-4 (one
+    // new page per body sweep); even mild overcommit sustains ~4e-3.  The
+    // knee sits between them: a failed probe must trip the shed within a
+    // window or two, not linger in semi-thrash under the high-water mark.
+    config.load_control.high_fault_rate = 0.002;
+    config.load_control.low_fault_rate = 0.0005;
+    config.load_control.hysteresis = 20000;
+    config.load_control.shed_hysteresis = 3000;
+  } else if (policy == 2) {
+    config.load_control.policy = dsa::LoadControlPolicy::kWorkingSetAdmission;
+    config.load_control.working_set_tau = 8000;
+    config.load_control.hysteresis = 6000;
+  }
+  return config;
+}
+
+Cell RunCell(std::size_t policy, std::size_t degree, std::size_t job_length) {
+  dsa::MultiprogrammingSimulator sim(ConfigFor(policy));
+  for (std::size_t j = 0; j < degree; ++j) {
+    dsa::LoopTraceParams params;
+    params.extent = 2048;
+    params.body_words = 512;    // ~2-3 resident pages per job
+    params.advance_words = 256;
+    params.iterations = 8;      // 4096 refs per one-page slide: heavy reuse
+    params.length = job_length;
+    params.seed = 1967 + j;
+    sim.AddJob("job-" + std::to_string(j), MakeLoopTrace(params));
+  }
+  const dsa::MultiprogramReport report = sim.Run();
+  Cell cell;
+  cell.degree = degree;
+  cell.cpu_utilization = report.CpuUtilization();
+  cell.throughput = report.Throughput();
+  cell.faults = report.faults;
+  cell.deactivations = report.deactivations;
+  cell.reactivations = report.reactivations;
+  cell.total_cycles = report.total_cycles;
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_overload.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const std::size_t job_length = quick ? 6000 : 30000;
+
+  std::printf("== bench_overload: degree sweep past the thrashing cliff ==\n");
+  std::printf("   frames=%zu page_words=%llu job_refs=%zu (%s)\n\n", kFrames,
+              static_cast<unsigned long long>(kPageWords), job_length,
+              quick ? "quick" : "full");
+  std::printf("  %-13s %6s %8s %9s %10s %8s\n", "policy", "degree", "cpu-util",
+              "thruput", "faults", "sheds");
+
+  std::vector<Cell> results[kNumPolicies];
+  for (std::size_t p = 0; p < kNumPolicies; ++p) {
+    for (std::size_t d = 0; d < kNumDegrees; ++d) {
+      const Cell cell = RunCell(p, kDegrees[d], job_length);
+      results[p].push_back(cell);
+      std::printf("  %-13s %6zu %8.4f %9.5f %10llu %8llu\n", kPolicies[p], cell.degree,
+                  cell.cpu_utilization, cell.throughput,
+                  static_cast<unsigned long long>(cell.faults),
+                  static_cast<unsigned long long>(cell.deactivations));
+    }
+  }
+
+  // The knee: the degree where the uncontrolled curve peaks.  Past it the
+  // uncontrolled utilisation must fall away while adaptive holds.
+  std::size_t knee_index = 0;
+  for (std::size_t d = 1; d < kNumDegrees; ++d) {
+    if (results[0][d].cpu_utilization > results[0][knee_index].cpu_utilization) {
+      knee_index = d;
+    }
+  }
+  const std::size_t knee_degree = kDegrees[knee_index];
+  const double uncontrolled_peak = results[0][knee_index].cpu_utilization;
+  const double uncontrolled_tail = results[0][kNumDegrees - 1].cpu_utilization;
+
+  double adaptive_peak = 0.0;
+  for (const Cell& cell : results[1]) {
+    adaptive_peak = std::max(adaptive_peak, cell.cpu_utilization);
+  }
+  // Adaptive utilisation at the smallest swept degree >= 2x the knee.
+  std::size_t probe_index = kNumDegrees - 1;
+  for (std::size_t d = 0; d < kNumDegrees; ++d) {
+    if (kDegrees[d] >= 2 * knee_degree) {
+      probe_index = d;
+      break;
+    }
+  }
+  const double adaptive_at_2x = results[1][probe_index].cpu_utilization;
+
+  std::printf("\n  knee: degree %zu (uncontrolled peak %.4f, tail %.4f)\n", knee_degree,
+              uncontrolled_peak, uncontrolled_tail);
+  std::printf("  adaptive: peak %.4f, at degree %zu (>=2x knee) %.4f\n", adaptive_peak,
+              kDegrees[probe_index], adaptive_at_2x);
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"bench_overload\",\n  \"quick\": %s,\n",
+               quick ? "true" : "false");
+  std::fprintf(out,
+               "  \"config\": {\"frames\": %zu, \"page_words\": %llu, "
+               "\"job_refs\": %zu, \"quantum\": 2000, \"trace\": \"loop\", "
+               "\"trace_seed_base\": 1967},\n",
+               kFrames, static_cast<unsigned long long>(kPageWords), job_length);
+  std::fprintf(out, "  \"sweeps\": {\n");
+  for (std::size_t p = 0; p < kNumPolicies; ++p) {
+    std::fprintf(out, "    \"%s\": [\n", kPolicies[p]);
+    for (std::size_t d = 0; d < kNumDegrees; ++d) {
+      const Cell& cell = results[p][d];
+      std::fprintf(out,
+                   "      {\"degree\": %zu, \"cpu_utilization\": %.6f, "
+                   "\"throughput\": %.6f, \"faults\": %llu, \"deactivations\": %llu, "
+                   "\"reactivations\": %llu, \"total_cycles\": %llu}%s\n",
+                   cell.degree, cell.cpu_utilization, cell.throughput,
+                   static_cast<unsigned long long>(cell.faults),
+                   static_cast<unsigned long long>(cell.deactivations),
+                   static_cast<unsigned long long>(cell.reactivations),
+                   static_cast<unsigned long long>(cell.total_cycles),
+                   d + 1 < kNumDegrees ? "," : "");
+    }
+    std::fprintf(out, "    ]%s\n", p + 1 < kNumPolicies ? "," : "");
+  }
+  std::fprintf(out, "  },\n");
+  std::fprintf(out,
+               "  \"summary\": {\"knee_degree\": %zu, \"uncontrolled_peak\": %.6f, "
+               "\"uncontrolled_tail\": %.6f, \"adaptive_peak\": %.6f, "
+               "\"adaptive_at_2x_knee\": %.6f}\n}\n",
+               knee_degree, uncontrolled_peak, uncontrolled_tail, adaptive_peak,
+               adaptive_at_2x);
+  std::fclose(out);
+  std::printf("  wrote %s\n", out_path.c_str());
+
+  // Acceptance: the cliff exists, and the controller removes it.
+  bool ok = true;
+  if (uncontrolled_tail >= 0.9 * uncontrolled_peak) {
+    std::fprintf(stderr, "no thrashing cliff: uncontrolled tail %.4f vs peak %.4f\n",
+                 uncontrolled_tail, uncontrolled_peak);
+    ok = false;
+  }
+  if (adaptive_at_2x < 0.9 * adaptive_peak) {
+    std::fprintf(stderr,
+                 "adaptive control collapsed: %.4f at degree %zu vs peak %.4f "
+                 "(must stay within 10%%)\n",
+                 adaptive_at_2x, kDegrees[probe_index], adaptive_peak);
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

@@ -19,7 +19,7 @@ fi
 
 cmake -B build -S . "${SANITIZE_ARGS[@]}"
 cmake --build build -j
-for label in unit golden property; do
+for label in unit golden property soak; do
   echo "== ctest -L ${label}"
   # Note -j needs an explicit count: a bare `-j` makes ctest swallow the
   # following -L flag and run the whole suite unfiltered.
@@ -27,3 +27,6 @@ for label in unit golden property; do
 done
 ./build/bench/bench_throughput --quick --out build/BENCH_throughput.quick.json
 ./build/bench/bench_degradation --quick --out build/BENCH_degradation.quick.json
+# bench_overload exits non-zero if the thrashing cliff disappears or the
+# adaptive controller stops holding utilisation past it.
+./build/bench/bench_overload --quick --out build/BENCH_overload.quick.json

@@ -22,21 +22,23 @@ strip_timing() {
 }
 
 cmake -B build -S . > /dev/null
-cmake --build build -j --target bench_throughput bench_degradation > /dev/null
+cmake --build build -j --target bench_throughput bench_degradation bench_overload > /dev/null
 
 mkdir -p build/bench_diff
 ./build/bench/bench_throughput --quick --out build/bench_diff/throughput.json > /dev/null
 ./build/bench/bench_degradation --quick --out build/bench_diff/degradation.json > /dev/null
+./build/bench/bench_overload --quick --out build/bench_diff/overload.json > /dev/null
 
 if [[ "${1:-}" == "--regen" ]]; then
   strip_timing build/bench_diff/throughput.json > BENCH_throughput.quick.json
   strip_timing build/bench_diff/degradation.json > BENCH_degradation.quick.json
-  echo "rewrote BENCH_throughput.quick.json and BENCH_degradation.quick.json"
+  strip_timing build/bench_diff/overload.json > BENCH_overload.quick.json
+  echo "rewrote BENCH_{throughput,degradation,overload}.quick.json"
   exit 0
 fi
 
 status=0
-for name in throughput degradation; do
+for name in throughput degradation overload; do
   strip_timing "build/bench_diff/${name}.json" > "build/bench_diff/${name}.stripped.json"
   if ! diff -u "BENCH_${name}.quick.json" "build/bench_diff/${name}.stripped.json"; then
     echo "bench_${name}: deterministic results drifted from BENCH_${name}.quick.json" >&2

@@ -44,6 +44,9 @@ enum class EventKind : std::uint8_t {
   kCompaction,        // a=blocks moved, b=words moved
   kFaultRecovery,     // a=page, b=RecoveryAction
   kScheduleSwitch,    // a=from job (kNoJob when idle), b=to job
+  kJobDeactivate,     // a=job, b=frames released by the swap-out
+  kJobReactivate,     // a=job
+  kLoadControl,       // a=LoadControlDecision, b=job (kNoJob), c=fault rate (ppm)
 };
 
 // Payload `b` of kFaultRecovery.
@@ -52,6 +55,12 @@ enum class RecoveryAction : std::uint64_t {
   kRelocation = 1,   // page re-homed to a spare backing slot
   kFrameParity = 2,  // core frame took a parity hit while landing a page
   kPageLost = 3,     // every recovery exhausted; contents unrecoverable
+};
+
+// Payload `a` of kLoadControl: what the load controller decided.
+enum class LoadControlDecision : std::uint64_t {
+  kShed = 0,   // an active job is being deactivated (swap out, requeue)
+  kAdmit = 1,  // a queued or deactivated job is being (re)activated
 };
 
 // kScheduleSwitch `a` when no job was previously running.

@@ -32,6 +32,12 @@ const char* ToString(EventKind kind) {
       return "fault-recovery";
     case EventKind::kScheduleSwitch:
       return "schedule-switch";
+    case EventKind::kJobDeactivate:
+      return "job-deactivate";
+    case EventKind::kJobReactivate:
+      return "job-reactivate";
+    case EventKind::kLoadControl:
+      return "load-control";
   }
   return "?";
 }
@@ -43,7 +49,8 @@ constexpr EventKind kAllKinds[] = {
     EventKind::kTransferComplete, EventKind::kVictimChosen, EventKind::kFrameLoad,
     EventKind::kFrameEvict,    EventKind::kFrameRetire,     EventKind::kPageDemoted,
     EventKind::kAlloc,         EventKind::kFree,            EventKind::kCompaction,
-    EventKind::kFaultRecovery, EventKind::kScheduleSwitch,
+    EventKind::kFaultRecovery, EventKind::kScheduleSwitch,  EventKind::kJobDeactivate,
+    EventKind::kJobReactivate, EventKind::kLoadControl,
 };
 
 bool Equals(const char* a, const char* b) {
@@ -93,6 +100,12 @@ EventFieldNames FieldNamesFor(EventKind kind) {
       return {"page", "action", nullptr};
     case EventKind::kScheduleSwitch:
       return {"from", "to", nullptr};
+    case EventKind::kJobDeactivate:
+      return {"job", "frames", nullptr};
+    case EventKind::kJobReactivate:
+      return {"job", nullptr, nullptr};
+    case EventKind::kLoadControl:
+      return {"decision", "job", "fault_ppm"};
   }
   return {nullptr, nullptr, nullptr};
 }

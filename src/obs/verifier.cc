@@ -33,6 +33,7 @@ std::vector<TraceViolation> TraceReplayVerifier::Verify(
   std::map<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>, std::size_t> open_transfers;
   std::unordered_map<std::uint64_t, std::uint64_t> frame_page;  // occupied frame -> page
   std::unordered_set<std::uint64_t> retired;
+  std::unordered_set<std::uint64_t> deactivated_jobs;
 
   auto check_not_retired = [&](std::size_t i, const TraceEvent& event, std::uint64_t frame) {
     if (retired.contains(frame)) {
@@ -81,6 +82,10 @@ std::vector<TraceViolation> TraceReplayVerifier::Verify(
         if (!check_not_retired(i, event, event.b)) {
           break;
         }
+        if (config_.page_job_shift.has_value() &&
+            deactivated_jobs.contains(event.a >> *config_.page_job_shift)) {
+          report(i, Format("frame loaded for a deactivated job", event));
+        }
         if (frame_page.contains(event.b)) {
           report(i, Format("load into an occupied frame", event));
           break;
@@ -128,6 +133,27 @@ std::vector<TraceViolation> TraceReplayVerifier::Verify(
         retired.insert(event.a);
         if (config_.frame_count.has_value() && retired.size() > *config_.frame_count) {
           report(i, Format("more frames retired than exist", event));
+        }
+        break;
+      }
+      case EventKind::kJobDeactivate: {
+        if (!deactivated_jobs.insert(event.a).second) {
+          report(i, Format("job deactivated twice without a reactivation", event));
+          break;
+        }
+        if (config_.page_job_shift.has_value()) {
+          for (const auto& [frame, page] : frame_page) {
+            if (page >> *config_.page_job_shift == event.a) {
+              report(i, Format("deactivated job still holds a frame", event));
+              break;
+            }
+          }
+        }
+        break;
+      }
+      case EventKind::kJobReactivate: {
+        if (deactivated_jobs.erase(event.a) == 0) {
+          report(i, Format("reactivation of a job that was not deactivated", event));
         }
         break;
       }

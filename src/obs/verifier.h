@@ -16,7 +16,12 @@
 //     frame is retired at most once;
 //   * frame conservation — loads only into vacant frames, evictions only of
 //     the page actually resident there, and (when the stream's frame count
-//     is known) occupied + retired never exceeds it.
+//     is known) occupied + retired never exceeds it;
+//   * deactivated jobs hold no frames — when `page_job_shift` names how a
+//     multiprogramming stream packs the job id into its page ids, a
+//     job-deactivate must find every frame of that job already evicted, no
+//     frame-load may name a deactivated job's page until the matching
+//     job-reactivate, and deactivate/reactivate must alternate per job.
 //
 // The verifier assumes a complete stream from a cold start — capture with
 // an unbounded tracer (capacity 0); a ring that dropped its head will
@@ -43,6 +48,10 @@ struct TraceVerifierConfig {
   // Total frames of the captured system; enables the capacity bound of the
   // conservation check when known.
   std::optional<std::size_t> frame_count{};
+  // How a multiprogramming stream packs the owning job into a page id
+  // (job = page >> shift); enables the deactivated-job-holds-no-frames
+  // rule.  The MultiprogrammingSimulator uses 40.
+  std::optional<unsigned> page_job_shift{};
   // Stop after this many violations (a corrupt stream otherwise reports
   // one violation per event).
   std::size_t max_violations{64};

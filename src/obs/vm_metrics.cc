@@ -36,6 +36,30 @@ void FillPagerMetrics(const PagerStats& stats, MetricsRegistry* registry) {
   FillReliabilityMetrics(stats.reliability, "pager/reliability/", registry);
 }
 
+void FillMultiprogramMetrics(const MultiprogramReport& report, MetricsRegistry* registry) {
+  registry->GetCounter("sched/degree")->Set(report.degree);
+  registry->GetCounter("sched/total_cycles")->Set(report.total_cycles);
+  registry->GetCounter("sched/cpu_busy_cycles")->Set(report.cpu_busy_cycles);
+  registry->GetCounter("sched/cpu_idle_cycles")->Set(report.cpu_idle_cycles);
+  registry->GetCounter("sched/context_switch_cycles")->Set(report.context_switch_cycles);
+  registry->GetCounter("sched/faults")->Set(report.faults);
+  registry->GetCounter("sched/deactivations")->Set(report.deactivations);
+  registry->GetCounter("sched/reactivations")->Set(report.reactivations);
+  registry->GetCounter("sched/controller_decisions")->Set(report.controller_decisions);
+  registry->GetGauge("sched/cpu_utilization")->Set(report.CpuUtilization());
+  registry->GetGauge("sched/throughput")->Set(report.Throughput());
+  registry->GetGauge("sched/space_time_total")->Set(report.TotalSpaceTime());
+  std::uint64_t blocked_fault = 0;
+  std::uint64_t queued = 0;
+  for (const JobReport& job : report.jobs) {
+    blocked_fault += job.blocked_fault_cycles;
+    queued += job.queued_cycles;
+  }
+  registry->GetCounter("sched/blocked_fault_cycles")->Set(blocked_fault);
+  registry->GetCounter("sched/queued_cycles")->Set(queued);
+  FillReliabilityMetrics(report.reliability, "sched/reliability/", registry);
+}
+
 void FillVmMetrics(const VmReport& report, MetricsRegistry* registry) {
   registry->GetCounter("vm/references")->Set(report.references);
   registry->GetCounter("vm/faults")->Set(report.faults);

@@ -15,6 +15,7 @@
 
 #include "src/obs/metrics.h"
 #include "src/paging/pager.h"
+#include "src/sched/multiprogramming.h"
 #include "src/stats/reliability.h"
 #include "src/vm/system.h"
 
@@ -29,6 +30,10 @@ void FillPagerMetrics(const PagerStats& stats, MetricsRegistry* registry);
 // Registers/overwrites reliability counters under `prefix` + names.
 void FillReliabilityMetrics(const ReliabilityStats& stats, const std::string& prefix,
                             MetricsRegistry* registry);
+
+// Registers/overwrites a multiprogramming run's report — including the
+// load-control activity counters — under "sched/..." names.
+void FillMultiprogramMetrics(const MultiprogramReport& report, MetricsRegistry* registry);
 
 // The legacy dsa_sim report block (trailing newline included), rendered
 // from a registry populated by FillVmMetrics.  `workload` is the trace

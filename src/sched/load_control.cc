@@ -1,0 +1,217 @@
+#include "src/sched/load_control.h"
+
+#include <algorithm>
+
+#include "src/core/assert.h"
+
+namespace dsa {
+
+const char* ToString(LoadControlPolicy policy) {
+  switch (policy) {
+    case LoadControlPolicy::kFixed:
+      return "fixed";
+    case LoadControlPolicy::kAdaptiveFaultRate:
+      return "adaptive-fault-rate";
+    case LoadControlPolicy::kWorkingSetAdmission:
+      return "working-set-admission";
+  }
+  return "?";
+}
+
+ThrashingDetector::ThrashingDetector(Cycles window) : window_(window) {
+  DSA_ASSERT(window > 0, "detector window must be positive");
+  bucket_width_ = window_ / kBuckets;
+  if (bucket_width_ == 0) {
+    bucket_width_ = 1;
+  }
+}
+
+void ThrashingDetector::Advance(Cycles now) {
+  const std::uint64_t target = now / bucket_width_;
+  if (target <= cursor_) {
+    return;
+  }
+  if (target - cursor_ >= kBuckets) {
+    // The whole window expired while nothing was recorded.
+    buckets_.fill(Bucket{});
+    cursor_ = target;
+    return;
+  }
+  while (cursor_ < target) {
+    ++cursor_;
+    buckets_[static_cast<std::size_t>(cursor_ % kBuckets)] = Bucket{};
+  }
+}
+
+ThrashingSignals ThrashingDetector::Signals(Cycles now) {
+  Advance(now);
+  std::uint64_t references = 0;
+  std::uint64_t faults = 0;
+  Cycles idle_busy = 0;
+  double st_active = 0.0;
+  double st_waiting = 0.0;
+  for (const Bucket& bucket : buckets_) {
+    references += bucket.references;
+    faults += bucket.faults;
+    idle_busy += bucket.idle_busy_cycles;
+    st_active += bucket.space_time_active;
+    st_waiting += bucket.space_time_waiting;
+  }
+  ThrashingSignals signals;
+  signals.window_references = references;
+  signals.window_faults = faults;
+  signals.fault_rate =
+      references == 0 ? 0.0 : static_cast<double>(faults) / static_cast<double>(references);
+  const double span = static_cast<double>(bucket_width_) * kBuckets;
+  signals.idle_busy_ratio = static_cast<double>(idle_busy) / span;
+  if (signals.idle_busy_ratio > 1.0) {
+    signals.idle_busy_ratio = 1.0;
+  }
+  const double st_total = st_active + st_waiting;
+  signals.waiting_share = st_total == 0.0 ? 0.0 : st_waiting / st_total;
+  return signals;
+}
+
+WordCount JobWorkingSetEstimator::Estimate(Cycles now) {
+  WordCount pages = 0;
+  for (auto it = last_touch_.begin(); it != last_touch_.end();) {
+    if (now - it->second > tau_) {
+      it = last_touch_.erase(it);
+    } else {
+      ++pages;
+      ++it;
+    }
+  }
+  return pages * page_words_;
+}
+
+LoadController::LoadController(LoadControlConfig config, WordCount core_words,
+                               WordCount page_words)
+    : config_(config),
+      core_words_(core_words),
+      page_words_(page_words),
+      detector_(config.window) {
+  DSA_ASSERT(config_.min_active >= 1, "min_active must be at least 1");
+  DSA_ASSERT(config_.max_active == 0 || config_.max_active >= config_.min_active,
+             "max_active below min_active");
+  DSA_ASSERT(config_.high_fault_rate >= config_.low_fault_rate,
+             "adaptive knee inverted: high_fault_rate below low_fault_rate");
+  DSA_ASSERT(config_.working_set_tau > 0, "working_set_tau must be positive");
+}
+
+void LoadController::NoteShed(std::size_t active_before, Cycles now) {
+  if (assess_pending_ && now - last_reactivation_ <= config_.hysteresis) {
+    // The probe failed: the job we just readmitted (or its displacement
+    // victim) is being shed right back out.  Probe less often.
+    reactivation_backoff_ =
+        std::min<std::uint64_t>(reactivation_backoff_ * 2, kMaxReactivationBackoff);
+  }
+  assess_pending_ = false;
+  has_shed_ = true;
+  active_at_last_shed_ = active_before;
+  NoteDecision(now);
+}
+
+bool LoadController::ReactivationGateOpen(std::size_t active, Cycles now) {
+  if (assess_pending_ && now - last_reactivation_ > config_.hysteresis) {
+    // The last probe survived a full hysteresis period: relax the backoff.
+    reactivation_backoff_ = std::max<std::uint64_t>(reactivation_backoff_ / 2, 1);
+    assess_pending_ = false;
+  }
+  if (!has_decision_) {
+    return true;
+  }
+  // Below the level the last shed proved too high, admission is recovery,
+  // not probing — the fast shed cadence applies (the signal checks in
+  // MayActivate still veto readmission into a hot window).
+  const bool below_known_bad = has_shed_ && active + 1 < active_at_last_shed_;
+  const Cycles gate =
+      below_known_bad ? ShedHysteresis() : config_.hysteresis * reactivation_backoff_;
+  return now - last_decision_ >= gate;
+}
+
+bool LoadController::MayActivate(std::size_t active, WordCount active_ws_words,
+                                 WordCount incoming_ws_words, bool reactivation,
+                                 Cycles now) {
+  if (active == 0) {
+    // Whatever the signals say, an empty active set makes no progress:
+    // admission is forced (and the window soon reflects the new truth).
+    return true;
+  }
+  if (!UnderCap(active)) {
+    return false;
+  }
+  switch (config_.policy) {
+    case LoadControlPolicy::kFixed:
+      return true;
+    case LoadControlPolicy::kAdaptiveFaultRate: {
+      if (reactivation && !ReactivationGateOpen(active, now)) {
+        return false;
+      }
+      // Cold-start admissions ramp at the shed cadence rather than arriving
+      // en masse: each admission gets a beat of observation before the next,
+      // so overload is met by signals tripping mid-ramp instead of by a
+      // mass admission collapsing into deep thrash first.
+      if (!reactivation && !ShedHysteresisElapsed(now)) {
+        return false;
+      }
+      // The fault-rate signal needs statistical support; the collapse signal
+      // (CPU idle against a busy channel AND space-time dominated by
+      // waiting) is cycle-based and stays readable even when thrashing has
+      // throttled the reference stream to a trickle.
+      const ThrashingSignals signals = detector_.Signals(now);
+      const bool rate_hot = signals.window_references >= config_.min_window_references &&
+                            signals.fault_rate > config_.low_fault_rate;
+      const bool collapse = signals.idle_busy_ratio >= config_.idle_busy_threshold &&
+                            signals.waiting_share >= config_.waiting_share_threshold;
+      return !rate_hot && !collapse;
+    }
+    case LoadControlPolicy::kWorkingSetAdmission: {
+      if (reactivation && !HysteresisElapsed(now)) {
+        return false;
+      }
+      // Same cold-start ramp as the adaptive policy — and doubly useful
+      // here, since pacing lets each admitted job build a real working-set
+      // estimate before the next admission is judged against the sum.
+      if (!reactivation && !ShedHysteresisElapsed(now)) {
+        return false;
+      }
+      // A job with no history (or one whose estimate decayed while shed)
+      // still needs at least one page to run at all.
+      const WordCount incoming =
+          incoming_ws_words > page_words_ ? incoming_ws_words : page_words_;
+      return active_ws_words + incoming <= core_words_;
+    }
+  }
+  return true;
+}
+
+bool LoadController::ShouldShed(std::size_t active, WordCount active_ws_words, Cycles now) {
+  if (active <= config_.min_active) {
+    return false;
+  }
+  switch (config_.policy) {
+    case LoadControlPolicy::kFixed:
+      return false;
+    case LoadControlPolicy::kAdaptiveFaultRate: {
+      if (!ShedHysteresisElapsed(now)) {
+        return false;
+      }
+      // Shed past the knee (fault rate above the high-water mark, with
+      // enough references to trust the ratio) or in outright collapse, where
+      // references are too starved to measure a rate but the CPU idles
+      // against a saturated channel and space-time is nearly all waiting.
+      const ThrashingSignals signals = detector_.Signals(now);
+      const bool rate_trip = signals.window_references >= config_.min_window_references &&
+                             signals.fault_rate >= config_.high_fault_rate;
+      const bool collapse = signals.idle_busy_ratio >= config_.idle_busy_threshold &&
+                            signals.waiting_share >= config_.waiting_share_threshold;
+      return rate_trip || collapse;
+    }
+    case LoadControlPolicy::kWorkingSetAdmission:
+      return ShedHysteresisElapsed(now) && active_ws_words > core_words_;
+  }
+  return false;
+}
+
+}  // namespace dsa

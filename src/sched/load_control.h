@@ -1,0 +1,261 @@
+// Thrashing-aware adaptive load control (the paper's conclusion i, closed
+// loop).
+//
+// "A system in which entirely independent decisions are taken as to
+// processor scheduling and storage allocation is unlikely to perform
+// acceptably in any but the most undemanding of environments."  The static
+// `max_active` knob reproduces the integrated decision as a constant; this
+// layer closes the loop.  A ThrashingDetector watches three windowed signals
+// over the simulated clock —
+//
+//   * fault rate          faults per reference inside the window,
+//   * idle-busy ratio     CPU idle cycles spent while a page transfer was
+//                         pending (the un-overlapped fetch time of Fig. 3),
+//   * waiting share       the waiting fraction of the windowed space-time
+//                         product (Fig. 3's shaded area growing),
+//
+// and a LoadController turns them, with hysteresis, into deactivate /
+// reactivate decisions.  A deactivated job is swapped out completely (every
+// frame released) and requeued; it reactivates when pressure subsides.
+//
+// Three policies:
+//
+//   * kFixed               the historical static cap: at most max_active
+//                          jobs active, never shed (0 = unlimited);
+//   * kAdaptiveFaultRate   shed above the fault-rate knee / idle-overlap
+//                          alarm, readmit below the low-water mark;
+//   * kWorkingSetAdmission Denning-style: admit while the sum of per-job
+//                          estimated working sets fits in core, shed when
+//                          the estimates overcommit it.
+//
+// Everything is a pure function of the simulated clock and the recorded
+// references, so a fixed seed matrix replays bit-identically — the property
+// the chaos soak harness (tests/test_chaos_soak.cc) pins.
+
+#ifndef SRC_SCHED_LOAD_CONTROL_H_
+#define SRC_SCHED_LOAD_CONTROL_H_
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/core/types.h"
+
+namespace dsa {
+
+enum class LoadControlPolicy : std::uint8_t {
+  kFixed = 0,
+  kAdaptiveFaultRate = 1,
+  kWorkingSetAdmission = 2,
+};
+
+const char* ToString(LoadControlPolicy policy);
+
+struct LoadControlConfig {
+  LoadControlPolicy policy{LoadControlPolicy::kFixed};
+  // Hard cap on simultaneously active jobs; 0 = uncapped.  For kFixed this
+  // is the whole policy (the legacy MultiprogramConfig::max_active knob).
+  std::size_t max_active{0};
+  // The controller never sheds below this many active jobs (a system with
+  // nothing active makes no progress at all).
+  std::size_t min_active{1};
+  // Detector sliding window over the simulated clock.
+  Cycles window{20000};
+  // The fault-rate signal is noise until the window holds at least this
+  // many references; below it only the cycle-based collapse alarm can gate
+  // admission (cold-start warmup admits freely).
+  std::uint64_t min_window_references{64};
+  // kAdaptiveFaultRate knee: shed when the windowed fault rate crosses
+  // `high_fault_rate` (or the collapse alarm fires), readmit only once it
+  // falls below `low_fault_rate`.  The gap is the hysteresis band.
+  double high_fault_rate{0.05};
+  double low_fault_rate{0.02};
+  // The collapse alarm: CPU idle against a busy channel AND space-time
+  // dominated by waiting.  Both at once means thrashing has throttled the
+  // reference stream so far that the fault rate itself has lost support —
+  // the conjunction keeps a healthy low-degree warm-up (where either signal
+  // alone can spike) from tripping it.
+  double idle_busy_threshold{0.60};
+  double waiting_share_threshold{0.85};
+  // Minimum simulated cycles between controller decisions, so one bad
+  // window cannot flap the active set.  Reactivations are further stretched
+  // by an exponential backoff (doubling to 64x) every time a readmitted job
+  // is shed again within one hysteresis period — the controller stops
+  // probing a full system and re-probes only occasionally.  The backoff is
+  // bypassed while the active set sits below the level the last shed proved
+  // too high, and halves after every probe that survives.
+  Cycles hysteresis{10000};
+  // Minimum cycles between successive sheds; 0 inherits `hysteresis`.
+  // Draining an overcommitted active set needs decisions faster than the
+  // cautious readmission cadence, so this is typically much shorter.
+  Cycles shed_hysteresis{0};
+  // kWorkingSetAdmission estimation window (Denning's tau), measured in
+  // each job's own reference clock — process virtual time, not wall clock.
+  Cycles working_set_tau{8000};
+};
+
+// Windowed signal snapshot, all derived from the detector's buckets.
+struct ThrashingSignals {
+  double fault_rate{0.0};     // faults per reference in the window
+  double idle_busy_ratio{0.0};  // idle-while-transfer-pending / window
+  double waiting_share{0.0};  // waiting fraction of windowed space-time
+  std::uint64_t window_references{0};
+  std::uint64_t window_faults{0};
+};
+
+// Sliding-window signal accumulator over the simulated clock.  The window
+// is split into fixed-width buckets; recording advances the bucket cursor
+// and querying sums the live buckets, so both are O(kBuckets) worst case
+// and allocation-free.
+class ThrashingDetector {
+ public:
+  explicit ThrashingDetector(Cycles window);
+
+  void RecordReference(Cycles now) {
+    Advance(now);
+    ++Cur().references;
+  }
+  void RecordFault(Cycles now, Cycles wait) {
+    Advance(now);
+    ++Cur().faults;
+    Cur().wait_cycles += wait;
+  }
+  // CPU idle time spent while at least one page transfer was in flight —
+  // recorded when the scheduler finds no ready job and sleeps to the next
+  // page arrival.
+  void RecordIdle(Cycles now, Cycles idle_cycles) {
+    Advance(now);
+    Cur().idle_busy_cycles += idle_cycles;
+  }
+  // Space-time deltas (word-cycles) from the simulator's accumulator.
+  void RecordSpaceTime(Cycles now, double active_wt, double waiting_wt) {
+    Advance(now);
+    Cur().space_time_active += active_wt;
+    Cur().space_time_waiting += waiting_wt;
+  }
+
+  ThrashingSignals Signals(Cycles now);
+
+  Cycles window() const { return window_; }
+
+ private:
+  struct Bucket {
+    std::uint64_t references{0};
+    std::uint64_t faults{0};
+    Cycles wait_cycles{0};
+    Cycles idle_busy_cycles{0};
+    double space_time_active{0.0};
+    double space_time_waiting{0.0};
+  };
+
+  static constexpr std::size_t kBuckets = 8;
+
+  void Advance(Cycles now);
+  Bucket& Cur() { return buckets_[static_cast<std::size_t>(cursor_ % kBuckets)]; }
+
+  Cycles window_;
+  Cycles bucket_width_;
+  std::uint64_t cursor_{0};  // absolute index of the bucket being filled
+  std::array<Bucket, kBuckets> buckets_{};
+};
+
+// Per-job working-set size estimator: |distinct pages touched in the last
+// tau ticks of the job's own reference clock| * page_words.  The clock is
+// process virtual time (Denning's formulation), not the wall clock: a job
+// that is descheduled — or starved by thrashing — stops aging its window,
+// so its estimate stays an honest measure of the storage it needs to run.
+// A wall-clock tau would decay every estimate to zero exactly when the
+// system thrashes, blinding the admission gate at the moment it matters.
+class JobWorkingSetEstimator {
+ public:
+  JobWorkingSetEstimator(Cycles tau, WordCount page_words)
+      : tau_(tau), page_words_(page_words) {}
+
+  void Touch(std::uint64_t page_key, Cycles now) { last_touch_[page_key] = now; }
+
+  WordCount Estimate(Cycles now);
+
+  void Clear() { last_touch_.clear(); }
+
+ private:
+  Cycles tau_;
+  WordCount page_words_;
+  std::unordered_map<std::uint64_t, Cycles> last_touch_;
+};
+
+// Turns detector signals into admission / shedding decisions.  The caller
+// (MultiprogrammingSimulator) owns job state; the controller only answers
+// "may one more job activate?" and "must one job be shed?", and stamps its
+// hysteresis clock via NoteDecision.
+class LoadController {
+ public:
+  LoadController(LoadControlConfig config, WordCount core_words, WordCount page_words);
+
+  ThrashingDetector& detector() { return detector_; }
+  const LoadControlConfig& config() const { return config_; }
+
+  // Whether one more job may join the active set.  `active_ws_words` and
+  // `incoming_ws_words` matter only to kWorkingSetAdmission; `reactivation`
+  // marks a formerly-shed job rejoining (gated by hysteresis, unlike the
+  // initial cold-start admissions).
+  bool MayActivate(std::size_t active, WordCount active_ws_words,
+                   WordCount incoming_ws_words, bool reactivation, Cycles now);
+
+  // Whether the pressure signals demand deactivating one active job now.
+  bool ShouldShed(std::size_t active, WordCount active_ws_words, Cycles now);
+
+  // Stamps the hysteresis clock after an acted-on decision.
+  void NoteDecision(Cycles now) {
+    has_decision_ = true;
+    last_decision_ = now;
+  }
+  // Typed decision stamps.  NoteShed takes the active count *before* the
+  // deactivation: it is the level just proven too high, remembered so
+  // readmissions below it can skip the probe backoff.  A shed landing
+  // within one hysteresis period of the last reactivation marks that
+  // reactivation a failed probe and doubles the backoff.
+  void NoteShed(std::size_t active_before, Cycles now);
+  void NoteReactivation(Cycles now) {
+    last_reactivation_ = now;
+    assess_pending_ = true;
+    NoteDecision(now);
+  }
+
+ private:
+  bool HysteresisElapsed(Cycles now) const {
+    return !has_decision_ || now - last_decision_ >= config_.hysteresis;
+  }
+  Cycles ShedHysteresis() const {
+    return config_.shed_hysteresis == 0 ? config_.hysteresis : config_.shed_hysteresis;
+  }
+  bool ShedHysteresisElapsed(Cycles now) const {
+    return !has_decision_ || now - last_decision_ >= ShedHysteresis();
+  }
+  // The reactivation gate: plain hysteresis below the last-known-bad active
+  // level, hysteresis x backoff otherwise.  Also settles a pending probe
+  // assessment (a reactivation that survived a full hysteresis period
+  // un-shed halves the backoff).
+  bool ReactivationGateOpen(std::size_t active, Cycles now);
+  bool UnderCap(std::size_t active) const {
+    return config_.max_active == 0 || active < config_.max_active;
+  }
+
+  static constexpr std::uint64_t kMaxReactivationBackoff = 64;
+
+  LoadControlConfig config_;
+  WordCount core_words_;
+  WordCount page_words_;
+  ThrashingDetector detector_;
+  bool has_decision_{false};
+  Cycles last_decision_{0};
+  // Probe-backoff state for reactivations.
+  std::uint64_t reactivation_backoff_{1};
+  bool assess_pending_{false};
+  Cycles last_reactivation_{0};
+  bool has_shed_{false};
+  std::size_t active_at_last_shed_{0};
+};
+
+}  // namespace dsa
+
+#endif  // SRC_SCHED_LOAD_CONTROL_H_

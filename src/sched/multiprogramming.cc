@@ -5,6 +5,7 @@
 #include "src/core/assert.h"
 #include "src/obs/tracer.h"
 #include "src/paging/fetch.h"
+#include "src/vm/system_builder.h"
 
 namespace dsa {
 
@@ -25,35 +26,70 @@ double MultiprogramReport::Throughput() const {
                            : static_cast<double>(refs) / static_cast<double>(total_cycles);
 }
 
+MultiprogramConfig BuildMultiprogramConfig(const SystemSpec& system,
+                                           const MultiprogramSpec& spec) {
+  DSA_ASSERT(system.characteristics.unit != AllocationUnit::kVariableBlocks,
+             "multiprogramming pages fixed-size units; variable-block (segment = unit) "
+             "specs have no shared frame pool to control");
+  MultiprogramConfig config;
+  config.scheduler = spec.scheduler;
+  config.load_control = spec.load_control;
+  config.core_words = system.core_words;
+  config.page_words = system.page_words;
+  config.backing_level = system.backing_level;
+  config.replacement = system.replacement;
+  config.cycles_per_reference = system.cycles_per_reference;
+  config.quantum = spec.quantum;
+  config.context_switch_cycles = spec.context_switch_cycles;
+  config.fault_injection = system.fault_injection;
+  config.tracer = system.tracer;
+  return config;
+}
+
 MultiprogrammingSimulator::MultiprogrammingSimulator(MultiprogramConfig config)
     : config_(std::move(config)) {
+  DSA_ASSERT(config_.page_words > 0, "page_words must be positive");
+  DSA_ASSERT(config_.core_words >= config_.page_words,
+             "core_words below one page leaves zero frames");
+  DSA_ASSERT(config_.quantum > 0, "quantum must be positive");
+  DSA_ASSERT(config_.cycles_per_reference > 0, "cycles_per_reference must be positive");
+  DSA_ASSERT(config_.max_active == 0 || config_.load_control.max_active == 0 ||
+                 config_.max_active == config_.load_control.max_active,
+             "max_active and load_control.max_active disagree");
+
   backing_ = std::make_unique<BackingStore>(config_.backing_level);
   channel_ = std::make_unique<TransferChannel>();
+  if (config_.fault_injection.rates.Any() || !config_.fault_injection.level_rates.empty()) {
+    injector_ = std::make_unique<FaultInjector>(config_.fault_injection);
+  }
 
   PagerConfig pager_config;
   pager_config.page_words = config_.page_words;
   pager_config.frames = static_cast<std::size_t>(config_.core_words / config_.page_words);
   pager_ = std::make_unique<Pager>(pager_config, backing_.get(), channel_.get(),
                                    MakeReplacementPolicy(config_.replacement),
-                                   std::make_unique<DemandFetch>(), /*advice=*/nullptr);
+                                   std::make_unique<DemandFetch>(), /*advice=*/nullptr,
+                                   injector_.get());
   pager_->SetTracer(config_.tracer);
 
   // Track per-job residency through the pager's load/evict notifications.
   pager_->SetResidencyCallbacks(
       [this](PageId key, FrameId frame) {
         (void)frame;
-        const std::size_t job = static_cast<std::size_t>(key.value >> 40);
+        const std::size_t job = static_cast<std::size_t>(key.value >> kJobShift);
         if (job < jobs_.size()) {
           jobs_[job].resident_words += config_.page_words;
+          jobs_[job].resident_pages.insert(key.value);
         }
       },
       [this](PageId key, FrameId frame) {
         (void)frame;
-        const std::size_t job = static_cast<std::size_t>(key.value >> 40);
+        const std::size_t job = static_cast<std::size_t>(key.value >> kJobShift);
         if (job < jobs_.size()) {
           DSA_ASSERT(jobs_[job].resident_words >= config_.page_words,
                      "residency accounting underflow");
           jobs_[job].resident_words -= config_.page_words;
+          jobs_[job].resident_pages.erase(key.value);
         }
       });
 }
@@ -74,48 +110,193 @@ void MultiprogrammingSimulator::AccumulateSpaceTime(Cycles from, Cycles to) {
     return;
   }
   const Cycles delta = to - from;
+  double active_wt = 0.0;
+  double waiting_wt = 0.0;
   for (Job& job : jobs_) {
     if (job.state == JobState::kDone) {
       continue;
     }
-    SpaceTimeAccumulator acc;
-    acc.Accumulate(job.resident_words, delta, job.state == JobState::kBlocked);
-    job.report.space_time.active += acc.product().active;
-    job.report.space_time.waiting += acc.product().waiting;
+    const double wt =
+        static_cast<double>(job.resident_words) * static_cast<double>(delta);
     if (job.state == JobState::kBlocked) {
+      job.report.space_time.waiting += wt;
+      waiting_wt += wt;
       job.report.blocked_cycles += delta;
+      job.report.blocked_fault_cycles += delta;
+    } else {
+      job.report.space_time.active += wt;
+      active_wt += wt;
+      if (job.state == JobState::kPending || job.state == JobState::kSuspended) {
+        job.report.blocked_cycles += delta;
+        job.report.queued_cycles += delta;
+      }
     }
+  }
+  if (controller_ != nullptr) {
+    controller_->detector().RecordSpaceTime(to, active_wt, waiting_wt);
   }
 }
 
 MultiprogramReport MultiprogrammingSimulator::Run() {
   DSA_ASSERT(!jobs_.empty(), "nothing to run");
+  DSA_ASSERT(config_.max_active <= jobs_.size(),
+             "max_active exceeds the multiprogramming degree");
+  DSA_ASSERT(config_.load_control.max_active <= jobs_.size(),
+             "load_control.max_active exceeds the multiprogramming degree");
+
   MultiprogramReport report;
   report.degree = jobs_.size();
+
+  // Resolve the effective load-control configuration (the legacy knob maps
+  // onto the fixed policy's cap).
+  LoadControlConfig lc = config_.load_control;
+  if (lc.max_active == 0) {
+    lc.max_active = config_.max_active;
+  }
+  controller_ = std::make_unique<LoadController>(lc, config_.core_words, config_.page_words);
+  // Whether admission is gated at all; ungated runs never consult the
+  // controller and behave bit-identically to the pre-load-control engine.
+  const bool gated = lc.policy != LoadControlPolicy::kFixed || lc.max_active != 0;
+  const bool fixed = lc.policy == LoadControlPolicy::kFixed;
+  const bool track_ws = lc.policy == LoadControlPolicy::kWorkingSetAdmission;
+  ThrashingDetector& detector = controller_->detector();
+
+  std::vector<JobWorkingSetEstimator> ws_estimates;
+  if (track_ws) {
+    ws_estimates.assign(jobs_.size(),
+                        JobWorkingSetEstimator(lc.working_set_tau, config_.page_words));
+  }
+  // Working-set estimates run on each job's own reference clock (process
+  // virtual time), so a suspended or starved job's estimate does not decay
+  // — see JobWorkingSetEstimator.
+  auto job_ws_words = [&](std::size_t j) -> WordCount {
+    return ws_estimates[j].Estimate(jobs_[j].report.references);
+  };
+  auto active_ws_words = [&]() -> WordCount {
+    if (!track_ws) {
+      return 0;
+    }
+    WordCount sum = 0;
+    for (std::size_t j = 0; j < jobs_.size(); ++j) {
+      const JobState s = jobs_[j].state;
+      if (s == JobState::kReady || s == JobState::kBlocked) {
+        sum += job_ws_words(j);
+      }
+    }
+    return sum;
+  };
+  auto fault_rate_ppm = [&](Cycles at) -> std::uint64_t {
+    return static_cast<std::uint64_t>(detector.Signals(at).fault_rate * 1e6);
+  };
 
   Cycles now = 0;
   std::size_t rr_cursor = 0;
   std::size_t done = 0;
   std::uint64_t running = kNoJob;  // job on the CPU (kNoJob while idle)
 
-  // Load control: only max_active jobs may hold frames at once.
-  const std::size_t active_limit =
-      config_.max_active == 0 ? jobs_.size() : config_.max_active;
-  std::size_t active = 0;
-  std::size_t next_admission = 0;
-  auto admit_jobs = [&] {
-    while (active < active_limit && next_admission < jobs_.size()) {
-      jobs_[next_admission].state = JobState::kReady;
-      ++next_admission;
-      ++active;
-    }
-  };
-  if (config_.max_active != 0) {
+  std::size_t active = 0;                // jobs in {kReady, kBlocked}
+  std::size_t next_admission = 0;        // next never-admitted job
+  std::deque<std::size_t> suspended;     // deactivated jobs, FIFO reactivation
+  if (gated) {
     for (Job& job : jobs_) {
       job.state = JobState::kPending;
     }
+  } else {
+    active = jobs_.size();
+    next_admission = jobs_.size();
   }
-  admit_jobs();
+
+  // Admits queued work while the controller allows it: deactivated jobs
+  // reactivate first (FIFO), then never-run jobs in arrival order.
+  auto try_admissions = [&](Cycles at) {
+    if (!gated) {
+      return;
+    }
+    for (;;) {
+      std::size_t candidate = jobs_.size();
+      bool reactivation = false;
+      if (!suspended.empty()) {
+        candidate = suspended.front();
+        reactivation = true;
+      } else if (next_admission < jobs_.size()) {
+        candidate = next_admission;
+      } else {
+        break;
+      }
+      const WordCount incoming = track_ws ? job_ws_words(candidate) : 0;
+      if (!controller_->MayActivate(active, active_ws_words(), incoming, reactivation,
+                                    at)) {
+        break;
+      }
+      Job& job = jobs_[candidate];
+      if (!fixed) {
+        DSA_TRACE_CLOCK(config_.tracer, at);
+        DSA_TRACE_EMIT(config_.tracer, EventKind::kLoadControl,
+                       static_cast<std::uint64_t>(LoadControlDecision::kAdmit), candidate,
+                       fault_rate_ppm(at));
+        ++report.controller_decisions;
+      }
+      if (reactivation) {
+        suspended.pop_front();
+        job.state = job.unblock_time > at ? JobState::kBlocked : JobState::kReady;
+        ++report.reactivations;
+        DSA_TRACE_EMIT(config_.tracer, EventKind::kJobReactivate, candidate);
+        controller_->NoteReactivation(at);
+      } else {
+        job.state = JobState::kReady;
+        ++next_admission;
+        if (!fixed) {
+          // Stamp the cadence clock: cold-start admissions ramp one beat
+          // apart instead of arriving all at once (see LoadController).
+          controller_->NoteDecision(at);
+        }
+      }
+      ++active;
+    }
+  };
+
+  // Swaps one active job out: every resident page is released (writing back
+  // dirty ones), the job requeues, and it holds zero frames until the
+  // controller readmits it — the invariant the TraceReplayVerifier checks.
+  auto deactivate = [&](std::size_t victim, Cycles at) {
+    Job& job = jobs_[victim];
+    const std::size_t active_before = active;
+    DSA_TRACE_CLOCK(config_.tracer, at);
+    DSA_TRACE_EMIT(config_.tracer, EventKind::kLoadControl,
+                   static_cast<std::uint64_t>(LoadControlDecision::kShed), victim,
+                   fault_rate_ppm(at));
+    const std::vector<std::uint64_t> pages(job.resident_pages.begin(),
+                                           job.resident_pages.end());
+    for (const std::uint64_t page : pages) {
+      pager_->Release(PageId{page}, at);
+    }
+    DSA_ASSERT(job.resident_pages.empty() && job.resident_words == 0,
+               "deactivated job still holds frames");
+    job.state = JobState::kSuspended;
+    suspended.push_back(victim);
+    --active;
+    ++job.report.deactivations;
+    ++report.deactivations;
+    ++report.controller_decisions;
+    DSA_TRACE_EMIT(config_.tracer, EventKind::kJobDeactivate, victim, pages.size());
+    controller_->NoteShed(active_before, at);
+  };
+
+  // The shed victim: the active job with the least resident storage (its
+  // space-time investment is the smallest), ties to the lowest id.
+  auto pick_victim = [&]() -> std::size_t {
+    std::size_t victim = jobs_.size();
+    for (std::size_t j = 0; j < jobs_.size(); ++j) {
+      const JobState s = jobs_[j].state;
+      if (s != JobState::kReady && s != JobState::kBlocked) {
+        continue;
+      }
+      if (victim == jobs_.size() || jobs_[j].resident_words < jobs_[victim].resident_words) {
+        victim = j;
+      }
+    }
+    return victim;
+  };
 
   auto unblock_arrivals = [&](Cycles at) {
     for (Job& job : jobs_) {
@@ -127,6 +308,7 @@ MultiprogramReport MultiprogrammingSimulator::Run() {
 
   while (done < jobs_.size()) {
     unblock_arrivals(now);
+    try_admissions(now);
 
     // Pick the next ready job.
     std::size_t picked = jobs_.size();
@@ -173,6 +355,9 @@ MultiprogramReport MultiprogrammingSimulator::Run() {
       }
       AccumulateSpaceTime(now, next);
       report.cpu_idle_cycles += next - now;
+      // The channel is busy with the very transfers being awaited: this is
+      // the idle-while-transfer-pending signal of the thrashing detector.
+      detector.RecordIdle(next, next - now);
       now = next;
       continue;
     }
@@ -201,25 +386,43 @@ MultiprogramReport MultiprogrammingSimulator::Run() {
       now += config_.cycles_per_reference;
       slice_used += config_.cycles_per_reference;
       report.cpu_busy_cycles += config_.cycles_per_reference;
+      detector.RecordReference(now);
 
-      const PageAccessResult outcome =
-          pager_->Access(KeyFor(job.report.id, ref.name), ref.kind, now);
+      const PageId key = KeyFor(job.report.id, ref.name);
+      if (track_ws) {
+        ws_estimates[picked].Touch(key.value, job.report.references);
+      }
+      const ReliabilityStats& rel = pager_->stats().reliability;
+      const std::uint64_t retries_before = rel.retries;
+      const std::uint64_t relocations_before = rel.relocations + rel.spill_relocations;
+      const PageAccessResult outcome = pager_->Access(key, ref.kind, now);
+      job.report.retries += rel.retries - retries_before;
+      job.report.relocations += rel.relocations + rel.spill_relocations - relocations_before;
       ++job.next_ref;
       ++job.report.references;
+      bool faulted = false;
       if (!outcome.has_value()) {
         // Unrecoverable access: the job paid the stall and moves on without
         // the page (the reference is abandoned).
-        ++job.report.faults;
-        ++report.faults;
-        job.state = JobState::kBlocked;
+        faulted = true;
         job.unblock_time = now + outcome.error().wait_cycles;
-        break;
+      } else if (outcome->faulted) {
+        faulted = true;
+        job.unblock_time = now + outcome->wait_cycles;
       }
-      if (outcome->faulted) {
+      if (faulted) {
         ++job.report.faults;
         ++report.faults;
         job.state = JobState::kBlocked;
-        job.unblock_time = now + outcome->wait_cycles;
+        detector.RecordFault(now, job.unblock_time - now);
+        // The decision point of the closed loop: under rising pressure the
+        // controller swaps out the cheapest active job, with hysteresis.
+        if (gated && controller_->ShouldShed(active, active_ws_words(), now)) {
+          const std::size_t victim = pick_victim();
+          if (victim != jobs_.size()) {
+            deactivate(victim, now);
+          }
+        }
         break;
       }
     }
@@ -229,7 +432,6 @@ MultiprogramReport MultiprogrammingSimulator::Run() {
       job.report.finish_time = now;
       ++done;
       --active;
-      admit_jobs();
       continue;
     }
     if (job.state == JobState::kBlocked && job.next_ref >= job.trace.refs.size()) {
@@ -239,11 +441,11 @@ MultiprogramReport MultiprogrammingSimulator::Run() {
       job.report.finish_time = job.unblock_time;
       ++done;
       --active;
-      admit_jobs();
     }
   }
 
   report.total_cycles = now;
+  report.reliability = pager_->stats().reliability;
   for (Job& job : jobs_) {
     // A job whose final reference faulted finishes after the CPU went quiet.
     report.total_cycles = std::max(report.total_cycles, job.report.finish_time);

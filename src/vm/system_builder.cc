@@ -44,6 +44,10 @@ std::unique_ptr<StorageAllocationSystem> BuildSystem(const SystemSpec& spec) {
   DSA_ASSERT(SpecIsBuildable(spec),
              "a linear name space with variable allocation units has no relocation handle; "
              "pick another point of the design space");
+  DSA_ASSERT(spec.page_words > 0, "page_words must be positive");
+  DSA_ASSERT(spec.core_words >= spec.page_words,
+             "core_words below one page leaves zero frames");
+  DSA_ASSERT(spec.cycles_per_reference > 0, "cycles_per_reference must be positive");
   const Characteristics& c = spec.characteristics;
   const bool advice = c.predictive == PredictiveInformation::kAccepted;
 

@@ -1,0 +1,202 @@
+// Unit tests for the thrashing detector, working-set estimator, and the
+// load controller's three policies.
+
+#include <gtest/gtest.h>
+
+#include "src/sched/load_control.h"
+
+namespace dsa {
+namespace {
+
+TEST(ThrashingDetectorTest, FaultRateIsWindowed) {
+  ThrashingDetector detector(8000);  // 8 buckets of 1000
+  for (Cycles t = 100; t <= 1000; t += 100) {
+    detector.RecordReference(t);
+    detector.RecordFault(t, 500);
+  }
+  ThrashingSignals signals = detector.Signals(1000);
+  EXPECT_EQ(signals.window_references, 10u);
+  EXPECT_EQ(signals.window_faults, 10u);
+  EXPECT_DOUBLE_EQ(signals.fault_rate, 1.0);
+
+  // Quiet references later dilute the rate...
+  for (Cycles t = 1100; t <= 2000; t += 100) {
+    detector.RecordReference(t);
+  }
+  signals = detector.Signals(2000);
+  EXPECT_EQ(signals.window_references, 20u);
+  EXPECT_DOUBLE_EQ(signals.fault_rate, 0.5);
+
+  // ...and once the window slides fully past the faults the rate is zero.
+  for (Cycles t = 9100; t <= 10000; t += 100) {
+    detector.RecordReference(t);
+  }
+  signals = detector.Signals(10000);
+  EXPECT_EQ(signals.window_faults, 0u);
+  EXPECT_DOUBLE_EQ(signals.fault_rate, 0.0);
+}
+
+TEST(ThrashingDetectorTest, LongGapClearsTheWholeWindow) {
+  ThrashingDetector detector(800);
+  detector.RecordFault(10, 100);
+  detector.RecordReference(10);
+  EXPECT_GT(detector.Signals(10).fault_rate, 0.0);
+  // A jump of many windows with no recordings leaves nothing behind.
+  EXPECT_EQ(detector.Signals(100000).window_references, 0u);
+  EXPECT_DOUBLE_EQ(detector.Signals(100000).fault_rate, 0.0);
+}
+
+TEST(ThrashingDetectorTest, IdleBusyRatioClampsToOne) {
+  ThrashingDetector detector(1000);
+  detector.RecordIdle(500, 5000);  // more idle than window (burst attribution)
+  const ThrashingSignals signals = detector.Signals(500);
+  EXPECT_DOUBLE_EQ(signals.idle_busy_ratio, 1.0);
+}
+
+TEST(ThrashingDetectorTest, WaitingShareTracksSpaceTime) {
+  ThrashingDetector detector(1000);
+  detector.RecordSpaceTime(100, 300.0, 100.0);
+  const ThrashingSignals signals = detector.Signals(100);
+  EXPECT_DOUBLE_EQ(signals.waiting_share, 0.25);
+}
+
+TEST(JobWorkingSetEstimatorTest, CountsDistinctRecentPagesAndDecays) {
+  JobWorkingSetEstimator estimator(/*tau=*/1000, /*page_words=*/256);
+  estimator.Touch(1, 100);
+  estimator.Touch(2, 200);
+  estimator.Touch(1, 300);  // re-touch: still one page
+  EXPECT_EQ(estimator.Estimate(300), 2u * 256u);
+  // Page 2's touch ages out first.
+  EXPECT_EQ(estimator.Estimate(1250), 1u * 256u);
+  // Everything decays once tau passes with no touches.
+  EXPECT_EQ(estimator.Estimate(5000), 0u);
+}
+
+LoadControlConfig AdaptiveConfig() {
+  LoadControlConfig config;
+  config.policy = LoadControlPolicy::kAdaptiveFaultRate;
+  config.window = 8000;
+  config.min_window_references = 8;
+  config.high_fault_rate = 0.2;
+  config.low_fault_rate = 0.05;
+  config.hysteresis = 1000;
+  return config;
+}
+
+TEST(LoadControllerTest, FixedPolicyIsTheStaticCap) {
+  LoadControlConfig config;
+  config.policy = LoadControlPolicy::kFixed;
+  config.max_active = 2;
+  LoadController controller(config, 4096, 256);
+  EXPECT_TRUE(controller.MayActivate(0, 0, 0, false, 0));
+  EXPECT_TRUE(controller.MayActivate(1, 0, 0, false, 0));
+  EXPECT_FALSE(controller.MayActivate(2, 0, 0, false, 0));
+  // The fixed policy never sheds, whatever the signals.
+  for (Cycles t = 100; t < 5000; t += 100) {
+    controller.detector().RecordReference(t);
+    controller.detector().RecordFault(t, 1000);
+  }
+  EXPECT_FALSE(controller.ShouldShed(2, 0, 5000));
+}
+
+TEST(LoadControllerTest, AdaptiveShedsAboveTheKneeWithHysteresis) {
+  LoadController controller(AdaptiveConfig(), 4096, 256);
+  // Saturate the window with faults.
+  for (Cycles t = 100; t <= 2000; t += 100) {
+    controller.detector().RecordReference(t);
+    controller.detector().RecordFault(t, 2000);
+  }
+  EXPECT_TRUE(controller.ShouldShed(4, 0, 2000));
+  controller.NoteDecision(2000);
+  // Still thrashing, but inside the hysteresis interval: hold.
+  EXPECT_FALSE(controller.ShouldShed(4, 0, 2500));
+  EXPECT_TRUE(controller.ShouldShed(4, 0, 3100));
+}
+
+TEST(LoadControllerTest, AdaptiveNeverShedsBelowMinActive) {
+  LoadController controller(AdaptiveConfig(), 4096, 256);
+  for (Cycles t = 100; t <= 2000; t += 100) {
+    controller.detector().RecordReference(t);
+    controller.detector().RecordFault(t, 2000);
+  }
+  EXPECT_FALSE(controller.ShouldShed(1, 0, 2000));
+}
+
+TEST(LoadControllerTest, AdaptiveReadmitsOnlyBelowTheLowWaterMark) {
+  LoadController controller(AdaptiveConfig(), 4096, 256);
+  for (Cycles t = 100; t <= 2000; t += 100) {
+    controller.detector().RecordReference(t);
+    controller.detector().RecordFault(t, 2000);
+  }
+  controller.NoteDecision(2000);
+  // Hot window: a shed job must not bounce straight back in.
+  EXPECT_FALSE(controller.MayActivate(2, 0, 0, /*reactivation=*/true, 4000));
+  // Fault-free references slide the window calm again.
+  for (Cycles t = 8100; t <= 12000; t += 100) {
+    controller.detector().RecordReference(t);
+  }
+  EXPECT_TRUE(controller.MayActivate(2, 0, 0, /*reactivation=*/true, 12000));
+}
+
+TEST(LoadControllerTest, AdaptiveColdStartAdmitsFreely) {
+  LoadController controller(AdaptiveConfig(), 4096, 256);
+  // No window history at all: admission is not blocked.
+  EXPECT_TRUE(controller.MayActivate(3, 0, 0, /*reactivation=*/false, 0));
+}
+
+TEST(LoadControllerTest, EmptyActiveSetForcesAdmission) {
+  LoadController controller(AdaptiveConfig(), 4096, 256);
+  for (Cycles t = 100; t <= 2000; t += 100) {
+    controller.detector().RecordReference(t);
+    controller.detector().RecordFault(t, 2000);
+  }
+  // Even a thrashing window cannot starve the machine entirely.
+  EXPECT_TRUE(controller.MayActivate(0, 0, 0, /*reactivation=*/true, 2000));
+}
+
+TEST(LoadControllerTest, WorkingSetAdmissionFitsCore) {
+  LoadControlConfig config;
+  config.policy = LoadControlPolicy::kWorkingSetAdmission;
+  config.working_set_tau = 1000;
+  config.hysteresis = 0;
+  LoadController controller(config, /*core_words=*/1024, /*page_words=*/256);
+  // 512 words active + 256 incoming fits in 1024...
+  EXPECT_TRUE(controller.MayActivate(1, 512, 256, false, 0));
+  // ...but an 768-word incoming working set does not.
+  EXPECT_FALSE(controller.MayActivate(1, 512, 768, false, 0));
+  // An unknown (zero) estimate still charges one page.
+  EXPECT_FALSE(controller.MayActivate(1, 1024, 0, false, 0));
+  // Shed exactly when the active estimates overcommit core.
+  EXPECT_FALSE(controller.ShouldShed(2, 1024, 100));
+  EXPECT_TRUE(controller.ShouldShed(2, 1025, 100));
+}
+
+TEST(LoadControllerTest, PolicyNamesAreStable) {
+  EXPECT_STREQ(ToString(LoadControlPolicy::kFixed), "fixed");
+  EXPECT_STREQ(ToString(LoadControlPolicy::kAdaptiveFaultRate), "adaptive-fault-rate");
+  EXPECT_STREQ(ToString(LoadControlPolicy::kWorkingSetAdmission), "working-set-admission");
+}
+
+TEST(LoadControllerDeathTest, RejectsDegenerateConfigs) {
+  LoadControlConfig zero_min;
+  zero_min.min_active = 0;
+  EXPECT_DEATH(LoadController(zero_min, 4096, 256), "min_active");
+
+  LoadControlConfig inverted;
+  inverted.policy = LoadControlPolicy::kAdaptiveFaultRate;
+  inverted.high_fault_rate = 0.01;
+  inverted.low_fault_rate = 0.5;
+  EXPECT_DEATH(LoadController(inverted, 4096, 256), "knee inverted");
+
+  LoadControlConfig zero_window;
+  zero_window.window = 0;
+  EXPECT_DEATH(LoadController(zero_window, 4096, 256), "window");
+
+  LoadControlConfig cap_below_min;
+  cap_below_min.max_active = 1;
+  cap_below_min.min_active = 2;
+  EXPECT_DEATH(LoadController(cap_below_min, 4096, 256), "max_active below min_active");
+}
+
+}  // namespace
+}  // namespace dsa

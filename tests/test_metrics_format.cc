@@ -83,6 +83,36 @@ TEST(VmMetricsFormatTest, FillVmMetricsRoundsOnceIntoGauges) {
   EXPECT_EQ(registry.CounterValue("vm/reliability/lost_pages"), 0u);
 }
 
+TEST(VmMetricsFormatTest, FillMultiprogramMetricsFlattensReport) {
+  MultiprogramReport report;
+  report.degree = 4;
+  report.total_cycles = 100000;
+  report.cpu_busy_cycles = 60000;
+  report.cpu_idle_cycles = 30000;
+  report.context_switch_cycles = 10000;
+  report.faults = 321;
+  report.deactivations = 5;
+  report.reactivations = 4;
+  report.controller_decisions = 9;
+  report.reliability.retries = 7;
+  JobReport job;
+  job.references = 5000;
+  job.blocked_fault_cycles = 1200;
+  job.queued_cycles = 800;
+  report.jobs.assign(2, job);
+
+  MetricsRegistry registry;
+  FillMultiprogramMetrics(report, &registry);
+  EXPECT_EQ(registry.CounterValue("sched/degree"), 4u);
+  EXPECT_EQ(registry.CounterValue("sched/deactivations"), 5u);
+  EXPECT_EQ(registry.CounterValue("sched/reactivations"), 4u);
+  EXPECT_EQ(registry.CounterValue("sched/controller_decisions"), 9u);
+  EXPECT_EQ(registry.CounterValue("sched/blocked_fault_cycles"), 2400u);
+  EXPECT_EQ(registry.CounterValue("sched/queued_cycles"), 1600u);
+  EXPECT_EQ(registry.CounterValue("sched/reliability/retries"), 7u);
+  EXPECT_DOUBLE_EQ(registry.GaugeValue("sched/cpu_utilization"), 0.6);
+}
+
 TEST(NumericFormatTest, FormatFixedNeverPrintsNegativeZero) {
   EXPECT_EQ(FormatFixed(-0.0, 3), "0.000");
   EXPECT_EQ(FormatFixed(-1e-9, 3), "0.000");

@@ -162,7 +162,7 @@ TEST(EventExportTest, CsvHasFixedHeaderAndPositionalSlots) {
 }
 
 TEST(EventExportTest, EveryKindHasAStableWireName) {
-  for (int k = 0; k <= static_cast<int>(EventKind::kScheduleSwitch); ++k) {
+  for (int k = 0; k <= static_cast<int>(EventKind::kLoadControl); ++k) {
     const EventKind kind = static_cast<EventKind>(k);
     EventKind back;
     ASSERT_TRUE(EventKindFromString(ToString(kind), &back)) << ToString(kind);
@@ -287,6 +287,62 @@ TEST(TraceVerifierTest, CatchesFrameCountOverflow) {
   events.push_back({1, EventKind::kFrameLoad, 9, 2, 0});
   EXPECT_TRUE(HasViolation(Verify(events, 2), "exceed the frame count"));
   EXPECT_TRUE(Verify(events, 3).empty());  // same stream, enough frames
+}
+
+// The load-control rule: between kJobDeactivate and kJobReactivate a job
+// owns no frames.  Page ids carry the owning job above `page_job_shift`.
+std::vector<TraceViolation> VerifyJobs(const std::vector<TraceEvent>& events) {
+  TraceVerifierConfig config;
+  config.page_job_shift = 8;  // job = page >> 8 in these tests
+  return TraceReplayVerifier(config).Verify(events);
+}
+
+TEST(TraceVerifierTest, AcceptsLawfulDeactivationCycle) {
+  std::vector<TraceEvent> events;
+  events.push_back({1, EventKind::kFrameLoad, /*page=*/(2u << 8) | 5, 0, 0});
+  events.push_back({2, EventKind::kFrameEvict, (2u << 8) | 5, 0, 0});
+  events.push_back({2, EventKind::kJobDeactivate, 2, 1, 0});
+  events.push_back({3, EventKind::kJobReactivate, 2, 0, 0});
+  events.push_back({4, EventKind::kFrameLoad, (2u << 8) | 5, 0, 0});
+  EXPECT_TRUE(VerifyJobs(events).empty());
+}
+
+TEST(TraceVerifierTest, CatchesLoadForDeactivatedJob) {
+  std::vector<TraceEvent> events;
+  events.push_back({1, EventKind::kJobDeactivate, 2, 0, 0});
+  events.push_back({2, EventKind::kFrameLoad, (2u << 8) | 5, 0, 0});
+  EXPECT_TRUE(HasViolation(VerifyJobs(events), "deactivated job"));
+  // Another job's pages remain loadable.
+  events.back().a = (3u << 8) | 5;
+  EXPECT_TRUE(VerifyJobs(events).empty());
+}
+
+TEST(TraceVerifierTest, CatchesDeactivationWithFramesStillHeld) {
+  std::vector<TraceEvent> events;
+  events.push_back({1, EventKind::kFrameLoad, (2u << 8) | 5, 0, 0});
+  events.push_back({2, EventKind::kJobDeactivate, 2, 0, 0});
+  EXPECT_TRUE(HasViolation(VerifyJobs(events), "still holds a frame"));
+}
+
+TEST(TraceVerifierTest, CatchesUnbalancedDeactivation) {
+  std::vector<TraceEvent> events;
+  events.push_back({1, EventKind::kJobDeactivate, 2, 0, 0});
+  events.push_back({2, EventKind::kJobDeactivate, 2, 0, 0});
+  EXPECT_TRUE(HasViolation(VerifyJobs(events), "deactivated twice"));
+
+  events.clear();
+  events.push_back({1, EventKind::kJobReactivate, 2, 0, 0});
+  EXPECT_TRUE(HasViolation(VerifyJobs(events), "was not deactivated"));
+}
+
+TEST(TraceVerifierTest, JobRuleInertWithoutShift) {
+  // Without page_job_shift the verifier cannot attribute pages to jobs, so
+  // only the pairing of deactivate/reactivate is checked.
+  std::vector<TraceEvent> events;
+  events.push_back({1, EventKind::kFrameLoad, (2u << 8) | 5, 0, 0});
+  events.push_back({2, EventKind::kJobDeactivate, 2, 0, 0});
+  events.push_back({3, EventKind::kFrameLoad, (2u << 8) | 6, 1, 0});
+  EXPECT_TRUE(Verify(events).empty());
 }
 
 TEST(TraceVerifierTest, ViolationCountIsBounded) {

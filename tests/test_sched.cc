@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include "src/obs/tracer.h"
+#include "src/obs/verifier.h"
 #include "src/sched/multiprogramming.h"
 #include "src/trace/synthetic.h"
+#include "src/vm/system_builder.h"
 
 namespace dsa {
 namespace {
@@ -184,6 +187,302 @@ TEST(MultiprogrammingTest, ResidencyAwareSchedulerRunsToCompletion) {
 TEST(MultiprogrammingDeathTest, EmptyRunAborts) {
   MultiprogrammingSimulator sim(SmallConfig());
   EXPECT_DEATH(sim.Run(), "nothing to run");
+}
+
+TEST(MultiprogrammingDeathTest, RejectsDegenerateConfigs) {
+  MultiprogramConfig zero_page = SmallConfig();
+  zero_page.page_words = 0;
+  EXPECT_DEATH(MultiprogrammingSimulator{zero_page}, "page_words");
+
+  MultiprogramConfig tiny_core = SmallConfig();
+  tiny_core.core_words = 128;  // below one 256-word page: zero frames
+  EXPECT_DEATH(MultiprogrammingSimulator{tiny_core}, "zero frames");
+
+  MultiprogramConfig zero_quantum = SmallConfig();
+  zero_quantum.quantum = 0;
+  EXPECT_DEATH(MultiprogrammingSimulator{zero_quantum}, "quantum");
+
+  MultiprogramConfig zero_cpr = SmallConfig();
+  zero_cpr.cycles_per_reference = 0;
+  EXPECT_DEATH(MultiprogrammingSimulator{zero_cpr}, "cycles_per_reference");
+
+  MultiprogramConfig disagree = SmallConfig();
+  disagree.max_active = 2;
+  disagree.load_control.max_active = 3;
+  EXPECT_DEATH(MultiprogrammingSimulator{disagree}, "disagree");
+}
+
+TEST(MultiprogrammingDeathTest, CapAboveDegreeAborts) {
+  MultiprogramConfig config = SmallConfig();
+  config.max_active = 3;
+  MultiprogrammingSimulator sim(config);
+  sim.AddJob("a", SmallJob(1));
+  sim.AddJob("b", SmallJob(2));
+  EXPECT_DEATH(sim.Run(), "exceeds the multiprogramming degree");
+}
+
+// ----------------------------------------------------- blocked-time split --
+
+TEST(MultiprogrammingTest, BlockedCyclesSplitFaultVersusQueued) {
+  MultiprogramConfig config = SmallConfig();
+  config.max_active = 1;
+  MultiprogrammingSimulator sim(config);
+  sim.AddJob("a", SmallJob(1));
+  sim.AddJob("b", SmallJob(2));
+  const MultiprogramReport report = sim.Run();
+  for (const JobReport& job : report.jobs) {
+    EXPECT_EQ(job.blocked_cycles, job.blocked_fault_cycles + job.queued_cycles)
+        << job.label;
+    EXPECT_GT(job.blocked_fault_cycles, 0u);
+  }
+  // The second job waits its turn behind the serial cap; the first never
+  // queues at all.
+  EXPECT_EQ(report.jobs[0].queued_cycles, 0u);
+  EXPECT_GT(report.jobs[1].queued_cycles, 0u);
+}
+
+TEST(MultiprogrammingTest, UngatedRunNeverQueues) {
+  MultiprogrammingSimulator sim(SmallConfig());
+  sim.AddJob("a", SmallJob(1));
+  sim.AddJob("b", SmallJob(2));
+  const MultiprogramReport report = sim.Run();
+  for (const JobReport& job : report.jobs) {
+    EXPECT_EQ(job.queued_cycles, 0u);
+    EXPECT_EQ(job.deactivations, 0u);
+  }
+  EXPECT_EQ(report.deactivations, 0u);
+  EXPECT_EQ(report.controller_decisions, 0u);
+}
+
+// ------------------------------------------------- per-job fault injection --
+
+TEST(MultiprogrammingTest, PerJobRetriesSumToPagerReliability) {
+  MultiprogramConfig config = SmallConfig();
+  config.core_words = 2048;  // overcommitted: steady transfer traffic
+  config.fault_injection.rates.transient_transfer = 0.2;
+  config.fault_injection.seed = 17;
+  MultiprogrammingSimulator sim(config);
+  sim.AddJob("a", SmallJob(1));
+  sim.AddJob("b", SmallJob(2));
+  sim.AddJob("c", SmallJob(3));
+  sim.AddJob("d", SmallJob(4));
+  const MultiprogramReport report = sim.Run();
+  EXPECT_GT(report.reliability.retries, 0u);
+  std::uint64_t retries = 0;
+  std::uint64_t relocations = 0;
+  for (const JobReport& job : report.jobs) {
+    retries += job.retries;
+    relocations += job.relocations;
+  }
+  EXPECT_EQ(retries, report.reliability.retries);
+  EXPECT_EQ(relocations,
+            report.reliability.relocations + report.reliability.spill_relocations);
+  for (const JobReport& job : report.jobs) {
+    EXPECT_EQ(job.references, 5000u);  // retries never lose work
+  }
+  EXPECT_GT(retries, 0u) << "at least one job must have seen a retry";
+}
+
+// -------------------------------------------------- adaptive load control --
+
+MultiprogramConfig AdaptiveConfig() {
+  MultiprogramConfig config = SmallConfig();
+  config.core_words = 2048;  // 8 frames: four 2-3 page jobs thrash
+  config.load_control.policy = LoadControlPolicy::kAdaptiveFaultRate;
+  config.load_control.window = 20000;
+  config.load_control.min_window_references = 32;
+  config.load_control.high_fault_rate = 0.05;
+  config.load_control.low_fault_rate = 0.02;
+  config.load_control.hysteresis = 5000;
+  return config;
+}
+
+TEST(MultiprogrammingTest, AdaptiveControllerShedsAndRecovers) {
+  MultiprogrammingSimulator sim(AdaptiveConfig());
+  for (std::size_t j = 0; j < 4; ++j) {
+    sim.AddJob("job", SmallJob(j + 1));
+  }
+  const MultiprogramReport report = sim.Run();
+  EXPECT_GT(report.deactivations, 0u) << "overload must trigger swap-outs";
+  EXPECT_EQ(report.deactivations, report.reactivations)
+      << "every shed job is eventually readmitted and finishes";
+  EXPECT_GT(report.controller_decisions, 0u);
+  std::uint64_t per_job = 0;
+  for (const JobReport& job : report.jobs) {
+    EXPECT_EQ(job.references, 5000u);
+    per_job += job.deactivations;
+  }
+  EXPECT_EQ(per_job, report.deactivations);
+}
+
+TEST(MultiprogrammingTest, AdaptiveControllerCutsFaultsUnderOverload) {
+  MultiprogramConfig uncontrolled = SmallConfig();
+  uncontrolled.core_words = 2048;
+  MultiprogrammingSimulator packed(uncontrolled);
+  MultiprogrammingSimulator adaptive(AdaptiveConfig());
+  for (std::size_t j = 0; j < 4; ++j) {
+    packed.AddJob("job", SmallJob(j + 1));
+    adaptive.AddJob("job", SmallJob(j + 1));
+  }
+  const MultiprogramReport thrashing = packed.Run();
+  const MultiprogramReport controlled = adaptive.Run();
+  EXPECT_LT(controlled.faults, thrashing.faults);
+}
+
+TEST(MultiprogrammingTest, AdaptiveTracePassesLoadControlVerifier) {
+  EventTracer tracer(/*capacity=*/0);
+  MultiprogramConfig config = AdaptiveConfig();
+  config.tracer = &tracer;
+  MultiprogrammingSimulator sim(config);
+  for (std::size_t j = 0; j < 4; ++j) {
+    sim.AddJob("job", SmallJob(j + 1));
+  }
+  const MultiprogramReport report = sim.Run();
+  ASSERT_GT(report.deactivations, 0u);
+
+  TraceVerifierConfig verifier_config;
+  verifier_config.frame_count = 8;
+  verifier_config.page_job_shift = MultiprogrammingSimulator::kJobShift;
+  const auto violations = TraceReplayVerifier(verifier_config).Verify(tracer.Snapshot());
+  EXPECT_TRUE(violations.empty()) << TraceReplayVerifier::Describe(violations);
+
+  std::uint64_t deactivate_events = 0;
+  std::uint64_t decision_events = 0;
+  for (const TraceEvent& event : tracer.Snapshot()) {
+    deactivate_events += event.kind == EventKind::kJobDeactivate;
+    decision_events += event.kind == EventKind::kLoadControl;
+  }
+  EXPECT_EQ(deactivate_events, report.deactivations);
+  EXPECT_EQ(decision_events, report.controller_decisions);
+}
+
+TEST(MultiprogrammingTest, WorkingSetAdmissionCompletesAndVerifies) {
+  EventTracer tracer(/*capacity=*/0);
+  MultiprogramConfig config = SmallConfig();
+  config.core_words = 2048;
+  config.load_control.policy = LoadControlPolicy::kWorkingSetAdmission;
+  config.load_control.working_set_tau = 4000;
+  config.load_control.hysteresis = 2000;
+  config.tracer = &tracer;
+  MultiprogrammingSimulator sim(config);
+  for (std::size_t j = 0; j < 4; ++j) {
+    sim.AddJob("job", SmallJob(j + 1));
+  }
+  const MultiprogramReport report = sim.Run();
+  for (const JobReport& job : report.jobs) {
+    EXPECT_EQ(job.references, 5000u);
+  }
+  TraceVerifierConfig verifier_config;
+  verifier_config.frame_count = 8;
+  verifier_config.page_job_shift = MultiprogrammingSimulator::kJobShift;
+  const auto violations = TraceReplayVerifier(verifier_config).Verify(tracer.Snapshot());
+  EXPECT_TRUE(violations.empty()) << TraceReplayVerifier::Describe(violations);
+}
+
+TEST(MultiprogrammingTest, AdaptiveRunIsDeterministic) {
+  auto run_once = [] {
+    EventTracer tracer(/*capacity=*/0);
+    MultiprogramConfig config = AdaptiveConfig();
+    config.tracer = &tracer;
+    MultiprogrammingSimulator sim(config);
+    for (std::size_t j = 0; j < 4; ++j) {
+      sim.AddJob("job", SmallJob(j + 1));
+    }
+    sim.Run();
+    return tracer.Snapshot();
+  };
+  EXPECT_EQ(run_once(), run_once()) << "event streams must replay bit-identically";
+}
+
+// ------------------------------------------------ residency-aware coverage --
+
+TEST(MultiprogrammingTest, ResidencyAwareMatchesRoundRobinForOneJob) {
+  // With a single job there is nothing to prefer: both schedulers must make
+  // identical decisions, cycle for cycle.
+  auto run_with = [](SchedulerKind kind) {
+    MultiprogramConfig config = SmallConfig();
+    config.scheduler = kind;
+    MultiprogrammingSimulator sim(config);
+    sim.AddJob("solo", SmallJob(1));
+    return sim.Run();
+  };
+  const MultiprogramReport rr = run_with(SchedulerKind::kRoundRobin);
+  const MultiprogramReport ra = run_with(SchedulerKind::kResidencyAware);
+  EXPECT_EQ(rr.faults, ra.faults);
+  EXPECT_EQ(rr.total_cycles, ra.total_cycles);
+  EXPECT_EQ(rr.cpu_busy_cycles, ra.cpu_busy_cycles);
+}
+
+TEST(MultiprogrammingTest, ResidencyAwareIsDeterministic) {
+  auto run_once = [] {
+    MultiprogramConfig config = SmallConfig();
+    config.scheduler = SchedulerKind::kResidencyAware;
+    MultiprogrammingSimulator sim(config);
+    sim.AddJob("a", SmallJob(1));
+    sim.AddJob("b", SmallJob(2));
+    sim.AddJob("c", SmallJob(3));
+    return sim.Run();
+  };
+  const MultiprogramReport first = run_once();
+  const MultiprogramReport second = run_once();
+  EXPECT_EQ(first.total_cycles, second.total_cycles);
+  EXPECT_EQ(first.faults, second.faults);
+  for (std::size_t j = 0; j < first.jobs.size(); ++j) {
+    EXPECT_EQ(first.jobs[j].finish_time, second.jobs[j].finish_time);
+  }
+}
+
+TEST(MultiprogrammingTest, ResidencyAwareTracePassesVerifier) {
+  EventTracer tracer(/*capacity=*/0);
+  MultiprogramConfig config = SmallConfig();
+  config.scheduler = SchedulerKind::kResidencyAware;
+  config.core_words = 2048;
+  config.tracer = &tracer;
+  MultiprogrammingSimulator sim(config);
+  for (std::size_t j = 0; j < 3; ++j) {
+    sim.AddJob("job", SmallJob(j + 1));
+  }
+  const MultiprogramReport report = sim.Run();
+  for (const JobReport& job : report.jobs) {
+    EXPECT_EQ(job.references, 5000u);
+  }
+  TraceVerifierConfig verifier_config;
+  verifier_config.frame_count = 8;
+  verifier_config.page_job_shift = MultiprogrammingSimulator::kJobShift;
+  const auto violations = TraceReplayVerifier(verifier_config).Verify(tracer.Snapshot());
+  EXPECT_TRUE(violations.empty()) << TraceReplayVerifier::Describe(violations);
+}
+
+// ------------------------------------------------- SystemBuilder bridge --
+
+TEST(MultiprogrammingTest, BuildMultiprogramConfigLiftsSystemSpec) {
+  SystemSpec spec;
+  spec.label = "bridge";
+  spec.core_words = 2048;
+  spec.page_words = 256;
+  spec.replacement = ReplacementStrategyKind::kClock;
+  MultiprogramSpec mp;
+  mp.scheduler = SchedulerKind::kResidencyAware;
+  mp.load_control.policy = LoadControlPolicy::kAdaptiveFaultRate;
+  const MultiprogramConfig config = BuildMultiprogramConfig(spec, mp);
+  EXPECT_EQ(config.core_words, 2048u);
+  EXPECT_EQ(config.page_words, 256u);
+  EXPECT_EQ(config.replacement, ReplacementStrategyKind::kClock);
+  EXPECT_EQ(config.scheduler, SchedulerKind::kResidencyAware);
+  EXPECT_EQ(config.load_control.policy, LoadControlPolicy::kAdaptiveFaultRate);
+
+  MultiprogrammingSimulator sim(config);
+  sim.AddJob("a", SmallJob(1));
+  sim.AddJob("b", SmallJob(2));
+  const MultiprogramReport report = sim.Run();
+  EXPECT_EQ(report.jobs[0].references, 5000u);
+  EXPECT_EQ(report.jobs[1].references, 5000u);
+}
+
+TEST(MultiprogrammingDeathTest, BridgeRejectsVariableBlockSpecs) {
+  SystemSpec spec;
+  spec.characteristics.unit = AllocationUnit::kVariableBlocks;
+  EXPECT_DEATH(BuildMultiprogramConfig(spec, MultiprogramSpec{}), "fixed-size units");
 }
 
 }  // namespace

@@ -52,7 +52,7 @@ void FillMultiprogramMetrics(const MultiprogramReport& report, MetricsRegistry* 
   std::uint64_t blocked_fault = 0;
   std::uint64_t queued = 0;
   for (const JobReport& job : report.jobs) {
-    blocked_fault += job.blocked_fault_cycles;
+    blocked_fault += job.blocked_cycles;
     queued += job.queued_cycles;
   }
   registry->GetCounter("sched/blocked_fault_cycles")->Set(blocked_fault);

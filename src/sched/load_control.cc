@@ -47,12 +47,14 @@ ThrashingSignals ThrashingDetector::Signals(Cycles now) {
   Advance(now);
   std::uint64_t references = 0;
   std::uint64_t faults = 0;
+  Cycles fault_wait = 0;
   Cycles idle_busy = 0;
   double st_active = 0.0;
   double st_waiting = 0.0;
   for (const Bucket& bucket : buckets_) {
     references += bucket.references;
     faults += bucket.faults;
+    fault_wait += bucket.wait_cycles;
     idle_busy += bucket.idle_busy_cycles;
     st_active += bucket.space_time_active;
     st_waiting += bucket.space_time_waiting;
@@ -60,6 +62,7 @@ ThrashingSignals ThrashingDetector::Signals(Cycles now) {
   ThrashingSignals signals;
   signals.window_references = references;
   signals.window_faults = faults;
+  signals.fault_wait_cycles = fault_wait;
   signals.fault_rate =
       references == 0 ? 0.0 : static_cast<double>(faults) / static_cast<double>(references);
   const double span = static_cast<double>(bucket_width_) * kBuckets;

@@ -14,7 +14,8 @@
 //   * waiting share       the waiting fraction of the windowed space-time
 //                         product (Fig. 3's shaded area growing),
 //
-// and a LoadController turns them, with hysteresis, into deactivate /
+// (plus the windowed fault service time, surfaced as a diagnostic), and a
+// LoadController turns them, with hysteresis, into deactivate /
 // reactivate decisions.  A deactivated job is swapped out completely (every
 // frame released) and requeued; it reactivates when pressure subsides.
 //
@@ -101,6 +102,12 @@ struct ThrashingSignals {
   double waiting_share{0.0};  // waiting fraction of windowed space-time
   std::uint64_t window_references{0};
   std::uint64_t window_faults{0};
+  // Summed fault service time in the window (cycles the faulting jobs will
+  // spend waiting on their transfers).  Diagnostic: fault_wait_cycles /
+  // window_faults is the windowed mean page-wait, which grows with channel
+  // queueing as the system approaches the cliff even while the fault *rate*
+  // still looks flat.
+  Cycles fault_wait_cycles{0};
 };
 
 // Sliding-window signal accumulator over the simulated clock.  The window

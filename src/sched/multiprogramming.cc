@@ -122,12 +122,10 @@ void MultiprogrammingSimulator::AccumulateSpaceTime(Cycles from, Cycles to) {
       job.report.space_time.waiting += wt;
       waiting_wt += wt;
       job.report.blocked_cycles += delta;
-      job.report.blocked_fault_cycles += delta;
     } else {
       job.report.space_time.active += wt;
       active_wt += wt;
       if (job.state == JobState::kPending || job.state == JobState::kSuspended) {
-        job.report.blocked_cycles += delta;
         job.report.queued_cycles += delta;
       }
     }
@@ -238,6 +236,8 @@ MultiprogramReport MultiprogrammingSimulator::Run() {
       }
       if (reactivation) {
         suspended.pop_front();
+        DSA_ASSERT(job.state == JobState::kSuspended,
+                   "suspended deque holds a job in a non-suspended state");
         job.state = job.unblock_time > at ? JobState::kBlocked : JobState::kReady;
         ++report.reactivations;
         DSA_TRACE_EMIT(config_.tracer, EventKind::kJobReactivate, candidate);
@@ -260,6 +260,8 @@ MultiprogramReport MultiprogrammingSimulator::Run() {
   // controller readmits it — the invariant the TraceReplayVerifier checks.
   auto deactivate = [&](std::size_t victim, Cycles at) {
     Job& job = jobs_[victim];
+    DSA_ASSERT(job.next_ref < job.trace.refs.size(),
+               "shed victim has no references left (it is completing, not thrashing)");
     const std::size_t active_before = active;
     DSA_TRACE_CLOCK(config_.tracer, at);
     DSA_TRACE_EMIT(config_.tracer, EventKind::kLoadControl,
@@ -283,12 +285,18 @@ MultiprogramReport MultiprogrammingSimulator::Run() {
   };
 
   // The shed victim: the active job with the least resident storage (its
-  // space-time investment is the smallest), ties to the lowest id.
+  // space-time investment is the smallest), ties to the lowest id.  A job
+  // with no references left is exempt: it is blocked on its *final* fault
+  // and completes the moment the page lands — suspending it instead would
+  // collide with the post-slice completion check and count it done twice.
   auto pick_victim = [&]() -> std::size_t {
     std::size_t victim = jobs_.size();
     for (std::size_t j = 0; j < jobs_.size(); ++j) {
       const JobState s = jobs_[j].state;
       if (s != JobState::kReady && s != JobState::kBlocked) {
+        continue;
+      }
+      if (jobs_[j].next_ref >= jobs_[j].trace.refs.size()) {
         continue;
       }
       if (victim == jobs_.size() || jobs_[j].resident_words < jobs_[victim].resident_words) {
@@ -427,7 +435,10 @@ MultiprogramReport MultiprogrammingSimulator::Run() {
       }
     }
 
-    if (job.next_ref >= job.trace.refs.size() && job.state != JobState::kBlocked) {
+    // Post-slice completion: the job is either still running (kReady) or
+    // awaiting its final fault (kBlocked) — pick_victim never sheds a job
+    // out of its last reference, so kSuspended cannot reach here.
+    if (job.next_ref >= job.trace.refs.size() && job.state == JobState::kReady) {
       job.state = JobState::kDone;
       job.report.finish_time = now;
       ++done;

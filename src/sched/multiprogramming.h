@@ -82,12 +82,14 @@ struct JobReport {
   std::uint64_t references{0};
   std::uint64_t faults{0};
   Cycles finish_time{0};
-  // Total cycles the job was unable to run, split by cause:
-  //   blocked_fault_cycles — awaiting a page transfer it faulted on;
-  //   queued_cycles        — held inactive by load control (awaiting first
-  //                          admission, or deactivated by the controller).
+  // Cycles the job was unable to run, split by cause:
+  //   blocked_cycles — awaiting a page transfer it faulted on (the legacy
+  //                    pre-load-control meaning, unchanged: fault waits
+  //                    only, so fixed-cap runs report the same values as
+  //                    the static-knob engine did);
+  //   queued_cycles  — held inactive by load control (awaiting first
+  //                    admission, or deactivated by the controller).
   Cycles blocked_cycles{0};
-  Cycles blocked_fault_cycles{0};
   Cycles queued_cycles{0};
   // Reliability events attributed to this job's accesses (fault injection).
   std::uint64_t retries{0};

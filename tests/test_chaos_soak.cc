@@ -141,7 +141,7 @@ TEST(ChaosSoakTest, MatrixSurvivesVerifierAndReplay) {
         for (const JobReport& job : first.report.jobs) {
           EXPECT_EQ(job.references, JobLength()) << job.label;
           EXPECT_GT(job.finish_time, 0u) << job.label;
-          EXPECT_EQ(job.blocked_cycles, job.blocked_fault_cycles + job.queued_cycles)
+          EXPECT_LE(job.blocked_cycles + job.queued_cycles, first.report.total_cycles)
               << job.label;
         }
         EXPECT_EQ(first.report.deactivations, first.report.reactivations);

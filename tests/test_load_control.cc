@@ -36,6 +36,20 @@ TEST(ThrashingDetectorTest, FaultRateIsWindowed) {
   EXPECT_DOUBLE_EQ(signals.fault_rate, 0.0);
 }
 
+TEST(ThrashingDetectorTest, FaultWaitCyclesAreWindowed) {
+  ThrashingDetector detector(8000);  // 8 buckets of 1000
+  detector.RecordFault(100, 500);
+  detector.RecordFault(200, 700);
+  ThrashingSignals signals = detector.Signals(200);
+  EXPECT_EQ(signals.fault_wait_cycles, 1200u);
+  EXPECT_EQ(signals.window_faults, 2u);
+
+  // Sliding the window past the faults drops their waits with them.
+  signals = detector.Signals(9000);
+  EXPECT_EQ(signals.fault_wait_cycles, 0u);
+  EXPECT_EQ(signals.window_faults, 0u);
+}
+
 TEST(ThrashingDetectorTest, LongGapClearsTheWholeWindow) {
   ThrashingDetector detector(800);
   detector.RecordFault(10, 100);

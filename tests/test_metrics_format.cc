@@ -97,7 +97,7 @@ TEST(VmMetricsFormatTest, FillMultiprogramMetricsFlattensReport) {
   report.reliability.retries = 7;
   JobReport job;
   job.references = 5000;
-  job.blocked_fault_cycles = 1200;
+  job.blocked_cycles = 1200;
   job.queued_cycles = 800;
   report.jobs.assign(2, job);
 

@@ -19,106 +19,51 @@
 // either property fails, so CI catches a regressed controller.
 //
 // Every value in BENCH_overload.json is a pure function of the seeds — no
-// wall-clock readings — so reruns are byte-identical.
+// wall-clock readings — so reruns are byte-identical.  The 24 cells are
+// independent, so --jobs (or DSA_JOBS) shards them across cores; the
+// index-ordered slots of the SweepRunner keep the output byte-identical at
+// any worker count (bench/overload_sweep.h holds the shared cell
+// definitions; bench_parallel measures the sweep-level speedup).
 //
-// Usage: bench_overload [--quick] [--out PATH]
+// Usage: bench_overload [--quick] [--out PATH] [--jobs N]
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
-#include "src/sched/multiprogramming.h"
-#include "src/trace/synthetic.h"
+#include "bench/overload_sweep.h"
+#include "src/exec/thread_pool.h"
 
 namespace {
 
-constexpr dsa::WordCount kPageWords = 256;
-constexpr std::size_t kFrames = 16;
-
-constexpr std::size_t kDegrees[] = {1, 2, 3, 4, 6, 8, 12, 16};
-constexpr std::size_t kNumDegrees = sizeof(kDegrees) / sizeof(kDegrees[0]);
-
-const char* const kPolicies[] = {"uncontrolled", "adaptive", "working-set"};
-constexpr std::size_t kNumPolicies = 3;
-
-struct Cell {
-  std::size_t degree{0};
-  double cpu_utilization{0.0};
-  double throughput{0.0};
-  std::uint64_t faults{0};
-  std::uint64_t deactivations{0};
-  std::uint64_t reactivations{0};
-  dsa::Cycles total_cycles{0};
-};
-
-dsa::MultiprogramConfig ConfigFor(std::size_t policy) {
-  dsa::MultiprogramConfig config;
-  config.core_words = kFrames * kPageWords;
-  config.page_words = kPageWords;
-  config.backing_level = dsa::MakeDrumLevel("drum", 1u << 18, /*word_time=*/1,
-                                            /*rotational_delay=*/300);
-  config.quantum = 2000;
-  config.context_switch_cycles = 20;
-  if (policy == 1) {
-    config.load_control.policy = dsa::LoadControlPolicy::kAdaptiveFaultRate;
-    config.load_control.window = 10000;
-    // High enough that the cold-start compulsory-fault transient (a few
-    // faults over the first few hundred references) cannot trip the knee;
-    // real thrash sustains thousands of references per window.
-    config.load_control.min_window_references = 1500;
-    // Healthy steady-state fault rate for the loop workload is ~1e-4 (one
-    // new page per body sweep); even mild overcommit sustains ~4e-3.  The
-    // knee sits between them: a failed probe must trip the shed within a
-    // window or two, not linger in semi-thrash under the high-water mark.
-    config.load_control.high_fault_rate = 0.002;
-    config.load_control.low_fault_rate = 0.0005;
-    config.load_control.hysteresis = 20000;
-    config.load_control.shed_hysteresis = 3000;
-  } else if (policy == 2) {
-    config.load_control.policy = dsa::LoadControlPolicy::kWorkingSetAdmission;
-    config.load_control.working_set_tau = 8000;
-    config.load_control.hysteresis = 6000;
-  }
-  return config;
-}
-
-Cell RunCell(std::size_t policy, std::size_t degree, std::size_t job_length) {
-  dsa::MultiprogrammingSimulator sim(ConfigFor(policy));
-  for (std::size_t j = 0; j < degree; ++j) {
-    dsa::LoopTraceParams params;
-    params.extent = 2048;
-    params.body_words = 512;    // ~2-3 resident pages per job
-    params.advance_words = 256;
-    params.iterations = 8;      // 4096 refs per one-page slide: heavy reuse
-    params.length = job_length;
-    params.seed = 1967 + j;
-    sim.AddJob("job-" + std::to_string(j), MakeLoopTrace(params));
-  }
-  const dsa::MultiprogramReport report = sim.Run();
-  Cell cell;
-  cell.degree = degree;
-  cell.cpu_utilization = report.CpuUtilization();
-  cell.throughput = report.Throughput();
-  cell.faults = report.faults;
-  cell.deactivations = report.deactivations;
-  cell.reactivations = report.reactivations;
-  cell.total_cycles = report.total_cycles;
-  return cell;
-}
+using overload_sweep::Cell;
+using overload_sweep::kDegrees;
+using overload_sweep::kFrames;
+using overload_sweep::kNumDegrees;
+using overload_sweep::kNumPolicies;
+using overload_sweep::kPageWords;
+using overload_sweep::kPolicies;
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool quick = false;
   std::string out_path = "BENCH_overload.json";
+  unsigned jobs = dsa::JobsFromEnv(/*fallback=*/1);
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+      if (jobs == 0) {
+        jobs = dsa::HardwareJobs();
+      }
     } else {
-      std::fprintf(stderr, "usage: %s [--quick] [--out PATH]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--quick] [--out PATH] [--jobs N]\n", argv[0]);
       return 2;
     }
   }
@@ -126,17 +71,16 @@ int main(int argc, char** argv) {
   const std::size_t job_length = quick ? 6000 : 30000;
 
   std::printf("== bench_overload: degree sweep past the thrashing cliff ==\n");
-  std::printf("   frames=%zu page_words=%llu job_refs=%zu (%s)\n\n", kFrames,
+  std::printf("   frames=%zu page_words=%llu job_refs=%zu (%s, jobs=%u)\n\n", kFrames,
               static_cast<unsigned long long>(kPageWords), job_length,
-              quick ? "quick" : "full");
+              quick ? "quick" : "full", jobs);
   std::printf("  %-13s %6s %8s %9s %10s %8s\n", "policy", "degree", "cpu-util",
               "thruput", "faults", "sheds");
 
-  std::vector<Cell> results[kNumPolicies];
+  const std::vector<std::vector<Cell>> results = overload_sweep::RunSweep(job_length, jobs);
   for (std::size_t p = 0; p < kNumPolicies; ++p) {
     for (std::size_t d = 0; d < kNumDegrees; ++d) {
-      const Cell cell = RunCell(p, kDegrees[d], job_length);
-      results[p].push_back(cell);
+      const Cell& cell = results[p][d];
       std::printf("  %-13s %6zu %8.4f %9.5f %10llu %8llu\n", kPolicies[p], cell.degree,
                   cell.cpu_utilization, cell.throughput,
                   static_cast<unsigned long long>(cell.faults),

@@ -1,0 +1,156 @@
+// Sweep-level speedup of the deterministic parallel executor.
+//
+// Runs the bench_overload degree sweep (24 independent cells, shared cell
+// definitions in bench/overload_sweep.h) at 1, 2, 4, and hardware-width
+// workers, and records the wall-clock speedup curve in BENCH_parallel.json.
+// Two properties are checked, one hard and one hardware-gated:
+//
+//   identity   every jobs>1 sweep must produce results bit-identical to
+//              the jobs=1 serial sweep (the executor's whole point) —
+//              violation exits non-zero at any worker count;
+//   speedup    on a machine with >= 4 hardware threads, the full-length
+//              sweep at 4 workers must be >= 2x faster than serial.  The
+//              gate is skipped in --quick mode (cells too short to time
+//              reliably on shared CI hardware) and on narrower machines
+//              (a 1-core container cannot exhibit parallel speedup, and
+//              pretending otherwise would be noise).
+//
+// Wall-clock fields use the shared stripped names (seconds, refs_per_sec,
+// speedup) so scripts/strip_timing.py removes them if this JSON is ever
+// diffed; everything else in the file is machine-dependent context
+// (hardware_concurrency, worker list), which is why BENCH_parallel.json is
+// a recorded curve, not a bench-diff reference.
+//
+// Usage: bench_parallel [--quick] [--out PATH]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/overload_sweep.h"
+#include "src/exec/thread_pool.h"
+
+namespace {
+
+double Elapsed(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+struct WorkerPoint {
+  unsigned jobs{0};
+  double seconds{0.0};
+  double speedup{1.0};
+  bool identical{true};
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_parallel.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const std::size_t job_length = quick ? 6000 : 30000;
+  const unsigned hardware = dsa::HardwareJobs();
+  std::vector<unsigned> worker_counts = {1, 2, 4, hardware};
+  std::sort(worker_counts.begin(), worker_counts.end());
+  worker_counts.erase(std::unique(worker_counts.begin(), worker_counts.end()),
+                      worker_counts.end());
+
+  std::printf("== bench_parallel: overload sweep speedup vs worker count ==\n");
+  std::printf("   cells=%zu job_refs=%zu hardware_concurrency=%u (%s)\n\n",
+              overload_sweep::kNumCells, job_length, hardware, quick ? "quick" : "full");
+  std::printf("  %6s %9s %12s %8s %10s\n", "jobs", "seconds", "refs/sec", "speedup",
+              "identical");
+
+  const std::uint64_t sweep_refs = overload_sweep::SweepReferences(job_length);
+  std::vector<std::vector<overload_sweep::Cell>> serial_results;
+  std::vector<WorkerPoint> points;
+  bool all_identical = true;
+  for (const unsigned jobs : worker_counts) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto results = overload_sweep::RunSweep(job_length, jobs);
+    WorkerPoint point;
+    point.jobs = jobs;
+    point.seconds = Elapsed(start);
+    if (jobs == 1) {
+      serial_results = results;
+    }
+    point.identical = results == serial_results;
+    all_identical = all_identical && point.identical;
+    point.speedup = point.seconds > 0.0 && !points.empty()
+                        ? points.front().seconds / point.seconds
+                        : 1.0;
+    std::printf("  %6u %9.3f %12.0f %8.2f %10s\n", point.jobs, point.seconds,
+                point.seconds > 0 ? static_cast<double>(sweep_refs) / point.seconds : 0.0,
+                point.speedup, point.identical ? "yes" : "NO");
+    points.push_back(point);
+  }
+
+  double speedup_at_4 = 0.0;
+  for (const WorkerPoint& point : points) {
+    if (point.jobs == 4) {
+      speedup_at_4 = point.speedup;
+    }
+  }
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"bench_parallel\",\n  \"quick\": %s,\n",
+               quick ? "true" : "false");
+  std::fprintf(out,
+               "  \"config\": {\"sweep\": \"overload-degree\", \"cells\": %zu, "
+               "\"job_refs\": %zu, \"hardware_concurrency\": %u},\n",
+               overload_sweep::kNumCells, job_length, hardware);
+  std::fprintf(out, "  \"workers\": [\n");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const WorkerPoint& point = points[i];
+    std::fprintf(out,
+                 "    {\"jobs\": %u, \"seconds\": %.6f, \"refs_per_sec\": %.1f, "
+                 "\"speedup\": %.3f, \"identical_to_serial\": %s}%s\n",
+                 point.jobs, point.seconds,
+                 point.seconds > 0 ? static_cast<double>(sweep_refs) / point.seconds : 0.0,
+                 point.speedup, point.identical ? "true" : "false",
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out,
+               "  \"summary\": {\"identical_at_every_width\": %s, "
+               "\"speedup\": %.3f}\n}\n",
+               all_identical ? "true" : "false", speedup_at_4);
+  std::fclose(out);
+  std::printf("\n  wrote %s\n", out_path.c_str());
+
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "parallel sweep diverged from the serial sweep — determinism broken\n");
+    return 1;
+  }
+  if (!quick && hardware >= 4 && speedup_at_4 < 2.0) {
+    std::fprintf(stderr,
+                 "speedup at 4 workers is %.2fx on a %u-wide machine (need >= 2x)\n",
+                 speedup_at_4, hardware);
+    return 1;
+  }
+  if (hardware < 4) {
+    std::printf("  note: only %u hardware thread(s); speedup gate skipped (identity "
+                "still enforced)\n",
+                hardware);
+  }
+  return 0;
+}

@@ -4,12 +4,23 @@
 // uniform units of allocation has been given by Belady [1]."  Fault-rate
 // curves for every surveyed policy (plus working-set) across memory sizes
 // and workload shapes, with the offline OPT bound in the last column.
+//
+// The workload x frames x policy grid is 128 independent cells, each a pure
+// function of (trace, frames, policy); --jobs / DSA_JOBS shards them over a
+// SweepRunner whose index-ordered slots keep the rendered tables identical
+// at any worker count.
+//
+// Usage: bench_replacement [--jobs N]
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "src/exec/sweep_runner.h"
+#include "src/exec/thread_pool.h"
 #include "src/paging/pager.h"
 #include "src/paging/replacement_factory.h"
 #include "src/stats/table.h"
@@ -37,9 +48,32 @@ std::uint64_t CountFaults(const std::vector<dsa::PageId>& refs, std::size_t fram
   return pager.stats().faults;
 }
 
+constexpr std::size_t kFrameSweep[] = {8, 16, 32, 64};
+constexpr std::size_t kNumFrameSweep = sizeof(kFrameSweep) / sizeof(kFrameSweep[0]);
+
+constexpr dsa::ReplacementStrategyKind kKinds[] = {
+    dsa::ReplacementStrategyKind::kFifo,          dsa::ReplacementStrategyKind::kLru,
+    dsa::ReplacementStrategyKind::kRandom,        dsa::ReplacementStrategyKind::kClock,
+    dsa::ReplacementStrategyKind::kAtlasLearning, dsa::ReplacementStrategyKind::kM44Class,
+    dsa::ReplacementStrategyKind::kWorkingSet,    dsa::ReplacementStrategyKind::kOpt};
+constexpr std::size_t kNumKinds = sizeof(kKinds) / sizeof(kKinds[0]);
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  unsigned jobs = dsa::JobsFromEnv(/*fallback=*/1);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+      if (jobs == 0) {
+        jobs = dsa::HardwareJobs();
+      }
+    } else {
+      std::fprintf(stderr, "usage: %s [--jobs N]\n", argv[0]);
+      return 2;
+    }
+  }
+
   std::printf("== E4: replacement strategies vs Belady OPT (faults per 100k refs) ==\n\n");
 
   struct Workload {
@@ -78,20 +112,26 @@ int main() {
     workloads.push_back({"random", dsa::MakeRandomTrace(params).PageString(256)});
   }
 
+  // Flatten workload x frames x kind into one cell index; the traces are
+  // shared read-only across cells.
+  const std::size_t cells = workloads.size() * kNumFrameSweep * kNumKinds;
+  dsa::SweepRunner runner(jobs);
+  const std::vector<std::uint64_t> faults = runner.Run(cells, [&](std::size_t i) {
+    const std::size_t w = i / (kNumFrameSweep * kNumKinds);
+    const std::size_t f = (i / kNumKinds) % kNumFrameSweep;
+    const std::size_t k = i % kNumKinds;
+    return CountFaults(workloads[w].refs, kFrameSweep[f], kKinds[k]);
+  });
+
+  std::size_t cell = 0;
   for (const Workload& workload : workloads) {
     std::printf("workload: %s (%zu refs)\n", workload.label.c_str(), workload.refs.size());
     dsa::Table table({"frames", "fifo", "lru", "random", "clock", "atlas-learning",
                       "m44-class", "working-set", "OPT (bound)"});
-    for (std::size_t frames : {8u, 16u, 32u, 64u}) {
-      auto& row = table.AddRow().AddCell(static_cast<std::uint64_t>(frames));
-      for (dsa::ReplacementStrategyKind kind :
-           {dsa::ReplacementStrategyKind::kFifo, dsa::ReplacementStrategyKind::kLru,
-            dsa::ReplacementStrategyKind::kRandom, dsa::ReplacementStrategyKind::kClock,
-            dsa::ReplacementStrategyKind::kAtlasLearning,
-            dsa::ReplacementStrategyKind::kM44Class,
-            dsa::ReplacementStrategyKind::kWorkingSet,
-            dsa::ReplacementStrategyKind::kOpt}) {
-        row.AddCell(CountFaults(workload.refs, frames, kind));
+    for (std::size_t f = 0; f < kNumFrameSweep; ++f) {
+      auto& row = table.AddRow().AddCell(static_cast<std::uint64_t>(kFrameSweep[f]));
+      for (std::size_t k = 0; k < kNumKinds; ++k) {
+        row.AddCell(faults[cell++]);
       }
     }
     std::printf("%s\n", table.Render().c_str());

@@ -1,12 +1,34 @@
 // Experiment T-A (Appendix A.1-A.7): the machine survey as a measured table.
+//
+// The seven machines are independent simulation cells; --jobs / DSA_JOBS
+// shards them over the SweepRunner (row order, and therefore the rendered
+// tables, are identical at any worker count).
+//
+// Usage: bench_survey [--jobs N]
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
+#include "src/exec/thread_pool.h"
 #include "src/machines/survey.h"
 
-int main() {
+int main(int argc, char** argv) {
+  unsigned jobs = dsa::JobsFromEnv(/*fallback=*/1);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+      if (jobs == 0) {
+        jobs = dsa::HardwareJobs();
+      }
+    } else {
+      std::fprintf(stderr, "usage: %s [--jobs N]\n", argv[0]);
+      return 2;
+    }
+  }
+
   std::printf("== T-A: the appendix survey, measured ==\n\n");
-  const auto rows = dsa::RunSurvey(/*pressure=*/2.0, /*length=*/60000, /*seed=*/7);
+  const auto rows = dsa::RunSurvey(/*pressure=*/2.0, /*length=*/60000, /*seed=*/7, jobs);
   std::printf("%s\n", dsa::RenderSurvey(rows).c_str());
   std::printf("Shape check (paper): the seven machines occupy distinct points of the\n"
               "four-axis design space; machines with small associative memories (B8500,\n"

@@ -1,0 +1,128 @@
+// The overload degree sweep shared by bench_overload (the thrashing-cliff
+// experiment) and bench_parallel (the sweep-level speedup curve): 3 load
+// control policies x 8 multiprogramming degrees = 24 independent cells,
+// each a pure function of its seeds.  Flattening the (policy, degree) grid
+// into a single cell index lets a SweepRunner shard it across cores while
+// the index-ordered result slots keep the emitted JSON byte-identical to
+// the serial run.
+
+#ifndef BENCH_OVERLOAD_SWEEP_H_
+#define BENCH_OVERLOAD_SWEEP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/exec/sweep_runner.h"
+#include "src/sched/multiprogramming.h"
+#include "src/trace/synthetic.h"
+
+namespace overload_sweep {
+
+constexpr dsa::WordCount kPageWords = 256;
+constexpr std::size_t kFrames = 16;
+
+constexpr std::size_t kDegrees[] = {1, 2, 3, 4, 6, 8, 12, 16};
+constexpr std::size_t kNumDegrees = sizeof(kDegrees) / sizeof(kDegrees[0]);
+
+inline const char* const kPolicies[] = {"uncontrolled", "adaptive", "working-set"};
+constexpr std::size_t kNumPolicies = 3;
+constexpr std::size_t kNumCells = kNumPolicies * kNumDegrees;
+
+struct Cell {
+  std::size_t degree{0};
+  double cpu_utilization{0.0};
+  double throughput{0.0};
+  std::uint64_t faults{0};
+  std::uint64_t deactivations{0};
+  std::uint64_t reactivations{0};
+  dsa::Cycles total_cycles{0};
+
+  bool operator==(const Cell&) const = default;
+};
+
+inline dsa::MultiprogramConfig ConfigFor(std::size_t policy) {
+  dsa::MultiprogramConfig config;
+  config.core_words = kFrames * kPageWords;
+  config.page_words = kPageWords;
+  config.backing_level = dsa::MakeDrumLevel("drum", 1u << 18, /*word_time=*/1,
+                                            /*rotational_delay=*/300);
+  config.quantum = 2000;
+  config.context_switch_cycles = 20;
+  if (policy == 1) {
+    config.load_control.policy = dsa::LoadControlPolicy::kAdaptiveFaultRate;
+    config.load_control.window = 10000;
+    // High enough that the cold-start compulsory-fault transient (a few
+    // faults over the first few hundred references) cannot trip the knee;
+    // real thrash sustains thousands of references per window.
+    config.load_control.min_window_references = 1500;
+    // Healthy steady-state fault rate for the loop workload is ~1e-4 (one
+    // new page per body sweep); even mild overcommit sustains ~4e-3.  The
+    // knee sits between them: a failed probe must trip the shed within a
+    // window or two, not linger in semi-thrash under the high-water mark.
+    config.load_control.high_fault_rate = 0.002;
+    config.load_control.low_fault_rate = 0.0005;
+    config.load_control.hysteresis = 20000;
+    config.load_control.shed_hysteresis = 3000;
+  } else if (policy == 2) {
+    config.load_control.policy = dsa::LoadControlPolicy::kWorkingSetAdmission;
+    config.load_control.working_set_tau = 8000;
+    config.load_control.hysteresis = 6000;
+  }
+  return config;
+}
+
+inline Cell RunCell(std::size_t policy, std::size_t degree, std::size_t job_length) {
+  dsa::MultiprogrammingSimulator sim(ConfigFor(policy));
+  for (std::size_t j = 0; j < degree; ++j) {
+    dsa::LoopTraceParams params;
+    params.extent = 2048;
+    params.body_words = 512;    // ~2-3 resident pages per job
+    params.advance_words = 256;
+    params.iterations = 8;      // 4096 refs per one-page slide: heavy reuse
+    params.length = job_length;
+    params.seed = 1967 + j;
+    sim.AddJob("job-" + std::to_string(j), MakeLoopTrace(params));
+  }
+  const dsa::MultiprogramReport report = sim.Run();
+  Cell cell;
+  cell.degree = degree;
+  cell.cpu_utilization = report.CpuUtilization();
+  cell.throughput = report.Throughput();
+  cell.faults = report.faults;
+  cell.deactivations = report.deactivations;
+  cell.reactivations = report.reactivations;
+  cell.total_cycles = report.total_cycles;
+  return cell;
+}
+
+// The whole grid, sharded `jobs`-wide; results[policy][degree_index].
+// Byte-identical output for any worker count: cell i writes only slot i,
+// and the grid is re-folded in index order afterwards.
+inline std::vector<std::vector<Cell>> RunSweep(std::size_t job_length, unsigned jobs) {
+  dsa::SweepRunner runner(jobs);
+  const std::vector<Cell> flat = runner.Run(kNumCells, [&](std::size_t i) {
+    return RunCell(i / kNumDegrees, kDegrees[i % kNumDegrees], job_length);
+  });
+  std::vector<std::vector<Cell>> grid(kNumPolicies);
+  for (std::size_t p = 0; p < kNumPolicies; ++p) {
+    grid[p].assign(flat.begin() + static_cast<std::ptrdiff_t>(p * kNumDegrees),
+                   flat.begin() + static_cast<std::ptrdiff_t>((p + 1) * kNumDegrees));
+  }
+  return grid;
+}
+
+// References every job of every cell retires over the sweep (for the
+// refs-per-second rate bench_parallel reports).
+inline std::uint64_t SweepReferences(std::size_t job_length) {
+  std::uint64_t total = 0;
+  for (std::size_t d = 0; d < kNumDegrees; ++d) {
+    total += static_cast<std::uint64_t>(kDegrees[d]) * job_length;
+  }
+  return total * kNumPolicies;
+}
+
+}  // namespace overload_sweep
+
+#endif  // BENCH_OVERLOAD_SWEEP_H_

@@ -22,20 +22,35 @@
 //     --trace=FILE            capture the run's event stream as JSONL (note the
 //                             '=': the two-token form reads a reference trace),
 //                             re-verify it, and report the verifier's verdict
+//     --batch DIR             multi-tenant batch: run every trace file in DIR
+//                             (sorted by name) through its own instance of the
+//                             configured system, sharded --jobs wide, and print
+//                             per-tenant reports in name order plus a merged
+//                             aggregate (order-independent registry merge)
+//     --jobs N                worker count for --batch (default: DSA_JOBS env,
+//                             else 1; 0 = hardware width).  Results are
+//                             byte-identical at any worker count.
 //
 // Examples:
 //   dsa_sim --name-space symseg --unit blocks --replacement clock
 //   dsa_sim --gen loop --replacement atlas --core 8192
 //   dsa_sim --dump-trace /tmp/t.trace && dsa_sim --trace /tmp/t.trace
 //   dsa_sim --trace=/tmp/events.jsonl
+//   dsa_sim --batch /tmp/tenants --jobs 0 --trace=/tmp/batch-events
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <string>
+#include <vector>
 
+#include "src/exec/sweep_runner.h"
+#include "src/exec/thread_pool.h"
 #include "src/obs/export.h"
+#include "src/obs/merge.h"
 #include "src/obs/tracer.h"
 #include "src/obs/verifier.h"
 #include "src/obs/vm_metrics.h"
@@ -92,12 +107,147 @@ dsa::ReferenceTrace GenerateWorkload(const std::string& kind) {
   std::exit(2);
 }
 
+// One tenant of a --batch run: its own parse, its own system instance, its
+// own tracer and metrics registry.  Cells share only the immutable spec, so
+// the sweep can shard them across threads; everything order-sensitive
+// (printing, file writes, verification, the registry merge) happens after
+// the sweep in slot order.
+struct BatchCell {
+  std::string label;        // file name (the tenant id)
+  std::string error;        // nonempty: the cell failed (parse/IO)
+  std::string report_text;  // rendered report block
+  std::uint64_t references{0};
+  dsa::MetricsRegistry metrics;
+  std::vector<dsa::TraceEvent> events;
+};
+
+int RunBatch(const dsa::SystemSpec& base_spec, const std::string& batch_dir,
+             unsigned jobs, const std::string& event_trace_prefix) {
+  std::vector<std::filesystem::path> files;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(batch_dir, ec)) {
+    if (entry.is_regular_file()) {
+      files.push_back(entry.path());
+    }
+  }
+  if (ec) {
+    std::fprintf(stderr, "dsa_sim: cannot read --batch directory %s: %s\n",
+                 batch_dir.c_str(), ec.message().c_str());
+    return 2;
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "dsa_sim: --batch directory %s holds no trace files\n",
+                 batch_dir.c_str());
+    return 2;
+  }
+  // Name order is the cell order, so the merged output is a function of the
+  // directory contents alone, not of readdir() or scheduling order.
+  std::sort(files.begin(), files.end());
+
+  dsa::SweepRunner runner(jobs);
+  std::printf("== batch: %zu traces from %s (jobs=%u) ==\n\n", files.size(),
+              batch_dir.c_str(), runner.jobs());
+
+  const bool capture = !event_trace_prefix.empty();
+  const std::vector<BatchCell> cells = runner.Run(files.size(), [&](std::size_t i) {
+    BatchCell cell;
+    cell.label = files[i].filename().string();
+    std::ifstream in(files[i]);
+    if (!in) {
+      cell.error = "cannot open trace file";
+      return cell;
+    }
+    auto parsed = dsa::ReadReferenceTrace(&in);
+    if (!parsed.has_value()) {
+      cell.error = "line " + std::to_string(parsed.error().line) + ": " +
+                   parsed.error().message;
+      return cell;
+    }
+    dsa::ReferenceTrace trace = std::move(parsed.value());
+
+    dsa::SystemSpec spec = base_spec;  // per-cell copy; the tracer differs
+    dsa::EventTracer tracer(/*capacity=*/0);
+    if (capture) {
+      spec.tracer = &tracer;
+    }
+    const auto system = dsa::BuildSystem(spec);
+    const dsa::VmReport report = system->Run(trace);
+    cell.references = report.references;
+    cell.report_text = dsa::RenderVmReport(
+        report, dsa::Describe(system->characteristics()), cell.label);
+    FillVmMetrics(report, &cell.metrics);
+    if (capture) {
+      cell.events = tracer.Snapshot();
+    }
+    return cell;
+  });
+
+  // Slot-order fold: per-tenant reports, per-cell verification + export,
+  // and the aggregate registry are all pure functions of the cell results.
+  dsa::TraceVerifierConfig verifier_config;
+  if (base_spec.page_words != 0) {
+    verifier_config.frame_count =
+        static_cast<std::size_t>(base_spec.core_words / base_spec.page_words);
+  }
+  dsa::MetricsRegistry aggregate;
+  int status = 0;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const BatchCell& cell = cells[i];
+    std::printf("-- tenant %zu: %s\n", i, cell.label.c_str());
+    if (!cell.error.empty()) {
+      std::fprintf(stderr, "dsa_sim: %s: %s\n", cell.label.c_str(), cell.error.c_str());
+      status = 2;
+      continue;
+    }
+    std::fputs(cell.report_text.c_str(), stdout);
+    dsa::MergeRegistryInto(&aggregate, cell.metrics);
+    if (capture) {
+      const std::string path =
+          event_trace_prefix + "." + std::to_string(i) + ".jsonl";
+      std::ofstream out(path);
+      if (!out) {
+        std::fprintf(stderr, "dsa_sim: cannot open %s\n", path.c_str());
+        status = 2;
+        continue;
+      }
+      dsa::WriteEventsJsonl(cell.events, &out);
+      const auto violations =
+          dsa::TraceReplayVerifier(verifier_config).Verify(cell.events);
+      std::printf("event trace      %zu events -> %s (%s)\n", cell.events.size(),
+                  path.c_str(), violations.empty() ? "verified" : "VERIFIER VIOLATIONS");
+      if (!violations.empty()) {
+        std::fputs(dsa::TraceReplayVerifier::Describe(violations).c_str(), stderr);
+        status = 1;
+      }
+    }
+    std::printf("\n");
+  }
+
+  const std::uint64_t references = aggregate.CounterValue("vm/references");
+  const std::uint64_t faults = aggregate.CounterValue("vm/faults");
+  std::printf("== batch aggregate (%zu tenants) ==\n", cells.size());
+  std::printf("references       %llu\n", static_cast<unsigned long long>(references));
+  std::printf("faults           %llu  (rate %.5f)\n",
+              static_cast<unsigned long long>(faults),
+              references == 0 ? 0.0
+                              : static_cast<double>(faults) / static_cast<double>(references));
+  std::printf("write-backs      %llu\n",
+              static_cast<unsigned long long>(aggregate.CounterValue("vm/writebacks")));
+  std::printf("total cycles     %llu\n",
+              static_cast<unsigned long long>(aggregate.CounterValue("vm/total_cycles")));
+  std::printf("wait cycles      %llu\n",
+              static_cast<unsigned long long>(aggregate.CounterValue("vm/wait_cycles")));
+  return status;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string trace_file;
   std::string event_trace_file;
   std::string dump_file;
+  std::string batch_dir;
+  unsigned jobs = dsa::JobsFromEnv(/*fallback=*/1);
   std::string gen_kind = "working-set";
   dsa::SystemSpec spec;
   spec.label = "dsa_sim";
@@ -122,6 +272,13 @@ int main(int argc, char** argv) {
       event_trace_file = arg.substr(std::strlen("--trace="));
       if (event_trace_file.empty()) {
         Usage(argv[0], "empty --trace= file name");
+      }
+    } else if (arg == "--batch") {
+      batch_dir = next();
+    } else if (arg == "--jobs") {
+      jobs = static_cast<unsigned>(std::strtoul(next().c_str(), nullptr, 10));
+      if (jobs == 0) {
+        jobs = dsa::HardwareJobs();
       }
     } else if (arg == "--gen") {
       gen_kind = next();
@@ -199,6 +356,19 @@ int main(int argc, char** argv) {
     }
   }
   spec.backing_level = dsa::MakeDrumLevel("drum", 1u << 22, /*word_time=*/2, drum_latency);
+
+  if (!batch_dir.empty()) {
+    if (!trace_file.empty() || !dump_file.empty()) {
+      Usage(argv[0], "--batch is exclusive with --trace FILE / --dump-trace");
+    }
+    if (!dsa::SpecIsBuildable(spec)) {
+      std::fprintf(stderr,
+                   "dsa_sim: a linear name space with variable allocation units has no "
+                   "relocation handle; pick --name-space linseg/symseg or --unit pages\n");
+      return 2;
+    }
+    return RunBatch(spec, batch_dir, jobs, event_trace_file);
+  }
 
   // Obtain the workload.
   dsa::ReferenceTrace trace;

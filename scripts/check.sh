@@ -4,8 +4,10 @@
 #   scripts/check.sh              # configure, build, ctest by label, benches
 #   DSA_SANITIZE=address scripts/check.sh   # same, under ASan
 #
-# ctest runs as three labelled passes (unit, golden, property) so a failure
-# names the class of breakage immediately.  The quick bench outputs land in
+# ctest runs as four labelled passes (unit, golden, property, soak) so a
+# failure names the class of breakage immediately; --no-tests=error turns a
+# label with zero registered tests into a failure instead of a silent green
+# pass.  The quick bench outputs land in
 # build/ — the committed BENCH_*.json files at the repo root are full-run
 # references and are only rewritten deliberately.
 set -euo pipefail
@@ -23,10 +25,14 @@ for label in unit golden property soak; do
   echo "== ctest -L ${label}"
   # Note -j needs an explicit count: a bare `-j` makes ctest swallow the
   # following -L flag and run the whole suite unfiltered.
-  (cd build && ctest --output-on-failure -j "$(nproc)" -L "${label}")
+  (cd build && ctest --output-on-failure --no-tests=error -j "$(nproc)" -L "${label}")
 done
 ./build/bench/bench_throughput --quick --out build/BENCH_throughput.quick.json
 ./build/bench/bench_degradation --quick --out build/BENCH_degradation.quick.json
 # bench_overload exits non-zero if the thrashing cliff disappears or the
 # adaptive controller stops holding utilisation past it.
 ./build/bench/bench_overload --quick --out build/BENCH_overload.quick.json
+# bench_parallel exits non-zero if any worker count perturbs the sweep
+# results (the ISSUE's bit-reproducibility contract); its speedup gate only
+# engages on >= 4 hardware threads and in full (non-quick) runs.
+(cd build && ./bench/bench_parallel --quick)

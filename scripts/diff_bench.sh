@@ -16,9 +16,9 @@ cd "$(dirname "$0")/.."
 
 strip_timing() {
   # Drops machine-dependent fields; everything left must be deterministic.
-  sed -E -e 's/"seconds": [0-9.eE+-]+, //g' \
-         -e 's/, "refs_per_sec": [0-9.eE+-]+//g' \
-         -e 's/"speedup": [0-9.eE+-]+/"speedup": null/g' "$1"
+  # (strip_timing.py handles a timing key at any position in the object,
+  # which the old field-order-sensitive sed pipeline did not.)
+  python3 scripts/strip_timing.py "$1"
 }
 
 cmake -B build -S . > /dev/null

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Strip machine-dependent wall-clock fields from a bench JSON file.
+
+Usage: strip_timing.py FILE   (writes the stripped text to stdout)
+
+The quick bench outputs are deterministic except for three timing fields:
+"seconds" and "refs_per_sec" are dropped, "speedup" is nulled.  Everything
+left must be bit-identical on every machine, so diff_bench.sh can compare a
+fresh run against the committed BENCH_*.quick.json references.
+
+Unlike the sed pipeline this replaces, the removal does not care where in
+the object the field sits: a timing key is stripped whether it is followed
+by a comma ("seconds" mid-object), preceded by one ("refs_per_sec" at the
+end), or stands alone.  Output is byte-identical to the old sed on the
+existing reference files.
+"""
+
+import re
+import sys
+
+# Matches the numeric literals the bench writers emit (printf %g / %.3f),
+# including scientific notation; "null" is accepted so re-stripping an
+# already-stripped file is a no-op.
+_NUM = r"(?:[0-9.eE+-]+|null)"
+
+_DROPPED = ("seconds", "refs_per_sec")
+_NULLED = ("speedup",)
+
+
+def strip_timing(text: str) -> str:
+    for key in _DROPPED:
+        pair = f'"{key}": {_NUM}'
+        # Order matters for byte-compatibility with the old sed: consume a
+        # trailing comma first, then a leading one, then the bare pair.
+        text = re.sub(pair + r", ", "", text)
+        text = re.sub(r", " + pair, "", text)
+        text = re.sub(pair, "", text)
+    for key in _NULLED:
+        text = re.sub(f'"{key}": {_NUM}', f'"{key}": null', text)
+    return text
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(f"usage: {argv[0]} FILE", file=sys.stderr)
+        return 2
+    with open(argv[1], encoding="utf-8") as handle:
+        sys.stdout.write(strip_timing(handle.read()))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

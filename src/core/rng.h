@@ -19,12 +19,38 @@ class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
 
+  // A generator is a stream, not a value: implicit copies are deleted
+  // because a copied generator silently decorrelates from a replayed run
+  // the moment either copy draws — exactly the bug a parallel sweep makes
+  // likely.  Hand a cell its own stream with Fork(); moving is fine (the
+  // source is left reseeded, not aliased).
+  Rng(const Rng&) = delete;
+  Rng& operator=(const Rng&) = delete;
+  Rng(Rng&&) = default;
+  Rng& operator=(Rng&&) = default;
+
   // Re-seeds the generator deterministically from a single value.
   void Seed(std::uint64_t seed) {
+    seed_ = seed;
     std::uint64_t x = seed;
     for (auto& word : state_) {
       word = SplitMix64(&x);
     }
+  }
+
+  // Stream split: derives an independent child generator from this
+  // generator's seed and a stream index, via a double splitmix64 mix.  The
+  // derivation is a pure function of (seed, stream) — it neither draws from
+  // nor perturbs the parent, so any completion order of forked cells leaves
+  // every stream identical.  Child state is seeded through a different
+  // splitmix64 trajectory than the parent's (the stream index is folded in
+  // with a second Weyl constant), so parent and child sequences do not
+  // overlap over any practical draw horizon; tests/test_core.cc pins this
+  // over 2^17 draws.
+  Rng Fork(std::uint64_t stream) const {
+    std::uint64_t x = seed_;
+    std::uint64_t mixed = SplitMix64(&x) ^ (0xd1b54a32d192ed03ULL * (stream + 1));
+    return Rng(SplitMix64(&mixed));
   }
 
   // Uniform 64-bit value.
@@ -101,6 +127,7 @@ class Rng {
   // <cmath> out of this header's interface.
   static double LogApprox(double v);
 
+  std::uint64_t seed_{0};  // the Seed() argument, retained for Fork()
   std::array<std::uint64_t, 4> state_{};
 };
 

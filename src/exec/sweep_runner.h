@@ -1,0 +1,77 @@
+// SweepRunner: deterministic fan-out of independent simulation cells.
+//
+// A sweep is a pure function cell_index -> result over a fixed index range
+// (a bench grid, a soak matrix, a batch of trace files).  The runner
+// evaluates every cell at most `jobs`-wide on a work-stealing ThreadPool
+// and collects results into index-ordered slots: slot i is written only by
+// cell i, so the merged output is byte-identical regardless of scheduling
+// or completion order.  The slots are a fixed-size pre-allocated vector —
+// cross-thread publication without locks or ordering sensitivity (cf.
+// Blelloch & Wei's fixed-size-pool result cells) — and with jobs == 1 the
+// runner is a plain serial in-index-order loop, today's path exactly.
+//
+// Determinism contract for cell functions: a cell may only read shared
+// immutable inputs and its own index; any randomness must come from a
+// generator the cell owns, derived by Rng::Fork(cell_index) or an explicit
+// per-cell seed.  No cell may touch another cell's slot.
+
+#ifndef SRC_EXEC_SWEEP_RUNNER_H_
+#define SRC_EXEC_SWEEP_RUNNER_H_
+
+#include <cstddef>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "src/exec/thread_pool.h"
+
+namespace dsa {
+
+class SweepRunner {
+ public:
+  // `jobs` = 1 runs cells serially on the calling thread (no pool, no
+  // threads); > 1 engages a work-stealing pool of that width.
+  explicit SweepRunner(unsigned jobs = 1) {
+    if (jobs > 1) {
+      pool_.emplace(jobs);
+    }
+  }
+
+  unsigned jobs() const { return pool_ ? pool_->workers() : 1u; }
+
+  // Evaluates fn(0) ... fn(cells-1), returning results in index order.
+  // The result type must be default-constructible (slots are pre-sized).
+  template <typename Fn>
+  auto Run(std::size_t cells, Fn&& fn)
+      -> std::vector<std::decay_t<decltype(fn(std::size_t{0}))>> {
+    using Result = std::decay_t<decltype(fn(std::size_t{0}))>;
+    std::vector<Result> slots(cells);
+    if (!pool_) {
+      for (std::size_t i = 0; i < cells; ++i) {
+        slots[i] = fn(i);
+      }
+      return slots;
+    }
+    pool_->ParallelFor(cells, [&](std::size_t i) { slots[i] = fn(i); });
+    return slots;
+  }
+
+  // Index-only form for callers that manage their own slots.
+  void ForEach(std::size_t cells, const std::function<void(std::size_t)>& body) {
+    if (!pool_) {
+      for (std::size_t i = 0; i < cells; ++i) {
+        body(i);
+      }
+      return;
+    }
+    pool_->ParallelFor(cells, body);
+  }
+
+ private:
+  std::optional<ThreadPool> pool_;
+};
+
+}  // namespace dsa
+
+#endif  // SRC_EXEC_SWEEP_RUNNER_H_

@@ -1,0 +1,161 @@
+#include "src/exec/thread_pool.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace dsa {
+
+unsigned HardwareJobs() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1u : n;
+}
+
+unsigned JobsFromEnv(unsigned fallback) {
+  const char* raw = std::getenv("DSA_JOBS");
+  if (raw == nullptr || raw[0] == '\0') {
+    return fallback == 0 ? 1u : fallback;
+  }
+  const std::string value(raw);
+  if (value == "auto" || value == "0") {
+    return HardwareJobs();
+  }
+  char* end = nullptr;
+  const unsigned long parsed = std::strtoul(raw, &end, 10);
+  if (end == raw || *end != '\0' || parsed == 0) {
+    return fallback == 0 ? 1u : fallback;
+  }
+  return static_cast<unsigned>(parsed);
+}
+
+ThreadPool::ThreadPool(unsigned workers) : lanes_(workers == 0 ? 1u : workers) {
+  threads_.reserve(lanes_ - 1);
+  for (std::size_t lane = 1; lane < lanes_; ++lane) {
+    threads_.emplace_back(&ThreadPool::WorkerLoop, this, lane);
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& thread : threads_) {
+    thread.join();
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t count,
+                             const std::function<void(std::size_t)>& body) {
+  if (count == 0) {
+    return;
+  }
+  if (lanes_ <= 1 || count == 1) {
+    // The serial path: index order on the calling thread, no pool traffic.
+    for (std::size_t i = 0; i < count; ++i) {
+      body(i);
+    }
+    return;
+  }
+
+  Batch batch(lanes_);
+  batch.body = &body;
+  batch.remaining.store(count, std::memory_order_relaxed);
+  // Deal indices round-robin so every lane starts with local work; the
+  // steal path only runs once a lane is dry.
+  for (std::size_t i = 0; i < count; ++i) {
+    batch.lanes[i % lanes_].indices.push_back(i);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    batch_ = &batch;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  Drain(&batch, /*lane=*/0);
+
+  {
+    // The batch lives on this stack frame: wait until every cell has run
+    // AND every pool thread has stepped out of Drain before letting it die.
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] {
+      return batch.remaining.load(std::memory_order_acquire) == 0 &&
+             batch.active_workers == 0;
+    });
+    batch_ = nullptr;
+  }
+  if (batch.error) {
+    std::rethrow_exception(batch.error);
+  }
+}
+
+void ThreadPool::WorkerLoop(std::size_t lane) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Batch* batch = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || (batch_ != nullptr && generation_ != seen);
+      });
+      if (stop_) {
+        return;
+      }
+      batch = batch_;
+      seen = generation_;
+      ++batch->active_workers;
+    }
+    Drain(batch, lane);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --batch->active_workers;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::Drain(Batch* batch, std::size_t lane) {
+  std::size_t index = 0;
+  while (NextIndex(batch, lane, &index)) {
+    try {
+      (*batch->body)(index);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(batch->error_mutex);
+      if (!batch->error) {
+        batch->error = std::current_exception();
+      }
+    }
+    if (batch->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last cell done; wake the caller (which may already be waiting).
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+bool ThreadPool::NextIndex(Batch* batch, std::size_t lane, std::size_t* index) {
+  {
+    Lane& own = batch->lanes[lane];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.indices.empty()) {
+      *index = own.indices.front();
+      own.indices.pop_front();
+      return true;
+    }
+  }
+  // Steal from the back of the other lanes, nearest neighbour first.
+  for (std::size_t step = 1; step < batch->lanes.size(); ++step) {
+    Lane& victim = batch->lanes[(lane + step) % batch->lanes.size()];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.indices.empty()) {
+      *index = victim.indices.back();
+      victim.indices.pop_back();
+      return true;
+    }
+  }
+  // Indices are never re-enqueued, so a full dry scan is terminal.
+  return false;
+}
+
+}  // namespace dsa

@@ -1,0 +1,94 @@
+// A work-stealing thread pool for deterministic sweep execution.
+//
+// The simulator's experiments are embarrassingly parallel at the cell level
+// (a cell = one seeded simulation run), so the pool's only job is a
+// blocking ParallelFor over a fixed index range.  Determinism is preserved
+// by construction: the pool never owns results — callers hand every cell
+// its own pre-allocated slot (see sweep_runner.h), so scheduling and
+// completion order are invisible in the output.
+//
+// Scheduling is work-stealing over per-lane deques: indices are dealt
+// round-robin across lanes up front, each lane pops its own deque from the
+// front and steals from other lanes' backs when dry.  Cells are coarse
+// (milliseconds each), so mutex-guarded deques cost nothing measurable and
+// stay trivially clean under TSan.  The calling thread participates as
+// lane 0; a pool built with `workers == 1` owns no threads at all and
+// ParallelFor degenerates to today's serial in-order loop.
+//
+// Worker count selection: DSA_JOBS env (via JobsFromEnv) or an explicit
+// --jobs flag, 1 = serial.
+
+#ifndef SRC_EXEC_THREAD_POOL_H_
+#define SRC_EXEC_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dsa {
+
+// Usable hardware parallelism, never zero (1 when unknown).
+unsigned HardwareJobs();
+
+// Worker count from the DSA_JOBS environment variable: a positive integer,
+// or "0"/"auto" for HardwareJobs().  Unset or malformed: `fallback`.
+unsigned JobsFromEnv(unsigned fallback);
+
+class ThreadPool {
+ public:
+  // `workers` is the total lane count including the calling thread, so the
+  // pool owns workers-1 threads; 0 is clamped to 1 (serial).
+  explicit ThreadPool(unsigned workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned workers() const { return lanes_; }
+
+  // Runs body(0) ... body(count-1) exactly once each and returns when all
+  // have completed.  With one lane the calls happen in index order on the
+  // calling thread; otherwise order is unspecified.  The first exception
+  // thrown by any call is rethrown here after the batch drains.
+  void ParallelFor(std::size_t count, const std::function<void(std::size_t)>& body);
+
+ private:
+  struct Lane {
+    std::mutex mutex;
+    std::deque<std::size_t> indices;
+  };
+
+  struct Batch {
+    explicit Batch(unsigned lane_count) : lanes(lane_count) {}
+    std::deque<Lane> lanes;  // deque: Lane holds a mutex and must not move
+    const std::function<void(std::size_t)>* body{nullptr};
+    std::atomic<std::size_t> remaining{0};
+    std::size_t active_workers{0};  // pool threads inside Drain; guarded by pool mutex
+    std::exception_ptr error;       // first failure; guarded by error_mutex
+    std::mutex error_mutex;
+  };
+
+  void WorkerLoop(std::size_t lane);
+  // Pops the own lane, then steals; runs cells until the batch is dry.
+  void Drain(Batch* batch, std::size_t lane);
+  bool NextIndex(Batch* batch, std::size_t lane, std::size_t* index);
+
+  unsigned lanes_;
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  // workers: a new batch is available
+  std::condition_variable done_cv_;  // caller: batch drained and workers out
+  Batch* batch_{nullptr};
+  std::uint64_t generation_{0};
+  bool stop_{false};
+};
+
+}  // namespace dsa
+
+#endif  // SRC_EXEC_THREAD_POOL_H_

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "src/exec/sweep_runner.h"
 #include "src/stats/table.h"
 #include "src/trace/synthetic.h"
 #include "src/vm/paged_vm.h"
@@ -25,9 +26,21 @@ ReferenceTrace SurveyWorkload(WordCount core_words, double pressure, std::size_t
   return trace;
 }
 
-std::vector<SurveyRow> RunSurvey(double pressure, std::size_t length, std::uint64_t seed) {
-  std::vector<SurveyRow> rows;
-  for (Machine& machine : MakeAllMachines()) {
+std::vector<SurveyRow> RunSurvey(double pressure, std::size_t length, std::uint64_t seed,
+                                 unsigned jobs) {
+  // One factory per appendix entry so a sweep cell can build machine i in
+  // isolation (a Machine owns a running system and must not be shared).
+  using MachineFactory = Machine (*)();
+  static constexpr MachineFactory kFactories[] = {
+      +[] { return MakeAtlasMachine(); },   +[] { return MakeM44Machine(1024); },
+      +[] { return MakeB5000Machine(); },   +[] { return MakeRiceMachine(); },
+      +[] { return MakeB8500Machine(); },   +[] { return MakeMulticsMachine(); },
+      +[] { return Make360M67Machine(); }};
+  constexpr std::size_t kNumMachines = sizeof(kFactories) / sizeof(kFactories[0]);
+
+  SweepRunner runner(jobs);
+  return runner.Run(kNumMachines, [&](std::size_t i) {
+    Machine machine = kFactories[i]();
     WordCount core = 0;
     // Scale the workload to each machine's working storage.
     if (machine.description.appendix == "A.1") {
@@ -49,9 +62,8 @@ std::vector<SurveyRow> RunSurvey(double pressure, std::size_t length, std::uint6
     SurveyRow row;
     row.report = machine.system->Run(trace);
     row.description = std::move(machine.description);
-    rows.push_back(std::move(row));
-  }
-  return rows;
+    return row;
+  });
 }
 
 std::string RenderSurvey(const std::vector<SurveyRow>& rows) {

@@ -24,9 +24,13 @@ struct SurveyRow {
 ReferenceTrace SurveyWorkload(WordCount core_words, double pressure, std::size_t length,
                               std::uint64_t seed);
 
-// Runs every machine on its scaled workload.
+// Runs every machine on its scaled workload.  The seven machines are
+// independent cells: `jobs` > 1 shards them across a SweepRunner (each cell
+// builds its own machine and workload, so nothing is shared), and the
+// index-ordered result slots keep the row order — and the rendered tables —
+// identical at any worker count.
 std::vector<SurveyRow> RunSurvey(double pressure = 2.0, std::size_t length = 60000,
-                                 std::uint64_t seed = 7);
+                                 std::uint64_t seed = 7, unsigned jobs = 1);
 
 // Renders the two survey tables (design-space coordinates; measured
 // behaviour) as one report string.

@@ -1,0 +1,53 @@
+#include "src/obs/merge.h"
+
+#include <cstddef>
+
+namespace dsa {
+
+void MergeRegistryInto(MetricsRegistry* into, const MetricsRegistry& from) {
+  for (const MetricsRegistry::Entry& entry : from.Entries()) {
+    switch (entry.kind) {
+      case MetricsRegistry::Entry::Kind::kCounter:
+        into->GetCounter(entry.name)->Increment(entry.counter->value());
+        break;
+      case MetricsRegistry::Entry::Kind::kGauge:
+        into->GetGauge(entry.name)->Set(entry.gauge->value());
+        break;
+      case MetricsRegistry::Entry::Kind::kHistogram:
+        into->GetHistogram(entry.name)->MergeFrom(*entry.histogram);
+        break;
+    }
+  }
+}
+
+std::vector<TraceEvent> MergeEventStreams(
+    const std::vector<std::vector<TraceEvent>>& streams) {
+  std::size_t total = 0;
+  for (const auto& stream : streams) {
+    total += stream.size();
+  }
+  std::vector<TraceEvent> merged;
+  merged.reserve(total);
+
+  // K-way merge with the lowest stream index winning ties: K is the cell
+  // count of a sweep (small), so a linear scan per output event is fine
+  // and keeps the tiebreak rule impossible to get wrong.
+  std::vector<std::size_t> cursor(streams.size(), 0);
+  while (merged.size() < total) {
+    std::size_t best = streams.size();
+    for (std::size_t s = 0; s < streams.size(); ++s) {
+      if (cursor[s] >= streams[s].size()) {
+        continue;
+      }
+      if (best == streams.size() ||
+          streams[s][cursor[s]].time < streams[best][cursor[best]].time) {
+        best = s;
+      }
+    }
+    merged.push_back(streams[best][cursor[best]]);
+    ++cursor[best];
+  }
+  return merged;
+}
+
+}  // namespace dsa

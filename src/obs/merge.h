@@ -1,0 +1,37 @@
+// Order-independent merging of per-cell observability outputs.
+//
+// A parallel sweep gives every cell its own MetricsRegistry and EventTracer
+// (shared mutable observers would make the captured streams depend on
+// scheduling).  After the sweep, per-cell outputs are folded together by
+// these helpers, always in cell-index order — so the merged result is a
+// pure function of the per-cell results, and the per-cell results are pure
+// functions of their seeds.  Completion order never appears anywhere.
+
+#ifndef SRC_OBS_MERGE_H_
+#define SRC_OBS_MERGE_H_
+
+#include <vector>
+
+#include "src/obs/event.h"
+#include "src/obs/metrics.h"
+
+namespace dsa {
+
+// Folds `from` into `into`: counters add, histograms add bin-wise, gauges
+// take `from`'s value (last merged in index order wins — gauges are
+// point-in-time readings with no meaningful sum; merge-order determinism
+// comes from the caller folding cells 0..n-1 in order).  Names absent from
+// `into` are registered in `from`'s registration order, so folding the
+// same cells in the same order always yields a byte-identical RenderTable.
+void MergeRegistryInto(MetricsRegistry* into, const MetricsRegistry& from);
+
+// Merges per-cell event streams into one stream ordered by (time, cell
+// index), preserving intra-cell order.  Each input must be monotone in
+// time (the tracer's watermark clock guarantees this); the tiebreak on the
+// cell index makes the merge a pure function of the inputs, independent of
+// how the cells were scheduled.
+std::vector<TraceEvent> MergeEventStreams(const std::vector<std::vector<TraceEvent>>& streams);
+
+}  // namespace dsa
+
+#endif  // SRC_OBS_MERGE_H_

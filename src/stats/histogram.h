@@ -19,6 +19,16 @@ class LogHistogram {
     ++total_;
   }
 
+  // Bin-wise addition of another histogram (same fixed bucket layout);
+  // used to fold per-cell histograms after a parallel sweep.  Commutative
+  // and associative, so any fold order gives the same result.
+  void MergeFrom(const LogHistogram& other) {
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      counts_[i] += other.counts_[i];
+    }
+    total_ += other.total_;
+  }
+
   std::uint64_t total() const { return total_; }
   std::uint64_t BucketCount(int bucket) const { return counts_[static_cast<std::size_t>(bucket)]; }
 

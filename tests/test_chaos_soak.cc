@@ -9,6 +9,12 @@
 // The matrix is 3 configs x 4 fault schedules x 3 degrees = 36 runs (the
 // acceptance floor is 32).  DSA_SOAK_FULL=1 lengthens every job trace for
 // overnight soaking; the default sizing keeps the suite in CI range.
+//
+// The 36 cells are independent (each owns its simulator, tracer, and seed
+// stream), so they run sharded over the SweepRunner — DSA_JOBS workers,
+// defaulting to the hardware width; every gtest assertion happens after the
+// sweep, on index-ordered results, so the pass/fail report is identical at
+// any worker count.
 
 #include <gtest/gtest.h>
 
@@ -16,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "src/exec/sweep_runner.h"
+#include "src/exec/thread_pool.h"
 #include "src/obs/tracer.h"
 #include "src/obs/verifier.h"
 #include "src/sched/multiprogramming.h"
@@ -115,53 +123,99 @@ SoakOutcome RunCell(const ControlCase& control, const FaultCase& faults,
   return outcome;
 }
 
-TEST(ChaosSoakTest, MatrixSurvivesVerifierAndReplay) {
-  std::size_t runs = 0;
-  std::uint64_t injected_events = 0;  // across every non-clean schedule
+// The flattened matrix: cell index -> (control, fault schedule, degree,
+// seed).  The seed formula matches the historical serial loop (cells are
+// numbered in the same nesting order), so the matrix's fault schedules are
+// unchanged by the parallel port.
+struct MatrixCell {
+  const ControlCase* control;
+  const FaultCase* faults;
+  std::size_t degree;
+  std::uint64_t seed;
+  std::string name;
+};
+
+std::vector<MatrixCell> MatrixCells() {
+  std::vector<MatrixCell> cells;
+  std::size_t index = 0;
   for (const ControlCase& control : kControls) {
     for (const FaultCase& faults : kFaults) {
       for (const std::size_t degree : kDegrees) {
-        const std::uint64_t seed = 0x50a4u ^ (runs * 0x9e3779b9u);
-        SCOPED_TRACE(std::string(control.name) + "/" + faults.name + "/degree-" +
-                     std::to_string(degree));
-        const SoakOutcome first = RunCell(control, faults, degree, seed);
-        ++runs;
-
-        // Structural invariants, replayed from the event stream alone.
-        TraceVerifierConfig verifier_config;
-        verifier_config.frame_count = kFrames;
-        verifier_config.page_job_shift = MultiprogrammingSimulator::kJobShift;
-        const auto violations =
-            TraceReplayVerifier(verifier_config).Verify(first.events);
-        EXPECT_TRUE(violations.empty()) << TraceReplayVerifier::Describe(violations);
-
-        // Liveness: every job retires every reference and finishes; nothing
-        // stays swapped out.
-        ASSERT_EQ(first.report.jobs.size(), degree);
-        for (const JobReport& job : first.report.jobs) {
-          EXPECT_EQ(job.references, JobLength()) << job.label;
-          EXPECT_GT(job.finish_time, 0u) << job.label;
-          EXPECT_LE(job.blocked_cycles + job.queued_cycles, first.report.total_cycles)
-              << job.label;
-        }
-        EXPECT_EQ(first.report.deactivations, first.report.reactivations);
-        if (faults.rates.Any()) {
-          injected_events += first.report.reliability.transient_errors +
-                             first.report.reliability.slot_failures +
-                             first.report.reliability.frame_failures;
-        } else {
-          EXPECT_TRUE(first.report.reliability.Quiet());
-        }
-
-        // Determinism: the same seeds replay to the same stream, byte for
-        // byte, and the same report counters.
-        const SoakOutcome second = RunCell(control, faults, degree, seed);
-        EXPECT_EQ(first.events, second.events);
-        EXPECT_EQ(first.report.total_cycles, second.report.total_cycles);
-        EXPECT_EQ(first.report.faults, second.report.faults);
-        EXPECT_EQ(first.report.deactivations, second.report.deactivations);
+        MatrixCell cell;
+        cell.control = &control;
+        cell.faults = &faults;
+        cell.degree = degree;
+        cell.seed = 0x50a4u ^ (index * 0x9e3779b9u);
+        cell.name = std::string(control.name) + "/" + faults.name + "/degree-" +
+                    std::to_string(degree);
+        cells.push_back(std::move(cell));
+        ++index;
       }
     }
+  }
+  return cells;
+}
+
+TEST(ChaosSoakTest, MatrixSurvivesVerifierAndReplay) {
+  const std::vector<MatrixCell> cells = MatrixCells();
+
+  // Run every cell twice (capture + reseeded replay) across the sweep
+  // executor; assertions run afterwards on the index-ordered slots so the
+  // gtest report never depends on scheduling.
+  struct CellOutcome {
+    SoakOutcome first;
+    SoakOutcome second;
+  };
+  SweepRunner runner(JobsFromEnv(/*fallback=*/HardwareJobs()));
+  const std::vector<CellOutcome> outcomes =
+      runner.Run(cells.size(), [&](std::size_t i) {
+        const MatrixCell& cell = cells[i];
+        CellOutcome outcome;
+        outcome.first = RunCell(*cell.control, *cell.faults, cell.degree, cell.seed);
+        outcome.second = RunCell(*cell.control, *cell.faults, cell.degree, cell.seed);
+        return outcome;
+      });
+
+  std::size_t runs = 0;
+  std::uint64_t injected_events = 0;  // across every non-clean schedule
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const MatrixCell& cell = cells[i];
+    const SoakOutcome& first = outcomes[i].first;
+    SCOPED_TRACE(cell.name);
+    ++runs;
+
+    // Structural invariants, replayed from the event stream alone.
+    TraceVerifierConfig verifier_config;
+    verifier_config.frame_count = kFrames;
+    verifier_config.page_job_shift = MultiprogrammingSimulator::kJobShift;
+    const auto violations = TraceReplayVerifier(verifier_config).Verify(first.events);
+    EXPECT_TRUE(violations.empty()) << TraceReplayVerifier::Describe(violations);
+
+    // Liveness: every job retires every reference and finishes; nothing
+    // stays swapped out.
+    ASSERT_EQ(first.report.jobs.size(), cell.degree);
+    for (const JobReport& job : first.report.jobs) {
+      EXPECT_EQ(job.references, JobLength()) << job.label;
+      EXPECT_GT(job.finish_time, 0u) << job.label;
+      EXPECT_LE(job.blocked_cycles + job.queued_cycles, first.report.total_cycles)
+          << job.label;
+    }
+    EXPECT_EQ(first.report.deactivations, first.report.reactivations);
+    if (cell.faults->rates.Any()) {
+      injected_events += first.report.reliability.transient_errors +
+                         first.report.reliability.slot_failures +
+                         first.report.reliability.frame_failures;
+    } else {
+      EXPECT_TRUE(first.report.reliability.Quiet());
+    }
+
+    // Determinism: the same seeds replay to the same stream, byte for
+    // byte, and the same report counters.
+    const SoakOutcome& second = outcomes[i].second;
+    EXPECT_EQ(first.events, second.events);
+    EXPECT_EQ(first.report.total_cycles, second.report.total_cycles);
+    EXPECT_EQ(first.report.faults, second.report.faults);
+    EXPECT_EQ(first.report.deactivations, second.report.deactivations);
   }
   EXPECT_GE(runs, 32u) << "the soak matrix shrank below the acceptance floor";
   // Guard against a silently inert injector: across the 27 non-clean cells

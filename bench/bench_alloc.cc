@@ -1,0 +1,327 @@
+// Allocator × trace fragmentation/latency grid (EXPERIMENTS.md E14).
+//
+// Every allocator design replays every workload trace through the common
+// Allocator interface, and each cell reports the two axes the paper's
+// placement discussion trades against each other:
+//
+//   latency        mean deterministic bookkeeping cycles per allocation and
+//                  per free, under the shared tariff of src/alloc/cost.h
+//                  (never wall-clock — the grid must be byte-identical at
+//                  any --jobs width);
+//   fragmentation  external fragmentation sampled across the run (mean,
+//                  max, final) plus mean internal waste.
+//
+// The gate encodes the segregated-fit design claim: on the zipf and phase
+// traces (the size-locality workloads quick lists are built for) the
+// segregated allocator must beat best-fit on mean allocation cycles while
+// matching or improving its mean external fragmentation.  Gate violation
+// exits non-zero, so check.sh and CI catch a regression in either axis.
+//
+// Cells are independent pure functions of (allocator spec, trace), so
+// --jobs (or DSA_JOBS) shards the grid across cores; results land in
+// index-ordered slots and the JSON is bit-identical at any width.
+//
+// Usage: bench_alloc [--quick] [--out PATH] [--jobs N]
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bench/bench_meta.h"
+#include "src/alloc/allocator_factory.h"
+#include "src/exec/sweep_runner.h"
+#include "src/exec/thread_pool.h"
+#include "src/stats/fragmentation.h"
+#include "src/trace/allocation.h"
+
+namespace {
+
+constexpr dsa::WordCount kCapacity = 1u << 16;
+constexpr dsa::WordCount kSlabChunk = 2048;  // the traces' largest request
+
+struct AllocatorSpec {
+  const char* label;
+  dsa::PlacementStrategyKind kind;
+  bool eager_coalescing;  // segregated-fit with quick lists disabled
+};
+
+constexpr AllocatorSpec kAllocators[] = {
+    {"first-fit", dsa::PlacementStrategyKind::kFirstFit, false},
+    {"next-fit", dsa::PlacementStrategyKind::kNextFit, false},
+    {"best-fit", dsa::PlacementStrategyKind::kBestFit, false},
+    {"buddy", dsa::PlacementStrategyKind::kBuddy, false},
+    {"slab-pool", dsa::PlacementStrategyKind::kSlabPool, false},
+    {"segregated-fit", dsa::PlacementStrategyKind::kSegregatedFit, false},
+    {"segregated-eager", dsa::PlacementStrategyKind::kSegregatedFit, true},
+};
+constexpr std::size_t kNumAllocators = sizeof(kAllocators) / sizeof(kAllocators[0]);
+
+std::unique_ptr<dsa::Allocator> BuildAllocator(const AllocatorSpec& spec) {
+  dsa::AllocatorBuildOptions options;
+  options.slab.chunk_words = kSlabChunk;
+  if (spec.eager_coalescing) {
+    options.segregated.quick_list_capacity = 0;
+  }
+  return dsa::MakeAllocator(spec.kind, kCapacity, options);
+}
+
+std::vector<dsa::AllocationTrace> BuildTraces(bool quick) {
+  const std::size_t ops = quick ? 4000 : 20000;
+  std::vector<dsa::AllocationTrace> traces;
+
+  dsa::AllocationTraceParams uniform;
+  uniform.operations = ops;
+  uniform.distribution = dsa::SizeDistribution::kUniform;
+  uniform.min_size = 1;
+  uniform.max_size = 512;
+  uniform.target_live = 128;
+  uniform.seed = 101;
+  traces.push_back(dsa::MakeAllocationTrace(uniform));
+
+  dsa::AllocationTraceParams zipf;
+  zipf.operations = ops;
+  zipf.distribution = dsa::SizeDistribution::kZipf;
+  zipf.min_size = 8;
+  zipf.max_size = 2048;
+  zipf.zipf_theta = 1.1;
+  zipf.zipf_distinct_sizes = 32;
+  zipf.target_live = 300;
+  zipf.seed = 102;
+  traces.push_back(dsa::MakeAllocationTrace(zipf));
+
+  dsa::PhaseTraceParams phase;
+  phase.operations = ops;
+  phase.seed = 103;
+  traces.push_back(dsa::MakePhaseAllocationTrace(phase));
+
+  dsa::MeasuredTraceParams measured;
+  measured.allocations = quick ? 2500 : 10000;
+  measured.seed = 104;
+  traces.push_back(dsa::MakeMeasuredAllocationTrace(measured));
+
+  return traces;
+}
+
+struct CellResult {
+  std::string allocator;
+  std::string trace;
+  std::uint64_t allocations{0};
+  std::uint64_t failures{0};
+  double mean_alloc_cycles{0.0};
+  double mean_free_cycles{0.0};
+  double ext_frag_mean{0.0};
+  double ext_frag_max{0.0};
+  double ext_frag_final{0.0};
+  double internal_frag_mean{0.0};
+  std::uint64_t quick_hits{0};
+  std::uint64_t deferred_drains{0};
+  double seconds{0.0};
+};
+
+CellResult RunCell(const AllocatorSpec& spec, const dsa::AllocationTrace& trace) {
+  const auto start = std::chrono::steady_clock::now();
+  const std::unique_ptr<dsa::Allocator> alloc = BuildAllocator(spec);
+
+  std::unordered_map<std::uint64_t, dsa::PhysicalAddress> placed;
+  constexpr std::size_t kSampleEvery = 64;
+  double frag_sum = 0.0;
+  double frag_max = 0.0;
+  double internal_sum = 0.0;
+  std::size_t samples = 0;
+
+  std::size_t op_index = 0;
+  for (const dsa::AllocOp& op : trace.ops) {
+    if (op.kind == dsa::AllocOpKind::kAllocate) {
+      if (const auto block = alloc->Allocate(op.size)) {
+        placed.emplace(op.request, block->addr);
+      }
+    } else {
+      const auto it = placed.find(op.request);
+      if (it != placed.end()) {  // frees of failed allocations are skipped
+        alloc->Free(it->second);
+        placed.erase(it);
+      }
+    }
+    if (++op_index % kSampleEvery == 0) {
+      const dsa::FragmentationReport report = alloc->Fragmentation();
+      const double ext = report.ExternalFragmentation();
+      frag_sum += ext;
+      frag_max = ext > frag_max ? ext : frag_max;
+      internal_sum += report.InternalFragmentation();
+      ++samples;
+    }
+  }
+
+  const dsa::AllocatorStats& stats = alloc->stats();
+  CellResult result;
+  result.allocator = spec.label;
+  result.trace = trace.label;
+  result.allocations = stats.allocations;
+  result.failures = stats.failures;
+  result.mean_alloc_cycles = stats.MeanAllocCycles();
+  result.mean_free_cycles = stats.MeanFreeCycles();
+  result.ext_frag_mean = samples > 0 ? frag_sum / static_cast<double>(samples) : 0.0;
+  result.ext_frag_max = frag_max;
+  result.ext_frag_final = alloc->Fragmentation().ExternalFragmentation();
+  result.internal_frag_mean =
+      samples > 0 ? internal_sum / static_cast<double>(samples) : 0.0;
+  if (const auto* seg = dynamic_cast<const dsa::SegregatedFitAllocator*>(alloc.get())) {
+    result.quick_hits = seg->quick_stats().quick_hits;
+    result.deferred_drains = seg->quick_stats().drains;
+  }
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return result;
+}
+
+struct Gate {
+  std::string trace;
+  double seg_cycles{0.0};
+  double best_fit_cycles{0.0};
+  double seg_frag{0.0};
+  double best_fit_frag{0.0};
+  bool pass{false};
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_alloc.json";
+  unsigned jobs = dsa::JobsFromEnv(/*fallback=*/1);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+      if (jobs == 0) {
+        jobs = dsa::HardwareJobs();
+      }
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out PATH] [--jobs N]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const std::vector<dsa::AllocationTrace> traces = BuildTraces(quick);
+  const std::size_t cells = kNumAllocators * traces.size();
+
+  std::printf("== bench_alloc: allocator x trace fragmentation/latency grid ==\n");
+  std::printf("   capacity=%llu allocators=%zu traces=%zu (%s, jobs=%u)\n\n",
+              static_cast<unsigned long long>(kCapacity), kNumAllocators, traces.size(),
+              quick ? "quick" : "full", jobs);
+
+  dsa::SweepRunner runner(jobs);
+  const std::vector<CellResult> grid = runner.Run(cells, [&](std::size_t i) {
+    return RunCell(kAllocators[i / traces.size()], traces[i % traces.size()]);
+  });
+
+  std::printf("  %-17s %-15s %9s %7s %9s %9s %9s %9s\n", "allocator", "trace", "allocs",
+              "fails", "cyc/alloc", "cyc/free", "extfrag", "intfrag");
+  for (const CellResult& cell : grid) {
+    std::printf("  %-17s %-15s %9llu %7llu %9.2f %9.2f %9.4f %9.4f\n",
+                cell.allocator.c_str(), cell.trace.c_str(),
+                static_cast<unsigned long long>(cell.allocations),
+                static_cast<unsigned long long>(cell.failures), cell.mean_alloc_cycles,
+                cell.mean_free_cycles, cell.ext_frag_mean, cell.internal_frag_mean);
+  }
+
+  // The design-claim gates: segregated-fit vs best-fit on the
+  // size-locality traces.
+  auto find_cell = [&](const char* allocator, const std::string& trace) -> const CellResult* {
+    for (const CellResult& cell : grid) {
+      if (cell.allocator == allocator && cell.trace == trace) {
+        return &cell;
+      }
+    }
+    return nullptr;
+  };
+  std::vector<Gate> gates;
+  bool all_pass = true;
+  for (const char* trace_label : {"alloc-zipf", "alloc-phase"}) {
+    const CellResult* seg = find_cell("segregated-fit", trace_label);
+    const CellResult* best = find_cell("best-fit", trace_label);
+    Gate gate;
+    gate.trace = trace_label;
+    if (seg != nullptr && best != nullptr) {
+      gate.seg_cycles = seg->mean_alloc_cycles;
+      gate.best_fit_cycles = best->mean_alloc_cycles;
+      gate.seg_frag = seg->ext_frag_mean;
+      gate.best_fit_frag = best->ext_frag_mean;
+      gate.pass = gate.seg_cycles < gate.best_fit_cycles &&
+                  gate.seg_frag <= gate.best_fit_frag;
+    }
+    all_pass = all_pass && gate.pass;
+    gates.push_back(gate);
+  }
+
+  std::printf("\n  gates (segregated-fit vs best-fit):\n");
+  for (const Gate& gate : gates) {
+    std::printf("    %-15s cycles %.2f vs %.2f, extfrag %.4f vs %.4f -> %s\n",
+                gate.trace.c_str(), gate.seg_cycles, gate.best_fit_cycles, gate.seg_frag,
+                gate.best_fit_frag, gate.pass ? "pass" : "FAIL");
+  }
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"bench_alloc\",\n  \"quick\": %s,\n",
+               quick ? "true" : "false");
+  bench_meta::WriteHostStamp(out, quick);
+  std::fprintf(out,
+               "  \"config\": {\"capacity\": %llu, \"allocators\": %zu, \"traces\": %zu, "
+               "\"slab_chunk_words\": %llu},\n",
+               static_cast<unsigned long long>(kCapacity), kNumAllocators, traces.size(),
+               static_cast<unsigned long long>(kSlabChunk));
+  std::fprintf(out, "  \"grid\": [\n");
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const CellResult& cell = grid[i];
+    std::fprintf(out,
+                 "    {\"allocator\": \"%s\", \"trace\": \"%s\", \"allocations\": %llu, "
+                 "\"failures\": %llu, \"mean_alloc_cycles\": %.4f, "
+                 "\"mean_free_cycles\": %.4f, \"ext_frag_mean\": %.6f, "
+                 "\"ext_frag_max\": %.6f, \"ext_frag_final\": %.6f, "
+                 "\"internal_frag_mean\": %.6f, \"quick_hits\": %llu, "
+                 "\"deferred_drains\": %llu, \"seconds\": %.6f}%s\n",
+                 cell.allocator.c_str(), cell.trace.c_str(),
+                 static_cast<unsigned long long>(cell.allocations),
+                 static_cast<unsigned long long>(cell.failures), cell.mean_alloc_cycles,
+                 cell.mean_free_cycles, cell.ext_frag_mean, cell.ext_frag_max,
+                 cell.ext_frag_final, cell.internal_frag_mean,
+                 static_cast<unsigned long long>(cell.quick_hits),
+                 static_cast<unsigned long long>(cell.deferred_drains), cell.seconds,
+                 i + 1 < grid.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"gates\": [\n");
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    const Gate& gate = gates[i];
+    std::fprintf(out,
+                 "    {\"trace\": \"%s\", \"segregated_cycles\": %.4f, "
+                 "\"best_fit_cycles\": %.4f, \"segregated_frag\": %.6f, "
+                 "\"best_fit_frag\": %.6f, \"pass\": %s}%s\n",
+                 gate.trace.c_str(), gate.seg_cycles, gate.best_fit_cycles, gate.seg_frag,
+                 gate.best_fit_frag, gate.pass ? "true" : "false",
+                 i + 1 < gates.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"summary\": {\"all_gates_pass\": %s}\n}\n",
+               all_pass ? "true" : "false");
+  std::fclose(out);
+  std::printf("\n  wrote %s\n", out_path.c_str());
+
+  if (!all_pass) {
+    std::fprintf(stderr,
+                 "segregated-fit failed its latency/fragmentation gate vs best-fit\n");
+    return 1;
+  }
+  return 0;
+}

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/alloc/compaction.h"
+#include "src/alloc/variable_allocator.h"
 #include "src/core/rng.h"
 #include "src/seg/segment_manager.h"
 #include "src/stats/table.h"

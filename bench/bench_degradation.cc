@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_meta.h"
 #include "src/mem/fault_injection.h"
 #include "src/paging/pager.h"
 #include "src/paging/replacement_simple.h"
@@ -166,6 +167,7 @@ int main(int argc, char** argv) {
   }
   std::fprintf(out, "{\n  \"bench\": \"bench_degradation\",\n  \"quick\": %s,\n",
                quick ? "true" : "false");
+  bench_meta::WriteHostStamp(out, quick);
   std::fprintf(out,
                "  \"config\": {\"frames\": %zu, \"page_words\": %llu, \"pages\": %zu, "
                "\"replacement\": \"lru\", \"trace\": \"zipf\", \"trace_seed\": %llu, "

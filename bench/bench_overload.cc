@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_meta.h"
 #include "bench/overload_sweep.h"
 #include "src/exec/thread_pool.h"
 
@@ -126,6 +127,7 @@ int main(int argc, char** argv) {
   }
   std::fprintf(out, "{\n  \"bench\": \"bench_overload\",\n  \"quick\": %s,\n",
                quick ? "true" : "false");
+  bench_meta::WriteHostStamp(out, quick);
   std::fprintf(out,
                "  \"config\": {\"frames\": %zu, \"page_words\": %llu, "
                "\"job_refs\": %zu, \"quantum\": 2000, \"trace\": \"loop\", "

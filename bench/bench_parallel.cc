@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_meta.h"
 #include "bench/overload_sweep.h"
 #include "src/exec/thread_pool.h"
 
@@ -113,6 +114,7 @@ int main(int argc, char** argv) {
   }
   std::fprintf(out, "{\n  \"bench\": \"bench_parallel\",\n  \"quick\": %s,\n",
                quick ? "true" : "false");
+  bench_meta::WriteHostStamp(out, quick);
   std::fprintf(out,
                "  \"config\": {\"sweep\": \"overload-degree\", \"cells\": %zu, "
                "\"job_refs\": %zu, \"hardware_concurrency\": %u},\n",

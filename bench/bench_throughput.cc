@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_meta.h"
 #include "src/paging/pager.h"
 #include "src/paging/replacement_naive.h"
 #include "src/paging/replacement_simple.h"
@@ -190,6 +191,7 @@ int main(int argc, char** argv) {
   }
   std::fprintf(out, "{\n  \"bench\": \"bench_throughput\",\n  \"quick\": %s,\n",
                quick ? "true" : "false");
+  bench_meta::WriteHostStamp(out, quick);
   std::fprintf(out,
                "  \"config\": {\"frames\": %zu, \"page_words\": %llu, \"address_bits\": %d, "
                "\"replacement\": \"lru\", \"fetch\": \"demand\"},\n",

@@ -36,3 +36,7 @@ done
 # results (the ISSUE's bit-reproducibility contract); its speedup gate only
 # engages on >= 4 hardware threads and in full (non-quick) runs.
 (cd build && ./bench/bench_parallel --quick)
+# bench_alloc exits non-zero if segregated-fit stops beating best-fit on
+# mean allocation cycles at equal-or-better external fragmentation on the
+# zipf/phase traces.
+./build/bench/bench_alloc --quick --out build/BENCH_alloc.quick.json

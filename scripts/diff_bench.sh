@@ -22,23 +22,28 @@ strip_timing() {
 }
 
 cmake -B build -S . > /dev/null
-cmake --build build -j --target bench_throughput bench_degradation bench_overload > /dev/null
+cmake --build build -j --target bench_throughput bench_degradation bench_overload bench_alloc > /dev/null
 
 mkdir -p build/bench_diff
 ./build/bench/bench_throughput --quick --out build/bench_diff/throughput.json > /dev/null
 ./build/bench/bench_degradation --quick --out build/bench_diff/degradation.json > /dev/null
 ./build/bench/bench_overload --quick --out build/bench_diff/overload.json > /dev/null
+# bench_alloc runs 2-wide here on purpose: its committed reference was
+# generated at --jobs 1, so this diff also proves the grid is byte-identical
+# across sweep widths.
+./build/bench/bench_alloc --quick --jobs 2 --out build/bench_diff/alloc.json > /dev/null
 
 if [[ "${1:-}" == "--regen" ]]; then
   strip_timing build/bench_diff/throughput.json > BENCH_throughput.quick.json
   strip_timing build/bench_diff/degradation.json > BENCH_degradation.quick.json
   strip_timing build/bench_diff/overload.json > BENCH_overload.quick.json
-  echo "rewrote BENCH_{throughput,degradation,overload}.quick.json"
+  strip_timing build/bench_diff/alloc.json > BENCH_alloc.quick.json
+  echo "rewrote BENCH_{throughput,degradation,overload,alloc}.quick.json"
   exit 0
 fi
 
 status=0
-for name in throughput degradation overload; do
+for name in throughput degradation overload alloc; do
   strip_timing "build/bench_diff/${name}.json" > "build/bench_diff/${name}.stripped.json"
   if ! diff -u "BENCH_${name}.quick.json" "build/bench_diff/${name}.stripped.json"; then
     echo "bench_${name}: deterministic results drifted from BENCH_${name}.quick.json" >&2

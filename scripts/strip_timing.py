@@ -3,10 +3,12 @@
 
 Usage: strip_timing.py FILE   (writes the stripped text to stdout)
 
-The quick bench outputs are deterministic except for three timing fields:
-"seconds" and "refs_per_sec" are dropped, "speedup" is nulled.  Everything
-left must be bit-identical on every machine, so diff_bench.sh can compare a
-fresh run against the committed BENCH_*.quick.json references.
+The quick bench outputs are deterministic except for three timing fields
+and one machine-context line: "seconds" and "refs_per_sec" are dropped,
+"speedup" is nulled, and the "host" header object (core count, run mode —
+written by bench/bench_meta.h) is removed whole.  Everything left must be
+bit-identical on every machine, so diff_bench.sh can compare a fresh run
+against the committed BENCH_*.quick.json references.
 
 Unlike the sed pipeline this replaces, the removal does not care where in
 the object the field sits: a timing key is stripped whether it is followed
@@ -25,9 +27,13 @@ _NUM = r"(?:[0-9.eE+-]+|null)"
 
 _DROPPED = ("seconds", "refs_per_sec")
 _NULLED = ("speedup",)
+# Header objects removed as whole lines (machine context, not results).
+_DROPPED_LINES = ("host",)
 
 
 def strip_timing(text: str) -> str:
+    for key in _DROPPED_LINES:
+        text = re.sub(rf'^[ \t]*"{key}": \{{[^\n]*\}},?\n', "", text, flags=re.MULTILINE)
     for key in _DROPPED:
         pair = f'"{key}": {_NUM}'
         # Order matters for byte-compatibility with the old sed: consume a

@@ -25,6 +25,19 @@ struct AllocatorStats {
   std::uint64_t frees{0};
   WordCount words_requested{0};  // what callers asked for
   WordCount words_allocated{0};  // what the allocator actually handed out (buddy rounds up)
+  // Deterministic bookkeeping cost under the shared tariff of
+  // src/alloc/cost.h; bench_alloc's latency metric (never wall-clock).
+  Cycles alloc_cycles{0};
+  Cycles free_cycles{0};
+
+  double MeanAllocCycles() const {
+    return allocations == 0
+               ? 0.0
+               : static_cast<double>(alloc_cycles) / static_cast<double>(allocations);
+  }
+  double MeanFreeCycles() const {
+    return frees == 0 ? 0.0 : static_cast<double>(free_cycles) / static_cast<double>(frees);
+  }
 };
 
 class Allocator {

@@ -1,0 +1,33 @@
+#include "src/alloc/allocator_factory.h"
+
+#include "src/alloc/buddy.h"
+#include "src/alloc/rice_chain.h"
+#include "src/alloc/variable_allocator.h"
+#include "src/core/assert.h"
+
+namespace dsa {
+
+std::unique_ptr<Allocator> MakeAllocator(PlacementStrategyKind kind, WordCount capacity,
+                                         const AllocatorBuildOptions& options) {
+  switch (kind) {
+    case PlacementStrategyKind::kFirstFit:
+    case PlacementStrategyKind::kNextFit:
+    case PlacementStrategyKind::kBestFit:
+    case PlacementStrategyKind::kWorstFit:
+    case PlacementStrategyKind::kTwoEnded:
+      return std::make_unique<VariableAllocator>(
+          capacity, MakePlacementPolicy(kind, options.large_threshold));
+    case PlacementStrategyKind::kBuddy:
+      return std::make_unique<BuddyAllocator>(capacity, options.buddy_min_order);
+    case PlacementStrategyKind::kRiceChain:
+      return std::make_unique<RiceChainAllocator>(capacity);
+    case PlacementStrategyKind::kSegregatedFit:
+      return std::make_unique<SegregatedFitAllocator>(capacity, options.segregated);
+    case PlacementStrategyKind::kSlabPool:
+      return std::make_unique<SlabPoolAllocator>(capacity, options.slab);
+  }
+  DSA_ASSERT(false, "MakeAllocator: unknown strategy kind");
+  return nullptr;
+}
+
+}  // namespace dsa

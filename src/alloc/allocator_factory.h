@@ -1,0 +1,35 @@
+// One constructor over every allocator design, keyed by the configuration
+// enum — benches and tests sweep PlacementStrategyKind values through this
+// instead of hand-wiring each concrete class.
+//
+// Policy kinds (first/next/best/worst/two-ended) build a VariableAllocator
+// around the matching PlacementPolicy; whole-allocator kinds (buddy,
+// rice-chain, segregated-fit, slab-pool) build their own class.
+
+#ifndef SRC_ALLOC_ALLOCATOR_FACTORY_H_
+#define SRC_ALLOC_ALLOCATOR_FACTORY_H_
+
+#include <memory>
+
+#include "src/alloc/allocator.h"
+#include "src/alloc/segregated_fit.h"
+#include "src/alloc/slab_pool.h"
+#include "src/core/strategy.h"
+
+namespace dsa {
+
+struct AllocatorBuildOptions {
+  // kTwoEnded: requests of at least this many words are "large".
+  WordCount large_threshold{256};
+  // kBuddy: smallest granted order (2^min_order words).
+  int buddy_min_order{0};
+  SegregatedFitConfig segregated{};
+  SlabPoolConfig slab{};
+};
+
+std::unique_ptr<Allocator> MakeAllocator(PlacementStrategyKind kind, WordCount capacity,
+                                         const AllocatorBuildOptions& options = {});
+
+}  // namespace dsa
+
+#endif  // SRC_ALLOC_ALLOCATOR_FACTORY_H_

@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "src/alloc/cost.h"
 #include "src/core/assert.h"
 #include "src/obs/tracer.h"
 
@@ -35,9 +36,12 @@ std::optional<Block> BuddyAllocator::Allocate(WordCount size) {
     ++stats_.failures;
     return std::nullopt;
   }
-  // Find the smallest order >= `order` with a free block.
+  // Find the smallest order >= `order` with a free block; each level
+  // inspected is one probe.
+  stats_.alloc_cycles += alloc_cost::kClassIndex;
   int found = -1;
   for (int k = order; k <= max_order_; ++k) {
+    stats_.alloc_cycles += alloc_cost::kProbe;
     if (!free_[static_cast<std::size_t>(k)].empty()) {
       found = k;
       break;
@@ -54,6 +58,7 @@ std::optional<Block> BuddyAllocator::Allocate(WordCount size) {
   for (int k = found; k > order; --k) {
     const std::uint64_t half = std::uint64_t{1} << (k - 1);
     free_[static_cast<std::size_t>(k - 1)].insert(addr + half);  // upper buddy stays free
+    stats_.alloc_cycles += alloc_cost::kCarve;
   }
   const WordCount granted = WordCount{1} << order;
   live_.emplace(addr, LiveBlock{order, size});
@@ -74,16 +79,20 @@ void BuddyAllocator::Free(PhysicalAddress addr) {
   ++stats_.frees;
   DSA_TRACE_EMIT(tracer_, EventKind::kFree, addr.value, WordCount{1} << order);
 
-  // Coalesce with the buddy while it is free, up to the top order.
+  // Coalesce with the buddy while it is free, up to the top order.  Each
+  // round probes one level's set (tree descent) and merging costs one tag
+  // rewrite.
   std::uint64_t block = addr.value;
   while (order < max_order_) {
-    const std::uint64_t buddy = block ^ (std::uint64_t{1} << order);
     auto& level = free_[static_cast<std::size_t>(order)];
+    stats_.free_cycles += alloc_cost::TreeDescent(level.size());
+    const std::uint64_t buddy = block ^ (std::uint64_t{1} << order);
     auto buddy_it = level.find(buddy);
     if (buddy_it == level.end()) {
       break;
     }
     level.erase(buddy_it);
+    stats_.free_cycles += alloc_cost::kMerge;
     block = std::min(block, buddy);
     ++order;
   }

@@ -1,0 +1,44 @@
+// The contract between the compaction engine and a heap it can pack.
+//
+// Any allocator that tracks live blocks by address and can relocate them
+// may be compacted; the engine itself only needs the live-block inventory,
+// a relocation primitive, and a pre-pack hook for designs holding free
+// storage outside their coalesced structure (the segregated allocator's
+// quick lists must drain before packing, or parked words would be slid
+// over as if live).
+
+#ifndef SRC_ALLOC_COMPACTIBLE_H_
+#define SRC_ALLOC_COMPACTIBLE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/alloc/block.h"
+#include "src/core/types.h"
+
+namespace dsa {
+
+class Compactible {
+ public:
+  virtual ~Compactible() = default;
+
+  // Live blocks in ascending address order (the slide-down packing order).
+  virtual std::vector<Block> LiveBlocks() const = 0;
+
+  // Atomically relocates the live block at `from` to `to`; the destination
+  // must be free.  Owners of stored absolute addresses are notified by the
+  // engine's RelocationCallback, not here.
+  virtual void Relocate(PhysicalAddress from, PhysicalAddress to) = 0;
+
+  // Called once before packing begins.  Implementations flush any deferred
+  // free-storage state (quick lists, pending merges) so every free word is
+  // visible as a hole.
+  virtual void PrepareForCompaction() {}
+
+  // Current number of free extents (for the engine's before/after report).
+  virtual std::size_t HoleCount() const = 0;
+};
+
+}  // namespace dsa
+
+#endif  // SRC_ALLOC_COMPACTIBLE_H_

@@ -4,17 +4,18 @@
 
 namespace dsa {
 
-CompactionResult CompactionEngine::Compact(VariableAllocator* allocator, CoreStore* store,
+CompactionResult CompactionEngine::Compact(Compactible* heap, CoreStore* store,
                                            const RelocationCallback& on_relocate) {
   CompactionResult result;
-  result.holes_before = allocator->free_list().hole_count();
+  result.holes_before = heap->HoleCount();
+  heap->PrepareForCompaction();
 
   WordCount next_free = 0;
-  for (const Block& block : allocator->LiveBlocks()) {
+  for (const Block& block : heap->LiveBlocks()) {
     const PhysicalAddress from = block.addr;
     const PhysicalAddress to{next_free};
     if (from != to) {
-      allocator->Relocate(from, to);
+      heap->Relocate(from, to);
       if (store != nullptr) {
         // memmove semantics: slide-down moves may overlap their own tail.
         store->Move(from, to, block.size, /*cycles_per_word_copied=*/1);
@@ -33,7 +34,7 @@ CompactionResult CompactionEngine::Compact(VariableAllocator* allocator, CoreSto
     next_free += block.size;
   }
 
-  result.holes_after = allocator->free_list().hole_count();
+  result.holes_after = heap->HoleCount();
   DSA_TRACE_EMIT(tracer_, EventKind::kCompaction, result.blocks_moved, result.words_moved);
   return result;
 }

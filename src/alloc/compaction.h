@@ -1,23 +1,27 @@
 // Storage packing: "to move information around in storage so as to remove
 // any unused spaces between the sets of contiguous locations."
 //
-// The engine slides every live block of a VariableAllocator to the lowest
+// The engine slides every live block of a Compactible heap to the lowest
 // free address, producing one hole at the top of storage.  It charges a
 // configurable move cost (hardware facility iii: CPU copy loop vs fast
 // autonomous storage-to-storage channel) and notifies the owner of each
 // relocation so stored descriptors can be updated — the relocatability
-// problem the paper opens with.
+// problem the paper opens with.  Heaps holding free storage outside their
+// coalesced structure (segregated quick lists) are flushed first via
+// Compactible::PrepareForCompaction.
 
 #ifndef SRC_ALLOC_COMPACTION_H_
 #define SRC_ALLOC_COMPACTION_H_
 
 #include <functional>
 
-#include "src/alloc/variable_allocator.h"
+#include "src/alloc/compactible.h"
 #include "src/mem/channel.h"
 #include "src/mem/core_store.h"
 
 namespace dsa {
+
+class EventTracer;
 
 struct CompactionResult {
   std::size_t blocks_moved{0};
@@ -42,9 +46,9 @@ class CompactionEngine {
   // kCompaction record (blocks moved, words moved).
   void SetTracer(EventTracer* tracer) { tracer_ = tracer; }
 
-  // Compacts `allocator` in place.  When `store` is non-null the block
-  // contents are physically moved too (and verified by tests).
-  CompactionResult Compact(VariableAllocator* allocator, CoreStore* store,
+  // Compacts `heap` in place.  When `store` is non-null the block contents
+  // are physically moved too (and verified by tests).
+  CompactionResult Compact(Compactible* heap, CoreStore* store,
                            const RelocationCallback& on_relocate = nullptr);
 
   const PackingChannel& channel() const { return channel_; }

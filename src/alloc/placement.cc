@@ -110,7 +110,9 @@ std::unique_ptr<PlacementPolicy> MakePlacementPolicy(PlacementStrategyKind kind,
       return std::make_unique<TwoEndedPlacement>(large_threshold);
     case PlacementStrategyKind::kBuddy:
     case PlacementStrategyKind::kRiceChain:
-      break;  // whole-allocator designs; see buddy.h / rice_chain.h
+    case PlacementStrategyKind::kSegregatedFit:
+    case PlacementStrategyKind::kSlabPool:
+      break;  // whole-allocator designs; see MakeAllocator in allocator_factory.h
   }
   DSA_ASSERT(false, "MakePlacementPolicy: kind is a whole-allocator design, not a policy");
   return nullptr;

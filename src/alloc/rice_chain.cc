@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/alloc/cost.h"
 #include "src/core/assert.h"
 
 namespace dsa {
@@ -38,6 +39,7 @@ bool RiceChainAllocator::CombineAdjacent() {
   if (chain_.size() < 2) {
     return false;
   }
+  stats_.alloc_cycles += chain_.size() * alloc_cost::kProbe;  // walk the chain
   std::vector<Block> blocks(chain_.begin(), chain_.end());
   std::sort(blocks.begin(), blocks.end(),
             [](const Block& a, const Block& b) { return a.addr.value < b.addr.value; });
@@ -54,6 +56,7 @@ bool RiceChainAllocator::CombineAdjacent() {
     return false;
   }
   ++combines_;
+  stats_.alloc_cycles += (blocks.size() - merged.size()) * alloc_cost::kMerge;
   chain_.assign(merged.begin(), merged.end());
   return true;
 }
@@ -62,31 +65,33 @@ std::optional<Block> RiceChainAllocator::Allocate(WordCount size) {
   DSA_ASSERT(size > 0, "cannot allocate zero words");
   ++stats_.allocations;
   stats_.words_requested += size;
+  const std::uint64_t examined_before = chain_blocks_examined_;
 
-  if (auto block = TryAllocate(size)) {
-    return block;
-  }
-  if (CombineAdjacent()) {
-    if (auto block = TryAllocate(size)) {
-      return block;
-    }
+  std::optional<Block> block = TryAllocate(size);
+  if (!block && CombineAdjacent()) {
+    block = TryAllocate(size);
   }
   // "If this fails a replacement algorithm ... is applied iteratively until
   // a block of sufficient size is released."
-  if (replacement_hook_) {
+  if (!block && replacement_hook_) {
     while (true) {
       ++replacement_invocations_;
       if (!replacement_hook_(this)) {
         break;
       }
       CombineAdjacent();
-      if (auto block = TryAllocate(size)) {
-        return block;
+      if ((block = TryAllocate(size))) {
+        break;
       }
     }
   }
-  ++stats_.failures;
-  return std::nullopt;
+  stats_.alloc_cycles +=
+      (chain_blocks_examined_ - examined_before) * alloc_cost::kProbe +
+      (block ? alloc_cost::kCarve : 0);
+  if (!block) {
+    ++stats_.failures;
+  }
+  return block;
 }
 
 void RiceChainAllocator::Free(PhysicalAddress addr) {
@@ -96,6 +101,7 @@ void RiceChainAllocator::Free(PhysicalAddress addr) {
   live_.erase(it);
   live_words_ -= size;
   ++stats_.frees;
+  stats_.free_cycles += alloc_cost::kProbe;  // thread at the chain head
   // The newly inactive block is threaded at the head of the chain (its first
   // word holding the size and next-pointer in the real machine).
   chain_.push_front(Block{addr, size});

@@ -1,0 +1,82 @@
+#include "src/alloc/size_class.h"
+
+#include <bit>
+#include <limits>
+
+#include "src/core/assert.h"
+
+namespace dsa {
+
+SizeClassMap::SizeClassMap(SizeClassMapConfig config) {
+  DSA_ASSERT(config.linear_step >= 1, "size classes need a nonzero step");
+  DSA_ASSERT(config.linear_max >= config.linear_step &&
+                 config.linear_max % config.linear_step == 0,
+             "linear_max must be a positive multiple of linear_step");
+  DSA_ASSERT((config.linear_max & (config.linear_max - 1)) == 0,
+             "linear_max must be a power of two (it seeds the geometric region)");
+  DSA_ASSERT(config.geometric_max >= config.linear_max &&
+                 (config.geometric_max & (config.geometric_max - 1)) == 0,
+             "geometric_max must be a power of two at or above the linear region");
+  DSA_ASSERT(config.geometric_subdivisions >= 1 &&
+                 (config.geometric_subdivisions &
+                  (config.geometric_subdivisions - 1)) == 0 &&
+                 config.geometric_subdivisions <= config.linear_max,
+             "geometric_subdivisions must be a power of two <= linear_max");
+
+  for (WordCount bound = config.linear_step; bound <= config.linear_max;
+       bound += config.linear_step) {
+    bounds_.push_back(bound);
+  }
+  for (WordCount base = config.linear_max; base < config.geometric_max;
+       base *= 2) {
+    const WordCount band = base / config.geometric_subdivisions;
+    for (WordCount i = 1; i <= config.geometric_subdivisions; ++i) {
+      bounds_.push_back(base + i * band);
+    }
+  }
+  bounds_.push_back(std::numeric_limits<WordCount>::max());
+
+  linear_max_ = config.linear_max;
+  linear_classes_ = static_cast<std::size_t>(config.linear_max / config.linear_step);
+  linear_max_log2_ = std::bit_width(config.linear_max) - 1;
+  subdivisions_ = static_cast<std::size_t>(config.geometric_subdivisions);
+  subdivisions_log2_ = std::bit_width(config.geometric_subdivisions) - 1;
+
+  linear_map_.resize(static_cast<std::size_t>(linear_max_) + 1, 0);
+  std::size_t cls = 0;
+  for (WordCount size = 1; size <= linear_max_; ++size) {
+    while (size > bounds_[cls]) {
+      ++cls;
+    }
+    linear_map_[static_cast<std::size_t>(size)] = cls;
+  }
+}
+
+SizeClassMap::SizeClassMap(std::vector<WordCount> bounds) : bounds_(std::move(bounds)) {}
+
+SizeClassMap SizeClassMap::SingleClass() {
+  return SizeClassMap(std::vector<WordCount>{std::numeric_limits<WordCount>::max()});
+}
+
+std::size_t SizeClassMap::ClassFor(WordCount size) const {
+  DSA_ASSERT(size >= 1, "zero-word requests have no class");
+  if (bounds_.size() == 1) {
+    return 0;
+  }
+  if (size <= linear_max_) {
+    return linear_map_[static_cast<std::size_t>(size)];
+  }
+  // size lies in (2^k, 2^(k+1)] with k >= log2(linear_max); that range is
+  // cut into `subdivisions_` bands of width 2^k / subdivisions_, so the
+  // band index is a shift.  The final class is unbounded.
+  const int k = std::bit_width(size - 1) - 1;
+  const WordCount base = WordCount{1} << k;
+  const std::size_t band =
+      static_cast<std::size_t>((size - base - 1) >> (k - subdivisions_log2_));
+  const std::size_t cls =
+      linear_classes_ +
+      static_cast<std::size_t>(k - linear_max_log2_) * subdivisions_ + band;
+  return cls < bounds_.size() - 1 ? cls : bounds_.size() - 1;
+}
+
+}  // namespace dsa

@@ -1,0 +1,69 @@
+// The size-class map of the segregated-fit allocator family.
+//
+// Requests are binned into classes: a linear region of `linear_step`-wide
+// classes up to `linear_max` (where most requests of a measured size mix
+// land), then a geometric region up to `geometric_max` where every
+// power-of-two range (2^k, 2^(k+1)] is subdivided into
+// `geometric_subdivisions` equal-width classes (dlmalloc-style: narrow
+// bins keep the in-class size slack at 1/subdivisions instead of 2x, which
+// is what lets a first-fit-in-class scan approximate best fit), then one
+// unbounded class for everything larger.  A precomputed index table makes
+// class lookup O(1) for the linear region; the geometric region resolves
+// with one bit-width computation and one divide by a power of two.  The
+// class of a request and the class of a free block use the same function,
+// so a block in any class above the request's is guaranteed to fit (its
+// size exceeds every size in lower classes).
+
+#ifndef SRC_ALLOC_SIZE_CLASS_H_
+#define SRC_ALLOC_SIZE_CLASS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/core/types.h"
+
+namespace dsa {
+
+struct SizeClassMapConfig {
+  WordCount linear_step{16};       // class width in the linear region
+  WordCount linear_max{256};       // last linear upper bound (multiple of step)
+  WordCount geometric_max{65536};  // last bounded upper bound (power of two)
+  // Classes per power-of-two range above linear_max (power of two,
+  // <= linear_max); 4 bounds in-class slack at 25%.
+  WordCount geometric_subdivisions{4};
+};
+
+class SizeClassMap {
+ public:
+  explicit SizeClassMap(SizeClassMapConfig config = {});
+
+  // A degenerate map with one class spanning every size.  With it (and
+  // eager coalescing) the segregated allocator's in-class first-fit scan
+  // degenerates to a plain address-ordered first fit — the parity anchor
+  // against VariableAllocator/FirstFitPlacement.
+  static SizeClassMap SingleClass();
+
+  // O(1): table lookup in the linear region, bit-width + power-of-two
+  // divide above it.
+  std::size_t ClassFor(WordCount size) const;
+
+  // Largest size the class holds (inclusive); the last class is unbounded.
+  WordCount UpperBound(std::size_t cls) const { return bounds_[cls]; }
+
+  std::size_t size() const { return bounds_.size(); }
+
+ private:
+  explicit SizeClassMap(std::vector<WordCount> bounds);
+
+  std::vector<WordCount> bounds_;        // inclusive upper bound per class
+  std::vector<std::size_t> linear_map_;  // size -> class for sizes <= linear_max
+  WordCount linear_max_{0};
+  std::size_t linear_classes_{0};
+  int linear_max_log2_{0};
+  std::size_t subdivisions_{1};
+  int subdivisions_log2_{0};
+};
+
+}  // namespace dsa
+
+#endif  // SRC_ALLOC_SIZE_CLASS_H_

@@ -1,0 +1,74 @@
+#include "src/alloc/slab_pool.h"
+
+#include "src/alloc/cost.h"
+#include "src/core/assert.h"
+#include "src/obs/tracer.h"
+
+namespace dsa {
+
+SlabPoolAllocator::SlabPoolAllocator(WordCount capacity, SlabPoolConfig config)
+    : capacity_((capacity / config.chunk_words) * config.chunk_words),
+      config_(config),
+      chunk_requested_(capacity / config.chunk_words, 0) {
+  DSA_ASSERT(config_.chunk_words > 0, "slab pool needs nonzero chunk size");
+  DSA_ASSERT(!chunk_requested_.empty(), "slab pool needs at least one chunk");
+  // Seed the stack so chunk 0 is granted first.
+  free_stack_.reserve(chunk_requested_.size());
+  for (std::size_t i = chunk_requested_.size(); i-- > 0;) {
+    free_stack_.push_back(i);
+  }
+}
+
+std::optional<Block> SlabPoolAllocator::Allocate(WordCount size) {
+  DSA_ASSERT(size > 0, "cannot allocate zero words");
+  ++stats_.allocations;
+  stats_.words_requested += size;
+  stats_.alloc_cycles += alloc_cost::kClassIndex + alloc_cost::kProbe;
+  if (size > config_.chunk_words || free_stack_.empty()) {
+    ++stats_.failures;
+    return std::nullopt;
+  }
+  const std::uint64_t chunk = free_stack_.back();
+  free_stack_.pop_back();
+  chunk_requested_[chunk] = size;
+  live_words_ += size;
+  reserved_words_ += config_.chunk_words;
+  stats_.words_allocated += config_.chunk_words;
+  const std::uint64_t addr = chunk * config_.chunk_words;
+  DSA_TRACE_EMIT(tracer_, EventKind::kAlloc, addr, size);
+  return Block{PhysicalAddress{addr}, config_.chunk_words};
+}
+
+void SlabPoolAllocator::Free(PhysicalAddress addr) {
+  DSA_ASSERT(addr.value % config_.chunk_words == 0, "free of misaligned slab address");
+  const std::uint64_t chunk = addr.value / config_.chunk_words;
+  DSA_ASSERT(chunk < chunk_requested_.size() && chunk_requested_[chunk] != 0,
+             "free of unknown chunk");
+  const WordCount requested = chunk_requested_[chunk];
+  chunk_requested_[chunk] = 0;
+  free_stack_.push_back(chunk);
+  live_words_ -= requested;
+  reserved_words_ -= config_.chunk_words;
+  ++stats_.frees;
+  stats_.free_cycles += alloc_cost::kProbe;
+  DSA_TRACE_EMIT(tracer_, EventKind::kFree, addr.value, requested);
+}
+
+std::vector<WordCount> SlabPoolAllocator::HoleSizes() const {
+  std::vector<WordCount> holes;
+  WordCount run = 0;
+  for (const WordCount requested : chunk_requested_) {
+    if (requested == 0) {
+      run += config_.chunk_words;
+    } else if (run > 0) {
+      holes.push_back(run);
+      run = 0;
+    }
+  }
+  if (run > 0) {
+    holes.push_back(run);
+  }
+  return holes;
+}
+
+}  // namespace dsa

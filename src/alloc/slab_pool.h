@@ -1,0 +1,60 @@
+// Fixed-size chunk pool: the uniform-unit end of the paper's
+// uniform-vs-variable spectrum, packaged behind the Allocator interface so
+// the bench grid can price its trade directly.  Every request is granted
+// one chunk; allocation and free are a stack push/pop — no search, no
+// coalescing, no external fragmentation — and the entire cost of that
+// simplicity is internal waste (chunk_words - requested) plus a hard
+// ceiling on request size.
+
+#ifndef SRC_ALLOC_SLAB_POOL_H_
+#define SRC_ALLOC_SLAB_POOL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/alloc/allocator.h"
+
+namespace dsa {
+
+struct SlabPoolConfig {
+  WordCount chunk_words{64};
+};
+
+class SlabPoolAllocator : public Allocator {
+ public:
+  // `capacity` is truncated to a whole number of chunks.
+  explicit SlabPoolAllocator(WordCount capacity, SlabPoolConfig config = {});
+
+  std::optional<Block> Allocate(WordCount size) override;
+  void Free(PhysicalAddress addr) override;
+
+  std::string name() const override {
+    return "slab-pool/" + std::to_string(config_.chunk_words);
+  }
+  WordCount capacity() const override { return capacity_; }
+  WordCount live_words() const override { return live_words_; }
+  WordCount reserved_words() const override { return reserved_words_; }
+  // Maximal runs of contiguous free chunks (holes never fragment below the
+  // chunk size, the design's whole point).
+  std::vector<WordCount> HoleSizes() const override;
+  const AllocatorStats& stats() const override { return stats_; }
+
+  WordCount chunk_words() const { return config_.chunk_words; }
+  std::size_t free_chunks() const { return free_stack_.size(); }
+
+ private:
+  WordCount capacity_;
+  SlabPoolConfig config_;
+  // requested words per chunk index; 0 = free.
+  std::vector<WordCount> chunk_requested_;
+  // LIFO free stack of chunk indices (top = most recently freed, so reuse
+  // is hottest-first, like a real slab's per-CPU magazine).
+  std::vector<std::uint64_t> free_stack_;
+  WordCount live_words_{0};
+  WordCount reserved_words_{0};
+  AllocatorStats stats_;
+};
+
+}  // namespace dsa
+
+#endif  // SRC_ALLOC_SLAB_POOL_H_

@@ -1,9 +1,22 @@
 #include "src/alloc/variable_allocator.h"
 
+#include "src/alloc/cost.h"
 #include "src/core/assert.h"
 #include "src/obs/tracer.h"
 
 namespace dsa {
+
+namespace {
+
+// Index-probing policies (best/worst fit) answer from the free list's
+// balanced by-size index; their honest search cost is the tree depth, not
+// the single "hole examined" they report.
+bool UsesSizeIndex(const PlacementPolicy& policy) {
+  return policy.kind() == PlacementStrategyKind::kBestFit ||
+         policy.kind() == PlacementStrategyKind::kWorstFit;
+}
+
+}  // namespace
 
 VariableAllocator::VariableAllocator(WordCount capacity, std::unique_ptr<PlacementPolicy> policy)
     : capacity_(capacity), policy_(std::move(policy)), free_(capacity) {
@@ -15,12 +28,19 @@ std::optional<Block> VariableAllocator::Allocate(WordCount size) {
   DSA_ASSERT(size > 0, "cannot allocate zero words");
   ++stats_.allocations;
   stats_.words_requested += size;
+  const std::uint64_t examined_before = policy_->holes_examined();
   const std::optional<PhysicalAddress> addr = policy_->Choose(free_, size);
+  stats_.alloc_cycles +=
+      UsesSizeIndex(*policy_)
+          ? alloc_cost::TreeDescent(free_.hole_count())
+          : (policy_->holes_examined() - examined_before) * alloc_cost::kProbe;
   if (!addr.has_value()) {
     ++stats_.failures;
     return std::nullopt;
   }
   free_.TakeRange(*addr, size);
+  // Carving also re-files any remainder in the by-size index.
+  stats_.alloc_cycles += alloc_cost::kCarve + alloc_cost::TreeDescent(free_.hole_count());
   live_.emplace(addr->value, size);
   live_words_ += size;
   stats_.words_allocated += size;
@@ -36,7 +56,12 @@ void VariableAllocator::Free(PhysicalAddress addr) {
   live_words_ -= size;
   ++stats_.frees;
   DSA_TRACE_EMIT(tracer_, EventKind::kFree, addr.value, size);
+  const std::size_t holes_before = free_.hole_count();
   free_.Insert(Block{addr, size});
+  // Inserting adds one hole; every coalescing merge removes one back.
+  const std::size_t merges = holes_before + 1 - free_.hole_count();
+  stats_.free_cycles += alloc_cost::TreeDescent(free_.hole_count()) +
+                        static_cast<Cycles>(merges) * alloc_cost::kMerge;
   policy_->NoteFree(addr, size);
 }
 

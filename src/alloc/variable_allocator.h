@@ -10,12 +10,13 @@
 #include <memory>
 
 #include "src/alloc/allocator.h"
+#include "src/alloc/compactible.h"
 #include "src/alloc/free_list.h"
 #include "src/alloc/placement.h"
 
 namespace dsa {
 
-class VariableAllocator : public Allocator {
+class VariableAllocator : public Allocator, public Compactible {
  public:
   VariableAllocator(WordCount capacity, std::unique_ptr<PlacementPolicy> policy);
 
@@ -32,8 +33,9 @@ class VariableAllocator : public Allocator {
   const PlacementPolicy& policy() const { return *policy_; }
   const FreeList& free_list() const { return free_; }
 
-  // Live blocks in address order (compaction input).
-  std::vector<Block> LiveBlocks() const;
+  // Compactible: live blocks in address order (compaction input).
+  std::vector<Block> LiveBlocks() const override;
+  std::size_t HoleCount() const override { return free_.hole_count(); }
 
   // Size of the live block starting at `addr`; asserts it exists.
   WordCount LiveBlockSize(PhysicalAddress addr) const;
@@ -41,7 +43,7 @@ class VariableAllocator : public Allocator {
   // Compaction support: atomically relocates the live block at `from` to
   // `to`, updating the free list.  The destination must be free (other than
   // any overlap with the block itself, which slide-down compaction creates).
-  void Relocate(PhysicalAddress from, PhysicalAddress to);
+  void Relocate(PhysicalAddress from, PhysicalAddress to) override;
 
  private:
   WordCount capacity_;

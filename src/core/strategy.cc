@@ -30,6 +30,10 @@ const char* ToString(PlacementStrategyKind kind) {
       return "buddy";
     case PlacementStrategyKind::kRiceChain:
       return "rice-chain";
+    case PlacementStrategyKind::kSegregatedFit:
+      return "segregated-fit";
+    case PlacementStrategyKind::kSlabPool:
+      return "slab-pool";
   }
   return "?";
 }

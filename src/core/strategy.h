@@ -28,7 +28,9 @@ enum class PlacementStrategyKind : std::uint8_t {
   kWorstFit,
   kTwoEnded,   // "large blocks ... at one end of storage and small blocks ... at the other"
   kBuddy,
-  kRiceChain,  // Appendix A.4: sequential placement + inactive-block chain
+  kRiceChain,      // Appendix A.4: sequential placement + inactive-block chain
+  kSegregatedFit,  // segregated size-class free lists + quick lists (post-paper design)
+  kSlabPool,       // fixed-size chunk pool (uniform unit inside a variable-unit world)
 };
 
 // "A replacement strategy is used to determine which informational units

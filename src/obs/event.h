@@ -47,6 +47,8 @@ enum class EventKind : std::uint8_t {
   kJobDeactivate,     // a=job, b=frames released by the swap-out
   kJobReactivate,     // a=job
   kLoadControl,       // a=LoadControlDecision, b=job (kNoJob), c=fault rate (ppm)
+  kSizeClassMiss,     // a=size class, b=requested words (quick + class lists both empty)
+  kDeferredCoalesce,  // a=parked blocks drained, b=words drained, c=boundary-tag merges
 };
 
 // Payload `b` of kFaultRecovery.

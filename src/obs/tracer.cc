@@ -38,6 +38,10 @@ const char* ToString(EventKind kind) {
       return "job-reactivate";
     case EventKind::kLoadControl:
       return "load-control";
+    case EventKind::kSizeClassMiss:
+      return "size-class-miss";
+    case EventKind::kDeferredCoalesce:
+      return "deferred-coalesce";
   }
   return "?";
 }
@@ -50,7 +54,8 @@ constexpr EventKind kAllKinds[] = {
     EventKind::kFrameEvict,    EventKind::kFrameRetire,     EventKind::kPageDemoted,
     EventKind::kAlloc,         EventKind::kFree,            EventKind::kCompaction,
     EventKind::kFaultRecovery, EventKind::kScheduleSwitch,  EventKind::kJobDeactivate,
-    EventKind::kJobReactivate, EventKind::kLoadControl,
+    EventKind::kJobReactivate, EventKind::kLoadControl,  EventKind::kSizeClassMiss,
+    EventKind::kDeferredCoalesce,
 };
 
 bool Equals(const char* a, const char* b) {
@@ -106,6 +111,10 @@ EventFieldNames FieldNamesFor(EventKind kind) {
       return {"job", nullptr, nullptr};
     case EventKind::kLoadControl:
       return {"decision", "job", "fault_ppm"};
+    case EventKind::kSizeClassMiss:
+      return {"class", "size", nullptr};
+    case EventKind::kDeferredCoalesce:
+      return {"drained", "words", "merges"};
   }
   return {nullptr, nullptr, nullptr};
 }

@@ -1,6 +1,12 @@
 #include "src/trace/allocation.h"
 
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <optional>
+#include <queue>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/core/assert.h"
@@ -39,13 +45,68 @@ const char* ToString(SizeDistribution distribution) {
       return "bimodal";
     case SizeDistribution::kFixed:
       return "fixed";
+    case SizeDistribution::kZipf:
+      return "zipf";
   }
   return "?";
 }
 
 namespace {
 
-WordCount DrawSize(const AllocationTraceParams& params, Rng* rng) {
+// Weighted discrete sampler over a fixed size table: cumulative weights +
+// binary search, so one Draw costs one uniform double.
+class SizeTable {
+ public:
+  SizeTable(std::vector<WordCount> sizes, std::vector<double> weights)
+      : sizes_(std::move(sizes)) {
+    cumulative_.reserve(weights.size());
+    double total = 0.0;
+    for (const double w : weights) {
+      total += w;
+      cumulative_.push_back(total);
+    }
+    for (double& c : cumulative_) {
+      c /= total;
+    }
+  }
+
+  WordCount Draw(Rng* rng) const {
+    const double u = rng->NextDouble();
+    const auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+    const std::size_t idx =
+        it == cumulative_.end() ? cumulative_.size() - 1
+                                : static_cast<std::size_t>(it - cumulative_.begin());
+    return sizes_[idx];
+  }
+
+ private:
+  std::vector<WordCount> sizes_;
+  std::vector<double> cumulative_;
+};
+
+SizeTable MakeZipfTable(const AllocationTraceParams& params) {
+  DSA_ASSERT(params.zipf_distinct_sizes >= 1, "zipf needs at least one size");
+  const std::size_t n = params.zipf_distinct_sizes;
+  std::vector<WordCount> sizes;
+  std::vector<double> weights;
+  sizes.reserve(n);
+  weights.reserve(n);
+  // Rank 0 = min_size, last rank = max_size, geometric spacing between;
+  // duplicate sizes from integer rounding just merge probability mass.
+  const double lo = static_cast<double>(params.min_size);
+  const double hi = static_cast<double>(params.max_size);
+  for (std::size_t r = 0; r < n; ++r) {
+    const double t = n == 1 ? 0.0 : static_cast<double>(r) / static_cast<double>(n - 1);
+    const double raw = lo * std::exp(t * std::log(hi / lo));
+    auto size = static_cast<WordCount>(raw + 0.5);
+    size = std::min(std::max(size, params.min_size), params.max_size);
+    sizes.push_back(size);
+    weights.push_back(1.0 / std::pow(static_cast<double>(r + 1), params.zipf_theta));
+  }
+  return SizeTable(std::move(sizes), std::move(weights));
+}
+
+WordCount DrawSize(const AllocationTraceParams& params, const SizeTable* zipf, Rng* rng) {
   switch (params.distribution) {
     case SizeDistribution::kUniform:
       return rng->Between(params.min_size, params.max_size);
@@ -57,6 +118,8 @@ WordCount DrawSize(const AllocationTraceParams& params, Rng* rng) {
       return rng->Chance(params.large_fraction) ? params.large_size : params.small_size;
     case SizeDistribution::kFixed:
       return params.mean_size < 1.0 ? 1 : static_cast<WordCount>(params.mean_size);
+    case SizeDistribution::kZipf:
+      return zipf->Draw(rng);
   }
   return params.min_size;
 }
@@ -70,6 +133,11 @@ AllocationTrace MakeAllocationTrace(const AllocationTraceParams& params) {
   AllocationTrace trace;
   trace.label = std::string("alloc-") + ToString(params.distribution);
   trace.ops.reserve(params.operations);
+
+  std::optional<SizeTable> zipf;
+  if (params.distribution == SizeDistribution::kZipf) {
+    zipf.emplace(MakeZipfTable(params));
+  }
 
   std::vector<std::uint64_t> live;  // request ids currently allocated
   std::uint64_t next_request = 0;
@@ -85,11 +153,109 @@ AllocationTrace MakeAllocationTrace(const AllocationTraceParams& params) {
       live[victim] = live.back();
       live.pop_back();
     } else {
-      const WordCount size = DrawSize(params, &rng);
+      const WordCount size = DrawSize(params, zipf ? &*zipf : nullptr, &rng);
       trace.ops.push_back({AllocOpKind::kAllocate, next_request, size});
       live.push_back(next_request);
       ++next_request;
     }
+  }
+  return trace;
+}
+
+AllocationTrace MakePhaseAllocationTrace(const PhaseTraceParams& params) {
+  DSA_ASSERT(params.phases >= 1, "phase trace needs at least one phase");
+  DSA_ASSERT(params.sizes_per_phase >= 1, "phase trace needs at least one size per phase");
+  DSA_ASSERT(params.small_min >= 1 && params.small_min <= params.small_max,
+             "bad small size range");
+  DSA_ASSERT(params.large_min >= 1 && params.large_min <= params.large_max,
+             "bad large size range");
+  Rng rng(params.seed);
+  AllocationTrace trace;
+  trace.label = "alloc-phase";
+  trace.ops.reserve(params.operations + 2 * params.phases * params.large_per_phase);
+
+  const std::size_t ops_per_phase = params.operations / params.phases;
+  std::vector<std::uint64_t> live;  // churning small objects
+  std::uint64_t next_request = 0;
+
+  for (std::size_t phase = 0; phase < params.phases; ++phase) {
+    // The phase's private size vocabulary.
+    std::vector<WordCount> sizes(params.sizes_per_phase);
+    for (WordCount& s : sizes) {
+      s = rng.Between(params.small_min, params.small_max);
+    }
+    // Phase-scoped large objects, live until the phase ends.
+    std::vector<std::uint64_t> phase_large;
+    for (std::size_t i = 0; i < params.large_per_phase; ++i) {
+      const WordCount size = rng.Between(params.large_min, params.large_max);
+      trace.ops.push_back({AllocOpKind::kAllocate, next_request, size});
+      phase_large.push_back(next_request);
+      ++next_request;
+    }
+    // Small-object churn over the phase vocabulary.
+    for (std::size_t i = 0; i < ops_per_phase; ++i) {
+      const bool at_steady_state = live.size() >= params.target_live;
+      const bool do_free =
+          !live.empty() && (at_steady_state ? rng.Chance(0.5) : rng.Chance(0.1));
+      if (do_free) {
+        const std::size_t victim = rng.Below(live.size());
+        trace.ops.push_back({AllocOpKind::kFree, live[victim], 0});
+        live[victim] = live.back();
+        live.pop_back();
+      } else {
+        const WordCount size = sizes[rng.Below(sizes.size())];
+        trace.ops.push_back({AllocOpKind::kAllocate, next_request, size});
+        live.push_back(next_request);
+        ++next_request;
+      }
+    }
+    // The phase-end cliff: every large object dies at once.
+    for (const std::uint64_t request : phase_large) {
+      trace.ops.push_back({AllocOpKind::kFree, request, 0});
+    }
+  }
+  return trace;
+}
+
+AllocationTrace MakeMeasuredAllocationTrace(const MeasuredTraceParams& params) {
+  DSA_ASSERT(params.allocations >= 1, "measured trace needs allocations");
+  Rng rng(params.seed);
+  AllocationTrace trace;
+  trace.label = "alloc-measured";
+  trace.ops.reserve(2 * params.allocations);
+
+  // Size spectrum distilled from published malloc workload studies: the
+  // small sizes dominate heavily and the tail is sparse powers of two.
+  static const std::vector<WordCount> kSizes = {8,   12,  16,  24,  32,   48,   64,
+                                                96,  128, 192, 256, 512,  1024, 2048};
+  static const std::vector<double> kWeights = {18, 14, 16, 10, 12, 7, 8,
+                                               4,  4,  2,  2,  1.5, 1, 0.5};
+  const SizeTable table(kSizes, kWeights);
+
+  // Death clock: (death time, request id) min-heap; std::greater makes the
+  // earliest death pop first, ties broken by request id for determinism.
+  using Death = std::pair<std::uint64_t, std::uint64_t>;
+  std::priority_queue<Death, std::vector<Death>, std::greater<Death>> deaths;
+
+  std::uint64_t next_request = 0;
+  for (std::uint64_t t = 0; t < params.allocations; ++t) {
+    while (!deaths.empty() && deaths.top().first <= t) {
+      trace.ops.push_back({AllocOpKind::kFree, deaths.top().second, 0});
+      deaths.pop();
+    }
+    const WordCount size = table.Draw(&rng);
+    trace.ops.push_back({AllocOpKind::kAllocate, next_request, size});
+    const double mean_life =
+        rng.Chance(params.long_fraction) ? params.long_lifetime : params.short_lifetime;
+    const std::uint64_t life = rng.ExponentialSize(mean_life, params.allocations);
+    deaths.emplace(t + life, next_request);
+    ++next_request;
+  }
+  // Run the clock out so the trace ends near-empty (final fragmentation is
+  // then a property of the allocator, not of an arbitrary cut).
+  while (!deaths.empty()) {
+    trace.ops.push_back({AllocOpKind::kFree, deaths.top().second, 0});
+    deaths.pop();
   }
   return trace;
 }

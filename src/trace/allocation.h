@@ -47,6 +47,7 @@ enum class SizeDistribution : std::uint8_t {
   kExponential,  // many small, few large (typical segment populations)
   kBimodal,      // small working segments + occasional large arrays
   kFixed,        // all requests the same size (the degenerate paging-friendly case)
+  kZipf,         // popularity-ranked distinct sizes (real heaps reuse few sizes a lot)
 };
 
 struct AllocationTraceParams {
@@ -58,6 +59,12 @@ struct AllocationTraceParams {
   WordCount small_size{32};         // for kBimodal
   WordCount large_size{2048};       // for kBimodal
   double large_fraction{0.1};       // for kBimodal
+  // kZipf: rank r (0-based, most popular first) has weight 1/(r+1)^theta
+  // over `zipf_distinct_sizes` distinct sizes spaced geometrically from
+  // min_size (rank 0) to max_size (last rank) — popular sizes are small,
+  // the shape segregated quick lists are built for.
+  double zipf_theta{1.1};
+  std::size_t zipf_distinct_sizes{32};
   // Steady-state control: probability that the next op frees a live object
   // instead of allocating, once `target_live` objects exist.
   std::size_t target_live{256};
@@ -68,6 +75,45 @@ struct AllocationTraceParams {
 // holds a churn steady state, freeing objects chosen uniformly at random
 // (exponential lifetimes).
 AllocationTrace MakeAllocationTrace(const AllocationTraceParams& params);
+
+// Phase-model workload: computation proceeds in phases, each reusing a
+// small private set of distinct sizes (tight size locality — the quick
+// lists' best case) plus a few large long-lived objects that all die
+// together when the phase ends (the bulk-free cliff that punishes designs
+// with expensive coalescing).
+struct PhaseTraceParams {
+  std::size_t operations{20000};
+  std::size_t phases{8};
+  // Distinct small sizes active within one phase, drawn per phase from
+  // [small_min, small_max].
+  std::size_t sizes_per_phase{4};
+  WordCount small_min{8};
+  WordCount small_max{192};
+  // Long-lived large objects allocated at phase start, freed at phase end.
+  std::size_t large_per_phase{6};
+  WordCount large_min{512};
+  WordCount large_max{2048};
+  std::size_t target_live{256};
+  std::uint64_t seed{23};
+};
+
+AllocationTrace MakePhaseAllocationTrace(const PhaseTraceParams& params);
+
+// Measured workload: request sizes drawn from an empirical histogram (the
+// size spectrum malloc studies keep reporting — dense small sizes, sparse
+// powers of two above) and bimodal object lifetimes (most objects die
+// young, a fixed fraction lives ~30x longer).  Frees are scheduled by a
+// death clock rather than uniform victim choice, so free order correlates
+// with allocation order like real heaps.
+struct MeasuredTraceParams {
+  std::size_t allocations{10000};
+  double short_lifetime{48.0};  // mean ops until death for short-lived objects
+  double long_lifetime{1500.0};
+  double long_fraction{0.2};
+  std::uint64_t seed{37};
+};
+
+AllocationTrace MakeMeasuredAllocationTrace(const MeasuredTraceParams& params);
 
 const char* ToString(SizeDistribution distribution);
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/alloc/compaction.h"
+#include "src/alloc/variable_allocator.h"
 
 namespace dsa {
 namespace {

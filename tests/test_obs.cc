@@ -162,7 +162,7 @@ TEST(EventExportTest, CsvHasFixedHeaderAndPositionalSlots) {
 }
 
 TEST(EventExportTest, EveryKindHasAStableWireName) {
-  for (int k = 0; k <= static_cast<int>(EventKind::kLoadControl); ++k) {
+  for (int k = 0; k <= static_cast<int>(EventKind::kDeferredCoalesce); ++k) {
     const EventKind kind = static_cast<EventKind>(k);
     EventKind back;
     ASSERT_TRUE(EventKindFromString(ToString(kind), &back)) << ToString(kind);

@@ -1,0 +1,196 @@
+// Property suites for the segregated allocator family.
+//
+//   parity      a SegregatedFitAllocator collapsed to one size class with
+//               quick lists disabled IS address-ordered first fit: on random
+//               traces it must bit-match VariableAllocator+FirstFitPlacement
+//               — every placement, every failure, every hole.
+//   invariants  under random churn with quick lists on, the structural
+//               audit (block-map tiling, exact index membership, no dual
+//               membership, byte conservation) holds at every step.
+//   compaction  PrepareForCompaction leaves zero parked words, and packing
+//               a quick-listed heap produces the same single hole an eager
+//               heap would.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/alloc/compaction.h"
+#include "src/alloc/segregated_fit.h"
+#include "src/alloc/variable_allocator.h"
+#include "src/core/rng.h"
+#include "src/trace/allocation.h"
+
+namespace dsa {
+namespace {
+
+constexpr WordCount kCapacity = 1u << 14;
+
+SegregatedFitConfig FirstFitParityConfig() {
+  SegregatedFitConfig config;
+  config.single_class = true;
+  config.quick_list_capacity = 0;
+  config.min_split_remainder = 1;  // FreeList splits any nonzero remainder
+  return config;
+}
+
+AllocationTrace RandomTrace(std::uint64_t seed, std::size_t operations) {
+  AllocationTraceParams params;
+  params.operations = operations;
+  params.distribution = SizeDistribution::kExponential;
+  params.min_size = 1;
+  params.max_size = 1024;
+  params.mean_size = 96.0;
+  params.target_live = 96;
+  params.seed = seed;
+  return MakeAllocationTrace(params);
+}
+
+TEST(SegregatedParityProperty, SingleClassEagerIsFirstFit) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const AllocationTrace trace = RandomTrace(seed, 4000);
+    SegregatedFitAllocator seg(kCapacity, FirstFitParityConfig());
+    VariableAllocator ref(kCapacity, MakePlacementPolicy(PlacementStrategyKind::kFirstFit));
+
+    std::unordered_map<std::uint64_t, PhysicalAddress> seg_live;
+    std::unordered_map<std::uint64_t, PhysicalAddress> ref_live;
+    std::size_t step = 0;
+    for (const AllocOp& op : trace.ops) {
+      ++step;
+      if (op.kind == AllocOpKind::kAllocate) {
+        const auto a = seg.Allocate(op.size);
+        const auto b = ref.Allocate(op.size);
+        ASSERT_EQ(a.has_value(), b.has_value())
+            << "seed " << seed << " step " << step << " size " << op.size;
+        if (a) {
+          ASSERT_EQ(a->addr, b->addr) << "seed " << seed << " step " << step;
+          ASSERT_EQ(a->size, b->size) << "seed " << seed << " step " << step;
+          seg_live.emplace(op.request, a->addr);
+          ref_live.emplace(op.request, b->addr);
+        }
+      } else {
+        const auto sit = seg_live.find(op.request);
+        if (sit != seg_live.end()) {
+          seg.Free(sit->second);
+          ref.Free(ref_live.at(op.request));
+          seg_live.erase(sit);
+          ref_live.erase(op.request);
+        }
+      }
+      if (step % 256 == 0) {
+        ASSERT_EQ(seg.HoleSizes(), ref.HoleSizes()) << "seed " << seed << " step " << step;
+      }
+    }
+    EXPECT_EQ(seg.HoleSizes(), ref.HoleSizes()) << "seed " << seed;
+    EXPECT_EQ(seg.stats().failures, ref.stats().failures) << "seed " << seed;
+    EXPECT_EQ(seg.live_words(), ref.live_words()) << "seed " << seed;
+    std::string error;
+    EXPECT_TRUE(seg.CheckInvariants(&error)) << "seed " << seed << ": " << error;
+  }
+}
+
+TEST(SegregatedInvariantProperty, ChurnPreservesStructuralInvariants) {
+  for (std::uint64_t seed = 11; seed <= 14; ++seed) {
+    const AllocationTrace trace = RandomTrace(seed, 6000);
+    SegregatedFitAllocator alloc(kCapacity);  // quick lists on, default config
+    std::unordered_map<std::uint64_t, PhysicalAddress> live;
+    std::size_t step = 0;
+    std::string error;
+    for (const AllocOp& op : trace.ops) {
+      ++step;
+      if (op.kind == AllocOpKind::kAllocate) {
+        if (const auto block = alloc.Allocate(op.size)) {
+          live.emplace(op.request, block->addr);
+        }
+      } else if (const auto it = live.find(op.request); it != live.end()) {
+        alloc.Free(it->second);
+        live.erase(it);
+      }
+      if (step % 64 == 0) {
+        ASSERT_TRUE(alloc.CheckInvariants(&error))
+            << "seed " << seed << " step " << step << ": " << error;
+      }
+    }
+    ASSERT_TRUE(alloc.CheckInvariants(&error)) << "seed " << seed << ": " << error;
+  }
+}
+
+TEST(SegregatedInvariantProperty, ZipfPhaseAndMeasuredTracesReplayClean) {
+  std::vector<AllocationTrace> traces;
+  AllocationTraceParams zipf;
+  zipf.operations = 4000;
+  zipf.distribution = SizeDistribution::kZipf;
+  zipf.min_size = 8;
+  zipf.max_size = 1024;
+  zipf.target_live = 128;
+  zipf.seed = 21;
+  traces.push_back(MakeAllocationTrace(zipf));
+  PhaseTraceParams phase;
+  phase.operations = 4000;
+  phase.seed = 22;
+  traces.push_back(MakePhaseAllocationTrace(phase));
+  MeasuredTraceParams measured;
+  measured.allocations = 2000;
+  measured.seed = 23;
+  traces.push_back(MakeMeasuredAllocationTrace(measured));
+
+  for (const AllocationTrace& trace : traces) {
+    SegregatedFitAllocator alloc(1u << 16);
+    std::unordered_map<std::uint64_t, PhysicalAddress> live;
+    for (const AllocOp& op : trace.ops) {
+      if (op.kind == AllocOpKind::kAllocate) {
+        if (const auto block = alloc.Allocate(op.size)) {
+          live.emplace(op.request, block->addr);
+        }
+      } else if (const auto it = live.find(op.request); it != live.end()) {
+        alloc.Free(it->second);
+        live.erase(it);
+      }
+    }
+    std::string error;
+    EXPECT_TRUE(alloc.CheckInvariants(&error)) << trace.label << ": " << error;
+    // The measured trace frees everything it allocated; a fully drained
+    // heap must coalesce back to one hole.
+    if (trace.label == "alloc-measured" && alloc.live_words() == 0) {
+      alloc.DrainQuickLists();
+      EXPECT_EQ(alloc.HoleSizes().size(), 1u);
+    }
+  }
+}
+
+TEST(SegregatedCompactionProperty, DrainBeforePackLeavesZeroParked) {
+  for (std::uint64_t seed = 31; seed <= 34; ++seed) {
+    const AllocationTrace trace = RandomTrace(seed, 3000);
+    SegregatedFitAllocator alloc(kCapacity);
+    std::unordered_map<std::uint64_t, PhysicalAddress> live;
+    for (const AllocOp& op : trace.ops) {
+      if (op.kind == AllocOpKind::kAllocate) {
+        if (const auto block = alloc.Allocate(op.size)) {
+          live.emplace(op.request, block->addr);
+        }
+      } else if (const auto it = live.find(op.request); it != live.end()) {
+        alloc.Free(it->second);
+        live.erase(it);
+      }
+    }
+    CompactionEngine engine(CpuPackingChannel());
+    const CompactionResult result = engine.Compact(&alloc, nullptr);
+    EXPECT_EQ(alloc.parked_words(), 0u) << "seed " << seed;
+    EXPECT_EQ(alloc.parked_blocks(), 0u) << "seed " << seed;
+    EXPECT_LE(result.holes_after, 1u) << "seed " << seed;
+    // Packed: live blocks tile [0, reserved_words).
+    WordCount next = 0;
+    for (const Block& block : alloc.LiveBlocks()) {
+      ASSERT_EQ(block.addr.value, next) << "seed " << seed;
+      next += block.size;
+    }
+    EXPECT_EQ(next, alloc.reserved_words()) << "seed " << seed;
+    std::string error;
+    EXPECT_TRUE(alloc.CheckInvariants(&error)) << "seed " << seed << ": " << error;
+  }
+}
+
+}  // namespace
+}  // namespace dsa

@@ -1,0 +1,238 @@
+// Checkpoint save/load cost versus simulator state size (EXPERIMENTS.md E15).
+//
+// Each grid cell builds a PagedLinearVm at a given frame count, steps a
+// working-set trace far enough to populate the frame table, allocator,
+// binmaps, and metrics with real mid-run state, then measures:
+//
+//   state_bytes     the sealed snapshot size (deterministic — part of the
+//                   committed reference; growth should track frame count.
+//                   The 24-bit address mapper's page table sets a constant
+//                   floor, so the per-frame slope sits on a large base)
+//   save_seconds    wall-clock to serialize + seal, best of several reps
+//   load_seconds    wall-clock to verify + restore into a fresh instance
+//
+// The gate is the property the service mode stands on, checked in every
+// cell: the restored VM must RE-SERIALIZE TO THE IDENTICAL BYTES, and
+// stepping both instances another stretch of trace must produce identical
+// reports.  Either divergence exits non-zero, so check.sh and CI catch a
+// serialization regression even if no unit test names the broken field.
+//
+// Usage: bench_resume [--quick] [--out PATH]
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_meta.h"
+#include "src/core/snapshot.h"
+#include "src/obs/vm_metrics.h"
+#include "src/trace/synthetic.h"
+#include "src/vm/paged_vm.h"
+#include "src/vm/system_builder.h"
+
+namespace {
+
+constexpr dsa::WordCount kPageWords = 64;
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+dsa::SystemSpec SpecForFrames(std::size_t frames) {
+  dsa::SystemSpec spec;
+  spec.label = "bench-resume";
+  spec.core_words = static_cast<dsa::WordCount>(frames) * kPageWords;
+  spec.page_words = kPageWords;
+  spec.tlb_entries = 8;
+  // The drum scales with the core it backs, so state_bytes tracks the
+  // simulated machine's size instead of a fixed worst-case name space.
+  const dsa::WordCount drum_words =
+      static_cast<dsa::WordCount>(frames) * kPageWords * 4;
+  spec.backing_level = dsa::MakeDrumLevel("drum", drum_words, /*word_time=*/2,
+                                          /*rotational_delay=*/500);
+  return spec;
+}
+
+dsa::ReferenceTrace TraceForFrames(std::size_t frames, std::size_t refs) {
+  dsa::WorkingSetTraceParams params;
+  // Working set ~1.5x core so replacement stays busy and most frames end up
+  // holding a page with real LRU/FIFO list positions to serialize.
+  params.extent = static_cast<dsa::WordCount>(frames) * kPageWords * 3 / 2;
+  params.region_words = kPageWords;
+  params.regions_per_phase = frames / 2 + 1;
+  params.phases = 4;
+  params.phase_length = refs / 4;
+  params.seed = 0xbe7c4;
+  return dsa::MakeWorkingSetTrace(params);
+}
+
+struct Cell {
+  std::size_t frames{0};
+  std::size_t refs{0};
+  std::size_t state_bytes{0};
+  double save_seconds{0};
+  double load_seconds{0};
+  bool gate_ok{false};
+};
+
+Cell RunCell(std::size_t frames, std::size_t refs, int reps) {
+  Cell cell;
+  cell.frames = frames;
+  cell.refs = refs;
+
+  const dsa::SystemSpec spec = SpecForFrames(frames);
+  const dsa::ReferenceTrace trace = TraceForFrames(frames, refs);
+  dsa::PagedLinearVm vm(dsa::PagedConfigFromSpec(spec));
+  // Step to a mid-run cut, holding back a tail for the continuation check.
+  const std::size_t cut = trace.refs.size() * 3 / 4;
+  for (std::size_t i = 0; i < cut; ++i) {
+    vm.Step(trace.refs[i]);
+  }
+
+  // Save cost: best-of-reps, each rep a full serialize + seal.
+  std::string sealed;
+  double best_save = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const double t0 = Now();
+    dsa::SnapshotWriter w;
+    vm.SaveState(&w);
+    sealed = w.Seal();
+    const double dt = Now() - t0;
+    if (rep == 0 || dt < best_save) {
+      best_save = dt;
+    }
+  }
+  cell.state_bytes = sealed.size();
+  cell.save_seconds = best_save;
+
+  // Load cost: header verification + full restore into a fresh instance.
+  double best_load = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    dsa::PagedLinearVm fresh(dsa::PagedConfigFromSpec(spec));
+    const double t0 = Now();
+    dsa::SnapshotReader r(sealed);
+    fresh.LoadState(&r);
+    const double dt = Now() - t0;
+    if (!r.ok() || !r.AtEnd()) {
+      std::fprintf(stderr, "bench_resume: load failed at %zu frames: %s\n",
+                   frames, r.error().Describe().c_str());
+      return cell;
+    }
+    if (rep == 0 || dt < best_load) {
+      best_load = dt;
+    }
+  }
+  cell.load_seconds = best_load;
+
+  // Gate 1: the restored instance re-serializes to the identical bytes.
+  dsa::PagedLinearVm restored(dsa::PagedConfigFromSpec(spec));
+  {
+    dsa::SnapshotReader r(sealed);
+    restored.LoadState(&r);
+    if (!r.ok() || !r.AtEnd()) {
+      return cell;
+    }
+  }
+  dsa::SnapshotWriter again;
+  restored.SaveState(&again);
+  if (again.Seal() != sealed) {
+    std::fprintf(stderr,
+                 "bench_resume: GATE: restored state re-serializes "
+                 "differently at %zu frames\n",
+                 frames);
+    return cell;
+  }
+
+  // Gate 2: both instances step the trace tail to identical reports.
+  for (std::size_t i = cut; i < trace.refs.size(); ++i) {
+    vm.Step(trace.refs[i]);
+    restored.Step(trace.refs[i]);
+  }
+  const std::string a =
+      RenderVmReport(vm.Snapshot(), Describe(vm.characteristics()), "tail");
+  const std::string b = RenderVmReport(restored.Snapshot(),
+                                       Describe(restored.characteristics()), "tail");
+  if (a != b) {
+    std::fprintf(stderr,
+                 "bench_resume: GATE: continuation diverged at %zu frames\n",
+                 frames);
+    return cell;
+  }
+  cell.gate_ok = true;
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  const char* out_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  std::vector<std::size_t> frame_grid = {64, 256, 1024};
+  if (!quick) {
+    frame_grid.push_back(4096);
+    frame_grid.push_back(16384);
+  }
+  const std::size_t refs = quick ? 20000 : 100000;
+  const int reps = quick ? 3 : 7;
+
+  std::vector<Cell> cells;
+  bool gate_failed = false;
+  for (std::size_t frames : frame_grid) {
+    const Cell cell = RunCell(frames, refs, reps);
+    if (!cell.gate_ok) {
+      gate_failed = true;
+    }
+    cells.push_back(cell);
+  }
+
+  std::FILE* out = out_path ? std::fopen(out_path, "w") : stdout;
+  if (!out) {
+    std::fprintf(stderr, "bench_resume: cannot open %s\n", out_path);
+    return 2;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"bench_resume\",\n");
+  std::fprintf(out, "  \"quick\": %s,\n", quick ? "true" : "false");
+  bench_meta::WriteHostStamp(out, quick);
+  std::fprintf(out,
+               "  \"config\": {\"page_words\": %llu, \"refs_per_cell\": %zu, "
+               "\"reps\": %d},\n",
+               static_cast<unsigned long long>(kPageWords), refs, reps);
+  std::fprintf(out, "  \"grid\": [\n");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    std::fprintf(out,
+                 "    {\"frames\": %zu, \"state_bytes\": %zu, "
+                 "\"save_seconds\": %.6f, \"load_seconds\": %.6f, "
+                 "\"restore_identical\": %s}%s\n",
+                 c.frames, c.state_bytes, c.save_seconds, c.load_seconds,
+                 c.gate_ok ? "true" : "false", i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"gate\": {\"byte_identical_restore\": %s}\n",
+               gate_failed ? "false" : "true");
+  std::fprintf(out, "}\n");
+  if (out != stdout) {
+    std::fclose(out);
+  }
+  if (gate_failed) {
+    std::fprintf(stderr, "bench_resume: restore gate FAILED\n");
+    return 1;
+  }
+  return 0;
+}

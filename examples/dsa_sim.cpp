@@ -26,10 +26,31 @@
 //                             (sorted by name) through its own instance of the
 //                             configured system, sharded --jobs wide, and print
 //                             per-tenant reports in name order plus a merged
-//                             aggregate (order-independent registry merge)
+//                             aggregate (order-independent registry merge).
+//                             A malformed file is skipped and reported; exit
+//                             code 3 distinguishes "some cells rejected" from
+//                             0 "all cells ran"
 //     --jobs N                worker count for --batch (default: DSA_JOBS env,
 //                             else 1; 0 = hardware width).  Results are
 //                             byte-identical at any worker count.
+//     --serve SPOOL           crash-consistent service mode: admit every trace
+//                             file in SPOOL (rescanned between rounds) as a
+//                             tenant of a resident multi-tenant loop with
+//                             periodic checkpoints; on restart the loop
+//                             resumes from the last committed checkpoint and
+//                             produces byte-identical outputs.  Exit code 3:
+//                             some tenants rejected
+//     --out DIR               service outputs (per-tenant report + event
+//                             JSONL, SERVICE.txt); default SPOOL.out
+//     --checkpoint DIR        checkpoint store directory; default SPOOL.ckpt
+//     --checkpoint-every N    simulated cycles between checkpoint commits
+//                             (default 200000; 0 = only at completions)
+//     --max-active N          cross-tenant concurrency cap (default 0 = all)
+//     --drain                 serve only what is spooled at startup (no
+//                             rescans), then exit
+//     --crash-after N         abandon the service (exit 137, no flush) after
+//                             N checkpoint commits — the deterministic kill
+//                             point scripts/soak_resume.sh drives
 //
 // Examples:
 //   dsa_sim --name-space symseg --unit blocks --replacement clock
@@ -37,23 +58,22 @@
 //   dsa_sim --dump-trace /tmp/t.trace && dsa_sim --trace /tmp/t.trace
 //   dsa_sim --trace=/tmp/events.jsonl
 //   dsa_sim --batch /tmp/tenants --jobs 0 --trace=/tmp/batch-events
+//   dsa_sim --serve /tmp/spool --out /tmp/spool.out --checkpoint-every 50000
 
-#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
 
-#include "src/exec/sweep_runner.h"
 #include "src/exec/thread_pool.h"
 #include "src/obs/export.h"
-#include "src/obs/merge.h"
 #include "src/obs/tracer.h"
 #include "src/obs/verifier.h"
 #include "src/obs/vm_metrics.h"
+#include "src/serve/batch.h"
+#include "src/serve/service.h"
 #include "src/trace/synthetic.h"
 #include "src/trace/trace_io.h"
 #include "src/vm/system_builder.h"
@@ -107,137 +127,36 @@ dsa::ReferenceTrace GenerateWorkload(const std::string& kind) {
   std::exit(2);
 }
 
-// One tenant of a --batch run: its own parse, its own system instance, its
-// own tracer and metrics registry.  Cells share only the immutable spec, so
-// the sweep can shard them across threads; everything order-sensitive
-// (printing, file writes, verification, the registry merge) happens after
-// the sweep in slot order.
-struct BatchCell {
-  std::string label;        // file name (the tenant id)
-  std::string error;        // nonempty: the cell failed (parse/IO)
-  std::string report_text;  // rendered report block
-  std::uint64_t references{0};
-  dsa::MetricsRegistry metrics;
-  std::vector<dsa::TraceEvent> events;
-};
-
-int RunBatch(const dsa::SystemSpec& base_spec, const std::string& batch_dir,
-             unsigned jobs, const std::string& event_trace_prefix) {
-  std::vector<std::filesystem::path> files;
-  std::error_code ec;
-  for (const auto& entry : std::filesystem::directory_iterator(batch_dir, ec)) {
-    if (entry.is_regular_file()) {
-      files.push_back(entry.path());
-    }
-  }
-  if (ec) {
-    std::fprintf(stderr, "dsa_sim: cannot read --batch directory %s: %s\n",
-                 batch_dir.c_str(), ec.message().c_str());
+// Runs service mode and prints the outcome summary.  Exit codes: 0 served
+// everything, 3 some tenants rejected, 2 environment/config errors, 137
+// (after a hard _Exit) when --crash-after abandoned the loop mid-run.
+int RunServe(const dsa::SystemSpec& spec, const dsa::ServeConfig& config,
+             bool crash_after_set) {
+  dsa::ServiceLoop loop(spec, config);
+  auto outcome = loop.Run();
+  if (!outcome.has_value()) {
+    std::fprintf(stderr, "dsa_sim: serve: %s\n", outcome.error().Describe().c_str());
     return 2;
   }
-  if (files.empty()) {
-    std::fprintf(stderr, "dsa_sim: --batch directory %s holds no trace files\n",
-                 batch_dir.c_str());
-    return 2;
+  for (const std::string& line : outcome->quarantined) {
+    std::fprintf(stderr, "dsa_sim: serve: quarantined: %s\n", line.c_str());
   }
-  // Name order is the cell order, so the merged output is a function of the
-  // directory contents alone, not of readdir() or scheduling order.
-  std::sort(files.begin(), files.end());
-
-  dsa::SweepRunner runner(jobs);
-  std::printf("== batch: %zu traces from %s (jobs=%u) ==\n\n", files.size(),
-              batch_dir.c_str(), runner.jobs());
-
-  const bool capture = !event_trace_prefix.empty();
-  const std::vector<BatchCell> cells = runner.Run(files.size(), [&](std::size_t i) {
-    BatchCell cell;
-    cell.label = files[i].filename().string();
-    std::ifstream in(files[i]);
-    if (!in) {
-      cell.error = "cannot open trace file";
-      return cell;
-    }
-    auto parsed = dsa::ReadReferenceTrace(&in);
-    if (!parsed.has_value()) {
-      cell.error = "line " + std::to_string(parsed.error().line) + ": " +
-                   parsed.error().message;
-      return cell;
-    }
-    dsa::ReferenceTrace trace = std::move(parsed.value());
-
-    dsa::SystemSpec spec = base_spec;  // per-cell copy; the tracer differs
-    dsa::EventTracer tracer(/*capacity=*/0);
-    if (capture) {
-      spec.tracer = &tracer;
-    }
-    const auto system = dsa::BuildSystem(spec);
-    const dsa::VmReport report = system->Run(trace);
-    cell.references = report.references;
-    cell.report_text = dsa::RenderVmReport(
-        report, dsa::Describe(system->characteristics()), cell.label);
-    FillVmMetrics(report, &cell.metrics);
-    if (capture) {
-      cell.events = tracer.Snapshot();
-    }
-    return cell;
-  });
-
-  // Slot-order fold: per-tenant reports, per-cell verification + export,
-  // and the aggregate registry are all pure functions of the cell results.
-  dsa::TraceVerifierConfig verifier_config;
-  if (base_spec.page_words != 0) {
-    verifier_config.frame_count =
-        static_cast<std::size_t>(base_spec.core_words / base_spec.page_words);
+  for (const std::string& line : outcome->rejected) {
+    std::fprintf(stderr, "dsa_sim: serve: rejected: %s\n", line.c_str());
   }
-  dsa::MetricsRegistry aggregate;
-  int status = 0;
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    const BatchCell& cell = cells[i];
-    std::printf("-- tenant %zu: %s\n", i, cell.label.c_str());
-    if (!cell.error.empty()) {
-      std::fprintf(stderr, "dsa_sim: %s: %s\n", cell.label.c_str(), cell.error.c_str());
-      status = 2;
-      continue;
-    }
-    std::fputs(cell.report_text.c_str(), stdout);
-    dsa::MergeRegistryInto(&aggregate, cell.metrics);
-    if (capture) {
-      const std::string path =
-          event_trace_prefix + "." + std::to_string(i) + ".jsonl";
-      std::ofstream out(path);
-      if (!out) {
-        std::fprintf(stderr, "dsa_sim: cannot open %s\n", path.c_str());
-        status = 2;
-        continue;
-      }
-      dsa::WriteEventsJsonl(cell.events, &out);
-      const auto violations =
-          dsa::TraceReplayVerifier(verifier_config).Verify(cell.events);
-      std::printf("event trace      %zu events -> %s (%s)\n", cell.events.size(),
-                  path.c_str(), violations.empty() ? "verified" : "VERIFIER VIOLATIONS");
-      if (!violations.empty()) {
-        std::fputs(dsa::TraceReplayVerifier::Describe(violations).c_str(), stderr);
-        status = 1;
-      }
-    }
-    std::printf("\n");
+  if (!outcome->finished) {
+    // The deterministic kill point: leave the process the way SIGKILL
+    // would — no flushing, no destructors — so resume starts from exactly
+    // the committed cut.
+    std::fflush(nullptr);
+    std::_Exit(137);
   }
-
-  const std::uint64_t references = aggregate.CounterValue("vm/references");
-  const std::uint64_t faults = aggregate.CounterValue("vm/faults");
-  std::printf("== batch aggregate (%zu tenants) ==\n", cells.size());
-  std::printf("references       %llu\n", static_cast<unsigned long long>(references));
-  std::printf("faults           %llu  (rate %.5f)\n",
-              static_cast<unsigned long long>(faults),
-              references == 0 ? 0.0
-                              : static_cast<double>(faults) / static_cast<double>(references));
-  std::printf("write-backs      %llu\n",
-              static_cast<unsigned long long>(aggregate.CounterValue("vm/writebacks")));
-  std::printf("total cycles     %llu\n",
-              static_cast<unsigned long long>(aggregate.CounterValue("vm/total_cycles")));
-  std::printf("wait cycles      %llu\n",
-              static_cast<unsigned long long>(aggregate.CounterValue("vm/wait_cycles")));
-  return status;
+  std::printf(
+      "== serve: %zu completed (%zu resumed), %zu rejected, %llu commits -> %s ==\n",
+      outcome->tenants_completed, outcome->tenants_resumed, outcome->tenants_rejected,
+      static_cast<unsigned long long>(outcome->commits), config.out_dir.c_str());
+  (void)crash_after_set;
+  return outcome->tenants_rejected > 0 ? 3 : 0;
 }
 
 }  // namespace
@@ -247,6 +166,13 @@ int main(int argc, char** argv) {
   std::string event_trace_file;
   std::string dump_file;
   std::string batch_dir;
+  std::string spool_dir;
+  std::string out_dir;
+  std::string checkpoint_dir;
+  dsa::Cycles checkpoint_every = 200000;
+  std::size_t max_active = 0;
+  bool drain = false;
+  int crash_after = -1;
   unsigned jobs = dsa::JobsFromEnv(/*fallback=*/1);
   std::string gen_kind = "working-set";
   dsa::SystemSpec spec;
@@ -275,6 +201,20 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--batch") {
       batch_dir = next();
+    } else if (arg == "--serve") {
+      spool_dir = next();
+    } else if (arg == "--out") {
+      out_dir = next();
+    } else if (arg == "--checkpoint") {
+      checkpoint_dir = next();
+    } else if (arg == "--checkpoint-every") {
+      checkpoint_every = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--max-active") {
+      max_active = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--drain") {
+      drain = true;
+    } else if (arg == "--crash-after") {
+      crash_after = static_cast<int>(std::strtol(next().c_str(), nullptr, 10));
     } else if (arg == "--jobs") {
       jobs = static_cast<unsigned>(std::strtoul(next().c_str(), nullptr, 10));
       if (jobs == 0) {
@@ -357,6 +297,22 @@ int main(int argc, char** argv) {
   }
   spec.backing_level = dsa::MakeDrumLevel("drum", 1u << 22, /*word_time=*/2, drum_latency);
 
+  if (!spool_dir.empty()) {
+    if (!batch_dir.empty() || !trace_file.empty() || !dump_file.empty()) {
+      Usage(argv[0], "--serve is exclusive with --batch / --trace FILE / --dump-trace");
+    }
+    dsa::ServeConfig serve_config;
+    serve_config.spool_dir = spool_dir;
+    serve_config.out_dir = out_dir.empty() ? spool_dir + ".out" : out_dir;
+    serve_config.checkpoint_dir =
+        checkpoint_dir.empty() ? spool_dir + ".ckpt" : checkpoint_dir;
+    serve_config.checkpoint_every = checkpoint_every;
+    serve_config.load_control.max_active = max_active;
+    serve_config.stop_after_commits = crash_after;
+    serve_config.rescan_spool = !drain;
+    return RunServe(spec, serve_config, crash_after >= 0);
+  }
+
   if (!batch_dir.empty()) {
     if (!trace_file.empty() || !dump_file.empty()) {
       Usage(argv[0], "--batch is exclusive with --trace FILE / --dump-trace");
@@ -367,7 +323,11 @@ int main(int argc, char** argv) {
                    "relocation handle; pick --name-space linseg/symseg or --unit pages\n");
       return 2;
     }
-    return RunBatch(spec, batch_dir, jobs, event_trace_file);
+    dsa::BatchOptions batch_options;
+    batch_options.dir = batch_dir;
+    batch_options.jobs = jobs;
+    batch_options.event_trace_prefix = event_trace_file;
+    return RunBatch(spec, batch_options);
   }
 
   // Obtain the workload.

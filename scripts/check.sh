@@ -4,8 +4,8 @@
 #   scripts/check.sh              # configure, build, ctest by label, benches
 #   DSA_SANITIZE=address scripts/check.sh   # same, under ASan
 #
-# ctest runs as four labelled passes (unit, golden, property, soak) so a
-# failure names the class of breakage immediately; --no-tests=error turns a
+# ctest runs as five labelled passes (unit, golden, property, soak, resume)
+# so a failure names the class of breakage immediately; --no-tests=error turns a
 # label with zero registered tests into a failure instead of a silent green
 # pass.  The quick bench outputs land in
 # build/ — the committed BENCH_*.json files at the repo root are full-run
@@ -21,7 +21,7 @@ fi
 
 cmake -B build -S . "${SANITIZE_ARGS[@]}"
 cmake --build build -j
-for label in unit golden property soak; do
+for label in unit golden property soak resume; do
   echo "== ctest -L ${label}"
   # Note -j needs an explicit count: a bare `-j` makes ctest swallow the
   # following -L flag and run the whole suite unfiltered.
@@ -40,3 +40,6 @@ done
 # mean allocation cycles at equal-or-better external fragmentation on the
 # zipf/phase traces.
 ./build/bench/bench_alloc --quick --out build/BENCH_alloc.quick.json
+# bench_resume exits non-zero if checkpoint restore stops being
+# byte-identical or the restored VM diverges when stepped onward.
+./build/bench/bench_resume --quick --out build/BENCH_resume.quick.json

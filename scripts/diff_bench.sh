@@ -22,7 +22,7 @@ strip_timing() {
 }
 
 cmake -B build -S . > /dev/null
-cmake --build build -j --target bench_throughput bench_degradation bench_overload bench_alloc > /dev/null
+cmake --build build -j --target bench_throughput bench_degradation bench_overload bench_alloc bench_resume > /dev/null
 
 mkdir -p build/bench_diff
 ./build/bench/bench_throughput --quick --out build/bench_diff/throughput.json > /dev/null
@@ -32,18 +32,22 @@ mkdir -p build/bench_diff
 # generated at --jobs 1, so this diff also proves the grid is byte-identical
 # across sweep widths.
 ./build/bench/bench_alloc --quick --jobs 2 --out build/bench_diff/alloc.json > /dev/null
+# bench_resume exits non-zero if a checkpointed VM fails to restore to the
+# identical bytes or diverges when stepped past the restore point.
+./build/bench/bench_resume --quick --out build/bench_diff/resume.json > /dev/null
 
 if [[ "${1:-}" == "--regen" ]]; then
   strip_timing build/bench_diff/throughput.json > BENCH_throughput.quick.json
   strip_timing build/bench_diff/degradation.json > BENCH_degradation.quick.json
   strip_timing build/bench_diff/overload.json > BENCH_overload.quick.json
   strip_timing build/bench_diff/alloc.json > BENCH_alloc.quick.json
-  echo "rewrote BENCH_{throughput,degradation,overload,alloc}.quick.json"
+  strip_timing build/bench_diff/resume.json > BENCH_resume.quick.json
+  echo "rewrote BENCH_{throughput,degradation,overload,alloc,resume}.quick.json"
   exit 0
 fi
 
 status=0
-for name in throughput degradation overload alloc; do
+for name in throughput degradation overload alloc resume; do
   strip_timing "build/bench_diff/${name}.json" > "build/bench_diff/${name}.stripped.json"
   if ! diff -u "BENCH_${name}.quick.json" "build/bench_diff/${name}.stripped.json"; then
     echo "bench_${name}: deterministic results drifted from BENCH_${name}.quick.json" >&2

@@ -1,0 +1,143 @@
+#!/usr/bin/env bash
+# Kill-and-resume soak: proves the service mode's crash-consistency claim
+# with REAL process kills, not just in-process stop points.
+#
+#   scripts/soak_resume.sh            # full matrix: deterministic kill
+#                                     # points + randomized SIGKILLs
+#   scripts/soak_resume.sh --quick    # 3 randomized kill points (CI sizing)
+#   scripts/soak_resume.sh --jobs 4   # shard the randomized matrix
+#
+# Protocol, per kill point:
+#   1. run `dsa_sim --serve` against a fixed spool and SIGKILL it (or let
+#      --crash-after _Exit(137) at a deterministic commit count),
+#   2. restart the same command until it exits 0 (the daemon supervisor
+#      loop), re-killing at new random points along the way in full mode,
+#   3. byte-compare every per-tenant report, every event JSONL, and
+#      SERVICE.txt against a straight-through run that was never killed.
+#
+# Any surviving difference — a lost event, a doubled metric, a resumed
+# replacement decision that diverged — fails the soak.  Randomized kill
+# delays come from $RANDOM seeded with a fixed value, so a failure
+# reproduces with the same seed.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+QUICK=0
+JOBS=1
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --quick) QUICK=1; shift ;;
+    --jobs) JOBS="$2"; shift 2 ;;
+    *) echo "usage: $0 [--quick] [--jobs N]" >&2; exit 2 ;;
+  esac
+done
+
+cmake -B build -S . > /dev/null
+cmake --build build -j --target dsa_sim > /dev/null
+
+SIM=build/examples/dsa_sim
+WORK=$(mktemp -d /tmp/dsa_soak_resume.XXXXXX)
+trap 'rm -rf "$WORK"' EXIT
+
+# Fixed workload: three tenants with different localities.
+mkdir -p "$WORK/spool"
+"$SIM" --gen loop --dump-trace "$WORK/spool/loop.trace" > /dev/null
+"$SIM" --gen zipf --dump-trace "$WORK/spool/zipf.trace" > /dev/null
+"$SIM" --gen working-set --dump-trace "$WORK/spool/ws.trace" > /dev/null
+
+SERVE_ARGS=(--serve "$WORK/spool" --checkpoint-every 50000 --drain)
+
+echo "== soak_resume: straight-through reference"
+"$SIM" "${SERVE_ARGS[@]}" --out "$WORK/ref" --checkpoint "$WORK/ref.ckpt" > /dev/null
+
+# Runs one kill-and-resume cell in $1 (its private out/ckpt prefix); the
+# remaining args are either "det <commits>" (deterministic --crash-after)
+# or "rand <seed>" (SIGKILL after a random delay).
+run_cell() {
+  local prefix="$1" mode="$2" param="$3"
+  local out="$prefix.out" ckpt="$prefix.ckpt"
+  rm -rf "$out" "$ckpt"
+
+  if [[ "$mode" == det ]]; then
+    # Deterministic kill: the process _Exit(137)s itself mid-loop.
+    "$SIM" "${SERVE_ARGS[@]}" --out "$out" --checkpoint "$ckpt" \
+      --crash-after "$param" > /dev/null 2>&1 && {
+        echo "cell $prefix: --crash-after $param finished instead of dying" >&2
+        return 1
+      }
+  else
+    # Randomized SIGKILL: let the service run for a random slice of its
+    # runtime, then kill -9 the whole process.
+    RANDOM=$param
+    local delay_ms=$(( (RANDOM % 400) + 20 ))
+    "$SIM" "${SERVE_ARGS[@]}" --out "$out" --checkpoint "$ckpt" > /dev/null 2>&1 &
+    local pid=$!
+    local waited=0
+    while kill -0 "$pid" 2>/dev/null && (( waited < delay_ms )); do
+      sleep 0.01
+      waited=$((waited + 10))
+    done
+    if kill -9 "$pid" 2>/dev/null; then
+      wait "$pid" 2>/dev/null || true
+    else
+      # The run beat the timer; that cell still checks restart-idempotence.
+      wait "$pid" 2>/dev/null || true
+    fi
+  fi
+
+  # Supervisor loop: restart until clean exit (bounded).
+  local attempt
+  for attempt in 1 2 3 4 5 6; do
+    if "$SIM" "${SERVE_ARGS[@]}" --out "$out" --checkpoint "$ckpt" > /dev/null 2>&1; then
+      break
+    fi
+    if (( attempt == 6 )); then
+      echo "cell $prefix: never reached a clean exit" >&2
+      return 1
+    fi
+  done
+
+  if ! diff -r "$WORK/ref" "$out" > /dev/null; then
+    echo "cell $prefix: output tree differs from the uninterrupted run:" >&2
+    diff -r "$WORK/ref" "$out" >&2 || true
+    return 1
+  fi
+  return 0
+}
+
+# Build the cell list: mode param pairs.
+CELLS=()
+if [[ $QUICK == 1 ]]; then
+  CELLS+=("rand 101" "rand 202" "rand 303")
+else
+  CELLS+=("det 1" "det 3" "det 10" "det 40")
+  for seed in 101 202 303 404 505 606 707 808; do
+    CELLS+=("rand $seed")
+  done
+fi
+
+echo "== soak_resume: ${#CELLS[@]} kill cells (jobs=$JOBS)"
+fail=0
+running=0
+pids=()
+for i in "${!CELLS[@]}"; do
+  read -r mode param <<< "${CELLS[$i]}"
+  run_cell "$WORK/cell$i" "$mode" "$param" &
+  pids+=($!)
+  running=$((running + 1))
+  if (( running >= JOBS )); then
+    wait "${pids[0]}" || fail=1
+    pids=("${pids[@]:1}")
+    running=$((running - 1))
+  fi
+done
+for pid in "${pids[@]}"; do
+  wait "$pid" || fail=1
+done
+
+if (( fail )); then
+  echo "soak_resume: FAILED — resumed runs diverged from the reference" >&2
+  exit 1
+fi
+echo "soak_resume: OK — every kill-and-resume run is byte-identical"

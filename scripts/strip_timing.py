@@ -25,7 +25,7 @@ import sys
 # already-stripped file is a no-op.
 _NUM = r"(?:[0-9.eE+-]+|null)"
 
-_DROPPED = ("seconds", "refs_per_sec")
+_DROPPED = ("seconds", "refs_per_sec", "save_seconds", "load_seconds")
 _NULLED = ("speedup",)
 # Header objects removed as whole lines (machine context, not results).
 _DROPPED_LINES = ("host",)

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/alloc/block.h"
+#include "src/core/snapshot.h"
 #include "src/core/types.h"
 #include "src/obs/event.h"
 #include "src/stats/fragmentation.h"
@@ -39,6 +40,30 @@ struct AllocatorStats {
     return frees == 0 ? 0.0 : static_cast<double>(free_cycles) / static_cast<double>(frees);
   }
 };
+
+inline void SaveAllocatorStats(SnapshotWriter* w, const AllocatorStats& stats) {
+  w->U64(stats.allocations);
+  w->U64(stats.failures);
+  w->U64(stats.frees);
+  w->U64(stats.words_requested);
+  w->U64(stats.words_allocated);
+  w->U64(stats.alloc_cycles);
+  w->U64(stats.free_cycles);
+}
+
+inline void LoadAllocatorStats(SnapshotReader* r, AllocatorStats* stats) {
+  AllocatorStats loaded;
+  loaded.allocations = r->U64();
+  loaded.failures = r->U64();
+  loaded.frees = r->U64();
+  loaded.words_requested = r->U64();
+  loaded.words_allocated = r->U64();
+  loaded.alloc_cycles = r->U64();
+  loaded.free_cycles = r->U64();
+  if (r->ok()) {
+    *stats = loaded;
+  }
+}
 
 class Allocator {
  public:

@@ -12,8 +12,37 @@
 #include <cstdint>
 
 #include "src/core/assert.h"
+#include "src/core/snapshot.h"
 
 namespace dsa {
+
+// The complete externalized state of an Rng: the Seed() argument (retained
+// for Fork() lineage, so a restored generator forks the same child streams)
+// plus the four xoshiro256** state words.  A value type on purpose — the
+// checkpoint layer serializes it, and Restore() is the only way back in.
+struct RngState {
+  std::uint64_t seed{0};
+  std::array<std::uint64_t, 4> words{};
+
+  friend bool operator==(const RngState&, const RngState&) = default;
+};
+
+// Snapshot helpers shared by everything that checkpoints a generator.
+inline void SaveRngState(SnapshotWriter* w, const RngState& state) {
+  w->U64(state.seed);
+  for (std::uint64_t word : state.words) {
+    w->U64(word);
+  }
+}
+
+inline RngState LoadRngState(SnapshotReader* r) {
+  RngState state;
+  state.seed = r->U64();
+  for (std::uint64_t& word : state.words) {
+    word = r->U64();
+  }
+  return state;
+}
 
 class Rng {
  public:
@@ -47,6 +76,18 @@ class Rng {
   // with a second Weyl constant), so parent and child sequences do not
   // overlap over any practical draw horizon; tests/test_core.cc pins this
   // over 2^17 draws.
+  // Explicit stream capture and resumption for checkpoint/restore.  Copying
+  // a generator stays deleted — State()/Restore() are deliberate acts with a
+  // serialization boundary between them, not a way to alias a live stream.
+  // A restored generator draws the identical continuation sequence and
+  // forks identical children (tests/test_snapshot.cc pins both over 2^17
+  // draws).
+  RngState State() const { return RngState{seed_, state_}; }
+  void Restore(const RngState& state) {
+    seed_ = state.seed;
+    state_ = state.words;
+  }
+
   Rng Fork(std::uint64_t stream) const {
     std::uint64_t x = seed_;
     std::uint64_t mixed = SplitMix64(&x) ^ (0xd1b54a32d192ed03ULL * (stream + 1));

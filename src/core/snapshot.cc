@@ -1,0 +1,252 @@
+#include "src/core/snapshot.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace dsa {
+
+namespace {
+
+constexpr char kMagic[8] = {'D', 'S', 'A', 'S', 'N', 'A', 'P', '1'};
+constexpr std::size_t kHeaderBytes = 8 + 4 + 8 + 8;  // magic, version, length, fnv
+
+void AppendLe(std::string* out, std::uint64_t v, int bytes) {
+  for (int i = 0; i < bytes; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint64_t ParseLe(const char* p, int bytes) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < bytes; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+const char* ToString(SnapshotErrorKind kind) {
+  switch (kind) {
+    case SnapshotErrorKind::kTruncated:
+      return "truncated";
+    case SnapshotErrorKind::kBadMagic:
+      return "bad-magic";
+    case SnapshotErrorKind::kStaleVersion:
+      return "stale-version";
+    case SnapshotErrorKind::kBadChecksum:
+      return "bad-checksum";
+    case SnapshotErrorKind::kBadValue:
+      return "bad-value";
+    case SnapshotErrorKind::kIo:
+      return "io";
+  }
+  return "?";
+}
+
+std::string SnapshotError::Describe() const {
+  std::string out = ToString(kind);
+  if (!detail.empty()) {
+    out += ": ";
+    out += detail;
+  }
+  return out;
+}
+
+std::uint64_t Fnv64(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void SnapshotWriter::U32(std::uint32_t v) { AppendLe(&payload_, v, 4); }
+
+void SnapshotWriter::U64(std::uint64_t v) { AppendLe(&payload_, v, 8); }
+
+void SnapshotWriter::F64(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  U64(bits);
+}
+
+void SnapshotWriter::Str(const std::string& s) {
+  U64(s.size());
+  payload_.append(s);
+}
+
+void SnapshotWriter::Bytes(std::string_view bytes) {
+  U64(bytes.size());
+  payload_.append(bytes);
+}
+
+std::string SnapshotWriter::Seal() const {
+  std::string out;
+  out.reserve(kHeaderBytes + payload_.size());
+  out.append(kMagic, sizeof(kMagic));
+  AppendLe(&out, kSnapshotFormatVersion, 4);
+  AppendLe(&out, payload_.size(), 8);
+  AppendLe(&out, Fnv64(payload_), 8);
+  out.append(payload_);
+  return out;
+}
+
+SnapshotReader::SnapshotReader(std::string_view sealed) {
+  if (sealed.size() < kHeaderBytes) {
+    Fail(SnapshotErrorKind::kTruncated, "shorter than the snapshot header");
+    return;
+  }
+  if (std::memcmp(sealed.data(), kMagic, sizeof(kMagic)) != 0) {
+    Fail(SnapshotErrorKind::kBadMagic, "missing DSASNAP1 magic");
+    return;
+  }
+  const std::uint64_t version = ParseLe(sealed.data() + 8, 4);
+  if (version != kSnapshotFormatVersion) {
+    Fail(SnapshotErrorKind::kStaleVersion,
+         "format version " + std::to_string(version) + ", expected " +
+             std::to_string(kSnapshotFormatVersion));
+    return;
+  }
+  const std::uint64_t length = ParseLe(sealed.data() + 12, 8);
+  const std::uint64_t checksum = ParseLe(sealed.data() + 20, 8);
+  if (sealed.size() - kHeaderBytes != length) {
+    Fail(SnapshotErrorKind::kTruncated,
+         "payload holds " + std::to_string(sealed.size() - kHeaderBytes) +
+             " bytes, header promised " + std::to_string(length));
+    return;
+  }
+  payload_ = sealed.substr(kHeaderBytes);
+  if (Fnv64(payload_) != checksum) {
+    Fail(SnapshotErrorKind::kBadChecksum, "payload bytes do not match the recorded fnv64");
+    payload_ = {};
+  }
+}
+
+void SnapshotReader::Fail(SnapshotErrorKind kind, std::string detail) {
+  if (!ok_) {
+    return;  // first failure wins
+  }
+  ok_ = false;
+  error_.kind = kind;
+  error_.detail = std::move(detail);
+}
+
+bool SnapshotReader::Need(std::size_t n) {
+  if (!ok_) {
+    return false;
+  }
+  if (payload_.size() - pos_ < n) {
+    Fail(SnapshotErrorKind::kTruncated, "field read past the end of the payload");
+    return false;
+  }
+  return true;
+}
+
+std::uint8_t SnapshotReader::U8() {
+  if (!Need(1)) {
+    return 0;
+  }
+  return static_cast<std::uint8_t>(static_cast<unsigned char>(payload_[pos_++]));
+}
+
+std::uint32_t SnapshotReader::U32() {
+  if (!Need(4)) {
+    return 0;
+  }
+  const std::uint64_t v = ParseLe(payload_.data() + pos_, 4);
+  pos_ += 4;
+  return static_cast<std::uint32_t>(v);
+}
+
+std::uint64_t SnapshotReader::U64() {
+  if (!Need(8)) {
+    return 0;
+  }
+  const std::uint64_t v = ParseLe(payload_.data() + pos_, 8);
+  pos_ += 8;
+  return v;
+}
+
+double SnapshotReader::F64() {
+  const std::uint64_t bits = U64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string SnapshotReader::Str() {
+  const std::uint64_t n = U64();
+  if (!Need(n)) {
+    return {};
+  }
+  std::string s(payload_.substr(pos_, n));
+  pos_ += n;
+  return s;
+}
+
+std::uint64_t SnapshotReader::Count(std::uint64_t limit) {
+  const std::uint64_t n = U64();
+  if (ok_ && n > limit) {
+    Fail(SnapshotErrorKind::kBadValue,
+         "count " + std::to_string(n) + " exceeds limit " + std::to_string(limit));
+    return 0;
+  }
+  return ok_ ? n : 0;
+}
+
+Status<SnapshotError> WriteFileAtomic(const std::string& path, std::string_view sealed) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return MakeUnexpected(SnapshotError{SnapshotErrorKind::kIo,
+                                        "cannot open " + tmp + ": " + std::strerror(errno)});
+  }
+  bool write_ok = sealed.empty() || std::fwrite(sealed.data(), 1, sealed.size(), f) == sealed.size();
+  // Flush through libc and the kernel before the rename: the rename must
+  // never publish a name whose bytes are still in flight.
+  write_ok = write_ok && std::fflush(f) == 0 && fsync(fileno(f)) == 0;
+  if (std::fclose(f) != 0) {
+    write_ok = false;
+  }
+  if (!write_ok) {
+    std::remove(tmp.c_str());
+    return MakeUnexpected(
+        SnapshotError{SnapshotErrorKind::kIo, "cannot write " + tmp + ": " + std::strerror(errno)});
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return MakeUnexpected(SnapshotError{SnapshotErrorKind::kIo, "cannot rename " + tmp + " over " +
+                                                                    path + ": " +
+                                                                    std::strerror(errno)});
+  }
+  return Ok();
+}
+
+Expected<std::string, SnapshotError> ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return MakeUnexpected(SnapshotError{SnapshotErrorKind::kIo,
+                                        "cannot open " + path + ": " + std::strerror(errno)});
+  }
+  std::string bytes;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.append(buf, n);
+  }
+  const bool read_ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!read_ok) {
+    return MakeUnexpected(
+        SnapshotError{SnapshotErrorKind::kIo, "cannot read " + path + ": " + std::strerror(errno)});
+  }
+  return bytes;
+}
+
+}  // namespace dsa

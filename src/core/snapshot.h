@@ -1,0 +1,133 @@
+// Versioned, checksummed binary snapshots — the serialization substrate of
+// the crash-consistent service mode (src/serve).
+//
+// A snapshot is a byte string with a fixed header
+//
+//   magic "DSASNAP1" | format version u32 | payload length u64 | fnv64(payload)
+//
+// followed by the payload: fixed-width little-endian primitives written by
+// SnapshotWriter and read back by SnapshotReader.  Components serialize
+// themselves with SaveState(SnapshotWriter*) / LoadState(SnapshotReader*)
+// member functions; every container is written in a deterministic order
+// (address order, registration order, list order), so a snapshot of a given
+// state is byte-identical on every platform — the property that lets the
+// kill-and-resume soak compare checkpoints and outputs byte for byte.
+//
+// Failure discipline: a corrupt, truncated, stale, or tampered snapshot is
+// DATA, not a bug.  Nothing in this layer aborts; the reader latches the
+// first error (typed SnapshotError) and every subsequent Read returns a
+// zero value, so load paths are straight-line code with one ok() check at
+// the end.  DSA_ASSERT is deliberately absent from every load path.
+
+#ifndef SRC_CORE_SNAPSHOT_H_
+#define SRC_CORE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/expected.h"
+
+namespace dsa {
+
+// The snapshot container format version.  Bump on any layout change; a
+// reader faced with a different version reports kStaleVersion instead of
+// guessing at field offsets.
+inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+
+enum class SnapshotErrorKind : std::uint8_t {
+  kTruncated,     // fewer bytes than the header or payload promised
+  kBadMagic,      // not a snapshot at all
+  kStaleVersion,  // written by a different format version
+  kBadChecksum,   // payload bytes do not hash to the recorded fnv64
+  kBadValue,      // a field parsed but violates a structural invariant
+  kIo,            // the underlying file could not be read or written
+};
+
+const char* ToString(SnapshotErrorKind kind);
+
+struct SnapshotError {
+  SnapshotErrorKind kind{SnapshotErrorKind::kBadValue};
+  std::string detail;
+
+  std::string Describe() const;
+};
+
+// FNV-1a 64-bit over a byte range; the snapshot payload checksum.
+std::uint64_t Fnv64(std::string_view bytes);
+
+class SnapshotWriter {
+ public:
+  void U8(std::uint8_t v) { payload_.push_back(static_cast<char>(v)); }
+  void Bool(bool v) { U8(v ? 1 : 0); }
+  void U32(std::uint32_t v);
+  void U64(std::uint64_t v);
+  // Doubles are bit-cast through u64: the simulator's doubles are pure
+  // functions of integer state, so bit-exact round-tripping is both
+  // achievable and required.
+  void F64(double v);
+  void Str(const std::string& s);
+  void Bytes(std::string_view bytes);
+
+  // Finalized snapshot: header + payload.
+  std::string Seal() const;
+
+  std::size_t payload_size() const { return payload_.size(); }
+
+ private:
+  std::string payload_;
+};
+
+class SnapshotReader {
+ public:
+  // Verifies magic, version, length, and checksum before any field reads;
+  // a reader constructed over corrupt bytes starts out already failed.
+  explicit SnapshotReader(std::string_view sealed);
+
+  bool ok() const { return ok_; }
+  const SnapshotError& error() const { return error_; }
+
+  // Latches `kind` as this reader's error (first failure wins).  Component
+  // LoadState implementations call this for structural violations.
+  void Fail(SnapshotErrorKind kind, std::string detail);
+
+  // Primitive reads.  After a failure they return zero values and never
+  // touch out-of-range memory, so callers need no per-field checks.
+  std::uint8_t U8();
+  bool Bool() { return U8() != 0; }
+  std::uint32_t U32();
+  std::uint64_t U64();
+  double F64();
+  std::string Str();
+
+  // A U64 that must fit a size the caller is about to allocate; anything
+  // above `limit` fails the reader (a corrupt length must not become a
+  // multi-gigabyte allocation).
+  std::uint64_t Count(std::uint64_t limit);
+
+  // True when every payload byte has been consumed (load paths end with
+  // this to reject trailing garbage).
+  bool AtEnd() const { return !ok_ || pos_ == payload_.size(); }
+
+ private:
+  bool Need(std::size_t n);
+
+  std::string_view payload_;
+  std::size_t pos_{0};
+  bool ok_{true};
+  SnapshotError error_;
+};
+
+// Writes `sealed` to `path` crash-atomically: write to `<path>.tmp`, flush
+// to disk, rename over `path`.  A reader never observes a torn file — it
+// sees the old content or the new, which is the foundation the checkpoint
+// store's manifest protocol builds on.
+Status<SnapshotError> WriteFileAtomic(const std::string& path, std::string_view sealed);
+
+// Reads a whole file; kIo when it cannot be opened or read.
+Expected<std::string, SnapshotError> ReadFileBytes(const std::string& path);
+
+}  // namespace dsa
+
+#endif  // SRC_CORE_SNAPSHOT_H_

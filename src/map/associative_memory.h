@@ -14,6 +14,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/core/snapshot.h"
 #include "src/core/types.h"
 
 namespace dsa {
@@ -36,6 +37,40 @@ class AssociativeMemory {
   // Drops one mapping (page replaced) or all (program switch).
   void Invalidate(std::uint64_t key);
   void InvalidateAll();
+
+  // Checkpoint serialization: slot contents in stored order (order matters —
+  // LRU eviction scans linearly and ties break by position) plus the hit
+  // counters.  The memory must be constructed with the same capacity.
+  void SaveState(SnapshotWriter* w) const {
+    w->U64(slots_.size());
+    for (const Slot& slot : slots_) {
+      w->U64(slot.key);
+      w->U64(slot.value);
+      w->U64(slot.last_use);
+    }
+    w->U64(hits_);
+    w->U64(misses_);
+  }
+  void LoadState(SnapshotReader* r) {
+    const std::uint64_t count = r->Count(entries_);
+    std::vector<Slot> slots;
+    slots.reserve(count);
+    for (std::uint64_t i = 0; i < count && r->ok(); ++i) {
+      Slot slot{};
+      slot.key = r->U64();
+      slot.value = r->U64();
+      slot.last_use = r->U64();
+      slots.push_back(slot);
+    }
+    const std::uint64_t hits = r->U64();
+    const std::uint64_t misses = r->U64();
+    if (!r->ok()) {
+      return;
+    }
+    slots_ = std::move(slots);
+    hits_ = hits;
+    misses_ = misses;
+  }
 
   std::size_t size() const { return slots_.size(); }
   std::uint64_t hits() const { return hits_; }

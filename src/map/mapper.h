@@ -9,6 +9,7 @@
 #include <string>
 
 #include "src/core/expected.h"
+#include "src/core/snapshot.h"
 #include "src/core/types.h"
 #include "src/map/fault.h"
 
@@ -40,6 +41,25 @@ class AddressMapper {
     return translations_ == 0
                ? 0.0
                : static_cast<double>(translation_cycles_) / static_cast<double>(translations_);
+  }
+
+  // The shared accounting block, serialized by every concrete mapper's
+  // SaveState/LoadState alongside its own state.
+  void SaveAccounting(SnapshotWriter* w) const {
+    w->U64(translations_);
+    w->U64(faults_);
+    w->U64(translation_cycles_);
+  }
+  void LoadAccounting(SnapshotReader* r) {
+    const std::uint64_t translations = r->U64();
+    const std::uint64_t faults = r->U64();
+    const Cycles cycles = r->U64();
+    if (!r->ok()) {
+      return;
+    }
+    translations_ = translations;
+    faults_ = faults;
+    translation_cycles_ = cycles;
   }
 
  protected:

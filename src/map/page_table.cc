@@ -93,6 +93,92 @@ void PageTableMapper::Unmap(PageId page) {
   }
 }
 
+void PageTable::SaveState(SnapshotWriter* w) const {
+  w->U64(entries_.size());
+  for (const PageTableEntry& entry : entries_) {
+    w->Bool(entry.present);
+    w->U64(entry.frame.value);
+  }
+}
+
+void PageTable::LoadState(SnapshotReader* r) {
+  const std::uint64_t count = r->U64();
+  if (r->ok() && count != entries_.size()) {
+    r->Fail(SnapshotErrorKind::kBadValue, "page table size mismatch");
+  }
+  std::vector<PageTableEntry> entries(entries_.size());
+  for (PageTableEntry& entry : entries) {
+    entry.present = r->Bool();
+    entry.frame = FrameId{r->U64()};
+  }
+  if (!r->ok()) {
+    return;
+  }
+  entries_ = std::move(entries);
+}
+
+void PageTableMapper::SaveState(SnapshotWriter* w) const {
+  table_.SaveState(w);
+  tlb_.SaveState(w);
+  w->Bool(line_valid_);
+  w->U64(line_page_.value);
+  w->U64(line_frame_);
+  w->U64(line_hits_);
+  SaveAccounting(w);
+}
+
+void PageTableMapper::LoadState(SnapshotReader* r) {
+  table_.LoadState(r);
+  tlb_.LoadState(r);
+  const bool line_valid = r->Bool();
+  const PageId line_page{r->U64()};
+  const std::uint64_t line_frame = r->U64();
+  const std::uint64_t line_hits = r->U64();
+  LoadAccounting(r);
+  if (!r->ok()) {
+    return;
+  }
+  line_valid_ = line_valid;
+  line_page_ = line_page;
+  line_frame_ = line_frame;
+  line_hits_ = line_hits;
+}
+
+void AtlasPageRegisterMapper::SaveState(SnapshotWriter* w) const {
+  w->U64(registers_.size());
+  for (const std::optional<PageId>& reg : registers_) {
+    w->Bool(reg.has_value());
+    w->U64(reg.has_value() ? reg->value : 0);
+  }
+  SaveAccounting(w);
+}
+
+void AtlasPageRegisterMapper::LoadState(SnapshotReader* r) {
+  const std::uint64_t count = r->U64();
+  if (r->ok() && count != registers_.size()) {
+    r->Fail(SnapshotErrorKind::kBadValue, "atlas register count mismatch");
+  }
+  std::vector<std::optional<PageId>> registers(registers_.size());
+  std::unordered_map<std::uint64_t, std::size_t> frame_of_page;
+  for (std::size_t f = 0; f < registers.size() && r->ok(); ++f) {
+    const bool loaded = r->Bool();
+    const std::uint64_t page = r->U64();
+    if (loaded) {
+      registers[f] = PageId{page};
+      if (!frame_of_page.emplace(page, f).second) {
+        r->Fail(SnapshotErrorKind::kBadValue, "one page in two atlas registers");
+        return;
+      }
+    }
+  }
+  LoadAccounting(r);
+  if (!r->ok()) {
+    return;
+  }
+  registers_ = std::move(registers);
+  frame_of_page_ = std::move(frame_of_page);
+}
+
 AtlasPageRegisterMapper::AtlasPageRegisterMapper(WordCount page_words, std::size_t frames,
                                                  MappingCostModel costs)
     : page_words_(page_words), registers_(frames), costs_(costs) {

@@ -38,6 +38,9 @@ class PageTable {
   // Words of core the table occupies (one word per entry).
   WordCount TableWords() const { return entries_.size(); }
 
+  void SaveState(SnapshotWriter* w) const;
+  void LoadState(SnapshotReader* r);
+
  private:
   std::vector<PageTableEntry> entries_;
 };
@@ -67,6 +70,11 @@ class PageTableMapper : public AddressMapper {
 
   // Resident hits served from the last-translation line (see below).
   std::uint64_t line_hits() const { return line_hits_; }
+
+  // Checkpoint serialization: the table, the TLB, the last-translation line,
+  // and the inherited accounting block.
+  void SaveState(SnapshotWriter* w) const;
+  void LoadState(SnapshotReader* r);
 
  private:
   WordCount page_words_;
@@ -104,6 +112,11 @@ class AtlasPageRegisterMapper : public AddressMapper {
   std::size_t frame_count() const { return registers_.size(); }
 
   PageId PageOf(Name name) const { return PageId{name.value >> offset_bits_}; }
+
+  // Checkpoint serialization: the registers plus accounting; the reverse
+  // index is rebuilt, not stored.
+  void SaveState(SnapshotWriter* w) const;
+  void LoadState(SnapshotReader* r);
 
  private:
   WordCount page_words_;

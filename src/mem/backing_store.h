@@ -18,6 +18,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/core/snapshot.h"
 #include "src/core/types.h"
 #include "src/mem/storage_level.h"
 
@@ -69,6 +70,13 @@ class BackingStore {
   WordCount OccupiedWords() const { return occupied_words_; }
 
   std::size_t slot_count() const { return slots_.size(); }
+
+  // Checkpoint serialization: slot contents (sorted by slot id so the bytes
+  // are deterministic regardless of hash-table iteration order), bad slots,
+  // the spare-slot cursor, and the transfer counters.  The level spec itself
+  // is construction-time configuration and is not serialized.
+  void SaveState(SnapshotWriter* w) const;
+  void LoadState(SnapshotReader* r);
 
   // Lifetime transfer accounting.
   std::uint64_t stores() const { return stores_; }

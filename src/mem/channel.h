@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "src/core/snapshot.h"
 #include "src/core/types.h"
 #include "src/mem/storage_level.h"
 
@@ -50,6 +51,26 @@ class TransferChannel {
     transfers_ = 0;
     busy_cycles_ = 0;
     queueing_cycles_ = 0;
+  }
+
+  void SaveState(SnapshotWriter* w) const {
+    w->U64(busy_until_);
+    w->U64(transfers_);
+    w->U64(busy_cycles_);
+    w->U64(queueing_cycles_);
+  }
+  void LoadState(SnapshotReader* r) {
+    const Cycles busy_until = r->U64();
+    const std::uint64_t transfers = r->U64();
+    const Cycles busy_cycles = r->U64();
+    const Cycles queueing_cycles = r->U64();
+    if (!r->ok()) {
+      return;
+    }
+    busy_until_ = busy_until;
+    transfers_ = transfers;
+    busy_cycles_ = busy_cycles;
+    queueing_cycles_ = queueing_cycles;
   }
 
  private:

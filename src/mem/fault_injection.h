@@ -84,6 +84,11 @@ class FaultInjector {
   int max_retries() const { return config_.max_retries; }
   const FaultInjectorConfig& config() const { return config_; }
 
+  // Checkpoint hooks: the only mutable state is the fault stream's position.
+  // The config is construction-time and is not serialized.
+  RngState rng_state() const { return rng_.State(); }
+  void RestoreRngState(const RngState& state) { rng_.Restore(state); }
+
  private:
   const FaultRates& RatesFor(std::size_t level) const;
 

@@ -73,6 +73,58 @@ std::vector<MetricsRegistry::Entry> MetricsRegistry::Entries() const {
   return out;
 }
 
+void MetricsRegistry::SaveState(SnapshotWriter* w) const {
+  w->U64(entries_.size());
+  for (const Slot& slot : entries_) {
+    w->U8(static_cast<std::uint8_t>(slot.kind));
+    w->Str(slot.name);
+    switch (slot.kind) {
+      case Entry::Kind::kCounter:
+        w->U64(slot.counter.value());
+        break;
+      case Entry::Kind::kGauge:
+        w->F64(slot.gauge.value());
+        break;
+      case Entry::Kind::kHistogram:
+        slot.histogram.SaveState(w);
+        break;
+    }
+  }
+}
+
+void MetricsRegistry::LoadState(SnapshotReader* r) {
+  const std::uint64_t count = r->Count(std::uint64_t{1} << 24);
+  for (std::uint64_t i = 0; i < count && r->ok(); ++i) {
+    const std::uint8_t raw_kind = r->U8();
+    const std::string name = r->Str();
+    if (!r->ok()) {
+      return;
+    }
+    if (raw_kind > static_cast<std::uint8_t>(Entry::Kind::kHistogram)) {
+      r->Fail(SnapshotErrorKind::kBadValue, "unknown metric kind");
+      return;
+    }
+    const auto kind = static_cast<Entry::Kind>(raw_kind);
+    auto it = index_.find(name);
+    if (it != index_.end() && entries_[it->second].kind != kind) {
+      r->Fail(SnapshotErrorKind::kBadValue, "metric " + name + " changed kind");
+      return;
+    }
+    Slot* slot = FindOrCreate(name, kind);
+    switch (kind) {
+      case Entry::Kind::kCounter:
+        slot->counter.Set(r->U64());
+        break;
+      case Entry::Kind::kGauge:
+        slot->gauge.Set(r->F64());
+        break;
+      case Entry::Kind::kHistogram:
+        slot->histogram.LoadState(r);
+        break;
+    }
+  }
+}
+
 std::string MetricsRegistry::RenderTable(int gauge_digits) const {
   Table table({"metric", "value"});
   for (const Slot& slot : entries_) {

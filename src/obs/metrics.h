@@ -70,6 +70,14 @@ class MetricsRegistry {
   };
   std::vector<Entry> Entries() const;
 
+  // Checkpoint serialization, in registration order (names included, so a
+  // restored registry renders the identical table).  LoadState merges into
+  // the registry: an existing name must agree on kind (mismatch is reported
+  // through the reader, never an assert), a new name is registered in the
+  // serialized order.
+  void SaveState(SnapshotWriter* w) const;
+  void LoadState(SnapshotReader* r);
+
  private:
   struct Slot {
     Entry::Kind kind;

@@ -2,20 +2,34 @@
 
 namespace dsa {
 
+// Both drains run in ascending page order.  Hash-set iteration order is
+// implementation-defined, so draining in it would make fetch order — and
+// therefore every downstream trace byte — depend on the standard library and
+// on the set's insertion history, which a checkpoint restore cannot (and
+// should not) reproduce.  Sorted order is a pure function of the set's
+// contents.
+
 std::vector<PageId> AdviceRegistry::TakeWillNeed(std::size_t limit) {
+  std::vector<std::uint64_t> pending(will_need_.begin(), will_need_.end());
+  std::sort(pending.begin(), pending.end());
   std::vector<PageId> out;
-  out.reserve(std::min(limit, will_need_.size()));
-  for (auto it = will_need_.begin(); it != will_need_.end() && out.size() < limit;) {
-    out.push_back(PageId{*it});
-    it = will_need_.erase(it);
+  out.reserve(std::min(limit, pending.size()));
+  for (std::uint64_t page : pending) {
+    if (out.size() >= limit) {
+      break;
+    }
+    out.push_back(PageId{page});
+    will_need_.erase(page);
   }
   return out;
 }
 
 std::vector<PageId> AdviceRegistry::TakeWontNeed() {
+  std::vector<std::uint64_t> pending(wont_need_.begin(), wont_need_.end());
+  std::sort(pending.begin(), pending.end());
   std::vector<PageId> out;
-  out.reserve(wont_need_.size());
-  for (std::uint64_t page : wont_need_) {
+  out.reserve(pending.size());
+  for (std::uint64_t page : pending) {
     out.push_back(PageId{page});
   }
   wont_need_.clear();

@@ -14,10 +14,12 @@
 #ifndef SRC_PAGING_ADVICE_H_
 #define SRC_PAGING_ADVICE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_set>
 #include <vector>
 
+#include "src/core/snapshot.h"
 #include "src/core/types.h"
 
 namespace dsa {
@@ -57,6 +59,39 @@ class AdviceRegistry {
   std::size_t pending_will_need() const { return will_need_.size(); }
   std::size_t pending_wont_need() const { return wont_need_.size(); }
   std::size_t keep_resident_count() const { return keep_resident_.size(); }
+
+  // Checkpoint serialization; sets are written in sorted order so the bytes
+  // do not depend on hash-table iteration order.  (TakeWillNeed/TakeWontNeed
+  // already sort before draining, so restored drain order is identical too.)
+  void SaveState(SnapshotWriter* w) const {
+    const auto save_set = [w](const std::unordered_set<std::uint64_t>& set) {
+      std::vector<std::uint64_t> sorted(set.begin(), set.end());
+      std::sort(sorted.begin(), sorted.end());
+      w->U64(sorted.size());
+      for (std::uint64_t page : sorted) {
+        w->U64(page);
+      }
+    };
+    save_set(will_need_);
+    save_set(wont_need_);
+    save_set(keep_resident_);
+  }
+  void LoadState(SnapshotReader* r) {
+    std::unordered_set<std::uint64_t> sets[3];
+    for (auto& set : sets) {
+      const std::uint64_t count = r->Count(std::uint64_t{1} << 32);
+      set.reserve(count);
+      for (std::uint64_t i = 0; i < count && r->ok(); ++i) {
+        set.insert(r->U64());
+      }
+    }
+    if (!r->ok()) {
+      return;
+    }
+    will_need_ = std::move(sets[0]);
+    wont_need_ = std::move(sets[1]);
+    keep_resident_ = std::move(sets[2]);
+  }
 
  private:
   std::unordered_set<std::uint64_t> will_need_;

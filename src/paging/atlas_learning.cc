@@ -1,8 +1,48 @@
 #include "src/paging/atlas_learning.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "src/core/assert.h"
+#include "src/core/snapshot.h"
 
 namespace dsa {
+
+void AtlasLearningReplacement::SaveState(SnapshotWriter* w) const {
+  std::vector<std::uint64_t> pages;
+  pages.reserve(history_.size());
+  for (const auto& [page, record] : history_) {
+    pages.push_back(page);
+  }
+  std::sort(pages.begin(), pages.end());
+  w->U64(pages.size());
+  for (std::uint64_t page : pages) {
+    const PageHistory& record = history_.at(page);
+    w->U64(page);
+    w->U64(record.last_use);
+    w->U64(record.previous_idle);
+  }
+}
+
+void AtlasLearningReplacement::LoadState(SnapshotReader* r) {
+  const std::uint64_t count = r->Count(std::uint64_t{1} << 32);
+  std::unordered_map<std::uint64_t, PageHistory> history;
+  history.reserve(count);
+  for (std::uint64_t i = 0; i < count && r->ok(); ++i) {
+    const std::uint64_t page = r->U64();
+    PageHistory record;
+    record.last_use = r->U64();
+    record.previous_idle = r->U64();
+    if (!history.emplace(page, record).second) {
+      r->Fail(SnapshotErrorKind::kBadValue, "duplicate atlas history page");
+      return;
+    }
+  }
+  if (!r->ok()) {
+    return;
+  }
+  history_ = std::move(history);
+}
 
 void AtlasLearningReplacement::OnLoad(FrameId frame, PageId page, Cycles now) {
   (void)frame;

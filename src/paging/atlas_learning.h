@@ -42,6 +42,11 @@ class AtlasLearningReplacement : public ReplacementPolicy {
     return ReplacementStrategyKind::kAtlasLearning;
   }
 
+  // The learned per-page histories survive eviction, so they are part of the
+  // checkpoint; written in sorted page order for deterministic bytes.
+  void SaveState(SnapshotWriter* w) const override;
+  void LoadState(SnapshotReader* r) override;
+
  private:
   struct PageHistory {
     Cycles last_use{0};

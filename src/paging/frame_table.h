@@ -28,6 +28,8 @@
 namespace dsa {
 
 class EventTracer;
+class SnapshotReader;
+class SnapshotWriter;
 
 struct FrameInfo {
   bool occupied{false};
@@ -100,6 +102,16 @@ class FrameTable {
 
   // Occupied, unpinned frames — the candidate set for any replacement.
   std::vector<FrameId> EvictionCandidates() const;
+
+  // Checkpoint serialization: every sensor and both intrusive list orders
+  // (FIFO and LRU sequences head to tail), so a restored table selects the
+  // identical victim sequence.  LoadState re-derives the occupancy counters
+  // and rebuilds the links from the serialized orders, reporting structural
+  // violations (a listed frame that is not occupied, a count mismatch)
+  // through the reader — never an abort.  The table must be constructed
+  // with the same frame count the snapshot was taken at.
+  void SaveState(SnapshotWriter* w) const;
+  void LoadState(SnapshotReader* r);
 
   // True iff EvictionCandidates() would be non-empty, in O(1).
   bool HasEvictionCandidates() const { return occupied_ > pinned_; }

@@ -26,6 +26,14 @@ class M44ClassReplacement : public ReplacementPolicy {
   FrameId ChooseVictim(FrameTable* frames, Cycles now) override;
   ReplacementStrategyKind kind() const override { return ReplacementStrategyKind::kM44Class; }
 
+  void SaveState(SnapshotWriter* w) const override { SaveRngState(w, rng_.State()); }
+  void LoadState(SnapshotReader* r) override {
+    const RngState state = LoadRngState(r);
+    if (r->ok()) {
+      rng_.Restore(state);
+    }
+  }
+
  private:
   Rng rng_;
 };

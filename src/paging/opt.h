@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/core/snapshot.h"
 #include "src/paging/replacement.h"
 
 namespace dsa {
@@ -24,6 +25,20 @@ class OptReplacement : public ReplacementPolicy {
   ReplacementStrategyKind kind() const override { return ReplacementStrategyKind::kOpt; }
 
   std::size_t position() const { return position_; }
+
+  // Only the cursor is mutable; the reference string and its use index are
+  // construction-time inputs.
+  void SaveState(SnapshotWriter* w) const override { w->U64(position_); }
+  void LoadState(SnapshotReader* r) override {
+    const std::uint64_t position = r->U64();
+    if (r->ok() && position > page_string_.size()) {
+      r->Fail(SnapshotErrorKind::kBadValue, "opt cursor past the reference string");
+      return;
+    }
+    if (r->ok()) {
+      position_ = position;
+    }
+  }
 
  private:
   // Position of the next use of `page` at or after `from`; or npos if never

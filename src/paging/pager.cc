@@ -1,8 +1,10 @@
 #include "src/paging/pager.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "src/core/assert.h"
+#include "src/core/snapshot.h"
 #include "src/obs/tracer.h"
 
 namespace dsa {
@@ -425,6 +427,131 @@ void Pager::Release(PageId page, Cycles now) {
       EvictFrame(*frame, now);
     }
   }
+}
+
+namespace {
+
+void SaveU64Map(SnapshotWriter* w, const std::unordered_map<std::uint64_t, FrameId>& map) {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(map.size());
+  for (const auto& [key, value] : map) {
+    keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  w->U64(keys.size());
+  for (std::uint64_t key : keys) {
+    w->U64(key);
+    w->U64(map.at(key).value);
+  }
+}
+
+}  // namespace
+
+void Pager::SaveState(SnapshotWriter* w) const {
+  frames_.SaveState(w);
+  replacement_->SaveState(w);
+  SaveU64Map(w, resident_);
+  std::vector<std::uint64_t> relocated;
+  relocated.reserve(slot_of_.size());
+  for (const auto& [page, slot] : slot_of_) {
+    relocated.push_back(page);
+  }
+  std::sort(relocated.begin(), relocated.end());
+  w->U64(relocated.size());
+  for (std::uint64_t page : relocated) {
+    w->U64(page);
+    w->U64(slot_of_.at(page));
+  }
+  w->U64(stats_.accesses);
+  w->U64(stats_.faults);
+  w->U64(stats_.demand_fetches);
+  w->U64(stats_.extra_fetches);
+  w->U64(stats_.writebacks);
+  w->U64(stats_.evictions);
+  w->U64(stats_.advised_releases);
+  w->U64(stats_.policy_releases);
+  w->U64(stats_.wait_cycles);
+  w->U64(stats_.transfer_cycles);
+  const ReliabilityStats& rel = stats_.reliability;
+  w->U64(rel.transient_errors);
+  w->U64(rel.retries);
+  w->U64(rel.retry_cycles);
+  w->U64(rel.slot_failures);
+  w->U64(rel.relocations);
+  w->U64(rel.spill_relocations);
+  w->U64(rel.frame_failures);
+  w->U64(rel.retired_frames);
+  w->U64(rel.residual_frames);
+  w->U64(rel.failed_accesses);
+  w->U64(rel.lost_pages);
+}
+
+void Pager::LoadState(SnapshotReader* r) {
+  frames_.LoadState(r);
+  replacement_->LoadState(r);
+  const std::uint64_t resident_count = r->Count(frames_.frame_count());
+  std::unordered_map<std::uint64_t, FrameId> resident;
+  resident.reserve(resident_count);
+  for (std::uint64_t i = 0; i < resident_count && r->ok(); ++i) {
+    const std::uint64_t page = r->U64();
+    const FrameId frame{r->U64()};
+    if (!r->ok()) {
+      return;
+    }
+    if (frame.value >= frames_.frame_count() || !frames_.info(frame).occupied ||
+        frames_.info(frame).page.value != page) {
+      r->Fail(SnapshotErrorKind::kBadValue, "residency map disagrees with the frame table");
+      return;
+    }
+    if (!resident.emplace(page, frame).second) {
+      r->Fail(SnapshotErrorKind::kBadValue, "page resident in two frames");
+      return;
+    }
+  }
+  if (r->ok() && resident_count != frames_.occupied_count()) {
+    r->Fail(SnapshotErrorKind::kBadValue, "residency map does not cover every occupied frame");
+    return;
+  }
+  const std::uint64_t relocated_count = r->Count(std::uint64_t{1} << 32);
+  std::unordered_map<std::uint64_t, BackingStore::SlotId> slot_of;
+  slot_of.reserve(relocated_count);
+  for (std::uint64_t i = 0; i < relocated_count && r->ok(); ++i) {
+    const std::uint64_t page = r->U64();
+    const BackingStore::SlotId slot = r->U64();
+    if (!slot_of.emplace(page, slot).second) {
+      r->Fail(SnapshotErrorKind::kBadValue, "page relocated twice in the slot map");
+      return;
+    }
+  }
+  PagerStats stats;
+  stats.accesses = r->U64();
+  stats.faults = r->U64();
+  stats.demand_fetches = r->U64();
+  stats.extra_fetches = r->U64();
+  stats.writebacks = r->U64();
+  stats.evictions = r->U64();
+  stats.advised_releases = r->U64();
+  stats.policy_releases = r->U64();
+  stats.wait_cycles = r->U64();
+  stats.transfer_cycles = r->U64();
+  ReliabilityStats& rel = stats.reliability;
+  rel.transient_errors = r->U64();
+  rel.retries = r->U64();
+  rel.retry_cycles = r->U64();
+  rel.slot_failures = r->U64();
+  rel.relocations = r->U64();
+  rel.spill_relocations = r->U64();
+  rel.frame_failures = r->U64();
+  rel.retired_frames = r->U64();
+  rel.residual_frames = r->U64();
+  rel.failed_accesses = r->U64();
+  rel.lost_pages = r->U64();
+  if (!r->ok()) {
+    return;
+  }
+  resident_ = std::move(resident);
+  slot_of_ = std::move(slot_of);
+  stats_ = stats;
 }
 
 }  // namespace dsa

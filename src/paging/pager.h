@@ -157,6 +157,16 @@ class Pager {
   // Resident words right now (the space term of the space-time product).
   WordCount ResidentWords() const { return frames_.occupied_count() * config_.page_words; }
 
+  // Checkpoint serialization: the frame table, the replacement policy's
+  // decision state, the residency and relocation maps (sorted by page id),
+  // and the full stats block.  The attached stores, channel, advice registry
+  // and injector are serialized by their owners; the fetch policy is
+  // stateless.  LoadState cross-checks the residency map against the frame
+  // table (same page, occupied frame, full coverage) and reports mismatches
+  // through the reader.
+  void SaveState(SnapshotWriter* w) const;
+  void LoadState(SnapshotReader* r);
+
  private:
   // Frees one frame via the replacement policy; returns it.
   FrameId EvictOne(Cycles now);

@@ -55,6 +55,13 @@ class ReplacementPolicy {
 
   virtual ReplacementStrategyKind kind() const = 0;
   std::string name() const { return ToString(kind()); }
+
+  // Checkpoint hooks: serialize whatever mutable decision state the policy
+  // carries (an rng stream, a clock hand, learned histories).  Stateless
+  // policies inherit the no-ops.  LoadState must report malformed input
+  // through the reader, never abort.
+  virtual void SaveState(SnapshotWriter* w) const { (void)w; }
+  virtual void LoadState(SnapshotReader* r) { (void)r; }
 };
 
 }  // namespace dsa

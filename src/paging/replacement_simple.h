@@ -35,6 +35,14 @@ class RandomReplacement : public ReplacementPolicy {
   FrameId ChooseVictim(FrameTable* frames, Cycles now) override;
   ReplacementStrategyKind kind() const override { return ReplacementStrategyKind::kRandom; }
 
+  void SaveState(SnapshotWriter* w) const override { SaveRngState(w, rng_.State()); }
+  void LoadState(SnapshotReader* r) override {
+    const RngState state = LoadRngState(r);
+    if (r->ok()) {
+      rng_.Restore(state);
+    }
+  }
+
  private:
   Rng rng_;
 };
@@ -46,6 +54,14 @@ class ClockReplacement : public ReplacementPolicy {
  public:
   FrameId ChooseVictim(FrameTable* frames, Cycles now) override;
   ReplacementStrategyKind kind() const override { return ReplacementStrategyKind::kClock; }
+
+  void SaveState(SnapshotWriter* w) const override { w->U64(hand_); }
+  void LoadState(SnapshotReader* r) override {
+    const std::uint64_t hand = r->U64();
+    if (r->ok()) {
+      hand_ = hand;
+    }
+  }
 
  private:
   std::size_t hand_{0};

@@ -40,6 +40,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "src/core/snapshot.h"
 #include "src/core/types.h"
 
 namespace dsa {
@@ -145,6 +146,37 @@ class ThrashingDetector {
 
   Cycles window() const { return window_; }
 
+  // Checkpoint serialization: cursor plus every bucket, in ring order.  The
+  // window geometry is construction-time configuration.
+  void SaveState(SnapshotWriter* w) const {
+    w->U64(cursor_);
+    for (const Bucket& bucket : buckets_) {
+      w->U64(bucket.references);
+      w->U64(bucket.faults);
+      w->U64(bucket.wait_cycles);
+      w->U64(bucket.idle_busy_cycles);
+      w->F64(bucket.space_time_active);
+      w->F64(bucket.space_time_waiting);
+    }
+  }
+  void LoadState(SnapshotReader* r) {
+    const std::uint64_t cursor = r->U64();
+    std::array<Bucket, kBuckets> buckets{};
+    for (Bucket& bucket : buckets) {
+      bucket.references = r->U64();
+      bucket.faults = r->U64();
+      bucket.wait_cycles = r->U64();
+      bucket.idle_busy_cycles = r->U64();
+      bucket.space_time_active = r->F64();
+      bucket.space_time_waiting = r->F64();
+    }
+    if (!r->ok()) {
+      return;
+    }
+    cursor_ = cursor;
+    buckets_ = buckets;
+  }
+
  private:
   struct Bucket {
     std::uint64_t references{0};
@@ -226,6 +258,44 @@ class LoadController {
     last_reactivation_ = now;
     assess_pending_ = true;
     NoteDecision(now);
+  }
+
+  // Checkpoint serialization: the detector window plus every hysteresis and
+  // probe-backoff register, so a restored controller issues the identical
+  // decision sequence.
+  void SaveState(SnapshotWriter* w) const {
+    detector_.SaveState(w);
+    w->Bool(has_decision_);
+    w->U64(last_decision_);
+    w->U64(reactivation_backoff_);
+    w->Bool(assess_pending_);
+    w->U64(last_reactivation_);
+    w->Bool(has_shed_);
+    w->U64(active_at_last_shed_);
+  }
+  void LoadState(SnapshotReader* r) {
+    detector_.LoadState(r);
+    const bool has_decision = r->Bool();
+    const Cycles last_decision = r->U64();
+    const std::uint64_t backoff = r->U64();
+    const bool assess_pending = r->Bool();
+    const Cycles last_reactivation = r->U64();
+    const bool has_shed = r->Bool();
+    const std::uint64_t active_at_last_shed = r->U64();
+    if (r->ok() && (backoff == 0 || backoff > kMaxReactivationBackoff)) {
+      r->Fail(SnapshotErrorKind::kBadValue, "reactivation backoff out of range");
+      return;
+    }
+    if (!r->ok()) {
+      return;
+    }
+    has_decision_ = has_decision;
+    last_decision_ = last_decision;
+    reactivation_backoff_ = backoff;
+    assess_pending_ = assess_pending;
+    last_reactivation_ = last_reactivation;
+    has_shed_ = has_shed;
+    active_at_last_shed_ = active_at_last_shed;
   }
 
  private:

@@ -1,0 +1,177 @@
+#include "src/serve/batch.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <vector>
+
+#include "src/exec/sweep_runner.h"
+#include "src/trace/trace_io.h"
+#include "src/obs/export.h"
+#include "src/obs/merge.h"
+#include "src/obs/tracer.h"
+#include "src/obs/verifier.h"
+#include "src/obs/vm_metrics.h"
+#include "src/vm/system_builder.h"
+
+namespace dsa {
+
+namespace {
+
+// One tenant of a --batch run: its own parse, its own system instance, its
+// own tracer and metrics registry.  Cells share only the immutable spec, so
+// the sweep can shard them across threads; everything order-sensitive
+// (printing, file writes, verification, the registry merge) happens after
+// the sweep in slot order.
+struct BatchCell {
+  std::string label;                       // file name (the tenant id)
+  std::optional<BatchCellError> rejected;  // set: the cell was skipped
+  std::string report_text;                 // rendered report block
+  std::uint64_t references{0};
+  MetricsRegistry metrics;
+  std::vector<TraceEvent> events;
+};
+
+}  // namespace
+
+Expected<ReferenceTrace, BatchCellError> LoadBatchTrace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return MakeUnexpected(BatchCellError{"cannot open trace file"});
+  }
+  auto parsed = ReadReferenceTrace(&in);
+  if (!parsed.has_value()) {
+    return MakeUnexpected(BatchCellError{"line " + std::to_string(parsed.error().line) +
+                                         ": " + parsed.error().message});
+  }
+  return std::move(parsed.value());
+}
+
+int RunBatch(const SystemSpec& base_spec, const BatchOptions& options) {
+  std::vector<std::filesystem::path> files;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(options.dir, ec)) {
+    if (entry.is_regular_file()) {
+      files.push_back(entry.path());
+    }
+  }
+  if (ec) {
+    std::fprintf(stderr, "dsa_sim: cannot read --batch directory %s: %s\n",
+                 options.dir.c_str(), ec.message().c_str());
+    return 2;
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "dsa_sim: --batch directory %s holds no trace files\n",
+                 options.dir.c_str());
+    return 2;
+  }
+  // Name order is the cell order, so the merged output is a function of the
+  // directory contents alone, not of readdir() or scheduling order.
+  std::sort(files.begin(), files.end());
+
+  SweepRunner runner(options.jobs);
+  std::printf("== batch: %zu traces from %s (jobs=%u) ==\n\n", files.size(),
+              options.dir.c_str(), runner.jobs());
+
+  const bool capture = !options.event_trace_prefix.empty();
+  const std::vector<BatchCell> cells = runner.Run(files.size(), [&](std::size_t i) {
+    BatchCell cell;
+    cell.label = files[i].filename().string();
+    auto loaded = LoadBatchTrace(files[i].string());
+    if (!loaded.has_value()) {
+      cell.rejected = loaded.error();
+      return cell;
+    }
+    const ReferenceTrace trace = std::move(loaded.value());
+
+    SystemSpec spec = base_spec;  // per-cell copy; the tracer differs
+    EventTracer tracer(/*capacity=*/0);
+    if (capture) {
+      spec.tracer = &tracer;
+    }
+    const auto system = BuildSystem(spec);
+    const VmReport report = system->Run(trace);
+    cell.references = report.references;
+    cell.report_text =
+        RenderVmReport(report, Describe(system->characteristics()), cell.label);
+    FillVmMetrics(report, &cell.metrics);
+    if (capture) {
+      cell.events = tracer.Snapshot();
+    }
+    return cell;
+  });
+
+  // Slot-order fold: per-tenant reports, per-cell verification + export,
+  // and the aggregate registry are all pure functions of the cell results.
+  TraceVerifierConfig verifier_config;
+  if (base_spec.page_words != 0) {
+    verifier_config.frame_count =
+        static_cast<std::size_t>(base_spec.core_words / base_spec.page_words);
+  }
+  MetricsRegistry aggregate;
+  std::size_t rejected = 0;
+  bool export_failed = false;
+  bool verifier_failed = false;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const BatchCell& cell = cells[i];
+    std::printf("-- tenant %zu: %s\n", i, cell.label.c_str());
+    if (cell.rejected.has_value()) {
+      std::printf("rejected (skipped): %s\n\n", cell.rejected->reason.c_str());
+      std::fprintf(stderr, "dsa_sim: %s: %s\n", cell.label.c_str(),
+                   cell.rejected->reason.c_str());
+      ++rejected;
+      continue;
+    }
+    std::fputs(cell.report_text.c_str(), stdout);
+    MergeRegistryInto(&aggregate, cell.metrics);
+    if (capture) {
+      const std::string path =
+          options.event_trace_prefix + "." + std::to_string(i) + ".jsonl";
+      std::ofstream out(path);
+      if (!out) {
+        std::fprintf(stderr, "dsa_sim: cannot open %s\n", path.c_str());
+        export_failed = true;
+        continue;
+      }
+      WriteEventsJsonl(cell.events, &out);
+      const auto violations = TraceReplayVerifier(verifier_config).Verify(cell.events);
+      std::printf("event trace      %zu events -> %s (%s)\n", cell.events.size(),
+                  path.c_str(), violations.empty() ? "verified" : "VERIFIER VIOLATIONS");
+      if (!violations.empty()) {
+        std::fputs(TraceReplayVerifier::Describe(violations).c_str(), stderr);
+        verifier_failed = true;
+      }
+    }
+    std::printf("\n");
+  }
+
+  const std::uint64_t references = aggregate.CounterValue("vm/references");
+  const std::uint64_t faults = aggregate.CounterValue("vm/faults");
+  std::printf("== batch aggregate (%zu of %zu tenants ran, %zu rejected) ==\n",
+              cells.size() - rejected, cells.size(), rejected);
+  std::printf("references       %llu\n", static_cast<unsigned long long>(references));
+  std::printf("faults           %llu  (rate %.5f)\n",
+              static_cast<unsigned long long>(faults),
+              references == 0 ? 0.0
+                              : static_cast<double>(faults) / static_cast<double>(references));
+  std::printf("write-backs      %llu\n",
+              static_cast<unsigned long long>(aggregate.CounterValue("vm/writebacks")));
+  std::printf("total cycles     %llu\n",
+              static_cast<unsigned long long>(aggregate.CounterValue("vm/total_cycles")));
+  std::printf("wait cycles      %llu\n",
+              static_cast<unsigned long long>(aggregate.CounterValue("vm/wait_cycles")));
+  if (export_failed) {
+    return 2;
+  }
+  if (verifier_failed) {
+    return 1;
+  }
+  if (rejected > 0) {
+    return 3;
+  }
+  return 0;
+}
+
+}  // namespace dsa

@@ -1,0 +1,48 @@
+// Multi-tenant batch mode (dsa_sim --batch), factored out of the CLI so the
+// regression tests can drive it directly.
+//
+// Every trace file in the directory runs through its own instance of the
+// configured system, sharded --jobs wide over the SweepRunner; reports,
+// verification, exports, and the aggregate merge happen after the sweep in
+// name order, so the output is byte-identical at any worker count.
+//
+// A malformed or unreadable spool file is a property of the DATA, not a
+// harness failure: the cell is skipped and reported (Expected-typed load),
+// the remaining cells still run, and the exit code says which of the two
+// happened.
+
+#ifndef SRC_SERVE_BATCH_H_
+#define SRC_SERVE_BATCH_H_
+
+#include <string>
+
+#include "src/core/expected.h"
+#include "src/trace/reference.h"
+#include "src/vm/system_builder.h"
+
+namespace dsa {
+
+struct BatchOptions {
+  std::string dir;                 // directory of trace files
+  unsigned jobs{1};                // sweep width
+  std::string event_trace_prefix;  // nonempty: capture + verify per cell
+};
+
+// Why one cell could not run (its trace never loaded).
+struct BatchCellError {
+  std::string reason;
+};
+
+// Reads and parses one spool file; the typed-error half of skip-and-report.
+Expected<ReferenceTrace, BatchCellError> LoadBatchTrace(const std::string& path);
+
+// Exit-code semantics:
+//   0  every cell ran (and verified, when capturing)
+//   1  a captured event stream failed the replay verifier
+//   2  directory/config errors (nothing ran) or an export could not be written
+//   3  some cells were rejected (skipped); every loadable cell still ran
+int RunBatch(const SystemSpec& base_spec, const BatchOptions& options);
+
+}  // namespace dsa
+
+#endif  // SRC_SERVE_BATCH_H_

@@ -1,0 +1,252 @@
+#include "src/serve/checkpoint_store.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "src/core/assert.h"
+
+namespace dsa {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct ManifestEntry {
+  std::string name;
+  std::uint64_t bytes{0};
+  std::uint64_t checksum{0};
+};
+
+struct Manifest {
+  std::uint64_t generation{0};
+  std::vector<ManifestEntry> entries;
+};
+
+// Strict parse of the store's own format; anything else is a typed error.
+Expected<Manifest, SnapshotError> ParseManifest(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "DSAMANIFEST 1") {
+    return MakeUnexpected(SnapshotError{SnapshotErrorKind::kBadMagic,
+                                        "manifest header is not DSAMANIFEST 1"});
+  }
+  if (!std::getline(in, line) || line.rfind("gen ", 0) != 0) {
+    return MakeUnexpected(
+        SnapshotError{SnapshotErrorKind::kBadValue, "manifest generation line missing"});
+  }
+  Manifest manifest;
+  char* end = nullptr;
+  manifest.generation = std::strtoull(line.c_str() + 4, &end, 10);
+  if (end == nullptr || *end != '\0' || manifest.generation == 0) {
+    return MakeUnexpected(
+        SnapshotError{SnapshotErrorKind::kBadValue, "manifest generation unparseable"});
+  }
+  bool sealed = false;
+  while (std::getline(in, line)) {
+    if (line == "end") {
+      sealed = true;
+      break;
+    }
+    std::istringstream fields(line);
+    std::string tag;
+    ManifestEntry entry;
+    std::string checksum_hex;
+    if (!(fields >> tag >> entry.name >> entry.bytes >> checksum_hex) || tag != "member") {
+      return MakeUnexpected(SnapshotError{SnapshotErrorKind::kBadValue,
+                                          "manifest member line unparseable: " + line});
+    }
+    entry.checksum = std::strtoull(checksum_hex.c_str(), &end, 16);
+    if (end == nullptr || *end != '\0' || checksum_hex.size() != 16) {
+      return MakeUnexpected(SnapshotError{SnapshotErrorKind::kBadValue,
+                                          "manifest checksum unparseable: " + line});
+    }
+    manifest.entries.push_back(std::move(entry));
+  }
+  if (!sealed) {
+    return MakeUnexpected(
+        SnapshotError{SnapshotErrorKind::kTruncated, "manifest missing its end marker"});
+  }
+  return manifest;
+}
+
+std::string RenderManifest(std::uint64_t generation,
+                           const std::map<std::string, std::string>& members) {
+  std::string text = "DSAMANIFEST 1\n";
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "gen %" PRIu64 "\n", generation);
+  text += buf;
+  for (const auto& [name, sealed] : members) {
+    std::snprintf(buf, sizeof(buf), " %zu %016" PRIx64 "\n", sealed.size(), Fnv64(sealed));
+    text += "member " + name + buf;
+  }
+  text += "end\n";
+  return text;
+}
+
+void QuarantineFile(const fs::path& path) {
+  std::error_code ec;
+  if (fs::exists(path, ec)) {
+    fs::rename(path, fs::path(path.string() + ".quarantine"), ec);
+  }
+}
+
+// Validates one committed member against its manifest entry AND the
+// snapshot container's own header, so a mismatch is caught whichever record
+// was damaged.
+Status<SnapshotError> ValidateMember(const std::string& path, const ManifestEntry& entry,
+                                     std::string* bytes_out) {
+  auto bytes = ReadFileBytes(path);
+  if (!bytes.has_value()) {
+    return MakeUnexpected(bytes.error());
+  }
+  if (bytes->size() != entry.bytes) {
+    return MakeUnexpected(SnapshotError{
+        SnapshotErrorKind::kTruncated, "member size disagrees with the manifest: " + path});
+  }
+  if (Fnv64(*bytes) != entry.checksum) {
+    return MakeUnexpected(SnapshotError{
+        SnapshotErrorKind::kBadChecksum,
+        "member content does not hash to the manifest checksum: " + path});
+  }
+  SnapshotReader reader(*bytes);
+  if (!reader.ok()) {
+    SnapshotError error = reader.error();
+    error.detail += ": " + path;
+    return MakeUnexpected(error);
+  }
+  *bytes_out = std::move(*bytes);
+  return Ok();
+}
+
+}  // namespace
+
+std::string CheckpointStore::ManifestPath() const { return dir_ + "/MANIFEST"; }
+
+std::string CheckpointStore::MemberPath(const std::string& name, std::uint64_t gen) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), ".%" PRIu64 ".ckpt", gen);
+  return dir_ + "/" + name + buf;
+}
+
+Expected<CheckpointStore::Recovered, SnapshotError> CheckpointStore::Recover() {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    return MakeUnexpected(SnapshotError{
+        SnapshotErrorKind::kIo, "cannot create checkpoint dir " + dir_ + ": " + ec.message()});
+  }
+
+  Recovered recovered;
+  bool cut_valid = false;
+  std::set<std::string> keep;  // full paths of validated current-gen members
+
+  if (fs::exists(ManifestPath(), ec)) {
+    auto manifest_bytes = ReadFileBytes(ManifestPath());
+    if (!manifest_bytes.has_value()) {
+      return MakeUnexpected(manifest_bytes.error());
+    }
+    auto manifest = ParseManifest(*manifest_bytes);
+    if (!manifest.has_value()) {
+      recovered.quarantined.push_back({ManifestPath(), manifest.error()});
+    } else {
+      cut_valid = true;
+      for (const ManifestEntry& entry : manifest->entries) {
+        const std::string path = MemberPath(entry.name, manifest->generation);
+        std::string bytes;
+        if (auto status = ValidateMember(path, entry, &bytes); !status.has_value()) {
+          recovered.quarantined.push_back({path, status.error()});
+          cut_valid = false;
+        } else {
+          recovered.members[entry.name] = std::move(bytes);
+        }
+      }
+      if (cut_valid) {
+        recovered.generation = manifest->generation;
+        for (const ManifestEntry& entry : manifest->entries) {
+          keep.insert(MemberPath(entry.name, manifest->generation));
+        }
+      } else {
+        // One damaged member invalidates the whole cut: restoring a partial
+        // cut would desynchronize the tenants from the service state.
+        recovered.members.clear();
+        for (const ManifestEntry& entry : manifest->entries) {
+          QuarantineFile(MemberPath(entry.name, manifest->generation));
+        }
+      }
+    }
+    if (!cut_valid) {
+      QuarantineFile(ManifestPath());
+      recovered.generation = 0;
+    }
+  }
+
+  // Member files outside the committed cut are leftovers of a crashed
+  // commit (written before the manifest rename) — remove them.
+  for (const auto& dir_entry : fs::directory_iterator(dir_, ec)) {
+    if (!dir_entry.is_regular_file()) {
+      continue;
+    }
+    const std::string path = dir_entry.path().string();
+    if (path.size() >= 5 && path.compare(path.size() - 5, 5, ".ckpt") == 0 &&
+        keep.find(path) == keep.end()) {
+      std::error_code remove_ec;
+      fs::remove(dir_entry.path(), remove_ec);
+    }
+  }
+  if (ec) {
+    return MakeUnexpected(SnapshotError{
+        SnapshotErrorKind::kIo, "cannot scan checkpoint dir " + dir_ + ": " + ec.message()});
+  }
+
+  generation_ = recovered.generation;
+  recovered_ = true;
+  return recovered;
+}
+
+void CheckpointStore::Stage(const std::string& name, std::string sealed) {
+  staged_[name] = std::move(sealed);
+}
+
+Status<SnapshotError> CheckpointStore::Commit() {
+  DSA_ASSERT(recovered_, "CheckpointStore::Commit before Recover");
+  const std::uint64_t new_gen = generation_ + 1;
+  for (const auto& [name, sealed] : staged_) {
+    if (auto status = WriteFileAtomic(MemberPath(name, new_gen), sealed);
+        !status.has_value()) {
+      return status;
+    }
+  }
+  // The manifest rename is the commit point: before it the new files are
+  // orphans, after it the old files are.
+  if (auto status =
+          WriteFileAtomic(ManifestPath(), RenderManifest(new_gen, staged_));
+      !status.has_value()) {
+    return status;
+  }
+  std::set<std::string> keep;
+  for (const auto& [name, sealed] : staged_) {
+    keep.insert(MemberPath(name, new_gen));
+  }
+  std::error_code ec;
+  for (const auto& dir_entry : fs::directory_iterator(dir_, ec)) {
+    if (!dir_entry.is_regular_file()) {
+      continue;
+    }
+    const std::string path = dir_entry.path().string();
+    if (path.size() >= 5 && path.compare(path.size() - 5, 5, ".ckpt") == 0 &&
+        keep.find(path) == keep.end()) {
+      std::error_code remove_ec;
+      fs::remove(dir_entry.path(), remove_ec);
+    }
+  }
+  generation_ = new_gen;
+  staged_.clear();
+  return Ok();
+}
+
+}  // namespace dsa

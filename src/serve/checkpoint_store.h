@@ -1,0 +1,91 @@
+// CheckpointStore: a directory of checkpoint members committed as one
+// consistent cut through a manifest.
+//
+// Layout:
+//
+//   <dir>/<member>.<gen>.ckpt   one sealed snapshot per member
+//   <dir>/MANIFEST              the commit point (text, written atomically)
+//
+// The MANIFEST names one generation and, for every member of that cut, the
+// member's file size and fnv64 content checksum:
+//
+//   DSAMANIFEST 1
+//   gen <N>
+//   member <name> <bytes> <fnv64-hex>
+//   ...
+//   end
+//
+// Commit protocol: every member file of generation N+1 is written first
+// (each via write-temp-then-rename), then the manifest is rewritten
+// atomically to name generation N+1, then the generation-N files are
+// deleted.  A crash anywhere leaves either the old cut or the new cut fully
+// intact: member files of an uncommitted generation are orphans that
+// Recover() removes, and a torn manifest is impossible because rename is
+// the only way MANIFEST changes.
+//
+// Recovery discipline: the manifest is the sole source of truth.  A member
+// file that is missing, the wrong length, mismatches its manifest checksum,
+// or fails the snapshot container's own header verification invalidates the
+// WHOLE cut — every member plus the manifest is renamed to *.quarantine and
+// the store reports the typed reasons.  (Restoring a partial cut would
+// break the bit-identical-resume guarantee, so a damaged cut is treated as
+// no cut at all.)  Nothing in this layer aborts.
+
+#ifndef SRC_SERVE_CHECKPOINT_STORE_H_
+#define SRC_SERVE_CHECKPOINT_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/snapshot.h"
+
+namespace dsa {
+
+class CheckpointStore {
+ public:
+  explicit CheckpointStore(std::string dir) : dir_(std::move(dir)) {}
+
+  struct QuarantineRecord {
+    std::string file;  // path moved to <file>.quarantine
+    SnapshotError error;
+  };
+
+  struct Recovered {
+    std::uint64_t generation{0};                  // 0: no committed cut
+    std::map<std::string, std::string> members;   // name -> validated sealed bytes
+    std::vector<QuarantineRecord> quarantined;    // damaged cut, if any
+  };
+
+  // Scans the directory: validates the committed cut against the manifest,
+  // quarantines a damaged cut, deletes uncommitted orphan member files.
+  // Only unreadable-directory class failures are errors; a damaged cut is
+  // recovered-as-empty with the quarantine records explaining why.  Must be
+  // called before Stage/Commit.
+  Expected<Recovered, SnapshotError> Recover();
+
+  // Stages `name` -> sealed bytes for the next Commit.  Every commit writes
+  // a complete cut: members not re-staged are NOT carried over.
+  void Stage(const std::string& name, std::string sealed);
+
+  // Publishes the staged cut as the next generation (see the protocol
+  // above) and clears the staging area.
+  Status<SnapshotError> Commit();
+
+  std::uint64_t generation() const { return generation_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string ManifestPath() const;
+  std::string MemberPath(const std::string& name, std::uint64_t gen) const;
+
+  std::string dir_;
+  std::uint64_t generation_{0};
+  bool recovered_{false};
+  std::map<std::string, std::string> staged_;
+};
+
+}  // namespace dsa
+
+#endif  // SRC_SERVE_CHECKPOINT_STORE_H_

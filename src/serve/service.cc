@@ -1,0 +1,503 @@
+#include "src/serve/service.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "src/obs/export.h"
+#include "src/obs/merge.h"
+#include "src/obs/vm_metrics.h"
+#include "src/trace/trace_io.h"
+
+namespace dsa {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+SnapshotError IoError(std::string detail) {
+  return SnapshotError{SnapshotErrorKind::kIo, std::move(detail)};
+}
+
+bool UsableTenantName(const std::string& name) {
+  if (name.empty() || name[0] == '.') {
+    return false;
+  }
+  // Member names travel through the whitespace-delimited manifest.
+  return name.find_first_of(" \t\n") == std::string::npos;
+}
+
+}  // namespace
+
+ServiceLoop::ServiceLoop(SystemSpec base_spec, ServeConfig config)
+    : spec_(std::move(base_spec)),
+      config_(std::move(config)),
+      spec_fingerprint_(SpecFingerprint(spec_)),
+      store_(config_.checkpoint_dir),
+      controller_(config_.load_control, spec_.core_words, spec_.page_words) {
+  spec_.tracer = nullptr;  // tenants own their tracers
+}
+
+std::string ServiceLoop::EventsPath(const Tenant& t) const {
+  return config_.out_dir + "/" + t.name + ".events.jsonl";
+}
+
+std::string ServiceLoop::ReportPath(const Tenant& t) const {
+  return config_.out_dir + "/" + t.name + ".report.txt";
+}
+
+std::unique_ptr<PagedLinearVm> ServiceLoop::BuildVm(Tenant* t) {
+  PagedVmConfig config = PagedConfigFromSpec(spec_);
+  config.tracer = &t->tracer;
+  return std::make_unique<PagedLinearVm>(config);
+}
+
+Status<SnapshotError> ServiceLoop::AdmitTenants() {
+  std::vector<fs::path> files;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(config_.spool_dir, ec)) {
+    if (entry.is_regular_file()) {
+      files.push_back(entry.path());
+    }
+  }
+  if (ec) {
+    return MakeUnexpected(
+        IoError("cannot read spool dir " + config_.spool_dir + ": " + ec.message()));
+  }
+  std::sort(files.begin(), files.end());
+
+  for (const fs::path& path : files) {
+    const std::string name = path.filename().string();
+    if (std::find(seen_.begin(), seen_.end(), name) != seen_.end()) {
+      continue;
+    }
+    seen_.push_back(name);
+    auto reject = [&](const std::string& reason) {
+      outcome_.rejected.push_back(name + ": " + reason);
+      ++outcome_.tenants_rejected;
+    };
+    if (!UsableTenantName(name)) {
+      reject("unusable file name (hidden or whitespace)");
+      continue;
+    }
+    auto bytes = ReadFileBytes(path.string());
+    if (!bytes.has_value()) {
+      reject(bytes.error().Describe());
+      continue;
+    }
+    std::istringstream in(*bytes);
+    auto parsed = ReadReferenceTrace(&in);
+    if (!parsed.has_value()) {
+      reject("line " + std::to_string(parsed.error().line) + ": " + parsed.error().message);
+      continue;
+    }
+    auto tenant = std::make_unique<Tenant>();
+    tenant->name = name;
+    tenant->trace_fingerprint = Fnv64(*bytes);
+    tenant->trace = std::move(parsed.value());
+    tenant->vm = BuildVm(tenant.get());
+    // A fresh tenant's event log starts empty; a crash may have left
+    // uncommitted bytes from a previous incarnation.
+    if (std::FILE* f = std::fopen(EventsPath(*tenant).c_str(), "wb")) {
+      std::fclose(f);
+    } else {
+      return MakeUnexpected(IoError("cannot create " + EventsPath(*tenant)));
+    }
+    tenants_.push_back(std::move(tenant));
+  }
+  return Ok();
+}
+
+std::string ServiceLoop::BuildSvcMember() const {
+  SnapshotWriter w;
+  w.U64(spec_fingerprint_);
+  w.U64(service_clock_);
+  w.U64(last_commit_clock_);
+  w.U64(concurrency_);
+  w.Bool(shed_since_start_);
+  controller_.SaveState(&w);
+  aggregate_.SaveState(&w);
+  w.U64(tenants_.size());
+  for (const auto& t : tenants_) {
+    w.Str(t->name);
+    w.Bool(t->done);
+  }
+  return w.Seal();
+}
+
+bool ServiceLoop::LoadSvcMember(std::string_view sealed, std::string* reason) {
+  SnapshotReader r(sealed);
+  const std::uint64_t fingerprint = r.U64();
+  if (r.ok() && fingerprint != spec_fingerprint_) {
+    *reason = "checkpoint was taken under a different system spec";
+    return false;
+  }
+  const Cycles service_clock = r.U64();
+  const Cycles last_commit_clock = r.U64();
+  const std::uint64_t concurrency = r.U64();
+  const bool shed_since_start = r.Bool();
+  controller_.LoadState(&r);
+  aggregate_.LoadState(&r);
+  const std::uint64_t count = r.Count(1u << 20);
+  if (!r.ok()) {
+    *reason = r.error().Describe();
+    return false;
+  }
+  if (concurrency == 0) {
+    *reason = "service concurrency of zero";
+    return false;
+  }
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::string name = r.Str();
+    const bool done = r.Bool();
+    if (!r.ok()) {
+      *reason = r.error().Describe();
+      return false;
+    }
+    auto bytes = ReadFileBytes(config_.spool_dir + "/" + name);
+    if (!bytes.has_value()) {
+      *reason = "tenant " + name + " vanished from the spool";
+      return false;
+    }
+    std::istringstream in(*bytes);
+    auto parsed = ReadReferenceTrace(&in);
+    if (!parsed.has_value()) {
+      *reason = "tenant " + name + " no longer parses";
+      return false;
+    }
+    auto tenant = std::make_unique<Tenant>();
+    tenant->name = name;
+    tenant->trace_fingerprint = Fnv64(*bytes);
+    tenant->trace = std::move(parsed.value());
+    tenant->done = done;
+    if (done) {
+      // Outputs are already final; no VM state exists or is needed.
+      tenant->next_ref = tenant->trace.size();
+    }
+    tenants_.push_back(std::move(tenant));
+    seen_.push_back(name);
+  }
+  if (!r.AtEnd()) {
+    *reason = "trailing bytes after the service state";
+    return false;
+  }
+  service_clock_ = service_clock;
+  last_commit_clock_ = last_commit_clock;
+  concurrency_ = static_cast<std::size_t>(concurrency);
+  shed_since_start_ = shed_since_start;
+  return true;
+}
+
+void ServiceLoop::RestoreCut(CheckpointStore::Recovered* recovered) {
+  auto fresh_start = [&](const std::string& reason) {
+    outcome_.quarantined.push_back("cut discarded: " + reason);
+    tenants_.clear();
+    seen_.clear();
+    outcome_.tenants_resumed = 0;
+    service_clock_ = 0;
+    last_commit_clock_ = 0;
+    concurrency_ = 1;
+    shed_since_start_ = false;
+    controller_ = LoadController(config_.load_control, spec_.core_words, spec_.page_words);
+    aggregate_ = MetricsRegistry{};
+  };
+
+  auto svc = recovered->members.find("svc");
+  if (svc == recovered->members.end()) {
+    if (!recovered->members.empty()) {
+      fresh_start("committed cut lacks the svc member");
+    }
+    return;
+  }
+  std::string reason;
+  if (!LoadSvcMember(svc->second, &reason)) {
+    fresh_start(reason);
+    return;
+  }
+  for (auto& t : tenants_) {
+    if (t->done) {
+      continue;
+    }
+    auto member = recovered->members.find("tenant." + t->name);
+    if (member == recovered->members.end()) {
+      fresh_start("committed cut lacks tenant " + t->name);
+      return;
+    }
+    t->vm = BuildVm(t.get());
+    auto meta = OpenTenantCheckpoint(member->second, spec_fingerprint_,
+                                     t->trace_fingerprint, t->trace.size(), t->vm.get());
+    if (!meta.has_value()) {
+      fresh_start("tenant " + t->name + ": " + meta.error().Describe());
+      return;
+    }
+    t->next_ref = meta->next_ref;
+    t->events_published = meta->events_published;
+    t->jsonl_bytes = meta->jsonl_bytes;
+    t->last_space_time = t->vm->Snapshot().space_time;
+    // Discard event bytes appended after the committed cut; the resumed
+    // steps regenerate them identically.
+    std::error_code ec;
+    const auto actual = fs::exists(EventsPath(*t), ec)
+                            ? fs::file_size(EventsPath(*t), ec)
+                            : std::uintmax_t{0};
+    if (ec || actual < t->jsonl_bytes) {
+      fresh_start("tenant " + t->name + ": event log shorter than the committed prefix");
+      return;
+    }
+    if (actual > t->jsonl_bytes) {
+      fs::resize_file(EventsPath(*t), t->jsonl_bytes, ec);
+      if (ec) {
+        fresh_start("tenant " + t->name + ": cannot truncate event log");
+        return;
+      }
+    }
+    ++outcome_.tenants_resumed;
+  }
+}
+
+void ServiceLoop::RunSlice(Tenant* t) {
+  const std::vector<Reference>& refs = t->trace.refs;
+  const std::uint64_t end =
+      std::min<std::uint64_t>(t->next_ref + config_.slice_references, refs.size());
+  ThrashingDetector& detector = controller_.detector();
+  while (t->next_ref < end) {
+    const Cycles before = t->vm->clock().now();
+    const Cycles stall = t->vm->Step(refs[static_cast<std::size_t>(t->next_ref)]);
+    ++t->next_ref;
+    service_clock_ += t->vm->clock().now() - before;
+    detector.RecordReference(service_clock_);
+    if (stall > 0) {
+      detector.RecordFault(service_clock_, stall);
+    }
+  }
+  const SpaceTime now_product = t->vm->Snapshot().space_time;
+  detector.RecordSpaceTime(service_clock_, now_product.active - t->last_space_time.active,
+                           now_product.waiting - t->last_space_time.waiting);
+  t->last_space_time = now_product;
+}
+
+Status<SnapshotError> ServiceLoop::FinishTenant(Tenant* t) {
+  VmReport report = t->vm->Snapshot();
+  report.label = spec_.label + " / " + t->trace.label;
+  const std::string text =
+      RenderVmReport(report, Describe(t->vm->characteristics()), t->name);
+  if (auto status = WriteFileAtomic(ReportPath(*t), text); !status.has_value()) {
+    return status;
+  }
+  MetricsRegistry metrics;
+  FillVmMetrics(report, &metrics);
+  MergeRegistryInto(&aggregate_, metrics);
+  t->done = true;
+  ++outcome_.tenants_completed;
+  return Ok();
+}
+
+Status<SnapshotError> ServiceLoop::AppendPendingEvents(Tenant* t) {
+  const std::vector<TraceEvent> events = t->tracer.Snapshot();
+  if (events.empty()) {
+    return Ok();
+  }
+  std::FILE* f = std::fopen(EventsPath(*t).c_str(), "ab");
+  if (f == nullptr) {
+    return MakeUnexpected(IoError("cannot append to " + EventsPath(*t)));
+  }
+  for (const TraceEvent& event : events) {
+    const std::string line = EventToJson(event) + "\n";
+    if (std::fwrite(line.data(), 1, line.size(), f) != line.size()) {
+      std::fclose(f);
+      return MakeUnexpected(IoError("short write to " + EventsPath(*t)));
+    }
+  }
+  // The committed cut will record this byte offset; the bytes must be
+  // durable before the manifest rename makes the offset authoritative.
+  if (std::fflush(f) != 0 || fsync(fileno(f)) != 0) {
+    std::fclose(f);
+    return MakeUnexpected(IoError("cannot flush " + EventsPath(*t)));
+  }
+  const long size = std::ftell(f);
+  std::fclose(f);
+  if (size < 0) {
+    return MakeUnexpected(IoError("cannot size " + EventsPath(*t)));
+  }
+  t->jsonl_bytes = static_cast<std::uint64_t>(size);
+  t->events_published += events.size();
+  t->tracer.Clear();
+  return Ok();
+}
+
+Status<SnapshotError> ServiceLoop::CommitCut() {
+  for (auto& t : tenants_) {
+    if (auto status = AppendPendingEvents(t.get()); !status.has_value()) {
+      return status;
+    }
+  }
+  store_.Stage("svc", BuildSvcMember());
+  for (const auto& t : tenants_) {
+    if (t->done) {
+      continue;
+    }
+    TenantCheckpointMeta meta;
+    meta.tenant = t->name;
+    meta.spec_fingerprint = spec_fingerprint_;
+    meta.trace_fingerprint = t->trace_fingerprint;
+    meta.trace_size = t->trace.size();
+    meta.next_ref = t->next_ref;
+    meta.events_published = t->events_published;
+    meta.jsonl_bytes = t->jsonl_bytes;
+    store_.Stage("tenant." + t->name, SealTenantCheckpoint(meta, *t->vm));
+  }
+  if (auto status = store_.Commit(); !status.has_value()) {
+    return status;
+  }
+  last_commit_clock_ = service_clock_;
+  ++outcome_.commits;
+  return Ok();
+}
+
+void ServiceLoop::DecideConcurrency() {
+  std::vector<Tenant*> incomplete;
+  for (const auto& t : tenants_) {
+    if (!t->done) {
+      incomplete.push_back(t.get());
+    }
+  }
+  if (incomplete.size() <= 1) {
+    concurrency_ = std::max<std::size_t>(concurrency_, 1);
+    return;
+  }
+  const std::size_t active = std::min(concurrency_, incomplete.size());
+  WordCount active_ws = 0;
+  for (std::size_t i = 0; i < active; ++i) {
+    active_ws += incomplete[i]->vm->pager().ResidentWords();
+  }
+  if (concurrency_ > 1 && controller_.ShouldShed(active, active_ws, service_clock_)) {
+    controller_.NoteShed(active, service_clock_);
+    --concurrency_;
+    shed_since_start_ = true;
+    return;
+  }
+  if (concurrency_ < incomplete.size() &&
+      controller_.MayActivate(active, active_ws, spec_.page_words, shed_since_start_,
+                              service_clock_)) {
+    if (shed_since_start_) {
+      controller_.NoteReactivation(service_clock_);
+    } else {
+      controller_.NoteDecision(service_clock_);
+    }
+    ++concurrency_;
+  }
+}
+
+Status<SnapshotError> ServiceLoop::WriteServiceReport() const {
+  const std::uint64_t references = aggregate_.CounterValue("vm/references");
+  const std::uint64_t faults = aggregate_.CounterValue("vm/faults");
+  char buf[128];
+  std::string text;
+  std::snprintf(buf, sizeof(buf), "== service: %zu tenants, %zu rejected ==\n",
+                tenants_.size(), outcome_.tenants_rejected);
+  text += buf;
+  std::snprintf(buf, sizeof(buf), "references       %" PRIu64 "\n", references);
+  text += buf;
+  std::snprintf(buf, sizeof(buf), "faults           %" PRIu64 "  (rate %.5f)\n", faults,
+                references == 0
+                    ? 0.0
+                    : static_cast<double>(faults) / static_cast<double>(references));
+  text += buf;
+  std::snprintf(buf, sizeof(buf), "write-backs      %" PRIu64 "\n",
+                aggregate_.CounterValue("vm/writebacks"));
+  text += buf;
+  std::snprintf(buf, sizeof(buf), "total cycles     %" PRIu64 "\n",
+                aggregate_.CounterValue("vm/total_cycles"));
+  text += buf;
+  std::snprintf(buf, sizeof(buf), "wait cycles      %" PRIu64 "\n",
+                aggregate_.CounterValue("vm/wait_cycles"));
+  text += buf;
+  return WriteFileAtomic(config_.out_dir + "/SERVICE.txt", text);
+}
+
+Expected<ServeOutcome, SnapshotError> ServiceLoop::Run() {
+  if (!SpecIsPagedLinear(spec_)) {
+    return MakeUnexpected(SnapshotError{
+        SnapshotErrorKind::kBadValue,
+        "service mode checkpoints the paged linear family only; pick a linear "
+        "name space with page units"});
+  }
+  std::error_code ec;
+  fs::create_directories(config_.out_dir, ec);
+  if (ec) {
+    return MakeUnexpected(
+        IoError("cannot create out dir " + config_.out_dir + ": " + ec.message()));
+  }
+
+  auto recovered = store_.Recover();
+  if (!recovered.has_value()) {
+    return MakeUnexpected(recovered.error());
+  }
+  for (const auto& record : recovered->quarantined) {
+    outcome_.quarantined.push_back(record.file + ": " + record.error.Describe());
+  }
+  RestoreCut(&recovered.value());
+
+  if (auto status = AdmitTenants(); !status.has_value()) {
+    return MakeUnexpected(status.error());
+  }
+
+  while (true) {
+    std::vector<Tenant*> incomplete;
+    for (const auto& t : tenants_) {
+      if (!t->done) {
+        incomplete.push_back(t.get());
+      }
+    }
+    if (incomplete.empty()) {
+      break;
+    }
+    DecideConcurrency();
+    const std::size_t active = std::min(concurrency_, incomplete.size());
+    bool force_commit = false;
+    for (std::size_t i = 0; i < active; ++i) {
+      Tenant* t = incomplete[i];
+      RunSlice(t);
+      if (t->next_ref == t->trace.size()) {
+        if (auto status = FinishTenant(t); !status.has_value()) {
+          return MakeUnexpected(status.error());
+        }
+        force_commit = true;
+      }
+    }
+    if (force_commit || (config_.checkpoint_every > 0 &&
+                         service_clock_ - last_commit_clock_ >= config_.checkpoint_every)) {
+      if (auto status = CommitCut(); !status.has_value()) {
+        return MakeUnexpected(status.error());
+      }
+      if (config_.stop_after_commits >= 0 &&
+          outcome_.commits >= static_cast<std::uint64_t>(config_.stop_after_commits)) {
+        // Abandon mid-run without flushing anything further — the on-disk
+        // state is exactly what a hard kill at this instant leaves behind.
+        return outcome_;
+      }
+    }
+    if (config_.rescan_spool) {
+      if (auto status = AdmitTenants(); !status.has_value()) {
+        return MakeUnexpected(status.error());
+      }
+    }
+  }
+
+  if (!tenants_.empty()) {
+    if (auto status = CommitCut(); !status.has_value()) {
+      return MakeUnexpected(status.error());
+    }
+  }
+  if (auto status = WriteServiceReport(); !status.has_value()) {
+    return MakeUnexpected(status.error());
+  }
+  outcome_.finished = true;
+  return outcome_;
+}
+
+}  // namespace dsa

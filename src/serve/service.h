@@ -1,0 +1,156 @@
+// The resident service loop: a multi-tenant daemon over per-tenant
+// PagedLinearVm instances with crash-consistent checkpoint/restore.
+//
+// Tenants are reference-trace files dropped into a spool directory; each is
+// admitted (sorted-name order, rescanned between rounds so tenants can
+// stream in mid-run), given its own isolated system instance built from the
+// shared SystemSpec, and stepped in round-robin slices.  A LoadController
+// watches the aggregate fault/wait signals across every active tenant on
+// the service's virtual clock and adapts how many tenants run concurrently
+// — the paper's integrated storage-and-scheduling decision applied across
+// tenants instead of across jobs.
+//
+// Crash consistency (the whole point of this module):
+//
+//   * On a simulated-cycle cadence the loop commits a CUT: every tenant's
+//     pending trace events are appended to its JSONL file, then every
+//     incomplete tenant's full VM state plus one global "svc" member
+//     (service clock, controller state, admission order, aggregate
+//     metrics) is staged and committed through the CheckpointStore
+//     manifest protocol.
+//   * Each tenant checkpoint records the byte length of its published
+//     JSONL prefix; restore truncates the file to that offset, discarding
+//     bytes appended after the committed cut.
+//   * Restore rebuilds each tenant from its spool file and checkpoint and
+//     continues stepping; because every component serializes its complete
+//     state, the resumed run's reports, metrics, and event JSONL are
+//     byte-identical to an uninterrupted run (tests/test_checkpoint_resume
+//     and scripts/soak_resume.sh enforce this).
+//   * Damaged checkpoints are quarantined by the store, reported as typed
+//     errors, and the service restarts the affected work from scratch —
+//     it never aborts and never resumes a partial cut.
+//
+// A malformed spool file is rejected and reported, never fatal.  The spec
+// must select the paged linear family (SpecIsPagedLinear) — the family
+// whose complete state is checkpointable.
+
+#ifndef SRC_SERVE_SERVICE_H_
+#define SRC_SERVE_SERVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/snapshot.h"
+#include "src/obs/metrics.h"
+#include "src/obs/tracer.h"
+#include "src/sched/load_control.h"
+#include "src/serve/checkpoint.h"
+#include "src/serve/checkpoint_store.h"
+#include "src/trace/reference.h"
+#include "src/vm/paged_vm.h"
+#include "src/vm/system_builder.h"
+
+namespace dsa {
+
+struct ServeConfig {
+  std::string spool_dir;       // tenant trace files
+  std::string out_dir;         // per-tenant reports + event JSONL + SERVICE.txt
+  std::string checkpoint_dir;  // the CheckpointStore directory
+
+  // Simulated service-clock cycles between checkpoint commits (0: commit
+  // only at tenant completions and shutdown).
+  Cycles checkpoint_every{200000};
+  // References each tenant executes per scheduling slice.
+  std::size_t slice_references{256};
+  // Cross-tenant admission policy; max_active caps concurrency, the
+  // adaptive policies shed it when the aggregate signals say thrashing.
+  LoadControlConfig load_control{};
+  // Abandon the loop (without flushing) after this many commits — the
+  // deterministic kill point the resume tests drive.  Negative: run to
+  // completion.
+  int stop_after_commits{-1};
+  // Rescan the spool between rounds for streaming admission; false is the
+  // --drain mode (serve only what was spooled at startup, then exit).
+  bool rescan_spool{true};
+};
+
+struct ServeOutcome {
+  bool finished{false};  // false: stopped at stop_after_commits
+  std::size_t tenants_completed{0};
+  std::size_t tenants_rejected{0};
+  std::size_t tenants_resumed{0};
+  std::uint64_t commits{0};
+  std::vector<std::string> rejected;     // "name: reason", admission order
+  std::vector<std::string> quarantined;  // store-recovery reasons
+};
+
+class ServiceLoop {
+ public:
+  // `base_spec.tracer` is ignored: every tenant gets its own tracer.
+  ServiceLoop(SystemSpec base_spec, ServeConfig config);
+
+  // Admits, steps, checkpoints, and (unless stopped early) finishes every
+  // tenant.  Errors are reserved for environment failures (unwritable
+  // output or checkpoint directories); malformed tenants and damaged
+  // checkpoints surface in the outcome instead.
+  Expected<ServeOutcome, SnapshotError> Run();
+
+ private:
+  struct Tenant {
+    std::string name;                    // spool file name
+    std::uint64_t trace_fingerprint{0};  // fnv64 of the raw spool bytes
+    ReferenceTrace trace;
+    EventTracer tracer{0};  // unbounded: drained at every commit
+    std::unique_ptr<PagedLinearVm> vm;
+    std::uint64_t next_ref{0};
+    std::uint64_t events_published{0};
+    std::uint64_t jsonl_bytes{0};
+    SpaceTime last_space_time;  // detector feed watermark
+    bool done{false};
+  };
+
+  std::string EventsPath(const Tenant& t) const;
+  std::string ReportPath(const Tenant& t) const;
+
+  // Sorted spool scan; admits unseen files, records rejections.
+  Status<SnapshotError> AdmitTenants();
+  // Builds the tenant's VM (fresh) from the shared spec.
+  std::unique_ptr<PagedLinearVm> BuildVm(Tenant* t);
+  // Applies the recovered cut; on semantic mismatch falls back to a fresh
+  // start (recording why) rather than resuming a partial state.
+  void RestoreCut(CheckpointStore::Recovered* recovered);
+
+  void RunSlice(Tenant* t);
+  Status<SnapshotError> FinishTenant(Tenant* t);
+  Status<SnapshotError> AppendPendingEvents(Tenant* t);
+  Status<SnapshotError> CommitCut();
+  void DecideConcurrency();
+  Status<SnapshotError> WriteServiceReport() const;
+
+  std::string BuildSvcMember() const;
+  // Parses the svc member against the current spool; false (with reason)
+  // demands a fresh start.
+  bool LoadSvcMember(std::string_view sealed, std::string* reason);
+
+  SystemSpec spec_;
+  ServeConfig config_;
+  std::uint64_t spec_fingerprint_;
+  CheckpointStore store_;
+  LoadController controller_;
+
+  std::vector<std::unique_ptr<Tenant>> tenants_;  // admission order
+  std::vector<std::string> seen_;                 // admitted + rejected names
+  ServeOutcome outcome_;
+  MetricsRegistry aggregate_;
+
+  Cycles service_clock_{0};
+  Cycles last_commit_clock_{0};
+  std::size_t concurrency_{1};
+  bool shed_since_start_{false};
+};
+
+}  // namespace dsa
+
+#endif  // SRC_SERVE_SERVICE_H_

@@ -8,6 +8,8 @@
 #include <cstdint>
 #include <string>
 
+#include "src/core/snapshot.h"
+
 namespace dsa {
 
 class LogHistogram {
@@ -40,6 +42,31 @@ class LogHistogram {
 
   // Multi-line ASCII rendering: one row per nonempty bucket with a bar.
   std::string Render(int bar_width = 40) const;
+
+  void SaveState(SnapshotWriter* w) const {
+    for (std::uint64_t count : counts_) {
+      w->U64(count);
+    }
+    w->U64(total_);
+  }
+  void LoadState(SnapshotReader* r) {
+    std::array<std::uint64_t, kBuckets> counts{};
+    std::uint64_t sum = 0;
+    for (std::uint64_t& count : counts) {
+      count = r->U64();
+      sum += count;
+    }
+    const std::uint64_t total = r->U64();
+    if (r->ok() && total != sum) {
+      r->Fail(SnapshotErrorKind::kBadValue, "histogram total disagrees with its buckets");
+      return;
+    }
+    if (!r->ok()) {
+      return;
+    }
+    counts_ = counts;
+    total_ = total;
+  }
 
  private:
   std::array<std::uint64_t, kBuckets> counts_{};

@@ -88,9 +88,22 @@ class PagedLinearVm : public StorageAllocationSystem {
   // Report for everything stepped so far (Run resets state first).
   VmReport Snapshot() const;
 
+  // Rebuilds all internal state from scratch (Run calls this; service-mode
+  // callers that drive Step directly call it once before the first step).
+  void Reset();
+
+  // Checkpoint serialization of the complete mid-run state: the clock, every
+  // storage component, the mapper, the pager (frame table, replacement
+  // decision state, residency), the fault stream position, the advice
+  // registry, the space-time integrals, and the step counters.  LoadState
+  // expects a freshly Reset() system built from the identical config; any
+  // inconsistency is reported through the reader.  After a successful load,
+  // Step produces the bit-identical continuation of the checkpointed run.
+  void SaveState(SnapshotWriter* w) const;
+  void LoadState(SnapshotReader* r);
+
  private:
   PageId PageOf(Name name) const { return PageId{name.value / config_.page_words}; }
-  void Reset();
 
   PagedVmConfig config_;
   LinearNameSpace names_;

@@ -44,6 +44,9 @@ class SpaceTimeAccumulator {
 
   const SpaceTime& product() const { return product_; }
 
+  // Checkpoint restore: the accumulator is two doubles, set wholesale.
+  void Restore(const SpaceTime& product) { product_ = product; }
+
  private:
   SpaceTime product_;
 };

@@ -40,6 +40,34 @@ bool SpecIsBuildable(const SystemSpec& spec) {
   return true;
 }
 
+bool SpecIsPagedLinear(const SystemSpec& spec) {
+  return SpecIsBuildable(spec) &&
+         spec.characteristics.name_space == NameSpaceKind::kLinear &&
+         spec.characteristics.unit != AllocationUnit::kVariableBlocks;
+}
+
+PagedVmConfig PagedConfigFromSpec(const SystemSpec& spec) {
+  DSA_ASSERT(SpecIsPagedLinear(spec), "spec does not select the paged linear family");
+  const bool advice = spec.characteristics.predictive == PredictiveInformation::kAccepted;
+  if (spec.fetch == FetchStrategyKind::kAdvised) {
+    DSA_ASSERT(advice, "advised fetch requires the predictive characteristic");
+  }
+  PagedVmConfig config;
+  config.label = spec.label;
+  config.core_words = spec.core_words;
+  config.page_words = spec.page_words;
+  config.backing_level = spec.backing_level;
+  config.tlb_entries = spec.tlb_entries;
+  config.replacement = spec.replacement;
+  config.fetch = spec.fetch;
+  config.accept_advice = advice;
+  config.cycles_per_reference = spec.cycles_per_reference;
+  config.reported_unit = spec.characteristics.unit;
+  config.fault_injection = spec.fault_injection;
+  config.tracer = spec.tracer;
+  return config;
+}
+
 std::unique_ptr<StorageAllocationSystem> BuildSystem(const SystemSpec& spec) {
   DSA_ASSERT(SpecIsBuildable(spec),
              "a linear name space with variable allocation units has no relocation handle; "
@@ -70,23 +98,7 @@ std::unique_ptr<StorageAllocationSystem> BuildSystem(const SystemSpec& spec) {
   }
 
   if (c.name_space == NameSpaceKind::kLinear) {
-    PagedVmConfig config;
-    config.label = spec.label;
-    config.core_words = spec.core_words;
-    config.page_words = spec.page_words;
-    config.backing_level = spec.backing_level;
-    config.tlb_entries = spec.tlb_entries;
-    config.replacement = spec.replacement;
-    config.fetch = spec.fetch;
-    config.accept_advice = advice;
-    if (spec.fetch == FetchStrategyKind::kAdvised) {
-      DSA_ASSERT(advice, "advised fetch requires the predictive characteristic");
-    }
-    config.cycles_per_reference = spec.cycles_per_reference;
-    config.reported_unit = c.unit;
-    config.fault_injection = spec.fault_injection;
-    config.tracer = spec.tracer;
-    return std::make_unique<PagedLinearVm>(config);
+    return std::make_unique<PagedLinearVm>(PagedConfigFromSpec(spec));
   }
 
   // Segmented name space over paged storage: the Fig. 4 family.

@@ -19,6 +19,7 @@
 #include "src/core/strategy.h"
 #include "src/mem/fault_injection.h"
 #include "src/mem/storage_level.h"
+#include "src/vm/paged_vm.h"
 #include "src/vm/system.h"
 
 namespace dsa {
@@ -65,6 +66,17 @@ std::unique_ptr<StorageAllocationSystem> BuildSystem(const SystemSpec& spec);
 
 // True if Build() accepts this point of the design space.
 bool SpecIsBuildable(const SystemSpec& spec);
+
+// True when Build() would select the PagedLinearVm family (a linear name
+// space with non-variable units) — the family whose complete state is
+// checkpointable, which is what service mode (src/serve) requires.
+bool SpecIsPagedLinear(const SystemSpec& spec);
+
+// The PagedVmConfig Build() derives for a paged-linear spec.  Exposed so
+// the service loop can construct the concrete PagedLinearVm (rather than
+// the type-erased StorageAllocationSystem) and reach its
+// SaveState/LoadState.  The spec must satisfy SpecIsPagedLinear.
+PagedVmConfig PagedConfigFromSpec(const SystemSpec& spec);
 
 }  // namespace dsa
 

@@ -1,0 +1,627 @@
+// Kill-and-resume matrix for the crash-consistent service mode.
+//
+// The headline guarantee: a ServiceLoop stopped cold after K commits (no
+// flush, no goodbye — the in-process stand-in for SIGKILL) and restarted
+// from its checkpoint directory produces final per-tenant reports, event
+// JSONL files, and SERVICE.txt that are BYTE-identical to an uninterrupted
+// run.  The kill-point matrix is sharded over the SweepRunner, so the suite
+// doubles as a jobs>1 determinism check.
+//
+// Alongside: the store's corruption taxonomy (torn member, flipped byte,
+// stale version, checksum/manifest mismatch -> typed quarantine records,
+// fresh-start completion, never a crash — pinned with a death test), and
+// the --batch skip-and-report regression (malformed tenants are skipped,
+// reported, and change the exit code without stopping the loadable cells).
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/snapshot.h"
+#include "src/exec/sweep_runner.h"
+#include "src/serve/batch.h"
+#include "src/serve/checkpoint_store.h"
+#include "src/serve/service.h"
+#include "src/trace/synthetic.h"
+#include "src/trace/trace_io.h"
+#include "src/vm/system_builder.h"
+
+namespace dsa {
+namespace {
+
+namespace fs = std::filesystem;
+
+SystemSpec ServeSpec() {
+  SystemSpec spec;
+  spec.label = "resume-test";
+  spec.core_words = 2048;
+  spec.page_words = 128;  // 16 frames
+  spec.tlb_entries = 4;
+  spec.backing_level = MakeDrumLevel("drum", 1u << 17, /*word_time=*/2,
+                                     /*rotational_delay=*/500);
+  return spec;
+}
+
+// A scratch tree that cleans up after itself; every test gets its own.
+struct Scratch {
+  explicit Scratch(const std::string& tag)
+      : root(fs::temp_directory_path() /
+             ("dsa_resume_" + tag + "_" + std::to_string(::getpid()))) {
+    fs::remove_all(root);
+    fs::create_directories(root / "spool");
+  }
+  ~Scratch() {
+    std::error_code ec;
+    fs::remove_all(root, ec);
+  }
+  std::string Spool() const { return (root / "spool").string(); }
+  std::string Out(const std::string& name) const { return (root / name).string(); }
+
+  fs::path root;
+};
+
+void SpoolTenant(const Scratch& scratch, const std::string& name,
+                 std::uint64_t seed, std::size_t phase_length = 900) {
+  WorkingSetTraceParams params;
+  params.extent = 1 << 13;
+  params.region_words = 128;
+  // More regions than the 16 core frames, so every tenant faults steadily
+  // and the service clock advances fast enough to cross many commit
+  // cadences within these short traces.
+  params.regions_per_phase = 20;
+  params.phase_length = phase_length;
+  params.phases = 3;
+  params.seed = seed;
+  const ReferenceTrace trace = MakeWorkingSetTrace(params);
+  std::ofstream out(fs::path(scratch.Spool()) / name);
+  ASSERT_TRUE(out) << name;
+  WriteReferenceTrace(trace, &out);
+}
+
+void SpoolThreeTenants(const Scratch& scratch) {
+  SpoolTenant(scratch, "alpha.trace", 11);
+  SpoolTenant(scratch, "beta.trace", 22, /*phase_length=*/1200);
+  SpoolTenant(scratch, "gamma.trace", 33, /*phase_length=*/600);
+}
+
+ServeConfig ConfigFor(const Scratch& scratch, const std::string& tag) {
+  ServeConfig config;
+  config.spool_dir = scratch.Spool();
+  config.out_dir = scratch.Out(tag + ".out");
+  config.checkpoint_dir = scratch.Out(tag + ".ckpt");
+  config.checkpoint_every = 20000;
+  config.rescan_spool = false;  // the spool is fully populated up front
+  return config;
+}
+
+// Reads every file of a directory into name -> bytes, for whole-tree
+// byte comparison.
+std::map<std::string, std::string> SlurpDir(const std::string& dir) {
+  std::map<std::string, std::string> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) {
+      continue;
+    }
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    files[entry.path().filename().string()] = std::move(bytes);
+  }
+  return files;
+}
+
+void ExpectSameTree(const std::map<std::string, std::string>& expected,
+                    const std::map<std::string, std::string>& actual,
+                    const std::string& context) {
+  std::vector<std::string> expected_names;
+  for (const auto& [name, bytes] : expected) {
+    expected_names.push_back(name);
+  }
+  std::vector<std::string> actual_names;
+  for (const auto& [name, bytes] : actual) {
+    actual_names.push_back(name);
+  }
+  ASSERT_EQ(expected_names, actual_names) << context;
+  for (const auto& [name, bytes] : expected) {
+    EXPECT_EQ(bytes, actual.at(name)) << context << ": " << name
+                                      << " differs from the uninterrupted run";
+  }
+}
+
+// Runs the service to completion with no interruptions; the reference tree.
+std::map<std::string, std::string> StraightThroughTree(const Scratch& scratch,
+                                                       const std::string& tag) {
+  ServeConfig config = ConfigFor(scratch, tag);
+  ServiceLoop loop(ServeSpec(), config);
+  auto outcome = loop.Run();
+  EXPECT_TRUE(outcome.has_value());
+  if (outcome.has_value()) {
+    EXPECT_TRUE(outcome->finished);
+    EXPECT_EQ(outcome->tenants_completed, 3u);
+    EXPECT_EQ(outcome->tenants_rejected, 0u);
+  }
+  return SlurpDir(config.out_dir);
+}
+
+TEST(CheckpointResumeTest, KillPointMatrixIsByteIdenticalShardedOverJobs) {
+  Scratch scratch("matrix");
+  SpoolThreeTenants(scratch);
+
+  ServeConfig ref_config = ConfigFor(scratch, "ref");
+  std::uint64_t total_commits = 0;
+  {
+    ServiceLoop loop(ServeSpec(), ref_config);
+    auto outcome = loop.Run();
+    ASSERT_TRUE(outcome.has_value());
+    ASSERT_TRUE(outcome->finished);
+    ASSERT_EQ(outcome->tenants_completed, 3u);
+    total_commits = outcome->commits;
+  }
+  const auto expected = SlurpDir(ref_config.out_dir);
+  ASSERT_GE(total_commits, 6u) << "cadence too coarse for a six-point matrix";
+
+  // Kill at six points spread across the run's actual commit count; each
+  // cell restarts until the loop finishes and then compares the whole
+  // output tree.  SweepRunner shards the cells across workers — every cell
+  // owns its own directories.
+  std::vector<int> kill_points = {
+      1,
+      2,
+      static_cast<int>(total_commits / 4),
+      static_cast<int>(total_commits / 2),
+      static_cast<int>(2 * total_commits / 3),
+      static_cast<int>(total_commits - 1)};
+  // Dedupe: two cells at the same kill point would share scratch
+  // directories and race.
+  std::sort(kill_points.begin(), kill_points.end());
+  kill_points.erase(std::unique(kill_points.begin(), kill_points.end()),
+                    kill_points.end());
+  ASSERT_GE(kill_points.size(), 4u);
+  SweepRunner runner(/*jobs=*/4);
+  const std::vector<std::string> failures =
+      runner.Run(kill_points.size(), [&](std::size_t cell) {
+        const std::string tag = "kill" + std::to_string(kill_points[cell]);
+        ServeConfig config = ConfigFor(scratch, tag);
+        config.stop_after_commits = kill_points[cell];
+        // First run: dies mid-flight (finished == false), nothing flushed
+        // beyond its committed cuts.
+        {
+          ServiceLoop loop(ServeSpec(), config);
+          auto outcome = loop.Run();
+          if (!outcome.has_value()) {
+            return tag + ": kill run errored: " + outcome.error().Describe();
+          }
+          if (outcome->finished) {
+            return tag + ": expected the loop to stop at the kill point";
+          }
+        }
+        // Restart(s): keep resuming until the loop reports completion, as
+        // the daemon supervisor would.
+        config.stop_after_commits = -1;
+        std::size_t resumed = 0;
+        for (int attempt = 0; attempt < 4; ++attempt) {
+          ServiceLoop loop(ServeSpec(), config);
+          auto outcome = loop.Run();
+          if (!outcome.has_value()) {
+            return tag + ": resume errored: " + outcome.error().Describe();
+          }
+          resumed += outcome->tenants_resumed;
+          if (!outcome->quarantined.empty()) {
+            return tag + ": unexpected quarantine on a clean kill";
+          }
+          if (outcome->finished) {
+            const auto actual = SlurpDir(config.out_dir);
+            for (const auto& [name, bytes] : expected) {
+              auto it = actual.find(name);
+              if (it == actual.end()) {
+                return tag + ": missing output " + name;
+              }
+              if (it->second != bytes) {
+                return tag + ": " + name + " differs from uninterrupted run";
+              }
+            }
+            if (actual.size() != expected.size()) {
+              return tag + ": extra outputs";
+            }
+            // Early and mid-run kills must actually resume tenants from
+            // the checkpoint; a kill near the end may legitimately find
+            // every tenant already completed and committed.
+            if (static_cast<std::uint64_t>(kill_points[cell]) <= total_commits / 2 &&
+                resumed == 0) {
+              return tag + ": nothing was actually resumed from checkpoint";
+            }
+            return std::string();
+          }
+        }
+        return tag + ": loop never finished";
+      });
+  for (const std::string& failure : failures) {
+    EXPECT_TRUE(failure.empty()) << failure;
+  }
+}
+
+TEST(CheckpointResumeTest, ResumeAfterEveryCommitOfAShortRun) {
+  // Exhaustive single-tenant variant: kill after EVERY commit index the
+  // straight-through run performs, resume, compare.
+  Scratch scratch("every");
+  SpoolTenant(scratch, "solo.trace", 77);
+
+  ServeConfig ref_config = ConfigFor(scratch, "ref");
+  std::uint64_t total_commits = 0;
+  {
+    ServiceLoop loop(ServeSpec(), ref_config);
+    auto outcome = loop.Run();
+    ASSERT_TRUE(outcome.has_value());
+    ASSERT_TRUE(outcome->finished);
+    total_commits = outcome->commits;
+  }
+  const auto expected = SlurpDir(ref_config.out_dir);
+  ASSERT_GE(total_commits, 3u) << "cadence too coarse to exercise resume";
+
+  std::size_t resumed_total = 0;
+  for (std::uint64_t k = 1; k < total_commits; ++k) {
+    const std::string tag = "at" + std::to_string(k);
+    ServeConfig config = ConfigFor(scratch, tag);
+    config.stop_after_commits = static_cast<int>(k);
+    {
+      ServiceLoop loop(ServeSpec(), config);
+      auto outcome = loop.Run();
+      ASSERT_TRUE(outcome.has_value()) << tag;
+      ASSERT_FALSE(outcome->finished) << tag;
+    }
+    config.stop_after_commits = -1;
+    ServiceLoop loop(ServeSpec(), config);
+    auto outcome = loop.Run();
+    ASSERT_TRUE(outcome.has_value()) << tag;
+    ASSERT_TRUE(outcome->finished) << tag;
+    // A kill after the tenant's completion commit legitimately resumes
+    // nothing (only finished state was checkpointed); mid-run kills must
+    // resume the tenant, and most kill points are mid-run.
+    resumed_total += outcome->tenants_resumed;
+    ExpectSameTree(expected, SlurpDir(config.out_dir), tag);
+  }
+  EXPECT_GE(resumed_total, total_commits / 2)
+      << "most kill points should land mid-run and actually resume";
+}
+
+// ---------------------------------------------------------------------------
+// Corruption: damaged checkpoints quarantine, report typed errors, and the
+// service completes from a fresh start with byte-identical outputs.
+
+fs::path FirstMember(const fs::path& ckpt) {
+  std::vector<fs::path> members;
+  for (const auto& entry : fs::directory_iterator(ckpt)) {
+    if (entry.path().extension() == ".ckpt") {
+      members.push_back(entry.path());
+    }
+  }
+  EXPECT_FALSE(members.empty()) << "no members in " << ckpt;
+  std::sort(members.begin(), members.end());
+  return members.front();
+}
+
+void RunCorruptionCase(const std::string& tag,
+                       void (*mutate)(const fs::path& ckpt),
+                       SnapshotErrorKind expected_kind, bool expect_quarantine) {
+  Scratch scratch(tag);
+  SpoolThreeTenants(scratch);
+  const auto expected = StraightThroughTree(scratch, "ref");
+
+  ServeConfig config = ConfigFor(scratch, tag);
+  config.stop_after_commits = 2;
+  {
+    ServiceLoop loop(ServeSpec(), config);
+    auto outcome = loop.Run();
+    ASSERT_TRUE(outcome.has_value());
+    ASSERT_FALSE(outcome->finished);
+  }
+  mutate(fs::path(config.checkpoint_dir));
+
+  config.stop_after_commits = -1;
+  ServiceLoop loop(ServeSpec(), config);
+  auto outcome = loop.Run();
+  ASSERT_TRUE(outcome.has_value()) << outcome.error().Describe();
+  ASSERT_TRUE(outcome->finished);
+  EXPECT_EQ(outcome->tenants_resumed, 0u)
+      << tag << ": a damaged cut must never be partially resumed";
+  if (expect_quarantine) {
+    ASSERT_FALSE(outcome->quarantined.empty()) << tag;
+    bool kind_seen = false;
+    for (const std::string& reason : outcome->quarantined) {
+      if (reason.find(ToString(expected_kind)) != std::string::npos) {
+        kind_seen = true;
+      }
+    }
+    EXPECT_TRUE(kind_seen) << tag << ": expected a '" << ToString(expected_kind)
+                           << "' quarantine record";
+    // The damaged cut is preserved for forensics, renamed aside.
+    bool quarantine_file = false;
+    for (const auto& entry : fs::directory_iterator(config.checkpoint_dir)) {
+      if (entry.path().extension() == ".quarantine") {
+        quarantine_file = true;
+      }
+    }
+    EXPECT_TRUE(quarantine_file) << tag;
+  }
+  ExpectSameTree(expected, SlurpDir(config.out_dir), tag);
+}
+
+TEST(CheckpointCorruptionTest, TruncatedMemberQuarantinesWholeCut) {
+  RunCorruptionCase(
+      "trunc",
+      [](const fs::path& ckpt) {
+        const fs::path member = FirstMember(ckpt);
+        const auto size = fs::file_size(member);
+        fs::resize_file(member, size / 2);
+      },
+      SnapshotErrorKind::kTruncated, /*expect_quarantine=*/true);
+}
+
+TEST(CheckpointCorruptionTest, FlippedByteQuarantinesWholeCut) {
+  RunCorruptionCase(
+      "flip",
+      [](const fs::path& ckpt) {
+        const fs::path member = FirstMember(ckpt);
+        std::fstream f(member, std::ios::in | std::ios::out | std::ios::binary);
+        f.seekg(64);
+        char c = 0;
+        f.get(c);
+        f.seekp(64);
+        f.put(static_cast<char>(c ^ 0x20));
+      },
+      SnapshotErrorKind::kBadChecksum, /*expect_quarantine=*/true);
+}
+
+TEST(CheckpointCorruptionTest, StaleContainerVersionQuarantinesWholeCut) {
+  RunCorruptionCase(
+      "stale",
+      [](const fs::path& ckpt) {
+        // Rewrite one member with a bumped container version; the manifest
+        // checksum is updated to match so the STALENESS (not the checksum)
+        // is what the recovery must catch.
+        const fs::path member = FirstMember(ckpt);
+        std::ifstream in(member, std::ios::binary);
+        std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+        in.close();
+        bytes[8] = static_cast<char>(kSnapshotFormatVersion + 1);
+        std::ofstream out(member, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+        out.close();
+        // Patch the manifest line for this member with the new checksum.
+        const fs::path manifest = ckpt / "MANIFEST";
+        std::ifstream min(manifest);
+        std::string text((std::istreambuf_iterator<char>(min)),
+                         std::istreambuf_iterator<char>());
+        min.close();
+        char hex[32];
+        std::snprintf(hex, sizeof hex, "%016llx",
+                      static_cast<unsigned long long>(Fnv64(bytes)));
+        const std::string name = member.filename().string();
+        // Member file names are "<member>.<gen>.ckpt"; the manifest names
+        // the member without the generation suffix.
+        std::string member_name = name.substr(0, name.rfind('.'));  // drop .ckpt
+        member_name = member_name.substr(0, member_name.rfind('.'));  // drop gen
+        std::string patched;
+        std::istringstream lines(text);
+        std::string line;
+        while (std::getline(lines, line)) {
+          if (line.rfind("member " + member_name + " ", 0) == 0) {
+            patched += "member " + member_name + " " +
+                       std::to_string(bytes.size()) + " " + hex + "\n";
+          } else {
+            patched += line + "\n";
+          }
+        }
+        std::ofstream mout(manifest, std::ios::trunc);
+        mout << patched;
+      },
+      SnapshotErrorKind::kStaleVersion, /*expect_quarantine=*/true);
+}
+
+TEST(CheckpointCorruptionTest, ManifestChecksumMismatchQuarantinesWholeCut) {
+  RunCorruptionCase(
+      "manifest",
+      [](const fs::path& ckpt) {
+        // Corrupt the manifest's recorded checksum instead of the member.
+        const fs::path manifest = ckpt / "MANIFEST";
+        std::ifstream in(manifest);
+        std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+        in.close();
+        // Flip the last hex digit of the final member line.
+        const std::size_t pos = text.rfind("member ");
+        ASSERT_NE(pos, std::string::npos);
+        const std::size_t digit = text.find('\n', pos) - 1;
+        text[digit] = text[digit] == '0' ? '1' : '0';
+        std::ofstream out(manifest, std::ios::trunc);
+        out << text;
+      },
+      SnapshotErrorKind::kBadChecksum, /*expect_quarantine=*/true);
+}
+
+TEST(CheckpointCorruptionTest, GarbageManifestQuarantinesWholeCut) {
+  RunCorruptionCase(
+      "garbage",
+      [](const fs::path& ckpt) {
+        std::ofstream out(ckpt / "MANIFEST", std::ios::trunc);
+        out << "not a manifest at all\n";
+      },
+      SnapshotErrorKind::kBadMagic, /*expect_quarantine=*/true);
+}
+
+TEST(CheckpointCorruptionTest, RandomizedMemberFuzzNeverCrashes) {
+  // Deterministic fuzz: flip one byte at a spread of offsets across a real
+  // member file.  Every variant must recover-with-quarantine or
+  // recover-as-empty — never abort, never resume damaged state.
+  Scratch scratch("fuzz");
+  SpoolTenant(scratch, "solo.trace", 5);
+  ServeConfig config = ConfigFor(scratch, "fuzz");
+  config.stop_after_commits = 1;
+  {
+    ServiceLoop loop(ServeSpec(), config);
+    auto outcome = loop.Run();
+    ASSERT_TRUE(outcome.has_value());
+  }
+  const fs::path ckpt(config.checkpoint_dir);
+  const fs::path member = FirstMember(ckpt);
+  std::ifstream in(member, std::ios::binary);
+  const std::string pristine((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  in.close();
+  const fs::path manifest = ckpt / "MANIFEST";
+  std::ifstream min(manifest, std::ios::binary);
+  const std::string manifest_pristine((std::istreambuf_iterator<char>(min)),
+                                      std::istreambuf_iterator<char>());
+  min.close();
+
+  for (std::size_t step = 0; step < 64; ++step) {
+    const std::size_t at = (pristine.size() * step) / 64;
+    std::string bent = pristine;
+    bent[at] = static_cast<char>(bent[at] ^ (1u << (step % 8)));
+    {
+      std::ofstream out(member, std::ios::binary | std::ios::trunc);
+      out.write(bent.data(), static_cast<std::streamsize>(bent.size()));
+    }
+    CheckpointStore store(ckpt.string());
+    auto recovered = store.Recover();
+    ASSERT_TRUE(recovered.has_value()) << "offset " << at;
+    if (recovered->quarantined.empty()) {
+      // The flip landed on a byte the container does not cover only if it
+      // produced an identical file — impossible for a real flip.
+      ADD_FAILURE() << "flip at " << at << " went undetected";
+    }
+    // Restore the pristine cut (quarantine renamed the files aside).
+    {
+      std::ofstream out(member, std::ios::binary | std::ios::trunc);
+      out.write(pristine.data(), static_cast<std::streamsize>(pristine.size()));
+      std::ofstream mout(manifest, std::ios::binary | std::ios::trunc);
+      mout.write(manifest_pristine.data(),
+                 static_cast<std::streamsize>(manifest_pristine.size()));
+    }
+    for (const auto& entry : fs::directory_iterator(ckpt)) {
+      if (entry.path().extension() == ".quarantine") {
+        fs::remove(entry.path());
+      }
+    }
+  }
+}
+
+TEST(CheckpointCorruptionDeathTest, CorruptStoreExitsCleanlyNotViaAbort) {
+  // Pin the no-abort discipline with a real process boundary: recovering a
+  // mangled store and then serving to completion must exit 0.
+  Scratch scratch("death");
+  SpoolTenant(scratch, "solo.trace", 9);
+  ServeConfig config = ConfigFor(scratch, "death");
+  config.stop_after_commits = 1;
+  {
+    ServiceLoop loop(ServeSpec(), config);
+    auto outcome = loop.Run();
+    ASSERT_TRUE(outcome.has_value());
+  }
+  const fs::path member = FirstMember(fs::path(config.checkpoint_dir));
+  {
+    std::ofstream out(member, std::ios::binary | std::ios::trunc);
+    out << "garbage that is definitely not a sealed snapshot";
+  }
+  config.stop_after_commits = -1;
+  EXPECT_EXIT(
+      {
+        ServiceLoop loop(ServeSpec(), config);
+        auto outcome = loop.Run();
+        const bool ok = outcome.has_value() && outcome->finished &&
+                        !outcome->quarantined.empty();
+        std::_Exit(ok ? 0 : 5);
+      },
+      ::testing::ExitedWithCode(0), "");
+}
+
+// ---------------------------------------------------------------------------
+// Batch skip-and-report regression.
+
+TEST(BatchSkipAndReportTest, MalformedTenantIsSkippedReportedAndChangesExitCode) {
+  Scratch scratch("batch");
+  SpoolThreeTenants(scratch);
+  {
+    std::ofstream bad(fs::path(scratch.Spool()) / "bad.trace");
+    bad << "ref ok r\nthis line does not parse\n";
+  }
+  BatchOptions options;
+  options.dir = scratch.Spool();
+  options.jobs = 2;
+  ::testing::internal::CaptureStdout();
+  const int with_bad = RunBatch(ServeSpec(), options);
+  const std::string stdout_text = ::testing::internal::GetCapturedStdout();
+  EXPECT_EQ(with_bad, 3) << "rejected tenants must be distinguishable";
+  EXPECT_NE(stdout_text.find("rejected (skipped)"), std::string::npos);
+  EXPECT_NE(stdout_text.find("3 of 4 tenants ran, 1 rejected"), std::string::npos)
+      << stdout_text;
+
+  fs::remove(fs::path(scratch.Spool()) / "bad.trace");
+  ::testing::internal::CaptureStdout();
+  const int all_good = RunBatch(ServeSpec(), options);
+  ::testing::internal::GetCapturedStdout();
+  EXPECT_EQ(all_good, 0) << "with every tenant loadable the exit code is 0";
+}
+
+TEST(BatchSkipAndReportTest, UnreadableTraceIsSkippedNotFatal) {
+  Scratch scratch("batchdir");
+  SpoolTenant(scratch, "good.trace", 3);
+  fs::create_directories(fs::path(scratch.Spool()) / "subdir.trace");  // not a file
+  {
+    std::ofstream empty(fs::path(scratch.Spool()) / "empty.trace");
+  }
+  BatchOptions options;
+  options.dir = scratch.Spool();
+  options.jobs = 1;
+  ::testing::internal::CaptureStdout();
+  const int code = RunBatch(ServeSpec(), options);
+  ::testing::internal::GetCapturedStdout();
+  // The empty trace parses as zero references (valid); the directory entry
+  // is not a regular file and is not a cell at all.
+  EXPECT_EQ(code, 0);
+}
+
+TEST(ServeRejectionTest, MalformedSpoolFileIsRejectedOthersServe) {
+  Scratch scratch("reject");
+  SpoolThreeTenants(scratch);
+  {
+    std::ofstream bad(fs::path(scratch.Spool()) / "bad.trace");
+    bad << "not a reference trace\n";
+  }
+  ServeConfig config = ConfigFor(scratch, "serve");
+  ServiceLoop loop(ServeSpec(), config);
+  auto outcome = loop.Run();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_TRUE(outcome->finished);
+  EXPECT_EQ(outcome->tenants_completed, 3u);
+  EXPECT_EQ(outcome->tenants_rejected, 1u);
+  ASSERT_EQ(outcome->rejected.size(), 1u);
+  EXPECT_NE(outcome->rejected[0].find("bad.trace"), std::string::npos);
+  EXPECT_NE(outcome->rejected[0].find("line 1"), std::string::npos);
+}
+
+TEST(ServeRejectionTest, NonPagedLinearSpecIsATypedError) {
+  Scratch scratch("family");
+  SpoolTenant(scratch, "solo.trace", 1);
+  SystemSpec spec = ServeSpec();
+  spec.characteristics.name_space = NameSpaceKind::kSymbolicallySegmented;
+  spec.characteristics.unit = AllocationUnit::kVariableBlocks;
+  ServeConfig config = ConfigFor(scratch, "family");
+  ServiceLoop loop(spec, config);
+  auto outcome = loop.Run();
+  ASSERT_FALSE(outcome.has_value());
+  EXPECT_EQ(outcome.error().kind, SnapshotErrorKind::kBadValue);
+}
+
+}  // namespace
+}  // namespace dsa

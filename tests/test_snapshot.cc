@@ -1,0 +1,440 @@
+// Snapshot substrate tests: writer/reader primitive round-trips, the
+// container's corruption taxonomy (truncated / flipped byte / bad magic /
+// stale version -> typed errors, zero-value reads, no aborts), Rng
+// State()/Restore() continuation purity over 2^17 draws, and the headline
+// component guarantee — a PagedLinearVm checkpointed mid-run and reloaded
+// into a fresh instance continues bit-identically to the uninterrupted run,
+// across every replacement policy service mode can host.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/rng.h"
+#include "src/core/snapshot.h"
+#include "src/obs/metrics.h"
+#include "src/obs/vm_metrics.h"
+#include "src/sched/load_control.h"
+#include "src/trace/synthetic.h"
+#include "src/vm/paged_vm.h"
+#include "src/vm/system_builder.h"
+
+namespace dsa {
+namespace {
+
+TEST(SnapshotPrimitivesTest, RoundTripsEveryFieldType) {
+  SnapshotWriter w;
+  w.U8(0xab);
+  w.Bool(true);
+  w.Bool(false);
+  w.U32(0xdeadbeefu);
+  w.U64(0x0123456789abcdefULL);
+  w.F64(0.6180339887498949);
+  w.F64(-0.0);
+  w.Str("hello snapshot");
+  w.Str("");
+  const std::string sealed = w.Seal();
+
+  SnapshotReader r(sealed);
+  ASSERT_TRUE(r.ok()) << r.error().Describe();
+  EXPECT_EQ(r.U8(), 0xab);
+  EXPECT_TRUE(r.Bool());
+  EXPECT_FALSE(r.Bool());
+  EXPECT_EQ(r.U32(), 0xdeadbeefu);
+  EXPECT_EQ(r.U64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.F64(), 0.6180339887498949);
+  const double neg_zero = r.F64();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero)) << "-0.0 must round-trip bit-exactly";
+  EXPECT_EQ(r.Str(), "hello snapshot");
+  EXPECT_EQ(r.Str(), "");
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(SnapshotPrimitivesTest, SealIsDeterministic) {
+  auto build = [] {
+    SnapshotWriter w;
+    w.U64(42);
+    w.Str("tenant");
+    return w.Seal();
+  };
+  EXPECT_EQ(build(), build());
+}
+
+TEST(SnapshotPrimitivesTest, CountEnforcesAllocationLimit) {
+  SnapshotWriter w;
+  w.U64(1u << 20);  // a "length" far beyond what the caller will accept
+  const std::string sealed_bytes = w.Seal();
+  SnapshotReader r(sealed_bytes);
+  EXPECT_EQ(r.Count(1024), 0u);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error().kind, SnapshotErrorKind::kBadValue);
+}
+
+TEST(SnapshotPrimitivesTest, AtEndRejectsTrailingGarbage) {
+  SnapshotWriter w;
+  w.U64(1);
+  w.U64(2);
+  const std::string sealed_bytes = w.Seal();
+  SnapshotReader r(sealed_bytes);
+  (void)r.U64();
+  EXPECT_FALSE(r.AtEnd()) << "one u64 of payload remains";
+  (void)r.U64();
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SnapshotPrimitivesTest, ReadsPastEndLatchTruncatedAndReturnZero) {
+  SnapshotWriter w;
+  w.U32(7);
+  const std::string sealed_bytes = w.Seal();
+  SnapshotReader r(sealed_bytes);
+  EXPECT_EQ(r.U32(), 7u);
+  EXPECT_EQ(r.U64(), 0u) << "read past end must return a zero value";
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error().kind, SnapshotErrorKind::kTruncated);
+  // Every subsequent read stays zero; the first error is latched.
+  EXPECT_EQ(r.U32(), 0u);
+  EXPECT_EQ(r.Str(), "");
+  EXPECT_EQ(r.error().kind, SnapshotErrorKind::kTruncated);
+}
+
+std::string SampleSealed() {
+  SnapshotWriter w;
+  w.U64(123456789);
+  w.Str("payload under test");
+  w.F64(3.5);
+  return w.Seal();
+}
+
+TEST(SnapshotCorruptionTest, TruncatedFileIsTyped) {
+  const std::string sealed = SampleSealed();
+  for (std::size_t keep : {std::size_t{0}, std::size_t{4}, std::size_t{19},
+                           sealed.size() - 1}) {
+    const std::string cut = sealed.substr(0, keep);
+    SnapshotReader r(cut);
+    EXPECT_FALSE(r.ok()) << "kept " << keep << " bytes";
+    EXPECT_EQ(r.error().kind, SnapshotErrorKind::kTruncated) << "kept " << keep;
+    EXPECT_EQ(r.U64(), 0u);
+  }
+}
+
+TEST(SnapshotCorruptionTest, EveryFlippedPayloadByteIsCaught) {
+  const std::string sealed = SampleSealed();
+  // Header: magic(8) + version(4) + length(8) + checksum(8).
+  const std::size_t payload_start = 28;
+  for (std::size_t i = payload_start; i < sealed.size(); ++i) {
+    std::string bent = sealed;
+    bent[i] = static_cast<char>(bent[i] ^ 0x40);
+    SnapshotReader r(bent);
+    EXPECT_FALSE(r.ok()) << "flip at byte " << i;
+    EXPECT_EQ(r.error().kind, SnapshotErrorKind::kBadChecksum) << "flip at " << i;
+  }
+}
+
+TEST(SnapshotCorruptionTest, FlippedChecksumByteIsCaught) {
+  std::string bent = SampleSealed();
+  bent[20] = static_cast<char>(bent[20] ^ 0x01);  // first checksum byte
+  SnapshotReader r(bent);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error().kind, SnapshotErrorKind::kBadChecksum);
+}
+
+TEST(SnapshotCorruptionTest, BadMagicIsTyped) {
+  std::string bent = SampleSealed();
+  bent[0] = 'X';
+  SnapshotReader r(bent);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error().kind, SnapshotErrorKind::kBadMagic);
+
+  SnapshotReader garbage("definitely not a snapshot, longer than a header");
+  EXPECT_FALSE(garbage.ok());
+  EXPECT_EQ(garbage.error().kind, SnapshotErrorKind::kBadMagic);
+}
+
+TEST(SnapshotCorruptionTest, StaleVersionIsTypedNotGuessed) {
+  std::string bent = SampleSealed();
+  bent[8] = static_cast<char>(kSnapshotFormatVersion + 1);  // version LSB
+  SnapshotReader r(bent);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error().kind, SnapshotErrorKind::kStaleVersion);
+}
+
+TEST(SnapshotCorruptionTest, LyingLengthFieldIsTruncated) {
+  std::string bent = SampleSealed();
+  bent[12] = static_cast<char>(bent[12] + 1);  // length LSB: promise more bytes
+  SnapshotReader r(bent);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error().kind, SnapshotErrorKind::kTruncated);
+}
+
+// ---------------------------------------------------------------------------
+// Rng State()/Restore() purity.
+
+constexpr std::size_t kDrawHorizon = std::size_t{1} << 17;
+
+TEST(RngSnapshotTest, RestoredStreamContinuesIdenticallyOverLongHorizon) {
+  Rng original(0xfeedfaceULL);
+  // Burn an odd prefix so the captured state is mid-stream, not post-seed.
+  for (int i = 0; i < 12345; ++i) {
+    (void)original.Next();
+  }
+  const RngState state = original.State();
+
+  Rng restored(1);  // deliberately different seed; Restore must overwrite all
+  restored.Restore(state);
+  for (std::size_t i = 0; i < kDrawHorizon; ++i) {
+    ASSERT_EQ(original.Next(), restored.Next()) << "diverged at draw " << i;
+  }
+}
+
+TEST(RngSnapshotTest, RestoredGeneratorForksIdenticalChildren) {
+  Rng original(0x5eedULL);
+  for (int i = 0; i < 999; ++i) {
+    (void)original.Next();
+  }
+  Rng restored(2);
+  restored.Restore(original.State());
+
+  for (std::uint64_t stream : {0ULL, 1ULL, 7ULL, 1000ULL}) {
+    Rng a = original.Fork(stream);
+    Rng b = restored.Fork(stream);
+    for (std::size_t i = 0; i < kDrawHorizon / 8; ++i) {
+      ASSERT_EQ(a.Next(), b.Next())
+          << "fork stream " << stream << " diverged at draw " << i;
+    }
+  }
+}
+
+TEST(RngSnapshotTest, StateRoundTripsThroughSnapshotBytes) {
+  Rng original(0xabcdefULL);
+  for (int i = 0; i < 777; ++i) {
+    (void)original.Next();
+  }
+  SnapshotWriter w;
+  SaveRngState(&w, original.State());
+  const std::string sealed_bytes = w.Seal();
+  SnapshotReader r(sealed_bytes);
+  const RngState loaded = LoadRngState(&r);
+  ASSERT_TRUE(r.ok() && r.AtEnd());
+  EXPECT_EQ(loaded, original.State());
+}
+
+// ---------------------------------------------------------------------------
+// Component round-trips.
+
+TEST(ComponentSnapshotTest, MetricsRegistryRoundTripsAndMerges) {
+  MetricsRegistry reg;
+  reg.GetCounter("vm/references")->Increment(100);
+  reg.GetCounter("vm/faults")->Increment(7);
+  SnapshotWriter w;
+  reg.SaveState(&w);
+  const std::string sealed = w.Seal();
+
+  MetricsRegistry fresh;
+  SnapshotReader r(sealed);
+  fresh.LoadState(&r);
+  ASSERT_TRUE(r.ok() && r.AtEnd()) << r.error().Describe();
+  EXPECT_EQ(fresh.CounterValue("vm/references"), 100u);
+  EXPECT_EQ(fresh.CounterValue("vm/faults"), 7u);
+
+  // LoadState merges by NAME (new names register, existing names must agree
+  // on kind) but restores each metric's value verbatim — the snapshot is
+  // authoritative, pre-existing counts are overwritten, not accumulated.
+  MetricsRegistry merged;
+  merged.GetCounter("vm/references")->Increment(11);
+  merged.GetCounter("local/only")->Increment(5);
+  SnapshotReader r2(sealed);
+  merged.LoadState(&r2);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(merged.CounterValue("vm/references"), 100u);
+  EXPECT_EQ(merged.CounterValue("local/only"), 5u);
+}
+
+TEST(ComponentSnapshotTest, LoadControllerRoundTripsDecisionState) {
+  LoadControlConfig config;
+  config.policy = LoadControlPolicy::kAdaptiveFaultRate;
+  LoadController a(config, /*core_words=*/4096, /*page_words=*/128);
+  // Feed an arbitrary but deterministic signal history.
+  for (Cycles now = 0; now < 50000; now += 1000) {
+    a.detector().RecordReference(now);
+    if (now % 3000 == 0) {
+      a.detector().RecordFault(now, /*wait=*/400);
+    }
+    a.detector().RecordSpaceTime(now, /*active_wt=*/static_cast<double>(now) * 10.0,
+                                 /*waiting_wt=*/static_cast<double>(now) * 2.0);
+  }
+  SnapshotWriter w;
+  a.SaveState(&w);
+  const std::string sealed = w.Seal();
+
+  LoadController b(config, 4096, 128);
+  SnapshotReader r(sealed);
+  b.LoadState(&r);
+  ASSERT_TRUE(r.ok() && r.AtEnd()) << r.error().Describe();
+
+  // The restored controller must make the same decisions the original
+  // would: serialize both again and compare bytes.
+  SnapshotWriter wa;
+  a.SaveState(&wa);
+  SnapshotWriter wb;
+  b.SaveState(&wb);
+  EXPECT_EQ(wa.Seal(), wb.Seal());
+}
+
+// ---------------------------------------------------------------------------
+// PagedLinearVm mid-run checkpointing.
+
+SystemSpec ServeSpec(ReplacementStrategyKind replacement) {
+  SystemSpec spec;
+  spec.label = "snapshot-vm";
+  spec.core_words = 2048;
+  spec.page_words = 128;  // 16 frames
+  spec.tlb_entries = 4;
+  spec.replacement = replacement;
+  spec.backing_level = MakeDrumLevel("drum", 1u << 17, /*word_time=*/2,
+                                     /*rotational_delay=*/500);
+  return spec;
+}
+
+ReferenceTrace VmTrace() {
+  WorkingSetTraceParams params;
+  params.extent = 1 << 13;
+  params.region_words = 128;
+  params.regions_per_phase = 6;
+  params.phase_length = 1500;
+  params.phases = 3;
+  params.seed = 97;
+  return MakeWorkingSetTrace(params);
+}
+
+std::string StepAll(PagedLinearVm* vm, const ReferenceTrace& trace,
+                    std::size_t from) {
+  for (std::size_t i = from; i < trace.refs.size(); ++i) {
+    vm->Step(trace.refs[i]);
+  }
+  VmReport report = vm->Snapshot();
+  report.label = trace.label;
+  return RenderVmReport(report, Describe(vm->characteristics()), trace.label);
+}
+
+TEST(PagedVmSnapshotTest, MidRunSaveLoadContinuesBitIdenticallyAcrossPolicies) {
+  const ReferenceTrace trace = VmTrace();
+  for (ReplacementStrategyKind policy :
+       {ReplacementStrategyKind::kLru, ReplacementStrategyKind::kFifo,
+        ReplacementStrategyKind::kClock, ReplacementStrategyKind::kRandom,
+        ReplacementStrategyKind::kM44Class, ReplacementStrategyKind::kWorkingSet}) {
+    const SystemSpec spec = ServeSpec(policy);
+
+    PagedLinearVm straight(PagedConfigFromSpec(spec));
+    const std::string expected = StepAll(&straight, trace, 0);
+
+    // Interrupt at several cut points, including mid-phase ones.
+    for (std::size_t cut : {std::size_t{1}, trace.refs.size() / 3,
+                            trace.refs.size() / 2,
+                            trace.refs.size() - 1}) {
+      PagedLinearVm first(PagedConfigFromSpec(spec));
+      for (std::size_t i = 0; i < cut; ++i) {
+        first.Step(trace.refs[i]);
+      }
+      SnapshotWriter w;
+      first.SaveState(&w);
+      const std::string sealed = w.Seal();
+
+      PagedLinearVm resumed(PagedConfigFromSpec(spec));
+      SnapshotReader r(sealed);
+      resumed.LoadState(&r);
+      ASSERT_TRUE(r.ok()) << ToString(policy) << " cut " << cut << ": "
+                          << r.error().Describe();
+      ASSERT_TRUE(r.AtEnd()) << ToString(policy) << " cut " << cut
+                             << ": trailing bytes after LoadState";
+      EXPECT_EQ(StepAll(&resumed, trace, cut), expected)
+          << ToString(policy) << " cut at " << cut;
+    }
+  }
+}
+
+TEST(PagedVmSnapshotTest, SaveStateIsDeterministicForIdenticalState) {
+  const SystemSpec spec = ServeSpec(ReplacementStrategyKind::kLru);
+  const ReferenceTrace trace = VmTrace();
+  auto capture = [&] {
+    PagedLinearVm vm(PagedConfigFromSpec(spec));
+    for (std::size_t i = 0; i < trace.refs.size() / 2; ++i) {
+      vm.Step(trace.refs[i]);
+    }
+    SnapshotWriter w;
+    vm.SaveState(&w);
+    return w.Seal();
+  };
+  EXPECT_EQ(capture(), capture());
+}
+
+TEST(PagedVmSnapshotTest, CorruptVmSnapshotFailsTypedWithoutCrashing) {
+  const SystemSpec spec = ServeSpec(ReplacementStrategyKind::kLru);
+  const ReferenceTrace trace = VmTrace();
+  PagedLinearVm vm(PagedConfigFromSpec(spec));
+  for (std::size_t i = 0; i < 1000; ++i) {
+    vm.Step(trace.refs[i]);
+  }
+  SnapshotWriter w;
+  vm.SaveState(&w);
+  const std::string sealed = w.Seal();
+
+  // Truncation, payload flips at several depths, and a stale version must
+  // all surface as reader errors — never an abort, never a partial load
+  // that silently "works".
+  std::vector<std::string> corrupt;
+  corrupt.push_back(sealed.substr(0, sealed.size() / 2));
+  for (std::size_t at : {std::size_t{28}, sealed.size() / 2, sealed.size() - 1}) {
+    std::string bent = sealed;
+    bent[at] = static_cast<char>(bent[at] ^ 0x10);
+    corrupt.push_back(std::move(bent));
+  }
+  {
+    std::string stale = sealed;
+    stale[8] = static_cast<char>(kSnapshotFormatVersion + 3);
+    corrupt.push_back(std::move(stale));
+  }
+  for (const std::string& bytes : corrupt) {
+    PagedLinearVm fresh(PagedConfigFromSpec(spec));
+    SnapshotReader r(bytes);
+    fresh.LoadState(&r);
+    EXPECT_FALSE(r.ok() && r.AtEnd());
+    if (!r.ok()) {
+      EXPECT_FALSE(r.error().Describe().empty());
+    }
+  }
+}
+
+TEST(PagedVmSnapshotTest, FaultInjectedRunResumesIdentically) {
+  // The injector's Rng stream is part of the checkpoint: a resumed run must
+  // see the same fault schedule tail.
+  SystemSpec spec = ServeSpec(ReplacementStrategyKind::kLru);
+  spec.fault_injection.rates.transient_transfer = 0.05;
+  spec.fault_injection.seed = 4242;
+  const ReferenceTrace trace = VmTrace();
+
+  PagedLinearVm straight(PagedConfigFromSpec(spec));
+  const std::string expected = StepAll(&straight, trace, 0);
+
+  const std::size_t cut = trace.refs.size() / 2;
+  PagedLinearVm first(PagedConfigFromSpec(spec));
+  for (std::size_t i = 0; i < cut; ++i) {
+    first.Step(trace.refs[i]);
+  }
+  SnapshotWriter w;
+  first.SaveState(&w);
+  PagedLinearVm resumed(PagedConfigFromSpec(spec));
+  const std::string sealed_bytes = w.Seal();
+  SnapshotReader r(sealed_bytes);
+  resumed.LoadState(&r);
+  ASSERT_TRUE(r.ok() && r.AtEnd()) << r.error().Describe();
+  EXPECT_EQ(StepAll(&resumed, trace, cut), expected);
+}
+
+}  // namespace
+}  // namespace dsa

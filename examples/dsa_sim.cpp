@@ -51,6 +51,10 @@
 //     --crash-after N         abandon the service (exit 137, no flush) after
 //                             N checkpoint commits — the deterministic kill
 //                             point scripts/soak_resume.sh drives
+//     --lanes N               scheduler lanes for --serve: step up to N active
+//                             tenants concurrently over one shared lock-free
+//                             storage heap (0 = hardware width; default 1).
+//                             Outputs are byte-identical at any lane count
 //
 // Examples:
 //   dsa_sim --name-space symseg --unit blocks --replacement clock
@@ -173,6 +177,7 @@ int main(int argc, char** argv) {
   std::size_t max_active = 0;
   bool drain = false;
   int crash_after = -1;
+  unsigned lanes = 1;
   unsigned jobs = dsa::JobsFromEnv(/*fallback=*/1);
   std::string gen_kind = "working-set";
   dsa::SystemSpec spec;
@@ -215,6 +220,8 @@ int main(int argc, char** argv) {
       drain = true;
     } else if (arg == "--crash-after") {
       crash_after = static_cast<int>(std::strtol(next().c_str(), nullptr, 10));
+    } else if (arg == "--lanes") {
+      lanes = static_cast<unsigned>(std::strtoul(next().c_str(), nullptr, 10));
     } else if (arg == "--jobs") {
       jobs = static_cast<unsigned>(std::strtoul(next().c_str(), nullptr, 10));
       if (jobs == 0) {
@@ -310,6 +317,7 @@ int main(int argc, char** argv) {
     serve_config.load_control.max_active = max_active;
     serve_config.stop_after_commits = crash_after;
     serve_config.rescan_spool = !drain;
+    serve_config.lanes = lanes;
     return RunServe(spec, serve_config, crash_after >= 0);
   }
 

@@ -4,10 +4,11 @@
 #   scripts/check.sh              # configure, build, ctest by label, benches
 #   DSA_SANITIZE=address scripts/check.sh   # same, under ASan
 #
-# ctest runs as five labelled passes (unit, golden, property, soak, resume)
-# so a failure names the class of breakage immediately; --no-tests=error turns a
-# label with zero registered tests into a failure instead of a silent green
-# pass.  The quick bench outputs land in
+# ctest runs as six labelled passes (unit, golden, property, soak, resume,
+# stress — the last reruns the concurrent suites under --gtest_repeat with
+# rotating seeds) so a failure names the class of breakage immediately;
+# --no-tests=error turns a label with zero registered tests into a failure
+# instead of a silent green pass.  The quick bench outputs land in
 # build/ — the committed BENCH_*.json files at the repo root are full-run
 # references and are only rewritten deliberately.
 set -euo pipefail
@@ -21,7 +22,7 @@ fi
 
 cmake -B build -S . "${SANITIZE_ARGS[@]}"
 cmake --build build -j
-for label in unit golden property soak resume; do
+for label in unit golden property soak resume stress; do
   echo "== ctest -L ${label}"
   # Note -j needs an explicit count: a bare `-j` makes ctest swallow the
   # following -L flag and run the whole suite unfiltered.
@@ -36,6 +37,11 @@ done
 # results (the ISSUE's bit-reproducibility contract); its speedup gate only
 # engages on >= 4 hardware threads and in full (non-quick) runs.
 (cd build && ./bench/bench_parallel --quick)
+# bench_concurrent exits non-zero if any lane width of the multi-lane
+# simulator perturbs the output bytes or the shared lock-free heap leaks
+# blocks; like bench_parallel, its speedup gate engages only on >= 4
+# hardware threads in full runs.
+(cd build && ./bench/bench_concurrent --quick)
 # bench_alloc exits non-zero if segregated-fit stops beating best-fit on
 # mean allocation cycles at equal-or-better external fragmentation on the
 # zipf/phase traces.

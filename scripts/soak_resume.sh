@@ -19,6 +19,11 @@
 # replacement decision that diverged — fails the soak.  Randomized kill
 # delays come from $RANDOM seeded with a fixed value, so a failure
 # reproduces with the same seed.
+#
+# Cells rotate --lanes 1/2/4 on the killed and resumed runs while the
+# reference stays serial, so the matrix also proves the concurrent service
+# resumes bit-identically to the serial uninterrupted run — checkpoint
+# commits are barriers, never mid-parallel-round cuts.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -52,16 +57,20 @@ echo "== soak_resume: straight-through reference"
 "$SIM" "${SERVE_ARGS[@]}" --out "$WORK/ref" --checkpoint "$WORK/ref.ckpt" > /dev/null
 
 # Runs one kill-and-resume cell in $1 (its private out/ckpt prefix); the
-# remaining args are either "det <commits>" (deterministic --crash-after)
-# or "rand <seed>" (SIGKILL after a random delay).
+# remaining args are "det <commits> <lanes>" (deterministic --crash-after)
+# or "rand <seed> <lanes>" (SIGKILL after a random delay).  The killed AND
+# resumed runs both use <lanes> scheduler lanes; the reference is always the
+# serial lanes=1 run, so every cell doubles as a concurrent-determinism
+# check: a multi-lane service killed cold must resume to the exact bytes the
+# serial uninterrupted service produces.
 run_cell() {
-  local prefix="$1" mode="$2" param="$3"
+  local prefix="$1" mode="$2" param="$3" lanes="${4:-1}"
   local out="$prefix.out" ckpt="$prefix.ckpt"
   rm -rf "$out" "$ckpt"
 
   if [[ "$mode" == det ]]; then
     # Deterministic kill: the process _Exit(137)s itself mid-loop.
-    "$SIM" "${SERVE_ARGS[@]}" --out "$out" --checkpoint "$ckpt" \
+    "$SIM" "${SERVE_ARGS[@]}" --lanes "$lanes" --out "$out" --checkpoint "$ckpt" \
       --crash-after "$param" > /dev/null 2>&1 && {
         echo "cell $prefix: --crash-after $param finished instead of dying" >&2
         return 1
@@ -71,7 +80,7 @@ run_cell() {
     # runtime, then kill -9 the whole process.
     RANDOM=$param
     local delay_ms=$(( (RANDOM % 400) + 20 ))
-    "$SIM" "${SERVE_ARGS[@]}" --out "$out" --checkpoint "$ckpt" > /dev/null 2>&1 &
+    "$SIM" "${SERVE_ARGS[@]}" --lanes "$lanes" --out "$out" --checkpoint "$ckpt" > /dev/null 2>&1 &
     local pid=$!
     local waited=0
     while kill -0 "$pid" 2>/dev/null && (( waited < delay_ms )); do
@@ -89,7 +98,7 @@ run_cell() {
   # Supervisor loop: restart until clean exit (bounded).
   local attempt
   for attempt in 1 2 3 4 5 6; do
-    if "$SIM" "${SERVE_ARGS[@]}" --out "$out" --checkpoint "$ckpt" > /dev/null 2>&1; then
+    if "$SIM" "${SERVE_ARGS[@]}" --lanes "$lanes" --out "$out" --checkpoint "$ckpt" > /dev/null 2>&1; then
       break
     fi
     if (( attempt == 6 )); then
@@ -106,14 +115,19 @@ run_cell() {
   return 0
 }
 
-# Build the cell list: mode param pairs.
+# Build the cell list: "mode param lanes" triples.  Lanes rotate through
+# 1/2/4 so SIGKILLs land in serial rounds, mid-parallel rounds, and
+# wider-than-hardware rounds alike.
 CELLS=()
 if [[ $QUICK == 1 ]]; then
-  CELLS+=("rand 101" "rand 202" "rand 303")
+  CELLS+=("rand 101 1" "rand 202 2" "rand 303 4")
 else
-  CELLS+=("det 1" "det 3" "det 10" "det 40")
+  CELLS+=("det 1 1" "det 3 2" "det 10 4" "det 40 2")
+  lanes_cycle=(1 2 4)
+  n=0
   for seed in 101 202 303 404 505 606 707 808; do
-    CELLS+=("rand $seed")
+    CELLS+=("rand $seed ${lanes_cycle[$((n % 3))]}")
+    n=$((n + 1))
   done
 fi
 
@@ -122,8 +136,8 @@ fail=0
 running=0
 pids=()
 for i in "${!CELLS[@]}"; do
-  read -r mode param <<< "${CELLS[$i]}"
-  run_cell "$WORK/cell$i" "$mode" "$param" &
+  read -r mode param lanes <<< "${CELLS[$i]}"
+  run_cell "$WORK/cell$i" "$mode" "$param" "$lanes" &
   pids+=($!)
   running=$((running + 1))
   if (( running >= JOBS )); then

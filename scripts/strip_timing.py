@@ -1,14 +1,23 @@
 #!/usr/bin/env python3
 """Strip machine-dependent wall-clock fields from a bench JSON file.
 
-Usage: strip_timing.py FILE   (writes the stripped text to stdout)
+Usage: strip_timing.py [--structure] FILE   (writes to stdout)
 
-The quick bench outputs are deterministic except for three timing fields
-and one machine-context line: "seconds" and "refs_per_sec" are dropped,
+The quick bench outputs are deterministic except for a few timing fields
+and two machine-context lines: "seconds" and "refs_per_sec" are dropped,
 "speedup" is nulled, and the "host" header object (core count, run mode —
-written by bench/bench_meta.h) is removed whole.  Everything left must be
-bit-identical on every machine, so diff_bench.sh can compare a fresh run
-against the committed BENCH_*.quick.json references.
+written by bench/bench_meta.h) and the "contention" object (CAS-retry and
+escalation telemetry from bench_concurrent — genuine thread-interleaving
+measurements, nondeterministic by design) are removed whole.  Everything
+left must be bit-identical on every machine, so diff_bench.sh can compare
+a fresh run against the committed BENCH_*.quick.json references.
+
+--structure reduces the file to its JSON skeleton instead: every scalar
+becomes its type name and every list collapses to the structure of its
+first element.  That is the right comparison for the committed FULL curves
+(BENCH_parallel.json, BENCH_concurrent.json), whose values and even row
+counts are machine-dependent (the lane/worker lists include the hardware
+width) — the skeleton pins the schema without pinning the host.
 
 Unlike the sed pipeline this replaces, the removal does not care where in
 the object the field sits: a timing key is stripped whether it is followed
@@ -17,6 +26,7 @@ end), or stands alone.  Output is byte-identical to the old sed on the
 existing reference files.
 """
 
+import json
 import re
 import sys
 
@@ -27,8 +37,9 @@ _NUM = r"(?:[0-9.eE+-]+|null)"
 
 _DROPPED = ("seconds", "refs_per_sec", "save_seconds", "load_seconds")
 _NULLED = ("speedup",)
-# Header objects removed as whole lines (machine context, not results).
-_DROPPED_LINES = ("host",)
+# Header objects removed as whole lines (machine context or thread-contention
+# telemetry, not results).
+_DROPPED_LINES = ("host", "contention")
 
 
 def strip_timing(text: str) -> str:
@@ -46,12 +57,35 @@ def strip_timing(text: str) -> str:
     return text
 
 
+def skeleton(value):
+    """The structure of a JSON value: scalars -> type names, lists -> the
+    structure of their first element (an empty list stays [])."""
+    if isinstance(value, dict):
+        return {key: skeleton(inner) for key, inner in value.items()}
+    if isinstance(value, list):
+        return [skeleton(value[0])] if value else []
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, (int, float)):
+        return "number"
+    if value is None:
+        return "null"
+    return "string"
+
+
 def main(argv: list[str]) -> int:
-    if len(argv) != 2:
-        print(f"usage: {argv[0]} FILE", file=sys.stderr)
+    args = [a for a in argv[1:] if a != "--structure"]
+    structure = len(args) != len(argv) - 1
+    if len(args) != 1:
+        print(f"usage: {argv[0]} [--structure] FILE", file=sys.stderr)
         return 2
-    with open(argv[1], encoding="utf-8") as handle:
-        sys.stdout.write(strip_timing(handle.read()))
+    with open(args[0], encoding="utf-8") as handle:
+        text = handle.read()
+    if structure:
+        json.dump(skeleton(json.loads(text)), sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    else:
+        sys.stdout.write(strip_timing(text))
     return 0
 
 

@@ -1,0 +1,229 @@
+#include "src/exec/concurrent_heap.h"
+
+#include <algorithm>
+
+namespace dsa {
+
+bool ConcurrentBlockPool::TryAcquire(std::uint32_t* index) {
+  std::uint64_t head = head_.load(std::memory_order_acquire);
+  for (;;) {
+    const std::uint32_t top = HeadIndex(head);
+    if (top == kNull) {
+      return false;
+    }
+    // The link read is safe even if another thread pops `top` first: the
+    // slot stays allocated (indices never dangle), and our CAS then fails
+    // on the version bump and reloads.
+    const std::uint32_t next = next_[top].load(std::memory_order_relaxed);
+    const std::uint64_t desired = PackHead(HeadVersion(head) + 1, next);
+    if (head_.compare_exchange_weak(head, desired, std::memory_order_acq_rel,
+                                    std::memory_order_acquire)) {
+      *index = top;
+      free_count_.fetch_sub(1, std::memory_order_relaxed);
+      acquires_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    cas_retries_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ConcurrentBlockPool::Release(std::uint32_t index) {
+  DSA_ASSERT(index < capacity_.load(std::memory_order_relaxed),
+             "ConcurrentBlockPool::Release: index out of range");
+  std::uint64_t head = head_.load(std::memory_order_acquire);
+  for (;;) {
+    next_[index].store(HeadIndex(head), std::memory_order_relaxed);
+    const std::uint64_t desired = PackHead(HeadVersion(head) + 1, index);
+    // Release ordering publishes the link store above to the next acquirer.
+    if (head_.compare_exchange_weak(head, desired, std::memory_order_acq_rel,
+                                    std::memory_order_acquire)) {
+      free_count_.fetch_add(1, std::memory_order_relaxed);
+      releases_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    cas_retries_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ConcurrentBlockPool::GrowSerial(std::size_t blocks) {
+  // Quiescent by contract: plain read-modify-write of head is fine, and the
+  // deque extension never relocates existing atomics.
+  std::size_t base = capacity_.load(std::memory_order_relaxed);
+  std::uint64_t head = head_.load(std::memory_order_relaxed);
+  std::uint32_t top = HeadIndex(head);
+  for (std::size_t i = 0; i < blocks; ++i) {
+    const auto index = static_cast<std::uint32_t>(base + i);
+    next_.emplace_back();
+    next_.back().store(top, std::memory_order_relaxed);
+    top = index;
+  }
+  head_.store(PackHead(HeadVersion(head) + 1, top), std::memory_order_release);
+  capacity_.store(base + blocks, std::memory_order_relaxed);
+  free_count_.fetch_add(blocks, std::memory_order_relaxed);
+}
+
+ConcurrentFixedHeap::ConcurrentFixedHeap(const std::vector<HeapClassSpec>& classes) {
+  std::vector<HeapClassSpec> sorted = classes;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const HeapClassSpec& a, const HeapClassSpec& b) {
+              return a.block_words < b.block_words;
+            });
+  for (const HeapClassSpec& spec : sorted) {
+    DSA_ASSERT(spec.block_words > 0, "ConcurrentFixedHeap: zero-word class");
+    if (!pools_.empty() && pools_.back().block_words() == spec.block_words) {
+      pools_.back().GrowSerial(spec.blocks);
+      continue;
+    }
+    pools_.emplace_back(spec.block_words);
+    pools_.back().GrowSerial(spec.blocks);
+  }
+  DSA_ASSERT(!pools_.empty(), "ConcurrentFixedHeap: no size classes");
+}
+
+std::size_t ConcurrentFixedHeap::ClassFor(std::size_t words) const {
+  for (std::size_t k = 0; k < pools_.size(); ++k) {
+    if (pools_[k].block_words() >= words) {
+      return k;
+    }
+  }
+  return kNoClass;
+}
+
+bool ConcurrentFixedHeap::TryAllocate(std::size_t words, BlockRef* out) {
+  const std::size_t first = ClassFor(words);
+  if (first == kNoClass) {
+    return false;
+  }
+  for (std::size_t k = first; k < pools_.size(); ++k) {
+    std::uint32_t index = ConcurrentBlockPool::kNull;
+    if (pools_[k].TryAcquire(&index)) {
+      if (k != first) {
+        escalations_.fetch_add(1, std::memory_order_relaxed);
+      }
+      out->size_class = static_cast<std::uint32_t>(k);
+      out->block = index;
+      return true;
+    }
+  }
+  return false;
+}
+
+void ConcurrentFixedHeap::Free(BlockRef ref) {
+  DSA_ASSERT(ref.valid() && ref.size_class < pools_.size(),
+             "ConcurrentFixedHeap::Free: bad block ref");
+  pools_[ref.size_class].Release(ref.block);
+}
+
+void ConcurrentFixedHeap::GrowSerial(std::size_t size_class, std::size_t blocks) {
+  DSA_ASSERT(size_class < pools_.size(), "ConcurrentFixedHeap::GrowSerial: bad class");
+  pools_[size_class].GrowSerial(blocks);
+}
+
+std::uint64_t ConcurrentFixedHeap::OutstandingApprox() const {
+  std::uint64_t acquires = 0;
+  std::uint64_t releases = 0;
+  for (const ConcurrentBlockPool& pool : pools_) {
+    const ConcurrentBlockPool::Stats s = pool.stats();
+    acquires += s.acquires;
+    releases += s.releases;
+  }
+  return acquires - releases;
+}
+
+ConcurrentFixedHeap::Stats ConcurrentFixedHeap::stats() const {
+  Stats total;
+  for (const ConcurrentBlockPool& pool : pools_) {
+    const ConcurrentBlockPool::Stats s = pool.stats();
+    total.acquires += s.acquires;
+    total.releases += s.releases;
+    total.cas_retries += s.cas_retries;
+  }
+  total.escalations = escalations_.load(std::memory_order_relaxed);
+  return total;
+}
+
+LaneArena::LaneArena(ConcurrentFixedHeap* heap, std::size_t refill_batch,
+                     std::size_t high_watermark)
+    : heap_(heap),
+      refill_batch_(refill_batch),
+      high_watermark_(high_watermark),
+      cache_(heap->class_count()) {
+  DSA_ASSERT(refill_batch > 0, "LaneArena: zero refill batch");
+  DSA_ASSERT(high_watermark >= refill_batch,
+             "LaneArena: watermark below refill batch would thrash");
+}
+
+bool LaneArena::TryAllocate(std::size_t words, BlockRef* out) {
+  const std::size_t first = heap_->ClassFor(words);
+  if (first == ConcurrentFixedHeap::kNoClass) {
+    return false;
+  }
+  for (std::size_t k = first; k < cache_.size(); ++k) {
+    if (!cache_[k].empty()) {
+      out->size_class = static_cast<std::uint32_t>(k);
+      out->block = cache_[k].back();
+      cache_[k].pop_back();
+      ++stats_.cache_hits;
+      return true;
+    }
+  }
+  // Miss: refill the exact class in one burst, then retry the cache; if the
+  // shared pool for `first` is dry the burst comes back short or empty and
+  // escalation walks the larger classes.
+  for (std::size_t k = first; k < cache_.size(); ++k) {
+    std::size_t pulled = 0;
+    std::uint32_t index = ConcurrentBlockPool::kNull;
+    while (pulled < refill_batch_ && heap_->pool(k).TryAcquire(&index)) {
+      cache_[k].push_back(index);
+      ++pulled;
+    }
+    if (pulled > 0) {
+      ++stats_.refills;
+      stats_.refill_blocks += pulled;
+      out->size_class = static_cast<std::uint32_t>(k);
+      out->block = cache_[k].back();
+      cache_[k].pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void LaneArena::Free(BlockRef ref) {
+  DSA_ASSERT(ref.valid() && ref.size_class < cache_.size(),
+             "LaneArena::Free: bad block ref");
+  std::vector<std::uint32_t>& bucket = cache_[ref.size_class];
+  bucket.push_back(ref.block);
+  if (bucket.size() > high_watermark_) {
+    const std::size_t keep = high_watermark_ / 2;
+    while (bucket.size() > keep) {
+      heap_->pool(ref.size_class).Release(bucket.back());
+      bucket.pop_back();
+    }
+    ++stats_.drains;
+  }
+}
+
+void LaneArena::Drain() {
+  bool drained = false;
+  for (std::size_t k = 0; k < cache_.size(); ++k) {
+    drained = drained || !cache_[k].empty();
+    while (!cache_[k].empty()) {
+      heap_->pool(k).Release(cache_[k].back());
+      cache_[k].pop_back();
+    }
+  }
+  if (drained) {
+    ++stats_.drains;
+  }
+}
+
+std::size_t LaneArena::CachedCount() const {
+  std::size_t total = 0;
+  for (const std::vector<std::uint32_t>& bucket : cache_) {
+    total += bucket.size();
+  }
+  return total;
+}
+
+}  // namespace dsa

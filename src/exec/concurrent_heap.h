@@ -1,0 +1,256 @@
+// Lock-free fixed-size block allocation for concurrent simulation lanes.
+//
+// Randell's paper treats the store as one sequential resource; this module is
+// the piece that lets several scheduler lanes mutate shared storage at once
+// without a lock and without giving up deterministic replay.  The design
+// follows Blelloch & Wei ("Concurrent Fixed-Size Allocation and Free in
+// Constant Time"): per-size-class free stacks manipulated by CAS, with ABA
+// protection from a version counter packed beside the head index, plus
+// per-lane arenas that batch-refill from the shared pool so the common case
+// never touches the shared cache line at all.
+//
+// Three layers:
+//
+//   ConcurrentBlockPool   one size class: a Treiber stack of free block
+//                         indices with a versioned 64-bit head.  Links are
+//                         a table of atomics indexed by block — indices never
+//                         dangle, so there is no reclamation problem to solve.
+//   ConcurrentFixedHeap   a small family of pools (distinct block sizes),
+//                         allocation escalates to the next larger class when
+//                         the exact class is empty (the segregated-fit rule
+//                         from src/alloc, restated lock-free).
+//   LaneArena             a single lane's private cache of blocks.  Refills
+//                         `refill_batch` blocks per shared-pool CAS, drains
+//                         half above `high_watermark`; alignas(64) keeps two
+//                         lanes' arenas off one cache line.
+//
+// Determinism contract: block IDENTITY is invisible to simulation semantics.
+// The simulator's observable state (page tables, frame sensors, traces,
+// metrics) never mentions which physical block backs a frame, so any
+// interleaving of pool CASes yields byte-identical simulation output.  Counts
+// (acquires == releases at quiescence, no block granted twice) are the
+// properties tests pin; which lane got block 17 is deliberately meaningless.
+//
+// Thread-safety summary: TryAcquire/Release (and the arena calls that wrap
+// them) are safe from any number of threads.  GrowSerial and Stats snapshots
+// are quiescent-only — callers run them between ParallelFor barriers, which
+// is exactly where the simulation admits tenants and commits checkpoints.
+
+#ifndef SRC_EXEC_CONCURRENT_HEAP_H_
+#define SRC_EXEC_CONCURRENT_HEAP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/core/assert.h"
+
+namespace dsa {
+
+// A block handle: which size class, and which block within that class's pool.
+struct BlockRef {
+  static constexpr std::uint32_t kNoClass = 0xffffffffu;
+  static constexpr std::uint32_t kNoBlock = 0xffffffffu;
+
+  std::uint32_t size_class{kNoClass};
+  std::uint32_t block{kNoBlock};
+
+  bool valid() const { return size_class != kNoClass && block != kNoBlock; }
+  friend bool operator==(const BlockRef&, const BlockRef&) = default;
+};
+
+// One size class: a lock-free stack of free block indices.
+//
+// The head word packs (version << 32) | index; every successful CAS bumps the
+// version, so a stale head value whose index happens to match again (the ABA
+// hazard: pop A, someone pops B and pushes A back) still fails the compare.
+// With 32 version bits a false match needs exactly 2^32 successful CASes
+// between a thread's read and its CAS — not reachable inside one bounded
+// simulation round.
+class ConcurrentBlockPool {
+ public:
+  static constexpr std::uint32_t kNull = 0xffffffffu;
+
+  explicit ConcurrentBlockPool(std::size_t block_words)
+      : block_words_(block_words) {
+    DSA_ASSERT(block_words > 0, "ConcurrentBlockPool: zero block size");
+  }
+
+  ConcurrentBlockPool(const ConcurrentBlockPool&) = delete;
+  ConcurrentBlockPool& operator=(const ConcurrentBlockPool&) = delete;
+
+  std::size_t block_words() const { return block_words_; }
+  std::size_t capacity() const { return capacity_.load(std::memory_order_relaxed); }
+
+  // Pops a free block.  Lock-free; safe from any thread.  Returns false when
+  // the pool is empty (the caller escalates to a larger class or treats it as
+  // capacity exhaustion).
+  bool TryAcquire(std::uint32_t* index);
+
+  // Pushes `index` back onto the free stack.  Lock-free; safe from any
+  // thread.  The caller must own the block (acquired and not yet released) —
+  // double release is the caller's bug and corrupts the stack, exactly as
+  // double free corrupts a serial free list.
+  void Release(std::uint32_t index);
+
+  // Appends `blocks` fresh blocks to the pool.  QUIESCENT-ONLY: no concurrent
+  // TryAcquire/Release may be in flight.  The simulation calls this at
+  // admission points, which sit between ParallelFor barriers.
+  void GrowSerial(std::size_t blocks);
+
+  // Relaxed accounting; exact only at quiescence.
+  std::size_t FreeCountApprox() const { return free_count_.load(std::memory_order_relaxed); }
+
+  struct Stats {
+    std::uint64_t acquires{0};
+    std::uint64_t releases{0};
+    std::uint64_t cas_retries{0};  // failed head CASes (contention indicator)
+  };
+  Stats stats() const {
+    return Stats{acquires_.load(std::memory_order_relaxed),
+                 releases_.load(std::memory_order_relaxed),
+                 cas_retries_.load(std::memory_order_relaxed)};
+  }
+
+  // --- Test-only surface for the ABA regression -------------------------
+  // Exposes the raw head word and a single CAS attempt so a test can script
+  // the classic interleaving (read head; pop A; pop B; push A; CAS with the
+  // stale head) and assert the version bits make the stale CAS fail.
+  std::uint64_t TestOnlyHead() const { return head_.load(std::memory_order_acquire); }
+  bool TestOnlyCasHead(std::uint64_t expected, std::uint64_t desired) {
+    return head_.compare_exchange_strong(expected, desired,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire);
+  }
+  static std::uint32_t HeadIndex(std::uint64_t head) {
+    return static_cast<std::uint32_t>(head & 0xffffffffu);
+  }
+  static std::uint32_t HeadVersion(std::uint64_t head) {
+    return static_cast<std::uint32_t>(head >> 32);
+  }
+  static std::uint64_t PackHead(std::uint32_t version, std::uint32_t index) {
+    return (static_cast<std::uint64_t>(version) << 32) | index;
+  }
+
+ private:
+  std::size_t block_words_;
+  // head: (version << 32) | top-of-stack block index (kNull when empty).
+  std::atomic<std::uint64_t> head_{PackHead(0, kNull)};
+  // next_[i]: the block under i on the free stack.  A deque so GrowSerial
+  // extends it without relocating existing atomics.
+  std::deque<std::atomic<std::uint32_t>> next_;
+  std::atomic<std::size_t> capacity_{0};
+  std::atomic<std::size_t> free_count_{0};
+  std::atomic<std::uint64_t> acquires_{0};
+  std::atomic<std::uint64_t> releases_{0};
+  std::atomic<std::uint64_t> cas_retries_{0};
+};
+
+// A size class the heap is built from: blocks of `block_words` words,
+// initially `blocks` of them (GrowSerial can add more later).
+struct HeapClassSpec {
+  std::size_t block_words{0};
+  std::size_t blocks{0};
+};
+
+// The shared heap: one pool per distinct block size, ascending.  Allocation
+// picks the smallest class that fits and escalates upward when a class runs
+// dry, so transient imbalance between classes degrades placement (a bigger
+// block than needed) instead of failing the allocation.
+class ConcurrentFixedHeap {
+ public:
+  static constexpr std::size_t kNoClass = static_cast<std::size_t>(-1);
+
+  // `classes` need not be sorted; duplicates of one block size merge.
+  explicit ConcurrentFixedHeap(const std::vector<HeapClassSpec>& classes);
+
+  ConcurrentFixedHeap(const ConcurrentFixedHeap&) = delete;
+  ConcurrentFixedHeap& operator=(const ConcurrentFixedHeap&) = delete;
+
+  std::size_t class_count() const { return pools_.size(); }
+  ConcurrentBlockPool& pool(std::size_t size_class) { return pools_[size_class]; }
+  const ConcurrentBlockPool& pool(std::size_t size_class) const { return pools_[size_class]; }
+
+  // Smallest class whose blocks hold `words` words; kNoClass when even the
+  // largest class is too small.
+  std::size_t ClassFor(std::size_t words) const;
+
+  // Allocates a block of at least `words` words, escalating across classes.
+  // Lock-free; safe from any thread.  False only when every eligible class
+  // is empty.
+  bool TryAllocate(std::size_t words, BlockRef* out);
+
+  // Returns a block to its own class's pool.  Lock-free.
+  void Free(BlockRef ref);
+
+  // QUIESCENT-ONLY capacity growth of one class.
+  void GrowSerial(std::size_t size_class, std::size_t blocks);
+
+  // acquires - releases across all classes; exact only at quiescence, where
+  // it must equal the number of blocks callers still hold (zero after a
+  // clean teardown — the conservation property the tests pin).
+  std::uint64_t OutstandingApprox() const;
+
+  struct Stats {
+    std::uint64_t acquires{0};
+    std::uint64_t releases{0};
+    std::uint64_t cas_retries{0};
+    std::uint64_t escalations{0};  // allocations served by a larger class
+  };
+  Stats stats() const;
+
+ private:
+  std::deque<ConcurrentBlockPool> pools_;  // ascending block_words
+  std::atomic<std::uint64_t> escalations_{0};
+};
+
+// One lane's private block cache.  Not thread-safe: a LaneArena belongs to
+// exactly one lane (thread) at a time; handing it across a barrier is fine,
+// sharing it inside one is not.
+class alignas(64) LaneArena {
+ public:
+  static constexpr std::size_t kDefaultRefillBatch = 16;
+  static constexpr std::size_t kDefaultHighWatermark = 32;
+
+  explicit LaneArena(ConcurrentFixedHeap* heap,
+                     std::size_t refill_batch = kDefaultRefillBatch,
+                     std::size_t high_watermark = kDefaultHighWatermark);
+  ~LaneArena() { Drain(); }
+
+  LaneArena(const LaneArena&) = delete;
+  LaneArena& operator=(const LaneArena&) = delete;
+
+  // Serves from the cache; on a miss, pulls up to `refill_batch` blocks from
+  // the shared pool in one burst.  Escalates across classes like the heap.
+  bool TryAllocate(std::size_t words, BlockRef* out);
+
+  // Caches the block; above `high_watermark` cached blocks of that class,
+  // half drain back to the shared pool (hysteresis: a lane oscillating
+  // around the watermark does not ping-pong blocks).
+  void Free(BlockRef ref);
+
+  // Returns every cached block to the shared pool.
+  void Drain();
+
+  std::size_t CachedCount() const;
+
+  struct Stats {
+    std::uint64_t cache_hits{0};
+    std::uint64_t refills{0};        // shared-pool pull bursts
+    std::uint64_t refill_blocks{0};  // blocks pulled across all refills
+    std::uint64_t drains{0};         // watermark + final drain events
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  ConcurrentFixedHeap* heap_;
+  std::size_t refill_batch_;
+  std::size_t high_watermark_;
+  std::vector<std::vector<std::uint32_t>> cache_;  // per class, LIFO
+  Stats stats_;
+};
+
+}  // namespace dsa
+
+#endif  // SRC_EXEC_CONCURRENT_HEAP_H_

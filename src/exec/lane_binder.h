@@ -1,0 +1,107 @@
+// LaneFrameBinder: the concrete FrameBackingBinder that backs one simulated
+// frame table from the shared lock-free heap.
+//
+// Each lane-owned simulation (a job group in the multi-lane simulator, a
+// tenant in the service loop) gets one binder.  The binder keeps a private
+// frame→block ledger; the allocation path goes through the lane's arena when
+// one is attached (the concurrent fast path) and straight to the shared heap
+// otherwise (serial contexts: construction, checkpoint restore, teardown).
+//
+// SetArena is how a lane "checks out" the binder for a parallel round: the
+// multi-lane executors point every binder they are about to step at the
+// stepping lane's arena before the ParallelFor, and detach after the
+// barrier.  The ledger itself is single-threaded by construction — only the
+// lane that owns the simulation this round touches it.
+
+#ifndef SRC_EXEC_LANE_BINDER_H_
+#define SRC_EXEC_LANE_BINDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/assert.h"
+#include "src/core/types.h"
+#include "src/exec/concurrent_heap.h"
+#include "src/paging/backing_binder.h"
+
+namespace dsa {
+
+class LaneFrameBinder : public FrameBackingBinder {
+ public:
+  // Every frame this binder backs holds one page of `page_words` words.
+  LaneFrameBinder(ConcurrentFixedHeap* heap, std::size_t page_words)
+      : heap_(heap), page_words_(page_words) {}
+
+  ~LaneFrameBinder() override { ReleaseAllFrameBlocks(); }
+
+  LaneFrameBinder(const LaneFrameBinder&) = delete;
+  LaneFrameBinder& operator=(const LaneFrameBinder&) = delete;
+
+  // Routes subsequent acquires/releases through `arena` (nullptr detaches —
+  // back to direct shared-heap access).  Called at round boundaries by the
+  // executing lane.
+  void SetArena(LaneArena* arena) { arena_ = arena; }
+
+  void AcquireFrameBlock(FrameId frame) override {
+    if (held_.size() <= frame.value) {
+      held_.resize(frame.value + 1);
+    }
+    DSA_ASSERT(!held_[frame.value].valid(), "frame already holds a block");
+    BlockRef ref;
+    const bool ok = arena_ != nullptr ? arena_->TryAllocate(page_words_, &ref)
+                                      : heap_->TryAllocate(page_words_, &ref);
+    // The heap is sized for worst-case demand plus arena slack before any
+    // lane runs; exhaustion here is a sizing bug, not a runtime condition.
+    DSA_ASSERT(ok, "shared heap exhausted: undersized for lane demand");
+    held_[frame.value] = ref;
+    ++held_count_;
+    ++acquired_total_;
+  }
+
+  void ReleaseFrameBlock(FrameId frame) override {
+    DSA_ASSERT(frame.value < held_.size() && held_[frame.value].valid(),
+               "releasing a frame that holds no block");
+    if (arena_ != nullptr) {
+      arena_->Free(held_[frame.value]);
+    } else {
+      heap_->Free(held_[frame.value]);
+    }
+    held_[frame.value] = BlockRef{};
+    --held_count_;
+    ++released_total_;
+  }
+
+  void ReleaseAllFrameBlocks() override {
+    for (BlockRef& ref : held_) {
+      if (ref.valid()) {
+        if (arena_ != nullptr) {
+          arena_->Free(ref);
+        } else {
+          heap_->Free(ref);
+        }
+        ref = BlockRef{};
+        --held_count_;
+        ++released_total_;
+      }
+    }
+  }
+
+  std::size_t held_count() const { return held_count_; }
+  // Deterministic ledgers (pure functions of the simulated load/evict
+  // sequence, unlike the pool's contention stats).
+  std::uint64_t acquired_total() const { return acquired_total_; }
+  std::uint64_t released_total() const { return released_total_; }
+
+ private:
+  ConcurrentFixedHeap* heap_;
+  LaneArena* arena_{nullptr};
+  std::size_t page_words_;
+  std::vector<BlockRef> held_;  // indexed by frame
+  std::size_t held_count_{0};
+  std::uint64_t acquired_total_{0};
+  std::uint64_t released_total_{0};
+};
+
+}  // namespace dsa
+
+#endif  // SRC_EXEC_LANE_BINDER_H_

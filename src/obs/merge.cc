@@ -50,4 +50,61 @@ std::vector<TraceEvent> MergeEventStreams(
   return merged;
 }
 
+std::vector<TraceEvent> OffsetEventStream(std::vector<TraceEvent> events,
+                                          const StreamOffsets& offsets) {
+  const auto page = [&](std::uint64_t p) {
+    if (offsets.page_job_shift == 0) {
+      return p;
+    }
+    const std::uint64_t job = p >> offsets.page_job_shift;
+    const std::uint64_t low = p & ((std::uint64_t{1} << offsets.page_job_shift) - 1);
+    return ((job + offsets.job_offset) << offsets.page_job_shift) | low;
+  };
+  const auto job = [&](std::uint64_t j) {
+    return j == kNoJob ? j : j + offsets.job_offset;
+  };
+  const auto frame = [&](std::uint64_t f) { return f + offsets.frame_offset; };
+
+  for (TraceEvent& e : events) {
+    switch (e.kind) {
+      case EventKind::kPageFault:
+      case EventKind::kTransferStart:
+      case EventKind::kTransferComplete:
+      case EventKind::kPageDemoted:
+      case EventKind::kFaultRecovery:
+        e.a = page(e.a);
+        break;
+      case EventKind::kVictimChosen:
+      case EventKind::kFrameLoad:
+      case EventKind::kFrameEvict:
+        e.a = page(e.a);
+        e.b = frame(e.b);
+        break;
+      case EventKind::kFrameRetire:
+        e.a = frame(e.a);
+        break;
+      case EventKind::kScheduleSwitch:
+        e.a = job(e.a);
+        e.b = job(e.b);
+        break;
+      case EventKind::kJobDeactivate:
+      case EventKind::kJobReactivate:
+        e.a = job(e.a);
+        break;
+      case EventKind::kLoadControl:
+        e.b = job(e.b);
+        break;
+      case EventKind::kSegmentFault:
+      case EventKind::kAlloc:
+      case EventKind::kFree:
+      case EventKind::kCompaction:
+      case EventKind::kSizeClassMiss:
+      case EventKind::kDeferredCoalesce:
+        // No frame/page/job entities in the payload.
+        break;
+    }
+  }
+  return events;
+}
+
 }  // namespace dsa

@@ -32,6 +32,23 @@ void MergeRegistryInto(MetricsRegistry* into, const MetricsRegistry& from);
 // how the cells were scheduled.
 std::vector<TraceEvent> MergeEventStreams(const std::vector<std::vector<TraceEvent>>& streams);
 
+// Renames the entities of one lane-group's stream into a global namespace
+// before a cross-group merge: frame ids shift by `frame_offset`, job ids by
+// `job_offset`, and page ids — which pack their owning job above
+// `page_job_shift` (MultiprogrammingSimulator::kJobShift) — have the job
+// half of the key shifted the same way.  With disjoint offsets per group,
+// the merged stream describes one large system (summed frame count,
+// concatenated job space) and replays through TraceReplayVerifier as such:
+// transfer matching, frame conservation, and the deactivated-job rule all
+// see globally unique entities.  Sentinels (kNoJob) are preserved.
+struct StreamOffsets {
+  std::uint64_t frame_offset{0};
+  std::uint64_t job_offset{0};
+  unsigned page_job_shift{0};  // 0: page ids carry no job tag; left untouched
+};
+std::vector<TraceEvent> OffsetEventStream(std::vector<TraceEvent> events,
+                                          const StreamOffsets& offsets);
+
 }  // namespace dsa
 
 #endif  // SRC_OBS_MERGE_H_

@@ -1,0 +1,46 @@
+// The seam between the frame table and a shared physical backing store.
+//
+// A FrameTable models WHICH pages are resident; it never cared what physical
+// storage backs a frame.  Concurrent multi-lane runs need exactly that
+// binding: every simulated frame table draws its frames' backing blocks from
+// one shared lock-free heap (src/exec/concurrent_heap), so lanes genuinely
+// contend for storage.  This interface is the paging-side half of that seam —
+// pure, core-types-only, so dsa_paging does not depend on the exec layer.
+//
+// Contract: the table calls AcquireFrameBlock(f) exactly when frame f
+// transitions vacant→occupied (Load) and ReleaseFrameBlock(f) on
+// occupied→vacant (Evict); after a successful LoadState it rebinds from
+// scratch (ReleaseAll + Acquire per occupied frame).  A binder therefore
+// holds exactly one block per occupied frame — the conservation invariant
+// the concurrent tests pin.  Acquire must not fail: the caller sizes the
+// shared heap for worst-case demand plus arena slack before attaching.
+//
+// Block identity is invisible to the simulation (no return value flows back
+// into any simulated decision), which is what keeps multi-lane output
+// byte-identical at every lane width.
+
+#ifndef SRC_PAGING_BACKING_BINDER_H_
+#define SRC_PAGING_BACKING_BINDER_H_
+
+#include "src/core/types.h"
+
+namespace dsa {
+
+class FrameBackingBinder {
+ public:
+  virtual ~FrameBackingBinder() = default;
+
+  // Frame `frame` became occupied; bind a physical block to it.
+  virtual void AcquireFrameBlock(FrameId frame) = 0;
+
+  // Frame `frame` became vacant; return its block.
+  virtual void ReleaseFrameBlock(FrameId frame) = 0;
+
+  // Drop every binding (table state replaced wholesale, e.g. LoadState or
+  // teardown of the owning simulation).
+  virtual void ReleaseAllFrameBlocks() = 0;
+};
+
+}  // namespace dsa
+
+#endif  // SRC_PAGING_BACKING_BINDER_H_

@@ -38,8 +38,19 @@ ServiceLoop::ServiceLoop(SystemSpec base_spec, ServeConfig config)
       config_(std::move(config)),
       spec_fingerprint_(SpecFingerprint(spec_)),
       store_(config_.checkpoint_dir),
-      controller_(config_.load_control, spec_.core_words, spec_.page_words) {
+      controller_(config_.load_control, spec_.core_words, spec_.page_words),
+      lanes_(std::max(1u, config_.lanes == 0 ? HardwareJobs() : config_.lanes)),
+      tenant_frames_(static_cast<std::size_t>(
+          spec_.page_words == 0 ? 0 : spec_.core_words / spec_.page_words)),
+      heap_({HeapClassSpec{static_cast<std::size_t>(std::max<WordCount>(1, spec_.page_words)),
+                           lanes_ * LaneArena::kDefaultHighWatermark}}) {
   spec_.tracer = nullptr;  // tenants own their tracers
+  for (unsigned lane = 0; lane < lanes_; ++lane) {
+    arenas_.emplace_back(&heap_);
+  }
+  if (lanes_ > 1) {
+    pool_ = std::make_unique<ThreadPool>(lanes_);
+  }
 }
 
 std::string ServiceLoop::EventsPath(const Tenant& t) const {
@@ -53,6 +64,15 @@ std::string ServiceLoop::ReportPath(const Tenant& t) const {
 std::unique_ptr<PagedLinearVm> ServiceLoop::BuildVm(Tenant* t) {
   PagedVmConfig config = PagedConfigFromSpec(spec_);
   config.tracer = &t->tracer;
+  if (t->binder == nullptr) {
+    // First incarnation of this tenant: grow the shared heap by its exact
+    // worst-case frame demand.  This is a serial point (admission/restore),
+    // which GrowSerial's quiescence contract requires.
+    t->binder = std::make_unique<LaneFrameBinder>(
+        &heap_, static_cast<std::size_t>(spec_.page_words));
+    heap_.GrowSerial(0, tenant_frames_);
+  }
+  config.frame_binder = t->binder.get();
   return std::make_unique<PagedLinearVm>(config);
 }
 
@@ -259,25 +279,41 @@ void ServiceLoop::RestoreCut(CheckpointStore::Recovered* recovered) {
   }
 }
 
-void ServiceLoop::RunSlice(Tenant* t) {
+void ServiceLoop::StepSlice(Tenant* t) {
   const std::vector<Reference>& refs = t->trace.refs;
   const std::uint64_t end =
       std::min<std::uint64_t>(t->next_ref + config_.slice_references, refs.size());
-  ThrashingDetector& detector = controller_.detector();
+  t->feed.clear();
   while (t->next_ref < end) {
     const Cycles before = t->vm->clock().now();
     const Cycles stall = t->vm->Step(refs[static_cast<std::size_t>(t->next_ref)]);
     ++t->next_ref;
-    service_clock_ += t->vm->clock().now() - before;
+    t->feed.emplace_back(t->vm->clock().now() - before, stall);
+  }
+}
+
+void ServiceLoop::ReplayFeed(Tenant* t) {
+  ThrashingDetector& detector = controller_.detector();
+  for (const auto& [delta, stall] : t->feed) {
+    service_clock_ += delta;
     detector.RecordReference(service_clock_);
     if (stall > 0) {
       detector.RecordFault(service_clock_, stall);
     }
   }
+  t->feed.clear();
   const SpaceTime now_product = t->vm->Snapshot().space_time;
   detector.RecordSpaceTime(service_clock_, now_product.active - t->last_space_time.active,
                            now_product.waiting - t->last_space_time.waiting);
   t->last_space_time = now_product;
+}
+
+void ServiceLoop::RunSlice(Tenant* t) {
+  // The serial composition is step-for-step the pre-lanes loop: the feed is
+  // generated and immediately replayed, so the detector sees each reference
+  // at the same service-clock instant it always did.
+  StepSlice(t);
+  ReplayFeed(t);
 }
 
 Status<SnapshotError> ServiceLoop::FinishTenant(Tenant* t) {
@@ -458,10 +494,30 @@ Expected<ServeOutcome, SnapshotError> ServiceLoop::Run() {
     }
     DecideConcurrency();
     const std::size_t active = std::min(concurrency_, incomplete.size());
+    const bool concurrent_round = lanes_ > 1 && active > 1;
+    if (concurrent_round) {
+      // Deal the active tenants to lanes round-robin; each lane steps its
+      // share through its own arena, then the barrier.  Block identity never
+      // feeds back into the simulation, so any interleaving of heap CASes
+      // leaves every tenant's trajectory bit-identical to the serial round.
+      const std::size_t width = std::min<std::size_t>(lanes_, active);
+      pool_->ParallelFor(width, [&](std::size_t lane) {
+        for (std::size_t i = lane; i < active; i += width) {
+          Tenant* t = incomplete[i];
+          t->binder->SetArena(&arenas_[lane]);
+          StepSlice(t);
+          t->binder->SetArena(nullptr);
+        }
+      });
+    }
     bool force_commit = false;
     for (std::size_t i = 0; i < active; ++i) {
       Tenant* t = incomplete[i];
-      RunSlice(t);
+      if (concurrent_round) {
+        ReplayFeed(t);
+      } else {
+        RunSlice(t);
+      }
       if (t->next_ref == t->trace.size()) {
         if (auto status = FinishTenant(t); !status.has_value()) {
           return MakeUnexpected(status.error());

@@ -38,11 +38,16 @@
 #define SRC_SERVE_SERVICE_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/snapshot.h"
+#include "src/exec/concurrent_heap.h"
+#include "src/exec/lane_binder.h"
+#include "src/exec/thread_pool.h"
 #include "src/obs/metrics.h"
 #include "src/obs/tracer.h"
 #include "src/sched/load_control.h"
@@ -74,6 +79,14 @@ struct ServeConfig {
   // Rescan the spool between rounds for streaming admission; false is the
   // --drain mode (serve only what was spooled at startup, then exit).
   bool rescan_spool{true};
+  // Scheduler lanes: how many threads step active tenants concurrently
+  // within one round (0: hardware width).  Every tenant's frames draw
+  // backing blocks from one shared lock-free heap through per-lane arenas;
+  // the detector feed is buffered per tenant and replayed serially in
+  // admission order after the round's barrier, so output is byte-identical
+  // at every lane count — lanes=1 runs the pre-lanes serial loop verbatim.
+  // Checkpoint commits sit between rounds and stay the natural barrier.
+  unsigned lanes{1};
 };
 
 struct ServeOutcome {
@@ -109,6 +122,15 @@ class ServiceLoop {
     std::uint64_t jsonl_bytes{0};
     SpaceTime last_space_time;  // detector feed watermark
     bool done{false};
+    // Shared-storage binding: one block per resident frame, drawn from the
+    // service's ConcurrentFixedHeap (through the stepping lane's arena
+    // during parallel rounds, directly otherwise).
+    std::unique_ptr<LaneFrameBinder> binder;
+    // Per-step (cycle delta, stall) pairs buffered by StepSlice on the
+    // stepping lane and replayed into the thrashing detector serially, in
+    // admission order — the trick that keeps the controller's view, and so
+    // every downstream decision, independent of the lane count.
+    std::vector<std::pair<Cycles, Cycles>> feed;
   };
 
   std::string EventsPath(const Tenant& t) const;
@@ -123,6 +145,11 @@ class ServiceLoop {
   void RestoreCut(CheckpointStore::Recovered* recovered);
 
   void RunSlice(Tenant* t);
+  // The two halves of RunSlice for concurrent rounds: StepSlice is
+  // parallel-safe (touches only tenant-owned state plus the lock-free
+  // heap), ReplayFeed is serial-only (service clock + detector).
+  void StepSlice(Tenant* t);
+  void ReplayFeed(Tenant* t);
   Status<SnapshotError> FinishTenant(Tenant* t);
   Status<SnapshotError> AppendPendingEvents(Tenant* t);
   Status<SnapshotError> CommitCut();
@@ -139,6 +166,16 @@ class ServiceLoop {
   std::uint64_t spec_fingerprint_;
   CheckpointStore store_;
   LoadController controller_;
+
+  // Shared storage for every tenant's frames; declared before tenants_ so
+  // tenant binders release their blocks before the heap dies.  The heap
+  // grows by one tenant's frame demand at each admission (a serial point),
+  // seeded with the slack lanes can strand in arena caches.
+  unsigned lanes_;
+  std::size_t tenant_frames_;
+  ConcurrentFixedHeap heap_;
+  std::deque<LaneArena> arenas_;  // one per lane; pinned in place
+  std::unique_ptr<ThreadPool> pool_;  // created when lanes_ > 1
 
   std::vector<std::unique_ptr<Tenant>> tenants_;  // admission order
   std::vector<std::string> seen_;                 // admitted + rejected names

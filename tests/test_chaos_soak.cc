@@ -8,7 +8,10 @@
 //
 // The matrix is 3 configs x 4 fault schedules x 3 degrees = 36 runs (the
 // acceptance floor is 32).  DSA_SOAK_FULL=1 lengthens every job trace for
-// overnight soaking; the default sizing keeps the suite in CI range.
+// overnight soaking; the default sizing keeps the suite in CI range.  A
+// concurrent-lanes axis additionally packages the config x fault cells as
+// job groups over the multi-lane executor (shared lock-free heap) at lanes
+// 1, 2, and 4, pinning byte-equality and verifier-cleanliness under chaos.
 //
 // The 36 cells are independent (each owns its simulator, tracer, and seed
 // stream), so they run sharded over the SweepRunner — DSA_JOBS workers,
@@ -26,6 +29,7 @@
 #include "src/exec/thread_pool.h"
 #include "src/obs/tracer.h"
 #include "src/obs/verifier.h"
+#include "src/sched/multi_lane.h"
 #include "src/sched/multiprogramming.h"
 #include "src/trace/synthetic.h"
 
@@ -221,6 +225,71 @@ TEST(ChaosSoakTest, MatrixSurvivesVerifierAndReplay) {
   // Guard against a silently inert injector: across the 27 non-clean cells
   // the fault schedules must actually have struck.
   EXPECT_GT(injected_events, 0u) << "no fault schedule produced a single event";
+}
+
+TEST(ChaosSoakTest, ConcurrentLanesSurviveFaultsAndStayByteIdentical) {
+  // The concurrent-lanes axis: the same overload + fault-injection chaos,
+  // but with the matrix's config cells packaged as job groups stepped
+  // CONCURRENTLY over one shared lock-free heap.  Every lane width must
+  // reproduce the lanes=1 bytes, every group stream must replay through the
+  // verifier, and the shared heap must balance to zero after the run.
+  std::vector<LaneGroupSpec> groups;
+  std::size_t index = 0;
+  for (const ControlCase& control : kControls) {
+    for (const FaultCase& faults : kFaults) {
+      LaneGroupSpec spec;
+      spec.label = std::string(control.name) + "/" + faults.name;
+      const std::uint64_t seed = 0xc0a4u ^ (index * 0x9e3779b9u);
+      EventTracer* no_tracer = nullptr;
+      spec.config = SoakConfig(control, faults, seed, no_tracer);
+      const std::size_t degree = kDegrees[index % 3];
+      for (std::size_t j = 0; j < degree; ++j) {
+        LoopTraceParams params;
+        params.extent = 2048;
+        params.body_words = 512;
+        params.advance_words = 256;
+        params.iterations = 3;
+        params.length = JobLength() / 2;
+        params.seed = seed * 1000003 + j;
+        spec.jobs.emplace_back("lane-soak-" + std::to_string(j),
+                               MakeLoopTrace(params));
+      }
+      groups.push_back(std::move(spec));
+      ++index;
+    }
+  }
+
+  const MultiLaneOutcome reference =
+      MultiLaneSimulator(MultiLaneConfig{.lanes = 1}, groups).Run();
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    SCOPED_TRACE(groups[g].label);
+    TraceVerifierConfig verifier_config;
+    verifier_config.frame_count = kFrames;
+    verifier_config.page_job_shift = MultiprogrammingSimulator::kJobShift;
+    const auto violations =
+        TraceReplayVerifier(verifier_config).Verify(reference.groups[g].events);
+    EXPECT_TRUE(violations.empty()) << TraceReplayVerifier::Describe(violations);
+    EXPECT_EQ(reference.groups[g].blocks_acquired,
+              reference.groups[g].blocks_released);
+  }
+
+  for (const unsigned lanes : {2u, 4u}) {
+    const MultiLaneOutcome outcome =
+        MultiLaneSimulator(MultiLaneConfig{.lanes = lanes}, groups).Run();
+    ASSERT_EQ(outcome.groups.size(), reference.groups.size());
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      SCOPED_TRACE("lanes=" + std::to_string(lanes) + " " + groups[g].label);
+      EXPECT_EQ(outcome.groups[g].events_jsonl, reference.groups[g].events_jsonl);
+      EXPECT_EQ(outcome.groups[g].report.total_cycles,
+                reference.groups[g].report.total_cycles);
+      EXPECT_EQ(outcome.groups[g].report.faults, reference.groups[g].report.faults);
+      EXPECT_EQ(outcome.groups[g].blocks_acquired,
+                reference.groups[g].blocks_acquired);
+    }
+    EXPECT_EQ(outcome.merged_metrics_table, reference.merged_metrics_table);
+    EXPECT_EQ(outcome.merged_events, reference.merged_events);
+    EXPECT_EQ(outcome.heap_outstanding, 0u) << "lanes=" << lanes;
+  }
 }
 
 TEST(ChaosSoakTest, OverloadEngagesTheController) {

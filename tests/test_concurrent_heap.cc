@@ -1,0 +1,447 @@
+// Property tests on the lock-free fixed-size allocator family
+// (src/exec/concurrent_heap.h): exactly-once allocation under threads
+// hammering acquire/release, ABA regression with a scripted interleaving,
+// arena refill/drain invariants, and block conservation against the
+// sequential model.
+//
+// The *Stress* suites additionally run 10x with rotating seeds under the
+// thread-sanitizer CI job (ctest -L stress drives --gtest_repeat=10; a
+// process-global repeat counter folds into each repeat's seed, and
+// DSA_STRESS_SEED reseeds the whole family for reproduction).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "src/core/rng.h"
+#include "src/exec/concurrent_heap.h"
+#include "src/exec/lane_binder.h"
+#include "src/exec/thread_pool.h"
+
+namespace dsa {
+namespace {
+
+// Stress thread count: DSA_JOBS when set (the TSan job exports 4), with a
+// floor of 4 so narrow hosts still interleave enough to be interesting.
+unsigned StressThreads() { return std::max(4u, JobsFromEnv(HardwareJobs())); }
+
+// Per-repeat seed base: --gtest_repeat reruns in-process, so the counter
+// advances every repetition and each pass hammers a different schedule.
+std::uint64_t NextStressSeed() {
+  static std::uint64_t repeat = 0;
+  std::uint64_t base = 0x5eedULL;
+  if (const char* env = std::getenv("DSA_STRESS_SEED")) {
+    base = std::strtoull(env, nullptr, 10);
+  }
+  return base + 0x9e3779b97f4a7c15ULL * ++repeat;
+}
+
+// --- ConcurrentBlockPool basics ---------------------------------------------
+
+TEST(ConcurrentBlockPoolTest, GrowAcquireReleaseRoundTrip) {
+  ConcurrentBlockPool pool(/*block_words=*/64);
+  EXPECT_EQ(pool.capacity(), 0u);
+  std::uint32_t index = ConcurrentBlockPool::kNull;
+  EXPECT_FALSE(pool.TryAcquire(&index));
+
+  pool.GrowSerial(4);
+  EXPECT_EQ(pool.capacity(), 4u);
+  EXPECT_EQ(pool.FreeCountApprox(), 4u);
+
+  std::vector<std::uint32_t> taken;
+  while (pool.TryAcquire(&index)) {
+    taken.push_back(index);
+  }
+  ASSERT_EQ(taken.size(), 4u);
+  EXPECT_EQ(pool.FreeCountApprox(), 0u);
+  // Every block granted exactly once.
+  std::vector<bool> seen(4, false);
+  for (std::uint32_t i : taken) {
+    ASSERT_LT(i, 4u);
+    EXPECT_FALSE(seen[i]) << "block " << i << " granted twice";
+    seen[i] = true;
+  }
+
+  for (std::uint32_t i : taken) {
+    pool.Release(i);
+  }
+  EXPECT_EQ(pool.FreeCountApprox(), 4u);
+  const ConcurrentBlockPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.acquires, 4u);
+  EXPECT_EQ(stats.releases, 4u);
+}
+
+TEST(ConcurrentBlockPoolTest, LifoOrderWhenSerial) {
+  ConcurrentBlockPool pool(8);
+  pool.GrowSerial(3);
+  std::uint32_t a = 0;
+  ASSERT_TRUE(pool.TryAcquire(&a));
+  pool.Release(a);
+  std::uint32_t b = 0;
+  ASSERT_TRUE(pool.TryAcquire(&b));
+  EXPECT_EQ(a, b) << "a serial pop after a push must see the pushed block";
+}
+
+TEST(ConcurrentBlockPoolTest, GrowExtendsWithoutDisturbingHeldBlocks) {
+  ConcurrentBlockPool pool(8);
+  pool.GrowSerial(2);
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  ASSERT_TRUE(pool.TryAcquire(&a));
+  ASSERT_TRUE(pool.TryAcquire(&b));
+  pool.GrowSerial(2);
+  EXPECT_EQ(pool.capacity(), 4u);
+  EXPECT_EQ(pool.FreeCountApprox(), 2u);
+  pool.Release(a);
+  pool.Release(b);
+  // All four distinct blocks now acquirable.
+  std::vector<bool> seen(4, false);
+  std::uint32_t index = 0;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(pool.TryAcquire(&index));
+    ASSERT_LT(index, 4u);
+    EXPECT_FALSE(seen[index]);
+    seen[index] = true;
+  }
+  EXPECT_FALSE(pool.TryAcquire(&index));
+}
+
+// --- ABA regression ---------------------------------------------------------
+
+TEST(ConcurrentBlockPoolTest, AbaInterleavingFailsStaleCas) {
+  // The classic hazard, scripted: thread T reads head (top = A, next = B).
+  // Before T's CAS lands, another thread pops A, pops B, and pushes A back —
+  // the head *index* is A again, so an unversioned CAS would succeed and
+  // install B as top even though B is checked out (lost-block corruption).
+  ConcurrentBlockPool pool(16);
+  pool.GrowSerial(3);
+
+  const std::uint64_t stale_head = pool.TestOnlyHead();
+  const std::uint32_t top_a = ConcurrentBlockPool::HeadIndex(stale_head);
+
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  ASSERT_TRUE(pool.TryAcquire(&a));
+  ASSERT_TRUE(pool.TryAcquire(&b));
+  ASSERT_EQ(a, top_a);
+  pool.Release(a);
+
+  // Same top index, different version.
+  const std::uint64_t now_head = pool.TestOnlyHead();
+  ASSERT_EQ(ConcurrentBlockPool::HeadIndex(now_head), top_a);
+  ASSERT_NE(ConcurrentBlockPool::HeadVersion(now_head),
+            ConcurrentBlockPool::HeadVersion(stale_head));
+
+  // T's CAS from the stale read must fail.
+  const std::uint64_t stale_desired = ConcurrentBlockPool::PackHead(
+      ConcurrentBlockPool::HeadVersion(stale_head) + 1, b);
+  EXPECT_FALSE(pool.TestOnlyCasHead(stale_head, stale_desired))
+      << "versioned head let a stale CAS through: ABA protection is broken";
+
+  // The stack survived: exactly A and the untouched third block remain.
+  std::uint32_t x = 0;
+  std::uint32_t y = 0;
+  ASSERT_TRUE(pool.TryAcquire(&x));
+  ASSERT_TRUE(pool.TryAcquire(&y));
+  EXPECT_EQ(x, a);
+  std::uint32_t none = 0;
+  EXPECT_FALSE(pool.TryAcquire(&none));
+  EXPECT_NE(y, b) << "B leaked back onto the stack while checked out";
+}
+
+TEST(ConcurrentBlockPoolTest, VersionAdvancesOnEverySuccessfulCas) {
+  ConcurrentBlockPool pool(16);
+  pool.GrowSerial(1);
+  std::uint32_t last_version = ConcurrentBlockPool::HeadVersion(pool.TestOnlyHead());
+  for (int i = 0; i < 8; ++i) {
+    std::uint32_t index = 0;
+    ASSERT_TRUE(pool.TryAcquire(&index));
+    const std::uint32_t after_pop = ConcurrentBlockPool::HeadVersion(pool.TestOnlyHead());
+    EXPECT_GT(after_pop, last_version);
+    pool.Release(index);
+    const std::uint32_t after_push = ConcurrentBlockPool::HeadVersion(pool.TestOnlyHead());
+    EXPECT_GT(after_push, after_pop);
+    last_version = after_push;
+  }
+}
+
+// --- exactly-once under threads ---------------------------------------------
+
+TEST(ConcurrentHeapStressTest, ExactlyOnceAllocationUnderThreads) {
+  const unsigned threads = StressThreads();
+  const std::uint64_t seed = NextStressSeed();
+  constexpr std::size_t kBlocks = 64;
+  constexpr int kIterations = 4000;
+
+  ConcurrentBlockPool pool(32);
+  pool.GrowSerial(kBlocks);
+
+  // owners[i] counts concurrent holders of block i; any transition away
+  // from {0,1} is a double grant or a phantom release.
+  std::vector<std::atomic<int>> owners(kBlocks);
+  std::atomic<bool> corrupt{false};
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (unsigned w = 0; w < threads; ++w) {
+    workers.emplace_back([&, w] {
+      Rng rng(seed);
+      Rng stream = rng.Fork(w);
+      std::vector<std::uint32_t> held;
+      for (int i = 0; i < kIterations; ++i) {
+        const bool prefer_acquire = stream.Chance(0.55);
+        if ((prefer_acquire || held.empty()) && held.size() < 8) {
+          std::uint32_t index = 0;
+          if (pool.TryAcquire(&index)) {
+            if (owners[index].fetch_add(1) != 0) {
+              corrupt = true;  // double grant
+            }
+            held.push_back(index);
+          }
+        } else if (!held.empty()) {
+          const std::size_t pick =
+              static_cast<std::size_t>(stream.Below(held.size()));
+          const std::uint32_t index = held[pick];
+          held[pick] = held.back();
+          held.pop_back();
+          if (owners[index].fetch_sub(1) != 1) {
+            corrupt = true;
+          }
+          pool.Release(index);
+        }
+      }
+      for (const std::uint32_t index : held) {
+        if (owners[index].fetch_sub(1) != 1) {
+          corrupt = true;
+        }
+        pool.Release(index);
+      }
+    });
+  }
+  for (std::thread& t : workers) {
+    t.join();
+  }
+
+  EXPECT_FALSE(corrupt.load()) << "a block was granted to two holders at once";
+  // Conservation against the sequential model: every block came home.
+  EXPECT_EQ(pool.FreeCountApprox(), kBlocks);
+  const ConcurrentBlockPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.acquires, stats.releases);
+  for (std::size_t i = 0; i < kBlocks; ++i) {
+    EXPECT_EQ(owners[i].load(), 0) << "block " << i << " still held after join";
+  }
+  // And the full population is still acquirable, each block exactly once.
+  std::vector<bool> seen(kBlocks, false);
+  std::uint32_t index = 0;
+  for (std::size_t i = 0; i < kBlocks; ++i) {
+    ASSERT_TRUE(pool.TryAcquire(&index));
+    ASSERT_LT(index, kBlocks);
+    EXPECT_FALSE(seen[index]) << "block " << index << " duplicated in the free stack";
+    seen[index] = true;
+  }
+  EXPECT_FALSE(pool.TryAcquire(&index));
+}
+
+TEST(ConcurrentHeapStressTest, ArenasConserveBlocksAcrossLanes) {
+  const unsigned threads = StressThreads();
+  const std::uint64_t seed = NextStressSeed();
+
+  // Two size classes; word conservation is checked per class, so an arena
+  // returning a block to the wrong class would trip the accounting.
+  std::vector<HeapClassSpec> classes = {{64, 96}, {256, 32}};
+  ConcurrentFixedHeap heap(classes);
+  const std::size_t total_small = heap.pool(0).capacity();
+  const std::size_t total_large = heap.pool(1).capacity();
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (unsigned w = 0; w < threads; ++w) {
+    workers.emplace_back([&, w] {
+      Rng rng(seed + 1);
+      Rng stream = rng.Fork2(1, w);
+      LaneArena arena(&heap, /*refill_batch=*/4, /*high_watermark=*/8);
+      std::vector<BlockRef> held;
+      for (int i = 0; i < 3000; ++i) {
+        if ((stream.Chance(0.6) || held.empty()) && held.size() < 12) {
+          const std::size_t words = stream.Chance(0.8) ? 64 : 256;
+          BlockRef ref;
+          if (arena.TryAllocate(words, &ref)) {
+            held.push_back(ref);
+          }
+        } else if (!held.empty()) {
+          const std::size_t pick =
+              static_cast<std::size_t>(stream.Below(held.size()));
+          arena.Free(held[pick]);
+          held[pick] = held.back();
+          held.pop_back();
+        }
+      }
+      for (const BlockRef& ref : held) {
+        arena.Free(ref);
+      }
+      arena.Drain();
+    });
+  }
+  for (std::thread& t : workers) {
+    t.join();
+  }
+
+  EXPECT_EQ(heap.OutstandingApprox(), 0u);
+  EXPECT_EQ(heap.pool(0).FreeCountApprox(), total_small);
+  EXPECT_EQ(heap.pool(1).FreeCountApprox(), total_large);
+}
+
+// --- heap escalation --------------------------------------------------------
+
+TEST(ConcurrentFixedHeapTest, EscalatesToLargerClassWhenExactClassDry) {
+  std::vector<HeapClassSpec> classes = {{64, 2}, {256, 2}};
+  ConcurrentFixedHeap heap(classes);
+  ASSERT_EQ(heap.class_count(), 2u);
+  EXPECT_EQ(heap.ClassFor(1), 0u);
+  EXPECT_EQ(heap.ClassFor(64), 0u);
+  EXPECT_EQ(heap.ClassFor(65), 1u);
+  EXPECT_EQ(heap.ClassFor(257), ConcurrentFixedHeap::kNoClass);
+
+  BlockRef refs[4];
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(heap.TryAllocate(64, &refs[i]));
+    EXPECT_EQ(refs[i].size_class, 0u);
+  }
+  ASSERT_TRUE(heap.TryAllocate(64, &refs[2]));
+  EXPECT_EQ(refs[2].size_class, 1u) << "exhausted class must escalate";
+  EXPECT_EQ(heap.stats().escalations, 1u);
+  ASSERT_TRUE(heap.TryAllocate(200, &refs[3]));
+  EXPECT_EQ(refs[3].size_class, 1u);
+  BlockRef none;
+  EXPECT_FALSE(heap.TryAllocate(64, &none)) << "both classes empty";
+  EXPECT_FALSE(heap.TryAllocate(1u << 20, &none)) << "no class fits";
+  for (BlockRef& ref : refs) {
+    heap.Free(ref);
+  }
+  EXPECT_EQ(heap.OutstandingApprox(), 0u);
+}
+
+TEST(ConcurrentFixedHeapTest, DuplicateClassSpecsMergeAndSortAscending) {
+  std::vector<HeapClassSpec> classes = {{256, 1}, {64, 2}, {256, 3}};
+  ConcurrentFixedHeap heap(classes);
+  ASSERT_EQ(heap.class_count(), 2u);
+  EXPECT_EQ(heap.pool(0).block_words(), 64u);
+  EXPECT_EQ(heap.pool(0).capacity(), 2u);
+  EXPECT_EQ(heap.pool(1).block_words(), 256u);
+  EXPECT_EQ(heap.pool(1).capacity(), 4u);
+}
+
+// --- arena refill/drain invariants ------------------------------------------
+
+TEST(LaneArenaTest, RefillPullsOneBatchAndServesFromCache) {
+  ConcurrentFixedHeap heap({{64, 32}});
+  LaneArena arena(&heap, /*refill_batch=*/4, /*high_watermark=*/8);
+
+  BlockRef ref;
+  ASSERT_TRUE(arena.TryAllocate(64, &ref));
+  // One burst of refill_batch blocks left the shared pool; one is held,
+  // batch-1 are cached.
+  EXPECT_EQ(heap.pool(0).FreeCountApprox(), 32u - 4u);
+  EXPECT_EQ(arena.CachedCount(), 3u);
+  EXPECT_EQ(arena.stats().refills, 1u);
+  EXPECT_EQ(arena.stats().refill_blocks, 4u);
+
+  // The next three allocations are pure cache hits: no shared-pool traffic.
+  BlockRef more[3];
+  for (BlockRef& m : more) {
+    ASSERT_TRUE(arena.TryAllocate(64, &m));
+  }
+  EXPECT_EQ(heap.pool(0).FreeCountApprox(), 32u - 4u);
+  EXPECT_EQ(arena.CachedCount(), 0u);
+  EXPECT_EQ(arena.stats().cache_hits, 3u);
+  EXPECT_EQ(arena.stats().refills, 1u);
+
+  arena.Free(ref);
+  for (BlockRef& m : more) {
+    arena.Free(m);
+  }
+  arena.Drain();
+  EXPECT_EQ(heap.pool(0).FreeCountApprox(), 32u);
+}
+
+TEST(LaneArenaTest, WatermarkDrainKeepsHalfAndReturnsRest) {
+  ConcurrentFixedHeap heap({{64, 32}});
+  LaneArena arena(&heap, /*refill_batch=*/2, /*high_watermark=*/6);
+
+  // Hold 9 blocks, then free them all: the 7th free crosses the watermark.
+  std::vector<BlockRef> held(9);
+  for (BlockRef& ref : held) {
+    ASSERT_TRUE(arena.TryAllocate(64, &ref));
+  }
+  for (BlockRef& ref : held) {
+    arena.Free(ref);
+  }
+  // Crossing the watermark drains down to watermark/2 cached blocks.
+  EXPECT_LE(arena.CachedCount(), 6u);
+  EXPECT_GE(arena.stats().drains, 1u);
+
+  arena.Drain();
+  EXPECT_EQ(arena.CachedCount(), 0u);
+  EXPECT_EQ(heap.pool(0).FreeCountApprox(), 32u);
+  EXPECT_EQ(heap.OutstandingApprox(), 0u);
+}
+
+TEST(LaneArenaTest, ShortRefillStillServesWhenPoolNearlyDry) {
+  ConcurrentFixedHeap heap({{64, 2}});
+  LaneArena arena(&heap, /*refill_batch=*/8, /*high_watermark=*/16);
+  BlockRef a;
+  BlockRef b;
+  ASSERT_TRUE(arena.TryAllocate(64, &a));  // burst comes back short (2 < 8)
+  ASSERT_TRUE(arena.TryAllocate(64, &b));
+  BlockRef none;
+  EXPECT_FALSE(arena.TryAllocate(64, &none));
+  arena.Free(a);
+  arena.Free(b);
+  arena.Drain();
+  EXPECT_EQ(heap.pool(0).FreeCountApprox(), 2u);
+}
+
+// --- the frame binder -------------------------------------------------------
+
+TEST(LaneFrameBinderTest, LedgerTracksOneBlockPerOccupiedFrame) {
+  ConcurrentFixedHeap heap({{256, 8}});
+  LaneFrameBinder binder(&heap, /*page_words=*/256);
+
+  binder.AcquireFrameBlock(FrameId{0});
+  binder.AcquireFrameBlock(FrameId{3});
+  EXPECT_EQ(binder.held_count(), 2u);
+  EXPECT_EQ(heap.OutstandingApprox(), 2u);
+
+  binder.ReleaseFrameBlock(FrameId{0});
+  EXPECT_EQ(binder.held_count(), 1u);
+
+  binder.AcquireFrameBlock(FrameId{5});
+  binder.ReleaseAllFrameBlocks();
+  EXPECT_EQ(binder.held_count(), 0u);
+  EXPECT_EQ(heap.OutstandingApprox(), 0u);
+  EXPECT_EQ(binder.acquired_total(), 3u);
+  EXPECT_EQ(binder.released_total(), 3u);
+}
+
+TEST(LaneFrameBinderTest, ArenaRoutingDrainsCleanly) {
+  ConcurrentFixedHeap heap({{256, 64}});
+  LaneArena arena(&heap, 4, 8);
+  LaneFrameBinder binder(&heap, 256);
+  binder.SetArena(&arena);
+  for (std::size_t f = 0; f < 16; ++f) {
+    binder.AcquireFrameBlock(FrameId{f});
+  }
+  for (std::size_t f = 0; f < 16; ++f) {
+    binder.ReleaseFrameBlock(FrameId{f});
+  }
+  binder.SetArena(nullptr);
+  arena.Drain();
+  EXPECT_EQ(heap.OutstandingApprox(), 0u);
+  EXPECT_EQ(heap.pool(0).FreeCountApprox(), 64u);
+}
+
+}  // namespace
+}  // namespace dsa

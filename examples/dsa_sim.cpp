@@ -55,6 +55,21 @@
 //                             tenants concurrently over one shared lock-free
 //                             storage heap (0 = hardware width; default 1).
 //                             Outputs are byte-identical at any lane count
+//     --io-fault-at K         durable-IO fault injection: fail the K-th file
+//                             operation (1-based) of this process.  Applies
+//                             to --serve and --batch.  Exit 137 when the
+//                             injected fault was a crash (the loop halted)
+//     --io-fault-len N        fault window length in ops (default 1; 0 =
+//                             persistent — every op from K on fails)
+//     --io-fault-err KIND     eio|enospc — the errno injected (default eio)
+//     --io-fault-crash        the K-th op is a simulated crash: it and every
+//                             later op fail fatally, like SIGKILL mid-write
+//     --io-fault-torn N       the K-th op tears: an append/atomic-write
+//                             persists only its first N bytes, then halts
+//     --io-fault-rate P       also fail each op with probability P (0..1),
+//                             deterministically from --io-fault-seed
+//     --io-fault-seed S       seed for --io-fault-rate draws (default 0)
+//     --io-fault-path SUBSTR  only ops whose path contains SUBSTR fault
 //
 // Examples:
 //   dsa_sim --name-space symseg --unit blocks --replacement clock
@@ -64,13 +79,16 @@
 //   dsa_sim --batch /tmp/tenants --jobs 0 --trace=/tmp/batch-events
 //   dsa_sim --serve /tmp/spool --out /tmp/spool.out --checkpoint-every 50000
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include "src/core/fsio.h"
 #include "src/exec/thread_pool.h"
 #include "src/obs/export.h"
 #include "src/obs/tracer.h"
@@ -133,13 +151,20 @@ dsa::ReferenceTrace GenerateWorkload(const std::string& kind) {
 
 // Runs service mode and prints the outcome summary.  Exit codes: 0 served
 // everything, 3 some tenants rejected, 2 environment/config errors, 137
-// (after a hard _Exit) when --crash-after abandoned the loop mid-run.
+// (after a hard _Exit) when --crash-after abandoned the loop mid-run or an
+// injected --io-fault-crash halted the durable-IO layer.
 int RunServe(const dsa::SystemSpec& spec, const dsa::ServeConfig& config,
-             bool crash_after_set) {
+             bool crash_after_set, const dsa::FaultInjectingFs* fault_fs) {
   dsa::ServiceLoop loop(spec, config);
   auto outcome = loop.Run();
   if (!outcome.has_value()) {
     std::fprintf(stderr, "dsa_sim: serve: %s\n", outcome.error().Describe().c_str());
+    if (fault_fs != nullptr && fault_fs->halted()) {
+      // An injected crash behaves like SIGKILL at that write: no flushing,
+      // no destructors, the same 137 the kill matrix expects.
+      std::fflush(nullptr);
+      std::_Exit(137);
+    }
     return 2;
   }
   for (const std::string& line : outcome->quarantined) {
@@ -159,6 +184,15 @@ int RunServe(const dsa::SystemSpec& spec, const dsa::ServeConfig& config,
       "== serve: %zu completed (%zu resumed), %zu rejected, %llu commits -> %s ==\n",
       outcome->tenants_completed, outcome->tenants_resumed, outcome->tenants_rejected,
       static_cast<unsigned long long>(outcome->commits), config.out_dir.c_str());
+  if (outcome->io_retries > 0 || outcome->io_giveups > 0 || outcome->degraded_cycles > 0 ||
+      outcome->degraded) {
+    std::printf(
+        "== serve io: %llu retries, %llu giveups, %llu degraded cycles%s ==\n",
+        static_cast<unsigned long long>(outcome->io_retries),
+        static_cast<unsigned long long>(outcome->io_giveups),
+        static_cast<unsigned long long>(outcome->degraded_cycles),
+        outcome->degraded ? ", DEGRADED at exit" : "");
+  }
   (void)crash_after_set;
   return outcome->tenants_rejected > 0 ? 3 : 0;
 }
@@ -178,6 +212,9 @@ int main(int argc, char** argv) {
   bool drain = false;
   int crash_after = -1;
   unsigned lanes = 1;
+  dsa::FsFaultConfig fault_config;
+  dsa::FsFaultWindow fault_window;  // staged; installed if --io-fault-at set
+  bool fault_rate_set = false;
   unsigned jobs = dsa::JobsFromEnv(/*fallback=*/1);
   std::string gen_kind = "working-set";
   dsa::SystemSpec spec;
@@ -222,6 +259,30 @@ int main(int argc, char** argv) {
       crash_after = static_cast<int>(std::strtol(next().c_str(), nullptr, 10));
     } else if (arg == "--lanes") {
       lanes = static_cast<unsigned>(std::strtoul(next().c_str(), nullptr, 10));
+    } else if (arg == "--io-fault-at") {
+      fault_window.first_op = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--io-fault-len") {
+      fault_window.ops = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--io-fault-err") {
+      const std::string v = next();
+      if (v == "eio") {
+        fault_window.err = EIO;
+      } else if (v == "enospc") {
+        fault_window.err = ENOSPC;
+      } else {
+        Usage(argv[0], "bad --io-fault-err (want eio|enospc)");
+      }
+    } else if (arg == "--io-fault-crash") {
+      fault_window.crash = true;
+    } else if (arg == "--io-fault-torn") {
+      fault_window.torn_bytes = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--io-fault-path") {
+      fault_window.path_contains = next();
+    } else if (arg == "--io-fault-rate") {
+      fault_config.fail_rate = std::strtod(next().c_str(), nullptr);
+      fault_rate_set = fault_config.fail_rate > 0.0;
+    } else if (arg == "--io-fault-seed") {
+      fault_config.seed = std::strtoull(next().c_str(), nullptr, 10);
     } else if (arg == "--jobs") {
       jobs = static_cast<unsigned>(std::strtoul(next().c_str(), nullptr, 10));
       if (jobs == 0) {
@@ -304,6 +365,17 @@ int main(int argc, char** argv) {
   }
   spec.backing_level = dsa::MakeDrumLevel("drum", 1u << 22, /*word_time=*/2, drum_latency);
 
+  // Durable-IO fault injection: stack a FaultInjectingFs over the real
+  // filesystem and hand it to whichever mode runs.  Kept alive for the whole
+  // process — the service and batch paths only borrow the pointer.
+  std::unique_ptr<dsa::FaultInjectingFs> fault_fs;
+  if (fault_window.first_op > 0) {
+    fault_config.windows.push_back(fault_window);
+  }
+  if (!fault_config.windows.empty() || fault_rate_set) {
+    fault_fs = std::make_unique<dsa::FaultInjectingFs>(&dsa::SystemFs(), fault_config);
+  }
+
   if (!spool_dir.empty()) {
     if (!batch_dir.empty() || !trace_file.empty() || !dump_file.empty()) {
       Usage(argv[0], "--serve is exclusive with --batch / --trace FILE / --dump-trace");
@@ -318,7 +390,8 @@ int main(int argc, char** argv) {
     serve_config.stop_after_commits = crash_after;
     serve_config.rescan_spool = !drain;
     serve_config.lanes = lanes;
-    return RunServe(spec, serve_config, crash_after >= 0);
+    serve_config.fs = fault_fs.get();
+    return RunServe(spec, serve_config, crash_after >= 0, fault_fs.get());
   }
 
   if (!batch_dir.empty()) {
@@ -335,6 +408,7 @@ int main(int argc, char** argv) {
     batch_options.dir = batch_dir;
     batch_options.jobs = jobs;
     batch_options.event_trace_prefix = event_trace_file;
+    batch_options.fs = fault_fs.get();
     return RunBatch(spec, batch_options);
   }
 

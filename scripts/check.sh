@@ -4,9 +4,10 @@
 #   scripts/check.sh              # configure, build, ctest by label, benches
 #   DSA_SANITIZE=address scripts/check.sh   # same, under ASan
 #
-# ctest runs as six labelled passes (unit, golden, property, soak, resume,
-# stress — the last reruns the concurrent suites under --gtest_repeat with
-# rotating seeds) so a failure names the class of breakage immediately;
+# ctest runs as seven labelled passes (unit, golden, property, soak, resume,
+# faultpoint — the durable-IO fault sweep — and stress, which reruns the
+# concurrent suites under --gtest_repeat with rotating seeds) so a failure
+# names the class of breakage immediately;
 # --no-tests=error turns a label with zero registered tests into a failure
 # instead of a silent green pass.  The quick bench outputs land in
 # build/ — the committed BENCH_*.json files at the repo root are full-run
@@ -22,7 +23,7 @@ fi
 
 cmake -B build -S . "${SANITIZE_ARGS[@]}"
 cmake --build build -j
-for label in unit golden property soak resume stress; do
+for label in unit golden property soak resume faultpoint stress; do
   echo "== ctest -L ${label}"
   # Note -j needs an explicit count: a bare `-j` makes ctest swallow the
   # following -L flag and run the whole suite unfiltered.

@@ -24,6 +24,12 @@
 # reference stays serial, so the matrix also proves the concurrent service
 # resumes bit-identically to the serial uninterrupted run — checkpoint
 # commits are barriers, never mid-parallel-round cuts.
+#
+# A third cell kind injects a transient ENOSPC window (--io-fault-at) into
+# the first run instead of killing it: the service must retry, degrade if
+# the window outlasts the retry budget, heal, and still land byte-identical
+# outputs (IO.txt/IO.events.jsonl excepted — they exist only because the
+# run was disturbed, and the comparison excludes exactly those two names).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -75,6 +81,14 @@ run_cell() {
         echo "cell $prefix: --crash-after $param finished instead of dying" >&2
         return 1
       }
+  elif [[ "$mode" == enospc ]]; then
+    # Injected durable-IO fault: a transient out-of-space window opening at
+    # op $param.  The run either heals in place (exit 0, degraded-then-
+    # recovered) or dies in startup (no state to limp with) and is
+    # restarted clean by the supervisor loop below.
+    "$SIM" "${SERVE_ARGS[@]}" --lanes "$lanes" --out "$out" --checkpoint "$ckpt" \
+      --io-fault-at "$param" --io-fault-len 24 --io-fault-err enospc \
+      > /dev/null 2>&1 || true
   else
     # Randomized SIGKILL: let the service run for a random slice of its
     # runtime, then kill -9 the whole process.
@@ -107,9 +121,11 @@ run_cell() {
     fi
   done
 
-  if ! diff -r "$WORK/ref" "$out" > /dev/null; then
+  # IO.txt / IO.events.jsonl exist exactly when a run was disturbed by
+  # injected faults; everything else must match the reference bytes.
+  if ! diff -r -x IO.txt -x IO.events.jsonl "$WORK/ref" "$out" > /dev/null; then
     echo "cell $prefix: output tree differs from the uninterrupted run:" >&2
-    diff -r "$WORK/ref" "$out" >&2 || true
+    diff -r -x IO.txt -x IO.events.jsonl "$WORK/ref" "$out" >&2 || true
     return 1
   fi
   return 0
@@ -120,9 +136,12 @@ run_cell() {
 # wider-than-hardware rounds alike.
 CELLS=()
 if [[ $QUICK == 1 ]]; then
-  CELLS+=("rand 101 1" "rand 202 2" "rand 303 4")
+  CELLS+=("rand 101 1" "rand 202 2" "rand 303 4" "enospc 40 2")
 else
   CELLS+=("det 1 1" "det 3 2" "det 10 4" "det 40 2")
+  # Injected-ENOSPC windows: one in startup (dies, restarts clean), two
+  # mid-run (degrade, heal in place), across lane widths.
+  CELLS+=("enospc 4 1" "enospc 40 2" "enospc 150 4")
   lanes_cycle=(1 2 4)
   n=0
   for seed in 101 202 303 404 505 606 707 808; do

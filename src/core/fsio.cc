@@ -1,0 +1,534 @@
+#include "src/core/fsio.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <filesystem>
+
+namespace dsa {
+
+namespace stdfs = std::filesystem;
+
+const char* ToString(FsOpKind op) {
+  switch (op) {
+    case FsOpKind::kReadFile:
+      return "read-file";
+    case FsOpKind::kAppend:
+      return "append";
+    case FsOpKind::kWriteFileAtomic:
+      return "write-file-atomic";
+    case FsOpKind::kRename:
+      return "rename";
+    case FsOpKind::kRemove:
+      return "remove";
+    case FsOpKind::kListDir:
+      return "list-dir";
+    case FsOpKind::kSyncDir:
+      return "sync-dir";
+    case FsOpKind::kTruncate:
+      return "truncate";
+    case FsOpKind::kCreateDirs:
+      return "create-dirs";
+    case FsOpKind::kFileSize:
+      return "file-size";
+  }
+  return "?";
+}
+
+namespace {
+
+// Deterministic errno rendering: strerror() text varies by libc and locale,
+// and these strings end up in quarantine records that tests compare.
+std::string ErrnoText(int err) {
+  switch (err) {
+    case EIO:
+      return "input/output error";
+    case ENOSPC:
+      return "no space left on device";
+    case ENOENT:
+      return "no such file or directory";
+    case EACCES:
+      return "permission denied";
+    case EAGAIN:
+      return "resource temporarily unavailable";
+    case EINTR:
+      return "interrupted";
+    default:
+      return "errno " + std::to_string(err);
+  }
+}
+
+FsError Errno(FsOpKind op, const std::string& detail) {
+  return FsError{op, errno == 0 ? EIO : errno, detail, false};
+}
+
+// Parent directory of `path` for the post-rename directory fsync.
+std::string ParentDir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) {
+    return ".";
+  }
+  if (slash == 0) {
+    return "/";
+  }
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+std::string FsError::Describe() const {
+  std::string out = ToString(op);
+  out += ": ";
+  out += ErrnoText(err);
+  if (!detail.empty()) {
+    out += ": ";
+    out += detail;
+  }
+  if (fatal) {
+    out += " (fatal)";
+  }
+  return out;
+}
+
+bool RetryableErrno(int err) {
+  return err == EIO || err == ENOSPC || err == EAGAIN || err == EINTR;
+}
+
+Expected<std::string, FsError> RealFs::ReadFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return MakeUnexpected(Errno(FsOpKind::kReadFile, "cannot open " + path));
+  }
+  std::string bytes;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n == 0) {
+      break;
+    }
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      const FsError error = Errno(FsOpKind::kReadFile, "cannot read " + path);
+      ::close(fd);
+      return MakeUnexpected(error);
+    }
+    bytes.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return bytes;
+}
+
+Expected<std::uint64_t, FsError> RealFs::Append(const std::string& path, std::uint64_t offset,
+                                                std::string_view bytes) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (fd < 0) {
+    return MakeUnexpected(Errno(FsOpKind::kAppend, "cannot open " + path));
+  }
+  auto fail = [&](const std::string& what) {
+    const FsError error = Errno(FsOpKind::kAppend, what + " " + path);
+    ::close(fd);
+    return MakeUnexpected(error);
+  };
+  // Truncating to the caller's offset first is the idempotence contract:
+  // whatever a failed earlier attempt tore onto the tail is discarded, so a
+  // retry lands the bytes exactly once at exactly this offset.
+  if (::ftruncate(fd, static_cast<off_t>(offset)) != 0) {
+    return fail("cannot truncate");
+  }
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n = ::pwrite(fd, bytes.data() + written, bytes.size() - written,
+                               static_cast<off_t>(offset + written));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return fail("cannot write");
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  // The committed cut will record the returned offset; the bytes must be
+  // durable before the manifest rename makes that offset authoritative.
+  if (::fsync(fd) != 0) {
+    return fail("cannot fsync");
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    return fail("cannot stat");
+  }
+  if (::close(fd) != 0) {
+    return MakeUnexpected(Errno(FsOpKind::kAppend, "cannot close " + path));
+  }
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+Status<FsError> RealFs::WriteFileAtomic(const std::string& path, std::string_view bytes) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return MakeUnexpected(Errno(FsOpKind::kWriteFileAtomic, "cannot open " + tmp));
+  }
+  auto fail = [&](const std::string& what, bool close_fd) {
+    const FsError error = Errno(FsOpKind::kWriteFileAtomic, what);
+    if (close_fd) {
+      ::close(fd);
+    }
+    ::unlink(tmp.c_str());
+    return MakeUnexpected(error);
+  };
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return fail("cannot write " + tmp, true);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  // Flush to disk before the rename: the rename must never publish a name
+  // whose bytes are still in flight.
+  if (::fsync(fd) != 0) {
+    return fail("cannot fsync " + tmp, true);
+  }
+  if (::close(fd) != 0) {
+    return fail("cannot close " + tmp, false);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return fail("cannot rename " + tmp + " over " + path, false);
+  }
+  // The rename is durable only once the parent directory's entry is on
+  // disk; without this a power cut can roll the name back to the old bytes
+  // even though the data blocks of the new file made it out.
+  const std::string parent = ParentDir(path);
+  const int dir_fd = ::open(parent.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd < 0) {
+    return MakeUnexpected(Errno(FsOpKind::kWriteFileAtomic, "cannot open dir " + parent));
+  }
+  if (::fsync(dir_fd) != 0) {
+    const FsError error = Errno(FsOpKind::kWriteFileAtomic, "cannot fsync dir " + parent);
+    ::close(dir_fd);
+    return MakeUnexpected(error);
+  }
+  ::close(dir_fd);
+  return Ok();
+}
+
+Status<FsError> RealFs::Rename(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return MakeUnexpected(Errno(FsOpKind::kRename, from + " -> " + to));
+  }
+  return Ok();
+}
+
+Status<FsError> RealFs::Remove(const std::string& path) {
+  if (::unlink(path.c_str()) != 0) {
+    return MakeUnexpected(Errno(FsOpKind::kRemove, path));
+  }
+  return Ok();
+}
+
+Expected<std::vector<std::string>, FsError> RealFs::ListDir(const std::string& dir) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : stdfs::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file()) {
+      names.push_back(entry.path().filename().string());
+    }
+  }
+  if (ec) {
+    return MakeUnexpected(
+        FsError{FsOpKind::kListDir, ec.value() == 0 ? EIO : ec.value(), dir, false});
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status<FsError> RealFs::SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return MakeUnexpected(Errno(FsOpKind::kSyncDir, "cannot open " + dir));
+  }
+  if (::fsync(fd) != 0) {
+    const FsError error = Errno(FsOpKind::kSyncDir, "cannot fsync " + dir);
+    ::close(fd);
+    return MakeUnexpected(error);
+  }
+  ::close(fd);
+  return Ok();
+}
+
+Status<FsError> RealFs::Truncate(const std::string& path, std::uint64_t size) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (fd < 0) {
+    return MakeUnexpected(Errno(FsOpKind::kTruncate, "cannot open " + path));
+  }
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0 || ::fsync(fd) != 0) {
+    const FsError error = Errno(FsOpKind::kTruncate, path);
+    ::close(fd);
+    return MakeUnexpected(error);
+  }
+  ::close(fd);
+  return Ok();
+}
+
+Status<FsError> RealFs::CreateDirs(const std::string& dir) {
+  std::error_code ec;
+  stdfs::create_directories(dir, ec);
+  if (ec) {
+    return MakeUnexpected(
+        FsError{FsOpKind::kCreateDirs, ec.value() == 0 ? EIO : ec.value(), dir, false});
+  }
+  return Ok();
+}
+
+Expected<std::uint64_t, FsError> RealFs::FileSize(const std::string& path) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) {
+    return MakeUnexpected(Errno(FsOpKind::kFileSize, path));
+  }
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+Fs& SystemFs() {
+  static RealFs fs;
+  return fs;
+}
+
+FaultInjectingFs::FaultInjectingFs(Fs* base, FsFaultConfig config)
+    : base_(base), config_(std::move(config)), rng_(config_.seed) {}
+
+bool FaultInjectingFs::ShouldFail(FsOpKind op, const std::string& path, FsError* error,
+                                  std::uint64_t* torn_bytes) {
+  const std::uint64_t index = ++ops_;
+  *torn_bytes = 0;
+  if (halted_) {
+    // The crash already happened; whatever still runs in this process gets
+    // the same fatal answer until it exits.
+    *error = FsError{op, EIO, path + " (after simulated crash)", true};
+    return true;
+  }
+  for (const FsFaultWindow& w : config_.windows) {
+    if (w.first_op == 0 || index < w.first_op) {
+      continue;
+    }
+    if (w.ops != 0 && index >= w.first_op + w.ops) {
+      continue;
+    }
+    if (!w.path_contains.empty() && path.find(w.path_contains) == std::string::npos) {
+      continue;
+    }
+    ++faults_;
+    if (w.crash) {
+      halted_ = true;
+    }
+    *error = FsError{op, w.err, path + " (injected at op " + std::to_string(index) + ")",
+                     w.crash};
+    *torn_bytes = w.torn_bytes;
+    return true;
+  }
+  if (config_.fail_rate > 0.0) {
+    // Forking per op index makes the draw a pure function of (seed, index):
+    // the schedule does not shift when a retry changes how many draws came
+    // before.
+    Rng draw = rng_.Fork(index);
+    if (draw.NextDouble() < config_.fail_rate) {
+      ++faults_;
+      *error = FsError{op, config_.random_err,
+                       path + " (random fault at op " + std::to_string(index) + ")", false};
+      return true;
+    }
+  }
+  return false;
+}
+
+Expected<std::string, FsError> FaultInjectingFs::ReadFile(const std::string& path) {
+  FsError error;
+  std::uint64_t torn = 0;
+  if (ShouldFail(FsOpKind::kReadFile, path, &error, &torn)) {
+    return MakeUnexpected(std::move(error));
+  }
+  return base_->ReadFile(path);
+}
+
+Expected<std::uint64_t, FsError> FaultInjectingFs::Append(const std::string& path,
+                                                          std::uint64_t offset,
+                                                          std::string_view bytes) {
+  FsError error;
+  std::uint64_t torn = 0;
+  if (ShouldFail(FsOpKind::kAppend, path, &error, &torn)) {
+    if (torn > 0) {
+      // The failure happened mid-write: a prefix of the payload is on disk.
+      // Append's truncate-to-offset contract is exactly what heals this.
+      (void)base_->Append(path, offset, bytes.substr(0, std::min<std::size_t>(
+                                                            torn, bytes.size())));
+    }
+    return MakeUnexpected(std::move(error));
+  }
+  return base_->Append(path, offset, bytes);
+}
+
+Status<FsError> FaultInjectingFs::WriteFileAtomic(const std::string& path,
+                                                  std::string_view bytes) {
+  FsError error;
+  std::uint64_t torn = 0;
+  if (ShouldFail(FsOpKind::kWriteFileAtomic, path, &error, &torn)) {
+    if (torn > 0) {
+      // Tear the TEMP file: the rename never ran, so the published name
+      // still holds the old bytes — the invariant the protocol promises.
+      (void)base_->Append(path + ".tmp", 0,
+                          bytes.substr(0, std::min<std::size_t>(torn, bytes.size())));
+    }
+    return MakeUnexpected(std::move(error));
+  }
+  return base_->WriteFileAtomic(path, bytes);
+}
+
+Status<FsError> FaultInjectingFs::Rename(const std::string& from, const std::string& to) {
+  FsError error;
+  std::uint64_t torn = 0;
+  if (ShouldFail(FsOpKind::kRename, from, &error, &torn)) {
+    return MakeUnexpected(std::move(error));
+  }
+  return base_->Rename(from, to);
+}
+
+Status<FsError> FaultInjectingFs::Remove(const std::string& path) {
+  FsError error;
+  std::uint64_t torn = 0;
+  if (ShouldFail(FsOpKind::kRemove, path, &error, &torn)) {
+    return MakeUnexpected(std::move(error));
+  }
+  return base_->Remove(path);
+}
+
+Expected<std::vector<std::string>, FsError> FaultInjectingFs::ListDir(const std::string& dir) {
+  FsError error;
+  std::uint64_t torn = 0;
+  if (ShouldFail(FsOpKind::kListDir, dir, &error, &torn)) {
+    return MakeUnexpected(std::move(error));
+  }
+  return base_->ListDir(dir);
+}
+
+Status<FsError> FaultInjectingFs::SyncDir(const std::string& dir) {
+  FsError error;
+  std::uint64_t torn = 0;
+  if (ShouldFail(FsOpKind::kSyncDir, dir, &error, &torn)) {
+    return MakeUnexpected(std::move(error));
+  }
+  return base_->SyncDir(dir);
+}
+
+Status<FsError> FaultInjectingFs::Truncate(const std::string& path, std::uint64_t size) {
+  FsError error;
+  std::uint64_t torn = 0;
+  if (ShouldFail(FsOpKind::kTruncate, path, &error, &torn)) {
+    return MakeUnexpected(std::move(error));
+  }
+  return base_->Truncate(path, size);
+}
+
+Status<FsError> FaultInjectingFs::CreateDirs(const std::string& dir) {
+  FsError error;
+  std::uint64_t torn = 0;
+  if (ShouldFail(FsOpKind::kCreateDirs, dir, &error, &torn)) {
+    return MakeUnexpected(std::move(error));
+  }
+  return base_->CreateDirs(dir);
+}
+
+Expected<std::uint64_t, FsError> FaultInjectingFs::FileSize(const std::string& path) {
+  FsError error;
+  std::uint64_t torn = 0;
+  if (ShouldFail(FsOpKind::kFileSize, path, &error, &torn)) {
+    return MakeUnexpected(std::move(error));
+  }
+  return base_->FileSize(path);
+}
+
+RetryingFs::RetryingFs(Fs* base, RetryPolicyConfig policy, Cycles* clock, IoStats* stats)
+    : base_(base), policy_(policy), clock_(clock), stats_(stats) {}
+
+template <typename Result, typename Op>
+Result RetryingFs::Retry(Op&& op) {
+  Cycles backoff = policy_.initial_backoff;
+  for (int attempt = 1;; ++attempt) {
+    Result result = op();
+    if (result.has_value()) {
+      return result;
+    }
+    const FsError& error = result.error();
+    // ENOENT-class misses are answers (a missing manifest, an empty event
+    // log); fatal means the simulated process is already dead.  Neither
+    // burns virtual time on backoff.
+    if (error.fatal || base_->halted() || !RetryableErrno(error.err)) {
+      return result;
+    }
+    if (attempt >= policy_.max_attempts) {
+      if (stats_ != nullptr) {
+        ++stats_->giveups;
+      }
+      return result;
+    }
+    if (stats_ != nullptr) {
+      ++stats_->retries;
+    }
+    if (clock_ != nullptr) {
+      *clock_ += backoff;
+    }
+    backoff = std::min<Cycles>(backoff * 2, policy_.max_backoff);
+  }
+}
+
+Expected<std::string, FsError> RetryingFs::ReadFile(const std::string& path) {
+  return Retry<Expected<std::string, FsError>>([&] { return base_->ReadFile(path); });
+}
+
+Expected<std::uint64_t, FsError> RetryingFs::Append(const std::string& path,
+                                                    std::uint64_t offset,
+                                                    std::string_view bytes) {
+  return Retry<Expected<std::uint64_t, FsError>>(
+      [&] { return base_->Append(path, offset, bytes); });
+}
+
+Status<FsError> RetryingFs::WriteFileAtomic(const std::string& path, std::string_view bytes) {
+  return Retry<Status<FsError>>([&] { return base_->WriteFileAtomic(path, bytes); });
+}
+
+Status<FsError> RetryingFs::Rename(const std::string& from, const std::string& to) {
+  return Retry<Status<FsError>>([&] { return base_->Rename(from, to); });
+}
+
+Status<FsError> RetryingFs::Remove(const std::string& path) {
+  return Retry<Status<FsError>>([&] { return base_->Remove(path); });
+}
+
+Expected<std::vector<std::string>, FsError> RetryingFs::ListDir(const std::string& dir) {
+  return Retry<Expected<std::vector<std::string>, FsError>>(
+      [&] { return base_->ListDir(dir); });
+}
+
+Status<FsError> RetryingFs::SyncDir(const std::string& dir) {
+  return Retry<Status<FsError>>([&] { return base_->SyncDir(dir); });
+}
+
+Status<FsError> RetryingFs::Truncate(const std::string& path, std::uint64_t size) {
+  return Retry<Status<FsError>>([&] { return base_->Truncate(path, size); });
+}
+
+Status<FsError> RetryingFs::CreateDirs(const std::string& dir) {
+  return Retry<Status<FsError>>([&] { return base_->CreateDirs(dir); });
+}
+
+Expected<std::uint64_t, FsError> RetryingFs::FileSize(const std::string& path) {
+  return Retry<Expected<std::uint64_t, FsError>>([&] { return base_->FileSize(path); });
+}
+
+}  // namespace dsa

@@ -1,0 +1,243 @@
+// The durable-IO seam: every filesystem operation the snapshot, checkpoint,
+// serve, and batch layers perform goes through one `Fs` interface, so the
+// whole durable surface can be fault-injected at syscall granularity.
+//
+// Three implementations:
+//
+//   * RealFs           — POSIX calls, the production path.  Its two write
+//                        primitives carry the durability contract the
+//                        checkpoint protocol depends on: Append truncates to
+//                        the caller's offset before writing (a retried or
+//                        torn append is invisible — the bytes land exactly
+//                        once at exactly that offset) and fsyncs before
+//                        returning; WriteFileAtomic is write-temp, fsync,
+//                        rename, then fsync of the PARENT DIRECTORY, without
+//                        which the rename itself is not durable.
+//   * FaultInjectingFs — a decorator that counts every op and fails chosen
+//                        ones from a deterministic schedule: fail-the-Nth-op
+//                        windows (transient or persistent, EIO or ENOSPC),
+//                        torn writes cut at a chosen byte, simulated crashes
+//                        (the instance latches halted() and every later op
+//                        fails fatally — the in-process stand-in for the
+//                        process dying mid-syscall), plus a seeded random
+//                        failure rate.  Same seed, same schedule, same run.
+//   * RetryingFs       — a decorator implementing the bounded-exponential-
+//                        backoff retry policy.  Backoff advances the SERVICE
+//                        VIRTUAL CLOCK, not wall time, so a retried run is
+//                        replayable cycle for cycle.  Only transient-class
+//                        errno values (EIO, ENOSPC, EAGAIN, EINTR) retry;
+//                        ENOENT-class misses pass straight through (a missing
+//                        manifest is an answer, not a fault), and fatal
+//                        (crash) errors never retry.
+//
+// Thread-safety: an Fs chain is used from ONE thread at a time.  The service
+// loop performs all IO between parallel rounds, the batch fold is serial,
+// and every sweep cell owns its own chain — which is also what keeps the op
+// counter deterministic.
+
+#ifndef SRC_CORE_FSIO_H_
+#define SRC_CORE_FSIO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/expected.h"
+#include "src/core/rng.h"
+#include "src/core/types.h"
+
+namespace dsa {
+
+enum class FsOpKind : std::uint8_t {
+  kReadFile,
+  kAppend,
+  kWriteFileAtomic,
+  kRename,
+  kRemove,
+  kListDir,
+  kSyncDir,
+  kTruncate,
+  kCreateDirs,
+  kFileSize,
+};
+
+const char* ToString(FsOpKind op);
+
+struct FsError {
+  FsOpKind op{FsOpKind::kReadFile};
+  int err{0};          // errno value
+  std::string detail;  // usually the path involved
+  // A fatal error models a crash mid-operation: the op may have partially
+  // happened, the process is as good as dead, and nothing may retry it.
+  bool fatal{false};
+
+  // "append: input/output error: <detail>" — human-readable, deterministic.
+  std::string Describe() const;
+};
+
+// True for errno values worth retrying (transient media/space trouble);
+// false for semantic misses like ENOENT, which are answers.
+bool RetryableErrno(int err);
+
+class Fs {
+ public:
+  virtual ~Fs() = default;
+
+  // Whole-file read.
+  virtual Expected<std::string, FsError> ReadFile(const std::string& path) = 0;
+  // Durable append with an idempotence contract: the file is truncated to
+  // `offset` first (discarding any torn tail a previous failed attempt
+  // left), `bytes` are written there, and the file is fsynced.  Returns the
+  // new file size — offset + bytes.size() — via a 64-bit stat, never ftell's
+  // long.  Creates the file when absent.
+  virtual Expected<std::uint64_t, FsError> Append(const std::string& path,
+                                                  std::uint64_t offset,
+                                                  std::string_view bytes) = 0;
+  // Crash-atomic publish: write <path>.tmp, fsync it, rename over `path`,
+  // fsync the parent directory.  A reader sees the old bytes or the new.
+  virtual Status<FsError> WriteFileAtomic(const std::string& path,
+                                          std::string_view bytes) = 0;
+  virtual Status<FsError> Rename(const std::string& from, const std::string& to) = 0;
+  virtual Status<FsError> Remove(const std::string& path) = 0;
+  // Names (not paths) of the regular files in `dir`, sorted — directory
+  // iteration order must never leak into outputs.
+  virtual Expected<std::vector<std::string>, FsError> ListDir(const std::string& dir) = 0;
+  // fsync of a directory fd: makes renames/unlinks within it durable.
+  virtual Status<FsError> SyncDir(const std::string& dir) = 0;
+  // Sets the file to exactly `size` bytes, creating it when absent.
+  virtual Status<FsError> Truncate(const std::string& path, std::uint64_t size) = 0;
+  virtual Status<FsError> CreateDirs(const std::string& dir) = 0;
+  // 64-bit size; ENOENT when the file does not exist.
+  virtual Expected<std::uint64_t, FsError> FileSize(const std::string& path) = 0;
+
+  // True once a simulated crash latched: the process should stop doing IO
+  // and exit the way a real crash would.
+  virtual bool halted() const { return false; }
+};
+
+// POSIX implementation.
+class RealFs : public Fs {
+ public:
+  Expected<std::string, FsError> ReadFile(const std::string& path) override;
+  Expected<std::uint64_t, FsError> Append(const std::string& path, std::uint64_t offset,
+                                          std::string_view bytes) override;
+  Status<FsError> WriteFileAtomic(const std::string& path, std::string_view bytes) override;
+  Status<FsError> Rename(const std::string& from, const std::string& to) override;
+  Status<FsError> Remove(const std::string& path) override;
+  Expected<std::vector<std::string>, FsError> ListDir(const std::string& dir) override;
+  Status<FsError> SyncDir(const std::string& dir) override;
+  Status<FsError> Truncate(const std::string& path, std::uint64_t size) override;
+  Status<FsError> CreateDirs(const std::string& dir) override;
+  Expected<std::uint64_t, FsError> FileSize(const std::string& path) override;
+};
+
+// The process-wide RealFs used when a caller passes no seam.
+Fs& SystemFs();
+
+// One deterministic failure window: ops are numbered from 1 in call order
+// across the whole FaultInjectingFs instance.
+struct FsFaultWindow {
+  std::uint64_t first_op{0};  // 1-based index of the first failing op; 0: disabled
+  std::uint64_t ops{1};       // window length; 0: persistent (never heals)
+  int err{5 /* EIO */};       // errno to report (EIO or ENOSPC, typically)
+  bool crash{false};          // latch halted() at the first hit
+  // For write ops hit by this window: bytes of the payload that land on
+  // disk before the failure (a torn write).  0 leaves no partial bytes.
+  std::uint64_t torn_bytes{0};
+  // Only ops whose path contains this substring match; empty matches all.
+  std::string path_contains;
+};
+
+struct FsFaultConfig {
+  std::vector<FsFaultWindow> windows;
+  // Additionally fail each op with this probability, from `seed` — the
+  // soak-style randomized schedule.  Deterministic per (seed, op index).
+  double fail_rate{0.0};
+  std::uint64_t seed{0};
+  int random_err{5 /* EIO */};
+};
+
+class FaultInjectingFs : public Fs {
+ public:
+  explicit FaultInjectingFs(Fs* base, FsFaultConfig config = {});
+
+  Expected<std::string, FsError> ReadFile(const std::string& path) override;
+  Expected<std::uint64_t, FsError> Append(const std::string& path, std::uint64_t offset,
+                                          std::string_view bytes) override;
+  Status<FsError> WriteFileAtomic(const std::string& path, std::string_view bytes) override;
+  Status<FsError> Rename(const std::string& from, const std::string& to) override;
+  Status<FsError> Remove(const std::string& path) override;
+  Expected<std::vector<std::string>, FsError> ListDir(const std::string& dir) override;
+  Status<FsError> SyncDir(const std::string& dir) override;
+  Status<FsError> Truncate(const std::string& path, std::uint64_t size) override;
+  Status<FsError> CreateDirs(const std::string& dir) override;
+  Expected<std::uint64_t, FsError> FileSize(const std::string& path) override;
+
+  bool halted() const override { return halted_; }
+  // Total ops decorated so far — the N a fault-point sweep iterates over.
+  std::uint64_t ops_issued() const { return ops_; }
+  std::uint64_t faults_injected() const { return faults_; }
+
+ private:
+  // Numbers the op and consults the schedule; when the op must fail, builds
+  // the FsError (latching halted_ for crash windows) and, for write ops,
+  // reports how many payload bytes to tear onto disk first.
+  bool ShouldFail(FsOpKind op, const std::string& path, FsError* error,
+                  std::uint64_t* torn_bytes);
+
+  Fs* base_;
+  FsFaultConfig config_;
+  Rng rng_;
+  std::uint64_t ops_{0};
+  std::uint64_t faults_{0};
+  bool halted_{false};
+};
+
+struct RetryPolicyConfig {
+  int max_attempts{4};             // total tries per op; 1 disables retries
+  Cycles initial_backoff{2048};    // virtual cycles before the first retry
+  Cycles max_backoff{1u << 16};    // doubling cap
+};
+
+struct IoStats {
+  std::uint64_t retries{0};  // re-attempts after a transient error
+  std::uint64_t giveups{0};  // retryable-class ops that exhausted the budget
+};
+
+// Retry decorator.  `clock` (optional) is advanced by each backoff — the
+// service passes its virtual clock so retried runs replay deterministically.
+class RetryingFs : public Fs {
+ public:
+  RetryingFs(Fs* base, RetryPolicyConfig policy, Cycles* clock, IoStats* stats);
+
+  Expected<std::string, FsError> ReadFile(const std::string& path) override;
+  Expected<std::uint64_t, FsError> Append(const std::string& path, std::uint64_t offset,
+                                          std::string_view bytes) override;
+  Status<FsError> WriteFileAtomic(const std::string& path, std::string_view bytes) override;
+  Status<FsError> Rename(const std::string& from, const std::string& to) override;
+  Status<FsError> Remove(const std::string& path) override;
+  Expected<std::vector<std::string>, FsError> ListDir(const std::string& dir) override;
+  Status<FsError> SyncDir(const std::string& dir) override;
+  Status<FsError> Truncate(const std::string& path, std::uint64_t size) override;
+  Status<FsError> CreateDirs(const std::string& dir) override;
+  Expected<std::uint64_t, FsError> FileSize(const std::string& path) override;
+
+  bool halted() const override { return base_->halted(); }
+
+ private:
+  // Runs `op` up to max_attempts times.  Safe for every Fs op: Append's
+  // truncate-to-offset contract and WriteFileAtomic's rewrite-the-temp make
+  // the write ops idempotent, and the rest are naturally so.
+  template <typename Result, typename Op>
+  Result Retry(Op&& op);
+
+  Fs* base_;
+  RetryPolicyConfig policy_;
+  Cycles* clock_;   // may be null (no virtual time to advance)
+  IoStats* stats_;  // may be null
+};
+
+}  // namespace dsa
+
+#endif  // SRC_CORE_FSIO_H_

@@ -1,10 +1,8 @@
 #include "src/core/snapshot.h"
 
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstdio>
 #include <cstring>
+
+#include "src/core/fsio.h"
 
 namespace dsa {
 
@@ -200,53 +198,28 @@ std::uint64_t SnapshotReader::Count(std::uint64_t limit) {
   return ok_ ? n : 0;
 }
 
-Status<SnapshotError> WriteFileAtomic(const std::string& path, std::string_view sealed) {
-  const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) {
-    return MakeUnexpected(SnapshotError{SnapshotErrorKind::kIo,
-                                        "cannot open " + tmp + ": " + std::strerror(errno)});
-  }
-  bool write_ok = sealed.empty() || std::fwrite(sealed.data(), 1, sealed.size(), f) == sealed.size();
-  // Flush through libc and the kernel before the rename: the rename must
-  // never publish a name whose bytes are still in flight.
-  write_ok = write_ok && std::fflush(f) == 0 && fsync(fileno(f)) == 0;
-  if (std::fclose(f) != 0) {
-    write_ok = false;
-  }
-  if (!write_ok) {
-    std::remove(tmp.c_str());
-    return MakeUnexpected(
-        SnapshotError{SnapshotErrorKind::kIo, "cannot write " + tmp + ": " + std::strerror(errno)});
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return MakeUnexpected(SnapshotError{SnapshotErrorKind::kIo, "cannot rename " + tmp + " over " +
-                                                                    path + ": " +
-                                                                    std::strerror(errno)});
+Status<SnapshotError> WriteFileAtomic(Fs* fs, const std::string& path,
+                                      std::string_view sealed) {
+  if (auto status = fs->WriteFileAtomic(path, sealed); !status.has_value()) {
+    return MakeUnexpected(SnapshotError{SnapshotErrorKind::kIo, status.error().Describe()});
   }
   return Ok();
 }
 
+Status<SnapshotError> WriteFileAtomic(const std::string& path, std::string_view sealed) {
+  return WriteFileAtomic(&SystemFs(), path, sealed);
+}
+
+Expected<std::string, SnapshotError> ReadFileBytes(Fs* fs, const std::string& path) {
+  auto bytes = fs->ReadFile(path);
+  if (!bytes.has_value()) {
+    return MakeUnexpected(SnapshotError{SnapshotErrorKind::kIo, bytes.error().Describe()});
+  }
+  return std::move(bytes.value());
+}
+
 Expected<std::string, SnapshotError> ReadFileBytes(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    return MakeUnexpected(SnapshotError{SnapshotErrorKind::kIo,
-                                        "cannot open " + path + ": " + std::strerror(errno)});
-  }
-  std::string bytes;
-  char buf[1 << 16];
-  std::size_t n;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
-    bytes.append(buf, n);
-  }
-  const bool read_ok = std::ferror(f) == 0;
-  std::fclose(f);
-  if (!read_ok) {
-    return MakeUnexpected(
-        SnapshotError{SnapshotErrorKind::kIo, "cannot read " + path + ": " + std::strerror(errno)});
-  }
-  return bytes;
+  return ReadFileBytes(&SystemFs(), path);
 }
 
 }  // namespace dsa

@@ -119,13 +119,20 @@ class SnapshotReader {
   SnapshotError error_;
 };
 
-// Writes `sealed` to `path` crash-atomically: write to `<path>.tmp`, flush
-// to disk, rename over `path`.  A reader never observes a torn file — it
-// sees the old content or the new, which is the foundation the checkpoint
-// store's manifest protocol builds on.
+class Fs;
+
+// Writes `sealed` to `path` crash-atomically through `fs` (see Fs in
+// src/core/fsio.h): write to `<path>.tmp`, flush to disk, rename over
+// `path`, fsync the parent directory.  A reader never observes a torn file —
+// it sees the old content or the new, which is the foundation the checkpoint
+// store's manifest protocol builds on.  FsError collapses to kIo here; the
+// two-argument forms run against the process-wide RealFs.
+Status<SnapshotError> WriteFileAtomic(Fs* fs, const std::string& path,
+                                      std::string_view sealed);
 Status<SnapshotError> WriteFileAtomic(const std::string& path, std::string_view sealed);
 
 // Reads a whole file; kIo when it cannot be opened or read.
+Expected<std::string, SnapshotError> ReadFileBytes(Fs* fs, const std::string& path);
 Expected<std::string, SnapshotError> ReadFileBytes(const std::string& path);
 
 }  // namespace dsa

@@ -49,6 +49,8 @@ enum class EventKind : std::uint8_t {
   kLoadControl,       // a=LoadControlDecision, b=job (kNoJob), c=fault rate (ppm)
   kSizeClassMiss,     // a=size class, b=requested words (quick + class lists both empty)
   kDeferredCoalesce,  // a=parked blocks drained, b=words drained, c=boundary-tag merges
+  kServiceDegraded,   // a=io giveups so far, b=commits so far (durable IO down)
+  kServiceRecovered,  // a=cycles spent degraded this episode, b=commits so far
 };
 
 // Payload `b` of kFaultRecovery.

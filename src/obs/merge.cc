@@ -100,6 +100,8 @@ std::vector<TraceEvent> OffsetEventStream(std::vector<TraceEvent> events,
       case EventKind::kCompaction:
       case EventKind::kSizeClassMiss:
       case EventKind::kDeferredCoalesce:
+      case EventKind::kServiceDegraded:
+      case EventKind::kServiceRecovered:
         // No frame/page/job entities in the payload.
         break;
     }

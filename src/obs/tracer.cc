@@ -42,6 +42,10 @@ const char* ToString(EventKind kind) {
       return "size-class-miss";
     case EventKind::kDeferredCoalesce:
       return "deferred-coalesce";
+    case EventKind::kServiceDegraded:
+      return "service-degraded";
+    case EventKind::kServiceRecovered:
+      return "service-recovered";
   }
   return "?";
 }
@@ -55,7 +59,7 @@ constexpr EventKind kAllKinds[] = {
     EventKind::kAlloc,         EventKind::kFree,            EventKind::kCompaction,
     EventKind::kFaultRecovery, EventKind::kScheduleSwitch,  EventKind::kJobDeactivate,
     EventKind::kJobReactivate, EventKind::kLoadControl,  EventKind::kSizeClassMiss,
-    EventKind::kDeferredCoalesce,
+    EventKind::kDeferredCoalesce, EventKind::kServiceDegraded, EventKind::kServiceRecovered,
 };
 
 bool Equals(const char* a, const char* b) {
@@ -115,6 +119,10 @@ EventFieldNames FieldNamesFor(EventKind kind) {
       return {"class", "size", nullptr};
     case EventKind::kDeferredCoalesce:
       return {"drained", "words", "merges"};
+    case EventKind::kServiceDegraded:
+      return {"giveups", "commits", nullptr};
+    case EventKind::kServiceRecovered:
+      return {"cycles", "commits", nullptr};
   }
   return {nullptr, nullptr, nullptr};
 }

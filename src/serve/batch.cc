@@ -129,13 +129,16 @@ int RunBatch(const SystemSpec& base_spec, const BatchOptions& options) {
     if (capture) {
       const std::string path =
           options.event_trace_prefix + "." + std::to_string(i) + ".jsonl";
-      std::ofstream out(path);
-      if (!out) {
-        std::fprintf(stderr, "dsa_sim: cannot open %s\n", path.c_str());
+      const std::string lines = EventsToJsonl(cell.events);
+      // Atomic write with the status checked: the old ofstream path returned
+      // exit 0 with an empty or torn file when the disk filled mid-export.
+      Fs* fs = options.fs != nullptr ? options.fs : &SystemFs();
+      if (auto status = fs->WriteFileAtomic(path, lines); !status.has_value()) {
+        std::fprintf(stderr, "dsa_sim: cannot write %s: %s\n", path.c_str(),
+                     status.error().Describe().c_str());
         export_failed = true;
         continue;
       }
-      WriteEventsJsonl(cell.events, &out);
       const auto violations = TraceReplayVerifier(verifier_config).Verify(cell.events);
       std::printf("event trace      %zu events -> %s (%s)\n", cell.events.size(),
                   path.c_str(), violations.empty() ? "verified" : "VERIFIER VIOLATIONS");

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "src/core/expected.h"
+#include "src/core/fsio.h"
 #include "src/trace/reference.h"
 #include "src/vm/system_builder.h"
 
@@ -26,6 +27,10 @@ struct BatchOptions {
   std::string dir;                 // directory of trace files
   unsigned jobs{1};                // sweep width
   std::string event_trace_prefix;  // nonempty: capture + verify per cell
+  // Durable-IO seam for the JSONL exports (null: the process-wide RealFs).
+  // Exports go through Fs::WriteFileAtomic with the status CHECKED — a full
+  // disk is a reported skip and exit 2, never a silent empty file.
+  Fs* fs{nullptr};
 };
 
 // Why one cell could not run (its trace never loaded).

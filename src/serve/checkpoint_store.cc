@@ -1,18 +1,15 @@
 #include "src/serve/checkpoint_store.h"
 
+#include <cerrno>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
-#include <filesystem>
-#include <set>
 #include <sstream>
 #include <string>
 
 #include "src/core/assert.h"
 
 namespace dsa {
-
-namespace fs = std::filesystem;
 
 namespace {
 
@@ -88,19 +85,12 @@ std::string RenderManifest(std::uint64_t generation,
   return text;
 }
 
-void QuarantineFile(const fs::path& path) {
-  std::error_code ec;
-  if (fs::exists(path, ec)) {
-    fs::rename(path, fs::path(path.string() + ".quarantine"), ec);
-  }
-}
-
 // Validates one committed member against its manifest entry AND the
 // snapshot container's own header, so a mismatch is caught whichever record
 // was damaged.
-Status<SnapshotError> ValidateMember(const std::string& path, const ManifestEntry& entry,
-                                     std::string* bytes_out) {
-  auto bytes = ReadFileBytes(path);
+Status<SnapshotError> ValidateMember(Fs* fs, const std::string& path,
+                                     const ManifestEntry& entry, std::string* bytes_out) {
+  auto bytes = ReadFileBytes(fs, path);
   if (!bytes.has_value()) {
     return MakeUnexpected(bytes.error());
   }
@@ -133,23 +123,50 @@ std::string CheckpointStore::MemberPath(const std::string& name, std::uint64_t g
   return dir_ + "/" + name + buf;
 }
 
-Expected<CheckpointStore::Recovered, SnapshotError> CheckpointStore::Recover() {
-  std::error_code ec;
-  fs::create_directories(dir_, ec);
-  if (ec) {
+void CheckpointStore::QuarantineFile(const std::string& path) {
+  (void)fs_->Rename(path, path + ".quarantine");
+}
+
+Status<SnapshotError> CheckpointStore::RemoveOrphans(const std::set<std::string>& keep,
+                                                     bool strict) {
+  auto names = fs_->ListDir(dir_);
+  if (!names.has_value()) {
+    if (!strict) {
+      return Ok();  // the commit already happened; orphans die next Recover
+    }
     return MakeUnexpected(SnapshotError{
-        SnapshotErrorKind::kIo, "cannot create checkpoint dir " + dir_ + ": " + ec.message()});
+        SnapshotErrorKind::kIo,
+        "cannot scan checkpoint dir " + dir_ + ": " + names.error().Describe()});
+  }
+  for (const std::string& name : *names) {
+    const std::string path = dir_ + "/" + name;
+    if (name.size() >= 5 && name.compare(name.size() - 5, 5, ".ckpt") == 0 &&
+        keep.find(path) == keep.end()) {
+      (void)fs_->Remove(path);
+    }
+  }
+  return Ok();
+}
+
+Expected<CheckpointStore::Recovered, SnapshotError> CheckpointStore::Recover() {
+  if (auto created = fs_->CreateDirs(dir_); !created.has_value()) {
+    return MakeUnexpected(SnapshotError{
+        SnapshotErrorKind::kIo,
+        "cannot create checkpoint dir " + dir_ + ": " + created.error().Describe()});
   }
 
   Recovered recovered;
   bool cut_valid = false;
   std::set<std::string> keep;  // full paths of validated current-gen members
 
-  if (fs::exists(ManifestPath(), ec)) {
-    auto manifest_bytes = ReadFileBytes(ManifestPath());
-    if (!manifest_bytes.has_value()) {
-      return MakeUnexpected(manifest_bytes.error());
-    }
+  auto manifest_bytes = fs_->ReadFile(ManifestPath());
+  if (!manifest_bytes.has_value() && manifest_bytes.error().err != ENOENT) {
+    // A missing manifest means "no committed cut yet"; anything else means
+    // the store is unreadable right now — an environment error.
+    return MakeUnexpected(
+        SnapshotError{SnapshotErrorKind::kIo, manifest_bytes.error().Describe()});
+  }
+  if (manifest_bytes.has_value()) {
     auto manifest = ParseManifest(*manifest_bytes);
     if (!manifest.has_value()) {
       recovered.quarantined.push_back({ManifestPath(), manifest.error()});
@@ -158,7 +175,7 @@ Expected<CheckpointStore::Recovered, SnapshotError> CheckpointStore::Recover() {
       for (const ManifestEntry& entry : manifest->entries) {
         const std::string path = MemberPath(entry.name, manifest->generation);
         std::string bytes;
-        if (auto status = ValidateMember(path, entry, &bytes); !status.has_value()) {
+        if (auto status = ValidateMember(fs_, path, entry, &bytes); !status.has_value()) {
           recovered.quarantined.push_back({path, status.error()});
           cut_valid = false;
         } else {
@@ -187,20 +204,8 @@ Expected<CheckpointStore::Recovered, SnapshotError> CheckpointStore::Recover() {
 
   // Member files outside the committed cut are leftovers of a crashed
   // commit (written before the manifest rename) — remove them.
-  for (const auto& dir_entry : fs::directory_iterator(dir_, ec)) {
-    if (!dir_entry.is_regular_file()) {
-      continue;
-    }
-    const std::string path = dir_entry.path().string();
-    if (path.size() >= 5 && path.compare(path.size() - 5, 5, ".ckpt") == 0 &&
-        keep.find(path) == keep.end()) {
-      std::error_code remove_ec;
-      fs::remove(dir_entry.path(), remove_ec);
-    }
-  }
-  if (ec) {
-    return MakeUnexpected(SnapshotError{
-        SnapshotErrorKind::kIo, "cannot scan checkpoint dir " + dir_ + ": " + ec.message()});
+  if (auto status = RemoveOrphans(keep, /*strict=*/true); !status.has_value()) {
+    return MakeUnexpected(status.error());
   }
 
   generation_ = recovered.generation;
@@ -216,7 +221,7 @@ Status<SnapshotError> CheckpointStore::Commit() {
   DSA_ASSERT(recovered_, "CheckpointStore::Commit before Recover");
   const std::uint64_t new_gen = generation_ + 1;
   for (const auto& [name, sealed] : staged_) {
-    if (auto status = WriteFileAtomic(MemberPath(name, new_gen), sealed);
+    if (auto status = WriteFileAtomic(fs_, MemberPath(name, new_gen), sealed);
         !status.has_value()) {
       return status;
     }
@@ -224,7 +229,7 @@ Status<SnapshotError> CheckpointStore::Commit() {
   // The manifest rename is the commit point: before it the new files are
   // orphans, after it the old files are.
   if (auto status =
-          WriteFileAtomic(ManifestPath(), RenderManifest(new_gen, staged_));
+          WriteFileAtomic(fs_, ManifestPath(), RenderManifest(new_gen, staged_));
       !status.has_value()) {
     return status;
   }
@@ -232,18 +237,7 @@ Status<SnapshotError> CheckpointStore::Commit() {
   for (const auto& [name, sealed] : staged_) {
     keep.insert(MemberPath(name, new_gen));
   }
-  std::error_code ec;
-  for (const auto& dir_entry : fs::directory_iterator(dir_, ec)) {
-    if (!dir_entry.is_regular_file()) {
-      continue;
-    }
-    const std::string path = dir_entry.path().string();
-    if (path.size() >= 5 && path.compare(path.size() - 5, 5, ".ckpt") == 0 &&
-        keep.find(path) == keep.end()) {
-      std::error_code remove_ec;
-      fs::remove(dir_entry.path(), remove_ec);
-    }
-  }
+  (void)RemoveOrphans(keep, /*strict=*/false);
   generation_ = new_gen;
   staged_.clear();
   return Ok();

@@ -36,16 +36,21 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "src/core/fsio.h"
 #include "src/core/snapshot.h"
 
 namespace dsa {
 
 class CheckpointStore {
  public:
-  explicit CheckpointStore(std::string dir) : dir_(std::move(dir)) {}
+  // Every durable op goes through `fs` (null: the process-wide RealFs) —
+  // the seam the fault-point sweep injects failures into.
+  explicit CheckpointStore(std::string dir, Fs* fs = nullptr)
+      : dir_(std::move(dir)), fs_(fs != nullptr ? fs : &SystemFs()) {}
 
   struct QuarantineRecord {
     std::string file;  // path moved to <file>.quarantine
@@ -79,8 +84,17 @@ class CheckpointStore {
  private:
   std::string ManifestPath() const;
   std::string MemberPath(const std::string& name, std::uint64_t gen) const;
+  // Renames `path` to `<path>.quarantine`; a failure (already gone, IO
+  // trouble) is ignored — quarantine is best-effort evidence preservation.
+  void QuarantineFile(const std::string& path);
+  // Removes every .ckpt file in the store not named in `keep` (orphans of a
+  // crashed or superseded commit).  `strict` reports list failures;
+  // post-commit cleanup passes false because the commit itself already
+  // happened.
+  Status<SnapshotError> RemoveOrphans(const std::set<std::string>& keep, bool strict);
 
   std::string dir_;
+  Fs* fs_;
   std::uint64_t generation_{0};
   bool recovered_{false};
   std::map<std::string, std::string> staged_;

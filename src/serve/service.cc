@@ -1,11 +1,9 @@
 #include "src/serve/service.h"
 
-#include <unistd.h>
-
 #include <algorithm>
+#include <cerrno>
 #include <cinttypes>
 #include <cstdio>
-#include <filesystem>
 #include <sstream>
 
 #include "src/obs/export.h"
@@ -14,8 +12,6 @@
 #include "src/trace/trace_io.h"
 
 namespace dsa {
-
-namespace fs = std::filesystem;
 
 namespace {
 
@@ -37,7 +33,11 @@ ServiceLoop::ServiceLoop(SystemSpec base_spec, ServeConfig config)
     : spec_(std::move(base_spec)),
       config_(std::move(config)),
       spec_fingerprint_(SpecFingerprint(spec_)),
-      store_(config_.checkpoint_dir),
+      // Taking &service_clock_ before that member is initialized is fine:
+      // the decorator only dereferences it per op, long after construction.
+      io_(config_.fs != nullptr ? config_.fs : &SystemFs(), config_.io_retry,
+          &service_clock_, &io_stats_),
+      store_(config_.checkpoint_dir, &io_),
       controller_(config_.load_control, spec_.core_words, spec_.page_words),
       lanes_(std::max(1u, config_.lanes == 0 ? HardwareJobs() : config_.lanes)),
       tenant_frames_(static_cast<std::size_t>(
@@ -77,21 +77,13 @@ std::unique_ptr<PagedLinearVm> ServiceLoop::BuildVm(Tenant* t) {
 }
 
 Status<SnapshotError> ServiceLoop::AdmitTenants() {
-  std::vector<fs::path> files;
-  std::error_code ec;
-  for (const auto& entry : fs::directory_iterator(config_.spool_dir, ec)) {
-    if (entry.is_regular_file()) {
-      files.push_back(entry.path());
-    }
+  auto files = io_.ListDir(config_.spool_dir);
+  if (!files.has_value()) {
+    return MakeUnexpected(IoError("cannot read spool dir " + config_.spool_dir + ": " +
+                                  files.error().Describe()));
   }
-  if (ec) {
-    return MakeUnexpected(
-        IoError("cannot read spool dir " + config_.spool_dir + ": " + ec.message()));
-  }
-  std::sort(files.begin(), files.end());
 
-  for (const fs::path& path : files) {
-    const std::string name = path.filename().string();
+  for (const std::string& name : *files) {
     if (std::find(seen_.begin(), seen_.end(), name) != seen_.end()) {
       continue;
     }
@@ -104,8 +96,17 @@ Status<SnapshotError> ServiceLoop::AdmitTenants() {
       reject("unusable file name (hidden or whitespace)");
       continue;
     }
-    auto bytes = ReadFileBytes(path.string());
+    auto bytes = io_.ReadFile(config_.spool_dir + "/" + name);
     if (!bytes.has_value()) {
+      // Rejection is for properties of the DATA (vanished file, bad
+      // permissions, malformed contents).  A retry-exhausted transient
+      // error or a crash says the MEDIUM is down: dropping the tenant
+      // would silently serve less than the spool holds, so that is an
+      // environment error and the supervisor restarts us.
+      if (RetryableErrno(bytes.error().err) || bytes.error().fatal) {
+        return MakeUnexpected(IoError("cannot read spool file " + name + ": " +
+                                      bytes.error().Describe()));
+      }
       reject(bytes.error().Describe());
       continue;
     }
@@ -122,10 +123,9 @@ Status<SnapshotError> ServiceLoop::AdmitTenants() {
     tenant->vm = BuildVm(tenant.get());
     // A fresh tenant's event log starts empty; a crash may have left
     // uncommitted bytes from a previous incarnation.
-    if (std::FILE* f = std::fopen(EventsPath(*tenant).c_str(), "wb")) {
-      std::fclose(f);
-    } else {
-      return MakeUnexpected(IoError("cannot create " + EventsPath(*tenant)));
+    if (auto status = io_.Truncate(EventsPath(*tenant), 0); !status.has_value()) {
+      return MakeUnexpected(
+          IoError("cannot create " + EventsPath(*tenant) + ": " + status.error().Describe()));
     }
     tenants_.push_back(std::move(tenant));
   }
@@ -139,6 +139,11 @@ std::string ServiceLoop::BuildSvcMember() const {
   w.U64(last_commit_clock_);
   w.U64(concurrency_);
   w.Bool(shed_since_start_);
+  // IO health counters survive restarts; the degraded_ flag itself does not
+  // (a restarted daemon begins healthy and re-degrades on fresh evidence).
+  w.U64(io_stats_.retries);
+  w.U64(io_stats_.giveups);
+  w.U64(degraded_cycles_);
   controller_.SaveState(&w);
   aggregate_.SaveState(&w);
   w.U64(tenants_.size());
@@ -160,6 +165,9 @@ bool ServiceLoop::LoadSvcMember(std::string_view sealed, std::string* reason) {
   const Cycles last_commit_clock = r.U64();
   const std::uint64_t concurrency = r.U64();
   const bool shed_since_start = r.Bool();
+  const std::uint64_t io_retries = r.U64();
+  const std::uint64_t io_giveups = r.U64();
+  const Cycles degraded_cycles = r.U64();
   controller_.LoadState(&r);
   aggregate_.LoadState(&r);
   const std::uint64_t count = r.Count(1u << 20);
@@ -178,7 +186,7 @@ bool ServiceLoop::LoadSvcMember(std::string_view sealed, std::string* reason) {
       *reason = r.error().Describe();
       return false;
     }
-    auto bytes = ReadFileBytes(config_.spool_dir + "/" + name);
+    auto bytes = ReadFileBytes(&io_, config_.spool_dir + "/" + name);
     if (!bytes.has_value()) {
       *reason = "tenant " + name + " vanished from the spool";
       return false;
@@ -207,8 +215,12 @@ bool ServiceLoop::LoadSvcMember(std::string_view sealed, std::string* reason) {
   }
   service_clock_ = service_clock;
   last_commit_clock_ = last_commit_clock;
+  last_flush_attempt_clock_ = last_commit_clock;
   concurrency_ = static_cast<std::size_t>(concurrency);
   shed_since_start_ = shed_since_start;
+  io_stats_.retries = io_retries;
+  io_stats_.giveups = io_giveups;
+  degraded_cycles_ = degraded_cycles;
   return true;
 }
 
@@ -220,8 +232,11 @@ void ServiceLoop::RestoreCut(CheckpointStore::Recovered* recovered) {
     outcome_.tenants_resumed = 0;
     service_clock_ = 0;
     last_commit_clock_ = 0;
+    last_flush_attempt_clock_ = 0;
     concurrency_ = 1;
     shed_since_start_ = false;
+    io_stats_ = IoStats{};
+    degraded_cycles_ = 0;
     controller_ = LoadController(config_.load_control, spec_.core_words, spec_.page_words);
     aggregate_ = MetricsRegistry{};
   };
@@ -259,18 +274,22 @@ void ServiceLoop::RestoreCut(CheckpointStore::Recovered* recovered) {
     t->jsonl_bytes = meta->jsonl_bytes;
     t->last_space_time = t->vm->Snapshot().space_time;
     // Discard event bytes appended after the committed cut; the resumed
-    // steps regenerate them identically.
-    std::error_code ec;
-    const auto actual = fs::exists(EventsPath(*t), ec)
-                            ? fs::file_size(EventsPath(*t), ec)
-                            : std::uintmax_t{0};
-    if (ec || actual < t->jsonl_bytes) {
+    // steps regenerate them identically.  A missing log is an empty one
+    // (only valid when the committed prefix is empty too).
+    std::uint64_t actual = 0;
+    if (auto size = io_.FileSize(EventsPath(*t)); size.has_value()) {
+      actual = *size;
+    } else if (size.error().err != ENOENT) {
+      fresh_start("tenant " + t->name + ": cannot size event log: " +
+                  size.error().Describe());
+      return;
+    }
+    if (actual < t->jsonl_bytes) {
       fresh_start("tenant " + t->name + ": event log shorter than the committed prefix");
       return;
     }
     if (actual > t->jsonl_bytes) {
-      fs::resize_file(EventsPath(*t), t->jsonl_bytes, ec);
-      if (ec) {
+      if (auto status = io_.Truncate(EventsPath(*t), t->jsonl_bytes); !status.has_value()) {
         fresh_start("tenant " + t->name + ": cannot truncate event log");
         return;
       }
@@ -317,18 +336,19 @@ void ServiceLoop::RunSlice(Tenant* t) {
 }
 
 Status<SnapshotError> ServiceLoop::FinishTenant(Tenant* t) {
+  // The report write is the only durable step left for this tenant; its
+  // metrics were folded into the aggregate when the simulation completed.
+  // `done` flips only once the report is on disk, so done-in-a-cut always
+  // implies report-on-disk and a restart can re-render any pending report
+  // from the restored VM.
   VmReport report = t->vm->Snapshot();
   report.label = spec_.label + " / " + t->trace.label;
   const std::string text =
       RenderVmReport(report, Describe(t->vm->characteristics()), t->name);
-  if (auto status = WriteFileAtomic(ReportPath(*t), text); !status.has_value()) {
+  if (auto status = WriteFileAtomic(&io_, ReportPath(*t), text); !status.has_value()) {
     return status;
   }
-  MetricsRegistry metrics;
-  FillVmMetrics(report, &metrics);
-  MergeRegistryInto(&aggregate_, metrics);
   t->done = true;
-  ++outcome_.tenants_completed;
   return Ok();
 }
 
@@ -337,29 +357,21 @@ Status<SnapshotError> ServiceLoop::AppendPendingEvents(Tenant* t) {
   if (events.empty()) {
     return Ok();
   }
-  std::FILE* f = std::fopen(EventsPath(*t).c_str(), "ab");
-  if (f == nullptr) {
-    return MakeUnexpected(IoError("cannot append to " + EventsPath(*t)));
-  }
+  std::string lines;
   for (const TraceEvent& event : events) {
-    const std::string line = EventToJson(event) + "\n";
-    if (std::fwrite(line.data(), 1, line.size(), f) != line.size()) {
-      std::fclose(f);
-      return MakeUnexpected(IoError("short write to " + EventsPath(*t)));
-    }
+    lines += EventToJson(event);
+    lines += '\n';
   }
-  // The committed cut will record this byte offset; the bytes must be
-  // durable before the manifest rename makes the offset authoritative.
-  if (std::fflush(f) != 0 || fsync(fileno(f)) != 0) {
-    std::fclose(f);
-    return MakeUnexpected(IoError("cannot flush " + EventsPath(*t)));
+  // Append at the published watermark: Fs::Append truncates to that offset
+  // first, so a torn or retried append lands these bytes exactly once —
+  // the committed cut records the returned (64-bit) offset, and the bytes
+  // are fsynced before the manifest rename makes that offset authoritative.
+  auto size = io_.Append(EventsPath(*t), t->jsonl_bytes, lines);
+  if (!size.has_value()) {
+    return MakeUnexpected(IoError("cannot append to " + EventsPath(*t) + ": " +
+                                  size.error().Describe()));
   }
-  const long size = std::ftell(f);
-  std::fclose(f);
-  if (size < 0) {
-    return MakeUnexpected(IoError("cannot size " + EventsPath(*t)));
-  }
-  t->jsonl_bytes = static_cast<std::uint64_t>(size);
+  t->jsonl_bytes = *size;
   t->events_published += events.size();
   t->tracer.Clear();
   return Ok();
@@ -394,13 +406,12 @@ Status<SnapshotError> ServiceLoop::CommitCut() {
   return Ok();
 }
 
-void ServiceLoop::DecideConcurrency() {
-  std::vector<Tenant*> incomplete;
-  for (const auto& t : tenants_) {
-    if (!t->done) {
-      incomplete.push_back(t.get());
-    }
-  }
+void ServiceLoop::DecideConcurrency(const std::vector<Tenant*>& steppable) {
+  // `steppable` excludes done tenants AND simulation-complete tenants whose
+  // report is still pending under degraded IO — those occupy no slot, so a
+  // stuck report can never starve the tenants that still have work.  In a
+  // healthy run the two sets are identical.
+  const std::vector<Tenant*>& incomplete = steppable;
   if (incomplete.size() <= 1) {
     concurrency_ = std::max<std::size_t>(concurrency_, 1);
     return;
@@ -428,7 +439,7 @@ void ServiceLoop::DecideConcurrency() {
   }
 }
 
-Status<SnapshotError> ServiceLoop::WriteServiceReport() const {
+Status<SnapshotError> ServiceLoop::WriteServiceReport() {
   const std::uint64_t references = aggregate_.CounterValue("vm/references");
   const std::uint64_t faults = aggregate_.CounterValue("vm/faults");
   char buf[128];
@@ -452,7 +463,99 @@ Status<SnapshotError> ServiceLoop::WriteServiceReport() const {
   std::snprintf(buf, sizeof(buf), "wait cycles      %" PRIu64 "\n",
                 aggregate_.CounterValue("vm/wait_cycles"));
   text += buf;
-  return WriteFileAtomic(config_.out_dir + "/SERVICE.txt", text);
+  return WriteFileAtomic(&io_, config_.out_dir + "/SERVICE.txt", text);
+}
+
+void ServiceLoop::NoteIoFailure(const SnapshotError& error) {
+  (void)error;  // the typed detail already reached the caller's diagnostics
+  if (degraded_) {
+    return;  // one episode, however many cadences it spans
+  }
+  degraded_ = true;
+  degraded_since_ = service_clock_;
+  io_tracer_.AdvanceClock(service_clock_);
+  io_tracer_.Emit(EventKind::kServiceDegraded, io_stats_.giveups, outcome_.commits, 0);
+}
+
+void ServiceLoop::NoteIoRecovered() {
+  const Cycles episode = service_clock_ - degraded_since_;
+  degraded_cycles_ += episode;
+  degraded_ = false;
+  io_tracer_.AdvanceClock(service_clock_);
+  io_tracer_.Emit(EventKind::kServiceRecovered, episode, outcome_.commits, 0);
+}
+
+bool ServiceLoop::AttemptFlush() {
+  last_flush_attempt_clock_ = service_clock_;
+  // Pending reports first (completion order is admission order), then the
+  // cut — the same durable-op order a healthy run produces, so a recovered
+  // run's op sequence converges with an undisturbed one.
+  for (auto& t : tenants_) {
+    if (t->done || t->next_ref != t->trace.size() || t->vm == nullptr) {
+      continue;
+    }
+    if (auto status = FinishTenant(t.get()); !status.has_value()) {
+      NoteIoFailure(status.error());
+      return false;
+    }
+  }
+  if (!tenants_.empty()) {
+    if (auto status = CommitCut(); !status.has_value()) {
+      NoteIoFailure(status.error());
+      return false;
+    }
+  }
+  if (degraded_) {
+    NoteIoRecovered();
+  }
+  return true;
+}
+
+void ServiceLoop::FillIoOutcome() {
+  outcome_.degraded = degraded_;
+  outcome_.io_retries = io_stats_.retries;
+  outcome_.io_giveups = io_stats_.giveups;
+  outcome_.degraded_cycles =
+      degraded_cycles_ + (degraded_ ? service_clock_ - degraded_since_ : 0);
+  outcome_.reports_unwritten = 0;
+  for (const auto& t : tenants_) {
+    if (!t->done && t->next_ref == t->trace.size()) {
+      ++outcome_.reports_unwritten;
+    }
+  }
+}
+
+void ServiceLoop::WriteIoReport() {
+  // Written only when IO was ever disturbed: a zero-fault run's output tree
+  // must stay byte-for-byte what the pre-seam service produced.
+  const std::vector<TraceEvent> events = io_tracer_.Snapshot();
+  const Cycles degraded_total =
+      degraded_cycles_ + (degraded_ ? service_clock_ - degraded_since_ : 0);
+  if (io_stats_.retries == 0 && io_stats_.giveups == 0 && degraded_total == 0 &&
+      events.empty()) {
+    return;
+  }
+  char buf[96];
+  std::string text = "== durable io ==\n";
+  std::snprintf(buf, sizeof(buf), "io_retries       %" PRIu64 "\n", io_stats_.retries);
+  text += buf;
+  std::snprintf(buf, sizeof(buf), "io_giveups       %" PRIu64 "\n", io_stats_.giveups);
+  text += buf;
+  std::snprintf(buf, sizeof(buf), "degraded_cycles  %" PRIu64 "\n", degraded_total);
+  text += buf;
+  std::snprintf(buf, sizeof(buf), "degraded_at_exit %d\n", degraded_ ? 1 : 0);
+  text += buf;
+  // Best effort on a possibly-still-broken disk: the report is diagnostic,
+  // never part of the byte-identity contract (the soak diffs exclude it).
+  (void)WriteFileAtomic(&io_, config_.out_dir + "/IO.txt", text);
+  if (!events.empty()) {
+    std::string lines;
+    for (const TraceEvent& event : events) {
+      lines += EventToJson(event);
+      lines += '\n';
+    }
+    (void)WriteFileAtomic(&io_, config_.out_dir + "/IO.events.jsonl", lines);
+  }
 }
 
 Expected<ServeOutcome, SnapshotError> ServiceLoop::Run() {
@@ -462,13 +565,14 @@ Expected<ServeOutcome, SnapshotError> ServiceLoop::Run() {
         "service mode checkpoints the paged linear family only; pick a linear "
         "name space with page units"});
   }
-  std::error_code ec;
-  fs::create_directories(config_.out_dir, ec);
-  if (ec) {
-    return MakeUnexpected(
-        IoError("cannot create out dir " + config_.out_dir + ": " + ec.message()));
+  if (auto created = io_.CreateDirs(config_.out_dir); !created.has_value()) {
+    return MakeUnexpected(IoError("cannot create out dir " + config_.out_dir + ": " +
+                                  created.error().Describe()));
   }
 
+  // Startup (recovery + first admission) has no state worth limping along
+  // with: an unreadable store or spool stays an environment error and the
+  // supervisor restarts us.  Degraded mode begins once tenants exist.
   auto recovered = store_.Recover();
   if (!recovered.has_value()) {
     return MakeUnexpected(recovered.error());
@@ -483,17 +587,20 @@ Expected<ServeOutcome, SnapshotError> ServiceLoop::Run() {
   }
 
   while (true) {
-    std::vector<Tenant*> incomplete;
+    // Steppable: simulation still in progress.  A completed tenant whose
+    // report is stuck behind degraded IO is NOT steppable — it holds no
+    // concurrency slot and is retried by the flush path, not the scheduler.
+    std::vector<Tenant*> steppable;
     for (const auto& t : tenants_) {
-      if (!t->done) {
-        incomplete.push_back(t.get());
+      if (!t->done && t->next_ref < t->trace.size()) {
+        steppable.push_back(t.get());
       }
     }
-    if (incomplete.empty()) {
+    if (steppable.empty()) {
       break;
     }
-    DecideConcurrency();
-    const std::size_t active = std::min(concurrency_, incomplete.size());
+    DecideConcurrency(steppable);
+    const std::size_t active = std::min(concurrency_, steppable.size());
     const bool concurrent_round = lanes_ > 1 && active > 1;
     if (concurrent_round) {
       // Deal the active tenants to lanes round-robin; each lane steps its
@@ -503,38 +610,48 @@ Expected<ServeOutcome, SnapshotError> ServiceLoop::Run() {
       const std::size_t width = std::min<std::size_t>(lanes_, active);
       pool_->ParallelFor(width, [&](std::size_t lane) {
         for (std::size_t i = lane; i < active; i += width) {
-          Tenant* t = incomplete[i];
+          Tenant* t = steppable[i];
           t->binder->SetArena(&arenas_[lane]);
           StepSlice(t);
           t->binder->SetArena(nullptr);
         }
       });
     }
-    bool force_commit = false;
+    bool force_flush = false;
     for (std::size_t i = 0; i < active; ++i) {
-      Tenant* t = incomplete[i];
+      Tenant* t = steppable[i];
       if (concurrent_round) {
         ReplayFeed(t);
       } else {
         RunSlice(t);
       }
       if (t->next_ref == t->trace.size()) {
-        if (auto status = FinishTenant(t); !status.has_value()) {
-          return MakeUnexpected(status.error());
-        }
-        force_commit = true;
+        // Simulation complete.  Fold the metrics into the aggregate NOW
+        // (exactly once — this branch cannot re-fire for a tenant), so the
+        // very cut that records next_ref == size also carries its metrics;
+        // the report write and the done flag belong to the flush path.
+        VmReport report = t->vm->Snapshot();
+        report.label = spec_.label + " / " + t->trace.label;
+        MetricsRegistry metrics;
+        FillVmMetrics(report, &metrics);
+        MergeRegistryInto(&aggregate_, metrics);
+        ++outcome_.tenants_completed;
+        force_flush = true;
       }
     }
-    if (force_commit || (config_.checkpoint_every > 0 &&
-                         service_clock_ - last_commit_clock_ >= config_.checkpoint_every)) {
-      if (auto status = CommitCut(); !status.has_value()) {
-        return MakeUnexpected(status.error());
-      }
-      if (config_.stop_after_commits >= 0 &&
+    const bool cadence =
+        config_.checkpoint_every > 0 &&
+        service_clock_ - last_flush_attempt_clock_ >= config_.checkpoint_every;
+    if (force_flush || cadence) {
+      if (AttemptFlush() && config_.stop_after_commits >= 0 &&
           outcome_.commits >= static_cast<std::uint64_t>(config_.stop_after_commits)) {
         // Abandon mid-run without flushing anything further — the on-disk
         // state is exactly what a hard kill at this instant leaves behind.
+        FillIoOutcome();
         return outcome_;
+      }
+      if (io_.halted()) {
+        return MakeUnexpected(IoError("durable IO halted by a simulated crash"));
       }
     }
     if (config_.rescan_spool) {
@@ -544,14 +661,33 @@ Expected<ServeOutcome, SnapshotError> ServiceLoop::Run() {
     }
   }
 
-  if (!tenants_.empty()) {
-    if (auto status = CommitCut(); !status.has_value()) {
-      return MakeUnexpected(status.error());
+  // Every tenant has been stepped to completion; what remains is durable
+  // publication.  Re-attempt a bounded number of times (each attempt burns
+  // ops, so a transient fault window traversed here heals), then exit —
+  // degraded but alive — if IO stays down.
+  bool flushed = false;
+  const int attempts = std::max(1, config_.final_flush_attempts);
+  for (int attempt = 0; attempt < attempts && !flushed; ++attempt) {
+    if (io_.halted()) {
+      return MakeUnexpected(IoError("durable IO halted by a simulated crash"));
+    }
+    flushed = tenants_.empty() || AttemptFlush();
+    if (flushed) {
+      if (auto status = WriteServiceReport(); !status.has_value()) {
+        NoteIoFailure(status.error());
+        flushed = false;
+      } else if (degraded_) {
+        // The flush path had nothing pending (no tenants) but the service
+        // report itself just proved IO healed.
+        NoteIoRecovered();
+      }
     }
   }
-  if (auto status = WriteServiceReport(); !status.has_value()) {
-    return MakeUnexpected(status.error());
+  if (io_.halted()) {
+    return MakeUnexpected(IoError("durable IO halted by a simulated crash"));
   }
+  FillIoOutcome();
+  WriteIoReport();
   outcome_.finished = true;
   return outcome_;
 }

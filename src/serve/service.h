@@ -44,6 +44,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/core/fsio.h"
 #include "src/core/snapshot.h"
 #include "src/exec/concurrent_heap.h"
 #include "src/exec/lane_binder.h"
@@ -87,6 +88,18 @@ struct ServeConfig {
   // at every lane count — lanes=1 runs the pre-lanes serial loop verbatim.
   // Checkpoint commits sit between rounds and stay the natural barrier.
   unsigned lanes{1};
+  // Durable-IO seam: every file op the service performs (spool admission,
+  // event appends, report writes, checkpoint commits) goes through this Fs
+  // (null: the process-wide RealFs).  Tests pass a FaultInjectingFs here.
+  Fs* fs{nullptr};
+  // Transient IO errors retry with bounded exponential backoff; the backoff
+  // burns SERVICE VIRTUAL cycles, so a retried run replays deterministically.
+  RetryPolicyConfig io_retry{};
+  // When the loop ends with unflushed state (degraded mode), how many times
+  // the final flush is re-attempted before exiting degraded-but-alive.
+  // Each attempt burns ops, so a transient window that opened during the
+  // last round still heals before the daemon gives up.
+  int final_flush_attempts{8};
 };
 
 struct ServeOutcome {
@@ -97,6 +110,15 @@ struct ServeOutcome {
   std::uint64_t commits{0};
   std::vector<std::string> rejected;     // "name: reason", admission order
   std::vector<std::string> quarantined;  // store-recovery reasons
+
+  // Durable-IO health.  A run can finish with degraded=true: every tenant
+  // was stepped to completion but the final durable publications never
+  // landed (persistent ENOSPC/EIO) — alive, just unable to checkpoint.
+  bool degraded{false};
+  std::uint64_t io_retries{0};            // transient errors that retried
+  std::uint64_t io_giveups{0};            // retry budgets exhausted
+  Cycles degraded_cycles{0};              // virtual cycles spent degraded
+  std::size_t reports_unwritten{0};       // completed tenants lacking reports
 };
 
 class ServiceLoop {
@@ -153,8 +175,22 @@ class ServiceLoop {
   Status<SnapshotError> FinishTenant(Tenant* t);
   Status<SnapshotError> AppendPendingEvents(Tenant* t);
   Status<SnapshotError> CommitCut();
-  void DecideConcurrency();
-  Status<SnapshotError> WriteServiceReport() const;
+  void DecideConcurrency(const std::vector<Tenant*>& steppable);
+  Status<SnapshotError> WriteServiceReport();
+
+  // Degraded-mode machinery.  AttemptFlush tries every pending durable
+  // publication — reports of simulation-complete tenants, then the
+  // checkpoint cut.  A failure enters degraded mode (kServiceDegraded,
+  // tenants keep stepping, the next cadence re-attempts); a success while
+  // degraded re-arms (kServiceRecovered, degraded_cycles folded).
+  bool AttemptFlush();
+  void NoteIoFailure(const SnapshotError& error);
+  void NoteIoRecovered();
+  // Copies the IO health counters into outcome_; called before every return.
+  void FillIoOutcome();
+  // IO.txt + IO.events.jsonl, written only when IO was ever disturbed so a
+  // zero-fault run's output tree stays byte-identical to the pre-seam one.
+  void WriteIoReport();
 
   std::string BuildSvcMember() const;
   // Parses the svc member against the current spool; false (with reason)
@@ -164,6 +200,11 @@ class ServiceLoop {
   SystemSpec spec_;
   ServeConfig config_;
   std::uint64_t spec_fingerprint_;
+  // The IO chain, declared before store_ so the store can commit through
+  // it: raw seam (config or RealFs) wrapped by the retry decorator, whose
+  // backoff advances service_clock_ and whose counts land in io_stats_.
+  IoStats io_stats_;
+  RetryingFs io_;
   CheckpointStore store_;
   LoadController controller_;
 
@@ -186,6 +227,17 @@ class ServiceLoop {
   Cycles last_commit_clock_{0};
   std::size_t concurrency_{1};
   bool shed_since_start_{false};
+
+  // Degraded-mode state.  degraded_ itself is never checkpointed: a restart
+  // begins healthy and re-degrades on its own evidence if IO is still down.
+  bool degraded_{false};
+  Cycles degraded_since_{0};
+  Cycles degraded_cycles_{0};
+  // Cadence watermark for flush ATTEMPTS (successes move last_commit_clock_
+  // as before) — a degraded service re-attempts once per cadence, not once
+  // per round.
+  Cycles last_flush_attempt_clock_{0};
+  EventTracer io_tracer_{0};  // kServiceDegraded / kServiceRecovered stream
 };
 
 }  // namespace dsa

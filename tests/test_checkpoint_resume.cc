@@ -17,6 +17,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
@@ -26,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/fsio.h"
 #include "src/core/snapshot.h"
 #include "src/exec/sweep_runner.h"
 #include "src/serve/batch.h"
@@ -457,6 +459,61 @@ TEST(CheckpointCorruptionTest, GarbageManifestQuarantinesWholeCut) {
         out << "not a manifest at all\n";
       },
       SnapshotErrorKind::kBadMagic, /*expect_quarantine=*/true);
+}
+
+TEST(CheckpointCorruptionTest, UnreadableMemberUnderInjectedIoErrorQuarantines) {
+  // The store cannot tell a rotted member from an unreadable one, and must
+  // not try: a persistent injected EIO on every .ckpt read makes the whole
+  // cut quarantine as kIo, and the service then completes from a fresh
+  // start with byte-identical outputs.
+  Scratch scratch("ioerr");
+  SpoolThreeTenants(scratch);
+  const auto expected = StraightThroughTree(scratch, "ref");
+
+  ServeConfig config = ConfigFor(scratch, "ioerr");
+  // The default checkpoint dir is named "<tag>.ckpt", which the .ckpt path
+  // filter below would match for EVERY file in the store (MANIFEST
+  // included); keep the filter on member files only.
+  config.checkpoint_dir = scratch.Out("ioerr.store");
+  config.stop_after_commits = 2;
+  {
+    ServiceLoop loop(ServeSpec(), config);
+    auto outcome = loop.Run();
+    ASSERT_TRUE(outcome.has_value());
+    ASSERT_FALSE(outcome->finished);
+  }
+
+  FsFaultConfig schedule;
+  FsFaultWindow window;
+  window.first_op = 1;
+  window.ops = 0;  // persistent
+  window.err = EIO;
+  window.path_contains = ".ckpt";  // only the member reads; MANIFEST parses fine
+  schedule.windows.push_back(window);
+  FaultInjectingFs faulty(&SystemFs(), schedule);
+  CheckpointStore store(config.checkpoint_dir, &faulty);
+  auto recovered = store.Recover();
+  ASSERT_TRUE(recovered.has_value()) << recovered.error().Describe();
+  ASSERT_FALSE(recovered->quarantined.empty());
+  EXPECT_TRUE(recovered->members.empty())
+      << "an unreadable member must invalidate the whole cut";
+  bool io_kind_seen = false;
+  for (const auto& [path, error] : recovered->quarantined) {
+    if (error.kind == SnapshotErrorKind::kIo) {
+      io_kind_seen = true;
+    }
+  }
+  EXPECT_TRUE(io_kind_seen) << "expected a kIo quarantine record";
+
+  // The quarantine renamed the cut aside through the (faulty) fs; resuming
+  // with a healthy one must fresh-start and finish byte-identical.
+  config.stop_after_commits = -1;
+  ServiceLoop loop(ServeSpec(), config);
+  auto outcome = loop.Run();
+  ASSERT_TRUE(outcome.has_value()) << outcome.error().Describe();
+  ASSERT_TRUE(outcome->finished);
+  EXPECT_EQ(outcome->tenants_resumed, 0u);
+  ExpectSameTree(expected, SlurpDir(config.out_dir), "ioerr");
 }
 
 TEST(CheckpointCorruptionTest, RandomizedMemberFuzzNeverCrashes) {

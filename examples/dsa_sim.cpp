@@ -31,8 +31,8 @@
 //                             code 3 distinguishes "some cells rejected" from
 //                             0 "all cells ran"
 //     --jobs N                worker count for --batch (default: DSA_JOBS env,
-//                             else 1; 0 = hardware width).  Results are
-//                             byte-identical at any worker count.
+//                             else 1; 0 or 'hw' = hardware width).  Results
+//                             are byte-identical at any worker count.
 //     --serve SPOOL           crash-consistent service mode: admit every trace
 //                             file in SPOOL (rescanned between rounds) as a
 //                             tenant of a resident multi-tenant loop with
@@ -44,7 +44,14 @@
 //                             JSONL, SERVICE.txt); default SPOOL.out
 //     --checkpoint DIR        checkpoint store directory; default SPOOL.ckpt
 //     --checkpoint-every N    simulated cycles between checkpoint commits
-//                             (default 200000; 0 = only at completions)
+//                             (default 200000; the word 'completions' commits
+//                             only at tenant completions — 0 is rejected)
+//     --checkpoint-full-every N
+//                             every Nth commit is a full cut; the commits
+//                             between are incremental deltas that re-seal
+//                             only the state sections whose content changed
+//                             (default 1 = every commit full).  Outputs are
+//                             byte-identical at any value
 //     --max-active N          cross-tenant concurrency cap (default 0 = all)
 //     --drain                 serve only what is spooled at startup (no
 //                             rescans), then exit
@@ -53,8 +60,9 @@
 //                             point scripts/soak_resume.sh drives
 //     --lanes N               scheduler lanes for --serve: step up to N active
 //                             tenants concurrently over one shared lock-free
-//                             storage heap (0 = hardware width; default 1).
-//                             Outputs are byte-identical at any lane count
+//                             storage heap ('hw' = hardware width; default 1;
+//                             0 is rejected as ambiguous).  Outputs are
+//                             byte-identical at any lane count
 //     --io-fault-at K         durable-IO fault injection: fail the K-th file
 //                             operation (1-based) of this process.  Applies
 //                             to --serve and --batch.  Exit 137 when the
@@ -79,10 +87,14 @@
 //   dsa_sim --batch /tmp/tenants --jobs 0 --trace=/tmp/batch-events
 //   dsa_sim --serve /tmp/spool --out /tmp/spool.out --checkpoint-every 50000
 
+#include <bit>
+#include <cctype>
 #include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <fstream>
 #include <string>
@@ -106,6 +118,47 @@ namespace {
   std::fprintf(stderr, "dsa_sim: %s\n(see the header comment of %s.cpp for usage)\n",
                complaint, argv0);
   std::exit(2);
+}
+
+[[noreturn]] void Usage(const char* argv0, const std::string& complaint) {
+  Usage(argv0, complaint.c_str());
+}
+
+// Checked numeric parsing: trailing garbage, a leading sign, an empty value,
+// and out-of-range magnitudes are usage errors, never silent zeros or wraps
+// ("--lanes banana" and "--core 99999999999999999999999" both used to slip
+// through strtoul unnoticed).
+std::uint64_t ParseU64(const char* argv0, const std::string& flag, const std::string& text) {
+  if (text.empty() || text[0] == '-' || text[0] == '+' ||
+      std::isspace(static_cast<unsigned char>(text[0]))) {
+    Usage(argv0, flag + " wants a plain non-negative integer, got '" + text + "'");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (errno == ERANGE) {
+    Usage(argv0, flag + " value out of range: " + text);
+  }
+  if (end == text.c_str() || *end != '\0') {
+    Usage(argv0, flag + " wants an integer, got '" + text + "'");
+  }
+  return value;
+}
+
+double ParseDouble(const char* argv0, const std::string& flag, const std::string& text) {
+  if (text.empty() || std::isspace(static_cast<unsigned char>(text[0]))) {
+    Usage(argv0, flag + " wants a number, got '" + text + "'");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (errno == ERANGE) {
+    Usage(argv0, flag + " value out of range: " + text);
+  }
+  if (end == text.c_str() || *end != '\0') {
+    Usage(argv0, flag + " wants a number, got '" + text + "'");
+  }
+  return value;
 }
 
 dsa::ReferenceTrace GenerateWorkload(const std::string& kind) {
@@ -208,6 +261,7 @@ int main(int argc, char** argv) {
   std::string out_dir;
   std::string checkpoint_dir;
   dsa::Cycles checkpoint_every = 200000;
+  int checkpoint_full_every = 1;
   std::size_t max_active = 0;
   bool drain = false;
   int crash_after = -1;
@@ -250,19 +304,58 @@ int main(int argc, char** argv) {
     } else if (arg == "--checkpoint") {
       checkpoint_dir = next();
     } else if (arg == "--checkpoint-every") {
-      checkpoint_every = std::strtoull(next().c_str(), nullptr, 10);
+      const std::string v = next();
+      if (v == "completions") {
+        checkpoint_every = 0;
+      } else {
+        checkpoint_every = ParseU64(argv[0], arg, v);
+        if (checkpoint_every == 0) {
+          Usage(argv[0],
+                "--checkpoint-every 0 would disable the cadence; say "
+                "--checkpoint-every completions to commit only at tenant completions");
+        }
+      }
+    } else if (arg == "--checkpoint-full-every") {
+      const std::uint64_t v = ParseU64(argv[0], arg, next());
+      if (v == 0) {
+        Usage(argv[0],
+              "--checkpoint-full-every must be >= 1 (1 = every commit is a full cut)");
+      }
+      if (v > static_cast<std::uint64_t>(std::numeric_limits<int>::max())) {
+        Usage(argv[0], "--checkpoint-full-every value out of range");
+      }
+      checkpoint_full_every = static_cast<int>(v);
     } else if (arg == "--max-active") {
-      max_active = std::strtoull(next().c_str(), nullptr, 10);
+      max_active = ParseU64(argv[0], arg, next());  // 0 = uncapped (documented)
     } else if (arg == "--drain") {
       drain = true;
     } else if (arg == "--crash-after") {
-      crash_after = static_cast<int>(std::strtol(next().c_str(), nullptr, 10));
+      const std::uint64_t v = ParseU64(argv[0], arg, next());
+      if (v > static_cast<std::uint64_t>(std::numeric_limits<int>::max())) {
+        Usage(argv[0], "--crash-after value out of range");
+      }
+      crash_after = static_cast<int>(v);
     } else if (arg == "--lanes") {
-      lanes = static_cast<unsigned>(std::strtoul(next().c_str(), nullptr, 10));
+      const std::string v = next();
+      if (v == "hw") {
+        lanes = 0;  // ServiceLoop reads 0 as hardware width
+      } else {
+        const std::uint64_t n = ParseU64(argv[0], arg, v);
+        if (n == 0) {
+          Usage(argv[0], "--lanes 0 is ambiguous; say --lanes hw for hardware width");
+        }
+        if (n > 1024) {
+          Usage(argv[0], "--lanes value out of range (max 1024)");
+        }
+        lanes = static_cast<unsigned>(n);
+      }
     } else if (arg == "--io-fault-at") {
-      fault_window.first_op = std::strtoull(next().c_str(), nullptr, 10);
+      fault_window.first_op = ParseU64(argv[0], arg, next());
+      if (fault_window.first_op == 0) {
+        Usage(argv[0], "--io-fault-at ops are 1-based; 0 would never fire");
+      }
     } else if (arg == "--io-fault-len") {
-      fault_window.ops = std::strtoull(next().c_str(), nullptr, 10);
+      fault_window.ops = ParseU64(argv[0], arg, next());  // 0 = persistent (documented)
     } else if (arg == "--io-fault-err") {
       const std::string v = next();
       if (v == "eio") {
@@ -275,19 +368,26 @@ int main(int argc, char** argv) {
     } else if (arg == "--io-fault-crash") {
       fault_window.crash = true;
     } else if (arg == "--io-fault-torn") {
-      fault_window.torn_bytes = std::strtoull(next().c_str(), nullptr, 10);
+      fault_window.torn_bytes = ParseU64(argv[0], arg, next());
     } else if (arg == "--io-fault-path") {
       fault_window.path_contains = next();
     } else if (arg == "--io-fault-rate") {
-      fault_config.fail_rate = std::strtod(next().c_str(), nullptr);
+      fault_config.fail_rate = ParseDouble(argv[0], arg, next());
+      if (fault_config.fail_rate < 0.0 || fault_config.fail_rate > 1.0) {
+        Usage(argv[0], "--io-fault-rate is a probability; it must lie in [0, 1]");
+      }
       fault_rate_set = fault_config.fail_rate > 0.0;
     } else if (arg == "--io-fault-seed") {
-      fault_config.seed = std::strtoull(next().c_str(), nullptr, 10);
+      fault_config.seed = ParseU64(argv[0], arg, next());
     } else if (arg == "--jobs") {
-      jobs = static_cast<unsigned>(std::strtoul(next().c_str(), nullptr, 10));
-      if (jobs == 0) {
-        jobs = dsa::HardwareJobs();
+      const std::string v = next();
+      // "--jobs 0 = hardware width" is documented and used in the examples;
+      // "hw" is the spelled-out synonym.
+      const std::uint64_t n = v == "hw" ? 0 : ParseU64(argv[0], arg, v);
+      if (n > 1024) {
+        Usage(argv[0], "--jobs value out of range (max 1024)");
       }
+      jobs = n == 0 ? dsa::HardwareJobs() : static_cast<unsigned>(n);
     } else if (arg == "--gen") {
       gen_kind = next();
     } else if (arg == "--dump-trace") {
@@ -318,11 +418,20 @@ int main(int argc, char** argv) {
       spec.characteristics.predictive = dsa::PredictiveInformation::kAccepted;
       spec.characteristics.prediction_source = dsa::PredictionSource::kProgrammer;
     } else if (arg == "--core") {
-      spec.core_words = std::strtoull(next().c_str(), nullptr, 10);
+      spec.core_words = ParseU64(argv[0], arg, next());
+      if (spec.core_words == 0) {
+        Usage(argv[0], "--core needs at least one word of working storage");
+      }
     } else if (arg == "--page") {
-      spec.page_words = std::strtoull(next().c_str(), nullptr, 10);
+      spec.page_words = ParseU64(argv[0], arg, next());
+      if (spec.page_words == 0) {
+        Usage(argv[0], "--page needs at least one word per page");
+      }
     } else if (arg == "--segment") {
-      spec.max_segment_extent = std::strtoull(next().c_str(), nullptr, 10);
+      spec.max_segment_extent = ParseU64(argv[0], arg, next());
+      if (spec.max_segment_extent == 0) {
+        Usage(argv[0], "--segment needs at least one word");
+      }
       spec.workload_segment_words = spec.max_segment_extent;
     } else if (arg == "--replacement") {
       const std::string v = next();
@@ -356,11 +465,21 @@ int main(int argc, char** argv) {
         Usage(argv[0], "bad --fetch");
       }
     } else if (arg == "--tlb") {
-      spec.tlb_entries = std::strtoull(next().c_str(), nullptr, 10);
+      spec.tlb_entries = ParseU64(argv[0], arg, next());  // 0 = no associative memory
     } else if (arg == "--drum-latency") {
-      drum_latency = std::strtoull(next().c_str(), nullptr, 10);
+      drum_latency = ParseU64(argv[0], arg, next());
     } else {
       Usage(argv[0], ("unknown option " + arg).c_str());
+    }
+  }
+  // Geometry sanity for the paged family (the builder DSA_ASSERTs on a
+  // non-power-of-two page; make bad flags a usage error, not an abort).
+  if (dsa::SpecIsPagedLinear(spec)) {
+    if (!std::has_single_bit(spec.page_words)) {
+      Usage(argv[0], "--page must be a power of two for paged configurations");
+    }
+    if (spec.core_words < spec.page_words) {
+      Usage(argv[0], "--core must hold at least one page (--core >= --page)");
     }
   }
   spec.backing_level = dsa::MakeDrumLevel("drum", 1u << 22, /*word_time=*/2, drum_latency);
@@ -386,6 +505,7 @@ int main(int argc, char** argv) {
     serve_config.checkpoint_dir =
         checkpoint_dir.empty() ? spool_dir + ".ckpt" : checkpoint_dir;
     serve_config.checkpoint_every = checkpoint_every;
+    serve_config.checkpoint_full_every = checkpoint_full_every;
     serve_config.load_control.max_active = max_active;
     serve_config.stop_after_commits = crash_after;
     serve_config.rescan_spool = !drain;

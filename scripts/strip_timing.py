@@ -35,7 +35,8 @@ import sys
 # already-stripped file is a no-op.
 _NUM = r"(?:[0-9.eE+-]+|null)"
 
-_DROPPED = ("seconds", "refs_per_sec", "save_seconds", "load_seconds")
+_DROPPED = ("seconds", "refs_per_sec", "save_seconds", "load_seconds",
+            "delta_save_seconds", "delta_load_seconds")
 _NULLED = ("speedup",)
 # Header objects removed as whole lines (machine context or thread-contention
 # telemetry, not results).

@@ -198,6 +198,251 @@ std::uint64_t SnapshotReader::Count(std::uint64_t limit) {
   return ok_ ? n : 0;
 }
 
+SnapshotReader SnapshotReader::ForPayload(std::string_view payload) {
+  SnapshotReader r;
+  r.payload_ = payload;
+  return r;
+}
+
+namespace {
+
+constexpr std::uint8_t kSectionedFull = 0;
+constexpr std::uint8_t kSectionedDelta = 1;
+constexpr std::uint8_t kSectionInline = 0;
+constexpr std::uint8_t kSectionRef = 1;
+
+// A corrupt section count must not become a huge allocation; real cuts hold
+// a handful of VM sections plus one page-table chunk per 4096 pages.
+constexpr std::uint64_t kMaxSections = 1u << 20;
+
+}  // namespace
+
+SnapshotWriter* SectionedSnapshotWriter::Begin(const std::string& name) {
+  Finish();
+  current_name_ = name;
+  open_ = true;
+  return &current_;
+}
+
+void SectionedSnapshotWriter::Section(const std::string& name, std::string body) {
+  Finish();
+  sections_.emplace_back(name, std::move(body));
+}
+
+void SectionedSnapshotWriter::Finish() {
+  if (!open_) {
+    return;
+  }
+  sections_.emplace_back(std::move(current_name_), current_.TakePayload());
+  current_name_.clear();
+  open_ = false;
+}
+
+std::string SectionedSnapshotWriter::SealKind(std::uint8_t kind,
+                                              const SectionBaseline* base) const {
+  SnapshotWriter w;
+  w.U8(kind);
+  w.U64(sections_.size());
+  for (const auto& [name, body] : sections_) {
+    w.Str(name);
+    std::uint64_t hash = 0;
+    bool as_ref = false;
+    if (base != nullptr) {
+      hash = Fnv64(body);
+      auto it = base->hashes.find(name);
+      as_ref = it != base->hashes.end() && it->second == hash;
+    }
+    if (as_ref) {
+      w.U8(kSectionRef);
+      w.U64(hash);
+    } else {
+      w.U8(kSectionInline);
+      w.Bytes(body);
+    }
+  }
+  return w.Seal();
+}
+
+std::string SectionedSnapshotWriter::SealFull() {
+  Finish();
+  return SealKind(kSectionedFull, nullptr);
+}
+
+std::string SectionedSnapshotWriter::SealDelta(const SectionBaseline& base) {
+  Finish();
+  return SealKind(kSectionedDelta, &base);
+}
+
+SectionBaseline SectionedSnapshotWriter::Digest() {
+  Finish();
+  SectionBaseline digest;
+  for (const auto& [name, body] : sections_) {
+    digest.hashes[name] = Fnv64(body);
+  }
+  return digest;
+}
+
+void SectionSource::Fail(SnapshotErrorKind kind, std::string detail) {
+  if (!ok_) {
+    return;  // first failure wins
+  }
+  ok_ = false;
+  error_.kind = kind;
+  error_.detail = std::move(detail);
+}
+
+bool SectionSource::Has(const std::string& name) const {
+  return index_.find(name) != index_.end();
+}
+
+SnapshotReader SectionSource::Open(const std::string& name) {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    Fail(SnapshotErrorKind::kBadValue, "checkpoint chain has no section '" + name + "'");
+    SnapshotReader dead = SnapshotReader::ForPayload({});
+    dead.Fail(SnapshotErrorKind::kBadValue, "section '" + name + "' absent");
+    return dead;
+  }
+  opened_.insert(name);
+  return SnapshotReader::ForPayload(sections_[it->second].second);
+}
+
+bool SectionSource::Close(SnapshotReader* reader, const std::string& name) {
+  if (ok_) {
+    if (!reader->ok()) {
+      Fail(reader->error().kind, "section '" + name + "': " + reader->error().detail);
+    } else if (!reader->AtEnd()) {
+      Fail(SnapshotErrorKind::kBadValue, "section '" + name + "' has trailing bytes");
+    }
+  }
+  return ok_;
+}
+
+void SectionSource::FailIfUnopened() {
+  if (!ok_) {
+    return;
+  }
+  for (const auto& [name, body] : sections_) {
+    if (opened_.find(name) == opened_.end()) {
+      Fail(SnapshotErrorKind::kBadValue, "unconsumed section '" + name + "'");
+      return;
+    }
+  }
+}
+
+namespace {
+
+struct ParsedSection {
+  std::string name;
+  bool ref{false};
+  std::string body;    // inline
+  std::uint64_t hash{0};  // ref
+};
+
+Expected<std::vector<ParsedSection>, SnapshotError> ParseSectioned(
+    const std::string& sealed, bool expect_delta, std::size_t link_index) {
+  SnapshotReader r(sealed);
+  const std::uint8_t kind = r.U8();
+  if (r.ok() && kind != kSectionedFull && kind != kSectionedDelta) {
+    r.Fail(SnapshotErrorKind::kBadValue,
+           "unknown sectioned-snapshot kind " + std::to_string(kind));
+  }
+  if (r.ok() && (kind == kSectionedDelta) != expect_delta) {
+    r.Fail(SnapshotErrorKind::kBadValue,
+           expect_delta ? "chain link " + std::to_string(link_index) +
+                              " is a full cut where a delta belongs"
+                        : "chain head is a delta cut with no base");
+  }
+  const std::uint64_t count = r.Count(kMaxSections);
+  std::vector<ParsedSection> sections;
+  sections.reserve(r.ok() ? static_cast<std::size_t>(count) : 0);
+  for (std::uint64_t i = 0; r.ok() && i < count; ++i) {
+    ParsedSection s;
+    s.name = r.Str();
+    const std::uint8_t tag = r.U8();
+    if (tag == kSectionInline) {
+      s.body = r.Str();  // Bytes and Str share the length-prefixed encoding
+    } else if (tag == kSectionRef) {
+      s.ref = true;
+      s.hash = r.U64();
+    } else if (r.ok()) {
+      r.Fail(SnapshotErrorKind::kBadValue,
+             "unknown section tag " + std::to_string(tag) + " in '" + s.name + "'");
+    }
+    if (r.ok()) {
+      sections.push_back(std::move(s));
+    }
+  }
+  if (r.ok() && !r.AtEnd()) {
+    r.Fail(SnapshotErrorKind::kBadValue, "trailing bytes after the last section");
+  }
+  if (!r.ok()) {
+    return MakeUnexpected(r.error());
+  }
+  return sections;
+}
+
+}  // namespace
+
+Expected<SectionSource, SnapshotError> ResolveSectionChain(
+    const std::vector<std::string>& links) {
+  if (links.empty()) {
+    return MakeUnexpected(
+        SnapshotError{SnapshotErrorKind::kBadValue, "empty checkpoint chain"});
+  }
+  SectionSource src;
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    auto parsed = ParseSectioned(links[i], /*expect_delta=*/i > 0, i);
+    if (!parsed.has_value()) {
+      return MakeUnexpected(parsed.error());
+    }
+    if (i == 0) {
+      for (auto& s : parsed.value()) {
+        if (!src.index_.emplace(s.name, src.sections_.size()).second) {
+          return MakeUnexpected(SnapshotError{SnapshotErrorKind::kBadValue,
+                                              "duplicate section '" + s.name + "'"});
+        }
+        src.sections_.emplace_back(std::move(s.name), std::move(s.body));
+      }
+      continue;
+    }
+    // A delta link REPLACES the section set: inline sections carry new
+    // bodies, refs pin unchanged predecessors by hash, and a section the
+    // delta does not name is dropped (the cut no longer contains it).
+    std::vector<std::pair<std::string, std::string>> next;
+    std::map<std::string, std::size_t> next_index;
+    for (auto& s : parsed.value()) {
+      std::string body;
+      if (s.ref) {
+        auto it = src.index_.find(s.name);
+        if (it == src.index_.end()) {
+          return MakeUnexpected(SnapshotError{
+              SnapshotErrorKind::kBadValue,
+              "delta link " + std::to_string(i) + " references section '" + s.name +
+                  "' absent from its base"});
+        }
+        body = src.sections_[it->second].second;
+        if (Fnv64(body) != s.hash) {
+          return MakeUnexpected(SnapshotError{
+              SnapshotErrorKind::kBadChecksum,
+              "delta link " + std::to_string(i) + " reference '" + s.name +
+                  "' does not hash-match its base (mis-chained delta?)"});
+        }
+      } else {
+        body = std::move(s.body);
+      }
+      if (!next_index.emplace(s.name, next.size()).second) {
+        return MakeUnexpected(SnapshotError{SnapshotErrorKind::kBadValue,
+                                            "duplicate section '" + s.name + "'"});
+      }
+      next.emplace_back(std::move(s.name), std::move(body));
+    }
+    src.sections_ = std::move(next);
+    src.index_ = std::move(next_index);
+  }
+  return src;
+}
+
 Status<SnapshotError> WriteFileAtomic(Fs* fs, const std::string& path,
                                       std::string_view sealed) {
   if (auto status = fs->WriteFileAtomic(path, sealed); !status.has_value()) {

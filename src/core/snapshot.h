@@ -23,8 +23,11 @@
 #define SRC_CORE_SNAPSHOT_H_
 
 #include <cstdint>
+#include <map>
+#include <set>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "src/core/expected.h"
@@ -73,6 +76,10 @@ class SnapshotWriter {
   // Finalized snapshot: header + payload.
   std::string Seal() const;
 
+  // Raw payload without the container header; leaves the writer empty.
+  // The sectioned writer uses this to frame component bodies as sections.
+  std::string TakePayload() { return std::move(payload_); }
+
   std::size_t payload_size() const { return payload_.size(); }
 
  private:
@@ -110,7 +117,15 @@ class SnapshotReader {
   // this to reject trailing garbage).
   bool AtEnd() const { return !ok_ || pos_ == payload_.size(); }
 
+  // A reader over a raw payload (no container header, no checksum).  Section
+  // bodies live inside an already-verified container, so they carry no
+  // header of their own; SectionSource::Open hands them out through this.
+  // The view must outlive the reader.
+  static SnapshotReader ForPayload(std::string_view payload);
+
  private:
+  SnapshotReader() = default;
+
   bool Need(std::size_t n);
 
   std::string_view payload_;
@@ -118,6 +133,111 @@ class SnapshotReader {
   bool ok_{true};
   SnapshotError error_;
 };
+
+// ---------------------------------------------------------------------------
+// Sectioned snapshots — the substrate of incremental (delta) checkpoints.
+//
+// A sectioned snapshot lives inside the same DSASNAP1 container; its payload
+// is a sequence of named sections:
+//
+//   u8 kind (0 full | 1 delta) | u64 section count |
+//   per section: str name | u8 tag (0 inline | 1 ref) |
+//                inline -> bytes body | ref -> u64 fnv64(body)
+//
+// A FULL seal inlines every section body.  A DELTA seal compares each body's
+// fnv64 against a baseline (the digest of the previous committed cut) and
+// replaces unchanged bodies with their hash — dirty tracking by content, so
+// a section that did not change costs ~its name plus 17 bytes.  A chain
+// [full, delta, delta...] resolves newest-ref-wins: each ref must hash-match
+// the body it resolves to, which catches a delta applied over the wrong base
+// as kBadChecksum rather than silently restoring mixed state.
+
+// Per-section content hashes of a sealed cut; the baseline a later delta
+// seal diffs against.  Empty baseline => every section is emitted inline.
+struct SectionBaseline {
+  std::map<std::string, std::uint64_t> hashes;
+
+  bool empty() const { return hashes.empty(); }
+};
+
+// Builds a sectioned snapshot.  Components stream into Begin()'s writer just
+// like the flat SaveState path; cached pre-serialized bodies go in via
+// Section() without re-encoding.
+class SectionedSnapshotWriter {
+ public:
+  // Opens a new section; the returned writer is valid until the next Begin/
+  // Section/Seal/Digest call.  Section names must be unique within a seal.
+  SnapshotWriter* Begin(const std::string& name);
+
+  // Adds a section from an already-serialized body (a raw payload, no
+  // container header) — the delta path's cache hit.
+  void Section(const std::string& name, std::string body);
+
+  // Every section inline.
+  std::string SealFull();
+
+  // Sections whose fnv64 matches `base` become hash references; changed or
+  // baseline-absent sections stay inline.
+  std::string SealDelta(const SectionBaseline& base);
+
+  // Content hashes of all sections added so far — the baseline for the next
+  // delta once this seal commits.
+  SectionBaseline Digest();
+
+ private:
+  void Finish();
+  std::string SealKind(std::uint8_t kind, const SectionBaseline* base) const;
+
+  std::vector<std::pair<std::string, std::string>> sections_;  // (name, body)
+  SnapshotWriter current_;
+  std::string current_name_;
+  bool open_{false};
+};
+
+// The resolved view of a checkpoint chain: section name -> body bytes, in
+// the head cut's section order.  Load paths Open() each section they expect
+// and Close() it when done; like SnapshotReader, the first failure latches
+// and everything after reads as empty, so restores stay straight-line.
+class SectionSource {
+ public:
+  bool ok() const { return ok_; }
+  const SnapshotError& error() const { return error_; }
+  void Fail(SnapshotErrorKind kind, std::string detail);
+
+  bool Has(const std::string& name) const;
+
+  // Reader over the named section's raw body; a missing name latches
+  // kBadValue and returns an empty (already-failed) reader.
+  SnapshotReader Open(const std::string& name);
+
+  // Folds the section reader's outcome into this source: a read error or
+  // trailing bytes latch here.  Returns ok().
+  bool Close(SnapshotReader* reader, const std::string& name);
+
+  // Latches kBadValue if any section was never opened — a restore must
+  // account for every byte of the chain it trusted.
+  void FailIfUnopened();
+
+  std::size_t section_count() const { return sections_.size(); }
+
+ private:
+  friend Expected<SectionSource, SnapshotError> ResolveSectionChain(
+      const std::vector<std::string>& links);
+
+  std::vector<std::pair<std::string, std::string>> sections_;  // (name, body)
+  std::map<std::string, std::size_t> index_;
+  std::set<std::string> opened_;
+  bool ok_{true};
+  SnapshotError error_;
+};
+
+// Resolves a checkpoint chain — links[0] a full sectioned seal, each later
+// link a delta over its predecessor — into the final section bodies.  Fails
+// typed on: a non-full head, a delta head, a ref naming a section absent
+// from the resolved base (kBadValue), or a ref whose recorded hash does not
+// match the base body (kBadChecksum — the mis-chained-delta detector).
+Expected<SectionSource, SnapshotError> ResolveSectionChain(
+    const std::vector<std::string>& links);
 
 class Fs;
 

@@ -1,6 +1,8 @@
 #include "src/map/page_table.h"
 
+#include <algorithm>
 #include <bit>
+#include <string>
 
 #include "src/core/assert.h"
 
@@ -14,11 +16,13 @@ const PageTableEntry& PageTable::entry(PageId page) const {
 void PageTable::Map(PageId page, FrameId frame) {
   DSA_ASSERT(page.value < entries_.size(), "page out of table range");
   entries_[page.value] = PageTableEntry{true, frame};
+  ++chunk_versions_[page.value / kChunkEntries];
 }
 
 void PageTable::Unmap(PageId page) {
   DSA_ASSERT(page.value < entries_.size(), "page out of table range");
   entries_[page.value] = PageTableEntry{};
+  ++chunk_versions_[page.value / kChunkEntries];
 }
 
 PageTableMapper::PageTableMapper(WordCount page_words, std::size_t pages,
@@ -115,6 +119,35 @@ void PageTable::LoadState(SnapshotReader* r) {
     return;
   }
   entries_ = std::move(entries);
+  for (std::uint64_t& version : chunk_versions_) {
+    ++version;  // every chunk may have changed; stale caches must miss
+  }
+}
+
+void PageTable::SaveChunk(std::size_t chunk, SnapshotWriter* w) const {
+  DSA_ASSERT(chunk < ChunkCount(), "chunk out of range");
+  const std::size_t begin = chunk * kChunkEntries;
+  const std::size_t end = std::min(begin + kChunkEntries, entries_.size());
+  for (std::size_t i = begin; i < end; ++i) {
+    w->Bool(entries_[i].present);
+    w->U64(entries_[i].frame.value);
+  }
+}
+
+void PageTable::LoadChunk(std::size_t chunk, SnapshotReader* r) {
+  DSA_ASSERT(chunk < ChunkCount(), "chunk out of range");
+  const std::size_t begin = chunk * kChunkEntries;
+  const std::size_t end = std::min(begin + kChunkEntries, entries_.size());
+  std::vector<PageTableEntry> entries(end - begin);
+  for (PageTableEntry& entry : entries) {
+    entry.present = r->Bool();
+    entry.frame = FrameId{r->U64()};
+  }
+  if (!r->ok()) {
+    return;
+  }
+  std::copy(entries.begin(), entries.end(), entries_.begin() + begin);
+  ++chunk_versions_[chunk];
 }
 
 void PageTableMapper::SaveState(SnapshotWriter* w) const {
@@ -142,6 +175,68 @@ void PageTableMapper::LoadState(SnapshotReader* r) {
   line_page_ = line_page;
   line_frame_ = line_frame;
   line_hits_ = line_hits;
+}
+
+namespace {
+
+std::string ChunkSectionName(std::size_t chunk) {
+  return "map.pt." + std::to_string(chunk);
+}
+
+}  // namespace
+
+void PageTableMapper::SaveSections(SectionedSnapshotWriter* w) const {
+  {
+    SnapshotWriter* head = w->Begin("map.head");
+    head->U64(table_.page_count());
+    tlb_.SaveState(head);
+    head->Bool(line_valid_);
+    head->U64(line_page_.value);
+    head->U64(line_frame_);
+    head->U64(line_hits_);
+    SaveAccounting(head);
+  }
+  if (chunk_cache_.size() != table_.ChunkCount()) {
+    chunk_cache_.assign(table_.ChunkCount(), ChunkCache{});
+  }
+  for (std::size_t k = 0; k < table_.ChunkCount(); ++k) {
+    ChunkCache& cache = chunk_cache_[k];
+    if (cache.version != table_.chunk_version(k)) {
+      SnapshotWriter cw;
+      table_.SaveChunk(k, &cw);
+      cache.body = cw.TakePayload();
+      cache.version = table_.chunk_version(k);
+    }
+    w->Section(ChunkSectionName(k), cache.body);
+  }
+}
+
+void PageTableMapper::LoadSections(SectionSource* src) {
+  {
+    SnapshotReader r = src->Open("map.head");
+    const std::uint64_t pages = r.U64();
+    if (r.ok() && pages != table_.page_count()) {
+      r.Fail(SnapshotErrorKind::kBadValue, "page table size mismatch");
+    }
+    tlb_.LoadState(&r);
+    const bool line_valid = r.Bool();
+    const PageId line_page{r.U64()};
+    const std::uint64_t line_frame = r.U64();
+    const std::uint64_t line_hits = r.U64();
+    LoadAccounting(&r);
+    if (src->Close(&r, "map.head")) {
+      line_valid_ = line_valid;
+      line_page_ = line_page;
+      line_frame_ = line_frame;
+      line_hits_ = line_hits;
+    }
+  }
+  for (std::size_t k = 0; k < table_.ChunkCount() && src->ok(); ++k) {
+    const std::string name = ChunkSectionName(k);
+    SnapshotReader r = src->Open(name);
+    table_.LoadChunk(k, &r);
+    src->Close(&r, name);
+  }
 }
 
 void AtlasPageRegisterMapper::SaveState(SnapshotWriter* w) const {

@@ -114,4 +114,70 @@ Expected<TenantCheckpointMeta, SnapshotError> OpenTenantCheckpoint(
   return meta;
 }
 
+std::string SealTenantCheckpointSections(const TenantCheckpointMeta& meta,
+                                         const PagedLinearVm& vm,
+                                         const SectionBaseline* baseline,
+                                         SectionBaseline* digest_out) {
+  SectionedSnapshotWriter w;
+  {
+    SnapshotWriter* s = w.Begin("meta");
+    s->Str(meta.tenant);
+    s->U64(meta.spec_fingerprint);
+    s->U64(meta.trace_fingerprint);
+    s->U64(meta.trace_size);
+    s->U64(meta.next_ref);
+    s->U64(meta.events_published);
+    s->U64(meta.jsonl_bytes);
+  }
+  vm.SaveSections(&w);
+  if (digest_out != nullptr) {
+    *digest_out = w.Digest();
+  }
+  return baseline == nullptr ? w.SealFull() : w.SealDelta(*baseline);
+}
+
+Expected<TenantCheckpointMeta, SnapshotError> OpenTenantCheckpointChain(
+    const std::vector<std::string>& links, std::uint64_t spec_fingerprint,
+    std::uint64_t trace_fingerprint, std::uint64_t trace_size, PagedLinearVm* vm) {
+  auto resolved = ResolveSectionChain(links);
+  if (!resolved.has_value()) {
+    return MakeUnexpected(resolved.error());
+  }
+  SectionSource& src = resolved.value();
+  TenantCheckpointMeta meta;
+  {
+    SnapshotReader r = src.Open("meta");
+    meta.tenant = r.Str();
+    meta.spec_fingerprint = r.U64();
+    meta.trace_fingerprint = r.U64();
+    meta.trace_size = r.U64();
+    meta.next_ref = r.U64();
+    meta.events_published = r.U64();
+    meta.jsonl_bytes = r.U64();
+    if (r.ok() && meta.spec_fingerprint != spec_fingerprint) {
+      r.Fail(SnapshotErrorKind::kBadValue,
+             "checkpoint was taken under a different system spec");
+    }
+    if (r.ok() && meta.trace_fingerprint != trace_fingerprint) {
+      r.Fail(SnapshotErrorKind::kBadValue,
+             "checkpoint was taken against a different trace");
+    }
+    if (r.ok() && meta.trace_size != trace_size) {
+      r.Fail(SnapshotErrorKind::kBadValue, "checkpoint trace length disagrees");
+    }
+    if (r.ok() && meta.next_ref > trace_size) {
+      r.Fail(SnapshotErrorKind::kBadValue, "checkpoint cursor past the trace end");
+    }
+    src.Close(&r, "meta");
+  }
+  if (src.ok()) {
+    vm->LoadSections(&src);
+  }
+  src.FailIfUnopened();
+  if (!src.ok()) {
+    return MakeUnexpected(src.error());
+  }
+  return meta;
+}
+
 }  // namespace dsa

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "src/core/snapshot.h"
 #include "src/vm/paged_vm.h"
@@ -47,6 +48,26 @@ std::string SealTenantCheckpoint(const TenantCheckpointMeta& meta, const PagedLi
 // cursor past the trace end, and trailing payload garbage.
 Expected<TenantCheckpointMeta, SnapshotError> OpenTenantCheckpoint(
     std::string_view sealed, std::uint64_t spec_fingerprint,
+    std::uint64_t trace_fingerprint, std::uint64_t trace_size, PagedLinearVm* vm);
+
+// --- sectioned (delta-capable) tenant checkpoints ---
+// The same meta + VM state, framed as sections: a "meta" section followed by
+// the VM's sections (see PagedLinearVm::SaveSections).  With a null
+// `baseline` every section is inline (a full cut); with a baseline, sections
+// whose content hash matches collapse to refs (a delta cut).  `digest_out`,
+// when non-null, receives the cut's section hashes — the baseline for the
+// next delta once this cut commits.
+std::string SealTenantCheckpointSections(const TenantCheckpointMeta& meta,
+                                         const PagedLinearVm& vm,
+                                         const SectionBaseline* baseline,
+                                         SectionBaseline* digest_out);
+
+// Restores a tenant from a checkpoint chain — links[0] a full sectioned
+// seal, later links deltas — with OpenTenantCheckpoint's identity checks
+// plus whole-chain validation: a mis-chained delta fails kBadChecksum, an
+// unconsumed or missing section fails kBadValue.
+Expected<TenantCheckpointMeta, SnapshotError> OpenTenantCheckpointChain(
+    const std::vector<std::string>& links, std::uint64_t spec_fingerprint,
     std::uint64_t trace_fingerprint, std::uint64_t trace_size, PagedLinearVm* vm);
 
 }  // namespace dsa

@@ -248,8 +248,12 @@ void ServiceLoop::RestoreCut(CheckpointStore::Recovered* recovered) {
     }
     return;
   }
+  if (svc->second.size() != 1) {
+    fresh_start("svc member is not a single full link");
+    return;
+  }
   std::string reason;
-  if (!LoadSvcMember(svc->second, &reason)) {
+  if (!LoadSvcMember(svc->second.front(), &reason)) {
     fresh_start(reason);
     return;
   }
@@ -263,8 +267,8 @@ void ServiceLoop::RestoreCut(CheckpointStore::Recovered* recovered) {
       return;
     }
     t->vm = BuildVm(t.get());
-    auto meta = OpenTenantCheckpoint(member->second, spec_fingerprint_,
-                                     t->trace_fingerprint, t->trace.size(), t->vm.get());
+    auto meta = OpenTenantCheckpointChain(member->second, spec_fingerprint_,
+                                          t->trace_fingerprint, t->trace.size(), t->vm.get());
     if (!meta.has_value()) {
       fresh_start("tenant " + t->name + ": " + meta.error().Describe());
       return;
@@ -383,7 +387,16 @@ Status<SnapshotError> ServiceLoop::CommitCut() {
       return status;
     }
   }
+  // Full/delta cadence: commit_seq_ counts successful commits of THIS
+  // process, so the first commit after a start or restore is always full
+  // and a delta link never lacks an on-disk base chain.  The svc member is
+  // small and always staged full.
+  const bool delta_cut =
+      config_.checkpoint_full_every > 1 &&
+      commit_seq_ % static_cast<std::uint64_t>(config_.checkpoint_full_every) != 0;
+  const bool track_baselines = config_.checkpoint_full_every > 1;
   store_.Stage("svc", BuildSvcMember());
+  std::map<std::string, SectionBaseline> digests;
   for (const auto& t : tenants_) {
     if (t->done) {
       continue;
@@ -396,11 +409,35 @@ Status<SnapshotError> ServiceLoop::CommitCut() {
     meta.next_ref = t->next_ref;
     meta.events_published = t->events_published;
     meta.jsonl_bytes = t->jsonl_bytes;
-    store_.Stage("tenant." + t->name, SealTenantCheckpoint(meta, *t->vm));
+    const bool as_delta = delta_cut && !t->baseline.empty();
+    SectionBaseline digest;
+    std::string sealed = SealTenantCheckpointSections(
+        meta, *t->vm, as_delta ? &t->baseline : nullptr,
+        track_baselines ? &digest : nullptr);
+    const std::string member = "tenant." + t->name;
+    if (as_delta) {
+      store_.StageDelta(member, std::move(sealed));
+    } else {
+      store_.Stage(member, std::move(sealed));
+    }
+    if (track_baselines) {
+      digests[t->name] = std::move(digest);
+    }
   }
-  if (auto status = store_.Commit(); !status.has_value()) {
+  if (auto status = store_.Commit(delta_cut ? CutKind::kDelta : CutKind::kFull);
+      !status.has_value()) {
     return status;
   }
+  // Baselines advance only once the cut is durably committed: a failed
+  // commit must leave the next attempt diffing against the last cut that
+  // actually exists on disk.
+  for (auto& t : tenants_) {
+    auto it = digests.find(t->name);
+    if (it != digests.end()) {
+      t->baseline = std::move(it->second);
+    }
+  }
+  ++commit_seq_;
   last_commit_clock_ = service_clock_;
   ++outcome_.commits;
   return Ok();

@@ -68,6 +68,15 @@ struct ServeConfig {
   // Simulated service-clock cycles between checkpoint commits (0: commit
   // only at tenant completions and shutdown).
   Cycles checkpoint_every{200000};
+  // Every Nth commit is a FULL cut; the commits between are DELTA cuts that
+  // re-seal only the sections whose content hash changed since the tenant's
+  // last committed cut (see SealTenantCheckpointSections).  1 (the default)
+  // makes every commit full — the pre-delta behavior.  The first commit
+  // after process start or restore is always full, so a delta chain never
+  // lacks an on-disk base.  The cadence changes only what is written to the
+  // store, never the simulation: resumed output stays byte-identical at
+  // every value.
+  int checkpoint_full_every{1};
   // References each tenant executes per scheduling slice.
   std::size_t slice_references{256};
   // Cross-tenant admission policy; max_active caps concurrency, the
@@ -153,6 +162,11 @@ class ServiceLoop {
     // admission order — the trick that keeps the controller's view, and so
     // every downstream decision, independent of the lane count.
     std::vector<std::pair<Cycles, Cycles>> feed;
+    // Section digest of this tenant's last COMMITTED checkpoint — the
+    // baseline the next delta cut diffs against.  Empty (no baseline) until
+    // the first successful commit, and after restore: the first commit of a
+    // process is always full.
+    SectionBaseline baseline;
   };
 
   std::string EventsPath(const Tenant& t) const;
@@ -225,6 +239,10 @@ class ServiceLoop {
 
   Cycles service_clock_{0};
   Cycles last_commit_clock_{0};
+  // Successful commits this PROCESS (deliberately not checkpointed): the
+  // full/delta cadence counts from process start, so commit 0 — the first
+  // after a start or restore — is always a full cut.
+  std::uint64_t commit_seq_{0};
   std::size_t concurrency_{1};
   bool shed_since_start_{false};
 

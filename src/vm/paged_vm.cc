@@ -288,6 +288,123 @@ void PagedLinearVm::LoadState(SnapshotReader* r) {
   peak_resident_ = peak_resident;
 }
 
+void PagedLinearVm::SaveSections(SectionedSnapshotWriter* w) const {
+  w->Begin("vm.clock")->U64(clock_.now());
+  backing_->SaveState(w->Begin("vm.backing"));
+  channel_->SaveState(w->Begin("vm.channel"));
+  SaveRngState(w->Begin("vm.rng"), injector_->rng_state());
+  {
+    SnapshotWriter* s = w->Begin("vm.advice");
+    s->Bool(advice_ != nullptr);
+    if (advice_ != nullptr) {
+      advice_->SaveState(s);
+    }
+  }
+  switch (config_.mapper) {
+    case PagedMapperKind::kPageTable:
+      static_cast<const PageTableMapper&>(*mapper_).SaveSections(w);
+      break;
+    case PagedMapperKind::kAtlasRegisters:
+      // The atlas map is one register per frame — already small; a single
+      // head section keeps it content-addressed without chunking.
+      static_cast<const AtlasPageRegisterMapper&>(*mapper_).SaveState(w->Begin("map.head"));
+      break;
+  }
+  pager_->SaveState(w->Begin("vm.pager"));
+  {
+    SnapshotWriter* s = w->Begin("vm.tally");
+    s->F64(space_time_.product().active);
+    s->F64(space_time_.product().waiting);
+    s->U64(references_);
+    s->U64(bounds_violations_);
+    s->U64(compute_cycles_);
+    s->U64(translation_cycles_);
+    s->U64(wait_cycles_);
+    s->U64(peak_resident_);
+  }
+}
+
+void PagedLinearVm::LoadSections(SectionSource* src) {
+  Cycles now = 0;
+  {
+    SnapshotReader r = src->Open("vm.clock");
+    now = r.U64();
+    src->Close(&r, "vm.clock");
+  }
+  {
+    SnapshotReader r = src->Open("vm.backing");
+    backing_->LoadState(&r);
+    src->Close(&r, "vm.backing");
+  }
+  {
+    SnapshotReader r = src->Open("vm.channel");
+    channel_->LoadState(&r);
+    src->Close(&r, "vm.channel");
+  }
+  RngState injector_rng{};
+  {
+    SnapshotReader r = src->Open("vm.rng");
+    injector_rng = LoadRngState(&r);
+    src->Close(&r, "vm.rng");
+  }
+  {
+    SnapshotReader r = src->Open("vm.advice");
+    const bool has_advice = r.Bool();
+    if (r.ok() && has_advice != (advice_ != nullptr)) {
+      r.Fail(SnapshotErrorKind::kBadValue, "advice registry presence disagrees with config");
+    }
+    if (r.ok() && advice_ != nullptr) {
+      advice_->LoadState(&r);
+    }
+    src->Close(&r, "vm.advice");
+  }
+  switch (config_.mapper) {
+    case PagedMapperKind::kPageTable:
+      static_cast<PageTableMapper&>(*mapper_).LoadSections(src);
+      break;
+    case PagedMapperKind::kAtlasRegisters: {
+      SnapshotReader r = src->Open("map.head");
+      static_cast<AtlasPageRegisterMapper&>(*mapper_).LoadState(&r);
+      src->Close(&r, "map.head");
+      break;
+    }
+  }
+  {
+    SnapshotReader r = src->Open("vm.pager");
+    pager_->LoadState(&r);
+    src->Close(&r, "vm.pager");
+  }
+  SpaceTime space_time;
+  std::uint64_t references = 0, bounds_violations = 0;
+  Cycles compute_cycles = 0, translation_cycles = 0, wait_cycles = 0;
+  WordCount peak_resident = 0;
+  {
+    SnapshotReader r = src->Open("vm.tally");
+    space_time.active = r.F64();
+    space_time.waiting = r.F64();
+    references = r.U64();
+    bounds_violations = r.U64();
+    compute_cycles = r.U64();
+    translation_cycles = r.U64();
+    wait_cycles = r.U64();
+    peak_resident = r.U64();
+    src->Close(&r, "vm.tally");
+  }
+  if (!src->ok()) {
+    return;
+  }
+  injector_->RestoreRngState(injector_rng);
+  clock_.Reset();
+  clock_.AdvanceTo(now);
+  space_time_.Restore(space_time);
+  references_ = references;
+  bounds_violations_ = bounds_violations;
+  compute_cycles_ = compute_cycles;
+  translation_cycles_ = translation_cycles;
+  wait_cycles_ = wait_cycles;
+  peak_resident_ = peak_resident;
+}
+
 void PagedLinearVm::AdviseWillNeed(Name name) { pager_->AdviseWillNeed(PageOf(name)); }
 
 void PagedLinearVm::AdviseWontNeed(Name name) { pager_->AdviseWontNeed(PageOf(name)); }

@@ -109,6 +109,17 @@ class PagedLinearVm : public StorageAllocationSystem {
   void SaveState(SnapshotWriter* w) const;
   void LoadState(SnapshotReader* r);
 
+  // Sectioned serialization for incremental checkpoints: the same complete
+  // state split into content-addressed sections (vm.clock, vm.backing,
+  // vm.channel, vm.rng, vm.advice, the mapper's map.* sections, vm.pager,
+  // vm.tally), so a delta seal re-emits only the sections that changed
+  // since the last committed cut.  Field order inside each section matches
+  // the flat path exactly; LoadSections has the flat path's contract
+  // (freshly built identical config, all-or-nothing application of the
+  // clock/rng/tally block).
+  void SaveSections(SectionedSnapshotWriter* w) const;
+  void LoadSections(SectionSource* src);
+
  private:
   PageId PageOf(Name name) const { return PageId{name.value / config_.page_words}; }
 

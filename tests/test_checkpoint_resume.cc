@@ -295,6 +295,108 @@ TEST(CheckpointResumeTest, ResumeAfterEveryCommitOfAShortRun) {
       << "most kill points should land mid-run and actually resume";
 }
 
+TEST(DeltaCheckpointResumeTest, MixedChainKillMatrixAcrossLanesIsByteIdentical) {
+  // The delta cadence must be invisible to the output: a kill landing on a
+  // delta cut leaves [full, delta...] chains on disk, and the restarted
+  // service restores through them to finish byte-identical to the all-full
+  // reference — at every lane count, at every kill point.
+  Scratch scratch("deltamatrix");
+  SpoolThreeTenants(scratch);
+
+  ServeConfig ref_config = ConfigFor(scratch, "ref");  // checkpoint_full_every = 1
+  std::uint64_t total_commits = 0;
+  {
+    ServiceLoop loop(ServeSpec(), ref_config);
+    auto outcome = loop.Run();
+    ASSERT_TRUE(outcome.has_value());
+    ASSERT_TRUE(outcome->finished);
+    total_commits = outcome->commits;
+  }
+  const auto expected = SlurpDir(ref_config.out_dir);
+  ASSERT_GE(total_commits, 6u) << "cadence too coarse for a delta matrix";
+
+  std::vector<int> kill_points = {1, 2, 3,
+                                  static_cast<int>(total_commits / 2),
+                                  static_cast<int>(total_commits - 1)};
+  std::sort(kill_points.begin(), kill_points.end());
+  kill_points.erase(std::unique(kill_points.begin(), kill_points.end()),
+                    kill_points.end());
+  const std::vector<unsigned> lane_grid = {1, 2, 4};
+  const std::size_t cells = kill_points.size() * lane_grid.size();
+  SweepRunner runner(/*jobs=*/4);
+  const std::vector<std::string> failures =
+      runner.Run(cells, [&](std::size_t cell) -> std::string {
+        const int k = kill_points[cell % kill_points.size()];
+        const unsigned lanes = lane_grid[cell / kill_points.size()];
+        const std::string tag =
+            "dl" + std::to_string(lanes) + "k" + std::to_string(k);
+        ServeConfig config = ConfigFor(scratch, tag);
+        config.checkpoint_full_every = 3;
+        config.lanes = lanes;
+        config.stop_after_commits = k;
+        {
+          ServiceLoop loop(ServeSpec(), config);
+          auto outcome = loop.Run();
+          if (!outcome.has_value()) {
+            return tag + ": kill run errored: " + outcome.error().Describe();
+          }
+          if (outcome->finished) {
+            return tag + ": expected the loop to stop at the kill point";
+          }
+        }
+        // Commit i (0-based) is full iff i % 3 == 0, so a kill whose last
+        // commit was a delta must leave delta links in the manifest — the
+        // mixed chain this matrix exists to restore through.
+        if ((k - 1) % 3 != 0) {
+          auto manifest = ReadFileBytes(
+              (fs::path(config.checkpoint_dir) / "MANIFEST").string());
+          if (!manifest.has_value()) {
+            return tag + ": unreadable manifest after kill";
+          }
+          if (manifest.value().find(" d ") == std::string::npos) {
+            return tag + ": expected a delta link in the killed manifest";
+          }
+        }
+        config.stop_after_commits = -1;
+        std::size_t resumed = 0;
+        for (int attempt = 0; attempt < 4; ++attempt) {
+          ServiceLoop loop(ServeSpec(), config);
+          auto outcome = loop.Run();
+          if (!outcome.has_value()) {
+            return tag + ": resume errored: " + outcome.error().Describe();
+          }
+          resumed += outcome->tenants_resumed;
+          if (!outcome->quarantined.empty()) {
+            return tag + ": unexpected quarantine on a clean kill";
+          }
+          if (outcome->finished) {
+            const auto actual = SlurpDir(config.out_dir);
+            if (actual.size() != expected.size()) {
+              return tag + ": output tree size differs";
+            }
+            for (const auto& [name, bytes] : expected) {
+              auto it = actual.find(name);
+              if (it == actual.end()) {
+                return tag + ": missing output " + name;
+              }
+              if (it->second != bytes) {
+                return tag + ": " + name + " differs from the all-full run";
+              }
+            }
+            if (static_cast<std::uint64_t>(k) <= total_commits / 2 &&
+                resumed == 0) {
+              return tag + ": nothing was actually resumed from the chain";
+            }
+            return std::string();
+          }
+        }
+        return tag + ": loop never finished";
+      });
+  for (const std::string& failure : failures) {
+    EXPECT_TRUE(failure.empty()) << failure;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Corruption: damaged checkpoints quarantine, report typed errors, and the
 // service completes from a fresh start with byte-identical outputs.
@@ -409,17 +511,22 @@ TEST(CheckpointCorruptionTest, StaleContainerVersionQuarantinesWholeCut) {
         std::snprintf(hex, sizeof hex, "%016llx",
                       static_cast<unsigned long long>(Fnv64(bytes)));
         const std::string name = member.filename().string();
-        // Member file names are "<member>.<gen>.ckpt"; the manifest names
-        // the member without the generation suffix.
-        std::string member_name = name.substr(0, name.rfind('.'));  // drop .ckpt
-        member_name = member_name.substr(0, member_name.rfind('.'));  // drop gen
+        // Member file names are "<member>.<gen>.ckpt"; manifest lines are
+        // "member <name> <gen> <f|d> <bytes> <fnv64-hex>".  Patch only the
+        // line for this member at this generation, keeping its chain kind.
+        std::string stem = name.substr(0, name.rfind('.'));  // drop .ckpt
+        const std::string gen = stem.substr(stem.rfind('.') + 1);
+        const std::string member_name = stem.substr(0, stem.rfind('.'));
         std::string patched;
         std::istringstream lines(text);
         std::string line;
         while (std::getline(lines, line)) {
-          if (line.rfind("member " + member_name + " ", 0) == 0) {
-            patched += "member " + member_name + " " +
-                       std::to_string(bytes.size()) + " " + hex + "\n";
+          std::istringstream tok(line);
+          std::string tag, lname, lgen, lkind;
+          if ((tok >> tag >> lname >> lgen >> lkind) && tag == "member" &&
+              lname == member_name && lgen == gen) {
+            patched += "member " + member_name + " " + gen + " " + lkind +
+                       " " + std::to_string(bytes.size()) + " " + hex + "\n";
           } else {
             patched += line + "\n";
           }
@@ -570,6 +677,268 @@ TEST(CheckpointCorruptionTest, RandomizedMemberFuzzNeverCrashes) {
         fs::remove(entry.path());
       }
     }
+  }
+}
+
+TEST(DeltaCheckpointCorruptionTest, BitFlipInAnyChainMemberQuarantinesWholeChain) {
+  // Flip one byte in EVERY member file of a mixed full+delta chain, one
+  // cell per file (sharded over the SweepRunner).  A damaged link — head or
+  // delta — must quarantine, and the restarted service must either fall
+  // back to the last intact full cut (damage newer than the base) or fresh
+  // start (the base itself damaged), finishing byte-identical either way.
+  Scratch scratch("deltafuzz");
+  SpoolThreeTenants(scratch);
+  const auto expected = StraightThroughTree(scratch, "ref");
+
+  // Killed after 4 commits at full_every=4 the store holds a full head plus
+  // three delta links per live member — the deepest chain this config makes.
+  auto kill_run = [&](const std::string& tag, ServeConfig* config) -> std::string {
+    *config = ConfigFor(scratch, tag);
+    config->checkpoint_full_every = 4;
+    config->stop_after_commits = 4;
+    ServiceLoop loop(ServeSpec(), *config);
+    auto outcome = loop.Run();
+    if (!outcome.has_value()) {
+      return tag + ": kill run errored: " + outcome.error().Describe();
+    }
+    if (outcome->finished) {
+      return tag + ": finished before the kill point; trace too short";
+    }
+    return std::string();
+  };
+
+  // Prototype run: the member layout is deterministic, so one run names the
+  // fuzz cells for everyone.
+  std::vector<std::string> files;
+  {
+    ServeConfig config;
+    ASSERT_EQ(kill_run("dfproto", &config), std::string());
+    for (const auto& entry : fs::directory_iterator(config.checkpoint_dir)) {
+      if (entry.path().extension() == ".ckpt") {
+        files.push_back(entry.path().filename().string());
+      }
+    }
+    std::sort(files.begin(), files.end());
+  }
+  ASSERT_GE(files.size(), 5u) << "expected mixed full+delta chains to fuzz";
+
+  SweepRunner runner(/*jobs=*/4);
+  const std::vector<std::string> failures =
+      runner.Run(files.size(), [&](std::size_t cell) -> std::string {
+        const std::string tag = "dfz" + std::to_string(cell);
+        ServeConfig config;
+        if (std::string err = kill_run(tag, &config); !err.empty()) {
+          return err;
+        }
+        const fs::path ckpt(config.checkpoint_dir);
+        const fs::path victim = ckpt / files[cell];
+        if (!fs::exists(victim)) {
+          return tag + ": member layout not deterministic: " + files[cell];
+        }
+        // "<member>.<gen>.ckpt" names its generation; the manifest's base
+        // line says which generation the store may fall back to.
+        std::string stem = files[cell].substr(0, files[cell].rfind('.'));
+        const std::uint64_t gen = std::stoull(stem.substr(stem.rfind('.') + 1));
+        std::uint64_t base = 0;
+        {
+          std::ifstream min(ckpt / "MANIFEST");
+          std::string line;
+          while (std::getline(min, line)) {
+            if (line.rfind("base ", 0) == 0) {
+              base = std::stoull(line.substr(5));
+            }
+          }
+        }
+        if (base == 0) {
+          return tag + ": manifest lacks a base line";
+        }
+        {
+          std::fstream f(victim, std::ios::in | std::ios::out | std::ios::binary);
+          const auto mid = static_cast<std::streamoff>(fs::file_size(victim) / 2);
+          f.seekg(mid);
+          char c = 0;
+          f.get(c);
+          f.seekp(mid);
+          f.put(static_cast<char>(c ^ 0x40));
+        }
+        config.stop_after_commits = -1;
+        bool first_resume = true;
+        std::size_t resumed = 0;
+        for (int attempt = 0; attempt < 4; ++attempt) {
+          ServiceLoop loop(ServeSpec(), config);
+          auto outcome = loop.Run();
+          if (!outcome.has_value()) {
+            return tag + ": resume errored: " + outcome.error().Describe();
+          }
+          if (first_resume && outcome->quarantined.empty()) {
+            return tag + ": flip in " + files[cell] + " went unquarantined";
+          }
+          first_resume = false;
+          resumed += outcome->tenants_resumed;
+          if (outcome->finished) {
+            if (gen > base && resumed == 0) {
+              return tag + ": damage above the base must fall back to the "
+                           "full cut, not fresh-start";
+            }
+            const auto actual = SlurpDir(config.out_dir);
+            if (actual.size() != expected.size()) {
+              return tag + ": output tree size differs";
+            }
+            for (const auto& [name, bytes] : expected) {
+              auto it = actual.find(name);
+              if (it == actual.end()) {
+                return tag + ": missing output " + name;
+              }
+              if (it->second != bytes) {
+                return tag + ": " + name + " differs after chain damage";
+              }
+            }
+            return std::string();
+          }
+        }
+        return tag + ": loop never finished";
+      });
+  for (const std::string& failure : failures) {
+    EXPECT_TRUE(failure.empty()) << failure;
+  }
+}
+
+TEST(CheckpointCorruptionTest, SecondIncidentUniquifiesQuarantineNames) {
+  // Quarantine is evidence preservation: a second incident at the same
+  // member must not clobber the first incident's *.quarantine file — the
+  // rename uniquifies to *.quarantine.1 instead.
+  Scratch scratch("twice");
+  SpoolTenant(scratch, "solo.trace", 5);
+  ServeConfig config = ConfigFor(scratch, "twice");
+  config.stop_after_commits = 1;
+  {
+    ServiceLoop loop(ServeSpec(), config);
+    auto outcome = loop.Run();
+    ASSERT_TRUE(outcome.has_value());
+  }
+  const fs::path ckpt(config.checkpoint_dir);
+  const auto pristine = SlurpDir(ckpt.string());
+  const fs::path member = FirstMember(ckpt);
+  const std::string member_name = member.filename().string();
+
+  auto corrupt_member = [&](char mask) {
+    std::string bent = pristine.at(member_name);
+    bent[bent.size() / 2] = static_cast<char>(bent[bent.size() / 2] ^ mask);
+    std::ofstream out(member, std::ios::binary | std::ios::trunc);
+    out.write(bent.data(), static_cast<std::streamsize>(bent.size()));
+    return bent;
+  };
+  auto restore_store = [&] {
+    for (const auto& [name, bytes] : pristine) {
+      std::ofstream out(ckpt / name, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    }
+  };
+
+  const std::string first_bent = corrupt_member(0x01);
+  {
+    CheckpointStore store(ckpt.string());
+    auto recovered = store.Recover();
+    ASSERT_TRUE(recovered.has_value()) << recovered.error().Describe();
+    ASSERT_FALSE(recovered->quarantined.empty());
+  }
+  const fs::path q0(member.string() + ".quarantine");
+  ASSERT_TRUE(fs::exists(q0)) << "first incident left no evidence";
+
+  restore_store();
+  const std::string second_bent = corrupt_member(0x02);
+  {
+    CheckpointStore store(ckpt.string());
+    auto recovered = store.Recover();
+    ASSERT_TRUE(recovered.has_value()) << recovered.error().Describe();
+    ASSERT_FALSE(recovered->quarantined.empty());
+  }
+  const fs::path q1(member.string() + ".quarantine.1");
+  ASSERT_TRUE(fs::exists(q1))
+      << "second incident must uniquify, not clobber or drop";
+  const auto evidence = SlurpDir(ckpt.string());
+  EXPECT_EQ(evidence.at(member_name + ".quarantine"), first_bent)
+      << "first incident's evidence was clobbered";
+  EXPECT_EQ(evidence.at(member_name + ".quarantine.1"), second_bent);
+}
+
+// ---------------------------------------------------------------------------
+// Store-level delta chain protocol.
+
+TEST(CheckpointStoreDeltaTest, DeltaCommitAppendsChainAndRecoversIt) {
+  Scratch scratch("storedelta");
+  const std::string dir = scratch.Out("store");
+
+  SectionedSnapshotWriter w1;
+  w1.Begin("s")->U64(1);
+  const SectionBaseline baseline = w1.Digest();
+  SectionedSnapshotWriter w2;
+  w2.Begin("s")->U64(2);
+
+  CheckpointStore store(dir);
+  {
+    auto recovered = store.Recover();
+    ASSERT_TRUE(recovered.has_value()) << recovered.error().Describe();
+    EXPECT_EQ(recovered->generation, 0u);
+  }
+  store.Stage("m", w1.SealFull());
+  ASSERT_TRUE(store.Commit(CutKind::kFull).has_value());
+  store.StageDelta("m", w2.SealDelta(baseline));
+  ASSERT_TRUE(store.Commit(CutKind::kDelta).has_value());
+  EXPECT_EQ(store.generation(), 2u);
+  EXPECT_EQ(store.base_generation(), 1u);
+
+  CheckpointStore reopened(dir);
+  auto recovered = reopened.Recover();
+  ASSERT_TRUE(recovered.has_value()) << recovered.error().Describe();
+  EXPECT_EQ(recovered->generation, 2u);
+  EXPECT_EQ(recovered->base_generation, 1u);
+  EXPECT_FALSE(recovered->fell_back);
+  EXPECT_TRUE(recovered->quarantined.empty());
+  ASSERT_EQ(recovered->members.count("m"), 1u);
+  ASSERT_EQ(recovered->members.at("m").size(), 2u)
+      << "the chain must come back full-head-first with its delta link";
+  auto resolved = ResolveSectionChain(recovered->members.at("m"));
+  ASSERT_TRUE(resolved.has_value()) << resolved.error().Describe();
+  SectionSource src = std::move(resolved.value());
+  SnapshotReader s = src.Open("s");
+  EXPECT_EQ(s.U64(), 2u) << "the delta link's value must win";
+  EXPECT_TRUE(src.Close(&s, "s"));
+}
+
+TEST(CheckpointStoreDeltaTest, MisusedDeltaStagingIsTypedAtCommit) {
+  Scratch scratch("storemisuse");
+  const std::string dir = scratch.Out("store");
+  SectionedSnapshotWriter w;
+  w.Begin("s")->U64(7);
+  const std::string full = w.SealFull();
+
+  CheckpointStore store(dir);
+  ASSERT_TRUE(store.Recover().has_value());
+
+  // kDelta before any committed base quietly promotes to a full cut — the
+  // first commit of a process seeds the chains.
+  store.Stage("m", full);
+  ASSERT_TRUE(store.Commit(CutKind::kDelta).has_value());
+  EXPECT_EQ(store.generation(), 1u);
+  EXPECT_EQ(store.base_generation(), 1u);
+
+  // A delta link for a member with no committed chain is a typed error.
+  store.Stage("m", full);
+  store.StageDelta("ghost", full);
+  {
+    auto status = store.Commit(CutKind::kDelta);
+    ASSERT_FALSE(status.has_value());
+    EXPECT_EQ(status.error().kind, SnapshotErrorKind::kBadValue);
+  }
+
+  // A delta-staged member inside a FULL cut is a typed error too: a full
+  // cut re-seals everything, a delta fragment has no base there.
+  store.StageDelta("m", full);
+  {
+    auto status = store.Commit(CutKind::kFull);
+    ASSERT_FALSE(status.has_value());
+    EXPECT_EQ(status.error().kind, SnapshotErrorKind::kBadValue);
   }
 }
 

@@ -19,6 +19,9 @@
 //
 // The sweeps shard over the SweepRunner; every cell owns its directories
 // and its own Fs chain, so the op counters stay deterministic per cell.
+// Every cell runs at checkpoint_full_every=3, so the checkpoints under
+// fault are mixed full+delta chains — the sweep doubles as the delta
+// path's crash/transient-fault certification at every op index.
 
 #include <gtest/gtest.h>
 #include <unistd.h>
@@ -97,6 +100,11 @@ ServeConfig ConfigFor(const Scratch& scratch, const std::string& tag) {
   config.out_dir = scratch.Out(tag + ".out");
   config.checkpoint_dir = scratch.Out(tag + ".ckpt");
   config.checkpoint_every = 12000;
+  // Every third commit full, the rest deltas: both sweeps then inject their
+  // faults into mixed full+delta chains at every op index, proving the
+  // delta path restores byte-identically under exactly the same IO abuse
+  // the flat path survives.
+  config.checkpoint_full_every = 3;
   config.rescan_spool = false;
   return config;
 }

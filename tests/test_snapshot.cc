@@ -436,5 +436,176 @@ TEST(PagedVmSnapshotTest, FaultInjectedRunResumesIdentically) {
   EXPECT_EQ(StepAll(&resumed, trace, cut), expected);
 }
 
+// --- Sectioned snapshots: the delta-checkpoint substrate.
+
+std::string SealThreeSections(const std::string& b_body) {
+  SectionedSnapshotWriter w;
+  w.Begin("alpha")->U64(11);
+  w.Section("beta", b_body);
+  SnapshotWriter* c = w.Begin("gamma");
+  c->Str("third");
+  c->Bool(true);
+  return w.SealFull();
+}
+
+TEST(SectionedSnapshotTest, FullSealRoundTripsInOrder) {
+  auto resolved = ResolveSectionChain({SealThreeSections("bb")});
+  ASSERT_TRUE(resolved.has_value()) << resolved.error().Describe();
+  SectionSource src = std::move(resolved.value());
+  EXPECT_EQ(src.section_count(), 3u);
+  EXPECT_TRUE(src.Has("beta"));
+  EXPECT_FALSE(src.Has("delta"));
+
+  SnapshotReader a = src.Open("alpha");
+  EXPECT_EQ(a.U64(), 11u);
+  EXPECT_TRUE(src.Close(&a, "alpha"));
+  SnapshotReader b = src.Open("beta");
+  // "beta" was added pre-serialized: its body is the raw bytes verbatim.
+  EXPECT_EQ(b.U8(), 'b');
+  EXPECT_EQ(b.U8(), 'b');
+  EXPECT_TRUE(src.Close(&b, "beta"));
+  SnapshotReader c = src.Open("gamma");
+  EXPECT_EQ(c.Str(), "third");
+  EXPECT_TRUE(c.Bool());
+  EXPECT_TRUE(src.Close(&c, "gamma"));
+  src.FailIfUnopened();
+  EXPECT_TRUE(src.ok()) << src.error().Describe();
+}
+
+TEST(SectionedSnapshotTest, DeltaSealRefsUnchangedSectionsAndResolves) {
+  SectionedSnapshotWriter base_w;
+  base_w.Begin("stable")->U64(1);
+  base_w.Begin("hot")->U64(2);
+  const SectionBaseline baseline = base_w.Digest();
+  const std::string full = base_w.SealFull();
+
+  SectionedSnapshotWriter next_w;
+  next_w.Begin("stable")->U64(1);  // unchanged -> becomes a hash ref
+  next_w.Begin("hot")->U64(99);    // changed -> stays inline
+  const std::string delta = next_w.SealDelta(baseline);
+  EXPECT_LT(delta.size(), next_w.SealFull().size());
+
+  auto resolved = ResolveSectionChain({full, delta});
+  ASSERT_TRUE(resolved.has_value()) << resolved.error().Describe();
+  SectionSource src = std::move(resolved.value());
+  SnapshotReader s = src.Open("stable");
+  EXPECT_EQ(s.U64(), 1u);
+  EXPECT_TRUE(src.Close(&s, "stable"));
+  SnapshotReader h = src.Open("hot");
+  EXPECT_EQ(h.U64(), 99u);
+  EXPECT_TRUE(src.Close(&h, "hot"));
+  src.FailIfUnopened();
+  EXPECT_TRUE(src.ok()) << src.error().Describe();
+}
+
+TEST(SectionedSnapshotTest, MisChainedDeltaFailsChecksum) {
+  // A delta sealed against base A resolved over base B: the ref's recorded
+  // hash cannot match B's body, and the chain must fail typed rather than
+  // restore mixed state.
+  SectionedSnapshotWriter a;
+  a.Begin("s")->U64(1);
+  const SectionBaseline base_a = a.Digest();
+
+  SectionedSnapshotWriter b;
+  b.Begin("s")->U64(2);
+  const std::string full_b = b.SealFull();
+
+  SectionedSnapshotWriter d;
+  d.Begin("s")->U64(1);  // unchanged vs A -> sealed as a ref to A's hash
+  const std::string delta_over_a = d.SealDelta(base_a);
+
+  auto resolved = ResolveSectionChain({full_b, delta_over_a});
+  ASSERT_FALSE(resolved.has_value());
+  EXPECT_EQ(resolved.error().kind, SnapshotErrorKind::kBadChecksum);
+}
+
+TEST(SectionedSnapshotTest, DeltaHeadAndRefToAbsentSectionAreTyped) {
+  SectionedSnapshotWriter base_w;
+  base_w.Begin("only")->U64(5);
+  const SectionBaseline baseline = base_w.Digest();
+  const std::string full = base_w.SealFull();
+
+  SectionedSnapshotWriter d;
+  d.Begin("only")->U64(5);
+  const std::string delta = d.SealDelta(baseline);
+
+  // A chain headed by a delta has no base to resolve against.
+  auto headless = ResolveSectionChain({delta});
+  ASSERT_FALSE(headless.has_value());
+  EXPECT_EQ(headless.error().kind, SnapshotErrorKind::kBadValue);
+
+  // A delta ref naming a section the base never had.
+  SectionedSnapshotWriter other;
+  other.Begin("elsewhere")->U64(7);
+  const std::string full_other = other.SealFull();
+  auto absent = ResolveSectionChain({full_other, delta});
+  ASSERT_FALSE(absent.has_value());
+  EXPECT_EQ(absent.error().kind, SnapshotErrorKind::kBadValue);
+}
+
+TEST(SectionedSnapshotTest, MissingSectionOpenAndUnopenedSectionsLatch) {
+  {
+    auto resolved = ResolveSectionChain({SealThreeSections("x")});
+    ASSERT_TRUE(resolved.has_value());
+    SectionSource src = std::move(resolved.value());
+    SnapshotReader ghost = src.Open("no-such-section");
+    EXPECT_FALSE(ghost.ok());
+    EXPECT_FALSE(src.ok());
+    EXPECT_EQ(src.error().kind, SnapshotErrorKind::kBadValue);
+  }
+  {
+    auto resolved = ResolveSectionChain({SealThreeSections("x")});
+    ASSERT_TRUE(resolved.has_value());
+    SectionSource src = std::move(resolved.value());
+    SnapshotReader a = src.Open("alpha");
+    EXPECT_EQ(a.U64(), 11u);
+    EXPECT_TRUE(src.Close(&a, "alpha"));
+    src.FailIfUnopened();  // beta and gamma were trusted but never read
+    EXPECT_FALSE(src.ok());
+    EXPECT_EQ(src.error().kind, SnapshotErrorKind::kBadValue);
+  }
+}
+
+TEST(SectionedSnapshotTest, PagedVmSectionedSaveMatchesChainRestore) {
+  // The component-level delta property: step, full-cut, step more, delta-cut,
+  // restore through the chain, and the restored VM both re-seals identically
+  // and continues identically.
+  SystemSpec spec = ServeSpec(ReplacementStrategyKind::kLru);
+  const ReferenceTrace trace = VmTrace();
+  PagedLinearVm vm(PagedConfigFromSpec(spec));
+  const std::size_t cut = trace.refs.size() / 2;
+  for (std::size_t i = 0; i < cut; ++i) {
+    vm.Step(trace.refs[i]);
+  }
+  SectionedSnapshotWriter full_w;
+  vm.SaveSections(&full_w);
+  const SectionBaseline baseline = full_w.Digest();
+  const std::string full = full_w.SealFull();
+
+  const std::size_t second = cut + (trace.refs.size() - cut) / 2;
+  for (std::size_t i = cut; i < second; ++i) {
+    vm.Step(trace.refs[i]);
+  }
+  SectionedSnapshotWriter delta_w;
+  vm.SaveSections(&delta_w);
+  const std::string delta = delta_w.SealDelta(baseline);
+  EXPECT_LT(delta.size(), full.size());
+
+  auto resolved = ResolveSectionChain({full, delta});
+  ASSERT_TRUE(resolved.has_value()) << resolved.error().Describe();
+  SectionSource src = std::move(resolved.value());
+  PagedLinearVm restored(PagedConfigFromSpec(spec));
+  restored.LoadSections(&src);
+  src.FailIfUnopened();
+  ASSERT_TRUE(src.ok()) << src.error().Describe();
+
+  SectionedSnapshotWriter lhs;
+  vm.SaveSections(&lhs);
+  SectionedSnapshotWriter rhs;
+  restored.SaveSections(&rhs);
+  EXPECT_EQ(lhs.SealFull(), rhs.SealFull());
+  EXPECT_EQ(StepAll(&vm, trace, second), StepAll(&restored, trace, second));
+}
+
 }  // namespace
 }  // namespace dsa
